@@ -1,0 +1,265 @@
+//! Record enrichment and the sector-day observation frame.
+//!
+//! Most analyses join the handover trace against the topology, the device
+//! catalog and the census. [`Enriched`] provides those joins per record;
+//! [`SectorDayFrame`] is the §6.3 reshape — one observation per
+//! `(source sector, day, HO type)` with the covariates of Table 3.
+
+use serde::{Deserialize, Serialize};
+
+use telco_devices::types::{DeviceType, Manufacturer};
+use telco_geo::district::{DistrictId, Region};
+use telco_geo::postcode::AreaType;
+use telco_sim::StudyData;
+use telco_signaling::messages::HoType;
+use telco_topology::elements::SectorId;
+use telco_topology::vendor::Vendor;
+use telco_trace::record::HoRecord;
+
+/// Per-record join helpers over a completed study.
+#[derive(Clone, Copy)]
+pub struct Enriched<'a> {
+    study: &'a StudyData,
+}
+
+impl<'a> Enriched<'a> {
+    /// Wrap a study.
+    pub fn new(study: &'a StudyData) -> Self {
+        Enriched { study }
+    }
+
+    /// The underlying study.
+    pub fn study(&self) -> &'a StudyData {
+        self.study
+    }
+
+    /// Urban/rural classification of the record's source sector.
+    pub fn area(&self, r: &HoRecord) -> AreaType {
+        let pc = self.study.world.topology.sector_postcode(r.source_sector);
+        self.study.world.country.postcode(pc).area_type
+    }
+
+    /// District of the record's source sector.
+    pub fn district(&self, r: &HoRecord) -> DistrictId {
+        self.study.world.topology.sector_district(r.source_sector)
+    }
+
+    /// Region of the record's source sector.
+    pub fn region(&self, r: &HoRecord) -> Region {
+        self.study.world.country.district(self.district(r)).region
+    }
+
+    /// Antenna vendor of the record's source sector.
+    pub fn vendor(&self, r: &HoRecord) -> Vendor {
+        self.study.world.topology.sector(r.source_sector).vendor
+    }
+
+    /// Device type of the record's UE.
+    pub fn device_type(&self, r: &HoRecord) -> DeviceType {
+        self.study.world.ue(r.ue).device_type
+    }
+
+    /// Manufacturer of the record's UE.
+    pub fn manufacturer(&self, r: &HoRecord) -> Manufacturer {
+        self.study.world.ue(r.ue).manufacturer
+    }
+}
+
+/// One observation of the §6.3 reshape: the daily HOF rate of one source
+/// sector for one handover type, with the Table 3 covariates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SectorDayObs {
+    /// Source sector.
+    pub sector: SectorId,
+    /// Study day (or window index for windowed frames).
+    pub day: u32,
+    /// Handover type of the cell.
+    pub ho_type: HoType,
+    /// Handovers of this type from this sector this day.
+    pub hos: u32,
+    /// Failures among them.
+    pub hofs: u32,
+    /// Total daily handovers of the sector across all types ("Number of
+    /// HOs per day" covariate).
+    pub daily_hos: u32,
+    /// Urban/rural classification.
+    pub area: AreaType,
+    /// Antenna vendor.
+    pub vendor: Vendor,
+    /// Sector region.
+    pub region: Region,
+    /// District population.
+    pub district_population: u64,
+}
+
+impl SectorDayObs {
+    /// HOF rate in percent.
+    pub fn hof_rate_pct(&self) -> f64 {
+        if self.hos == 0 {
+            0.0
+        } else {
+            100.0 * self.hofs as f64 / self.hos as f64
+        }
+    }
+}
+
+/// The full sector-day observation table.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SectorDayFrame {
+    observations: Vec<SectorDayObs>,
+}
+
+impl SectorDayFrame {
+    /// Build the daily frame from a study (single pass over the trace).
+    pub fn build(study: &StudyData) -> Self {
+        Self::build_windowed(study, 1)
+    }
+
+    /// Build the frame with `window_days`-long periods instead of single
+    /// days. The paper's sectors carry thousands of daily handovers; at
+    /// simulation scale the statistically equivalent observation pools
+    /// several days, so the per-cell HOF rate is not quantized to zero.
+    /// `daily_hos` is reported per day (window total / window length).
+    pub fn build_windowed(study: &StudyData, window_days: u32) -> Self {
+        use std::collections::HashMap;
+        let window_days = window_days.max(1);
+        let enriched = Enriched::new(study);
+        // (sector, window, type) → (hos, hofs); (sector, window) → total.
+        let mut cells: HashMap<(u32, u32, usize), (u32, u32)> = HashMap::new();
+        let mut totals: HashMap<(u32, u32), u32> = HashMap::new();
+        for r in study.output.dataset.records() {
+            let window = r.day() / window_days;
+            let key = (r.source_sector.0, window, r.ho_type().index());
+            let e = cells.entry(key).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += u32::from(r.is_failure());
+            *totals.entry((r.source_sector.0, window)).or_insert(0) += 1;
+        }
+        let mut observations: Vec<SectorDayObs> = cells
+            .into_iter()
+            .map(|((sector, day, type_idx), (hos, hofs))| {
+                let sector_id = SectorId(sector);
+                let pc = study.world.topology.sector_postcode(sector_id);
+                let postcode = study.world.country.postcode(pc);
+                let district = study.world.country.district(postcode.district);
+                let _ = &enriched;
+                SectorDayObs {
+                    sector: sector_id,
+                    day,
+                    ho_type: HoType::ALL[type_idx],
+                    hos,
+                    hofs,
+                    daily_hos: (totals[&(sector, day)] / window_days).max(1),
+                    area: postcode.area_type,
+                    vendor: study.world.topology.sector(sector_id).vendor,
+                    region: district.region,
+                    district_population: district.population,
+                }
+            })
+            .collect();
+        observations.sort_by_key(|o| (o.sector.0, o.day, o.ho_type.index()));
+        SectorDayFrame { observations }
+    }
+
+    /// All observations.
+    pub fn observations(&self) -> &[SectorDayObs] {
+        &self.observations
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Whether the frame is empty.
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    /// Observations of one handover type.
+    pub fn of_type(&self, ho_type: HoType) -> impl Iterator<Item = &SectorDayObs> + '_ {
+        self.observations.iter().filter(move |o| o.ho_type == ho_type)
+    }
+
+    /// The paper's outlier filter (Table 5 footnote, scaled): keep cells
+    /// with HOF rate below `max_rate_pct` and daily HOs within
+    /// `[min_daily, max_daily]`.
+    pub fn filtered(
+        &self,
+        max_rate_pct: f64,
+        min_daily: u32,
+        max_daily: u32,
+    ) -> Vec<&SectorDayObs> {
+        self.observations
+            .iter()
+            .filter(|o| {
+                o.hof_rate_pct() < max_rate_pct
+                    && o.daily_hos >= min_daily
+                    && o.daily_hos <= max_daily
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telco_sim::{run_study, SimConfig};
+
+    fn study() -> StudyData {
+        run_study(SimConfig::tiny())
+    }
+
+    #[test]
+    fn frame_covers_every_record() {
+        let s = study();
+        let frame = SectorDayFrame::build(&s);
+        let total_hos: u32 = frame.observations().iter().map(|o| o.hos).sum();
+        assert_eq!(total_hos as usize, s.output.dataset.len());
+        let total_hofs: u32 = frame.observations().iter().map(|o| o.hofs).sum();
+        assert_eq!(total_hofs as usize, s.output.dataset.failures().count());
+    }
+
+    #[test]
+    fn daily_totals_are_consistent() {
+        let s = study();
+        let frame = SectorDayFrame::build(&s);
+        for o in frame.observations() {
+            assert!(o.daily_hos >= o.hos, "cell exceeds its sector-day total");
+            assert!(o.hofs <= o.hos);
+        }
+    }
+
+    #[test]
+    fn enrichment_matches_world() {
+        let s = study();
+        let e = Enriched::new(&s);
+        for r in s.output.dataset.records().iter().take(50) {
+            let pc = s.world.topology.sector_postcode(r.source_sector);
+            assert_eq!(e.area(r), s.world.country.postcode(pc).area_type);
+            assert_eq!(e.device_type(r), s.world.ue(r.ue).device_type);
+        }
+    }
+
+    #[test]
+    fn filter_bounds_apply() {
+        let s = study();
+        let frame = SectorDayFrame::build(&s);
+        for o in frame.filtered(50.0, 2, 10_000) {
+            assert!(o.hof_rate_pct() < 50.0);
+            assert!(o.daily_hos >= 2);
+        }
+    }
+
+    #[test]
+    fn observations_sorted_and_deterministic() {
+        let s = study();
+        let a = SectorDayFrame::build(&s);
+        let b = SectorDayFrame::build(&s);
+        assert_eq!(a.observations(), b.observations());
+        assert!(a
+            .observations()
+            .windows(2)
+            .all(|w| (w[0].sector.0, w[0].day) <= (w[1].sector.0, w[1].day)));
+    }
+}

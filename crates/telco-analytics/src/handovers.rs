@@ -1,0 +1,265 @@
+//! §5.2 — Horizontal vs vertical handovers: the Table 2 type × device-type
+//! breakdown, the Fig. 8 duration ECDFs, and the Fig. 9 per-district
+//! distribution of handover types.
+
+use serde::{Deserialize, Serialize};
+
+use telco_devices::types::DeviceType;
+use telco_geo::district::DistrictId;
+use telco_sim::StudyData;
+use telco_signaling::messages::HoType;
+use telco_stats::desc::{mean, std_dev};
+use telco_stats::ecdf::Ecdf;
+
+use crate::frame::Enriched;
+use crate::tables::{num, pct, TextTable};
+
+/// Table 2 — handover shares per type and device type, with daily
+/// variability (± std across study days).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HoTypeTable {
+    /// `share[device][ho_type]`: share of ALL handovers.
+    pub share: [[f64; 3]; 3],
+    /// Daily standard deviation of each share.
+    pub share_std: [[f64; 3]; 3],
+    /// Column totals per HO type.
+    pub type_totals: [f64; 3],
+    /// Row totals per device type.
+    pub device_totals: [f64; 3],
+}
+
+impl HoTypeTable {
+    /// Compute from a study.
+    pub fn compute(study: &StudyData) -> Self {
+        let enriched = Enriched::new(study);
+        let n_days = study.config.n_days.max(1) as usize;
+        // counts[day][device][type]
+        let mut counts = vec![[[0u64; 3]; 3]; n_days];
+        for r in study.output.dataset.records() {
+            let d = (r.day() as usize).min(n_days - 1);
+            counts[d][enriched.device_type(r).index()][r.ho_type().index()] += 1;
+        }
+        // Daily shares, then mean ± std across days.
+        let mut daily_shares: Vec<[[f64; 3]; 3]> = Vec::with_capacity(n_days);
+        for day in &counts {
+            let total: u64 = day.iter().flatten().sum();
+            if total == 0 {
+                continue;
+            }
+            let mut s = [[0.0; 3]; 3];
+            for dev in 0..3 {
+                for ty in 0..3 {
+                    s[dev][ty] = day[dev][ty] as f64 / total as f64;
+                }
+            }
+            daily_shares.push(s);
+        }
+        let mut share = [[0.0; 3]; 3];
+        let mut share_std = [[0.0; 3]; 3];
+        for dev in 0..3 {
+            for ty in 0..3 {
+                let series: Vec<f64> = daily_shares.iter().map(|s| s[dev][ty]).collect();
+                share[dev][ty] = mean(&series).unwrap_or(0.0);
+                share_std[dev][ty] = std_dev(&series).unwrap_or(0.0);
+            }
+        }
+        let mut type_totals = [0.0; 3];
+        let mut device_totals = [0.0; 3];
+        for dev in 0..3 {
+            for ty in 0..3 {
+                type_totals[ty] += share[dev][ty];
+                device_totals[dev] += share[dev][ty];
+            }
+        }
+        HoTypeTable { share, share_std, type_totals, device_totals }
+    }
+
+    /// Share of all handovers that are horizontal.
+    pub fn intra_share(&self) -> f64 {
+        self.type_totals[HoType::Intra4g5g.index()]
+    }
+
+    /// Render as the paper's Table 2.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Table 2: Handover shares per type and device type (% of all HOs)",
+            &["Device type", "Intra 4G/5G-NSA", "->3G", "->2G", "All"],
+        );
+        for dev in DeviceType::ALL {
+            let i = dev.index();
+            t.row(&[
+                dev.to_string(),
+                format!("{} ± {}", pct(self.share[i][0], 2), pct(self.share_std[i][0], 2)),
+                format!("{} ± {}", pct(self.share[i][1], 2), pct(self.share_std[i][1], 2)),
+                pct(self.share[i][2], 4),
+                pct(self.device_totals[i], 2),
+            ]);
+        }
+        t.row(&[
+            "All devices".to_string(),
+            pct(self.type_totals[0], 2),
+            pct(self.type_totals[1], 2),
+            pct(self.type_totals[2], 4),
+            "100%".to_string(),
+        ]);
+        t
+    }
+}
+
+/// Fig. 8 — signaling-duration ECDFs per handover type (successes only).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DurationAnalysis {
+    /// ECDF of intra 4G/5G-NSA durations.
+    pub intra: Ecdf,
+    /// ECDF of →3G durations.
+    pub to3g: Option<Ecdf>,
+    /// ECDF of →2G durations.
+    pub to2g: Option<Ecdf>,
+}
+
+impl DurationAnalysis {
+    /// Compute from a study.
+    pub fn compute(study: &StudyData) -> Self {
+        let mut per_type: [Vec<f64>; 3] = Default::default();
+        for r in study.output.dataset.records() {
+            if !r.is_failure() {
+                per_type[r.ho_type().index()].push(r.duration_ms as f64);
+            }
+        }
+        assert!(!per_type[0].is_empty(), "no successful intra handovers in trace");
+        DurationAnalysis {
+            intra: Ecdf::new(&per_type[0]),
+            to3g: (!per_type[1].is_empty()).then(|| Ecdf::new(&per_type[1])),
+            to2g: (!per_type[2].is_empty()).then(|| Ecdf::new(&per_type[2])),
+        }
+    }
+
+    /// Render median / p95 per type.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Fig 8: HO duration per type (ms)",
+            &["HO type", "median", "p95"],
+        );
+        t.row(&[
+            HoType::Intra4g5g.to_string(),
+            num(self.intra.median(), 0),
+            num(self.intra.quantile(0.95), 0),
+        ]);
+        if let Some(e) = &self.to3g {
+            t.row(&[HoType::To3g.to_string(), num(e.median(), 0), num(e.quantile(0.95), 0)]);
+        }
+        if let Some(e) = &self.to2g {
+            t.row(&[HoType::To2g.to_string(), num(e.median(), 0), num(e.quantile(0.95), 0)]);
+        }
+        t
+    }
+}
+
+/// Fig. 9 — distribution of handover-type shares across districts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistrictDistribution {
+    /// Per district: `(district, intra share, →3G share, →2G share)`.
+    pub per_district: Vec<(DistrictId, f64, f64, f64)>,
+    /// Maximum intra share across districts (paper: 99.92%).
+    pub max_intra_share: f64,
+    /// Mean →3G share among the 6% least densely populated districts
+    /// (paper: 26.5%).
+    pub least_dense_to3g_mean: f64,
+    /// Maximum →3G share across districts (paper: 58.1%).
+    pub max_to3g_share: f64,
+}
+
+impl DistrictDistribution {
+    /// Compute from a study.
+    pub fn compute(study: &StudyData) -> Self {
+        let n_d = study.world.country.districts().len();
+        let mut counts = vec![[0u64; 3]; n_d];
+        for r in study.output.dataset.records() {
+            let d = study.world.topology.sector_district(r.source_sector);
+            counts[d.0 as usize][r.ho_type().index()] += 1;
+        }
+        let per_district: Vec<(DistrictId, f64, f64, f64)> = study
+            .world
+            .country
+            .districts()
+            .iter()
+            .map(|d| {
+                let c = counts[d.id.0 as usize];
+                let total = (c[0] + c[1] + c[2]).max(1) as f64;
+                (d.id, c[0] as f64 / total, c[1] as f64 / total, c[2] as f64 / total)
+            })
+            .collect();
+        // The 6% least densely populated districts.
+        let least = study.world.census.least_dense(0.06);
+        let least_to3g: Vec<f64> = least
+            .iter()
+            .map(|row| per_district[row.district.0 as usize].2)
+            .collect();
+        DistrictDistribution {
+            max_intra_share: per_district.iter().map(|x| x.1).fold(0.0, f64::max),
+            least_dense_to3g_mean: mean(&least_to3g).unwrap_or(0.0),
+            max_to3g_share: per_district.iter().map(|x| x.2).fold(0.0, f64::max),
+            per_district,
+        }
+    }
+
+    /// Render summary.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Fig 9: HO types across districts",
+            &["Metric", "Value"],
+        );
+        t.row_strs(&["Max district intra share", &pct(self.max_intra_share, 2)]);
+        t.row_strs(&["Mean ->3G share, 6% least-dense districts", &pct(self.least_dense_to3g_mean, 1)]);
+        t.row_strs(&["Max district ->3G share", &pct(self.max_to3g_share, 1)]);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telco_sim::{run_study, SimConfig};
+
+    fn study() -> &'static StudyData {
+        static CELL: std::sync::OnceLock<StudyData> = std::sync::OnceLock::new();
+        CELL.get_or_init(|| {
+            let mut cfg = SimConfig::tiny();
+            cfg.n_ues = 800;
+            cfg.threads = 0;
+            run_study(cfg)
+        })
+    }
+
+    #[test]
+    fn type_table_shares_sum_to_one() {
+        let t = HoTypeTable::compute(study());
+        let total: f64 = t.type_totals.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "totals {total}");
+        assert!(t.intra_share() > 0.8);
+        // Smartphones dominate handovers.
+        assert!(t.device_totals[0] > 0.6);
+        assert_eq!(t.table().len(), 4);
+    }
+
+    #[test]
+    fn duration_ordering_matches_paper() {
+        let d = DurationAnalysis::compute(study());
+        let intra_med = d.intra.median();
+        assert!((20.0..90.0).contains(&intra_med), "intra median {intra_med}");
+        if let Some(e3) = &d.to3g {
+            assert!(e3.median() > 4.0 * intra_med, "3G must be ~10× slower");
+        }
+    }
+
+    #[test]
+    fn district_distribution_varies() {
+        let d = DistrictDistribution::compute(study());
+        assert!(d.max_intra_share > 0.9);
+        assert!(
+            d.least_dense_to3g_mean > d.per_district.iter().map(|x| x.2).sum::<f64>()
+                / d.per_district.len() as f64,
+            "least-dense districts must lean more on 3G"
+        );
+    }
+}

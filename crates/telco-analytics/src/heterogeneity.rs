@@ -1,0 +1,323 @@
+//! §4 — Exploring data heterogeneity: dataset statistics (Table 1), the
+//! deployment evolution and RAT usage (Fig. 3), and the device mix
+//! (Fig. 4).
+
+use serde::{Deserialize, Serialize};
+
+use telco_devices::types::{DeviceType, Manufacturer, RatSupport};
+use telco_sim::StudyData;
+use telco_topology::evolution::DeploymentHistory;
+use telco_topology::rat::Rat;
+use telco_trace::io::RECORD_BYTES;
+
+use crate::tables::{num, pct, TextTable};
+
+/// Table 1 — dataset statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Number of census districts.
+    pub districts: usize,
+    /// Cell sites deployed.
+    pub sites: usize,
+    /// Radio sectors deployed.
+    pub sectors: usize,
+    /// UEs measured.
+    pub ues: usize,
+    /// Mean handovers per day.
+    pub daily_hos: f64,
+    /// Measurement duration, days.
+    pub days: u32,
+    /// Daily trace size, bytes (binary encoding).
+    pub daily_trace_bytes: u64,
+}
+
+impl DatasetStats {
+    /// Compute from a study.
+    pub fn compute(study: &StudyData) -> Self {
+        DatasetStats {
+            districts: study.world.country.districts().len(),
+            sites: study.world.topology.sites().len(),
+            sectors: study.world.topology.sectors().len(),
+            ues: study.world.n_ues(),
+            daily_hos: study.output.dataset.daily_mean(),
+            days: study.config.n_days,
+            daily_trace_bytes: (study.output.dataset.daily_mean() * RECORD_BYTES as f64) as u64,
+        }
+    }
+
+    /// Render as the paper's Table 1.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new("Table 1: Dataset statistics", &["Feature", "Value"]);
+        t.row_strs(&["Area covered", &format!("Synthetic country ({} districts)", self.districts)]);
+        t.row_strs(&["# of cell sites", &self.sites.to_string()]);
+        t.row_strs(&["# of radio sectors", &self.sectors.to_string()]);
+        t.row_strs(&["# of UEs measured", &self.ues.to_string()]);
+        t.row_strs(&["# handovers (daily)", &format!("{:.0}", self.daily_hos)]);
+        t.row_strs(&["Measurement duration", &format!("{} days", self.days)]);
+        t.row_strs(&["Trace size (daily)", &format!("{} KiB", self.daily_trace_bytes / 1024)]);
+        t
+    }
+}
+
+/// Fig. 3a — deployment evolution series per RAT plus totals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeploymentEvolution {
+    /// The reconstructed history.
+    pub history: DeploymentHistory,
+    /// Share of 5G-NR sectors in the final year.
+    pub final_5g_share: f64,
+    /// Share of 4G sectors in the final year.
+    pub final_4g_share: f64,
+    /// Total-sector growth 2018 → 2023.
+    pub growth_2018_2023: f64,
+}
+
+impl DeploymentEvolution {
+    /// Compute from a study.
+    pub fn compute(study: &StudyData) -> Self {
+        let history = DeploymentHistory::reconstruct(&study.world.topology);
+        DeploymentEvolution {
+            final_5g_share: history.share(Rat::G5Nr, 2023),
+            final_4g_share: history.share(Rat::G4, 2023),
+            growth_2018_2023: history.growth(2018, 2023),
+            history,
+        }
+    }
+
+    /// Render the yearly series.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Fig 3a: Deployment evolution (sectors per RAT per year)",
+            &["Year", "2G", "3G", "4G", "5G-NR", "Total", "Sites"],
+        );
+        for (i, &year) in self.history.years.iter().enumerate() {
+            t.row(&[
+                year.to_string(),
+                num(self.history.per_rat[0][i], 0),
+                num(self.history.per_rat[1][i], 0),
+                num(self.history.per_rat[2][i], 0),
+                num(self.history.per_rat[3][i], 0),
+                num(self.history.total_sectors[i], 0),
+                num(self.history.total_sites[i], 0),
+            ]);
+        }
+        t
+    }
+}
+
+/// Fig. 3b — average daily RAT use (attach-time shares) and traffic split.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RatUsage {
+    /// Attach-time share per RAT (`Rat::index()` order).
+    pub time_shares: [f64; 4],
+    /// Combined 4G/5G-NSA time share.
+    pub epc_time_share: f64,
+    /// Uplink traffic share carried by 4G/5G-NSA.
+    pub epc_ul_share: f64,
+    /// Downlink traffic share carried by 4G/5G-NSA.
+    pub epc_dl_share: f64,
+}
+
+impl RatUsage {
+    /// Compute from a study.
+    pub fn compute(study: &StudyData) -> Self {
+        let ledger = &study.output.ledger;
+        let ul = ledger.ul_shares();
+        let dl = ledger.dl_shares();
+        RatUsage {
+            time_shares: ledger.time_shares(),
+            epc_time_share: ledger.epc_time_share(),
+            epc_ul_share: ul[Rat::G4.index()] + ul[Rat::G5Nr.index()],
+            epc_dl_share: dl[Rat::G4.index()] + dl[Rat::G5Nr.index()],
+        }
+    }
+
+    /// Render.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Fig 3b: Average daily RAT use & traffic",
+            &["Metric", "2G", "3G", "4G/5G-NSA"],
+        );
+        t.row(&[
+            "Attach-time share".to_string(),
+            pct(self.time_shares[0], 1),
+            pct(self.time_shares[1], 1),
+            pct(self.epc_time_share, 1),
+        ]);
+        t.row(&[
+            "UL traffic share".to_string(),
+            "-".to_string(),
+            pct(1.0 - self.epc_ul_share, 2),
+            pct(self.epc_ul_share, 2),
+        ]);
+        t.row(&[
+            "DL traffic share".to_string(),
+            "-".to_string(),
+            pct(1.0 - self.epc_dl_share, 2),
+            pct(self.epc_dl_share, 2),
+        ]);
+        t
+    }
+}
+
+/// Fig. 4 — device mix: manufacturer shares per device type and supported
+/// RAT shares.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceMix {
+    /// Share of each device type in the UE population.
+    pub type_shares: [f64; 3],
+    /// Top manufacturers per device type: `(manufacturer, share within
+    /// type)` sorted descending.
+    pub manufacturers: Vec<(DeviceType, Vec<(Manufacturer, f64)>)>,
+    /// Share of UEs per RAT-support ceiling (`RatSupport::ALL` order).
+    pub rat_support_shares: [f64; 4],
+    /// Share of smartphones that are 5G-capable.
+    pub smartphone_5g_share: f64,
+}
+
+impl DeviceMix {
+    /// Compute from the realized UE population.
+    pub fn compute(study: &StudyData) -> Self {
+        let n = study.world.n_ues() as f64;
+        let mut type_counts = [0usize; 3];
+        let mut rat_counts = [0usize; 4];
+        let mut by_type_mfr: Vec<std::collections::HashMap<Manufacturer, usize>> =
+            vec![Default::default(); 3];
+        let mut smart_5g = 0usize;
+        let mut smart_total = 0usize;
+        for attrs in &study.world.ues {
+            let ti = attrs.device_type.index();
+            type_counts[ti] += 1;
+            rat_counts[attrs.rat_support as usize] += 1;
+            *by_type_mfr[ti].entry(attrs.manufacturer).or_insert(0) += 1;
+            if attrs.device_type == DeviceType::Smartphone {
+                smart_total += 1;
+                if attrs.rat_support == RatSupport::UpTo5g {
+                    smart_5g += 1;
+                }
+            }
+        }
+        let manufacturers = DeviceType::ALL
+            .iter()
+            .map(|&ty| {
+                let mut v: Vec<(Manufacturer, f64)> = by_type_mfr[ty.index()]
+                    .iter()
+                    .map(|(&m, &c)| (m, c as f64 / type_counts[ty.index()].max(1) as f64))
+                    .collect();
+                v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite shares"));
+                (ty, v)
+            })
+            .collect();
+        DeviceMix {
+            type_shares: [
+                type_counts[0] as f64 / n,
+                type_counts[1] as f64 / n,
+                type_counts[2] as f64 / n,
+            ],
+            manufacturers,
+            rat_support_shares: [
+                rat_counts[0] as f64 / n,
+                rat_counts[1] as f64 / n,
+                rat_counts[2] as f64 / n,
+                rat_counts[3] as f64 / n,
+            ],
+            smartphone_5g_share: smart_5g as f64 / smart_total.max(1) as f64,
+        }
+    }
+
+    /// Share of UEs supporting at most 3G (the decommissioning headache).
+    pub fn at_most_3g_share(&self) -> f64 {
+        self.rat_support_shares[0] + self.rat_support_shares[1]
+    }
+
+    /// Render Fig. 4a.
+    pub fn table_manufacturers(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Fig 4a: Device types & top manufacturers",
+            &["Device type", "Pop. share", "Top manufacturers (share within type)"],
+        );
+        for (ty, mfrs) in &self.manufacturers {
+            let top: Vec<String> = mfrs
+                .iter()
+                .take(5)
+                .map(|(m, s)| format!("{m} {}", pct(*s, 1)))
+                .collect();
+            t.row(&[
+                ty.to_string(),
+                pct(self.type_shares[ty.index()], 1),
+                top.join(", "),
+            ]);
+        }
+        t
+    }
+
+    /// Render Fig. 4b.
+    pub fn table_rat_support(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Fig 4b: Supported RATs across UEs",
+            &["Ceiling", "Share of UEs"],
+        );
+        for rs in RatSupport::ALL {
+            t.row(&[rs.to_string(), pct(self.rat_support_shares[rs as usize], 1)]);
+        }
+        t.row(&["5G among smartphones".to_string(), pct(self.smartphone_5g_share, 1)]);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telco_sim::{run_study, SimConfig};
+
+    fn study() -> StudyData {
+        run_study(SimConfig::tiny())
+    }
+
+    #[test]
+    fn dataset_stats_consistent() {
+        let s = study();
+        let stats = DatasetStats::compute(&s);
+        assert_eq!(stats.ues, s.config.n_ues);
+        assert_eq!(stats.days, s.config.n_days);
+        assert!(stats.sectors > stats.sites);
+        assert!(stats.daily_hos > 0.0);
+        let rendered = stats.table().to_string();
+        assert!(rendered.contains("# of cell sites"));
+    }
+
+    #[test]
+    fn rat_usage_shares_sane() {
+        let s = study();
+        let usage = RatUsage::compute(&s);
+        let sum: f64 = usage.time_shares.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(usage.epc_time_share > 0.5);
+        assert!(usage.epc_ul_share > 0.8);
+        assert!(usage.epc_dl_share > usage.epc_ul_share, "DL more EPC-skewed than UL");
+    }
+
+    #[test]
+    fn device_mix_tracks_catalog() {
+        let s = study();
+        let mix = DeviceMix::compute(&s);
+        let sum: f64 = mix.type_shares.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        // Smartphones dominate; Apple leads smartphones.
+        assert!(mix.type_shares[0] > 0.45);
+        let (_, smart_mfrs) = &mix.manufacturers[0];
+        assert_eq!(smart_mfrs[0].0, Manufacturer::Apple);
+        assert!(mix.at_most_3g_share() > 0.2);
+        assert!(mix.smartphone_5g_share > 0.3 && mix.smartphone_5g_share < 0.7);
+    }
+
+    #[test]
+    fn evolution_reaches_snapshot() {
+        let s = study();
+        let evo = DeploymentEvolution::compute(&s);
+        assert!(evo.final_4g_share > 0.4);
+        assert!(evo.final_5g_share > 0.02);
+        assert!(evo.growth_2018_2023 > 0.0);
+        assert_eq!(evo.table().len(), evo.history.years.len());
+    }
+}

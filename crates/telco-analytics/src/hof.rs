@@ -1,0 +1,372 @@
+//! §6.1 / §6.2 — HOF patterns (Fig. 12) and the cause analysis
+//! (Figs. 14–15).
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use telco_devices::types::{DeviceType, Manufacturer};
+use telco_geo::postcode::AreaType;
+use telco_sim::StudyData;
+use telco_signaling::causes::{CauseCode, PrincipalCause};
+use telco_signaling::messages::HoType;
+use telco_stats::boxplot::BoxplotStats;
+use telco_stats::ecdf::Ecdf;
+
+use crate::frame::Enriched;
+use crate::tables::{num, pct, TextTable};
+
+/// Fig. 12 — hourly HOF counts, urban vs rural, normalized by the number
+/// of active sectors in each class.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HofPatterns {
+    /// Per hour (0..24): boxplot of daily normalized HOF counts, urban.
+    pub urban: Vec<Option<BoxplotStats>>,
+    /// Per hour: boxplot of daily normalized HOF counts, rural.
+    pub rural: Vec<Option<BoxplotStats>>,
+    /// Ratio of rural to urban median normalized HOFs during the morning
+    /// peak [7:00–8:00) (paper: rural is 32.4% higher).
+    pub rural_morning_excess: f64,
+}
+
+impl HofPatterns {
+    /// Compute from a study.
+    pub fn compute(study: &StudyData) -> Self {
+        let enriched = Enriched::new(study);
+        let n_days = study.config.n_days.max(1) as usize;
+        // Per (day, hour, area): HOF count and active-sector set.
+        let mut hofs = vec![[0u32; 2]; n_days * 24];
+        let mut active: Vec<[HashSet<u32>; 2]> = Vec::new();
+        active.resize_with(n_days * 24, Default::default);
+        for r in study.output.dataset.records() {
+            let idx = r.day() as usize * 24 + r.hour() as usize;
+            if idx >= hofs.len() {
+                continue;
+            }
+            let ai = enriched.area(r).index();
+            active[idx][ai].insert(r.source_sector.0);
+            if r.is_failure() {
+                hofs[idx][ai] += 1;
+            }
+        }
+        // Normalized per-day samples per hour.
+        let mut urban_samples: Vec<Vec<f64>> = vec![Vec::new(); 24];
+        let mut rural_samples: Vec<Vec<f64>> = vec![Vec::new(); 24];
+        for day in 0..n_days {
+            for hour in 0..24 {
+                let idx = day * 24 + hour;
+                for (ai, samples) in
+                    [(0, &mut urban_samples), (1, &mut rural_samples)]
+                {
+                    let n_active = active[idx][ai].len();
+                    if n_active > 0 {
+                        samples[hour].push(hofs[idx][ai] as f64 / n_active as f64);
+                    }
+                }
+            }
+        }
+        let median_at = |samples: &[Vec<f64>], hour: usize| -> f64 {
+            BoxplotStats::of(&samples[hour]).map_or(0.0, |b| b.median)
+        };
+        let urban_peak = median_at(&urban_samples, 7);
+        let rural_peak = median_at(&rural_samples, 7);
+        HofPatterns {
+            rural_morning_excess: if urban_peak > 0.0 {
+                rural_peak / urban_peak - 1.0
+            } else {
+                f64::INFINITY
+            },
+            urban: urban_samples.iter().map(|s| BoxplotStats::of(s)).collect(),
+            rural: rural_samples.iter().map(|s| BoxplotStats::of(s)).collect(),
+        }
+    }
+
+    /// Render per-hour medians.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Fig 12: HOFs per hour, normalized by active sectors",
+            &["Hour", "Urban median", "Rural median"],
+        );
+        for hour in 0..24 {
+            t.row(&[
+                format!("{hour:02}:00"),
+                self.urban[hour].as_ref().map_or("-".into(), |b| num(b.median, 4)),
+                self.rural[hour].as_ref().map_or("-".into(), |b| num(b.median, 4)),
+            ]);
+        }
+        t
+    }
+}
+
+/// Figs. 14–15 — the cause analysis: shares per cause, durations per
+/// cause, and the conditioned (stacked-bar) splits.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CauseAnalysis {
+    /// Share of total HOFs per principal cause (index = cause number − 1)
+    /// plus the long tail in slot 8 — mean over days.
+    pub shares: [f64; 9],
+    /// Daily min of each share.
+    pub shares_min: [f64; 9],
+    /// Daily max of each share.
+    pub shares_max: [f64; 9],
+    /// Share of all HOFs occurring on →3G handovers (paper: 75%).
+    pub to3g_failure_share: f64,
+    /// Share on →2G (paper: 0.03%).
+    pub to2g_failure_share: f64,
+    /// Distinct cause codes observed (paper collects 1k+).
+    pub distinct_causes: usize,
+    /// Duration ECDF per principal cause (None when unobserved).
+    pub durations: Vec<Option<Ecdf>>,
+    /// Cause shares conditioned on area type (`[area][cause]`).
+    pub by_area: [[f64; 9]; 2],
+    /// Cause shares conditioned on device type (`[device][cause]`).
+    pub by_device: [[f64; 9]; 3],
+    /// Cause shares for the top-5 smartphone manufacturers
+    /// (`[mfr index in TOP5][cause]`).
+    pub by_top5_manufacturer: Vec<(Manufacturer, [f64; 9])>,
+}
+
+fn cause_slot(cause: CauseCode) -> usize {
+    cause.as_principal().map_or(8, |p| p.index())
+}
+
+impl CauseAnalysis {
+    /// Compute from a study.
+    pub fn compute(study: &StudyData) -> Self {
+        let enriched = Enriched::new(study);
+        let n_days = study.config.n_days.max(1) as usize;
+        let mut daily = vec![[0u64; 9]; n_days];
+        let mut daily_total = vec![0u64; n_days];
+        let mut by_type = [0u64; 3];
+        let mut seen: HashSet<u16> = HashSet::new();
+        let mut durations: Vec<Vec<f64>> = vec![Vec::new(); 8];
+        let mut by_area = [[0u64; 9]; 2];
+        let mut by_device = [[0u64; 9]; 3];
+        let mut by_mfr: HashMap<Manufacturer, [u64; 9]> = HashMap::new();
+        let mut total_failures = 0u64;
+
+        for r in study.output.dataset.failures() {
+            let cause = r.cause.expect("failures carry a cause");
+            let slot = cause_slot(cause);
+            let day = (r.day() as usize).min(n_days - 1);
+            daily[day][slot] += 1;
+            daily_total[day] += 1;
+            by_type[r.ho_type().index()] += 1;
+            seen.insert(cause.0);
+            if slot < 8 {
+                durations[slot].push(r.duration_ms as f64);
+            }
+            by_area[enriched.area(r).index()][slot] += 1;
+            by_device[enriched.device_type(r).index()][slot] += 1;
+            let mfr = enriched.manufacturer(r);
+            if Manufacturer::TOP5_SMARTPHONE.contains(&mfr) {
+                by_mfr.entry(mfr).or_insert([0; 9])[slot] += 1;
+            }
+            total_failures += 1;
+        }
+
+        // Daily shares, then mean/min/max.
+        let mut shares = [0.0; 9];
+        let mut shares_min = [f64::INFINITY; 9];
+        let mut shares_max = [0.0f64; 9];
+        let mut active_days = 0usize;
+        for day in 0..n_days {
+            if daily_total[day] == 0 {
+                continue;
+            }
+            active_days += 1;
+            for c in 0..9 {
+                let s = daily[day][c] as f64 / daily_total[day] as f64;
+                shares[c] += s;
+                shares_min[c] = shares_min[c].min(s);
+                shares_max[c] = shares_max[c].max(s);
+            }
+        }
+        for c in 0..9 {
+            shares[c] /= active_days.max(1) as f64;
+            if !shares_min[c].is_finite() {
+                shares_min[c] = 0.0;
+            }
+        }
+
+        let normalize = |counts: [u64; 9]| -> [f64; 9] {
+            let t: u64 = counts.iter().sum();
+            let mut out = [0.0; 9];
+            if t > 0 {
+                for c in 0..9 {
+                    out[c] = counts[c] as f64 / t as f64;
+                }
+            }
+            out
+        };
+        let mut top5: Vec<(Manufacturer, [f64; 9])> = Manufacturer::TOP5_SMARTPHONE
+            .iter()
+            .filter_map(|m| by_mfr.get(m).map(|c| (*m, normalize(*c))))
+            .collect();
+        top5.sort_by_key(|(m, _)| m.index());
+
+        CauseAnalysis {
+            shares,
+            shares_min,
+            shares_max,
+            to3g_failure_share: by_type[HoType::To3g.index()] as f64
+                / total_failures.max(1) as f64,
+            to2g_failure_share: by_type[HoType::To2g.index()] as f64
+                / total_failures.max(1) as f64,
+            distinct_causes: seen.len(),
+            durations: durations
+                .into_iter()
+                .map(|v| (!v.is_empty()).then(|| Ecdf::new(&v)))
+                .collect(),
+            by_area: [normalize(by_area[0]), normalize(by_area[1])],
+            by_device: [
+                normalize(by_device[0]),
+                normalize(by_device[1]),
+                normalize(by_device[2]),
+            ],
+            by_top5_manufacturer: top5,
+        }
+    }
+
+    /// Combined share of the 8 principal causes (paper: 92%).
+    pub fn principal_share(&self) -> f64 {
+        self.shares[..8].iter().sum()
+    }
+
+    /// Render Fig. 14a.
+    pub fn table_shares(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Fig 14a: HOF cause shares (% of all HOFs)",
+            &["Cause", "mean", "min", "max"],
+        );
+        for c in PrincipalCause::ALL {
+            let i = c.index();
+            t.row(&[
+                format!("#{} {}", c.number(), c.description()),
+                pct(self.shares[i], 1),
+                pct(self.shares_min[i], 1),
+                pct(self.shares_max[i], 1),
+            ]);
+        }
+        t.row(&[
+            "Long tail (vendor sub-causes)".to_string(),
+            pct(self.shares[8], 1),
+            pct(self.shares_min[8], 1),
+            pct(self.shares_max[8], 1),
+        ]);
+        t
+    }
+
+    /// Render Fig. 14b.
+    pub fn table_durations(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Fig 14b: HO signaling time per failure cause (ms)",
+            &["Cause", "median", "p95"],
+        );
+        for c in PrincipalCause::ALL {
+            if let Some(e) = &self.durations[c.index()] {
+                t.row(&[
+                    format!("#{}", c.number()),
+                    num(e.median(), 0),
+                    num(e.quantile(0.95), 0),
+                ]);
+            }
+        }
+        t
+    }
+
+    /// Render Fig. 15 (conditioned stacked bars, as rows).
+    pub fn table_stacked(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Fig 15: Cause mix by area / device type / top-5 manufacturer",
+            &["Split", "#1", "#2", "#3", "#4", "#5", "#6", "#7", "#8", "tail"],
+        );
+        let mut push = |label: String, s: &[f64; 9]| {
+            let mut row = vec![label];
+            row.extend(s.iter().map(|&v| pct(v, 1)));
+            t.row(&row);
+        };
+        push("Urban".into(), &self.by_area[AreaType::Urban.index()]);
+        push("Rural".into(), &self.by_area[AreaType::Rural.index()]);
+        for d in DeviceType::ALL {
+            push(d.to_string(), &self.by_device[d.index()]);
+        }
+        for (m, s) in &self.by_top5_manufacturer {
+            push(m.to_string(), s);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telco_sim::{run_study, SimConfig};
+
+    fn study() -> &'static StudyData {
+        static CELL: std::sync::OnceLock<StudyData> = std::sync::OnceLock::new();
+        CELL.get_or_init(|| {
+            let mut cfg = SimConfig::tiny();
+            cfg.n_ues = 2_000;
+            cfg.n_days = 3;
+            cfg.threads = 0;
+            run_study(cfg)
+        })
+    }
+
+    #[test]
+    fn cause_shares_concentrate_in_principals() {
+        let c = CauseAnalysis::compute(study());
+        let total: f64 = c.shares.iter().sum();
+        assert!((total - 1.0).abs() < 0.05, "shares sum {total}");
+        assert!(
+            c.principal_share() > 0.8,
+            "principal causes carry {}",
+            c.principal_share()
+        );
+        assert!(c.distinct_causes > 8, "only {} distinct causes", c.distinct_causes);
+    }
+
+    #[test]
+    fn three_g_failures_dominate() {
+        let c = CauseAnalysis::compute(study());
+        assert!(
+            c.to3g_failure_share > 0.5,
+            "→3G failure share {}",
+            c.to3g_failure_share
+        );
+        assert!(c.to2g_failure_share < 0.05);
+    }
+
+    #[test]
+    fn cause_durations_ranked_like_fig14b() {
+        let c = CauseAnalysis::compute(study());
+        // #3 aborts before signaling: zero median when observed.
+        if let Some(e3) = &c.durations[PrincipalCause::InvalidTargetSector.index()] {
+            assert_eq!(e3.median(), 0.0);
+        }
+        // #8 sits at the relocation timer when observed.
+        if let Some(e8) = &c.durations[PrincipalCause::RelocationTimeout.index()] {
+            assert!(e8.median() > 9_000.0);
+        }
+    }
+
+    #[test]
+    fn hof_patterns_have_peaks() {
+        let h = HofPatterns::compute(study());
+        // Some daytime hour must carry more normalized HOFs than 03:00.
+        let night = h.urban[3].as_ref().map_or(0.0, |b| b.median);
+        let day_max = (7..20)
+            .filter_map(|hr| h.urban[hr].as_ref().map(|b| b.median))
+            .fold(0.0f64, f64::max);
+        assert!(day_max >= night, "daytime {day_max} vs night {night}");
+        assert!(h.table().len() == 24);
+    }
+
+    #[test]
+    fn stacked_table_renders_all_rows() {
+        let c = CauseAnalysis::compute(study());
+        let t = c.table_stacked();
+        assert!(t.len() >= 5, "expected at least area + device rows, got {}", t.len());
+    }
+}

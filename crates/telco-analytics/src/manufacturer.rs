@@ -1,0 +1,205 @@
+//! §5.3 — Manufacturer impact (Fig. 11): normalized district-level
+//! handovers and HOF rates per UE manufacturer.
+//!
+//! For a fair comparison across areas, the paper normalizes within each
+//! district: the average HOs per UE of a manufacturer divided by the
+//! average HOs per UE of *all* manufacturers in the same district (and the
+//! same for the HOF rate). Values above 1 mean the manufacturer's devices
+//! hand over (or fail) more than their district peers. District-
+//! manufacturer pairs with too few devices are excluded (paper: <1k
+//! devices; scaled here).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use telco_devices::types::Manufacturer;
+use telco_sim::StudyData;
+use telco_stats::boxplot::BoxplotStats;
+
+use crate::tables::{num, TextTable};
+
+/// Fig. 11 — normalized district-level HO and HOF-rate ratios per
+/// manufacturer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ManufacturerImpact {
+    /// Per manufacturer: boxplot of the normalized district-level HOs per
+    /// UE across districts.
+    pub ho_ratio: Vec<(Manufacturer, BoxplotStats)>,
+    /// Per manufacturer: boxplot of the normalized district-level HOF rate.
+    pub hof_ratio: Vec<(Manufacturer, BoxplotStats)>,
+    /// Minimum devices per (district, manufacturer) pair required.
+    pub min_devices: usize,
+}
+
+impl ManufacturerImpact {
+    /// Compute with a device-count threshold per district-manufacturer
+    /// pair (the paper uses 1k at 40M-UE scale; pick proportionally).
+    pub fn compute(study: &StudyData, min_devices: usize) -> Self {
+        let n_days = study.config.n_days.max(1) as f64;
+        // Per (district, manufacturer): UE set, HOs, HOFs.
+        #[derive(Default, Clone)]
+        struct Cell {
+            ues: std::collections::HashSet<u32>,
+            hos: u64,
+            hofs: u64,
+            device_type: usize,
+        }
+        let mut cells: HashMap<(u16, Manufacturer), Cell> = HashMap::new();
+        // Peers are the district's UEs *of the same device type*: comparing
+        // an M2M module maker against smartphones would only measure the
+        // device-type mix, not the manufacturer's implementation.
+        let mut district_totals: HashMap<(u16, usize), Cell> = HashMap::new();
+
+        // UE home district drives membership (devices are compared against
+        // the peers of the district they live in).
+        for (i, attrs) in study.world.ues.iter().enumerate() {
+            let district = study.world.country.postcode(attrs.home_postcode).district;
+            let cell = cells.entry((district.0, attrs.manufacturer)).or_default();
+            cell.ues.insert(i as u32);
+            cell.device_type = attrs.device_type.index();
+            district_totals
+                .entry((district.0, attrs.device_type.index()))
+                .or_default()
+                .ues
+                .insert(i as u32);
+        }
+        for r in study.output.dataset.records() {
+            let attrs = study.world.ue(r.ue);
+            let district = study.world.country.postcode(attrs.home_postcode).district;
+            let cell = cells.entry((district.0, attrs.manufacturer)).or_default();
+            cell.hos += 1;
+            cell.hofs += u64::from(r.is_failure());
+            let tot = district_totals
+                .entry((district.0, attrs.device_type.index()))
+                .or_default();
+            tot.hos += 1;
+            tot.hofs += u64::from(r.is_failure());
+        }
+
+        let mut ho_ratios: HashMap<Manufacturer, Vec<f64>> = HashMap::new();
+        let mut hof_ratios: HashMap<Manufacturer, Vec<f64>> = HashMap::new();
+        for ((district, mfr), cell) in &cells {
+            if cell.ues.len() < min_devices || cell.hos == 0 {
+                continue;
+            }
+            let Some(tot) = district_totals.get(&(*district, cell.device_type)) else {
+                continue;
+            };
+            if tot.hos == 0 || tot.ues.is_empty() {
+                continue;
+            }
+            let mfr_hos_per_ue = cell.hos as f64 / cell.ues.len() as f64 / n_days;
+            let all_hos_per_ue = tot.hos as f64 / tot.ues.len() as f64 / n_days;
+            ho_ratios.entry(*mfr).or_default().push(mfr_hos_per_ue / all_hos_per_ue);
+            let all_rate = tot.hofs as f64 / tot.hos as f64;
+            if all_rate > 0.0 {
+                let mfr_rate = cell.hofs as f64 / cell.hos as f64;
+                hof_ratios.entry(*mfr).or_default().push(mfr_rate / all_rate);
+            }
+        }
+
+        let collect = |map: HashMap<Manufacturer, Vec<f64>>| -> Vec<(Manufacturer, BoxplotStats)> {
+            let mut v: Vec<(Manufacturer, BoxplotStats)> = map
+                .into_iter()
+                .filter_map(|(m, xs)| BoxplotStats::of(&xs).map(|b| (m, b)))
+                .collect();
+            v.sort_by_key(|(m, _)| m.index());
+            v
+        };
+        ManufacturerImpact {
+            ho_ratio: collect(ho_ratios),
+            hof_ratio: collect(hof_ratios),
+            min_devices,
+        }
+    }
+
+    /// Median normalized HO ratio of a manufacturer, if observed.
+    pub fn median_ho_ratio(&self, mfr: Manufacturer) -> Option<f64> {
+        self.ho_ratio.iter().find(|(m, _)| *m == mfr).map(|(_, b)| b.median)
+    }
+
+    /// Median normalized HOF-rate ratio of a manufacturer, if observed.
+    pub fn median_hof_ratio(&self, mfr: Manufacturer) -> Option<f64> {
+        self.hof_ratio.iter().find(|(m, _)| *m == mfr).map(|(_, b)| b.median)
+    }
+
+    /// Render the top-5 smartphone brands plus the highest-HOF outliers.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Fig 11: Normalized district-level HOs & HOF rate per manufacturer",
+            &["Manufacturer", "HO ratio (median)", "HOF ratio (median)", "districts"],
+        );
+        for (mfr, b) in &self.ho_ratio {
+            let hof = self.median_hof_ratio(*mfr);
+            t.row(&[
+                mfr.to_string(),
+                num(b.median, 2),
+                hof.map_or("-".into(), |v| num(v, 2)),
+                b.n.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telco_sim::{run_study, SimConfig};
+
+    fn impact() -> &'static ManufacturerImpact {
+        static CELL: std::sync::OnceLock<ManufacturerImpact> = std::sync::OnceLock::new();
+        CELL.get_or_init(|| {
+            let mut cfg = SimConfig::tiny();
+            cfg.n_ues = 2500;
+            cfg.n_days = 3;
+            cfg.threads = 0;
+            ManufacturerImpact::compute(&run_study(cfg), 3)
+        })
+    }
+
+    #[test]
+    fn top_manufacturers_near_unity() {
+        let i = impact();
+        for mfr in [Manufacturer::Apple, Manufacturer::Samsung] {
+            if let Some(r) = i.median_ho_ratio(mfr) {
+                assert!(
+                    (0.6..1.6).contains(&r),
+                    "{mfr}: normalized HO ratio {r} far from 1"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simcom_generates_more_handovers() {
+        let i = impact();
+        if let (Some(simcom), Some(apple)) = (
+            i.median_ho_ratio(Manufacturer::Simcom),
+            i.median_ho_ratio(Manufacturer::Apple),
+        ) {
+            assert!(
+                simcom > 1.5 * apple,
+                "Simcom {simcom} should far exceed Apple {apple}"
+            );
+        }
+    }
+
+    #[test]
+    fn threshold_excludes_sparse_cells() {
+        let mut cfg = SimConfig::tiny();
+        cfg.n_ues = 600;
+        let s = run_study(cfg);
+        let strict = ManufacturerImpact::compute(&s, 50);
+        let loose = ManufacturerImpact::compute(&s, 1);
+        let strict_n: usize = strict.ho_ratio.iter().map(|(_, b)| b.n).sum();
+        let loose_n: usize = loose.ho_ratio.iter().map(|(_, b)| b.n).sum();
+        assert!(strict_n <= loose_n);
+    }
+
+    #[test]
+    fn table_renders() {
+        assert!(impact().table().to_string().contains("HOF ratio"));
+    }
+}

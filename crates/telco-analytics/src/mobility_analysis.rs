@@ -1,0 +1,244 @@
+//! §5.3 / §6.1 — Mobility across device types (Fig. 10) and the
+//! HOF-rate-vs-mobility relationship (Fig. 13).
+
+use serde::{Deserialize, Serialize};
+
+use telco_devices::types::DeviceType;
+use telco_sim::StudyData;
+use telco_stats::boxplot::BoxplotStats;
+use telco_stats::ecdf::Ecdf;
+use telco_stats::hist::{BinnedSamples, LogBins};
+
+use crate::tables::{num, TextTable};
+
+/// Fig. 10 — ECDFs of the §3.3 mobility metrics per device type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MobilityEcdfs {
+    /// Visited-sector ECDF per device type (`DeviceType::index()` order).
+    pub sectors: Vec<Option<Ecdf>>,
+    /// Radius-of-gyration ECDF per device type.
+    pub gyration: Vec<Option<Ecdf>>,
+}
+
+impl MobilityEcdfs {
+    /// Compute from the study's UE-day mobility ledger.
+    pub fn compute(study: &StudyData) -> Self {
+        let mut sectors: Vec<Vec<f64>> = vec![Vec::new(); 3];
+        let mut gyration: Vec<Vec<f64>> = vec![Vec::new(); 3];
+        for m in &study.output.mobility {
+            let ty = study.world.ue(m.ue).device_type.index();
+            sectors[ty].push(m.sectors as f64);
+            gyration[ty].push(m.gyration_km as f64);
+        }
+        MobilityEcdfs {
+            sectors: sectors
+                .into_iter()
+                .map(|v| (!v.is_empty()).then(|| Ecdf::new(&v)))
+                .collect(),
+            gyration: gyration
+                .into_iter()
+                .map(|v| (!v.is_empty()).then(|| Ecdf::new(&v)))
+                .collect(),
+        }
+    }
+
+    /// Median visited sectors for a device type.
+    pub fn median_sectors(&self, ty: DeviceType) -> Option<f64> {
+        self.sectors[ty.index()].as_ref().map(Ecdf::median)
+    }
+
+    /// Median gyration (km) for a device type.
+    pub fn median_gyration(&self, ty: DeviceType) -> Option<f64> {
+        self.gyration[ty.index()].as_ref().map(Ecdf::median)
+    }
+
+    /// Render medians and pct-95s.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Fig 10: Mobility metrics per device type",
+            &["Device type", "median sectors", "p95 sectors", "median gyr (km)", "p95 gyr (km)"],
+        );
+        for ty in DeviceType::ALL {
+            let s = self.sectors[ty.index()].as_ref();
+            let g = self.gyration[ty.index()].as_ref();
+            t.row(&[
+                ty.to_string(),
+                s.map_or("-".into(), |e| num(e.median(), 0)),
+                s.map_or("-".into(), |e| num(e.quantile(0.95), 0)),
+                g.map_or("-".into(), |e| num(e.median(), 2)),
+                g.map_or("-".into(), |e| num(e.quantile(0.95), 1)),
+            ]);
+        }
+        t
+    }
+}
+
+/// Fig. 13 — HOF rate against binned device-level mobility metrics, plus
+/// the ECDF of UEs across bins.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HofVsMobility {
+    /// Labels of the visited-sector bins.
+    pub sector_bin_labels: Vec<String>,
+    /// HOF-rate boxplot per visited-sector bin (`None` when empty).
+    pub by_sectors: Vec<Option<BoxplotStats>>,
+    /// UE-day counts per visited-sector bin.
+    pub sector_counts: Vec<usize>,
+    /// Labels of the gyration bins.
+    pub gyration_bin_labels: Vec<String>,
+    /// HOF-rate boxplot per gyration bin.
+    pub by_gyration: Vec<Option<BoxplotStats>>,
+    /// UE-day counts per gyration bin.
+    pub gyration_counts: Vec<usize>,
+}
+
+impl HofVsMobility {
+    /// Compute from the mobility ledger. HOF rates are daily per-UE rates
+    /// in percent.
+    pub fn compute(study: &StudyData) -> Self {
+        let sector_bins = LogBins::new(10.0, 0, 4, true); // 0 | 1..10^4
+        let gyration_bins = LogBins::new(10.0, -1, 3, true); // 0 | 0.1..10^3 km
+        let mut by_sectors = BinnedSamples::new(sector_bins.clone());
+        let mut by_gyration = BinnedSamples::new(gyration_bins.clone());
+        for m in &study.output.mobility {
+            let rate = 100.0 * m.hof_rate();
+            by_sectors.add(m.sectors as f64, rate);
+            by_gyration.add(m.gyration_km as f64, rate);
+        }
+        HofVsMobility {
+            sector_bin_labels: (0..sector_bins.n_bins()).map(|b| sector_bins.label(b)).collect(),
+            by_sectors: by_sectors.bin_samples().iter().map(|s| BoxplotStats::of(s)).collect(),
+            sector_counts: by_sectors.counts(),
+            gyration_bin_labels: (0..gyration_bins.n_bins())
+                .map(|b| gyration_bins.label(b))
+                .collect(),
+            by_gyration: by_gyration.bin_samples().iter().map(|s| BoxplotStats::of(s)).collect(),
+            gyration_counts: by_gyration.counts(),
+        }
+    }
+
+    /// Fraction of UE-days in visited-sector bins at or below `edge`.
+    pub fn share_below_sectors(&self, edge: f64) -> f64 {
+        let total: usize = self.sector_counts.iter().sum();
+        let mut acc = 0usize;
+        for (i, label) in self.sector_bin_labels.iter().enumerate() {
+            // Bin upper bound from the label ordering: bins are ascending.
+            let upper = match label.as_str() {
+                "0" => 0.0,
+                l if l.starts_with(">=") => f64::INFINITY,
+                l => l
+                    .trim_start_matches('[')
+                    .trim_end_matches(')')
+                    .split(',')
+                    .nth(1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(f64::INFINITY),
+            };
+            if upper <= edge {
+                acc += self.sector_counts[i];
+            }
+        }
+        acc as f64 / total.max(1) as f64
+    }
+
+    /// Render the per-bin medians and pct-75s.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Fig 13: HOF rate vs binned mobility metrics",
+            &["Metric", "Bin", "n", "median HOF%", "p75 HOF%"],
+        );
+        for (i, label) in self.sector_bin_labels.iter().enumerate() {
+            if let Some(b) = &self.by_sectors[i] {
+                t.row(&[
+                    "sectors".to_string(),
+                    label.clone(),
+                    self.sector_counts[i].to_string(),
+                    num(b.median, 3),
+                    num(b.q3, 3),
+                ]);
+            }
+        }
+        for (i, label) in self.gyration_bin_labels.iter().enumerate() {
+            if let Some(b) = &self.by_gyration[i] {
+                t.row(&[
+                    "gyration (km)".to_string(),
+                    label.clone(),
+                    self.gyration_counts[i].to_string(),
+                    num(b.median, 3),
+                    num(b.q3, 3),
+                ]);
+            }
+        }
+        t
+    }
+
+    /// The paper's headline: pct-75 of the HOF rate in the highest
+    /// populated mobility bins (devices visiting >100 sectors).
+    pub fn high_mobility_p75(&self) -> Option<f64> {
+        // Bins beyond 100 sectors: labels "[100,1000)" and ">=1000".
+        let mut samples = Vec::new();
+        for (i, label) in self.sector_bin_labels.iter().enumerate() {
+            if label == "[100,1000)" || label == "[1000,10000)" || label.starts_with(">=") {
+                if let Some(b) = &self.by_sectors[i] {
+                    samples.push(b.q3);
+                }
+            }
+        }
+        samples.into_iter().fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telco_sim::{run_study, SimConfig};
+
+    fn study() -> &'static StudyData {
+        static CELL: std::sync::OnceLock<StudyData> = std::sync::OnceLock::new();
+        CELL.get_or_init(|| {
+            let mut cfg = SimConfig::tiny();
+            cfg.n_ues = 900;
+            cfg.threads = 0;
+            run_study(cfg)
+        })
+    }
+
+    #[test]
+    fn smartphone_mobility_dominates() {
+        let s = study();
+        let m = MobilityEcdfs::compute(&s);
+        let smart = m.median_sectors(DeviceType::Smartphone).unwrap();
+        let m2m = m.median_sectors(DeviceType::M2mIot).unwrap();
+        assert!(smart > 2.0 * m2m, "smartphones {smart} vs M2M {m2m}");
+        assert!(m.median_gyration(DeviceType::M2mIot).unwrap() < 0.5);
+        assert!(m.median_gyration(DeviceType::Smartphone).unwrap() > 0.5);
+    }
+
+    #[test]
+    fn hof_vs_mobility_rises_with_sectors() {
+        let s = study();
+        let h = HofVsMobility::compute(&s);
+        // Low-mobility bins carry almost zero HOF; some high bins exist.
+        assert!(h.sector_counts.iter().sum::<usize>() > 0);
+        // The bin with 1..10 sectors should have near-zero median HOF rate.
+        let low_idx = h.sector_bin_labels.iter().position(|l| l == "[1,10)").unwrap();
+        if let Some(b) = &h.by_sectors[low_idx] {
+            assert!(b.median < 2.0, "low-mobility median HOF {}", b.median);
+        }
+    }
+
+    #[test]
+    fn share_below_counts_everything() {
+        let s = study();
+        let h = HofVsMobility::compute(&s);
+        let below_inf = h.share_below_sectors(f64::INFINITY);
+        assert!((below_inf - 1.0).abs() < 1e-9);
+        assert!(h.share_below_sectors(10.0) <= 1.0);
+    }
+
+    #[test]
+    fn tables_render() {
+        let s = study();
+        assert!(MobilityEcdfs::compute(&s).table().to_string().contains("median sectors"));
+        assert!(HofVsMobility::compute(&s).table().len() > 3);
+    }
+}

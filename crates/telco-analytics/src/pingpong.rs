@@ -1,0 +1,162 @@
+//! Ping-pong handover analysis.
+//!
+//! A ping-pong (PP) handover occurs when a UE is handed from a source to a
+//! target sector and back to the source within a short predefined window
+//! (§7, footnote 10 — the operator-side studies of Féher et al. and Zidic
+//! et al. that the paper positions itself against). PP HOs are wasted
+//! signaling; operators tune hysteresis and time-to-trigger to suppress
+//! them. This analysis measures their prevalence in a study trace.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use telco_devices::types::Manufacturer;
+use telco_sim::StudyData;
+
+use crate::frame::Enriched;
+use crate::tables::{num, pct, TextTable};
+
+/// The conventional PP detection window, ms (Zidic et al. use 5 s).
+pub const DEFAULT_WINDOW_MS: u64 = 5_000;
+
+/// Ping-pong statistics over a study trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PingPongAnalysis {
+    /// Detection window used, ms.
+    pub window_ms: u64,
+    /// Total handovers inspected.
+    pub total_hos: u64,
+    /// Handovers that complete a ping-pong pair (the "return leg").
+    pub pingpong_hos: u64,
+    /// PP rate among all handovers.
+    pub rate: f64,
+    /// PP rate per manufacturer, sorted by manufacturer index (only
+    /// manufacturers with ≥ 100 HOs).
+    pub by_manufacturer: Vec<(Manufacturer, f64)>,
+    /// Mean time between the out and return legs, ms.
+    pub mean_return_ms: f64,
+}
+
+impl PingPongAnalysis {
+    /// Detect ping-pongs with the default 5-second window.
+    pub fn compute(study: &StudyData) -> Self {
+        Self::compute_with_window(study, DEFAULT_WINDOW_MS)
+    }
+
+    /// Detect ping-pongs: for each UE, a handover A→B followed within the
+    /// window by B→A counts the return leg as a ping-pong.
+    pub fn compute_with_window(study: &StudyData, window_ms: u64) -> Self {
+        let enriched = Enriched::new(study);
+        // Last handover per UE: (timestamp, source, target).
+        let mut last: HashMap<u32, (u64, u32, u32)> = HashMap::new();
+        let mut total = 0u64;
+        let mut pingpong = 0u64;
+        let mut return_sum = 0.0f64;
+        let mut per_mfr: HashMap<Manufacturer, (u64, u64)> = HashMap::new();
+
+        // Records are timestamp-sorted by construction.
+        for r in study.output.dataset.records() {
+            total += 1;
+            let mfr = enriched.manufacturer(r);
+            let counts = per_mfr.entry(mfr).or_insert((0, 0));
+            counts.0 += 1;
+            if let Some(&(prev_ts, prev_src, prev_tgt)) = last.get(&r.ue.0) {
+                let is_return = r.source_sector.0 == prev_tgt
+                    && r.target_sector.0 == prev_src
+                    && r.timestamp_ms.saturating_sub(prev_ts) <= window_ms;
+                if is_return {
+                    pingpong += 1;
+                    counts.1 += 1;
+                    return_sum += (r.timestamp_ms - prev_ts) as f64;
+                }
+            }
+            last.insert(r.ue.0, (r.timestamp_ms, r.source_sector.0, r.target_sector.0));
+        }
+
+        let mut by_manufacturer: Vec<(Manufacturer, f64)> = per_mfr
+            .into_iter()
+            .filter(|(_, (n, _))| *n >= 100)
+            .map(|(m, (n, pp))| (m, pp as f64 / n as f64))
+            .collect();
+        by_manufacturer.sort_by_key(|(m, _)| m.index());
+
+        PingPongAnalysis {
+            window_ms,
+            total_hos: total,
+            pingpong_hos: pingpong,
+            rate: pingpong as f64 / total.max(1) as f64,
+            by_manufacturer,
+            mean_return_ms: if pingpong > 0 { return_sum / pingpong as f64 } else { 0.0 },
+        }
+    }
+
+    /// Render as a table.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            &format!("Ping-pong handovers (window {} ms)", self.window_ms),
+            &["Metric", "Value"],
+        );
+        t.row_strs(&["Total HOs", &self.total_hos.to_string()]);
+        t.row_strs(&["Ping-pong return legs", &self.pingpong_hos.to_string()]);
+        t.row_strs(&["PP rate", &pct(self.rate, 2)]);
+        t.row_strs(&["Mean return time (ms)", &num(self.mean_return_ms, 0)]);
+        for (m, r) in &self.by_manufacturer {
+            t.row(&[format!("PP rate: {m}"), pct(*r, 2)]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telco_sim::{run_study, SimConfig};
+
+    fn study() -> &'static StudyData {
+        static CELL: std::sync::OnceLock<StudyData> = std::sync::OnceLock::new();
+        CELL.get_or_init(|| {
+            let mut cfg = SimConfig::tiny();
+            cfg.n_ues = 1_500;
+            cfg.threads = 0;
+            run_study(cfg)
+        })
+    }
+
+    #[test]
+    fn pingpongs_exist_and_are_minority() {
+        let pp = PingPongAnalysis::compute(study());
+        assert!(pp.total_hos > 1_000);
+        assert!(pp.pingpong_hos > 0, "chatty manufacturers must produce ping-pongs");
+        assert!(pp.rate < 0.35, "PP rate {} implausibly high", pp.rate);
+        assert!(pp.mean_return_ms <= DEFAULT_WINDOW_MS as f64);
+    }
+
+    #[test]
+    fn window_zero_finds_only_instant_returns() {
+        let strict = PingPongAnalysis::compute_with_window(study(), 1);
+        let loose = PingPongAnalysis::compute_with_window(study(), 60_000);
+        assert!(strict.pingpong_hos <= loose.pingpong_hos);
+    }
+
+    #[test]
+    fn chatty_manufacturers_pingpong_more() {
+        let pp = PingPongAnalysis::compute(study());
+        let get = |m: Manufacturer| {
+            pp.by_manufacturer.iter().find(|(x, _)| *x == m).map(|(_, r)| *r)
+        };
+        if let (Some(simcom), Some(apple)) =
+            (get(Manufacturer::Simcom), get(Manufacturer::Apple))
+        {
+            assert!(
+                simcom > apple,
+                "Simcom PP rate {simcom} should exceed Apple's {apple}"
+            );
+        }
+    }
+
+    #[test]
+    fn table_renders() {
+        assert!(PingPongAnalysis::compute(study()).table().to_string().contains("PP rate"));
+    }
+}

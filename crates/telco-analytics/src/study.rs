@@ -1,0 +1,175 @@
+//! The `Study` orchestrator: run a simulation once, compute any of the
+//! paper's analyses on demand (caching the shared sector-day frame).
+
+use telco_sim::{run_study, SimConfig, StudyData};
+
+use crate::frame::SectorDayFrame;
+use crate::geodemo::{HoDensity, PopulationInference};
+use crate::handovers::{DistrictDistribution, DurationAnalysis, HoTypeTable};
+use crate::heterogeneity::{DatasetStats, DeploymentEvolution, DeviceMix, RatUsage};
+use crate::hof::{CauseAnalysis, HofPatterns};
+use crate::manufacturer::ManufacturerImpact;
+use crate::mobility_analysis::{HofVsMobility, MobilityEcdfs};
+use crate::modeling::{HofModels, ModelingOptions};
+use crate::timeseries::TemporalEvolution;
+use crate::vendor_analysis::VendorAnalysis;
+
+/// A completed study plus lazily computed analyses.
+pub struct Study {
+    data: StudyData,
+    frame: std::sync::OnceLock<SectorDayFrame>,
+    period_frame: std::sync::OnceLock<SectorDayFrame>,
+}
+
+impl Study {
+    /// Run a simulation and wrap it.
+    pub fn run(config: SimConfig) -> Self {
+        Self::from_data(run_study(config))
+    }
+
+    /// Wrap an existing study.
+    pub fn from_data(data: StudyData) -> Self {
+        Study {
+            data,
+            frame: std::sync::OnceLock::new(),
+            period_frame: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// The underlying simulation output.
+    pub fn data(&self) -> &StudyData {
+        &self.data
+    }
+
+    /// The sector-day frame (computed once).
+    pub fn frame(&self) -> &SectorDayFrame {
+        self.frame.get_or_init(|| SectorDayFrame::build(&self.data))
+    }
+
+    /// The full-period sector frame used by the regression models: one
+    /// observation per (sector, study period, HO type) — the
+    /// scale-equivalent of the paper's sector-day unit given ~3,000×
+    /// fewer UEs (see DESIGN.md).
+    pub fn period_frame(&self) -> &SectorDayFrame {
+        self.period_frame
+            .get_or_init(|| SectorDayFrame::build_windowed(&self.data, self.data.config.n_days))
+    }
+
+    /// Table 1 — dataset statistics.
+    pub fn dataset_stats(&self) -> DatasetStats {
+        DatasetStats::compute(&self.data)
+    }
+
+    /// Table 2 — HO type × device type shares.
+    pub fn ho_types(&self) -> HoTypeTable {
+        HoTypeTable::compute(&self.data)
+    }
+
+    /// Fig. 3a — deployment evolution.
+    pub fn deployment_evolution(&self) -> DeploymentEvolution {
+        DeploymentEvolution::compute(&self.data)
+    }
+
+    /// Fig. 3b — RAT usage and traffic shares.
+    pub fn rat_usage(&self) -> RatUsage {
+        RatUsage::compute(&self.data)
+    }
+
+    /// Fig. 4 — device mix.
+    pub fn device_mix(&self) -> DeviceMix {
+        DeviceMix::compute(&self.data)
+    }
+
+    /// Fig. 5 — population inference vs census.
+    pub fn population_inference(&self) -> PopulationInference {
+        PopulationInference::compute(&self.data, 14)
+    }
+
+    /// Fig. 6 — HO density vs population density.
+    pub fn ho_density(&self) -> HoDensity {
+        HoDensity::compute(&self.data)
+    }
+
+    /// Fig. 7 — temporal evolution.
+    pub fn temporal_evolution(&self) -> TemporalEvolution {
+        TemporalEvolution::compute(&self.data)
+    }
+
+    /// Fig. 8 — duration ECDFs.
+    pub fn durations(&self) -> DurationAnalysis {
+        DurationAnalysis::compute(&self.data)
+    }
+
+    /// Fig. 9 — district distribution of HO types.
+    pub fn district_distribution(&self) -> DistrictDistribution {
+        DistrictDistribution::compute(&self.data)
+    }
+
+    /// Fig. 10 — mobility ECDFs.
+    pub fn mobility(&self) -> MobilityEcdfs {
+        MobilityEcdfs::compute(&self.data)
+    }
+
+    /// Fig. 11 — manufacturer impact (device threshold scaled to the run).
+    pub fn manufacturer_impact(&self) -> ManufacturerImpact {
+        // The paper requires ≥1k devices per district-manufacturer pair at
+        // 40M-UE scale; scale proportionally with a floor of 3.
+        let min_devices = (self.data.config.n_ues / 40_000).max(3);
+        ManufacturerImpact::compute(&self.data, min_devices)
+    }
+
+    /// Fig. 12 — hourly HOF patterns.
+    pub fn hof_patterns(&self) -> HofPatterns {
+        HofPatterns::compute(&self.data)
+    }
+
+    /// Fig. 13 — HOF rate vs mobility.
+    pub fn hof_vs_mobility(&self) -> HofVsMobility {
+        HofVsMobility::compute(&self.data)
+    }
+
+    /// Figs. 14–15 — cause analysis.
+    pub fn causes(&self) -> CauseAnalysis {
+        CauseAnalysis::compute(&self.data)
+    }
+
+    /// Tables 4–9 + Fig. 16 — the §6.3 statistical models, computed on the
+    /// full-period frame so per-cell HOF rates are well resolved.
+    pub fn models(&self) -> HofModels {
+        HofModels::compute(self.period_frame(), ModelingOptions::default())
+    }
+
+    /// Figs. 17–18 — vendor analysis.
+    pub fn vendor_analysis(&self) -> VendorAnalysis {
+        VendorAnalysis::compute(&self.data, self.frame())
+    }
+
+    /// Ping-pong handover analysis (§7's operator-side PP-HO lens).
+    pub fn pingpong(&self) -> crate::pingpong::PingPongAnalysis {
+        crate::pingpong::PingPongAnalysis::compute(&self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn study_end_to_end_smoke() {
+        let mut cfg = SimConfig::tiny();
+        cfg.n_ues = 1_200;
+        cfg.n_days = 3;
+        let study = Study::run(cfg);
+        // Exercise the full API surface once.
+        assert!(study.dataset_stats().daily_hos > 0.0);
+        assert!(study.ho_types().intra_share() > 0.5);
+        assert!(study.rat_usage().epc_time_share > 0.5);
+        assert!(study.device_mix().type_shares[0] > 0.3);
+        assert!(study.ho_density().pearson > 0.0);
+        assert!(study.durations().intra.len() > 10);
+        assert!(study.causes().principal_share() > 0.5);
+        assert!(!study.frame().is_empty());
+        let models = study.models();
+        assert!(models.anova_ho_type.p_value < 0.05);
+    }
+}

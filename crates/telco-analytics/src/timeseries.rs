@@ -1,0 +1,274 @@
+//! §5.1 — Geo-temporal analysis (Fig. 7): weekly handover and
+//! active-sector curves at 30-minute granularity, split urban/rural and
+//! normalized by the period maximum (as the MNO's privacy rules require).
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use telco_geo::postcode::AreaType;
+use telco_mobility::schedule::DayOfWeek;
+use telco_sim::StudyData;
+use telco_stats::corr::pearson;
+
+use crate::frame::Enriched;
+use crate::tables::{num, TextTable};
+
+/// 30-minute slots per week.
+pub const SLOTS_PER_WEEK: usize = 48 * 7;
+
+/// One weekly curve: average, minimum and maximum across the study's weeks
+/// for each 30-minute slot of the week.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeeklyCurve {
+    /// Mean value per slot of week.
+    pub mean: Vec<f64>,
+    /// Minimum across weeks.
+    pub min: Vec<f64>,
+    /// Maximum across weeks.
+    pub max: Vec<f64>,
+}
+
+impl WeeklyCurve {
+    fn from_weeks(weeks: &[Vec<f64>]) -> Self {
+        let n = SLOTS_PER_WEEK;
+        let mut mean = vec![0.0; n];
+        let mut min = vec![f64::INFINITY; n];
+        let mut max = vec![0.0f64; n];
+        for week in weeks {
+            for (i, &v) in week.iter().enumerate() {
+                mean[i] += v;
+                min[i] = min[i].min(v);
+                max[i] = max[i].max(v);
+            }
+        }
+        let k = weeks.len().max(1) as f64;
+        for v in &mut mean {
+            *v /= k;
+        }
+        for v in &mut min {
+            if !v.is_finite() {
+                *v = 0.0;
+            }
+        }
+        WeeklyCurve { mean, min, max }
+    }
+
+    /// Normalize all three series by the global maximum of `mean`.
+    fn normalize(&mut self) {
+        let peak = self.mean.iter().copied().fold(0.0f64, f64::max).max(1e-9);
+        for series in [&mut self.mean, &mut self.min, &mut self.max] {
+            for v in series.iter_mut() {
+                *v /= peak;
+            }
+        }
+    }
+
+    /// Value at `(day-of-week, slot-of-day)`.
+    pub fn at(&self, day: DayOfWeek, slot: usize) -> f64 {
+        self.mean[day.index() * 48 + slot]
+    }
+
+    /// The slot-of-week index with maximum mean.
+    pub fn peak_slot(&self) -> usize {
+        (0..SLOTS_PER_WEEK)
+            .max_by(|&a, &b| self.mean[a].partial_cmp(&self.mean[b]).expect("finite"))
+            .expect("nonempty")
+    }
+}
+
+/// Fig. 7 — temporal evolution of HOs (top) and active sectors (bottom),
+/// urban and rural.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TemporalEvolution {
+    /// Normalized HO counts, urban.
+    pub hos_urban: WeeklyCurve,
+    /// Normalized HO counts, rural.
+    pub hos_rural: WeeklyCurve,
+    /// Normalized active-sector counts, urban.
+    pub active_urban: WeeklyCurve,
+    /// Normalized active-sector counts, rural.
+    pub active_rural: WeeklyCurve,
+    /// Share of all HOs occurring in urban areas (paper: 78%).
+    pub urban_ho_share: f64,
+    /// Pearson correlation between HO counts and active sectors (paper:
+    /// 0.9).
+    pub ho_active_correlation: f64,
+    /// Sunday-vs-Friday peak drop (paper: ≈33%).
+    pub sunday_vs_friday_drop: f64,
+    /// Ratio of the 8:00 weekday level to the 6:00 level (paper: ×3).
+    pub morning_surge: f64,
+}
+
+impl TemporalEvolution {
+    /// Compute from a study. Postcodes lacking reliable census data are
+    /// dropped, as in the paper (§5.1 footnote).
+    pub fn compute(study: &StudyData) -> Self {
+        let enriched = Enriched::new(study);
+        let n_weeks = study.config.n_days.div_ceil(7).max(1) as usize;
+        let mut ho_weeks = [vec![vec![0.0; SLOTS_PER_WEEK]; n_weeks], vec![
+            vec![0.0; SLOTS_PER_WEEK];
+            n_weeks
+        ]];
+        // Active sectors: distinct sectors with ≥1 HO per slot.
+        let mut active: Vec<[HashSet<u32>; 2]> = Vec::new();
+        active.resize_with(n_weeks * SLOTS_PER_WEEK, Default::default);
+
+        let mut urban_total = 0u64;
+        let mut total = 0u64;
+        for r in study.output.dataset.records() {
+            let pc_id = study.world.topology.sector_postcode(r.source_sector);
+            let pc = study.world.country.postcode(pc_id);
+            if !pc.census_reliable {
+                continue;
+            }
+            let area = enriched.area(r);
+            let week = (r.day() / 7) as usize;
+            if week >= n_weeks {
+                continue;
+            }
+            let slot_of_week = (r.day() % 7) as usize * 48 + r.slot() as usize;
+            let ai = area.index().min(1);
+            ho_weeks[ai][week][slot_of_week] += 1.0;
+            active[week * SLOTS_PER_WEEK + slot_of_week][ai].insert(r.source_sector.0);
+            total += 1;
+            if area == AreaType::Urban {
+                urban_total += 1;
+            }
+        }
+
+        let active_weeks: [Vec<Vec<f64>>; 2] = [0, 1].map(|ai| {
+            (0..n_weeks)
+                .map(|w| {
+                    (0..SLOTS_PER_WEEK)
+                        .map(|s| active[w * SLOTS_PER_WEEK + s][ai].len() as f64)
+                        .collect()
+                })
+                .collect()
+        });
+
+        let mut hos_urban = WeeklyCurve::from_weeks(&ho_weeks[0]);
+        let mut hos_rural = WeeklyCurve::from_weeks(&ho_weeks[1]);
+        let mut active_urban = WeeklyCurve::from_weeks(&active_weeks[0]);
+        let mut active_rural = WeeklyCurve::from_weeks(&active_weeks[1]);
+
+        // Correlation before normalization (it is scale-free anyway).
+        let combined_hos: Vec<f64> = (0..SLOTS_PER_WEEK)
+            .map(|i| hos_urban.mean[i] + hos_rural.mean[i])
+            .collect();
+        let combined_active: Vec<f64> = (0..SLOTS_PER_WEEK)
+            .map(|i| active_urban.mean[i] + active_rural.mean[i])
+            .collect();
+        let correlation = pearson(&combined_hos, &combined_active).unwrap_or(0.0);
+
+        let peak_of_day = |day: DayOfWeek| -> f64 {
+            (0..48)
+                .map(|s| combined_hos[day.index() * 48 + s])
+                .fold(0.0f64, f64::max)
+        };
+        let friday = peak_of_day(DayOfWeek::Friday);
+        let sunday = peak_of_day(DayOfWeek::Sunday);
+        // Average weekday 6:00 vs 8:00 levels.
+        let weekday_level = |slot: usize| -> f64 {
+            (0..5).map(|d| combined_hos[d * 48 + slot]).sum::<f64>() / 5.0
+        };
+        let morning_surge = weekday_level(16) / weekday_level(12).max(1e-9);
+
+        hos_urban.normalize();
+        hos_rural.normalize();
+        active_urban.normalize();
+        active_rural.normalize();
+
+        TemporalEvolution {
+            hos_urban,
+            hos_rural,
+            active_urban,
+            active_rural,
+            urban_ho_share: urban_total as f64 / total.max(1) as f64,
+            ho_active_correlation: correlation,
+            sunday_vs_friday_drop: 1.0 - sunday / friday.max(1e-9),
+            morning_surge,
+        }
+    }
+
+    /// Render the summary statistics (the curves themselves are series).
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Fig 7: Temporal evolution of HOs & active sectors",
+            &["Metric", "Value"],
+        );
+        t.row_strs(&["Urban share of HOs", &num(100.0 * self.urban_ho_share, 1)]);
+        t.row_strs(&["Pearson(HOs, active sectors)", &num(self.ho_active_correlation, 3)]);
+        t.row_strs(&["Sunday vs Friday peak drop", &num(100.0 * self.sunday_vs_friday_drop, 1)]);
+        t.row_strs(&["Morning surge 6:00→8:00 (×)", &num(self.morning_surge, 2)]);
+        let peak = self.hos_urban.peak_slot();
+        t.row_strs(&[
+            "Urban peak (day, slot)",
+            &format!("{} {:02}:{:02}", DayOfWeek::ALL[peak / 48], (peak % 48) / 2, (peak % 2) * 30),
+        ]);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telco_sim::{run_study, SimConfig};
+
+    fn evolution() -> TemporalEvolution {
+        // A one-week study so every day of week is populated.
+        let mut cfg = SimConfig::tiny();
+        cfg.n_ues = 600;
+        cfg.n_days = 7;
+        TemporalEvolution::compute(&run_study(cfg))
+    }
+
+    #[test]
+    fn urban_dominates_handovers() {
+        let e = evolution();
+        assert!(
+            e.urban_ho_share > 0.55,
+            "urban HO share {} too low",
+            e.urban_ho_share
+        );
+    }
+
+    #[test]
+    fn hos_and_active_sectors_correlate() {
+        let e = evolution();
+        assert!(e.ho_active_correlation > 0.6, "corr {}", e.ho_active_correlation);
+    }
+
+    #[test]
+    fn weekday_peak_in_business_hours() {
+        let e = evolution();
+        let peak = e.hos_urban.peak_slot();
+        let day = peak / 48;
+        let slot = peak % 48;
+        assert!(day < 5, "peak on a weekend day {day}");
+        assert!((12..36).contains(&slot), "peak slot {slot} outside daytime");
+    }
+
+    #[test]
+    fn sunday_quieter_than_friday() {
+        let e = evolution();
+        assert!(
+            e.sunday_vs_friday_drop > 0.1,
+            "Sunday drop {}",
+            e.sunday_vs_friday_drop
+        );
+    }
+
+    #[test]
+    fn morning_surge_exists() {
+        let e = evolution();
+        assert!(e.morning_surge > 1.5, "surge ×{}", e.morning_surge);
+    }
+
+    #[test]
+    fn curves_normalized_to_unit_peak() {
+        let e = evolution();
+        let m = e.hos_urban.mean.iter().copied().fold(0.0f64, f64::max);
+        assert!((m - 1.0).abs() < 1e-9);
+    }
+}

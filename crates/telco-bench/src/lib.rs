@@ -1,0 +1,34 @@
+//! # telco-bench
+//!
+//! Shared fixtures for the Criterion benchmark harness. The benches
+//! regenerate every table and figure of the paper against a pre-simulated
+//! study (`benches/experiments.rs`) and measure the hot kernels of the
+//! pipeline (`benches/kernels.rs`).
+
+#![warn(missing_docs)]
+
+use std::sync::OnceLock;
+
+use telco_analytics::Study;
+use telco_sim::SimConfig;
+
+/// The benchmark study: a one-week, 2k-UE run shared by every benchmark
+/// (simulated once per process).
+pub fn bench_study() -> &'static Study {
+    static CELL: OnceLock<Study> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let mut cfg = SimConfig::tiny();
+        cfg.n_ues = 2_000;
+        cfg.n_days = 7;
+        cfg.threads = 0;
+        Study::run(cfg)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fixture_builds() {
+        assert!(super::bench_study().data().output.dataset.len() > 1000);
+    }
+}

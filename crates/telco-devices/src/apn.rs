@@ -1,0 +1,106 @@
+//! Access Point Names and the M2M/IoT classification heuristic.
+//!
+//! The paper classifies devices by combining GSMA catalog attributes with
+//! the APN configured for the UE: APNs containing keywords associated with
+//! IoT verticals ("m2m", "smart-meter", …) flag M2M/IoT devices (§3.1,
+//! citing the methodology of Lutu et al., IMC '20).
+
+use serde::{Deserialize, Serialize};
+
+/// An Access Point Name string.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Apn(pub String);
+
+impl Apn {
+    /// Construct from any string-like value, lowercasing for matching.
+    pub fn new(s: impl Into<String>) -> Self {
+        Apn(s.into().to_ascii_lowercase())
+    }
+
+    /// Whether the APN matches an IoT-vertical keyword.
+    pub fn is_iot_vertical(&self) -> bool {
+        IOT_KEYWORDS.iter().any(|k| self.0.contains(k))
+    }
+}
+
+impl std::fmt::Display for Apn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Keywords associated with IoT verticals in operator APN plans.
+pub const IOT_KEYWORDS: [&str; 10] = [
+    "m2m",
+    "smart-meter",
+    "smartmeter",
+    "iot",
+    "telemetry",
+    "telematics",
+    "fleet",
+    "tracker",
+    "scada",
+    "vending",
+];
+
+/// Consumer-plan APNs used for non-IoT devices in the synthetic catalog.
+pub const CONSUMER_APNS: [&str; 4] = ["internet", "mobile.data", "broadband", "wap"];
+
+/// IoT-vertical APNs used for M2M models in the synthetic catalog.
+pub const IOT_APNS: [&str; 6] = [
+    "m2m.corp",
+    "smart-meter.energy",
+    "iot.secure",
+    "telemetry.grid",
+    "fleet.trackers",
+    "vending.pay",
+];
+
+/// Classification outcome of the combined APN + catalog heuristic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ApnClass {
+    /// APN indicates an IoT vertical.
+    IotVertical,
+    /// APN is a consumer data plan.
+    Consumer,
+}
+
+/// Classify an APN.
+pub fn classify_apn(apn: &Apn) -> ApnClass {
+    if apn.is_iot_vertical() {
+        ApnClass::IotVertical
+    } else {
+        ApnClass::Consumer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iot_keywords_match() {
+        assert!(Apn::new("m2m.corp").is_iot_vertical());
+        assert!(Apn::new("SMART-METER.energy").is_iot_vertical());
+        assert!(Apn::new("eu.telemetry.grid").is_iot_vertical());
+    }
+
+    #[test]
+    fn consumer_apns_do_not_match() {
+        for apn in CONSUMER_APNS {
+            assert!(!Apn::new(apn).is_iot_vertical(), "{apn} wrongly IoT");
+        }
+    }
+
+    #[test]
+    fn all_iot_apns_classify_as_iot() {
+        for apn in IOT_APNS {
+            assert_eq!(classify_apn(&Apn::new(apn)), ApnClass::IotVertical);
+        }
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert!(Apn::new("M2M.CORP").is_iot_vertical());
+    }
+}

@@ -1,0 +1,337 @@
+//! The GSMA-style device catalog and its synthetic generator.
+//!
+//! The paper joins the trace's TACs against a commercial GSMA database to
+//! obtain manufacturer, device type and supported RATs (§3.1). That catalog
+//! is proprietary, so we generate one whose *marginals* match everything
+//! Fig. 4 publishes:
+//!
+//! * device types: smartphones 59.1%, M2M/IoT 39.8%, feature phones 1.1%;
+//! * smartphone manufacturers: Apple 54.8%, Samsung 30.2%, then Motorola,
+//!   Google, Huawei, a KVD-like outlier brand and a long tail;
+//! * M2M/IoT manufacturers diversified (top-5 < 73% — Fig. 4a);
+//! * RAT support: 12.6% of all UEs 2G-only, 20.1% up to 3G, 67.2% 4G/5G;
+//!   >80% of M2M and >50% of feature phones at most 3G; smartphones split
+//!   > 51.4% up-to-4G / 48.5% 5G-capable.
+
+use std::collections::HashMap;
+
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::apn::{Apn, CONSUMER_APNS, IOT_APNS};
+use crate::ids::Tac;
+use crate::types::{DeviceType, Manufacturer, RatSupport};
+
+/// One catalog entry: a device model identified by its TAC.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceModel {
+    /// Type allocation code.
+    pub tac: Tac,
+    /// Marketing name, e.g. `"Apple model 12"`.
+    pub marketing_name: String,
+    /// Manufacturer.
+    pub manufacturer: Manufacturer,
+    /// Ground-truth device class.
+    pub device_type: DeviceType,
+    /// Supported radio generations.
+    pub rat_support: RatSupport,
+    /// Typical APN provisioned for units of this model.
+    pub apn: Apn,
+    /// Whether the model runs a smartphone-class OS.
+    pub smart_os: bool,
+    /// Whether the model is an embedded module (modem/meter form factor).
+    pub is_module: bool,
+    /// Relative share of the UE population using this model.
+    pub population_weight: f64,
+}
+
+/// Share tables the generator is calibrated to; exposed so tests and
+/// experiments can assert against the same constants.
+pub mod shares {
+    use crate::types::{DeviceType, Manufacturer, RatSupport};
+
+    /// Device-type shares of the UE population (§4.2).
+    pub const DEVICE_TYPE: [(DeviceType, f64); 3] = [
+        (DeviceType::Smartphone, 0.591),
+        (DeviceType::M2mIot, 0.398),
+        (DeviceType::FeaturePhone, 0.011),
+    ];
+
+    /// Manufacturer shares within each device type (Fig. 4a).
+    pub fn manufacturers(ty: DeviceType) -> &'static [(Manufacturer, f64)] {
+        match ty {
+            DeviceType::Smartphone => &[
+                (Manufacturer::Apple, 0.548),
+                (Manufacturer::Samsung, 0.302),
+                (Manufacturer::Motorola, 0.045),
+                (Manufacturer::Google, 0.032),
+                (Manufacturer::Huawei, 0.028),
+                (Manufacturer::Kvd, 0.010),
+                (Manufacturer::OtherSmartphone, 0.035),
+            ],
+            DeviceType::M2mIot => &[
+                (Manufacturer::Simcom, 0.18),
+                (Manufacturer::Quectel, 0.16),
+                (Manufacturer::Telit, 0.14),
+                (Manufacturer::SierraWireless, 0.13),
+                (Manufacturer::Fibocom, 0.12),
+                (Manufacturer::OtherM2m, 0.27),
+            ],
+            DeviceType::FeaturePhone => &[
+                (Manufacturer::Hmd, 0.35),
+                (Manufacturer::Nokia, 0.25),
+                (Manufacturer::Alcatel, 0.18),
+                (Manufacturer::Doro, 0.12),
+                (Manufacturer::OtherFeature, 0.10),
+            ],
+        }
+    }
+
+    /// RAT-support distribution within each device type (Fig. 4b): the
+    /// probabilities of UpTo2g / UpTo3g / UpTo4g / UpTo5g respectively.
+    pub fn rat_support(ty: DeviceType) -> [(RatSupport, f64); 4] {
+        let p = match ty {
+            DeviceType::Smartphone => [0.0, 0.001, 0.514, 0.485],
+            DeviceType::M2mIot => [0.30, 0.52, 0.13, 0.05],
+            DeviceType::FeaturePhone => [0.25, 0.30, 0.44, 0.01],
+        };
+        [
+            (RatSupport::UpTo2g, p[0]),
+            (RatSupport::UpTo3g, p[1]),
+            (RatSupport::UpTo4g, p[2]),
+            (RatSupport::UpTo5g, p[3]),
+        ]
+    }
+}
+
+/// Configuration of the synthetic catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CatalogConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of distinct models generated per (type, manufacturer, RAT)
+    /// cell with nonzero share.
+    pub models_per_cell: usize,
+}
+
+impl Default for CatalogConfig {
+    fn default() -> Self {
+        CatalogConfig { seed: 0x6e7a, models_per_cell: 3 }
+    }
+}
+
+/// The device catalog: models indexed by TAC.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GsmaCatalog {
+    models: Vec<DeviceModel>,
+    #[serde(skip)]
+    by_tac: HashMap<Tac, usize>,
+}
+
+impl GsmaCatalog {
+    /// Generate the synthetic catalog.
+    pub fn generate(config: CatalogConfig) -> Self {
+        assert!(config.models_per_cell >= 1, "need at least one model per cell");
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let mut models = Vec::new();
+        let mut next_tac: u32 = 35_000_000;
+        for &(ty, ty_share) in &shares::DEVICE_TYPE {
+            for &(mfr, mfr_share) in shares::manufacturers(ty) {
+                for (rat, rat_share) in shares::rat_support(ty) {
+                    if rat_share <= 0.0 {
+                        continue;
+                    }
+                    let cell_weight = ty_share * mfr_share * rat_share;
+                    // Split the cell across a few models with jittered
+                    // weights (a realistic catalog has many near-duplicate
+                    // TACs per commercial model family).
+                    let mut jitters: Vec<f64> =
+                        (0..config.models_per_cell).map(|_| rng.random_range(0.3..1.0f64)).collect();
+                    let jsum: f64 = jitters.iter().sum();
+                    for j in &mut jitters {
+                        *j /= jsum;
+                    }
+                    for (k, &j) in jitters.iter().enumerate() {
+                        let apn = if ty == DeviceType::M2mIot {
+                            // Most M2M models ship IoT-vertical APNs; some use
+                            // consumer plans, exercising the combined
+                            // APN + catalog heuristic.
+                            if rng.random::<f64>() < 0.85 {
+                                Apn::new(IOT_APNS[models.len() % IOT_APNS.len()])
+                            } else {
+                                Apn::new(CONSUMER_APNS[models.len() % CONSUMER_APNS.len()])
+                            }
+                        } else {
+                            Apn::new(CONSUMER_APNS[models.len() % CONSUMER_APNS.len()])
+                        };
+                        models.push(DeviceModel {
+                            tac: Tac::new(next_tac),
+                            marketing_name: format!(
+                                "{} {} {}{}",
+                                mfr.name(),
+                                rat.label(),
+                                match ty {
+                                    DeviceType::Smartphone => "Phone",
+                                    DeviceType::M2mIot => "Module",
+                                    DeviceType::FeaturePhone => "Classic",
+                                },
+                                k + 1
+                            ),
+                            manufacturer: mfr,
+                            device_type: ty,
+                            rat_support: rat,
+                            apn,
+                            smart_os: ty == DeviceType::Smartphone,
+                            is_module: ty == DeviceType::M2mIot && rng.random::<f64>() < 0.9,
+                            population_weight: cell_weight * j,
+                        });
+                        next_tac += 17; // arbitrary stride, keeps TACs sparse
+                    }
+                }
+            }
+        }
+        let by_tac = models.iter().enumerate().map(|(i, m)| (m.tac, i)).collect();
+        GsmaCatalog { models, by_tac }
+    }
+
+    /// All models.
+    pub fn models(&self) -> &[DeviceModel] {
+        &self.models
+    }
+
+    /// Look up a model by TAC.
+    pub fn by_tac(&self, tac: Tac) -> Option<&DeviceModel> {
+        self.by_tac.get(&tac).map(|&i| &self.models[i])
+    }
+
+    /// Model at a dense index (as stored in UE rosters).
+    pub fn model(&self, idx: usize) -> &DeviceModel {
+        &self.models[idx]
+    }
+
+    /// Number of models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Rebuild the TAC index (needed after deserialization).
+    pub fn rebuild_index(&mut self) {
+        self.by_tac = self.models.iter().enumerate().map(|(i, m)| (m.tac, i)).collect();
+    }
+}
+
+/// The study's device-classification heuristic (§3.1): combine the APN with
+/// catalog attributes. IoT-vertical APNs or module form factors flag
+/// M2M/IoT; a smartphone OS flags a smartphone; everything else is a
+/// feature phone.
+pub fn classify_device(apn: &Apn, smart_os: bool, is_module: bool) -> DeviceType {
+    if apn.is_iot_vertical() || is_module {
+        DeviceType::M2mIot
+    } else if smart_os {
+        DeviceType::Smartphone
+    } else {
+        DeviceType::FeaturePhone
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> GsmaCatalog {
+        GsmaCatalog::generate(CatalogConfig::default())
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = catalog();
+        let b = catalog();
+        assert_eq!(a.models(), b.models());
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let total: f64 = catalog().models().iter().map(|m| m.population_weight).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total weight {total}");
+    }
+
+    #[test]
+    fn type_shares_match_paper() {
+        let c = catalog();
+        for &(ty, share) in &shares::DEVICE_TYPE {
+            let got: f64 = c
+                .models()
+                .iter()
+                .filter(|m| m.device_type == ty)
+                .map(|m| m.population_weight)
+                .sum();
+            assert!((got - share).abs() < 1e-9, "{ty}: {got} vs {share}");
+        }
+    }
+
+    #[test]
+    fn rat_marginals_match_paper() {
+        let c = catalog();
+        let share_of = |rat: RatSupport| -> f64 {
+            c.models()
+                .iter()
+                .filter(|m| m.rat_support == rat)
+                .map(|m| m.population_weight)
+                .sum()
+        };
+        // 12.6% 2G-only, ~20.1% up to 3G, 67.2% 4G-or-better (§4.2).
+        assert!((share_of(RatSupport::UpTo2g) - 0.126).abs() < 0.005);
+        assert!((share_of(RatSupport::UpTo3g) - 0.201).abs() < 0.01);
+        let modern = share_of(RatSupport::UpTo4g) + share_of(RatSupport::UpTo5g);
+        assert!((modern - 0.672).abs() < 0.01, "modern share {modern}");
+    }
+
+    #[test]
+    fn tac_lookup_works() {
+        let c = catalog();
+        let m = &c.models()[7];
+        assert_eq!(c.by_tac(m.tac).unwrap().marketing_name, m.marketing_name);
+        assert!(c.by_tac(Tac::new(1)).is_none());
+    }
+
+    #[test]
+    fn heuristic_recovers_ground_truth_for_most_weight() {
+        let c = catalog();
+        let correct: f64 = c
+            .models()
+            .iter()
+            .filter(|m| classify_device(&m.apn, m.smart_os, m.is_module) == m.device_type)
+            .map(|m| m.population_weight)
+            .sum();
+        assert!(correct > 0.95, "heuristic accuracy by weight: {correct}");
+    }
+
+    #[test]
+    fn apple_share_of_all_ues_around_32_percent() {
+        let c = catalog();
+        let apple: f64 = c
+            .models()
+            .iter()
+            .filter(|m| m.manufacturer == Manufacturer::Apple)
+            .map(|m| m.population_weight)
+            .sum();
+        // 54.8% of the 59.1% smartphone share ≈ 32.4% of all UEs (§5.3).
+        assert!((apple - 0.324).abs() < 0.01, "Apple share {apple}");
+    }
+
+    #[test]
+    fn rebuild_index_after_clear() {
+        let mut c = catalog();
+        let tac = c.models()[0].tac;
+        c.by_tac.clear();
+        assert!(c.by_tac(tac).is_none());
+        c.rebuild_index();
+        assert!(c.by_tac(tac).is_some());
+    }
+}

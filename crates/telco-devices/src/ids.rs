@@ -1,0 +1,208 @@
+//! Device and subscriber identities: TAC, IMEI and IMSI.
+//!
+//! The paper's trace carries anonymized user IDs derived from IMSI and IMEI
+//! (§3.1); the first 8 IMEI digits are the Type Allocation Code (TAC) used
+//! to join against the GSMA device catalog.
+
+use serde::{Deserialize, Serialize};
+
+/// Type Allocation Code: the first 8 digits of an IMEI, identifying the
+/// device model.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Tac(pub u32);
+
+impl Tac {
+    /// Largest valid TAC (8 decimal digits).
+    pub const MAX: u32 = 99_999_999;
+
+    /// Construct, validating the 8-digit range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value exceeds 8 decimal digits.
+    pub fn new(value: u32) -> Self {
+        assert!(value <= Self::MAX, "TAC must be 8 decimal digits, got {value}");
+        Tac(value)
+    }
+}
+
+impl std::fmt::Display for Tac {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:08}", self.0)
+    }
+}
+
+/// International Mobile Equipment Identity: TAC (8 digits) + serial number
+/// (6 digits) + Luhn check digit.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Imei {
+    /// Device-model code.
+    pub tac: Tac,
+    /// Per-unit serial number (6 digits).
+    pub serial: u32,
+}
+
+impl Imei {
+    /// Construct from TAC and serial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the serial exceeds 6 decimal digits.
+    pub fn new(tac: Tac, serial: u32) -> Self {
+        assert!(serial <= 999_999, "IMEI serial must be 6 decimal digits, got {serial}");
+        Imei { tac, serial }
+    }
+
+    /// The 14 identity digits, most significant first.
+    fn digits14(&self) -> [u8; 14] {
+        let mut d = [0u8; 14];
+        let mut t = self.tac.0;
+        for i in (0..8).rev() {
+            d[i] = (t % 10) as u8;
+            t /= 10;
+        }
+        let mut s = self.serial;
+        for i in (8..14).rev() {
+            d[i] = (s % 10) as u8;
+            s /= 10;
+        }
+        d
+    }
+
+    /// Luhn check digit over the 14 identity digits.
+    pub fn check_digit(&self) -> u8 {
+        luhn_check_digit(&self.digits14())
+    }
+
+    /// The full 15-digit IMEI as a number.
+    pub fn as_u64(&self) -> u64 {
+        (self.tac.0 as u64) * 10_000_000 + (self.serial as u64) * 10 + self.check_digit() as u64
+    }
+}
+
+impl std::fmt::Display for Imei {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:08}{:06}{}", self.tac.0, self.serial, self.check_digit())
+    }
+}
+
+/// International Mobile Subscriber Identity: MCC + MNC + MSIN.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Imsi {
+    /// Mobile country code (3 digits).
+    pub mcc: u16,
+    /// Mobile network code (2 digits in the studied country).
+    pub mnc: u8,
+    /// Subscriber identification number (up to 10 digits).
+    pub msin: u64,
+}
+
+impl Imsi {
+    /// Construct, validating digit budgets.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any component exceeds its digit budget.
+    pub fn new(mcc: u16, mnc: u8, msin: u64) -> Self {
+        assert!(mcc <= 999, "MCC must be 3 digits");
+        assert!(mnc <= 99, "MNC must be 2 digits");
+        assert!(msin <= 9_999_999_999, "MSIN must be at most 10 digits");
+        Imsi { mcc, mnc, msin }
+    }
+}
+
+impl std::fmt::Display for Imsi {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:03}{:02}{:010}", self.mcc, self.mnc, self.msin)
+    }
+}
+
+/// Luhn check digit for a most-significant-first digit string.
+pub fn luhn_check_digit(digits: &[u8]) -> u8 {
+    let mut sum: u32 = 0;
+    // Walking from the rightmost identity digit, every first digit (which
+    // would sit in an odd position of the full number) is doubled.
+    for (i, &d) in digits.iter().rev().enumerate() {
+        let mut v = d as u32;
+        if i % 2 == 0 {
+            v *= 2;
+            if v > 9 {
+                v -= 9;
+            }
+        }
+        sum += v;
+    }
+    ((10 - (sum % 10)) % 10) as u8
+}
+
+/// Validate a full digit string (identity digits + trailing check digit).
+pub fn luhn_is_valid(digits_with_check: &[u8]) -> bool {
+    if digits_with_check.is_empty() {
+        return false;
+    }
+    let (identity, check) = digits_with_check.split_at(digits_with_check.len() - 1);
+    luhn_check_digit(identity) == check[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn luhn_known_example() {
+        // Classic test number 7992739871 has check digit 3.
+        let digits = [7, 9, 9, 2, 7, 3, 9, 8, 7, 1];
+        assert_eq!(luhn_check_digit(&digits), 3);
+        let full = [7, 9, 9, 2, 7, 3, 9, 8, 7, 1, 3];
+        assert!(luhn_is_valid(&full));
+        let bad = [7, 9, 9, 2, 7, 3, 9, 8, 7, 1, 4];
+        assert!(!luhn_is_valid(&bad));
+    }
+
+    #[test]
+    fn imei_roundtrip_and_validity() {
+        let imei = Imei::new(Tac::new(35_294_906), 123_456);
+        let s = imei.to_string();
+        assert_eq!(s.len(), 15);
+        let digits: Vec<u8> = s.bytes().map(|b| b - b'0').collect();
+        assert!(luhn_is_valid(&digits));
+        assert_eq!(imei.as_u64().to_string().len(), 15);
+    }
+
+    #[test]
+    fn imei_known_check_digit() {
+        // IMEI 49015420323751 has Luhn check digit 8 (reference example).
+        let imei = Imei::new(Tac::new(49_015_420), 323_751);
+        assert_eq!(imei.check_digit(), 8);
+    }
+
+    #[test]
+    fn tac_display_pads() {
+        assert_eq!(Tac::new(1234).to_string(), "00001234");
+    }
+
+    #[test]
+    fn imsi_display_pads() {
+        let imsi = Imsi::new(214, 7, 42);
+        assert_eq!(imsi.to_string(), "214070000000042");
+        assert_eq!(imsi.to_string().len(), 15);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tac_rejects_nine_digits() {
+        Tac::new(100_000_000);
+    }
+
+    #[test]
+    #[should_panic]
+    fn imei_rejects_long_serial() {
+        Imei::new(Tac::new(1), 1_000_000);
+    }
+}

@@ -1,0 +1,38 @@
+//! # telco-devices
+//!
+//! Device substrate for the handover study: TAC/IMEI/IMSI identities with
+//! Luhn check digits, a GSMA-style device catalog generated to the paper's
+//! published marginals (Fig. 4), the APN-based M2M classification heuristic
+//! (§3.1), and weighted UE population sampling.
+//!
+//! ## Example
+//!
+//! ```
+//! use telco_devices::catalog::{CatalogConfig, GsmaCatalog};
+//! use telco_devices::population::DevicePopulation;
+//! use telco_devices::types::DeviceType;
+//!
+//! let catalog = GsmaCatalog::generate(CatalogConfig::default());
+//! let pop = DevicePopulation::sample(&catalog, 1000, 42);
+//! let smartphones = pop
+//!     .devices()
+//!     .iter()
+//!     .filter(|d| catalog.model(d.model as usize).device_type == DeviceType::Smartphone)
+//!     .count();
+//! // Roughly 59.1% of UEs are smartphones (§4.2).
+//! assert!((450..=730).contains(&smartphones));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod apn;
+pub mod catalog;
+pub mod ids;
+pub mod population;
+pub mod types;
+
+pub use apn::{classify_apn, Apn, ApnClass};
+pub use catalog::{classify_device, CatalogConfig, DeviceModel, GsmaCatalog};
+pub use ids::{Imei, Imsi, Tac};
+pub use population::{DevicePopulation, UeDevice, UeId};
+pub use types::{DeviceType, Manufacturer, RatSupport};

@@ -1,0 +1,214 @@
+//! Sampling a UE population from the device catalog.
+//!
+//! Every UE in the simulation owns an IMSI, an IMEI (whose TAC points back
+//! into the catalog) and a catalog model index. Sampling is
+//! weight-proportional over catalog models, so the realized population
+//! reproduces the catalog's calibrated marginals.
+
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::catalog::GsmaCatalog;
+use crate::ids::{Imei, Imsi, Tac};
+use crate::types::{DeviceType, Manufacturer, RatSupport};
+
+/// Dense identifier of a UE in the simulated population.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct UeId(pub u32);
+
+impl std::fmt::Display for UeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "UE{:07}", self.0)
+    }
+}
+
+/// One subscriber device: identities plus the catalog model it instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UeDevice {
+    /// Population identifier.
+    pub ue: UeId,
+    /// Subscriber identity.
+    pub imsi: Imsi,
+    /// Equipment identity.
+    pub imei: Imei,
+    /// Index into the catalog's model table.
+    pub model: u32,
+}
+
+/// Weighted alias-free sampler over catalog models (cumulative weights +
+/// binary search — O(log m) per draw, deterministic given the RNG stream).
+#[derive(Debug, Clone)]
+struct CumulativeSampler {
+    cumulative: Vec<f64>,
+}
+
+impl CumulativeSampler {
+    fn new(weights: impl Iterator<Item = f64>) -> Self {
+        let mut cumulative = Vec::new();
+        let mut acc = 0.0;
+        for w in weights {
+            assert!(w >= 0.0, "negative weight");
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "all weights zero");
+        CumulativeSampler { cumulative }
+    }
+
+    fn sample(&self, rng: &mut ChaCha8Rng) -> usize {
+        let total = *self.cumulative.last().expect("nonempty");
+        let u: f64 = rng.random_range(0.0..total);
+        self.cumulative.partition_point(|&c| c <= u).min(self.cumulative.len() - 1)
+    }
+}
+
+/// The full UE roster of a simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DevicePopulation {
+    devices: Vec<UeDevice>,
+}
+
+/// The MCC used for the fictional country.
+pub const HOME_MCC: u16 = 299;
+/// The studied MNO's network code.
+pub const HOME_MNC: u8 = 42;
+
+impl DevicePopulation {
+    /// Sample `n` UEs from the catalog, deterministically from `seed`.
+    pub fn sample(catalog: &GsmaCatalog, n: usize, seed: u64) -> Self {
+        assert!(!catalog.is_empty(), "catalog must not be empty");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let sampler =
+            CumulativeSampler::new(catalog.models().iter().map(|m| m.population_weight));
+        let devices = (0..n)
+            .map(|i| {
+                let model_idx = sampler.sample(&mut rng);
+                let model = catalog.model(model_idx);
+                UeDevice {
+                    ue: UeId(i as u32),
+                    imsi: Imsi::new(HOME_MCC, HOME_MNC, i as u64),
+                    imei: Imei::new(model.tac, (i % 1_000_000) as u32),
+                    model: model_idx as u32,
+                }
+            })
+            .collect();
+        DevicePopulation { devices }
+    }
+
+    /// All devices, indexed by `UeId.0`.
+    pub fn devices(&self) -> &[UeDevice] {
+        &self.devices
+    }
+
+    /// Number of UEs.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the roster is empty.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Device record for a UE.
+    pub fn device(&self, ue: UeId) -> &UeDevice {
+        &self.devices[ue.0 as usize]
+    }
+
+    /// Catalog TAC of a UE.
+    pub fn tac(&self, ue: UeId) -> Tac {
+        self.device(ue).imei.tac
+    }
+
+    /// Device type of a UE (requires the catalog the roster was built from).
+    pub fn device_type(&self, catalog: &GsmaCatalog, ue: UeId) -> DeviceType {
+        catalog.model(self.device(ue).model as usize).device_type
+    }
+
+    /// Manufacturer of a UE.
+    pub fn manufacturer(&self, catalog: &GsmaCatalog, ue: UeId) -> Manufacturer {
+        catalog.model(self.device(ue).model as usize).manufacturer
+    }
+
+    /// RAT support of a UE.
+    pub fn rat_support(&self, catalog: &GsmaCatalog, ue: UeId) -> RatSupport {
+        catalog.model(self.device(ue).model as usize).rat_support
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{shares, CatalogConfig};
+
+    fn population(n: usize) -> (GsmaCatalog, DevicePopulation) {
+        let catalog = GsmaCatalog::generate(CatalogConfig::default());
+        let pop = DevicePopulation::sample(&catalog, n, 7);
+        (catalog, pop)
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let catalog = GsmaCatalog::generate(CatalogConfig::default());
+        let a = DevicePopulation::sample(&catalog, 500, 7);
+        let b = DevicePopulation::sample(&catalog, 500, 7);
+        assert_eq!(a.devices(), b.devices());
+        let c = DevicePopulation::sample(&catalog, 500, 8);
+        assert_ne!(a.devices(), c.devices());
+    }
+
+    #[test]
+    fn realized_type_shares_track_catalog() {
+        let (catalog, pop) = population(20_000);
+        for &(ty, share) in &shares::DEVICE_TYPE {
+            let got = pop
+                .devices()
+                .iter()
+                .filter(|d| catalog.model(d.model as usize).device_type == ty)
+                .count() as f64
+                / pop.len() as f64;
+            assert!(
+                (got - share).abs() < 0.02,
+                "{ty}: realized {got} vs target {share}"
+            );
+        }
+    }
+
+    #[test]
+    fn imeis_have_valid_tacs() {
+        let (catalog, pop) = population(200);
+        for d in pop.devices() {
+            let m = catalog.by_tac(d.imei.tac).expect("every UE has a cataloged TAC");
+            assert_eq!(m.tac, d.imei.tac);
+        }
+    }
+
+    #[test]
+    fn imsis_are_unique() {
+        let (_, pop) = population(1000);
+        let mut seen = std::collections::HashSet::new();
+        for d in pop.devices() {
+            assert!(seen.insert(d.imsi), "duplicate IMSI {}", d.imsi);
+        }
+    }
+
+    #[test]
+    fn accessors_agree_with_catalog() {
+        let (catalog, pop) = population(50);
+        for d in pop.devices() {
+            let m = catalog.model(d.model as usize);
+            assert_eq!(pop.device_type(&catalog, d.ue), m.device_type);
+            assert_eq!(pop.manufacturer(&catalog, d.ue), m.manufacturer);
+            assert_eq!(pop.rat_support(&catalog, d.ue), m.rat_support);
+            assert_eq!(pop.tac(d.ue), m.tac);
+        }
+    }
+
+    #[test]
+    fn ue_display() {
+        assert_eq!(UeId(5).to_string(), "UE0000005");
+    }
+}

@@ -1,0 +1,296 @@
+//! Device taxonomy: device types, manufacturers, and RAT-capability sets.
+//!
+//! The paper classifies the ~40M UEs into smartphones (59.1%), M2M/IoT
+//! devices (39.8%) and low-tier feature phones (1.1%) (§4.2, Fig. 4a), and
+//! derives each model's supported RATs from the GSMA catalog (Fig. 4b).
+
+use serde::{Deserialize, Serialize};
+
+/// The three device classes of the study.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum DeviceType {
+    /// Smartphones.
+    Smartphone,
+    /// Machine-to-machine / IoT devices (modems, meters, trackers, …).
+    M2mIot,
+    /// Low-tier feature phones.
+    FeaturePhone,
+}
+
+impl DeviceType {
+    /// All device types in declaration order.
+    pub const ALL: [DeviceType; 3] =
+        [DeviceType::Smartphone, DeviceType::M2mIot, DeviceType::FeaturePhone];
+
+    /// Human-readable name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DeviceType::Smartphone => "Smartphones",
+            DeviceType::M2mIot => "M2M/IoT",
+            DeviceType::FeaturePhone => "Feature phones",
+        }
+    }
+
+    /// Stable index for categorical encodings.
+    pub fn index(&self) -> usize {
+        match self {
+            DeviceType::Smartphone => 0,
+            DeviceType::M2mIot => 1,
+            DeviceType::FeaturePhone => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for DeviceType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The set of radio access technologies a device model supports, as a
+/// compact generation ceiling plus the implied lower generations (devices
+/// supporting 5G also support 4G/3G/2G, matching GSMA catalog semantics).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum RatSupport {
+    /// 2G only (GSM/GPRS class modules).
+    UpTo2g,
+    /// Up to 3G (UMTS).
+    UpTo3g,
+    /// Up to 4G (LTE) — no 5G NR.
+    UpTo4g,
+    /// 5G-capable (NR, including NSA operation).
+    UpTo5g,
+}
+
+impl RatSupport {
+    /// All capability ceilings, oldest first.
+    pub const ALL: [RatSupport; 4] =
+        [RatSupport::UpTo2g, RatSupport::UpTo3g, RatSupport::UpTo4g, RatSupport::UpTo5g];
+
+    /// Whether the device can attach to a generation (1-indexed: 2..=5).
+    pub fn supports_generation(&self, generation: u8) -> bool {
+        generation >= 2 && generation <= self.max_generation()
+    }
+
+    /// The highest supported generation number (2..=5).
+    pub fn max_generation(&self) -> u8 {
+        match self {
+            RatSupport::UpTo2g => 2,
+            RatSupport::UpTo3g => 3,
+            RatSupport::UpTo4g => 4,
+            RatSupport::UpTo5g => 5,
+        }
+    }
+
+    /// Whether the device can use the 4G EPC (i.e. appears in the paper's
+    /// mobility-management dataset as a 4G/5G-NSA device).
+    pub fn is_4g_capable(&self) -> bool {
+        self.max_generation() >= 4
+    }
+
+    /// Label matching Fig. 4b ("2G", "3G", "4G", "5G").
+    pub fn label(&self) -> &'static str {
+        match self {
+            RatSupport::UpTo2g => "2G",
+            RatSupport::UpTo3g => "3G",
+            RatSupport::UpTo4g => "4G",
+            RatSupport::UpTo5g => "5G",
+        }
+    }
+}
+
+impl std::fmt::Display for RatSupport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Device manufacturers observed in the study.
+///
+/// The named variants cover the paper's top-5 smartphone vendors, the
+/// diversified M2M/IoT module makers, the feature-phone brands, and the
+/// outlier manufacturers called out in §5.3 (KVD, HMD, Simcom). `OtherX`
+/// variants absorb the long tail per device class.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[allow(missing_docs)]
+pub enum Manufacturer {
+    // Smartphone top-5 (Fig. 4a).
+    Apple,
+    Samsung,
+    Motorola,
+    Google,
+    Huawei,
+    // Outlier smartphone brand with elevated HOF rates (§5.3).
+    Kvd,
+    // M2M/IoT module makers.
+    Simcom,
+    Quectel,
+    Telit,
+    SierraWireless,
+    Fibocom,
+    // Feature-phone brands.
+    Hmd,
+    Nokia,
+    Alcatel,
+    Doro,
+    // Long tail, bucketed per device class.
+    OtherSmartphone,
+    OtherM2m,
+    OtherFeature,
+}
+
+impl Manufacturer {
+    /// All manufacturers in declaration order.
+    pub const ALL: [Manufacturer; 18] = [
+        Manufacturer::Apple,
+        Manufacturer::Samsung,
+        Manufacturer::Motorola,
+        Manufacturer::Google,
+        Manufacturer::Huawei,
+        Manufacturer::Kvd,
+        Manufacturer::Simcom,
+        Manufacturer::Quectel,
+        Manufacturer::Telit,
+        Manufacturer::SierraWireless,
+        Manufacturer::Fibocom,
+        Manufacturer::Hmd,
+        Manufacturer::Nokia,
+        Manufacturer::Alcatel,
+        Manufacturer::Doro,
+        Manufacturer::OtherSmartphone,
+        Manufacturer::OtherM2m,
+        Manufacturer::OtherFeature,
+    ];
+
+    /// The paper's top-5 smartphone manufacturers (§5.2, Fig. 11).
+    pub const TOP5_SMARTPHONE: [Manufacturer; 5] = [
+        Manufacturer::Apple,
+        Manufacturer::Samsung,
+        Manufacturer::Motorola,
+        Manufacturer::Google,
+        Manufacturer::Huawei,
+    ];
+
+    /// Brand name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Manufacturer::Apple => "Apple",
+            Manufacturer::Samsung => "Samsung",
+            Manufacturer::Motorola => "Motorola",
+            Manufacturer::Google => "Google",
+            Manufacturer::Huawei => "Huawei",
+            Manufacturer::Kvd => "KVD",
+            Manufacturer::Simcom => "Simcom",
+            Manufacturer::Quectel => "Quectel",
+            Manufacturer::Telit => "Telit",
+            Manufacturer::SierraWireless => "Sierra Wireless",
+            Manufacturer::Fibocom => "Fibocom",
+            Manufacturer::Hmd => "HMD",
+            Manufacturer::Nokia => "Nokia",
+            Manufacturer::Alcatel => "Alcatel",
+            Manufacturer::Doro => "Doro",
+            Manufacturer::OtherSmartphone => "Other (smartphone)",
+            Manufacturer::OtherM2m => "Other (M2M/IoT)",
+            Manufacturer::OtherFeature => "Other (feature)",
+        }
+    }
+
+    /// Stable index for categorical encodings.
+    pub fn index(&self) -> usize {
+        Manufacturer::ALL.iter().position(|m| m == self).expect("all variants listed")
+    }
+
+    /// Relative handover-volume multiplier of this manufacturer's mobility
+    /// management implementation w.r.t. its peers in the same district
+    /// (§5.3, Fig. 11 left): 1.0 = identical to the district average.
+    ///
+    /// Calibration: Apple +4%, top-5 within ±10%, Simcom +293%.
+    pub fn ho_volume_factor(&self) -> f64 {
+        match self {
+            Manufacturer::Apple => 1.04,
+            Manufacturer::Samsung => 0.99,
+            Manufacturer::Motorola => 0.96,
+            Manufacturer::Google => 1.02,
+            Manufacturer::Huawei => 0.93,
+            Manufacturer::Kvd => 1.35,
+            Manufacturer::Simcom => 3.93,
+            Manufacturer::Quectel => 1.10,
+            Manufacturer::Hmd => 1.12,
+            _ => 1.0,
+        }
+    }
+
+    /// Relative handover-failure-rate multiplier w.r.t. district peers
+    /// (§5.3, Fig. 11 right): Google −27%, Apple +8%, KVD/HMD up to +600%.
+    pub fn hof_rate_factor(&self) -> f64 {
+        match self {
+            Manufacturer::Apple => 1.08,
+            Manufacturer::Samsung => 1.00,
+            Manufacturer::Motorola => 1.03,
+            Manufacturer::Google => 0.73,
+            Manufacturer::Huawei => 1.05,
+            Manufacturer::Kvd => 7.0,
+            Manufacturer::Hmd => 7.0,
+            Manufacturer::Simcom => 1.6,
+            _ => 1.0,
+        }
+    }
+}
+
+impl std::fmt::Display for Manufacturer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rat_support_ordering_and_generations() {
+        assert!(RatSupport::UpTo2g < RatSupport::UpTo5g);
+        assert!(RatSupport::UpTo5g.supports_generation(2));
+        assert!(RatSupport::UpTo5g.supports_generation(5));
+        assert!(!RatSupport::UpTo3g.supports_generation(4));
+        assert!(!RatSupport::UpTo3g.supports_generation(1));
+        assert!(RatSupport::UpTo4g.is_4g_capable());
+        assert!(!RatSupport::UpTo3g.is_4g_capable());
+    }
+
+    #[test]
+    fn manufacturer_indices_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for m in Manufacturer::ALL {
+            assert!(seen.insert(m.index()), "duplicate index for {m}");
+        }
+    }
+
+    #[test]
+    fn top5_are_smartphone_brands() {
+        for m in Manufacturer::TOP5_SMARTPHONE {
+            assert!((m.ho_volume_factor() - 1.0).abs() <= 0.10, "{m} outside ±10%");
+        }
+    }
+
+    #[test]
+    fn outliers_have_elevated_factors() {
+        assert!(Manufacturer::Kvd.hof_rate_factor() >= 6.0);
+        assert!(Manufacturer::Hmd.hof_rate_factor() >= 6.0);
+        assert!(Manufacturer::Simcom.ho_volume_factor() > 3.5);
+        assert!(Manufacturer::Google.hof_rate_factor() < 0.8);
+    }
+
+    #[test]
+    fn names_render() {
+        assert_eq!(DeviceType::M2mIot.to_string(), "M2M/IoT");
+        assert_eq!(RatSupport::UpTo5g.to_string(), "5G");
+        assert_eq!(Manufacturer::SierraWireless.to_string(), "Sierra Wireless");
+    }
+}

@@ -1,0 +1,156 @@
+//! The open census dataset, as the "census office" would publish it.
+//!
+//! The paper joins MNO data with open census records at the district level
+//! (§3.2): population, area and postcode membership. `CensusTable` is that
+//! publication — a view over a generated [`crate::country::Country`]
+//! that deliberately excludes everything the census office would not know
+//! (deployment, traffic, device mix).
+
+use serde::{Deserialize, Serialize};
+
+use crate::country::Country;
+use crate::district::{DistrictId, Region};
+use crate::postcode::{AreaType, PostcodeId};
+
+/// One row of the published census table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CensusRow {
+    /// District identifier.
+    pub district: DistrictId,
+    /// Region label.
+    pub region: Region,
+    /// Resident population.
+    pub population: u64,
+    /// Land area, km².
+    pub area_km2: f64,
+    /// Residents per km².
+    pub density: f64,
+    /// Postcodes within the district.
+    pub postcodes: Vec<PostcodeId>,
+}
+
+/// The census office's open dataset: district demographics plus the
+/// postcode-level urban/rural classification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CensusTable {
+    rows: Vec<CensusRow>,
+    /// `(postcode, population, area_type, reliable)` classification records.
+    postcode_class: Vec<(PostcodeId, u64, AreaType, bool)>,
+}
+
+impl CensusTable {
+    /// Publish the census view of a country.
+    pub fn publish(country: &Country) -> Self {
+        let rows = country
+            .districts()
+            .iter()
+            .map(|d| CensusRow {
+                district: d.id,
+                region: d.region,
+                population: d.population,
+                area_km2: d.area_km2,
+                density: d.population_density(),
+                postcodes: d.postcodes.clone(),
+            })
+            .collect();
+        let postcode_class = country
+            .postcodes()
+            .iter()
+            .map(|p| (p.id, p.population, p.area_type, p.census_reliable))
+            .collect();
+        CensusTable { rows, postcode_class }
+    }
+
+    /// District rows.
+    pub fn rows(&self) -> &[CensusRow] {
+        &self.rows
+    }
+
+    /// Row for a district.
+    pub fn row(&self, id: DistrictId) -> &CensusRow {
+        &self.rows[id.0 as usize]
+    }
+
+    /// Urban/rural classification for a postcode.
+    pub fn area_type(&self, id: PostcodeId) -> AreaType {
+        self.postcode_class[id.0 as usize].2
+    }
+
+    /// Whether a postcode has reliable census data.
+    pub fn is_reliable(&self, id: PostcodeId) -> bool {
+        self.postcode_class[id.0 as usize].3
+    }
+
+    /// Total population across all districts.
+    pub fn total_population(&self) -> u64 {
+        self.rows.iter().map(|r| r.population).sum()
+    }
+
+    /// Districts sorted by ascending population density.
+    pub fn by_density(&self) -> Vec<&CensusRow> {
+        let mut v: Vec<&CensusRow> = self.rows.iter().collect();
+        v.sort_by(|a, b| a.density.partial_cmp(&b.density).expect("finite densities"));
+        v
+    }
+
+    /// The least densely populated `fraction` of districts (e.g. the
+    /// paper's "6% least densely populated districts", §5.2).
+    pub fn least_dense(&self, fraction: f64) -> Vec<&CensusRow> {
+        assert!((0.0..=1.0).contains(&fraction), "fraction in [0,1]");
+        let sorted = self.by_density();
+        let k = ((sorted.len() as f64 * fraction).ceil() as usize).min(sorted.len());
+        sorted.into_iter().take(k).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::country::CountryConfig;
+
+    fn table() -> CensusTable {
+        CensusTable::publish(&Country::generate(CountryConfig::tiny()))
+    }
+
+    #[test]
+    fn publish_covers_all_districts() {
+        let c = Country::generate(CountryConfig::tiny());
+        let t = CensusTable::publish(&c);
+        assert_eq!(t.rows().len(), c.districts().len());
+        assert_eq!(t.total_population(), c.total_population());
+    }
+
+    #[test]
+    fn by_density_is_sorted() {
+        let t = table();
+        let d = t.by_density();
+        assert!(d.windows(2).all(|w| w[0].density <= w[1].density));
+    }
+
+    #[test]
+    fn least_dense_selects_fraction() {
+        let t = table();
+        let k = t.least_dense(0.25).len();
+        assert_eq!(k, (t.rows().len() as f64 * 0.25).ceil() as usize);
+        // The selected districts are the least dense ones.
+        let max_sel =
+            t.least_dense(0.25).iter().map(|r| r.density).fold(0.0f64, f64::max);
+        let min_rest = t
+            .by_density()
+            .into_iter()
+            .skip(k)
+            .map(|r| r.density)
+            .fold(f64::INFINITY, f64::min);
+        assert!(max_sel <= min_rest);
+    }
+
+    #[test]
+    fn area_type_lookup_matches_country() {
+        let c = Country::generate(CountryConfig::tiny());
+        let t = CensusTable::publish(&c);
+        for p in c.postcodes() {
+            assert_eq!(t.area_type(p.id), p.area_type);
+            assert_eq!(t.is_reliable(p.id), p.census_reliable);
+        }
+    }
+}

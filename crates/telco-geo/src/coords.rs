@@ -1,0 +1,212 @@
+//! Geographic coordinates, great-circle distance, and a local planar
+//! projection used by the deployment and mobility layers.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean Earth radius in kilometres (IUGG).
+pub const EARTH_RADIUS_KM: f64 = 6_371.008_8;
+
+/// A WGS84-style geographic point (degrees).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north.
+    pub lat: f64,
+    /// Longitude in degrees, positive east.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Construct a point, validating the coordinate ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics when latitude is outside `[-90, 90]` or longitude outside
+    /// `[-180, 180]`.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        assert!((-90.0..=90.0).contains(&lat), "latitude out of range: {lat}");
+        assert!((-180.0..=180.0).contains(&lon), "longitude out of range: {lon}");
+        GeoPoint { lat, lon }
+    }
+
+    /// Great-circle distance to another point in kilometres (haversine).
+    pub fn haversine_km(&self, other: &GeoPoint) -> f64 {
+        let lat1 = self.lat.to_radians();
+        let lat2 = other.lat.to_radians();
+        let dlat = (other.lat - self.lat).to_radians();
+        let dlon = (other.lon - self.lon).to_radians();
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
+    }
+}
+
+/// A point on the local kilometre plane of a [`Projection`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KmPoint {
+    /// East offset from the projection origin, km.
+    pub x: f64,
+    /// North offset from the projection origin, km.
+    pub y: f64,
+}
+
+impl KmPoint {
+    /// Construct a planar point.
+    pub fn new(x: f64, y: f64) -> Self {
+        KmPoint { x, y }
+    }
+
+    /// Euclidean distance to another planar point, km.
+    pub fn distance_km(&self, other: &KmPoint) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// Equirectangular projection around a reference point — accurate to well
+/// under 1% over the few-hundred-km extent of the synthetic country, and
+/// exactly invertible, which the generators rely on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Projection {
+    origin: GeoPoint,
+    cos_lat: f64,
+}
+
+impl Projection {
+    /// Projection centred on `origin`.
+    pub fn new(origin: GeoPoint) -> Self {
+        Projection { origin, cos_lat: origin.lat.to_radians().cos() }
+    }
+
+    /// The reference point.
+    pub fn origin(&self) -> GeoPoint {
+        self.origin
+    }
+
+    /// Project a geographic point onto the local km plane.
+    pub fn to_km(&self, p: &GeoPoint) -> KmPoint {
+        let deg_to_km = EARTH_RADIUS_KM * std::f64::consts::PI / 180.0;
+        KmPoint {
+            x: (p.lon - self.origin.lon) * deg_to_km * self.cos_lat,
+            y: (p.lat - self.origin.lat) * deg_to_km,
+        }
+    }
+
+    /// Inverse projection from the local km plane.
+    pub fn to_geo(&self, p: &KmPoint) -> GeoPoint {
+        let km_to_deg = 180.0 / (EARTH_RADIUS_KM * std::f64::consts::PI);
+        GeoPoint {
+            lat: self.origin.lat + p.y * km_to_deg,
+            lon: self.origin.lon + p.x * km_to_deg / self.cos_lat,
+        }
+    }
+}
+
+/// An axis-aligned rectangle on the km plane.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KmRect {
+    /// Minimum corner.
+    pub min: KmPoint,
+    /// Maximum corner.
+    pub max: KmPoint,
+}
+
+impl KmRect {
+    /// Construct from corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min` exceeds `max` on either axis.
+    pub fn new(min: KmPoint, max: KmPoint) -> Self {
+        assert!(min.x <= max.x && min.y <= max.y, "degenerate rectangle");
+        KmRect { min, max }
+    }
+
+    /// Width in km.
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height in km.
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area in km².
+    pub fn area_km2(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Geometric centre.
+    pub fn center(&self) -> KmPoint {
+        KmPoint::new((self.min.x + self.max.x) / 2.0, (self.min.y + self.max.y) / 2.0)
+    }
+
+    /// Whether the rectangle contains a point (inclusive bounds).
+    pub fn contains(&self, p: &KmPoint) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Clamp a point into the rectangle.
+    pub fn clamp(&self, p: &KmPoint) -> KmPoint {
+        KmPoint::new(p.x.clamp(self.min.x, self.max.x), p.y.clamp(self.min.y, self.max.y))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haversine_known_distance() {
+        // Madrid (40.4168, -3.7038) to Barcelona (41.3874, 2.1686): ~505 km.
+        let mad = GeoPoint::new(40.4168, -3.7038);
+        let bcn = GeoPoint::new(41.3874, 2.1686);
+        let d = mad.haversine_km(&bcn);
+        assert!((d - 505.0).abs() < 5.0, "got {d}");
+    }
+
+    #[test]
+    fn haversine_zero_and_symmetry() {
+        let a = GeoPoint::new(41.0, 2.0);
+        let b = GeoPoint::new(42.0, 3.0);
+        assert_eq!(a.haversine_km(&a), 0.0);
+        assert!((a.haversine_km(&b) - b.haversine_km(&a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_roundtrip() {
+        let proj = Projection::new(GeoPoint::new(41.0, 2.0));
+        let p = GeoPoint::new(41.7, 2.9);
+        let km = proj.to_km(&p);
+        let back = proj.to_geo(&km);
+        assert!((back.lat - p.lat).abs() < 1e-12);
+        assert!((back.lon - p.lon).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_matches_haversine_locally() {
+        let proj = Projection::new(GeoPoint::new(41.0, 2.0));
+        let a = GeoPoint::new(41.1, 2.1);
+        let b = GeoPoint::new(41.3, 2.4);
+        let planar = proj.to_km(&a).distance_km(&proj.to_km(&b));
+        let sphere = a.haversine_km(&b);
+        assert!((planar - sphere).abs() / sphere < 0.01, "planar {planar} vs sphere {sphere}");
+    }
+
+    #[test]
+    fn rect_contains_and_clamp() {
+        let r = KmRect::new(KmPoint::new(0.0, 0.0), KmPoint::new(10.0, 5.0));
+        assert!(r.contains(&KmPoint::new(5.0, 2.0)));
+        assert!(!r.contains(&KmPoint::new(11.0, 2.0)));
+        let c = r.clamp(&KmPoint::new(20.0, -3.0));
+        assert_eq!(c, KmPoint::new(10.0, 0.0));
+        assert_eq!(r.area_km2(), 50.0);
+        assert_eq!(r.center(), KmPoint::new(5.0, 2.5));
+    }
+
+    #[test]
+    #[should_panic]
+    fn geo_point_rejects_bad_latitude() {
+        GeoPoint::new(91.0, 0.0);
+    }
+}

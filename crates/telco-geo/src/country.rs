@@ -1,0 +1,403 @@
+//! Synthetic country generation.
+//!
+//! The study's geography — 300+ census districts with heavily skewed
+//! population, a capital metropolitan area, three outer regions, and
+//! thousands of postcode areas classified urban/rural — is proprietary to
+//! the census office and the MNO. This module generates a deterministic
+//! stand-in with the same statistical anatomy:
+//!
+//! * district populations follow a Zipf-like law (a few metropolitan
+//!   districts dominate, a long tail of rural ones), with the most populous
+//!   district pinned at the geographic centre (the capital);
+//! * regions partition the territory into Capital area / North / South /
+//!   West, the covariate of the paper's Table 3;
+//! * each district splits into postcode areas with a dominant "town"
+//!   postcode, classified urban/rural by the 10k-resident census threshold;
+//! * the share of territory covered by urban postcodes is calibrated to the
+//!   paper's 49.6% (§5.1).
+
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::coords::{GeoPoint, KmPoint, KmRect, Projection};
+use crate::district::{District, DistrictId, Region};
+use crate::postcode::{AreaType, Postcode, PostcodeId};
+
+/// Parameters of the synthetic country.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CountryConfig {
+    /// RNG seed; every derived structure is a pure function of the config.
+    pub seed: u64,
+    /// Number of census districts (the paper's country has 300+).
+    pub n_districts: usize,
+    /// Total resident population.
+    pub total_population: u64,
+    /// Country extent, km (width, height).
+    pub extent_km: (f64, f64),
+    /// Zipf exponent for the district population ranking.
+    pub zipf_exponent: f64,
+    /// Radius of the capital region around the centre, km.
+    pub capital_radius_km: f64,
+    /// Fraction of territory covered by urban postcodes (paper: 0.496).
+    pub urban_area_fraction: f64,
+    /// Fraction of postcodes lacking reliable census data (paper: 0.031).
+    pub unreliable_census_fraction: f64,
+}
+
+impl Default for CountryConfig {
+    fn default() -> Self {
+        CountryConfig {
+            seed: 0x7e1c0,
+            n_districts: 312,
+            total_population: 10_000_000,
+            extent_km: (450.0, 380.0),
+            zipf_exponent: 0.95,
+            capital_radius_km: 70.0,
+            urban_area_fraction: 0.496,
+            unreliable_census_fraction: 0.031,
+        }
+    }
+}
+
+impl CountryConfig {
+    /// A small configuration for fast tests.
+    pub fn tiny() -> Self {
+        CountryConfig {
+            n_districts: 24,
+            total_population: 400_000,
+            extent_km: (200.0, 160.0),
+            capital_radius_km: 40.0,
+            ..Default::default()
+        }
+    }
+}
+
+/// The generated country: districts, postcodes and the map frame.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Country {
+    config: CountryConfig,
+    /// Geographic projection anchoring the km plane (fictional origin).
+    pub projection: Projection,
+    /// Country bounding box on the km plane.
+    pub bounds: KmRect,
+    districts: Vec<District>,
+    postcodes: Vec<Postcode>,
+}
+
+impl Country {
+    /// Generate a country deterministically from its configuration.
+    pub fn generate(config: CountryConfig) -> Self {
+        assert!(config.n_districts >= 4, "need at least one district per region");
+        assert!(config.total_population > 0, "population must be positive");
+        assert!(
+            (0.0..1.0).contains(&config.urban_area_fraction),
+            "urban_area_fraction must be in [0,1)"
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let bounds =
+            KmRect::new(KmPoint::new(0.0, 0.0), KmPoint::new(config.extent_km.0, config.extent_km.1));
+        let center = bounds.center();
+
+        // --- District centroids: jittered grid so they tile the country. ---
+        let n = config.n_districts;
+        let aspect = bounds.width() / bounds.height();
+        let ny = ((n as f64 / aspect).sqrt().ceil() as usize).max(1);
+        let nx = n.div_ceil(ny);
+        let cell_w = bounds.width() / nx as f64;
+        let cell_h = bounds.height() / ny as f64;
+        let mut centroids = Vec::with_capacity(n);
+        'outer: for gy in 0..ny {
+            for gx in 0..nx {
+                if centroids.len() == n {
+                    break 'outer;
+                }
+                let jx: f64 = rng.random_range(0.18..0.82);
+                let jy: f64 = rng.random_range(0.18..0.82);
+                centroids.push(KmPoint::new(
+                    bounds.min.x + (gx as f64 + jx) * cell_w,
+                    bounds.min.y + (gy as f64 + jy) * cell_h,
+                ));
+            }
+        }
+
+        // --- Populations: Zipf ranks; capital = centroid nearest centre. ---
+        let mut weights: Vec<f64> =
+            (1..=n).map(|r| (r as f64).powf(-config.zipf_exponent)).collect();
+        let wsum: f64 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= wsum;
+        }
+        // Order of assignment: nearest-to-centre district gets rank 1 (the
+        // capital); remaining ranks are scattered deterministically.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            centroids[a]
+                .distance_km(&center)
+                .partial_cmp(&centroids[b].distance_km(&center))
+                .expect("finite distances")
+        });
+        let capital_idx = order[0];
+        let mut rest: Vec<usize> = order[1..].to_vec();
+        // Deterministic shuffle of the non-capital ranks.
+        for i in (1..rest.len()).rev() {
+            let j = rng.random_range(0..=i);
+            rest.swap(i, j);
+        }
+        let mut populations = vec![0u64; n];
+        populations[capital_idx] =
+            (weights[0] * config.total_population as f64).round() as u64;
+        for (rank, &idx) in rest.iter().enumerate() {
+            populations[idx] =
+                ((weights[rank + 1] * config.total_population as f64).round() as u64).max(500);
+        }
+
+        // --- Areas: small for dense districts, larger for sparse ones. ---
+        let total_area = bounds.area_km2();
+        let mut area_weights: Vec<f64> = populations
+            .iter()
+            .map(|&p| (p as f64 + 1.0).powf(-0.22) * rng.random_range(0.75..1.25))
+            .collect();
+        let aw_sum: f64 = area_weights.iter().sum();
+        for w in &mut area_weights {
+            *w *= total_area / aw_sum;
+        }
+
+        // --- Regions by geometry. ---
+        let regions: Vec<Region> = centroids
+            .iter()
+            .map(|c| {
+                if c.distance_km(&center) <= config.capital_radius_km {
+                    Region::Capital
+                } else if c.x < bounds.min.x + bounds.width() / 3.0 {
+                    Region::West
+                } else if c.y >= center.y {
+                    Region::North
+                } else {
+                    Region::South
+                }
+            })
+            .collect();
+
+        // --- Postcodes: dominant town + hinterland per district. ---
+        let mut districts = Vec::with_capacity(n);
+        let mut postcodes: Vec<Postcode> = Vec::new();
+        for i in 0..n {
+            let pop = populations[i];
+            // Between 2 and 14 postcodes, growing with population.
+            let n_pc = (2 + (pop as f64 / 40_000.0).sqrt() as usize).min(14);
+            // Population split: the town postcode concentrates most people.
+            let town_share: f64 = rng.random_range(0.45..0.85);
+            let mut pc_pops = vec![0u64; n_pc];
+            pc_pops[0] = (pop as f64 * town_share) as u64;
+            let mut rest_weights: Vec<f64> =
+                (1..n_pc).map(|_| rng.random_range(0.2..1.0f64)).collect();
+            let rw_sum: f64 = rest_weights.iter().sum::<f64>().max(1e-9);
+            for w in &mut rest_weights {
+                *w /= rw_sum;
+            }
+            let remaining = pop - pc_pops[0];
+            for (k, w) in rest_weights.iter().enumerate() {
+                pc_pops[k + 1] = (remaining as f64 * w) as u64;
+            }
+            let radius = (area_weights[i] / std::f64::consts::PI).sqrt();
+            let ids: Vec<PostcodeId> = (0..n_pc)
+                .map(|k| {
+                    let id = PostcodeId(postcodes.len() as u32);
+                    let (dx, dy) = if k == 0 {
+                        (0.0, 0.0)
+                    } else {
+                        let ang: f64 = rng.random_range(0.0..std::f64::consts::TAU);
+                        let r: f64 = rng.random_range(0.25..0.9) * radius;
+                        (ang.cos() * r, ang.sin() * r)
+                    };
+                    let centroid = bounds
+                        .clamp(&KmPoint::new(centroids[i].x + dx, centroids[i].y + dy));
+                    postcodes.push(Postcode {
+                        id,
+                        district: DistrictId(i as u16),
+                        centroid,
+                        area_km2: 0.0, // filled after urban/rural calibration
+                        population: pc_pops[k],
+                        area_type: AreaType::classify(pc_pops[k]),
+                        census_reliable: rng.random::<f64>()
+                            >= config.unreliable_census_fraction,
+                    });
+                    id
+                })
+                .collect();
+            districts.push(District {
+                id: DistrictId(i as u16),
+                name: format!("District {i:03}"),
+                region: regions[i],
+                centroid: centroids[i],
+                area_km2: area_weights[i],
+                population: pc_pops.iter().sum(),
+                postcodes: ids,
+            });
+        }
+
+        // --- Calibrate postcode areas to the target urban territory share.
+        // Within each class, area is proportional to sqrt(population + 1);
+        // across classes, totals are pinned to the configured fraction.
+        let urban_total = total_area * config.urban_area_fraction;
+        let rural_total = total_area - urban_total;
+        let weight = |p: &Postcode| (p.population as f64 + 1.0).sqrt();
+        let sum_w = |ty: AreaType, pcs: &[Postcode]| -> f64 {
+            pcs.iter().filter(|p| p.area_type == ty).map(weight).sum::<f64>().max(1e-9)
+        };
+        let uw = sum_w(AreaType::Urban, &postcodes);
+        let rw = sum_w(AreaType::Rural, &postcodes);
+        for p in &mut postcodes {
+            let w = (p.population as f64 + 1.0).sqrt();
+            p.area_km2 = match p.area_type {
+                AreaType::Urban => urban_total * w / uw,
+                AreaType::Rural => rural_total * w / rw,
+            };
+        }
+
+        let projection = Projection::new(GeoPoint::new(41.0, 1.0));
+        Country { config, projection, bounds, districts, postcodes }
+    }
+
+    /// The configuration the country was generated from.
+    pub fn config(&self) -> &CountryConfig {
+        &self.config
+    }
+
+    /// All districts, indexed by `DistrictId.0`.
+    pub fn districts(&self) -> &[District] {
+        &self.districts
+    }
+
+    /// All postcodes, indexed by `PostcodeId.0`.
+    pub fn postcodes(&self) -> &[Postcode] {
+        &self.postcodes
+    }
+
+    /// Look up a district.
+    pub fn district(&self, id: DistrictId) -> &District {
+        &self.districts[id.0 as usize]
+    }
+
+    /// Look up a postcode.
+    pub fn postcode(&self, id: PostcodeId) -> &Postcode {
+        &self.postcodes[id.0 as usize]
+    }
+
+    /// The capital district (largest population in the Capital region).
+    pub fn capital(&self) -> &District {
+        self.districts
+            .iter()
+            .filter(|d| d.region == Region::Capital)
+            .max_by_key(|d| d.population)
+            .expect("capital region always has a district")
+    }
+
+    /// Total census population.
+    pub fn total_population(&self) -> u64 {
+        self.districts.iter().map(|d| d.population).sum()
+    }
+
+    /// Fraction of the territory covered by urban postcodes.
+    pub fn urban_area_fraction(&self) -> f64 {
+        let urban: f64 = self
+            .postcodes
+            .iter()
+            .filter(|p| p.area_type == AreaType::Urban)
+            .map(|p| p.area_km2)
+            .sum();
+        urban / self.bounds.area_km2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Country::generate(CountryConfig::tiny());
+        let b = Country::generate(CountryConfig::tiny());
+        assert_eq!(a.districts(), b.districts());
+        assert_eq!(a.postcodes(), b.postcodes());
+    }
+
+    #[test]
+    fn default_country_shape() {
+        let c = Country::generate(CountryConfig::default());
+        assert_eq!(c.districts().len(), 312);
+        assert!(c.postcodes().len() > 312 * 2 - 1);
+        // Every region is represented.
+        for r in Region::ALL {
+            assert!(
+                c.districts().iter().any(|d| d.region == r),
+                "missing region {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn population_is_zipf_skewed_and_capital_is_largest() {
+        let c = Country::generate(CountryConfig::default());
+        let cap = c.capital();
+        let max_pop = c.districts().iter().map(|d| d.population).max().unwrap();
+        assert_eq!(cap.population, max_pop, "capital must be the largest district");
+        // Top 10% of districts hold a large share of the population.
+        let mut pops: Vec<u64> = c.districts().iter().map(|d| d.population).collect();
+        pops.sort_unstable_by(|a, b| b.cmp(a));
+        let top: u64 = pops.iter().take(pops.len() / 10).sum();
+        let total: u64 = pops.iter().sum();
+        assert!(top as f64 / total as f64 > 0.3, "Zipf skew expected");
+    }
+
+    #[test]
+    fn urban_area_fraction_is_calibrated() {
+        let c = Country::generate(CountryConfig::default());
+        let f = c.urban_area_fraction();
+        assert!((f - 0.496).abs() < 0.01, "urban territory share {f}");
+    }
+
+    #[test]
+    fn district_population_matches_postcode_sum() {
+        let c = Country::generate(CountryConfig::tiny());
+        for d in c.districts() {
+            let pc_sum: u64 = d.postcodes.iter().map(|&p| c.postcode(p).population).sum();
+            assert_eq!(d.population, pc_sum, "district {} inconsistent", d.id);
+        }
+    }
+
+    #[test]
+    fn postcode_centroids_inside_bounds() {
+        let c = Country::generate(CountryConfig::default());
+        for p in c.postcodes() {
+            assert!(c.bounds.contains(&p.centroid), "postcode {} outside map", p.id);
+        }
+    }
+
+    #[test]
+    fn some_census_unreliable_postcodes_exist() {
+        let c = Country::generate(CountryConfig::default());
+        let unreliable = c.postcodes().iter().filter(|p| !p.census_reliable).count();
+        let frac = unreliable as f64 / c.postcodes().len() as f64;
+        assert!(frac > 0.005 && frac < 0.08, "unreliable fraction {frac}");
+    }
+
+    #[test]
+    fn areas_sum_to_country_area() {
+        let c = Country::generate(CountryConfig::tiny());
+        let pc_area: f64 = c.postcodes().iter().map(|p| p.area_km2).sum();
+        assert!((pc_area - c.bounds.area_km2()).abs() / c.bounds.area_km2() < 1e-9);
+        let d_area: f64 = c.districts().iter().map(|d| d.area_km2).sum();
+        assert!((d_area - c.bounds.area_km2()).abs() / c.bounds.area_km2() < 1e-9);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Country::generate(CountryConfig::tiny());
+        let mut cfg = CountryConfig::tiny();
+        cfg.seed = 999;
+        let b = Country::generate(cfg);
+        assert_ne!(a.districts()[0].population, b.districts()[0].population);
+    }
+}

@@ -1,0 +1,123 @@
+//! Administrative geography: districts and regions.
+//!
+//! The paper aggregates everything at the level of the 300+ districts
+//! defined by the country's census office, and its regression models use a
+//! coarser `Sector Region` covariate with four values (West, South, North,
+//! Capital area — Table 3).
+
+use serde::{Deserialize, Serialize};
+
+use crate::coords::KmPoint;
+use crate::postcode::PostcodeId;
+
+/// Identifier of a census district.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct DistrictId(pub u16);
+
+impl std::fmt::Display for DistrictId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "D{:03}", self.0)
+    }
+}
+
+/// The four coarse regions used as a regression covariate (Table 3).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Region {
+    /// The capital metropolitan area.
+    Capital,
+    /// Northern part of the country.
+    North,
+    /// Southern part of the country.
+    South,
+    /// Western part of the country.
+    West,
+}
+
+impl Region {
+    /// All regions in declaration order.
+    pub const ALL: [Region; 4] = [Region::Capital, Region::North, Region::South, Region::West];
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Region::Capital => "Capital area",
+            Region::North => "North",
+            Region::South => "South",
+            Region::West => "West",
+        }
+    }
+
+    /// Stable small index, usable as a categorical level.
+    pub fn index(&self) -> usize {
+        match self {
+            Region::Capital => 0,
+            Region::North => 1,
+            Region::South => 2,
+            Region::West => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A census district: the unit of the paper's geodemographic analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct District {
+    /// Identifier (index into the country's district table).
+    pub id: DistrictId,
+    /// Synthetic name, e.g. `"District 042"`.
+    pub name: String,
+    /// Coarse region the district belongs to.
+    pub region: Region,
+    /// Centroid on the country's km plane.
+    pub centroid: KmPoint,
+    /// Land area in km².
+    pub area_km2: f64,
+    /// Census resident population.
+    pub population: u64,
+    /// Postcode areas contained in the district.
+    pub postcodes: Vec<PostcodeId>,
+}
+
+impl District {
+    /// Residents per km².
+    pub fn population_density(&self) -> f64 {
+        self.population as f64 / self.area_km2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_names_and_indices_are_stable() {
+        assert_eq!(Region::Capital.name(), "Capital area");
+        assert_eq!(Region::West.to_string(), "West");
+        let idx: Vec<usize> = Region::ALL.iter().map(Region::index).collect();
+        assert_eq!(idx, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn district_density() {
+        let d = District {
+            id: DistrictId(1),
+            name: "District 001".into(),
+            region: Region::North,
+            centroid: KmPoint::new(0.0, 0.0),
+            area_km2: 50.0,
+            population: 100_000,
+            postcodes: vec![],
+        };
+        assert_eq!(d.population_density(), 2000.0);
+        assert_eq!(d.id.to_string(), "D001");
+    }
+}

@@ -1,0 +1,257 @@
+//! A uniform spatial hash grid over the km plane.
+//!
+//! Used for nearest-sector queries during simulation (which sector serves a
+//! UE at a given position) and for neighbor-list construction in the
+//! topology crate. Queries expand ring-by-ring, so nearest-neighbour cost is
+//! proportional to local point density, not to the total count.
+
+use crate::coords::{KmPoint, KmRect};
+
+/// A spatial index mapping points to payloads of type `T`.
+#[derive(Debug, Clone)]
+pub struct GridIndex<T> {
+    bounds: KmRect,
+    cell_km: f64,
+    nx: usize,
+    ny: usize,
+    cells: Vec<Vec<(KmPoint, T)>>,
+    len: usize,
+}
+
+impl<T: Clone> GridIndex<T> {
+    /// Create an index over `bounds` with square cells of side `cell_km`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_km <= 0`.
+    pub fn new(bounds: KmRect, cell_km: f64) -> Self {
+        assert!(cell_km > 0.0, "cell size must be positive");
+        let nx = (bounds.width() / cell_km).ceil().max(1.0) as usize;
+        let ny = (bounds.height() / cell_km).ceil().max(1.0) as usize;
+        GridIndex { bounds, cell_km, nx, ny, cells: vec![Vec::new(); nx * ny], len: 0 }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn cell_of(&self, p: &KmPoint) -> (usize, usize) {
+        let p = self.bounds.clamp(p);
+        let cx = ((p.x - self.bounds.min.x) / self.cell_km) as usize;
+        let cy = ((p.y - self.bounds.min.y) / self.cell_km) as usize;
+        (cx.min(self.nx - 1), cy.min(self.ny - 1))
+    }
+
+    /// Insert a point with its payload. Points outside the bounds are
+    /// clamped into the border cells.
+    pub fn insert(&mut self, p: KmPoint, value: T) {
+        let (cx, cy) = self.cell_of(&p);
+        self.cells[cy * self.nx + cx].push((p, value));
+        self.len += 1;
+    }
+
+    /// All `(point, payload)` pairs within `radius_km` of `center`.
+    pub fn within_radius(&self, center: &KmPoint, radius_km: f64) -> Vec<(KmPoint, &T)> {
+        let mut out = Vec::new();
+        let (ccx, ccy) = self.cell_of(center);
+        let r_cells = (radius_km / self.cell_km).ceil() as isize + 1;
+        for dy in -r_cells..=r_cells {
+            for dx in -r_cells..=r_cells {
+                let cx = ccx as isize + dx;
+                let cy = ccy as isize + dy;
+                if cx < 0 || cy < 0 || cx >= self.nx as isize || cy >= self.ny as isize {
+                    continue;
+                }
+                for (p, v) in &self.cells[cy as usize * self.nx + cx as usize] {
+                    if p.distance_km(center) <= radius_km {
+                        out.push((*p, v));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The nearest point to `center`, or `None` if the index is empty.
+    ///
+    /// Searches outward in rings of cells, stopping once the closest found
+    /// point is provably nearer than any unexplored ring.
+    pub fn nearest(&self, center: &KmPoint) -> Option<(KmPoint, &T)> {
+        if self.len == 0 {
+            return None;
+        }
+        let (ccx, ccy) = self.cell_of(center);
+        let max_ring = self.nx.max(self.ny) as isize;
+        let mut best: Option<(f64, KmPoint, &T)> = None;
+        for ring in 0..=max_ring {
+            // Once we have a candidate, stop when the ring's minimum possible
+            // distance exceeds it.
+            if let Some((d, _, _)) = best {
+                let ring_min = (ring - 1).max(0) as f64 * self.cell_km;
+                if ring_min > d {
+                    break;
+                }
+            }
+            let mut visited_any = false;
+            for (cx, cy) in ring_cells(ccx as isize, ccy as isize, ring) {
+                if cx < 0 || cy < 0 || cx >= self.nx as isize || cy >= self.ny as isize {
+                    continue;
+                }
+                visited_any = true;
+                for (p, v) in &self.cells[cy as usize * self.nx + cx as usize] {
+                    let d = p.distance_km(center);
+                    if best.as_ref().is_none_or(|(bd, _, _)| d < *bd) {
+                        best = Some((d, *p, v));
+                    }
+                }
+            }
+            if !visited_any && best.is_some() {
+                break;
+            }
+        }
+        best.map(|(_, p, v)| (p, v))
+    }
+
+    /// The `k` nearest points to `center`, closest first.
+    pub fn k_nearest(&self, center: &KmPoint, k: usize) -> Vec<(KmPoint, &T)> {
+        if k == 0 || self.len == 0 {
+            return Vec::new();
+        }
+        // Expand the radius until enough neighbours are collected, then sort.
+        let mut radius = self.cell_km;
+        let diag = (self.bounds.width().powi(2) + self.bounds.height().powi(2)).sqrt();
+        loop {
+            let mut found = self.within_radius(center, radius);
+            if found.len() >= k || radius > diag {
+                found.sort_by(|a, b| {
+                    a.0.distance_km(center)
+                        .partial_cmp(&b.0.distance_km(center))
+                        .expect("distances are finite")
+                });
+                found.truncate(k);
+                return found;
+            }
+            radius *= 2.0;
+        }
+    }
+}
+
+/// Cells at Chebyshev distance exactly `ring` from `(cx, cy)`.
+fn ring_cells(cx: isize, cy: isize, ring: isize) -> Vec<(isize, isize)> {
+    if ring == 0 {
+        return vec![(cx, cy)];
+    }
+    let mut out = Vec::with_capacity((8 * ring) as usize);
+    for d in -ring..=ring {
+        out.push((cx + d, cy - ring));
+        out.push((cx + d, cy + ring));
+    }
+    for d in (-ring + 1)..ring {
+        out.push((cx - ring, cy + d));
+        out.push((cx + ring, cy + d));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bounds() -> KmRect {
+        KmRect::new(KmPoint::new(0.0, 0.0), KmPoint::new(100.0, 100.0))
+    }
+
+    #[test]
+    fn nearest_on_regular_lattice() {
+        let mut g = GridIndex::new(bounds(), 5.0);
+        for x in 0..10 {
+            for y in 0..10 {
+                g.insert(KmPoint::new(x as f64 * 10.0, y as f64 * 10.0), (x, y));
+            }
+        }
+        let (_, v) = g.nearest(&KmPoint::new(42.0, 38.0)).unwrap();
+        assert_eq!(*v, (4, 4));
+        let (_, v) = g.nearest(&KmPoint::new(1.0, 99.0)).unwrap();
+        assert_eq!(*v, (0, 9));
+    }
+
+    #[test]
+    fn nearest_empty_is_none() {
+        let g: GridIndex<u8> = GridIndex::new(bounds(), 10.0);
+        assert!(g.nearest(&KmPoint::new(0.0, 0.0)).is_none());
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn within_radius_counts() {
+        let mut g = GridIndex::new(bounds(), 10.0);
+        g.insert(KmPoint::new(50.0, 50.0), 'a');
+        g.insert(KmPoint::new(53.0, 50.0), 'b');
+        g.insert(KmPoint::new(80.0, 80.0), 'c');
+        let hits = g.within_radius(&KmPoint::new(50.0, 50.0), 5.0);
+        assert_eq!(hits.len(), 2);
+        let hits = g.within_radius(&KmPoint::new(50.0, 50.0), 100.0);
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn k_nearest_sorted() {
+        let mut g = GridIndex::new(bounds(), 10.0);
+        for i in 0..5 {
+            g.insert(KmPoint::new(i as f64 * 10.0, 0.0), i);
+        }
+        let knn = g.k_nearest(&KmPoint::new(0.0, 0.0), 3);
+        let vals: Vec<i32> = knn.iter().map(|(_, v)| **v).collect();
+        assert_eq!(vals, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn k_nearest_more_than_available() {
+        let mut g = GridIndex::new(bounds(), 10.0);
+        g.insert(KmPoint::new(1.0, 1.0), 1);
+        let knn = g.k_nearest(&KmPoint::new(0.0, 0.0), 5);
+        assert_eq!(knn.len(), 1);
+    }
+
+    #[test]
+    fn points_outside_bounds_are_clamped() {
+        let mut g = GridIndex::new(bounds(), 10.0);
+        g.insert(KmPoint::new(-50.0, -50.0), 'x');
+        assert_eq!(g.len(), 1);
+        assert!(g.nearest(&KmPoint::new(0.0, 0.0)).is_some());
+    }
+
+    #[test]
+    fn nearest_is_exact_against_brute_force() {
+        let mut g = GridIndex::new(bounds(), 7.0);
+        // Deterministic pseudo-random points.
+        let mut pts = Vec::new();
+        let mut s: u64 = 12345;
+        for i in 0..200 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let x = (s >> 33) as f64 % 100.0;
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let y = (s >> 33) as f64 % 100.0;
+            pts.push(KmPoint::new(x, y));
+            g.insert(KmPoint::new(x, y), i);
+        }
+        for q in [KmPoint::new(3.0, 97.0), KmPoint::new(50.0, 50.0), KmPoint::new(99.0, 1.0)] {
+            let (_, got) = g.nearest(&q).unwrap();
+            let brute = pts
+                .iter()
+                .enumerate()
+                .min_by(|a, b| {
+                    a.1.distance_km(&q).partial_cmp(&b.1.distance_km(&q)).unwrap()
+                })
+                .unwrap()
+                .0;
+            assert_eq!(*got, brute);
+        }
+    }
+}

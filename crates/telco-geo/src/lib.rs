@@ -1,0 +1,35 @@
+//! # telco-geo
+//!
+//! Geography substrate for the handover study: coordinates and a local km
+//! projection, census districts and postcode areas with the paper's
+//! urban/rural classification, a deterministic synthetic-country generator,
+//! and a spatial grid index for nearest-sector queries.
+//!
+//! ## Example
+//!
+//! ```
+//! use telco_geo::country::{Country, CountryConfig};
+//! use telco_geo::census::CensusTable;
+//!
+//! let country = Country::generate(CountryConfig::tiny());
+//! let census = CensusTable::publish(&country);
+//! assert_eq!(census.rows().len(), country.districts().len());
+//! let cap = country.capital();
+//! assert!(cap.population_density() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod census;
+pub mod coords;
+pub mod country;
+pub mod district;
+pub mod grid;
+pub mod postcode;
+
+pub use census::{CensusRow, CensusTable};
+pub use coords::{GeoPoint, KmPoint, KmRect, Projection};
+pub use country::{Country, CountryConfig};
+pub use district::{District, DistrictId, Region};
+pub use grid::GridIndex;
+pub use postcode::{AreaType, Postcode, PostcodeId, URBAN_POPULATION_THRESHOLD};

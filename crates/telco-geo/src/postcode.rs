@@ -1,0 +1,123 @@
+//! Postcode areas and the urban/rural classification.
+//!
+//! The paper classifies postcode areas into *urban* and *rural* using
+//! census population (more / less than 10k residents, §3.2), and uses the
+//! classification both as a demographic segmentation and as a proxy for
+//! denser/sparser RAN deployments.
+
+use serde::{Deserialize, Serialize};
+
+use crate::coords::KmPoint;
+use crate::district::DistrictId;
+
+/// Identifier of a postcode area.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct PostcodeId(pub u32);
+
+impl std::fmt::Display for PostcodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{:05}", self.0)
+    }
+}
+
+/// Urban/rural classification of a postcode area (§3.2: 10k-resident
+/// threshold).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum AreaType {
+    /// More than [`URBAN_POPULATION_THRESHOLD`] residents.
+    Urban,
+    /// At most [`URBAN_POPULATION_THRESHOLD`] residents.
+    Rural,
+}
+
+impl AreaType {
+    /// Classify a postcode population per the paper's threshold.
+    pub fn classify(population: u64) -> AreaType {
+        if population > URBAN_POPULATION_THRESHOLD {
+            AreaType::Urban
+        } else {
+            AreaType::Rural
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AreaType::Urban => "Urban",
+            AreaType::Rural => "Rural",
+        }
+    }
+
+    /// Stable index for categorical encodings (Urban = 0, Rural = 1).
+    pub fn index(&self) -> usize {
+        match self {
+            AreaType::Urban => 0,
+            AreaType::Rural => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for AreaType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The census population above which a postcode counts as urban (§3.2).
+pub const URBAN_POPULATION_THRESHOLD: u64 = 10_000;
+
+/// A postcode area: the finest geographic unit of the study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Postcode {
+    /// Identifier (index into the country's postcode table).
+    pub id: PostcodeId,
+    /// District containing this postcode.
+    pub district: DistrictId,
+    /// Centroid on the country's km plane.
+    pub centroid: KmPoint,
+    /// Land area in km².
+    pub area_km2: f64,
+    /// Census resident population.
+    pub population: u64,
+    /// Urban/rural classification (derived from `population`).
+    pub area_type: AreaType,
+    /// Whether reliable census information exists; the paper drops 3.1% of
+    /// postcodes from the geo-temporal analysis for lacking it (§5.1).
+    pub census_reliable: bool,
+}
+
+impl Postcode {
+    /// Residents per km².
+    pub fn population_density(&self) -> f64 {
+        self.population as f64 / self.area_km2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_threshold() {
+        assert_eq!(AreaType::classify(10_001), AreaType::Urban);
+        assert_eq!(AreaType::classify(10_000), AreaType::Rural);
+        assert_eq!(AreaType::classify(0), AreaType::Rural);
+    }
+
+    #[test]
+    fn names_and_indices() {
+        assert_eq!(AreaType::Urban.name(), "Urban");
+        assert_eq!(AreaType::Rural.to_string(), "Rural");
+        assert_eq!(AreaType::Urban.index(), 0);
+        assert_eq!(AreaType::Rural.index(), 1);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(PostcodeId(42).to_string(), "P00042");
+    }
+}

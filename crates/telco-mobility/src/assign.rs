@@ -1,0 +1,154 @@
+//! Home and work anchor assignment.
+//!
+//! UEs are anchored at home postcodes proportionally to census population —
+//! which is what makes the paper's Fig. 5 inference (night-time home
+//! location vs census) land on a near-perfect linear relationship — and
+//! commuters get a work anchor biased towards employment centres (their
+//! district's town postcode or a nearby urban one).
+
+use rand::{Rng, RngExt};
+use rand_distr::{Distribution, LogNormal};
+
+use telco_geo::coords::KmPoint;
+use telco_geo::country::Country;
+use telco_geo::postcode::PostcodeId;
+
+/// Weighted assignment of home postcodes: each UE independently draws a
+/// postcode with probability proportional to its census population.
+pub fn assign_home_postcodes<R: Rng + ?Sized>(
+    country: &Country,
+    n_ues: usize,
+    rng: &mut R,
+) -> Vec<PostcodeId> {
+    let mut cumulative: Vec<f64> = Vec::with_capacity(country.postcodes().len());
+    let mut acc = 0.0;
+    for pc in country.postcodes() {
+        acc += pc.population as f64;
+        cumulative.push(acc);
+    }
+    assert!(acc > 0.0, "country has no population");
+    (0..n_ues)
+        .map(|_| {
+            let u: f64 = rng.random_range(0.0..acc);
+            let idx = cumulative.partition_point(|&c| c <= u).min(cumulative.len() - 1);
+            PostcodeId(idx as u32)
+        })
+        .collect()
+}
+
+/// A concrete home point inside a postcode: scattered around the centroid
+/// within the postcode's equivalent radius.
+pub fn home_point<R: Rng + ?Sized>(
+    country: &Country,
+    postcode: PostcodeId,
+    rng: &mut R,
+) -> KmPoint {
+    let pc = country.postcode(postcode);
+    let radius = (pc.area_km2 / std::f64::consts::PI).sqrt();
+    let ang: f64 = rng.random_range(0.0..std::f64::consts::TAU);
+    let r: f64 = rng.random::<f64>().sqrt() * radius * 0.9;
+    country
+        .bounds
+        .clamp(&KmPoint::new(pc.centroid.x + ang.cos() * r, pc.centroid.y + ang.sin() * r))
+}
+
+/// A work anchor for a commuter living at `home` in `home_postcode`:
+/// a point at a commute-scaled distance, biased towards the district's
+/// employment centre (the most populous postcode of the home district).
+pub fn work_point<R: Rng + ?Sized>(
+    country: &Country,
+    home_postcode: PostcodeId,
+    home: KmPoint,
+    rng: &mut R,
+) -> KmPoint {
+    let district = country.district(country.postcode(home_postcode).district);
+    // Employment centre: the district's most populous postcode.
+    let centre = district
+        .postcodes
+        .iter()
+        .map(|&p| country.postcode(p))
+        .max_by_key(|p| p.population)
+        .expect("district has postcodes")
+        .centroid;
+    // Commute distance: lognormal with ~7.5 km median (drives the 2.7 km
+    // median radius of gyration of Fig. 10b).
+    let dist = LogNormal::new(7.5f64.ln(), 0.55).expect("valid lognormal").sample(rng);
+    let ang: f64 = rng.random_range(0.0..std::f64::consts::TAU);
+    let free = KmPoint::new(home.x + ang.cos() * dist, home.y + ang.sin() * dist);
+    // Blend towards the employment centre.
+    let w: f64 = rng.random_range(0.3..0.8);
+    country.bounds.clamp(&KmPoint::new(
+        free.x * (1.0 - w) + centre.x * w,
+        free.y * (1.0 - w) + centre.y * w,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use telco_geo::country::CountryConfig;
+
+    #[test]
+    fn homes_track_population() {
+        let country = Country::generate(CountryConfig::tiny());
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let homes = assign_home_postcodes(&country, 30_000, &mut rng);
+        // Compare realized district shares against census shares.
+        let mut per_district = vec![0usize; country.districts().len()];
+        for &h in &homes {
+            per_district[country.postcode(h).district.0 as usize] += 1;
+        }
+        let total_pop = country.total_population() as f64;
+        for d in country.districts() {
+            let census_share = d.population as f64 / total_pop;
+            let realized = per_district[d.id.0 as usize] as f64 / homes.len() as f64;
+            assert!(
+                (realized - census_share).abs() < 0.02 + census_share * 0.25,
+                "district {}: census {census_share:.4} vs realized {realized:.4}",
+                d.id
+            );
+        }
+    }
+
+    #[test]
+    fn home_points_inside_bounds() {
+        let country = Country::generate(CountryConfig::tiny());
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for pc in country.postcodes().iter().take(20) {
+            for _ in 0..5 {
+                let p = home_point(&country, pc.id, &mut rng);
+                assert!(country.bounds.contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn work_points_at_commute_distance() {
+        let country = Country::generate(CountryConfig::tiny());
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let pc = country.postcodes()[0].id;
+        let home = home_point(&country, pc, &mut rng);
+        let mut total = 0.0;
+        let n = 200;
+        for _ in 0..n {
+            let w = work_point(&country, pc, home, &mut rng);
+            total += home.distance_km(&w);
+            assert!(country.bounds.contains(&w));
+        }
+        let mean = total / n as f64;
+        assert!(
+            (1.0..30.0).contains(&mean),
+            "mean commute distance {mean} km out of plausible range"
+        );
+    }
+
+    #[test]
+    fn assignment_is_deterministic_given_rng() {
+        let country = Country::generate(CountryConfig::tiny());
+        let a = assign_home_postcodes(&country, 100, &mut ChaCha8Rng::seed_from_u64(1));
+        let b = assign_home_postcodes(&country, 100, &mut ChaCha8Rng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,45 @@
+//! # telco-mobility
+//!
+//! UE mobility substrate: per-device-type mobility profiles calibrated to
+//! the paper's Fig. 10 ECDFs, diurnal/weekly activity schedules matching
+//! Fig. 7's temporal dynamics, piecewise-linear daily trajectory synthesis,
+//! home/work anchor assignment proportional to census population, and the
+//! §3.3 mobility metrics (visited sectors, radius of gyration).
+//!
+//! ## Example
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//! use telco_geo::coords::{KmPoint, KmRect};
+//! use telco_mobility::profile::MobilityProfile;
+//! use telco_mobility::schedule::{DayOfWeek, WeeklySchedule};
+//! use telco_mobility::trajectory::DayTrajectory;
+//!
+//! let mut rng = ChaCha8Rng::seed_from_u64(1);
+//! let bounds = KmRect::new(KmPoint::new(0.0, 0.0), KmPoint::new(100.0, 100.0));
+//! let t = DayTrajectory::generate(
+//!     MobilityProfile::Commuter,
+//!     KmPoint::new(50.0, 50.0),
+//!     Some(KmPoint::new(55.0, 50.0)),
+//!     DayOfWeek::Monday,
+//!     &WeeklySchedule::default(),
+//!     &bounds,
+//!     &mut rng,
+//! );
+//! assert!(t.total_distance_km() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod assign;
+pub mod metrics;
+pub mod profile;
+pub mod schedule;
+pub mod trajectory;
+
+pub use assign::{assign_home_postcodes, home_point, work_point};
+pub use metrics::{center_of_mass, radius_of_gyration, DailyMobility, Visit};
+pub use profile::MobilityProfile;
+pub use schedule::{DayOfWeek, WeeklySchedule, SLOTS_PER_DAY};
+pub use trajectory::{DayTrajectory, Waypoint, DAY_MS};

@@ -1,0 +1,168 @@
+//! Mobility metrics: radius of gyration and visited-sector accounting.
+//!
+//! §3.3 of the paper defines two device-level mobility metrics computed at
+//! daily intervals: the *number of distinct sectors* a UE successfully
+//! communicates with, and the *radius of gyration* — the time-weighted RMS
+//! distance of visited cell-site locations from the user's centre of mass.
+//!
+//! Note on the formula: the paper's inline expression multiplies locations
+//! by dwell times inside the norm, which is dimensionally inconsistent as
+//! printed; we implement the standard time-weighted form of González et
+//! al. (Nature 2008), which the paper cites as its source:
+//! `g = sqrt( Σ_j t_j ‖l_j − l_cm‖² / Σ_j t_j )` with
+//! `l_cm = Σ_j t_j l_j / Σ_j t_j`.
+
+use telco_geo::coords::KmPoint;
+
+/// A visit: a location and the time spent there (any consistent unit).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Visit {
+    /// Visited cell-site location.
+    pub location: KmPoint,
+    /// Dwell weight (e.g. milliseconds spent camped on the site).
+    pub dwell: f64,
+}
+
+/// Time-weighted centre of mass of a visit sequence. `None` if the total
+/// dwell is zero.
+pub fn center_of_mass(visits: &[Visit]) -> Option<KmPoint> {
+    let total: f64 = visits.iter().map(|v| v.dwell).sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let x = visits.iter().map(|v| v.location.x * v.dwell).sum::<f64>() / total;
+    let y = visits.iter().map(|v| v.location.y * v.dwell).sum::<f64>() / total;
+    Some(KmPoint::new(x, y))
+}
+
+/// Time-weighted radius of gyration in km. `None` if the total dwell is
+/// zero (no observations).
+pub fn radius_of_gyration(visits: &[Visit]) -> Option<f64> {
+    let cm = center_of_mass(visits)?;
+    let total: f64 = visits.iter().map(|v| v.dwell).sum();
+    let ss: f64 = visits
+        .iter()
+        .map(|v| {
+            let d = v.location.distance_km(&cm);
+            v.dwell * d * d
+        })
+        .sum();
+    Some((ss / total).sqrt())
+}
+
+/// Accumulates a day of sector visits for one UE and yields the two §3.3
+/// metrics.
+#[derive(Debug, Clone, Default)]
+pub struct DailyMobility {
+    visits: Vec<(u32, Visit)>, // (sector id, visit)
+}
+
+impl DailyMobility {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a camp interval on a sector located at `site_location`.
+    pub fn record(&mut self, sector: u32, site_location: KmPoint, dwell_ms: f64) {
+        // Merge consecutive intervals on the same sector to bound memory.
+        if let Some((last_sector, last_visit)) = self.visits.last_mut() {
+            if *last_sector == sector {
+                last_visit.dwell += dwell_ms;
+                return;
+            }
+        }
+        self.visits.push((sector, Visit { location: site_location, dwell: dwell_ms }));
+    }
+
+    /// Number of *distinct* sectors visited.
+    pub fn distinct_sectors(&self) -> usize {
+        let mut ids: Vec<u32> = self.visits.iter().map(|&(s, _)| s).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// Radius of gyration over the recorded visits, km.
+    pub fn gyration_km(&self) -> f64 {
+        let visits: Vec<Visit> = self.visits.iter().map(|&(_, v)| v).collect();
+        radius_of_gyration(&visits).unwrap_or(0.0)
+    }
+
+    /// Whether any visit was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.visits.is_empty()
+    }
+
+    /// Number of camp intervals (≥ distinct sectors; counts re-visits).
+    pub fn intervals(&self) -> usize {
+        self.visits.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: f64, y: f64, t: f64) -> Visit {
+        Visit { location: KmPoint::new(x, y), dwell: t }
+    }
+
+    #[test]
+    fn single_location_has_zero_gyration() {
+        let g = radius_of_gyration(&[v(3.0, 4.0, 100.0)]).unwrap();
+        assert_eq!(g, 0.0);
+    }
+
+    #[test]
+    fn symmetric_two_points() {
+        // Equal dwell at (0,0) and (10,0): cm at (5,0), gyration 5.
+        let g = radius_of_gyration(&[v(0.0, 0.0, 1.0), v(10.0, 0.0, 1.0)]).unwrap();
+        assert!((g - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dwell_weighting_pulls_center() {
+        // 3:1 dwell: cm at 2.5, gyration = sqrt((3*2.5² + 1*7.5²)/4) ≈ 4.33.
+        let g = radius_of_gyration(&[v(0.0, 0.0, 3.0), v(10.0, 0.0, 1.0)]).unwrap();
+        let expected = ((3.0 * 6.25 + 56.25) / 4.0f64).sqrt();
+        assert!((g - expected).abs() < 1e-12);
+        let cm = center_of_mass(&[v(0.0, 0.0, 3.0), v(10.0, 0.0, 1.0)]).unwrap();
+        assert!((cm.x - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_dwell_is_none() {
+        assert!(radius_of_gyration(&[v(0.0, 0.0, 0.0)]).is_none());
+        assert!(radius_of_gyration(&[]).is_none());
+    }
+
+    #[test]
+    fn daily_mobility_merges_consecutive_and_counts_distinct() {
+        let mut m = DailyMobility::new();
+        let p = KmPoint::new(0.0, 0.0);
+        m.record(1, p, 10.0);
+        m.record(1, p, 10.0); // merged
+        m.record(2, KmPoint::new(1.0, 0.0), 5.0);
+        m.record(1, p, 10.0); // revisit: new interval, same distinct id
+        assert_eq!(m.intervals(), 3);
+        assert_eq!(m.distinct_sectors(), 2);
+        assert!(m.gyration_km() > 0.0);
+    }
+
+    #[test]
+    fn static_ue_metrics() {
+        let mut m = DailyMobility::new();
+        m.record(7, KmPoint::new(5.0, 5.0), 86_400_000.0);
+        assert_eq!(m.distinct_sectors(), 1);
+        assert_eq!(m.gyration_km(), 0.0);
+    }
+
+    #[test]
+    fn empty_mobility_defaults() {
+        let m = DailyMobility::new();
+        assert!(m.is_empty());
+        assert_eq!(m.distinct_sectors(), 0);
+        assert_eq!(m.gyration_km(), 0.0);
+    }
+}

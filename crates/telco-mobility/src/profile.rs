@@ -1,0 +1,176 @@
+//! Mobility profiles.
+//!
+//! The paper's mobility metrics differ sharply across device types (§5.3,
+//! Fig. 10): smartphones visit a median of 22 sectors/day with a 2.7 km
+//! median radius of gyration; M2M/IoT devices are mostly static (median 1
+//! sector, 0.0 km) yet include a fast-moving tail (modems on trains,
+//! telematics — 20.1 km gyration at pct-95); feature phones sit in between
+//! (3 sectors, 0.9 km). Profiles are the generative counterpart of those
+//! observations.
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use telco_devices::types::DeviceType;
+
+/// How a UE moves through the country during a day.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum MobilityProfile {
+    /// Never moves (smart meters, fixed routers).
+    Stationary,
+    /// Moves rarely and locally (vending machines relocated, home devices).
+    Nomadic,
+    /// Short local trips on foot around a home anchor.
+    Pedestrian,
+    /// Daily home→work→home pattern with occasional extra trips.
+    Commuter,
+    /// Several medium-range road trips per day.
+    Vehicular,
+    /// Long-distance rail travel (the paper's high-HOF tail).
+    HighSpeedTrain,
+}
+
+impl MobilityProfile {
+    /// All profiles.
+    pub const ALL: [MobilityProfile; 6] = [
+        MobilityProfile::Stationary,
+        MobilityProfile::Nomadic,
+        MobilityProfile::Pedestrian,
+        MobilityProfile::Commuter,
+        MobilityProfile::Vehicular,
+        MobilityProfile::HighSpeedTrain,
+    ];
+
+    /// Profile mix per device type, calibrated to Fig. 10's ECDFs.
+    /// Order matches [`MobilityProfile::ALL`].
+    pub fn mix(device_type: DeviceType) -> [f64; 6] {
+        match device_type {
+            // Smartphones: mostly commuters/pedestrians, small HST tail.
+            DeviceType::Smartphone => [0.01, 0.03, 0.20, 0.62, 0.12, 0.02],
+            // M2M/IoT: overwhelmingly static; ~10% vehicular/rail tail
+            // (fleet modems, wearables) producing the 20 km pct-95.
+            DeviceType::M2mIot => [0.72, 0.13, 0.03, 0.02, 0.08, 0.02],
+            // Feature phones: local movement dominates.
+            DeviceType::FeaturePhone => [0.10, 0.12, 0.48, 0.22, 0.07, 0.01],
+        }
+    }
+
+    /// Sample a profile for a device type.
+    pub fn sample<R: Rng + ?Sized>(device_type: DeviceType, rng: &mut R) -> Self {
+        let mix = Self::mix(device_type);
+        let u: f64 = rng.random::<f64>();
+        let mut acc = 0.0;
+        for (i, &p) in mix.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                return Self::ALL[i];
+            }
+        }
+        *Self::ALL.last().expect("nonempty")
+    }
+
+    /// Typical travel speed in km/h while on a trip.
+    pub fn speed_kmh(&self) -> f64 {
+        match self {
+            MobilityProfile::Stationary => 0.0,
+            MobilityProfile::Nomadic => 4.0,
+            MobilityProfile::Pedestrian => 4.5,
+            MobilityProfile::Commuter => 28.0,
+            MobilityProfile::Vehicular => 70.0,
+            MobilityProfile::HighSpeedTrain => 210.0,
+        }
+    }
+
+    /// Typical one-way trip distance in km (log-median).
+    pub fn trip_distance_km(&self) -> f64 {
+        match self {
+            MobilityProfile::Stationary => 0.0,
+            MobilityProfile::Nomadic => 0.4,
+            MobilityProfile::Pedestrian => 1.3,
+            MobilityProfile::Commuter => 7.5,
+            MobilityProfile::Vehicular => 22.0,
+            MobilityProfile::HighSpeedTrain => 260.0,
+        }
+    }
+
+    /// Number of trips on a typical active day.
+    pub fn trips_per_day(&self) -> usize {
+        match self {
+            MobilityProfile::Stationary => 0,
+            MobilityProfile::Nomadic => 1,
+            MobilityProfile::Pedestrian => 3,
+            MobilityProfile::Commuter => 4,
+            MobilityProfile::Vehicular => 4,
+            MobilityProfile::HighSpeedTrain => 2,
+        }
+    }
+
+    /// Label for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MobilityProfile::Stationary => "Stationary",
+            MobilityProfile::Nomadic => "Nomadic",
+            MobilityProfile::Pedestrian => "Pedestrian",
+            MobilityProfile::Commuter => "Commuter",
+            MobilityProfile::Vehicular => "Vehicular",
+            MobilityProfile::HighSpeedTrain => "High-speed train",
+        }
+    }
+}
+
+impl std::fmt::Display for MobilityProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn mixes_normalize() {
+        for ty in DeviceType::ALL {
+            let sum: f64 = MobilityProfile::mix(ty).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{ty}: mix sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn m2m_is_mostly_static() {
+        let mix = MobilityProfile::mix(DeviceType::M2mIot);
+        assert!(mix[0] + mix[1] > 0.8, "M2M must be overwhelmingly static");
+    }
+
+    #[test]
+    fn smartphones_are_mostly_commuting() {
+        let mix = MobilityProfile::mix(DeviceType::Smartphone);
+        assert!(mix[3] > 0.4, "commuter share too low");
+        assert!(mix[0] < 0.05);
+    }
+
+    #[test]
+    fn sampling_tracks_mix() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let n = 20_000;
+        let stationary = (0..n)
+            .filter(|_| {
+                MobilityProfile::sample(DeviceType::M2mIot, &mut rng)
+                    == MobilityProfile::Stationary
+            })
+            .count();
+        let frac = stationary as f64 / n as f64;
+        assert!((frac - 0.72).abs() < 0.02, "stationary fraction {frac}");
+    }
+
+    #[test]
+    fn speeds_and_distances_scale_with_profile() {
+        assert!(MobilityProfile::HighSpeedTrain.speed_kmh() > MobilityProfile::Vehicular.speed_kmh());
+        assert!(MobilityProfile::Vehicular.trip_distance_km() > MobilityProfile::Commuter.trip_distance_km());
+        assert_eq!(MobilityProfile::Stationary.trips_per_day(), 0);
+    }
+}

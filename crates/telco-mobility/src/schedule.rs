@@ -1,0 +1,257 @@
+//! Diurnal and weekly activity schedules.
+//!
+//! Calibrated to the paper's Fig. 7 temporal dynamics (§5.1): on weekdays,
+//! HO activity rises ×3 between 6:00 and 8:00, peaks at 8:00–8:30 and again
+//! at 15:00–15:30, then decays ≈11% per 30 minutes to a nightly minimum at
+//! 2:00–3:30; weekends show a single midday peak (12:00–13:00) with the
+//! Sunday peak ≈33% below Friday's, and the minimum shifted to 3:00–5:00.
+
+use serde::{Deserialize, Serialize};
+
+/// 30-minute slots per day.
+pub const SLOTS_PER_DAY: usize = 48;
+
+/// Day of week (the study starts Monday 2024-01-29).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[allow(missing_docs)]
+pub enum DayOfWeek {
+    Monday,
+    Tuesday,
+    Wednesday,
+    Thursday,
+    Friday,
+    Saturday,
+    Sunday,
+}
+
+impl DayOfWeek {
+    /// All days, Monday first.
+    pub const ALL: [DayOfWeek; 7] = [
+        DayOfWeek::Monday,
+        DayOfWeek::Tuesday,
+        DayOfWeek::Wednesday,
+        DayOfWeek::Thursday,
+        DayOfWeek::Friday,
+        DayOfWeek::Saturday,
+        DayOfWeek::Sunday,
+    ];
+
+    /// Day of week for a zero-based study day index (day 0 = Monday).
+    pub fn from_study_day(day: u32) -> Self {
+        Self::ALL[(day % 7) as usize]
+    }
+
+    /// Whether the day is Saturday or Sunday.
+    pub fn is_weekend(&self) -> bool {
+        matches!(self, DayOfWeek::Saturday | DayOfWeek::Sunday)
+    }
+
+    /// Short label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DayOfWeek::Monday => "Mo",
+            DayOfWeek::Tuesday => "Tu",
+            DayOfWeek::Wednesday => "We",
+            DayOfWeek::Thursday => "Th",
+            DayOfWeek::Friday => "Fr",
+            DayOfWeek::Saturday => "Sa",
+            DayOfWeek::Sunday => "Su",
+        }
+    }
+
+    /// Index 0..7, Monday = 0.
+    pub fn index(&self) -> usize {
+        Self::ALL.iter().position(|d| d == self).expect("listed")
+    }
+}
+
+impl std::fmt::Display for DayOfWeek {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The weekly activity schedule: a relative mobility intensity per
+/// 30-minute slot for weekdays and weekend days, plus per-day scaling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeeklySchedule {
+    weekday: Vec<f64>,
+    weekend: Vec<f64>,
+}
+
+impl Default for WeeklySchedule {
+    fn default() -> Self {
+        WeeklySchedule { weekday: weekday_curve(), weekend: weekend_curve() }
+    }
+}
+
+impl WeeklySchedule {
+    /// Relative activity intensity (peak weekday slot = 1.0) for a slot of
+    /// a given day. Saturday runs at 80% and Sunday at 67% of the weekday
+    /// peak (Fig. 7: Sunday peak is −33% vs Friday).
+    pub fn intensity(&self, day: DayOfWeek, slot: usize) -> f64 {
+        assert!(slot < SLOTS_PER_DAY, "slot {slot} out of range");
+        match day {
+            DayOfWeek::Saturday => self.weekend[slot] * 0.80,
+            DayOfWeek::Sunday => self.weekend[slot] * 0.67,
+            _ => self.weekday[slot],
+        }
+    }
+
+    /// The slot with maximum intensity on a day.
+    pub fn peak_slot(&self, day: DayOfWeek) -> usize {
+        (0..SLOTS_PER_DAY)
+            .max_by(|&a, &b| {
+                self.intensity(day, a)
+                    .partial_cmp(&self.intensity(day, b))
+                    .expect("finite")
+            })
+            .expect("nonempty")
+    }
+
+    /// Probability weights for trip departure times on a day (normalized).
+    pub fn departure_weights(&self, day: DayOfWeek) -> Vec<f64> {
+        let mut w: Vec<f64> = (0..SLOTS_PER_DAY).map(|s| self.intensity(day, s)).collect();
+        let sum: f64 = w.iter().sum();
+        for v in &mut w {
+            *v /= sum;
+        }
+        w
+    }
+}
+
+/// Weekday intensity curve (48 slots, peak = 1.0).
+fn weekday_curve() -> Vec<f64> {
+    let mut c = vec![0.0; SLOTS_PER_DAY];
+    for (slot, v) in c.iter_mut().enumerate() {
+        let h = slot as f64 / 2.0;
+        *v = if h < 2.0 {
+            // Post-midnight decline into the minimum.
+            0.14 - 0.02 * h
+        } else if h < 3.5 {
+            0.10 // nightly minimum at 2:00–3:30
+        } else if h < 6.0 {
+            0.10 + (h - 3.5) * 0.09 // slow pre-dawn rise
+        } else if h < 8.0 {
+            // The ×3 morning surge from 6:00 to the 8:00 peak.
+            0.33 + (h - 6.0) / 2.0 * 0.67
+        } else if h < 8.5 {
+            1.0 // morning peak 8:00–8:30
+        } else if h < 12.0 {
+            0.80 // mid-morning plateau
+        } else if h < 15.0 {
+            0.85 // early afternoon build-up
+        } else if h < 15.5 {
+            0.97 // afternoon peak 15:00–15:30
+        } else {
+            // Geometric decay ≈11% per 30-minute slot until midnight.
+            0.97 * 0.89_f64.powf((h - 15.5) * 2.0)
+        };
+    }
+    c
+}
+
+/// Weekend intensity curve: single midday peak 12:00–13:00, minimum at
+/// 3:00–5:00.
+fn weekend_curve() -> Vec<f64> {
+    let mut c = vec![0.0; SLOTS_PER_DAY];
+    for (slot, v) in c.iter_mut().enumerate() {
+        let h = slot as f64 / 2.0;
+        *v = if h < 3.0 {
+            0.16 - 0.02 * h
+        } else if h < 5.0 {
+            0.09 // weekend minimum 3:00–5:00
+        } else if h < 12.0 {
+            0.09 + (h - 5.0) / 7.0 * 0.91 // long morning ramp
+        } else if h < 13.0 {
+            1.0 // midday peak 12:00–13:00
+        } else {
+            // First post-peak slot already decayed one step.
+            0.93_f64.powf((h - 13.0) * 2.0 + 1.0)
+        };
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn study_day_zero_is_monday() {
+        assert_eq!(DayOfWeek::from_study_day(0), DayOfWeek::Monday);
+        assert_eq!(DayOfWeek::from_study_day(5), DayOfWeek::Saturday);
+        assert_eq!(DayOfWeek::from_study_day(6), DayOfWeek::Sunday);
+        assert_eq!(DayOfWeek::from_study_day(7), DayOfWeek::Monday);
+    }
+
+    #[test]
+    fn weekday_peaks_at_morning_rush() {
+        let s = WeeklySchedule::default();
+        let peak = s.peak_slot(DayOfWeek::Monday);
+        assert_eq!(peak, 16, "peak must be the 8:00–8:30 slot");
+    }
+
+    #[test]
+    fn weekend_peaks_at_midday() {
+        let s = WeeklySchedule::default();
+        let peak = s.peak_slot(DayOfWeek::Sunday);
+        assert!((24..26).contains(&peak), "weekend peak slot {peak}");
+    }
+
+    #[test]
+    fn sunday_peak_is_a_third_below_friday() {
+        let s = WeeklySchedule::default();
+        let fri = s.intensity(DayOfWeek::Friday, s.peak_slot(DayOfWeek::Friday));
+        let sun = s.intensity(DayOfWeek::Sunday, s.peak_slot(DayOfWeek::Sunday));
+        let drop = 1.0 - sun / fri;
+        assert!((drop - 0.33).abs() < 0.02, "Sunday drop {drop}");
+    }
+
+    #[test]
+    fn morning_surge_is_threefold() {
+        let s = WeeklySchedule::default();
+        let at6 = s.intensity(DayOfWeek::Tuesday, 12);
+        let at8 = s.intensity(DayOfWeek::Tuesday, 16);
+        let ratio = at8 / at6;
+        assert!((2.5..3.5).contains(&ratio), "6→8 surge ×{ratio}");
+    }
+
+    #[test]
+    fn weekday_minimum_in_small_hours() {
+        let s = WeeklySchedule::default();
+        let min_slot = (0..SLOTS_PER_DAY)
+            .min_by(|&a, &b| {
+                s.intensity(DayOfWeek::Wednesday, a)
+                    .partial_cmp(&s.intensity(DayOfWeek::Wednesday, b))
+                    .unwrap()
+            })
+            .unwrap();
+        // 2:00–3:30 → slots 4..7.
+        assert!((4..7).contains(&min_slot), "min slot {min_slot}");
+    }
+
+    #[test]
+    fn afternoon_decay_rate() {
+        let s = WeeklySchedule::default();
+        // Between 16:00 and 20:00, each slot decays ≈11%.
+        for slot in 32..40 {
+            let r = s.intensity(DayOfWeek::Monday, slot + 1)
+                / s.intensity(DayOfWeek::Monday, slot);
+            assert!((r - 0.89).abs() < 0.02, "slot {slot} decay ratio {r}");
+        }
+    }
+
+    #[test]
+    fn departure_weights_normalize() {
+        let s = WeeklySchedule::default();
+        for day in DayOfWeek::ALL {
+            let w = s.departure_weights(day);
+            let sum: f64 = w.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+            assert_eq!(w.len(), SLOTS_PER_DAY);
+        }
+    }
+}

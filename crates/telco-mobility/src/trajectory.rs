@@ -1,0 +1,409 @@
+//! Per-UE daily trajectory synthesis.
+//!
+//! A trajectory is a piecewise-linear path through the km plane: waypoints
+//! with millisecond-of-day timestamps. The simulation walks it, mapping
+//! positions to serving sectors; everything the paper measures about
+//! mobility (visited sectors, radius of gyration, HO timing) derives from
+//! these paths.
+
+use rand::{Rng, RngExt};
+use rand_distr::{Distribution, LogNormal};
+use serde::{Deserialize, Serialize};
+
+use telco_geo::coords::{KmPoint, KmRect};
+
+use crate::profile::MobilityProfile;
+use crate::schedule::{DayOfWeek, WeeklySchedule};
+
+/// Milliseconds in a day.
+pub const DAY_MS: u32 = 86_400_000;
+
+/// A timestamped position.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Waypoint {
+    /// Millisecond of day.
+    pub time_ms: u32,
+    /// Position on the km plane.
+    pub pos: KmPoint,
+}
+
+/// One day of movement: waypoints in ascending time order. The UE is
+/// assumed to sit at the first waypoint from midnight and at the last
+/// waypoint until the following midnight; between waypoints it moves
+/// linearly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DayTrajectory {
+    waypoints: Vec<Waypoint>,
+}
+
+impl DayTrajectory {
+    /// A trajectory that never leaves `home`.
+    pub fn stationary(home: KmPoint) -> Self {
+        DayTrajectory { waypoints: vec![Waypoint { time_ms: 0, pos: home }] }
+    }
+
+    /// Build from raw waypoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty or not strictly ascending in time.
+    pub fn from_waypoints(waypoints: Vec<Waypoint>) -> Self {
+        assert!(!waypoints.is_empty(), "trajectory needs at least one waypoint");
+        assert!(
+            waypoints.windows(2).all(|w| w[0].time_ms < w[1].time_ms),
+            "waypoints must be strictly ascending in time"
+        );
+        assert!(
+            waypoints.last().expect("nonempty").time_ms < DAY_MS,
+            "waypoints must lie within the day"
+        );
+        DayTrajectory { waypoints }
+    }
+
+    /// The waypoints.
+    pub fn waypoints(&self) -> &[Waypoint] {
+        &self.waypoints
+    }
+
+    /// Position at a millisecond of day (linear interpolation).
+    pub fn position_at(&self, t_ms: u32) -> KmPoint {
+        let wps = &self.waypoints;
+        if t_ms <= wps[0].time_ms {
+            return wps[0].pos;
+        }
+        let last = wps.last().expect("nonempty");
+        if t_ms >= last.time_ms {
+            return last.pos;
+        }
+        // Find the segment containing t.
+        let i = wps.partition_point(|w| w.time_ms <= t_ms);
+        let (a, b) = (&wps[i - 1], &wps[i]);
+        let f = (t_ms - a.time_ms) as f64 / (b.time_ms - a.time_ms) as f64;
+        KmPoint::new(a.pos.x + (b.pos.x - a.pos.x) * f, a.pos.y + (b.pos.y - a.pos.y) * f)
+    }
+
+    /// Total path length in km.
+    pub fn total_distance_km(&self) -> f64 {
+        self.waypoints.windows(2).map(|w| w[0].pos.distance_km(&w[1].pos)).sum()
+    }
+
+    /// Whether the UE moves at all during the day.
+    pub fn is_static(&self) -> bool {
+        self.total_distance_km() < 1e-9
+    }
+
+    /// Generate a day of movement.
+    ///
+    /// `home` anchors the UE; `work` is used by commuter profiles on
+    /// weekdays. All destinations are clamped into `bounds`.
+    pub fn generate<R: Rng + ?Sized>(
+        profile: MobilityProfile,
+        home: KmPoint,
+        work: Option<KmPoint>,
+        day: DayOfWeek,
+        schedule: &WeeklySchedule,
+        bounds: &KmRect,
+        rng: &mut R,
+    ) -> Self {
+        let mut b = TrajectoryBuilder::new(home, profile.speed_kmh().max(1.0), *bounds);
+        match profile {
+            MobilityProfile::Stationary => return DayTrajectory::stationary(home),
+            MobilityProfile::Nomadic => {
+                // One short relocation, sometimes returning.
+                let depart = sample_departure(schedule, day, rng, 8.0, 20.0);
+                let dest = b.random_destination(home, MobilityProfile::Nomadic, rng);
+                b.travel_at(depart, dest);
+                if rng.random::<f64>() < 0.5 {
+                    b.travel_after_dwell(rng.random_range(1.0..5.0), home);
+                }
+            }
+            MobilityProfile::Pedestrian => {
+                let n_trips = 1 + rng.random_range(0..3);
+                for _ in 0..n_trips {
+                    let depart = sample_departure(schedule, day, rng, 7.0, 21.0);
+                    let dest = b.random_destination(home, MobilityProfile::Pedestrian, rng);
+                    if !b.travel_at(depart, dest) {
+                        break;
+                    }
+                    b.travel_after_dwell(rng.random_range(0.4..1.6), home);
+                }
+            }
+            MobilityProfile::Commuter => {
+                if day.is_weekend() {
+                    // Weekend: a midday leisure trip from home — commuter-
+                    // scale distances (family visits, shopping centres).
+                    let depart = sample_departure(schedule, day, rng, 10.0, 15.0);
+                    let dest = b.random_destination(home, MobilityProfile::Commuter, rng);
+                    if b.travel_at(depart, dest) {
+                        b.travel_after_dwell(rng.random_range(1.0..4.0), home);
+                    }
+                } else {
+                    let work = work.unwrap_or_else(|| {
+                        b.random_destination(home, MobilityProfile::Commuter, rng)
+                    });
+                    // Morning commute, peaked before the 8:00 HO peak.
+                    let depart = 6.6 + rng.random::<f64>() * 1.8;
+                    b.travel_at(depart, work);
+                    // Optional lunch errand.
+                    if rng.random::<f64>() < 0.4 {
+                        let lunch = b.random_destination(work, MobilityProfile::Pedestrian, rng);
+                        b.travel_at(12.0 + rng.random::<f64>() * 1.5, lunch);
+                        b.travel_after_dwell(0.7, work);
+                    }
+                    // Afternoon return, driving the 15:00–15:30 peak.
+                    let ret = 14.8 + rng.random::<f64>() * 2.6;
+                    b.travel_at(ret, home);
+                    // Occasional evening errand.
+                    if rng.random::<f64>() < 0.3 {
+                        let ev = b.random_destination(home, MobilityProfile::Pedestrian, rng);
+                        if b.travel_at(18.0 + rng.random::<f64>() * 3.0, ev) {
+                            b.travel_after_dwell(rng.random_range(0.5..2.0), home);
+                        }
+                    }
+                }
+            }
+            MobilityProfile::Vehicular => {
+                let n_trips = 2 + rng.random_range(0..3);
+                let mut from = home;
+                for _ in 0..n_trips {
+                    let depart = sample_departure(schedule, day, rng, 6.0, 20.0);
+                    let dest = b.random_destination(from, MobilityProfile::Vehicular, rng);
+                    if !b.travel_at(depart, dest) {
+                        break;
+                    }
+                    from = dest;
+                }
+                b.travel_after_dwell(1.0, home);
+            }
+            MobilityProfile::HighSpeedTrain => {
+                let depart = 6.5 + rng.random::<f64>() * 4.0;
+                let dest = b.random_destination(home, MobilityProfile::HighSpeedTrain, rng);
+                if b.travel_at(depart, dest) {
+                    // Return in the evening when time allows.
+                    b.travel_after_dwell(rng.random_range(3.0..6.0), home);
+                }
+            }
+        }
+        b.finish()
+    }
+}
+
+/// Incremental trajectory assembly with travel-time accounting.
+struct TrajectoryBuilder {
+    waypoints: Vec<Waypoint>,
+    speed_kmh: f64,
+    bounds: KmRect,
+    /// Time the UE becomes free after its last arrival (ms of day).
+    free_at_ms: u32,
+}
+
+impl TrajectoryBuilder {
+    fn new(home: KmPoint, speed_kmh: f64, bounds: KmRect) -> Self {
+        TrajectoryBuilder {
+            waypoints: vec![Waypoint { time_ms: 0, pos: home }],
+            speed_kmh,
+            bounds,
+            free_at_ms: 0,
+        }
+    }
+
+    fn last_pos(&self) -> KmPoint {
+        self.waypoints.last().expect("nonempty").pos
+    }
+
+    /// Depart for `dest` at `hour` (or as soon as free). Returns false if
+    /// the trip no longer fits in the day.
+    fn travel_at(&mut self, hour: f64, dest: KmPoint) -> bool {
+        let depart_ms = ((hour.clamp(0.0, 23.9) * 3_600_000.0) as u32).max(self.free_at_ms);
+        let from = self.last_pos();
+        let dist = from.distance_km(&dest);
+        let travel_ms = (dist / self.speed_kmh * 3_600_000.0) as u32;
+        let arrive_ms = depart_ms.saturating_add(travel_ms);
+        if arrive_ms >= DAY_MS || depart_ms >= DAY_MS {
+            return false;
+        }
+        // Departure waypoint (staying put until then) and arrival waypoint.
+        if depart_ms > self.waypoints.last().expect("nonempty").time_ms {
+            self.waypoints.push(Waypoint { time_ms: depart_ms, pos: from });
+        }
+        if arrive_ms > self.waypoints.last().expect("nonempty").time_ms {
+            self.waypoints.push(Waypoint { time_ms: arrive_ms, pos: dest });
+        }
+        self.free_at_ms = arrive_ms;
+        true
+    }
+
+    /// Travel to `dest` after dwelling `hours` at the current position.
+    fn travel_after_dwell(&mut self, hours: f64, dest: KmPoint) -> bool {
+        let hour = (self.free_at_ms as f64 / 3_600_000.0) + hours;
+        self.travel_at(hour, dest)
+    }
+
+    /// Random destination at the profile's characteristic distance.
+    fn random_destination<R: Rng + ?Sized>(
+        &self,
+        from: KmPoint,
+        profile: MobilityProfile,
+        rng: &mut R,
+    ) -> KmPoint {
+        let median = profile.trip_distance_km().max(0.05);
+        let dist = LogNormal::new(median.ln(), 0.6).expect("valid lognormal").sample(rng);
+        let ang: f64 = rng.random_range(0.0..std::f64::consts::TAU);
+        self.bounds
+            .clamp(&KmPoint::new(from.x + ang.cos() * dist, from.y + ang.sin() * dist))
+    }
+
+    fn finish(self) -> DayTrajectory {
+        DayTrajectory { waypoints: self.waypoints }
+    }
+}
+
+/// Draw a departure hour from the schedule's intensity curve, restricted to
+/// a window of the day.
+fn sample_departure<R: Rng + ?Sized>(
+    schedule: &WeeklySchedule,
+    day: DayOfWeek,
+    rng: &mut R,
+    from_hour: f64,
+    to_hour: f64,
+) -> f64 {
+    let lo = (from_hour * 2.0) as usize;
+    let hi = ((to_hour * 2.0) as usize).min(crate::schedule::SLOTS_PER_DAY - 1);
+    let weights: Vec<f64> = (lo..=hi).map(|s| schedule.intensity(day, s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut u: f64 = rng.random_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if u < w {
+            return (lo + i) as f64 / 2.0 + rng.random::<f64>() * 0.5;
+        }
+        u -= w;
+    }
+    to_hour
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn bounds() -> KmRect {
+        KmRect::new(KmPoint::new(0.0, 0.0), KmPoint::new(600.0, 500.0))
+    }
+
+    fn home() -> KmPoint {
+        KmPoint::new(300.0, 250.0)
+    }
+
+    fn gen(profile: MobilityProfile, day: DayOfWeek, seed: u64) -> DayTrajectory {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        DayTrajectory::generate(
+            profile,
+            home(),
+            Some(KmPoint::new(306.0, 250.0)),
+            day,
+            &WeeklySchedule::default(),
+            &bounds(),
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn stationary_never_moves() {
+        let t = gen(MobilityProfile::Stationary, DayOfWeek::Monday, 1);
+        assert!(t.is_static());
+        assert_eq!(t.position_at(0), home());
+        assert_eq!(t.position_at(DAY_MS - 1), home());
+    }
+
+    #[test]
+    fn commuter_reaches_work_and_returns() {
+        let t = gen(MobilityProfile::Commuter, DayOfWeek::Tuesday, 2);
+        assert!(t.total_distance_km() >= 2.0 * 6.0 - 0.5, "round trip expected");
+        // At 11:00 the commuter is away from home; by 23:30 back home-ish.
+        let midmorning = t.position_at(11 * 3_600_000);
+        assert!(midmorning.distance_km(&home()) > 1.0);
+        let night = t.position_at(DAY_MS - 1);
+        assert!(night.distance_km(&home()) < 6.1 + 1e-9);
+    }
+
+    #[test]
+    fn positions_interpolate_linearly() {
+        let t = DayTrajectory::from_waypoints(vec![
+            Waypoint { time_ms: 0, pos: KmPoint::new(0.0, 0.0) },
+            Waypoint { time_ms: 1000, pos: KmPoint::new(10.0, 0.0) },
+        ]);
+        let p = t.position_at(500);
+        assert!((p.x - 5.0).abs() < 1e-12);
+        assert_eq!(t.position_at(2000), KmPoint::new(10.0, 0.0));
+        assert_eq!(t.total_distance_km(), 10.0);
+    }
+
+    #[test]
+    fn waypoints_are_time_ordered_for_all_profiles() {
+        for (i, profile) in MobilityProfile::ALL.iter().enumerate() {
+            for day in [DayOfWeek::Monday, DayOfWeek::Sunday] {
+                let t = gen(*profile, day, 100 + i as u64);
+                assert!(
+                    t.waypoints().windows(2).all(|w| w[0].time_ms < w[1].time_ms),
+                    "{profile} produced unordered waypoints"
+                );
+                assert!(t.waypoints().last().unwrap().time_ms < DAY_MS);
+            }
+        }
+    }
+
+    #[test]
+    fn train_travels_far() {
+        let mut longest: f64 = 0.0;
+        for seed in 0..10 {
+            let t = gen(MobilityProfile::HighSpeedTrain, DayOfWeek::Wednesday, seed);
+            longest = longest.max(t.total_distance_km());
+        }
+        assert!(longest > 100.0, "HST should cover long distances: {longest}");
+    }
+
+    #[test]
+    fn pedestrian_stays_local() {
+        for seed in 0..10 {
+            let t = gen(MobilityProfile::Pedestrian, DayOfWeek::Thursday, seed);
+            for w in t.waypoints() {
+                assert!(
+                    w.pos.distance_km(&home()) < 30.0,
+                    "pedestrian wandered {} km away",
+                    w.pos.distance_km(&home())
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn destinations_clamped_to_bounds() {
+        // Home at the map corner: all destinations must stay inside.
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let corner = KmPoint::new(0.5, 0.5);
+        for _ in 0..20 {
+            let t = DayTrajectory::generate(
+                MobilityProfile::Vehicular,
+                corner,
+                None,
+                DayOfWeek::Friday,
+                &WeeklySchedule::default(),
+                &bounds(),
+                &mut rng,
+            );
+            for w in t.waypoints() {
+                assert!(bounds().contains(&w.pos));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn unordered_waypoints_rejected() {
+        DayTrajectory::from_waypoints(vec![
+            Waypoint { time_ms: 100, pos: KmPoint::new(0.0, 0.0) },
+            Waypoint { time_ms: 50, pos: KmPoint::new(1.0, 0.0) },
+        ]);
+    }
+}

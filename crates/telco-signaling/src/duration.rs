@@ -1,0 +1,216 @@
+//! Handover signaling-duration models.
+//!
+//! Calibrated to the paper's measurements:
+//! * successful intra 4G/5G-NSA HOs: median 43 ms, 95% within ≈90 ms
+//!   (Fig. 8);
+//! * successful HOs to 3G: median 412 ms, pct-95 beyond 1 s;
+//! * successful HOs to 2G: median ≈1 s, pct-95 ≈3.8 s;
+//! * failed HOs, per cause (Fig. 14b): Causes #3/#6 abort before any
+//!   signaling (0 ms); Cause #4 median 81 ms / pct-95 97 ms; Causes #1/#2
+//!   medians 1–2 s with pct-95 5–6 s; Cause #8 median just above the 10 s
+//!   relocation timer with pct-95 below 10.2 s.
+
+use rand::Rng;
+use rand_distr::{Distribution, LogNormal, Normal};
+use serde::{Deserialize, Serialize};
+
+use crate::causes::PrincipalCause;
+use crate::messages::HoType;
+
+/// A two-parameter lognormal expressed through its median and the ratio of
+/// the 95th percentile to the median (the paper reports both quantiles).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantileSpec {
+    /// Median duration, ms.
+    pub median_ms: f64,
+    /// 95th-percentile duration, ms.
+    pub p95_ms: f64,
+}
+
+impl QuantileSpec {
+    /// Lognormal σ implied by the two quantiles (`z₀.₉₅ = 1.6449`).
+    pub fn sigma(&self) -> f64 {
+        (self.p95_ms / self.median_ms).ln() / 1.644_853_626_951_472_8
+    }
+
+    /// Sample a duration in ms.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let dist = LogNormal::new(self.median_ms.ln(), self.sigma()).expect("valid lognormal");
+        dist.sample(rng)
+    }
+}
+
+/// Duration model covering successful HOs per type and failed HOs per
+/// principal cause.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DurationModel {
+    /// Successful intra 4G/5G-NSA handovers.
+    pub intra: QuantileSpec,
+    /// Successful handovers to 3G.
+    pub to3g: QuantileSpec,
+    /// Successful handovers to 2G.
+    pub to2g: QuantileSpec,
+    /// Relocation-completion timer (Cause #8 fires just past it), ms.
+    pub relocation_timer_ms: f64,
+}
+
+impl Default for DurationModel {
+    fn default() -> Self {
+        DurationModel {
+            intra: QuantileSpec { median_ms: 43.0, p95_ms: 90.0 },
+            to3g: QuantileSpec { median_ms: 412.0, p95_ms: 1_100.0 },
+            to2g: QuantileSpec { median_ms: 1_000.0, p95_ms: 3_800.0 },
+            relocation_timer_ms: 10_000.0,
+        }
+    }
+}
+
+impl DurationModel {
+    /// The quantile spec for a successful handover of a type.
+    pub fn success_spec(&self, ho_type: HoType) -> QuantileSpec {
+        match ho_type {
+            HoType::Intra4g5g => self.intra,
+            HoType::To3g => self.to3g,
+            HoType::To2g => self.to2g,
+        }
+    }
+
+    /// Sample the duration of a successful handover, ms.
+    pub fn sample_success<R: Rng + ?Sized>(&self, ho_type: HoType, rng: &mut R) -> f64 {
+        self.success_spec(ho_type).sample(rng)
+    }
+
+    /// Sample the signaling time of a failed handover given its principal
+    /// cause (or the long-tail bucket when `cause` is `None`), ms.
+    pub fn sample_failure<R: Rng + ?Sized>(
+        &self,
+        cause: Option<PrincipalCause>,
+        rng: &mut R,
+    ) -> f64 {
+        match cause {
+            // #3 and #6 reject before any signaling elapses (Fig. 14b).
+            Some(PrincipalCause::InvalidTargetSector)
+            | Some(PrincipalCause::SrvccNotSubscribed) => 0.0,
+            Some(PrincipalCause::TargetLoadTooHigh) => {
+                // Median 81 ms, pct-95 97 ms: tight, near-normal.
+                let d: f64 = Normal::new(81.0, 9.7).expect("valid normal").sample(rng);
+                d.max(20.0)
+            }
+            Some(PrincipalCause::SourceCanceled) => {
+                QuantileSpec { median_ms: 1_600.0, p95_ms: 5_600.0 }.sample(rng)
+            }
+            Some(PrincipalCause::InterferingInitialUeMessage) => {
+                QuantileSpec { median_ms: 1_900.0, p95_ms: 6_000.0 }.sample(rng)
+            }
+            Some(PrincipalCause::InfrastructureFailure) => {
+                QuantileSpec { median_ms: 420.0, p95_ms: 2_200.0 }.sample(rng)
+            }
+            Some(PrincipalCause::SrvccPsToCsFailure) => {
+                QuantileSpec { median_ms: 380.0, p95_ms: 1_500.0 }.sample(rng)
+            }
+            Some(PrincipalCause::RelocationTimeout) => {
+                // The timer pops, plus a small detection overhead: the
+                // median sits just above 10 s and 95% complete below 10.2 s.
+                let overhead: f64 = Normal::new(90.0, 55.0).expect("valid normal").sample(rng);
+                self.relocation_timer_ms + overhead.clamp(0.0, 250.0)
+            }
+            None => QuantileSpec { median_ms: 500.0, p95_ms: 3_000.0 }.sample(rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn quantiles(samples: &mut Vec<f64>) -> (f64, f64) {
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = samples[samples.len() / 2];
+        let p95 = samples[(samples.len() as f64 * 0.95) as usize];
+        (med, p95)
+    }
+
+    #[test]
+    fn success_durations_match_paper_quantiles() {
+        let model = DurationModel::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for (ho_type, med_target, p95_target) in [
+            (HoType::Intra4g5g, 43.0, 90.0),
+            (HoType::To3g, 412.0, 1100.0),
+            (HoType::To2g, 1000.0, 3800.0),
+        ] {
+            let mut s: Vec<f64> =
+                (0..20_000).map(|_| model.sample_success(ho_type, &mut rng)).collect();
+            let (med, p95) = quantiles(&mut s);
+            assert!(
+                (med - med_target).abs() / med_target < 0.05,
+                "{ho_type}: median {med} vs {med_target}"
+            );
+            assert!(
+                (p95 - p95_target).abs() / p95_target < 0.08,
+                "{ho_type}: p95 {p95} vs {p95_target}"
+            );
+        }
+    }
+
+    #[test]
+    fn cause_3_and_6_have_zero_duration() {
+        let model = DurationModel::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for cause in [PrincipalCause::InvalidTargetSector, PrincipalCause::SrvccNotSubscribed] {
+            for _ in 0..10 {
+                assert_eq!(model.sample_failure(Some(cause), &mut rng), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn cause_4_is_tight_around_81ms() {
+        let model = DurationModel::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut s: Vec<f64> = (0..20_000)
+            .map(|_| model.sample_failure(Some(PrincipalCause::TargetLoadTooHigh), &mut rng))
+            .collect();
+        let (med, p95) = quantiles(&mut s);
+        assert!((med - 81.0).abs() < 3.0, "median {med}");
+        assert!((p95 - 97.0).abs() < 4.0, "p95 {p95}");
+    }
+
+    #[test]
+    fn cause_8_sits_on_the_relocation_timer() {
+        let model = DurationModel::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut s: Vec<f64> = (0..20_000)
+            .map(|_| model.sample_failure(Some(PrincipalCause::RelocationTimeout), &mut rng))
+            .collect();
+        let (med, p95) = quantiles(&mut s);
+        assert!(med > 10_000.0, "median {med} must exceed the 10 s timer");
+        assert!(p95 < 10_250.0, "p95 {p95} must stay below ~10.2 s");
+    }
+
+    #[test]
+    fn cancellation_causes_exceed_two_seconds_on_average() {
+        let model = DurationModel::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for cause in [
+            PrincipalCause::SourceCanceled,
+            PrincipalCause::InterferingInitialUeMessage,
+        ] {
+            let mean: f64 = (0..20_000)
+                .map(|_| model.sample_failure(Some(cause), &mut rng))
+                .sum::<f64>()
+                / 20_000.0;
+            assert!(mean > 2_000.0, "{cause}: mean {mean} ms");
+        }
+    }
+
+    #[test]
+    fn sigma_formula_is_consistent() {
+        let spec = QuantileSpec { median_ms: 100.0, p95_ms: 200.0 };
+        // p95 = median * exp(sigma * z95).
+        let back = spec.median_ms * (spec.sigma() * 1.6448536269514728).exp();
+        assert!((back - spec.p95_ms).abs() < 1e-9);
+    }
+}

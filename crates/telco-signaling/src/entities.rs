@@ -1,0 +1,183 @@
+//! Core-network entities and the passive measurement probe.
+//!
+//! The paper collects its trace with commercial probes attached to the
+//! MME, MSC, SGSN and SGW (§3.1, Fig. 2). [`CoreNetwork`] plays both
+//! roles: it routes every signaling envelope through the addressed
+//! element — keeping per-element context and message accounting the way a
+//! real core would — and exposes the counters a probe would export.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::messages::{Element, Envelope, Message};
+
+/// Per-element message counters.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ElementStats {
+    /// Messages received, by message kind.
+    pub received: HashMap<Message, u64>,
+    /// Messages sent, by message kind.
+    pub sent: HashMap<Message, u64>,
+}
+
+impl ElementStats {
+    /// Total messages received.
+    pub fn total_received(&self) -> u64 {
+        self.received.values().sum()
+    }
+
+    /// Total messages sent.
+    pub fn total_sent(&self) -> u64 {
+        self.sent.values().sum()
+    }
+}
+
+/// The core network as seen by the measurement infrastructure: MME, MSC,
+/// SGSN and SGW (plus the RAN-side elements), with message accounting and
+/// the MME's active-procedure bookkeeping.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CoreNetwork {
+    stats: HashMap<Element, ElementStats>,
+    /// Handover procedures currently tracked by the MME.
+    mme_open_procedures: u64,
+    /// Total procedures the MME has tracked.
+    mme_total_procedures: u64,
+}
+
+impl CoreNetwork {
+    /// A fresh core with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observe one envelope (probe view + routing bookkeeping).
+    pub fn observe(&mut self, envelope: &Envelope) {
+        *self
+            .stats
+            .entry(envelope.from)
+            .or_default()
+            .sent
+            .entry(envelope.message)
+            .or_insert(0) += 1;
+        *self
+            .stats
+            .entry(envelope.to)
+            .or_default()
+            .received
+            .entry(envelope.message)
+            .or_insert(0) += 1;
+        // MME procedure bookkeeping: HandoverRequired opens a procedure,
+        // UEContextRelease closes it.
+        match envelope.message {
+            Message::HandoverRequired if envelope.to == Element::Mme => {
+                self.mme_open_procedures += 1;
+                self.mme_total_procedures += 1;
+            }
+            Message::UeContextRelease if envelope.from == Element::Mme => {
+                self.mme_open_procedures = self.mme_open_procedures.saturating_sub(1);
+            }
+            _ => {}
+        }
+    }
+
+    /// Observe a whole procedure log.
+    pub fn observe_run(&mut self, log: &[Envelope]) {
+        for e in log {
+            self.observe(e);
+        }
+    }
+
+    /// Stats of one element.
+    pub fn element(&self, element: Element) -> Option<&ElementStats> {
+        self.stats.get(&element)
+    }
+
+    /// Total messages observed network-wide (each envelope counted once).
+    pub fn total_messages(&self) -> u64 {
+        self.stats.values().map(|s| s.total_sent()).sum()
+    }
+
+    /// Handover procedures currently open at the MME.
+    pub fn mme_open_procedures(&self) -> u64 {
+        self.mme_open_procedures
+    }
+
+    /// Handover procedures the MME has seen in total.
+    pub fn mme_total_procedures(&self) -> u64 {
+        self.mme_total_procedures
+    }
+
+    /// Merge another core's counters into this one (used when simulation
+    /// shards run in parallel).
+    pub fn merge(&mut self, other: &CoreNetwork) {
+        for (elem, stats) in &other.stats {
+            let mine = self.stats.entry(*elem).or_default();
+            for (m, c) in &stats.received {
+                *mine.received.entry(*m).or_insert(0) += c;
+            }
+            for (m, c) in &stats.sent {
+                *mine.sent.entry(*m).or_insert(0) += c;
+            }
+        }
+        self.mme_open_procedures += other.mme_open_procedures;
+        self.mme_total_procedures += other.mme_total_procedures;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::HoType;
+    use crate::state_machine::execute;
+
+    #[test]
+    fn observes_a_successful_run() {
+        let run = execute(HoType::Intra4g5g, false, None, 43.0);
+        let mut core = CoreNetwork::new();
+        core.observe_run(&run.log);
+        assert_eq!(core.total_messages(), run.log.len() as u64);
+        assert_eq!(core.mme_total_procedures(), 1);
+        assert_eq!(core.mme_open_procedures(), 0, "procedure must be closed");
+        let mme = core.element(Element::Mme).unwrap();
+        assert_eq!(mme.received.get(&Message::HandoverRequired), Some(&1));
+        assert_eq!(mme.sent.get(&Message::UeContextRelease), Some(&1));
+    }
+
+    #[test]
+    fn vertical_run_touches_sgsn() {
+        let run = execute(HoType::To3g, false, None, 400.0);
+        let mut core = CoreNetwork::new();
+        core.observe_run(&run.log);
+        let sgsn = core.element(Element::Sgsn).unwrap();
+        assert!(sgsn.total_received() >= 1);
+        assert!(sgsn.total_sent() >= 1);
+    }
+
+    #[test]
+    fn srvcc_run_touches_msc() {
+        let run = execute(HoType::To3g, true, None, 500.0);
+        let mut core = CoreNetwork::new();
+        core.observe_run(&run.log);
+        assert!(core.element(Element::Msc).unwrap().total_received() >= 1);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let run = execute(HoType::Intra4g5g, false, None, 43.0);
+        let mut a = CoreNetwork::new();
+        a.observe_run(&run.log);
+        let mut b = CoreNetwork::new();
+        b.observe_run(&run.log);
+        b.merge(&a);
+        assert_eq!(b.total_messages(), 2 * run.log.len() as u64);
+        assert_eq!(b.mme_total_procedures(), 2);
+    }
+
+    #[test]
+    fn empty_core_has_no_stats() {
+        let core = CoreNetwork::new();
+        assert_eq!(core.total_messages(), 0);
+        assert!(core.element(Element::Mme).is_none());
+    }
+}

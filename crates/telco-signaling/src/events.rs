@@ -1,0 +1,139 @@
+//! Measurement events and the radio signal model.
+//!
+//! UEs measure the serving and neighboring sectors and report A2 ("serving
+//! became worse than threshold") and A3 ("neighbour became offset better
+//! than serving") events per their mobility-management configuration
+//! (hysteresis, offsets, time-to-trigger) — §2 of the paper, TS 36.331 /
+//! TS 38.331. A log-distance path-loss model supplies the RSRP values.
+
+use serde::{Deserialize, Serialize};
+
+use telco_topology::rat::Rat;
+
+/// Mobility-management configuration pushed to a UE on attach (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MobilityConfig {
+    /// A2 threshold: serving RSRP below this (dBm) flags coverage loss.
+    pub a2_threshold_dbm: f64,
+    /// A3 offset: neighbour must beat serving by this many dB.
+    pub a3_offset_db: f64,
+    /// Hysteresis added on top of the offset, dB.
+    pub hysteresis_db: f64,
+    /// Time-to-trigger: the condition must hold this long, ms.
+    pub time_to_trigger_ms: u32,
+}
+
+impl Default for MobilityConfig {
+    fn default() -> Self {
+        MobilityConfig {
+            a2_threshold_dbm: -110.0,
+            a3_offset_db: 3.0,
+            hysteresis_db: 1.0,
+            time_to_trigger_ms: 160,
+        }
+    }
+}
+
+impl MobilityConfig {
+    /// Whether serving conditions trigger an A2 event.
+    pub fn a2_triggered(&self, serving_dbm: f64) -> bool {
+        serving_dbm < self.a2_threshold_dbm
+    }
+
+    /// Whether a neighbour triggers an A3 event against the serving sector.
+    pub fn a3_triggered(&self, serving_dbm: f64, neighbor_dbm: f64) -> bool {
+        neighbor_dbm > serving_dbm + self.a3_offset_db + self.hysteresis_db
+    }
+}
+
+/// A measurement event carried in an RRC Measurement Report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MeasurementEvent {
+    /// Serving-cell RSRP fell below the A2 threshold (coverage loss —
+    /// typically precedes a vertical fallback to a legacy RAT).
+    A2 {
+        /// Serving RSRP, dBm.
+        serving_dbm: f64,
+    },
+    /// A neighbour became offset-better than the serving sector (the
+    /// standard horizontal handover trigger).
+    A3 {
+        /// Serving RSRP, dBm.
+        serving_dbm: f64,
+        /// Neighbour RSRP, dBm.
+        neighbor_dbm: f64,
+    },
+}
+
+/// Received signal power (RSRP-like, dBm) at `distance_km` from a sector
+/// of the given RAT, using a log-distance path-loss model with
+/// environment-dependent exponent.
+///
+/// Calibrated so the nominal cell edge (`Rat::nominal_range_km`) sits near
+/// the A2 threshold of the default [`MobilityConfig`].
+pub fn rsrp_dbm(distance_km: f64, rat: Rat, urban: bool) -> f64 {
+    let d = distance_km.max(0.01);
+    // Transmit EIRP net of first-meter loss, per RAT (higher frequencies
+    // radiate denser but attenuate faster).
+    let tx = match rat {
+        Rat::G2 => -35.0,
+        Rat::G3 => -38.0,
+        Rat::G4 => -40.0,
+        Rat::G5Nr => -44.0,
+    };
+    let exponent = if urban { 3.5 } else { 3.0 };
+    // Normalize so RSRP ≈ A2 threshold at the nominal range.
+    let range = rat.nominal_range_km(urban);
+    tx - 10.0 * exponent * (d / range).log10() - 70.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a2_threshold_behaviour() {
+        let cfg = MobilityConfig::default();
+        assert!(cfg.a2_triggered(-115.0));
+        assert!(!cfg.a2_triggered(-100.0));
+    }
+
+    #[test]
+    fn a3_requires_offset_plus_hysteresis() {
+        let cfg = MobilityConfig::default();
+        assert!(!cfg.a3_triggered(-90.0, -88.0)); // 2 dB better: not enough
+        assert!(!cfg.a3_triggered(-90.0, -86.5)); // 3.5 dB: still below 4
+        assert!(cfg.a3_triggered(-90.0, -85.0)); // 5 dB: triggers
+    }
+
+    #[test]
+    fn rsrp_decreases_with_distance() {
+        for rat in Rat::ALL {
+            let near = rsrp_dbm(0.1, rat, true);
+            let far = rsrp_dbm(2.0, rat, true);
+            assert!(near > far, "{rat}: {near} vs {far}");
+        }
+    }
+
+    #[test]
+    fn cell_edge_sits_near_a2_threshold() {
+        let cfg = MobilityConfig::default();
+        for rat in Rat::ALL {
+            for urban in [true, false] {
+                let edge = rsrp_dbm(rat.nominal_range_km(urban), rat, urban);
+                assert!(
+                    (edge - cfg.a2_threshold_dbm).abs() < 8.0,
+                    "{rat} urban={urban}: edge RSRP {edge}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closer_neighbor_wins_a3() {
+        let cfg = MobilityConfig::default();
+        let serving = rsrp_dbm(1.1, Rat::G4, true);
+        let neighbor = rsrp_dbm(0.3, Rat::G4, true);
+        assert!(cfg.a3_triggered(serving, neighbor));
+    }
+}

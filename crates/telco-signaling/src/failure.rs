@@ -1,0 +1,337 @@
+//! Failure injection: whether a handover fails, and with which cause.
+//!
+//! Calibrated to §6 of the paper:
+//! * failure shares by HO type: ~75% of all HOFs occur on →3G handovers,
+//!   ~25% intra 4G/5G-NSA, ~0.03% →2G — given the 94.14 / 5.86 / 0.001 HO
+//!   mix, this pins the per-type base failure probabilities;
+//! * sector-day median HOF rates: 0.04% intra, 5.85% →3G, 21.42% →2G
+//!   (§6.3), reproduced by the same bases;
+//! * modulators: rural areas fail more (Fig. 12: +32.4% at the morning
+//!   peak), vendors differ (Tables 5/7), manufacturers differ (Fig. 11:
+//!   Google −27%, KVD/HMD up to +600%), and target-sector load drives
+//!   Cause #4 during peak hours in dense urban areas.
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use telco_devices::types::{DeviceType, Manufacturer};
+use telco_geo::postcode::AreaType;
+use telco_topology::vendor::Vendor;
+
+use crate::causes::{base_cause_mixture, CauseCode, PrincipalCause, VENDOR_SUBCAUSES_PER_VENDOR};
+use crate::messages::HoType;
+
+/// Everything the failure model conditions on for one handover attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HoContext {
+    /// Handover type (the dominant factor, §6.3).
+    pub ho_type: HoType,
+    /// Urban/rural classification of the source sector's postcode.
+    pub area: AreaType,
+    /// Antenna vendor of the source sector.
+    pub vendor: Vendor,
+    /// Device type of the UE.
+    pub device_type: DeviceType,
+    /// Manufacturer of the UE.
+    pub manufacturer: Manufacturer,
+    /// Target-sector load ratio (demand / capacity), ≥ 0.
+    pub load_ratio: f64,
+    /// Whether this is an SRVCC (voice-continuity) handover.
+    pub srvcc: bool,
+    /// Whether the UE's subscription includes SRVCC.
+    pub srvcc_subscribed: bool,
+}
+
+/// Failure-model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailureConfig {
+    /// Base failure probability of intra 4G/5G-NSA handovers.
+    pub base_intra: f64,
+    /// Base failure probability of handovers to 3G.
+    pub base_to3g: f64,
+    /// Base failure probability of handovers to 2G.
+    pub base_to2g: f64,
+    /// Multiplier applied in rural areas.
+    pub rural_factor: f64,
+    /// Load ratio above which Cause #4 pressure kicks in.
+    pub load_knee: f64,
+}
+
+impl Default for FailureConfig {
+    fn default() -> Self {
+        FailureConfig {
+            base_intra: 0.0008,
+            base_to3g: 0.040,
+            base_to2g: 0.20,
+            rural_factor: 1.18,
+            load_knee: 0.85,
+        }
+    }
+}
+
+/// The failure model.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FailureModel {
+    /// Parameters.
+    pub config: FailureConfig,
+}
+
+impl FailureModel {
+    /// Model with explicit parameters.
+    pub fn new(config: FailureConfig) -> Self {
+        FailureModel { config }
+    }
+
+    /// Probability that a handover attempt in `ctx` fails.
+    pub fn failure_probability(&self, ctx: &HoContext) -> f64 {
+        let cfg = &self.config;
+        let base = match ctx.ho_type {
+            HoType::Intra4g5g => cfg.base_intra,
+            HoType::To3g => cfg.base_to3g,
+            HoType::To2g => cfg.base_to2g,
+        };
+        let area = if ctx.area == AreaType::Rural { cfg.rural_factor } else { 1.0 };
+        let load = 1.0 + 2.0 * (ctx.load_ratio - cfg.load_knee).max(0.0);
+        // An SRVCC attempt without the subscription always fails (Cause #6);
+        // modelled as a strong multiplier rather than certainty because the
+        // network may still complete a PS-only fallback.
+        let srvcc = if ctx.srvcc && !ctx.srvcc_subscribed { 25.0 } else { 1.0 };
+        (base * area
+            * ctx.vendor.hof_rate_factor()
+            * ctx.manufacturer.hof_rate_factor()
+            * load
+            * srvcc)
+            .clamp(0.0, 0.95)
+    }
+
+    /// Decide whether the attempt fails.
+    pub fn roll_failure<R: Rng + ?Sized>(&self, ctx: &HoContext, rng: &mut R) -> bool {
+        rng.random::<f64>() < self.failure_probability(ctx)
+    }
+
+    /// Context-adjusted cause mixture: the base per-HO-type mixture of
+    /// §6.2 reweighted by the Fig. 15 conditionals (device type, area,
+    /// load), then renormalized. Returns weights for Cause #1..#8 plus the
+    /// long-tail bucket.
+    pub fn cause_weights(&self, ctx: &HoContext) -> [f64; 9] {
+        let mut w = base_cause_mixture(ctx.ho_type);
+        let idx = |c: PrincipalCause| c.index();
+
+        // Area conditioning (Fig. 15a/b): Cause #1 is 50% more prevalent in
+        // rural areas; #6/#7 concentrate in rural (voice over 3G); #4 is
+        // the signature urban-peak-load cause.
+        match ctx.area {
+            AreaType::Rural => {
+                w[idx(PrincipalCause::SourceCanceled)] *= 1.5;
+                w[idx(PrincipalCause::SrvccNotSubscribed)] *= 1.6;
+                w[idx(PrincipalCause::SrvccPsToCsFailure)] *= 2.0;
+                w[idx(PrincipalCause::TargetLoadTooHigh)] *= 0.5;
+            }
+            AreaType::Urban => {
+                w[idx(PrincipalCause::TargetLoadTooHigh)] *= 1.3;
+            }
+        }
+
+        // Device-type conditioning (Fig. 15c..): 59% of M2M/IoT failures
+        // are Cause #3; Cause #8 is ×3 in M2M; #7 barely affects M2M;
+        // feature phones concentrate on the SRVCC Cause #6.
+        match ctx.device_type {
+            DeviceType::M2mIot => {
+                w[idx(PrincipalCause::InvalidTargetSector)] *= 1.6;
+                w[idx(PrincipalCause::RelocationTimeout)] *= 3.0;
+                w[idx(PrincipalCause::SrvccPsToCsFailure)] *= 0.05;
+                w[idx(PrincipalCause::SrvccNotSubscribed)] *= 0.2;
+            }
+            DeviceType::FeaturePhone => {
+                w[idx(PrincipalCause::SrvccNotSubscribed)] *= 2.5;
+            }
+            DeviceType::Smartphone => {}
+        }
+
+        // Load conditioning: a congested target pushes Cause #4.
+        if ctx.load_ratio > self.config.load_knee {
+            let over = (ctx.load_ratio - self.config.load_knee) / 0.15;
+            w[idx(PrincipalCause::TargetLoadTooHigh)] *= 1.0 + 2.0 * over.min(3.0);
+        }
+
+        // A failed SRVCC attempt without the subscription is Cause #6.
+        if ctx.srvcc && !ctx.srvcc_subscribed && ctx.ho_type != HoType::Intra4g5g {
+            w[idx(PrincipalCause::SrvccNotSubscribed)] += 5.0;
+        }
+
+        let sum: f64 = w.iter().sum();
+        for v in &mut w {
+            *v /= sum;
+        }
+        w
+    }
+
+    /// Sample the failure cause for a failed attempt. Long-tail draws pick
+    /// a vendor sub-cause belonging to the source sector's vendor.
+    pub fn sample_cause<R: Rng + ?Sized>(&self, ctx: &HoContext, rng: &mut R) -> CauseCode {
+        let w = self.cause_weights(ctx);
+        let u: f64 = rng.random::<f64>();
+        let mut acc = 0.0;
+        for (i, &p) in w.iter().enumerate().take(8) {
+            acc += p;
+            if u < acc {
+                return CauseCode::principal(PrincipalCause::ALL[i]);
+            }
+        }
+        // Long tail: one of this vendor's sub-causes, skewed towards the
+        // first few (real cause histograms are heavy-headed).
+        let r: f64 = rng.random::<f64>();
+        let k = ((r * r) * VENDOR_SUBCAUSES_PER_VENDOR as f64) as usize;
+        let base = 9 + ctx.vendor.index() * VENDOR_SUBCAUSES_PER_VENDOR;
+        CauseCode((base + k.min(VENDOR_SUBCAUSES_PER_VENDOR - 1)) as u16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn ctx(ho_type: HoType) -> HoContext {
+        HoContext {
+            ho_type,
+            area: AreaType::Urban,
+            vendor: Vendor::V1,
+            device_type: DeviceType::Smartphone,
+            manufacturer: Manufacturer::Samsung,
+            load_ratio: 0.4,
+            srvcc: false,
+            srvcc_subscribed: true,
+        }
+    }
+
+    #[test]
+    fn vertical_handovers_fail_far_more_often() {
+        let m = FailureModel::default();
+        let p_intra = m.failure_probability(&ctx(HoType::Intra4g5g));
+        let p_3g = m.failure_probability(&ctx(HoType::To3g));
+        let p_2g = m.failure_probability(&ctx(HoType::To2g));
+        assert!(p_3g / p_intra > 20.0, "3G/intra ratio {}", p_3g / p_intra);
+        assert!(p_2g > p_3g);
+    }
+
+    #[test]
+    fn failure_shares_match_paper() {
+        // HO mix (94.14 / 5.86 / 0.001) × base rates → failure shares
+        // should land near 25 / 75 / 0.03 (§6.2).
+        let m = FailureModel::default();
+        let f_intra = 0.9414 * m.failure_probability(&ctx(HoType::Intra4g5g));
+        let f_3g = 0.0586 * m.failure_probability(&ctx(HoType::To3g));
+        let f_2g = 0.00001 * m.failure_probability(&ctx(HoType::To2g));
+        let total = f_intra + f_3g + f_2g;
+        assert!((f_3g / total - 0.75).abs() < 0.05, "3G share {}", f_3g / total);
+        assert!((f_intra / total - 0.25).abs() < 0.05, "intra share {}", f_intra / total);
+        assert!(f_2g / total < 0.002, "2G share {}", f_2g / total);
+    }
+
+    #[test]
+    fn rural_and_vendor_raise_failures() {
+        let m = FailureModel::default();
+        let urban = m.failure_probability(&ctx(HoType::To3g));
+        let mut c = ctx(HoType::To3g);
+        c.area = AreaType::Rural;
+        assert!(m.failure_probability(&c) > urban);
+        let mut c = ctx(HoType::To3g);
+        c.vendor = Vendor::V3;
+        assert!(m.failure_probability(&c) > 2.0 * urban);
+    }
+
+    #[test]
+    fn manufacturer_outliers_visible() {
+        let m = FailureModel::default();
+        let mut kvd = ctx(HoType::Intra4g5g);
+        kvd.manufacturer = Manufacturer::Kvd;
+        let mut google = ctx(HoType::Intra4g5g);
+        google.manufacturer = Manufacturer::Google;
+        let base = m.failure_probability(&ctx(HoType::Intra4g5g));
+        assert!(m.failure_probability(&kvd) > 5.0 * base);
+        assert!(m.failure_probability(&google) < base);
+    }
+
+    #[test]
+    fn load_pushes_cause4() {
+        let m = FailureModel::default();
+        let mut hot = ctx(HoType::To3g);
+        hot.load_ratio = 1.1;
+        let w_hot = m.cause_weights(&hot);
+        let w_cool = m.cause_weights(&ctx(HoType::To3g));
+        let i4 = PrincipalCause::TargetLoadTooHigh.index();
+        assert!(w_hot[i4] > w_cool[i4]);
+        // Probabilities themselves also rise with load.
+        assert!(m.failure_probability(&hot) > m.failure_probability(&ctx(HoType::To3g)));
+    }
+
+    #[test]
+    fn srvcc_without_subscription_mostly_cause6() {
+        let m = FailureModel::default();
+        let mut c = ctx(HoType::To3g);
+        c.srvcc = true;
+        c.srvcc_subscribed = false;
+        let w = m.cause_weights(&c);
+        assert!(w[PrincipalCause::SrvccNotSubscribed.index()] > 0.5);
+        assert!(m.failure_probability(&c) > 10.0 * m.failure_probability(&ctx(HoType::To3g)));
+    }
+
+    #[test]
+    fn sampled_causes_track_weights() {
+        let m = FailureModel::default();
+        let c = ctx(HoType::To3g);
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let n = 50_000;
+        let mut principal = [0usize; 8];
+        let mut tail = 0usize;
+        for _ in 0..n {
+            match m.sample_cause(&c, &mut rng).as_principal() {
+                Some(p) => principal[p.index()] += 1,
+                None => tail += 1,
+            }
+        }
+        let w = m.cause_weights(&c);
+        for i in 0..8 {
+            let realized = principal[i] as f64 / n as f64;
+            assert!(
+                (realized - w[i]).abs() < 0.01,
+                "cause {} realized {realized} vs {}",
+                i + 1,
+                w[i]
+            );
+        }
+        assert!((tail as f64 / n as f64 - w[8]).abs() < 0.01);
+    }
+
+    #[test]
+    fn tail_causes_belong_to_the_vendor() {
+        let m = FailureModel::default();
+        let mut c = ctx(HoType::To2g); // tail-heavy mixture
+        c.vendor = Vendor::V2;
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..200 {
+            let code = m.sample_cause(&c, &mut rng);
+            if code.is_vendor_specific() {
+                let band = 9 + Vendor::V2.index() * VENDOR_SUBCAUSES_PER_VENDOR;
+                assert!(
+                    (band..band + VENDOR_SUBCAUSES_PER_VENDOR).contains(&(code.0 as usize)),
+                    "code {code} outside V2's band"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn probability_is_clamped() {
+        let m = FailureModel::default();
+        let mut c = ctx(HoType::To2g);
+        c.manufacturer = Manufacturer::Kvd;
+        c.vendor = Vendor::V3;
+        c.srvcc = true;
+        c.srvcc_subscribed = false;
+        let p = m.failure_probability(&c);
+        assert!(p <= 0.95);
+    }
+}

@@ -1,0 +1,39 @@
+//! # telco-signaling
+//!
+//! Core-network signaling substrate for the handover study: the S1AP /
+//! GTPv2-C / RRC message vocabulary, the 3GPP handover procedure as an
+//! explicit state machine (the paper's Fig. 1), A2/A3 measurement events
+//! with a path-loss signal model, the cause-code catalog (8 principal
+//! causes + 1k+ vendor sub-causes, §6.2), calibrated failure-injection and
+//! duration models, and the MME/MSC/SGSN/SGW entities with the passive
+//! probe view the paper's measurement infrastructure exposes (§3.1).
+//!
+//! ## Example
+//!
+//! ```
+//! use telco_signaling::messages::HoType;
+//! use telco_signaling::state_machine::execute;
+//!
+//! // A successful horizontal handover: the full Fig. 1 exchange.
+//! let run = execute(HoType::Intra4g5g, false, None, 43.0);
+//! assert!(run.success);
+//! assert!(run.message_count() >= 10);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod causes;
+pub mod duration;
+pub mod entities;
+pub mod events;
+pub mod failure;
+pub mod messages;
+pub mod state_machine;
+
+pub use causes::{CauseCatalog, CauseCode, CauseInfo, PrincipalCause};
+pub use duration::{DurationModel, QuantileSpec};
+pub use entities::{CoreNetwork, ElementStats};
+pub use events::{rsrp_dbm, MeasurementEvent, MobilityConfig};
+pub use failure::{FailureConfig, FailureModel, HoContext};
+pub use messages::{Element, Envelope, HoType, Message};
+pub use state_machine::{execute, HoRun, Phase, PhaseTracker};

@@ -1,0 +1,243 @@
+//! Control-plane signaling messages and network elements.
+//!
+//! Models the message exchanges of the 3GPP handover procedure (the
+//! paper's Fig. 1 and §2): measurement reporting, S1AP handover
+//! preparation, RRC reconfiguration and RACH execution, relocation
+//! completion and context release — plus the GTPv2-C forward-relocation and
+//! SRVCC PS→CS messages involved in vertical handovers to 3G/2G.
+
+use serde::{Deserialize, Serialize};
+
+use telco_topology::rat::Rat;
+
+/// The handover types the study observes: the source is always the 4G EPC
+/// (4G or 5G-NSA anchor), the target is 4G/5G-NSA (horizontal) or a legacy
+/// RAT (vertical downgrade) — §5.2, §8.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum HoType {
+    /// Horizontal handover between 4G/5G-NSA sectors.
+    Intra4g5g,
+    /// Vertical handover from 4G/5G-NSA to a 3G sector.
+    To3g,
+    /// Vertical handover from 4G/5G-NSA to a 2G sector.
+    To2g,
+}
+
+impl HoType {
+    /// All handover types.
+    pub const ALL: [HoType; 3] = [HoType::Intra4g5g, HoType::To3g, HoType::To2g];
+
+    /// Label as printed in the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            HoType::Intra4g5g => "Intra 4G/5G-NSA",
+            HoType::To3g => "4G/5G-NSA->3G",
+            HoType::To2g => "4G/5G-NSA->2G",
+        }
+    }
+
+    /// Whether the handover crosses RATs.
+    pub fn is_vertical(&self) -> bool {
+        !matches!(self, HoType::Intra4g5g)
+    }
+
+    /// The handover type implied by a target RAT (sources are always EPC).
+    pub fn from_target_rat(target: Rat) -> HoType {
+        match target {
+            Rat::G2 => HoType::To2g,
+            Rat::G3 => HoType::To3g,
+            Rat::G4 | Rat::G5Nr => HoType::Intra4g5g,
+        }
+    }
+
+    /// Stable index for categorical encodings (intra = 0 = baseline).
+    pub fn index(&self) -> usize {
+        match self {
+            HoType::Intra4g5g => 0,
+            HoType::To3g => 1,
+            HoType::To2g => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for HoType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A node participating in the signaling exchange.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Element {
+    /// The user equipment.
+    Ue,
+    /// The source radio sector (and its eNodeB).
+    SourceSector,
+    /// The target radio sector (eNodeB / RNC / BSC).
+    TargetSector,
+    /// Mobility Management Entity (4G/5G-NSA mobility anchor).
+    Mme,
+    /// Mobile Switching Center (CS voice; SRVCC peer).
+    Msc,
+    /// Serving GPRS Support Node (2G/3G packet mobility).
+    Sgsn,
+    /// Serving Gateway (user-plane anchor).
+    Sgw,
+}
+
+impl Element {
+    /// Short label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Element::Ue => "UE",
+            Element::SourceSector => "Source",
+            Element::TargetSector => "Target",
+            Element::Mme => "MME",
+            Element::Msc => "MSC",
+            Element::Sgsn => "SGSN",
+            Element::Sgw => "SGW",
+        }
+    }
+}
+
+impl std::fmt::Display for Element {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The signaling message vocabulary of the handover procedure.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Message {
+    /// RRC Measurement Report carrying an A2/A3 event (UE → source).
+    MeasurementReport,
+    /// S1AP Handover Required (source → MME).
+    HandoverRequired,
+    /// S1AP Handover Request (MME → target).
+    HandoverRequest,
+    /// S1AP Handover Request Acknowledge (target → MME).
+    HandoverRequestAck,
+    /// S1AP Handover Command (MME → source).
+    HandoverCommand,
+    /// RRC Connection Reconfiguration — the "HO command" to the UE.
+    RrcConnectionReconfiguration,
+    /// RACH preamble at the target (UE → target).
+    RachPreamble,
+    /// RACH response / UL grant (target → UE).
+    RachResponse,
+    /// RRC Reconfiguration Complete / Handover Confirm (UE → target).
+    HandoverConfirm,
+    /// S1AP Handover Notify (target → MME).
+    HandoverNotify,
+    /// GTPv2-C Forward Relocation Request (MME → SGSN; vertical HOs).
+    ForwardRelocationRequest,
+    /// GTPv2-C Forward Relocation Response (SGSN → MME).
+    ForwardRelocationResponse,
+    /// GTPv2-C Forward Relocation Complete Notification (SGSN → MME).
+    ForwardRelocationComplete,
+    /// SRVCC PS to CS Request (MME → MSC; voice continuity).
+    PsToCsRequest,
+    /// SRVCC PS to CS Response (MSC → MME).
+    PsToCsResponse,
+    /// Modify Bearer Request re-anchoring the user plane (MME → SGW).
+    ModifyBearerRequest,
+    /// S1AP UE Context Release (MME → source) — source resources freed.
+    UeContextRelease,
+    /// S1AP Handover Cancel (source → MME).
+    HandoverCancel,
+    /// S1AP Initial UE Message — can interrupt an ongoing preparation
+    /// (failure Cause #2).
+    InitialUeMessage,
+}
+
+impl Message {
+    /// Short wire name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Message::MeasurementReport => "MeasurementReport",
+            Message::HandoverRequired => "HandoverRequired",
+            Message::HandoverRequest => "HandoverRequest",
+            Message::HandoverRequestAck => "HandoverRequestAck",
+            Message::HandoverCommand => "HandoverCommand",
+            Message::RrcConnectionReconfiguration => "RRCConnectionReconfiguration",
+            Message::RachPreamble => "RACHPreamble",
+            Message::RachResponse => "RACHResponse",
+            Message::HandoverConfirm => "HandoverConfirm",
+            Message::HandoverNotify => "HandoverNotify",
+            Message::ForwardRelocationRequest => "ForwardRelocationRequest",
+            Message::ForwardRelocationResponse => "ForwardRelocationResponse",
+            Message::ForwardRelocationComplete => "ForwardRelocationComplete",
+            Message::PsToCsRequest => "PStoCSRequest",
+            Message::PsToCsResponse => "PStoCSResponse",
+            Message::ModifyBearerRequest => "ModifyBearerRequest",
+            Message::UeContextRelease => "UEContextRelease",
+            Message::HandoverCancel => "HandoverCancel",
+            Message::InitialUeMessage => "InitialUEMessage",
+        }
+    }
+}
+
+impl std::fmt::Display for Message {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One captured signaling exchange: who sent what to whom, at a relative
+/// offset (ms) from the start of the handover procedure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Envelope {
+    /// Offset from procedure start, ms.
+    pub at_ms: f64,
+    /// Sender.
+    pub from: Element,
+    /// Receiver.
+    pub to: Element,
+    /// The message.
+    pub message: Message,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ho_type_from_target_rat() {
+        assert_eq!(HoType::from_target_rat(Rat::G4), HoType::Intra4g5g);
+        assert_eq!(HoType::from_target_rat(Rat::G5Nr), HoType::Intra4g5g);
+        assert_eq!(HoType::from_target_rat(Rat::G3), HoType::To3g);
+        assert_eq!(HoType::from_target_rat(Rat::G2), HoType::To2g);
+    }
+
+    #[test]
+    fn vertical_classification() {
+        assert!(!HoType::Intra4g5g.is_vertical());
+        assert!(HoType::To3g.is_vertical());
+        assert!(HoType::To2g.is_vertical());
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(HoType::Intra4g5g.label(), "Intra 4G/5G-NSA");
+        assert_eq!(HoType::To3g.to_string(), "4G/5G-NSA->3G");
+    }
+
+    #[test]
+    fn indices_are_baseline_first() {
+        assert_eq!(HoType::Intra4g5g.index(), 0);
+        assert_eq!(HoType::To3g.index(), 1);
+        assert_eq!(HoType::To2g.index(), 2);
+    }
+
+    #[test]
+    fn element_and_message_display() {
+        assert_eq!(Element::Mme.to_string(), "MME");
+        assert_eq!(Message::RrcConnectionReconfiguration.to_string(), "RRCConnectionReconfiguration");
+    }
+}

@@ -1,0 +1,90 @@
+//! Sector load model.
+//!
+//! Cause #4 ("load on target sector is too high") happens mainly during
+//! peak hours in dense urban areas (§6.2). Load is modelled as demand
+//! relative to sector capacity: the diurnal activity curve scaled by the
+//! area's density class, with deterministic per-sector jitter so hot spots
+//! exist at every hour.
+
+use telco_geo::postcode::AreaType;
+use telco_mobility::schedule::{DayOfWeek, WeeklySchedule};
+use telco_topology::elements::SectorId;
+
+/// Demand-to-capacity ratio for a sector in a 30-minute slot.
+///
+/// Urban sectors ride close to capacity at the peaks (ratios above the
+/// failure model's Cause-#4 knee); rural sectors rarely exceed ~0.7.
+pub fn load_ratio(
+    schedule: &WeeklySchedule,
+    sector: SectorId,
+    area: AreaType,
+    day: DayOfWeek,
+    slot: usize,
+    study_day: u32,
+) -> f64 {
+    let intensity = schedule.intensity(day, slot);
+    let base = match area {
+        AreaType::Urban => 1.08,
+        AreaType::Rural => 0.62,
+    };
+    // Deterministic jitter per (sector, day): ±25%.
+    let jitter = 0.75 + 0.5 * unit_hash(sector, study_day);
+    intensity * base * jitter
+}
+
+/// Deterministic hash of `(sector, day)` to the unit interval.
+fn unit_hash(sector: SectorId, day: u32) -> f64 {
+    let mut z = ((sector.0 as u64) << 32) ^ (day as u64) ^ 0x5851_f42d_4c95_7f2d;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn urban_peak_exceeds_cause4_knee_somewhere() {
+        let s = WeeklySchedule::default();
+        let peak_slot = s.peak_slot(DayOfWeek::Monday);
+        let hot = (0..200)
+            .map(|i| {
+                load_ratio(&s, SectorId(i), AreaType::Urban, DayOfWeek::Monday, peak_slot, 0)
+            })
+            .filter(|&l| l > 0.85)
+            .count();
+        assert!(hot > 100, "most urban sectors must be hot at the peak: {hot}/200");
+    }
+
+    #[test]
+    fn rural_stays_cooler() {
+        let s = WeeklySchedule::default();
+        let peak_slot = s.peak_slot(DayOfWeek::Monday);
+        let hot = (0..200)
+            .map(|i| {
+                load_ratio(&s, SectorId(i), AreaType::Rural, DayOfWeek::Monday, peak_slot, 0)
+            })
+            .filter(|&l| l > 0.85)
+            .count();
+        assert!(hot < 20, "rural sectors should rarely be hot: {hot}/200");
+    }
+
+    #[test]
+    fn night_is_quiet_everywhere() {
+        let s = WeeklySchedule::default();
+        for i in 0..100 {
+            let l = load_ratio(&s, SectorId(i), AreaType::Urban, DayOfWeek::Tuesday, 5, 0);
+            assert!(l < 0.5, "night load {l}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let s = WeeklySchedule::default();
+        let a = load_ratio(&s, SectorId(7), AreaType::Urban, DayOfWeek::Friday, 16, 3);
+        let b = load_ratio(&s, SectorId(7), AreaType::Urban, DayOfWeek::Friday, 16, 3);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,142 @@
+//! The study runner: orchestrates a full multi-day, multi-UE simulation,
+//! optionally in parallel.
+//!
+//! Parallelism shards the UE population across worker threads with
+//! `crossbeam::scope`; every (UE, day) pair derives its own RNG stream
+//! from the master seed, so the output is bit-identical regardless of the
+//! thread count.
+
+use crossbeam::thread;
+use parking_lot::Mutex;
+
+use telco_devices::population::UeId;
+
+use crate::config::SimConfig;
+use crate::engine::simulate_ue_day;
+use crate::output::SimOutput;
+use crate::world::World;
+
+/// A completed study: the world it ran against plus everything it
+/// produced.
+#[derive(Debug, Clone)]
+pub struct StudyData {
+    /// The configuration the study ran with.
+    pub config: SimConfig,
+    /// The immutable world.
+    pub world: World,
+    /// The simulation outputs (trace, mobility, ledger, core counters).
+    pub output: SimOutput,
+}
+
+/// Build the world and run the full study described by `config`.
+pub fn run_study(config: SimConfig) -> StudyData {
+    let world = World::build(&config);
+    let output = run_on_world(&world, &config);
+    StudyData { config, world, output }
+}
+
+/// Run the simulation over an already-built world.
+pub fn run_on_world(world: &World, config: &SimConfig) -> SimOutput {
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        config.threads
+    };
+    let n_ues = world.n_ues();
+    if threads <= 1 || n_ues < 64 {
+        let mut out = SimOutput::new(config.n_days);
+        for day in 0..config.n_days {
+            for ue in 0..n_ues {
+                simulate_ue_day(world, config, UeId(ue as u32), day, &mut out);
+            }
+        }
+        out.dataset.sort();
+        return out;
+    }
+
+    // Shard by UE ranges; merge in deterministic shard order.
+    let shard_size = n_ues.div_ceil(threads);
+    let results: Mutex<Vec<(usize, SimOutput)>> = Mutex::new(Vec::with_capacity(threads));
+    thread::scope(|s| {
+        for (shard_idx, chunk_start) in (0..n_ues).step_by(shard_size).enumerate() {
+            let results = &results;
+            let chunk_end = (chunk_start + shard_size).min(n_ues);
+            s.spawn(move |_| {
+                let mut out = SimOutput::new(config.n_days);
+                for day in 0..config.n_days {
+                    for ue in chunk_start..chunk_end {
+                        simulate_ue_day(world, config, UeId(ue as u32), day, &mut out);
+                    }
+                }
+                results.lock().push((shard_idx, out));
+            });
+        }
+    })
+    .expect("simulation worker panicked");
+
+    let mut shards = results.into_inner();
+    shards.sort_by_key(|(idx, _)| *idx);
+    let mut merged = SimOutput::new(config.n_days);
+    for (_, shard) in shards {
+        merged.merge(shard);
+    }
+    merged.dataset.sort();
+    // Mobility rows in deterministic order too.
+    merged.mobility.sort_by_key(|m| (m.day, m.ue.0));
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telco_signaling::messages::HoType;
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let mut cfg = SimConfig::tiny();
+        cfg.n_ues = 120;
+        cfg.n_days = 2;
+        let world = World::build(&cfg);
+
+        let mut seq_cfg = cfg.clone();
+        seq_cfg.threads = 1;
+        let seq = run_on_world(&world, &seq_cfg);
+
+        let mut par_cfg = cfg.clone();
+        par_cfg.threads = 4;
+        let par = run_on_world(&world, &par_cfg);
+
+        assert_eq!(seq.dataset.records(), par.dataset.records());
+        assert_eq!(seq.mobility, par.mobility);
+        // Ledger sums are merged in shard order; floating-point addition is
+        // not associative, so compare to relative precision.
+        for i in 0..4 {
+            let (a, b) = (seq.ledger.attach_ms[i], par.ledger.attach_ms[i]);
+            assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "attach[{i}]: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn study_covers_all_days() {
+        let data = run_study(SimConfig::tiny());
+        let days: std::collections::HashSet<u32> =
+            data.output.dataset.records().iter().map(|r| r.day()).collect();
+        assert!(days.contains(&0));
+        assert!(days.len() as u32 <= data.config.n_days);
+        // Mobility rows exist for every (ue, day).
+        assert_eq!(
+            data.output.mobility.len(),
+            data.config.n_ues * data.config.n_days as usize
+        );
+    }
+
+    #[test]
+    fn tiny_study_has_sane_ho_mix() {
+        let data = run_study(SimConfig::tiny());
+        let counts = data.output.dataset.counts_by_type();
+        let total: u64 = counts.iter().sum();
+        assert!(total > 100, "too few handovers: {total}");
+        let intra = counts[HoType::Intra4g5g.index()] as f64 / total as f64;
+        assert!(intra > 0.75, "intra share {intra} too low");
+    }
+}

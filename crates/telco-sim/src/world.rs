@@ -1,0 +1,207 @@
+//! World construction: everything static a simulation run needs.
+
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use telco_devices::catalog::GsmaCatalog;
+use telco_devices::population::{DevicePopulation, UeId};
+use telco_devices::types::{DeviceType, Manufacturer, RatSupport};
+use telco_geo::census::CensusTable;
+use telco_geo::coords::KmPoint;
+use telco_geo::country::Country;
+use telco_geo::postcode::{AreaType, PostcodeId};
+use telco_mobility::assign::{assign_home_postcodes, home_point, work_point};
+use telco_mobility::profile::MobilityProfile;
+use telco_mobility::schedule::WeeklySchedule;
+use telco_topology::deployment::Topology;
+use telco_topology::energy::EnergySavingPolicy;
+
+use crate::config::SimConfig;
+
+/// Static per-UE attributes resolved at world-building time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UeAttrs {
+    /// Home postcode (census-population-weighted).
+    pub home_postcode: PostcodeId,
+    /// Concrete home anchor on the km plane.
+    pub home: KmPoint,
+    /// Work anchor (used by commuter profiles on weekdays).
+    pub work: KmPoint,
+    /// Mobility profile.
+    pub profile: MobilityProfile,
+    /// Whether the subscription includes SRVCC.
+    pub srvcc_subscribed: bool,
+    /// Device type (cached from the catalog).
+    pub device_type: DeviceType,
+    /// Manufacturer (cached from the catalog).
+    pub manufacturer: Manufacturer,
+    /// RAT support (cached from the catalog).
+    pub rat_support: RatSupport,
+    /// Daily attach hours (drawn around the device-type mean).
+    pub attach_hours: f32,
+}
+
+/// The immutable world shared by all simulation shards.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// The synthetic country.
+    pub country: Country,
+    /// The census office's published view.
+    pub census: CensusTable,
+    /// The GSMA-style device catalog.
+    pub catalog: GsmaCatalog,
+    /// The sampled UE roster (identities).
+    pub population: DevicePopulation,
+    /// The radio network.
+    pub topology: Topology,
+    /// The energy-saving policy.
+    pub energy: EnergySavingPolicy,
+    /// The weekly activity schedule.
+    pub schedule: WeeklySchedule,
+    /// Per-UE static attributes, indexed by `UeId.0`.
+    pub ues: Vec<UeAttrs>,
+    /// Typical cell radius per postcode (half the local inter-site
+    /// spacing), km — the denominator of the coverage model's edge-depth
+    /// ratio. Indexed by `PostcodeId.0`.
+    pub cell_radius_km: Vec<f64>,
+}
+
+impl World {
+    /// Build the world from a configuration (deterministic).
+    pub fn build(config: &SimConfig) -> Self {
+        let country = Country::generate(config.country.clone());
+        let census = CensusTable::publish(&country);
+        let catalog = GsmaCatalog::generate(config.catalog);
+        let population = DevicePopulation::sample(&catalog, config.n_ues, config.seed ^ 0xDEE5);
+        let topology = Topology::generate(&country, config.topology.clone());
+
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x40E5);
+        let homes = assign_home_postcodes(&country, config.n_ues, &mut rng);
+        let ues = (0..config.n_ues)
+            .map(|i| {
+                let model = catalog.model(population.devices()[i].model as usize);
+                let home_pc = homes[i];
+                let home = home_point(&country, home_pc, &mut rng);
+                let work = work_point(&country, home_pc, home, &mut rng);
+                let profile = MobilityProfile::sample(model.device_type, &mut rng);
+                // 2G-only modules (meters, trackers) hold long attach
+                // sessions, balancing the 2G/3G time shares at ≈8.9% each
+                // (Fig. 3b).
+                let legacy_boost =
+                    if model.rat_support == RatSupport::UpTo2g { 1.6 } else { 1.0 };
+                let mean_h =
+                    config.session.attach_hours[model.device_type.index()] * legacy_boost;
+                UeAttrs {
+                    home_postcode: home_pc,
+                    home,
+                    work,
+                    profile,
+                    srvcc_subscribed: rng.random::<f64>()
+                        < config.session.srvcc_subscription_rate,
+                    device_type: model.device_type,
+                    manufacturer: model.manufacturer,
+                    rat_support: model.rat_support,
+                    attach_hours: (mean_h * rng.random_range(0.6..1.4)).min(24.0) as f32,
+                }
+            })
+            .collect();
+
+        // Typical cell radius per postcode: half the mean inter-site
+        // spacing, assuming sites tile the postcode area.
+        let mut site_counts = vec![0usize; country.postcodes().len()];
+        for site in topology.sites() {
+            site_counts[site.postcode.0 as usize] += 1;
+        }
+        let cell_radius_km = country
+            .postcodes()
+            .iter()
+            .map(|pc| {
+                let n = site_counts[pc.id.0 as usize].max(1) as f64;
+                0.5 * (pc.area_km2 / n).sqrt()
+            })
+            .collect();
+
+        World {
+            country,
+            census,
+            catalog,
+            population,
+            topology,
+            energy: EnergySavingPolicy::default(),
+            schedule: WeeklySchedule::default(),
+            ues,
+            cell_radius_km,
+        }
+    }
+
+    /// Typical cell radius of a postcode, km.
+    pub fn cell_radius(&self, postcode: PostcodeId) -> f64 {
+        self.cell_radius_km[postcode.0 as usize]
+    }
+
+    /// Attributes of a UE.
+    pub fn ue(&self, ue: UeId) -> &UeAttrs {
+        &self.ues[ue.0 as usize]
+    }
+
+    /// Urban/rural classification of a postcode.
+    pub fn area_type(&self, postcode: PostcodeId) -> AreaType {
+        self.country.postcode(postcode).area_type
+    }
+
+    /// Number of UEs.
+    pub fn n_ues(&self) -> usize {
+        self.ues.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telco_devices::catalog::shares;
+
+    #[test]
+    fn build_is_deterministic() {
+        let cfg = SimConfig::tiny();
+        let a = World::build(&cfg);
+        let b = World::build(&cfg);
+        assert_eq!(a.ues, b.ues);
+    }
+
+    #[test]
+    fn ue_attrs_consistent_with_catalog() {
+        let cfg = SimConfig::tiny();
+        let w = World::build(&cfg);
+        for (i, attrs) in w.ues.iter().enumerate() {
+            let ue = UeId(i as u32);
+            assert_eq!(w.population.device_type(&w.catalog, ue), attrs.device_type);
+            assert_eq!(w.population.manufacturer(&w.catalog, ue), attrs.manufacturer);
+            assert_eq!(w.population.rat_support(&w.catalog, ue), attrs.rat_support);
+            assert!(w.country.bounds.contains(&attrs.home));
+            assert!(w.country.bounds.contains(&attrs.work));
+            assert!(attrs.attach_hours > 0.0 && attrs.attach_hours <= 24.0);
+        }
+    }
+
+    #[test]
+    fn device_type_mix_roughly_matches() {
+        let mut cfg = SimConfig::tiny();
+        cfg.n_ues = 5_000;
+        let w = World::build(&cfg);
+        for &(ty, share) in &shares::DEVICE_TYPE {
+            let got = w.ues.iter().filter(|u| u.device_type == ty).count() as f64
+                / w.ues.len() as f64;
+            assert!((got - share).abs() < 0.03, "{ty}: {got} vs {share}");
+        }
+    }
+
+    #[test]
+    fn most_ues_have_srvcc() {
+        let cfg = SimConfig::tiny();
+        let w = World::build(&cfg);
+        let frac = w.ues.iter().filter(|u| u.srvcc_subscribed).count() as f64
+            / w.ues.len() as f64;
+        assert!((frac - 0.93).abs() < 0.05, "SRVCC subscription rate {frac}");
+    }
+}

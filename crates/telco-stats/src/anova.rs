@@ -1,0 +1,229 @@
+//! One-way analysis of variance and Tukey's HSD post-hoc test.
+//!
+//! The paper (§6.3, Appendix B) runs one-way ANOVA of log-transformed HOF
+//! rates on the HO type — reporting `F(2, 3857071) = 8.01e6, p < .001,
+//! η² = 0.81` — followed by Tukey HSD pairwise comparisons, and repeats the
+//! test for antenna vendor and area type (significant but small η²).
+
+use serde::{Deserialize, Serialize};
+
+use crate::special::{f_sf, studentized_range_cdf};
+
+/// Result of a one-way ANOVA.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnovaResult {
+    /// F statistic.
+    pub f_statistic: f64,
+    /// Between-groups degrees of freedom (`k − 1`).
+    pub df_between: f64,
+    /// Within-groups degrees of freedom (`n − k`).
+    pub df_within: f64,
+    /// Upper-tail p-value.
+    pub p_value: f64,
+    /// Effect size η² = SS_between / SS_total.
+    pub eta_squared: f64,
+    /// Between-group sum of squares.
+    pub ss_between: f64,
+    /// Within-group sum of squares.
+    pub ss_within: f64,
+    /// Per-group sizes.
+    pub group_sizes: Vec<usize>,
+    /// Per-group means.
+    pub group_means: Vec<f64>,
+}
+
+/// Errors from the grouped tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnovaError {
+    /// Fewer than two groups were supplied.
+    TooFewGroups,
+    /// A group was empty.
+    EmptyGroup,
+    /// No residual degrees of freedom (every group has one observation).
+    NoResidualDof,
+    /// All observations are identical; the F statistic is undefined.
+    ZeroVariance,
+}
+
+impl std::fmt::Display for AnovaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnovaError::TooFewGroups => write!(f, "ANOVA needs at least two groups"),
+            AnovaError::EmptyGroup => write!(f, "ANOVA groups must be nonempty"),
+            AnovaError::NoResidualDof => write!(f, "no residual degrees of freedom"),
+            AnovaError::ZeroVariance => write!(f, "zero within-group variance everywhere"),
+        }
+    }
+}
+
+impl std::error::Error for AnovaError {}
+
+/// One-way ANOVA over `groups` of observations.
+pub fn one_way_anova(groups: &[&[f64]]) -> Result<AnovaResult, AnovaError> {
+    if groups.len() < 2 {
+        return Err(AnovaError::TooFewGroups);
+    }
+    if groups.iter().any(|g| g.is_empty()) {
+        return Err(AnovaError::EmptyGroup);
+    }
+    let k = groups.len();
+    let n: usize = groups.iter().map(|g| g.len()).sum();
+    if n <= k {
+        return Err(AnovaError::NoResidualDof);
+    }
+    let grand_mean: f64 = groups.iter().flat_map(|g| g.iter()).sum::<f64>() / n as f64;
+    let mut ss_between = 0.0;
+    let mut ss_within = 0.0;
+    let mut group_means = Vec::with_capacity(k);
+    for g in groups {
+        let m = g.iter().sum::<f64>() / g.len() as f64;
+        group_means.push(m);
+        ss_between += g.len() as f64 * (m - grand_mean) * (m - grand_mean);
+        ss_within += g.iter().map(|x| (x - m) * (x - m)).sum::<f64>();
+    }
+    let df_b = (k - 1) as f64;
+    let df_w = (n - k) as f64;
+    if ss_within == 0.0 && ss_between == 0.0 {
+        return Err(AnovaError::ZeroVariance);
+    }
+    let f = if ss_within == 0.0 {
+        f64::INFINITY
+    } else {
+        (ss_between / df_b) / (ss_within / df_w)
+    };
+    let p = if f.is_finite() { f_sf(f, df_b, df_w) } else { 0.0 };
+    Ok(AnovaResult {
+        f_statistic: f,
+        df_between: df_b,
+        df_within: df_w,
+        p_value: p,
+        eta_squared: ss_between / (ss_between + ss_within),
+        ss_between,
+        ss_within,
+        group_sizes: groups.iter().map(|g| g.len()).collect(),
+        group_means,
+    })
+}
+
+/// One pairwise comparison from Tukey's HSD.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TukeyComparison {
+    /// Index of the first group.
+    pub group_a: usize,
+    /// Index of the second group.
+    pub group_b: usize,
+    /// Mean difference `mean_b − mean_a`.
+    pub diff: f64,
+    /// Studentized range statistic for the pair.
+    pub q_statistic: f64,
+    /// Adjusted p-value from the studentized range distribution.
+    pub p_adj: f64,
+    /// Whether the difference is significant at the 5% family-wise level.
+    pub significant: bool,
+}
+
+/// Tukey's honestly-significant-difference post-hoc test following a
+/// one-way ANOVA. Uses the Tukey–Kramer correction for unequal group sizes.
+pub fn tukey_hsd(groups: &[&[f64]], anova: &AnovaResult) -> Vec<TukeyComparison> {
+    let k = groups.len();
+    let mse = anova.ss_within / anova.df_within;
+    let mut out = Vec::with_capacity(k * (k - 1) / 2);
+    for a in 0..k {
+        for b in (a + 1)..k {
+            let na = groups[a].len() as f64;
+            let nb = groups[b].len() as f64;
+            let diff = anova.group_means[b] - anova.group_means[a];
+            // Tukey–Kramer standard error.
+            let se = (mse * 0.5 * (1.0 / na + 1.0 / nb)).sqrt();
+            let q = if se > 0.0 { diff.abs() / se } else { f64::INFINITY };
+            let p_adj = if q.is_finite() {
+                1.0 - studentized_range_cdf(q, k as f64, anova.df_within)
+            } else {
+                0.0
+            };
+            out.push(TukeyComparison {
+                group_a: a,
+                group_b: b,
+                diff,
+                q_statistic: q,
+                p_adj: p_adj.clamp(0.0, 1.0),
+                significant: p_adj < 0.05,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anova_detects_separated_groups() {
+        let a: Vec<f64> = (0..30).map(|i| 1.0 + (i % 3) as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..30).map(|i| 5.0 + (i % 3) as f64 * 0.1).collect();
+        let c: Vec<f64> = (0..30).map(|i| 9.0 + (i % 3) as f64 * 0.1).collect();
+        let r = one_way_anova(&[&a, &b, &c]).unwrap();
+        assert!(r.f_statistic > 1000.0);
+        assert!(r.p_value < 1e-10);
+        assert!(r.eta_squared > 0.99);
+        assert_eq!(r.group_sizes, vec![30, 30, 30]);
+    }
+
+    #[test]
+    fn anova_identical_means_small_f() {
+        let a: Vec<f64> = (0..50).map(|i| (i % 7) as f64).collect();
+        let b: Vec<f64> = (0..50).map(|i| ((i + 3) % 7) as f64).collect();
+        let r = one_way_anova(&[&a, &b]).unwrap();
+        assert!(r.p_value > 0.05, "same-distribution groups: p = {}", r.p_value);
+        assert!(r.eta_squared < 0.05);
+    }
+
+    #[test]
+    fn anova_known_textbook_value() {
+        // Classic small example.
+        let g1 = [6.0, 8.0, 4.0, 5.0, 3.0, 4.0];
+        let g2 = [8.0, 12.0, 9.0, 11.0, 6.0, 8.0];
+        let g3 = [13.0, 9.0, 11.0, 8.0, 7.0, 12.0];
+        let r = one_way_anova(&[&g1, &g2, &g3]).unwrap();
+        assert!((r.f_statistic - 9.3).abs() < 0.1, "F = {}", r.f_statistic);
+        assert!(r.p_value < 0.01);
+    }
+
+    #[test]
+    fn anova_error_cases() {
+        assert_eq!(one_way_anova(&[&[1.0, 2.0]]).unwrap_err(), AnovaError::TooFewGroups);
+        assert_eq!(one_way_anova(&[&[1.0], &[]]).unwrap_err(), AnovaError::EmptyGroup);
+        assert_eq!(one_way_anova(&[&[1.0], &[2.0]]).unwrap_err(), AnovaError::NoResidualDof);
+        assert_eq!(
+            one_way_anova(&[&[1.0, 1.0], &[1.0, 1.0]]).unwrap_err(),
+            AnovaError::ZeroVariance
+        );
+    }
+
+    #[test]
+    fn tukey_flags_the_separated_pair() {
+        let a: Vec<f64> = (0..20).map(|i| 1.0 + (i % 5) as f64 * 0.05).collect();
+        let b: Vec<f64> = (0..20).map(|i| 1.02 + (i % 5) as f64 * 0.05).collect();
+        let c: Vec<f64> = (0..20).map(|i| 9.0 + (i % 5) as f64 * 0.05).collect();
+        let groups: [&[f64]; 3] = [&a, &b, &c];
+        let r = one_way_anova(&groups).unwrap();
+        let cmp = tukey_hsd(&groups, &r);
+        assert_eq!(cmp.len(), 3);
+        let ab = cmp.iter().find(|x| x.group_a == 0 && x.group_b == 1).unwrap();
+        let ac = cmp.iter().find(|x| x.group_a == 0 && x.group_b == 2).unwrap();
+        assert!(!ab.significant, "near-identical groups must not be flagged");
+        assert!(ac.significant, "well-separated groups must be flagged");
+        assert!(ac.p_adj < 0.001);
+    }
+
+    #[test]
+    fn tukey_diff_sign_matches_means() {
+        let lo = [1.0, 1.1, 0.9, 1.0];
+        let hi = [2.0, 2.1, 1.9, 2.0];
+        let groups: [&[f64]; 2] = [&lo, &hi];
+        let r = one_way_anova(&groups).unwrap();
+        let cmp = tukey_hsd(&groups, &r);
+        assert!(cmp[0].diff > 0.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Correlation and goodness-of-fit measures.
+//!
+//! The paper reports Pearson correlations (0.97 between HO density and
+//! population density, 0.9 between HOs and active sectors) and the `R² =
+//! 0.92` of the census-vs-inferred-population fit (Fig. 5).
+
+/// Pearson product-moment correlation coefficient.
+///
+/// Returns `None` if the slices differ in length, have fewer than two
+/// elements, or either has zero variance.
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        let dx = xi - mx;
+        let dy = yi - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Spearman rank correlation (Pearson on mid-ranks; ties averaged).
+pub fn spearman(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let rx = midranks(x);
+    let ry = midranks(y);
+    pearson(&rx, &ry)
+}
+
+/// Mid-ranks of a sample (ties get the average of their rank positions).
+pub fn midranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in midranks"));
+    let mut ranks = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Positions i..=j share the average 1-based rank.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Ordinary least squares fit of `y = a + b x`; returns `(intercept, slope)`.
+///
+/// `None` under the same degeneracy conditions as [`pearson`].
+pub fn linear_fit(x: &[f64], y: &[f64]) -> Option<(f64, f64)> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        sxy += (xi - mx) * (yi - my);
+        sxx += (xi - mx) * (xi - mx);
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let b = sxy / sxx;
+    Some((my - b * mx, b))
+}
+
+/// Coefficient of determination of the simple linear fit `y ~ x`.
+///
+/// For simple linear regression this equals the squared Pearson
+/// correlation, which is what the paper quotes for Fig. 5.
+pub fn r_squared(x: &[f64], y: &[f64]) -> Option<f64> {
+    pearson(x, y).map(|r| r * r)
+}
+
+/// R² of predictions against observations: `1 - SS_res / SS_tot`.
+///
+/// Unlike [`r_squared`] this accepts arbitrary predictions (multi-variable
+/// models) and can be negative for fits worse than the mean.
+pub fn r_squared_of_predictions(observed: &[f64], predicted: &[f64]) -> Option<f64> {
+    if observed.len() != predicted.len() || observed.len() < 2 {
+        return None;
+    }
+    let my = observed.iter().sum::<f64>() / observed.len() as f64;
+    let ss_tot: f64 = observed.iter().map(|y| (y - my) * (y - my)).sum();
+    if ss_tot == 0.0 {
+        return None;
+    }
+    let ss_res: f64 = observed.iter().zip(predicted).map(|(y, p)| (y - p) * (y - p)).sum();
+    Some(1.0 - ss_res / ss_tot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_lines() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let yneg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &yneg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_cases() {
+        assert_eq!(pearson(&[1.0], &[2.0]), None);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), None);
+        assert_eq!(pearson(&[1.0, 2.0], &[2.0, 3.0, 4.0]), None);
+    }
+
+    #[test]
+    fn pearson_known_value() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [2.0, 1.0, 4.0, 3.0, 5.0];
+        let r = pearson(&x, &y).unwrap();
+        assert!((r - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn midranks_handle_ties() {
+        assert_eq!(midranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn spearman_monotone_is_one() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [1.0, 8.0, 27.0, 64.0]; // monotone, nonlinear
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        assert!(pearson(&x, &y).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn linear_fit_recovers_coefficients() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y: Vec<f64> = x.iter().map(|v| 3.0 + 2.0 * v).collect();
+        let (a, b) = linear_fit(&x, &y).unwrap();
+        assert!((a - 3.0).abs() < 1e-12);
+        assert!((b - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_matches_pearson_squared() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [1.2, 1.9, 3.2, 3.8, 5.1];
+        let r = pearson(&x, &y).unwrap();
+        assert!((r_squared(&x, &y).unwrap() - r * r).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_of_predictions_perfect_and_mean() {
+        let y = [1.0, 2.0, 3.0];
+        assert!((r_squared_of_predictions(&y, &y).unwrap() - 1.0).abs() < 1e-12);
+        let mean_pred = [2.0, 2.0, 2.0];
+        assert!(r_squared_of_predictions(&y, &mean_pred).unwrap().abs() < 1e-12);
+    }
+}

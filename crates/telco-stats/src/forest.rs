@@ -1,0 +1,377 @@
+//! Regression trees and random forests.
+//!
+//! Appendix B of the paper benchmarks its linear models against a Random
+//! Forest (Breiman 2001), finding "comparable performance in terms of
+//! RMSE and MAE". This is a dependency-free CART implementation with
+//! bootstrap aggregation and per-split feature subsampling, deterministic
+//! given its seed.
+
+use serde::{Deserialize, Serialize};
+
+use crate::regression::Design;
+
+/// Forest hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForestOptions {
+    /// Number of bagged trees.
+    pub n_trees: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples per leaf.
+    pub min_leaf: usize,
+    /// Fraction of features considered at each split.
+    pub feature_fraction: f64,
+    /// Candidate split thresholds per feature (quantile grid).
+    pub n_thresholds: usize,
+    /// RNG seed (bootstrap + feature subsampling).
+    pub seed: u64,
+}
+
+impl Default for ForestOptions {
+    fn default() -> Self {
+        ForestOptions {
+            n_trees: 30,
+            max_depth: 8,
+            min_leaf: 10,
+            feature_fraction: 0.7,
+            n_thresholds: 8,
+            seed: 0xF0E5,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Index of the `<=` child in the node arena.
+        left: usize,
+        /// Index of the `>` child.
+        right: usize,
+    },
+}
+
+/// A single CART regression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+}
+
+impl RegressionTree {
+    /// Predict for one feature row.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        let mut idx = 0;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { value } => return *value,
+                Node::Split { feature, threshold, left, right } => {
+                    idx = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is empty (never after fitting).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn fit(
+        x: &[Vec<f64>],
+        y: &[f64],
+        indices: &mut [usize],
+        opts: &ForestOptions,
+        rng: &mut SplitMix,
+    ) -> Self {
+        let mut nodes = Vec::new();
+        build_node(x, y, indices, 0, opts, rng, &mut nodes);
+        RegressionTree { nodes }
+    }
+}
+
+/// Recursively grow a node over `indices`; returns the node's index.
+fn build_node(
+    x: &[Vec<f64>],
+    y: &[f64],
+    indices: &mut [usize],
+    depth: usize,
+    opts: &ForestOptions,
+    rng: &mut SplitMix,
+    nodes: &mut Vec<Node>,
+) -> usize {
+    let mean = indices.iter().map(|&i| y[i]).sum::<f64>() / indices.len() as f64;
+    if depth >= opts.max_depth || indices.len() < 2 * opts.min_leaf {
+        nodes.push(Node::Leaf { value: mean });
+        return nodes.len() - 1;
+    }
+
+    let n_features = x[0].len();
+    let k = ((n_features as f64 * opts.feature_fraction).ceil() as usize).clamp(1, n_features);
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, score)
+    let parent_ss: f64 = indices.iter().map(|&i| (y[i] - mean) * (y[i] - mean)).sum();
+
+    for _ in 0..k {
+        let feature = (rng.next() as usize) % n_features;
+        // Candidate thresholds from the feature's quantiles over this node.
+        let mut values: Vec<f64> = indices.iter().map(|&i| x[i][feature]).collect();
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+        for t in 1..=opts.n_thresholds {
+            let q = t as f64 / (opts.n_thresholds + 1) as f64;
+            let threshold = values[((values.len() - 1) as f64 * q) as usize];
+            // Score the split: total within-child sum of squares.
+            let (mut n_l, mut s_l, mut ss_l) = (0.0, 0.0, 0.0);
+            let (mut n_r, mut s_r, mut ss_r) = (0.0, 0.0, 0.0);
+            for &i in indices.iter() {
+                if x[i][feature] <= threshold {
+                    n_l += 1.0;
+                    s_l += y[i];
+                    ss_l += y[i] * y[i];
+                } else {
+                    n_r += 1.0;
+                    s_r += y[i];
+                    ss_r += y[i] * y[i];
+                }
+            }
+            if (n_l as usize) < opts.min_leaf || (n_r as usize) < opts.min_leaf {
+                continue;
+            }
+            let within = (ss_l - s_l * s_l / n_l) + (ss_r - s_r * s_r / n_r);
+            let gain = parent_ss - within;
+            if best.is_none_or(|(_, _, g)| gain > g) && gain > 1e-12 {
+                best = Some((feature, threshold, gain));
+            }
+        }
+    }
+
+    let Some((feature, threshold, _)) = best else {
+        nodes.push(Node::Leaf { value: mean });
+        return nodes.len() - 1;
+    };
+
+    // Partition indices in place.
+    let mid = partition(indices, |&i| x[i][feature] <= threshold);
+    if mid == 0 || mid == indices.len() {
+        nodes.push(Node::Leaf { value: mean });
+        return nodes.len() - 1;
+    }
+    // Reserve this node's slot, then grow children.
+    let me = nodes.len();
+    nodes.push(Node::Leaf { value: mean }); // placeholder
+    let (left_idx, right_idx) = {
+        let (l, r) = indices.split_at_mut(mid);
+        let li = build_node(x, y, l, depth + 1, opts, rng, nodes);
+        let ri = build_node(x, y, r, depth + 1, opts, rng, nodes);
+        (li, ri)
+    };
+    nodes[me] = Node::Split { feature, threshold, left: left_idx, right: right_idx };
+    me
+}
+
+fn partition<T, F: Fn(&T) -> bool>(xs: &mut [T], pred: F) -> usize {
+    let mut store = 0;
+    for i in 0..xs.len() {
+        if pred(&xs[i]) {
+            xs.swap(i, store);
+            store += 1;
+        }
+    }
+    store
+}
+
+/// A bagged ensemble of regression trees.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomForest {
+    trees: Vec<RegressionTree>,
+}
+
+/// Fit-quality metrics for comparing against the linear models
+/// (Appendix B compares RMSE and MAE).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FitQuality {
+    /// Root mean squared error.
+    pub rmse: f64,
+    /// Mean absolute error.
+    pub mae: f64,
+    /// R² of predictions.
+    pub r_squared: f64,
+}
+
+impl RandomForest {
+    /// Fit a forest on a populated regression design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design has no observations.
+    pub fn fit(design: &Design, opts: ForestOptions) -> Self {
+        assert!(design.n() > 0, "cannot fit a forest on an empty design");
+        let x: Vec<Vec<f64>> = design.rows().map(|(row, _)| row.to_vec()).collect();
+        let y: Vec<f64> = design.rows().map(|(_, y)| y).collect();
+        let n = x.len();
+        let mut rng = SplitMix::new(opts.seed);
+        let trees = (0..opts.n_trees)
+            .map(|_| {
+                // Bootstrap sample with replacement.
+                let mut indices: Vec<usize> =
+                    (0..n).map(|_| (rng.next() as usize) % n).collect();
+                RegressionTree::fit(&x, &y, &mut indices, &opts, &mut rng)
+            })
+            .collect();
+        RandomForest { trees }
+    }
+
+    /// Predict one feature row (mean over trees).
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        self.trees.iter().map(|t| t.predict(row)).sum::<f64>() / self.trees.len() as f64
+    }
+
+    /// Number of trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether the forest has no trees.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// Evaluate on a design (typically the training design, as in the
+    /// paper's in-sample comparison).
+    pub fn evaluate(&self, design: &Design) -> FitQuality {
+        let n = design.n() as f64;
+        let mut se = 0.0;
+        let mut ae = 0.0;
+        let mut ys = Vec::with_capacity(design.n());
+        let mut preds = Vec::with_capacity(design.n());
+        for (row, y) in design.rows() {
+            let p = self.predict(row);
+            se += (y - p) * (y - p);
+            ae += (y - p).abs();
+            ys.push(y);
+            preds.push(p);
+        }
+        FitQuality {
+            rmse: (se / n).sqrt(),
+            mae: ae / n,
+            r_squared: crate::corr::r_squared_of_predictions(&ys, &preds).unwrap_or(0.0),
+        }
+    }
+}
+
+/// SplitMix64: tiny deterministic RNG (keeps this crate dependency-free).
+struct SplitMix {
+    state: u64,
+}
+
+impl SplitMix {
+    fn new(seed: u64) -> Self {
+        SplitMix { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regression::{ols, Value};
+
+    /// A nonlinear target the linear model cannot represent but a forest
+    /// can: y = step(x1 > 0.5) * 4 + x2.
+    fn nonlinear_design(n: usize) -> Design {
+        let mut d = Design::new().numeric("x1").numeric("x2");
+        let mut rng = SplitMix::new(7);
+        for _ in 0..n {
+            let x1 = (rng.next() % 1000) as f64 / 1000.0;
+            let x2 = (rng.next() % 1000) as f64 / 1000.0;
+            let y = if x1 > 0.5 { 4.0 } else { 0.0 } + x2;
+            d.add(&[Value::Num(x1), Value::Num(x2)], y);
+        }
+        d
+    }
+
+    #[test]
+    fn forest_learns_a_step_function() {
+        let d = nonlinear_design(2000);
+        let forest = RandomForest::fit(&d, ForestOptions::default());
+        let q = forest.evaluate(&d);
+        assert!(q.rmse < 0.5, "RMSE {}", q.rmse);
+        assert!(q.r_squared > 0.9, "R² {}", q.r_squared);
+        // Spot predictions on both sides of the step.
+        assert!(forest.predict(&[0.9, 0.0]) > 3.0);
+        assert!(forest.predict(&[0.1, 0.0]) < 1.0);
+    }
+
+    #[test]
+    fn forest_beats_linear_model_on_nonlinear_data() {
+        let mut d = Design::new().intercept().numeric("x1").numeric("x2");
+        let base = nonlinear_design(2000);
+        for (row, y) in base.rows() {
+            d.add(&[Value::Num(row[0]), Value::Num(row[1])], y);
+        }
+        let linear = ols(&d).unwrap();
+        let forest = RandomForest::fit(&base, ForestOptions::default());
+        let fq = forest.evaluate(&base);
+        assert!(
+            fq.rmse < linear.rmse,
+            "forest RMSE {} should beat linear {}",
+            fq.rmse,
+            linear.rmse
+        );
+    }
+
+    #[test]
+    fn fitting_is_deterministic() {
+        let d = nonlinear_design(500);
+        let a = RandomForest::fit(&d, ForestOptions::default());
+        let b = RandomForest::fit(&d, ForestOptions::default());
+        assert_eq!(a, b);
+        let mut opts = ForestOptions::default();
+        opts.seed = 99;
+        let c = RandomForest::fit(&d, opts);
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn depth_and_leaf_limits_respected() {
+        let d = nonlinear_design(300);
+        let opts = ForestOptions { n_trees: 3, max_depth: 2, min_leaf: 50, ..Default::default() };
+        let forest = RandomForest::fit(&d, opts);
+        // Depth 2 → at most 7 nodes per tree.
+        for tree in &forest.trees {
+            assert!(tree.len() <= 7, "tree has {} nodes", tree.len());
+        }
+    }
+
+    #[test]
+    fn constant_target_yields_constant_prediction() {
+        let mut d = Design::new().numeric("x");
+        for i in 0..100 {
+            d.add(&[Value::Num(i as f64)], 5.0);
+        }
+        let forest = RandomForest::fit(&d, ForestOptions::default());
+        assert!((forest.predict(&[42.0]) - 5.0).abs() < 1e-9);
+        assert_eq!(forest.evaluate(&d).rmse, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_design_rejected() {
+        let d = Design::new().numeric("x");
+        RandomForest::fit(&d, ForestOptions::default());
+    }
+}

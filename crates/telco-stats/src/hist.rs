@@ -1,0 +1,266 @@
+//! Histograms with linear and logarithmic binning.
+//!
+//! The paper's Fig. 13 bins device-level mobility metrics on a log scale and
+//! reports the HOF-rate distribution inside each bin; `LogBins` reproduces
+//! that binning scheme.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-width linear histogram over `[lo, hi)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    /// Observations below `lo`.
+    pub underflow: u64,
+    /// Observations at or above `hi`.
+    pub overflow: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with `bins` equal-width bins spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram requires lo < hi");
+        Histogram { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0 }
+    }
+
+    /// Record one observation.
+    pub fn add(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = ((x - self.lo) / w) as usize;
+            let idx = idx.min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total in-range observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `(bin_center, count)` pairs.
+    pub fn centers(&self) -> Vec<(f64, u64)> {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + w * (i as f64 + 0.5), c))
+            .collect()
+    }
+
+    /// Normalized frequencies per bin (empty histogram yields zeros).
+    pub fn frequencies(&self) -> Vec<f64> {
+        let t = self.total().max(1) as f64;
+        self.counts.iter().map(|&c| c as f64 / t).collect()
+    }
+}
+
+/// Logarithmic bin edges: `base^k` boundaries covering positive values, with
+/// an optional dedicated first bin for exact zeros (mobility metrics like
+/// radius of gyration are zero for stationary devices).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogBins {
+    /// Ascending positive bin edges; bin `i` covers `[edges[i], edges[i+1])`.
+    edges: Vec<f64>,
+    /// Whether a zero bin precedes the positive bins.
+    zero_bin: bool,
+}
+
+impl LogBins {
+    /// Build edges `base^min_exp .. base^max_exp` (inclusive ends), with an
+    /// extra bin for exact zeros when `zero_bin` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base <= 1` or `min_exp >= max_exp`.
+    pub fn new(base: f64, min_exp: i32, max_exp: i32, zero_bin: bool) -> Self {
+        assert!(base > 1.0, "log bins require base > 1");
+        assert!(min_exp < max_exp, "log bins require min_exp < max_exp");
+        let edges = (min_exp..=max_exp).map(|k| base.powi(k)).collect();
+        LogBins { edges, zero_bin }
+    }
+
+    /// Number of bins (including the zero bin when present, plus one
+    /// overflow bin for values `>=` the last edge).
+    pub fn n_bins(&self) -> usize {
+        let positive = self.edges.len(); // len-1 interior + 1 overflow
+        positive + usize::from(self.zero_bin)
+    }
+
+    /// Bin index for a value, or `None` for values below the first edge
+    /// (other than exact zero when a zero bin exists) or negative values.
+    pub fn index(&self, x: f64) -> Option<usize> {
+        if x < 0.0 {
+            return None;
+        }
+        let offset = usize::from(self.zero_bin);
+        if self.zero_bin && x == 0.0 {
+            return Some(0);
+        }
+        if x < self.edges[0] {
+            // Sub-range positive values: merged into the first positive bin
+            // when a zero bin exists is NOT done; they are out of range.
+            return None;
+        }
+        // partition_point returns the count of edges <= x.
+        let k = self.edges.partition_point(|&e| e <= x);
+        Some(offset + k - 1)
+    }
+
+    /// Human-readable label for a bin index, e.g. `"0"`, `"[10,100)"`,
+    /// `">=1000"`.
+    pub fn label(&self, bin: usize) -> String {
+        let offset = usize::from(self.zero_bin);
+        if self.zero_bin && bin == 0 {
+            return "0".to_string();
+        }
+        let k = bin - offset;
+        if k + 1 < self.edges.len() {
+            format!("[{},{})", fmt_edge(self.edges[k]), fmt_edge(self.edges[k + 1]))
+        } else {
+            format!(">={}", fmt_edge(*self.edges.last().expect("nonempty")))
+        }
+    }
+
+    /// Ascending positive edges.
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+}
+
+fn fmt_edge(e: f64) -> String {
+    if e >= 1.0 && e.fract() == 0.0 {
+        format!("{}", e as i64)
+    } else {
+        format!("{e}")
+    }
+}
+
+/// Accumulates samples of a dependent variable within log bins of an
+/// independent variable — Fig. 13's construction (HOF rate vs binned
+/// mobility metric).
+#[derive(Debug, Clone)]
+pub struct BinnedSamples {
+    bins: LogBins,
+    samples: Vec<Vec<f64>>,
+}
+
+impl BinnedSamples {
+    /// Create an accumulator over the given binning.
+    pub fn new(bins: LogBins) -> Self {
+        let n = bins.n_bins();
+        BinnedSamples { bins, samples: vec![Vec::new(); n] }
+    }
+
+    /// Record `(x, y)`; `x` selects the bin, `y` is accumulated. Values of
+    /// `x` outside the binning are dropped (mirrors the paper's trimming).
+    pub fn add(&mut self, x: f64, y: f64) {
+        if let Some(i) = self.bins.index(x) {
+            self.samples[i].push(y);
+        }
+    }
+
+    /// The samples accumulated in each bin.
+    pub fn bin_samples(&self) -> &[Vec<f64>] {
+        &self.samples
+    }
+
+    /// The binning scheme.
+    pub fn bins(&self) -> &LogBins {
+        &self.bins
+    }
+
+    /// Count of observations per bin.
+    pub fn counts(&self) -> Vec<usize> {
+        self.samples.iter().map(Vec::len).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_fills_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for i in 0..10 {
+            h.add(i as f64);
+        }
+        assert_eq!(h.counts(), &[2, 2, 2, 2, 2]);
+        assert_eq!(h.total(), 10);
+        assert_eq!(h.underflow, 0);
+        assert_eq!(h.overflow, 0);
+    }
+
+    #[test]
+    fn histogram_under_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(-1.0);
+        h.add(1.0);
+        h.add(5.0);
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.overflow, 2);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn histogram_frequencies_sum_to_one() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        for x in [0.5, 1.5, 1.6, 3.9] {
+            h.add(x);
+        }
+        let s: f64 = h.frequencies().iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_bins_index_decades() {
+        let b = LogBins::new(10.0, 0, 3, true); // 0 | [1,10) [10,100) [100,1000) >=1000
+        assert_eq!(b.n_bins(), 5);
+        assert_eq!(b.index(0.0), Some(0));
+        assert_eq!(b.index(1.0), Some(1));
+        assert_eq!(b.index(9.99), Some(1));
+        assert_eq!(b.index(10.0), Some(2));
+        assert_eq!(b.index(999.0), Some(3));
+        assert_eq!(b.index(1000.0), Some(4));
+        assert_eq!(b.index(1e9), Some(4));
+        assert_eq!(b.index(0.5), None);
+        assert_eq!(b.index(-1.0), None);
+    }
+
+    #[test]
+    fn log_bins_labels() {
+        let b = LogBins::new(10.0, 0, 2, true);
+        assert_eq!(b.label(0), "0");
+        assert_eq!(b.label(1), "[1,10)");
+        assert_eq!(b.label(2), "[10,100)");
+        assert_eq!(b.label(3), ">=100");
+    }
+
+    #[test]
+    fn binned_samples_accumulate() {
+        let mut bs = BinnedSamples::new(LogBins::new(10.0, 0, 2, false));
+        bs.add(5.0, 0.1);
+        bs.add(50.0, 0.2);
+        bs.add(50.0, 0.3);
+        bs.add(0.5, 9.9); // out of range, dropped
+        assert_eq!(bs.counts(), vec![1, 2, 0]);
+        assert_eq!(bs.bin_samples()[1], vec![0.2, 0.3]);
+    }
+}

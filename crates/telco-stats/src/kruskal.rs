@@ -1,0 +1,160 @@
+//! The Kruskal–Wallis rank test, used by the paper (§6.3) as a
+//! distribution-free cross-check of the ANOVA conclusion that the HO type
+//! drives HOF rates.
+
+use serde::{Deserialize, Serialize};
+
+use crate::corr::midranks;
+use crate::special::chi2_sf;
+
+/// Result of a Kruskal–Wallis test.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KruskalResult {
+    /// The H statistic (tie-corrected).
+    pub h_statistic: f64,
+    /// Degrees of freedom (`k − 1`).
+    pub df: f64,
+    /// Upper-tail p-value from the χ² approximation.
+    pub p_value: f64,
+    /// Per-group mean ranks.
+    pub mean_ranks: Vec<f64>,
+    /// Per-group sizes.
+    pub group_sizes: Vec<usize>,
+}
+
+/// Errors from the Kruskal–Wallis test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KruskalError {
+    /// Fewer than two groups were supplied.
+    TooFewGroups,
+    /// A group was empty.
+    EmptyGroup,
+    /// All observations are tied; the statistic is undefined.
+    AllTied,
+}
+
+impl std::fmt::Display for KruskalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KruskalError::TooFewGroups => write!(f, "Kruskal-Wallis needs at least two groups"),
+            KruskalError::EmptyGroup => write!(f, "Kruskal-Wallis groups must be nonempty"),
+            KruskalError::AllTied => write!(f, "all observations tied; H undefined"),
+        }
+    }
+}
+
+impl std::error::Error for KruskalError {}
+
+/// Kruskal–Wallis H test across `groups`, with the standard tie correction
+/// `H' = H / (1 − Σ(t³−t) / (n³−n))`.
+pub fn kruskal_wallis(groups: &[&[f64]]) -> Result<KruskalResult, KruskalError> {
+    if groups.len() < 2 {
+        return Err(KruskalError::TooFewGroups);
+    }
+    if groups.iter().any(|g| g.is_empty()) {
+        return Err(KruskalError::EmptyGroup);
+    }
+    let k = groups.len();
+    let n: usize = groups.iter().map(|g| g.len()).sum();
+
+    // Pool, rank, and split back.
+    let pooled: Vec<f64> = groups.iter().flat_map(|g| g.iter().copied()).collect();
+    let ranks = midranks(&pooled);
+
+    let mut mean_ranks = Vec::with_capacity(k);
+    let mut h = 0.0;
+    let mut offset = 0;
+    for g in groups {
+        let ni = g.len();
+        let rsum: f64 = ranks[offset..offset + ni].iter().sum();
+        let mean = rsum / ni as f64;
+        mean_ranks.push(mean);
+        h += rsum * rsum / ni as f64;
+        offset += ni;
+    }
+    let nf = n as f64;
+    let mut h = 12.0 / (nf * (nf + 1.0)) * h - 3.0 * (nf + 1.0);
+
+    // Tie correction: count tie groups in the pooled sample.
+    let mut sorted = pooled.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in Kruskal-Wallis input"));
+    let mut tie_sum = 0.0;
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i;
+        while j + 1 < sorted.len() && sorted[j + 1] == sorted[i] {
+            j += 1;
+        }
+        let t = (j - i + 1) as f64;
+        tie_sum += t * t * t - t;
+        i = j + 1;
+    }
+    let correction = 1.0 - tie_sum / (nf * nf * nf - nf);
+    if correction <= 0.0 {
+        return Err(KruskalError::AllTied);
+    }
+    h /= correction;
+
+    let df = (k - 1) as f64;
+    Ok(KruskalResult {
+        h_statistic: h,
+        df,
+        p_value: chi2_sf(h, df),
+        mean_ranks,
+        group_sizes: groups.iter().map(|g| g.len()).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_shifted_groups() {
+        let a: Vec<f64> = (0..40).map(|i| i as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..40).map(|i| 100.0 + i as f64 * 0.1).collect();
+        let r = kruskal_wallis(&[&a, &b]).unwrap();
+        assert!(r.p_value < 1e-10);
+        assert!(r.mean_ranks[1] > r.mean_ranks[0]);
+    }
+
+    #[test]
+    fn same_distribution_is_insignificant() {
+        let a: Vec<f64> = (0..60).map(|i| (i % 11) as f64).collect();
+        let b: Vec<f64> = (0..60).map(|i| ((i + 5) % 11) as f64).collect();
+        let r = kruskal_wallis(&[&a, &b]).unwrap();
+        assert!(r.p_value > 0.05, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn known_textbook_value() {
+        // Conover-style example with three small groups.
+        let g1 = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let g2 = [6.0, 7.0, 8.0, 9.0, 10.0];
+        let g3 = [11.0, 12.0, 13.0, 14.0, 15.0];
+        let r = kruskal_wallis(&[&g1, &g2, &g3]).unwrap();
+        // Perfect separation: H = 12.5 for n=15, k=3 with no ties.
+        assert!((r.h_statistic - 12.5).abs() < 1e-9, "H = {}", r.h_statistic);
+        assert!(r.p_value < 0.01);
+    }
+
+    #[test]
+    fn tie_correction_applied() {
+        // Heavy ties shrink the raw H; the corrected H must still flag the
+        // obvious shift.
+        let a = [1.0, 1.0, 1.0, 2.0, 2.0];
+        let b = [9.0, 9.0, 9.0, 10.0, 10.0];
+        let r = kruskal_wallis(&[&a, &b]).unwrap();
+        assert!(r.p_value < 0.05);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(kruskal_wallis(&[&[1.0]]).unwrap_err(), KruskalError::TooFewGroups);
+        assert_eq!(kruskal_wallis(&[&[1.0], &[]]).unwrap_err(), KruskalError::EmptyGroup);
+        assert_eq!(
+            kruskal_wallis(&[&[3.0, 3.0], &[3.0, 3.0]]).unwrap_err(),
+            KruskalError::AllTied
+        );
+    }
+}

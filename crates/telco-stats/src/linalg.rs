@@ -1,0 +1,328 @@
+//! Minimal dense linear algebra for regression: a row-major matrix type,
+//! Cholesky factorization, and triangular solves.
+//!
+//! The regression design matrices here are tall and skinny (millions of
+//! rows, ~a dozen columns), so we accumulate the normal equations
+//! `XᵀX β = Xᵀy` streaming over rows and solve the small symmetric
+//! positive-definite system by Cholesky.
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a nested slice of rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows are ragged or empty.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix needs at least one column");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Matrix { rows: rows.len(), cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "mul_vec dimension mismatch");
+        let mut out = vec![0.0; self.rows];
+        for (i, o) in out.iter_mut().enumerate() {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            *o = row.iter().zip(v).map(|(a, b)| a * b).sum();
+        }
+        out
+    }
+
+    /// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite
+    /// matrix; returns the lower-triangular factor, or `None` if the matrix
+    /// is not (numerically) positive definite.
+    pub fn cholesky(&self) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols, "cholesky requires a square matrix");
+        let n = self.rows;
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    // Relative tolerance: exact-arithmetic zero pivots round
+                    // to tiny positive values for collinear integer designs.
+                    if sum <= 1e-10 * self[(i, i)].abs().max(f64::MIN_POSITIVE) {
+                        return None;
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Some(l)
+    }
+
+    /// Solve `A x = b` for symmetric positive-definite `A` via Cholesky.
+    pub fn solve_spd(&self, b: &[f64]) -> Option<Vec<f64>> {
+        let l = self.cholesky()?;
+        Some(l.cholesky_solve(b))
+    }
+
+    /// Given a lower-triangular Cholesky factor `L`, solve `L Lᵀ x = b`.
+    fn cholesky_solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.rows;
+        assert_eq!(b.len(), n, "cholesky_solve dimension mismatch");
+        // Forward substitution: L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self[(i, k)] * y[k];
+            }
+            y[i] = sum / self[(i, i)];
+        }
+        // Backward substitution: Lᵀ x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self[(k, i)] * x[k];
+            }
+            x[i] = sum / self[(i, i)];
+        }
+        x
+    }
+
+    /// Inverse of a symmetric positive-definite matrix via Cholesky,
+    /// column by column. `None` if not positive definite.
+    pub fn inverse_spd(&self) -> Option<Matrix> {
+        let n = self.rows;
+        let l = self.cholesky()?;
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = l.cholesky_solve(&e);
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+            e[j] = 0.0;
+        }
+        Some(inv)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Streaming accumulator for the normal equations of least squares.
+///
+/// Feed rows `(x, y)` one at a time (optionally weighted); then solve for
+/// the coefficient vector without ever materializing the design matrix.
+#[derive(Debug, Clone)]
+pub struct NormalEquations {
+    /// `XᵀX` (symmetric, stored fully).
+    pub xtx: Matrix,
+    /// `Xᵀy`.
+    pub xty: Vec<f64>,
+    /// `Σ w y²` (for residual computations).
+    pub yty: f64,
+    /// Total weight (`n` for unweighted problems).
+    pub weight: f64,
+    /// Number of rows fed.
+    pub n: usize,
+}
+
+impl NormalEquations {
+    /// Accumulator for a `p`-column design.
+    pub fn new(p: usize) -> Self {
+        NormalEquations { xtx: Matrix::zeros(p, p), xty: vec![0.0; p], yty: 0.0, weight: 0.0, n: 0 }
+    }
+
+    /// Number of columns.
+    pub fn p(&self) -> usize {
+        self.xty.len()
+    }
+
+    /// Add a row with unit weight.
+    pub fn add(&mut self, x: &[f64], y: f64) {
+        self.add_weighted(x, y, 1.0);
+    }
+
+    /// Add a row with weight `w` (used by IRLS for quantile regression).
+    pub fn add_weighted(&mut self, x: &[f64], y: f64, w: f64) {
+        let p = self.p();
+        assert_eq!(x.len(), p, "row length mismatch");
+        for (i, &xi) in x.iter().enumerate() {
+            let wxi = w * xi;
+            for (j, &xj) in x.iter().enumerate().skip(i) {
+                self.xtx[(i, j)] += wxi * xj;
+            }
+            self.xty[i] += wxi * y;
+        }
+        self.yty += w * y * y;
+        self.weight += w;
+        self.n += 1;
+    }
+
+    /// Solve for the coefficients, mirroring the upper triangle first.
+    /// Returns `None` when `XᵀX` is singular (collinear design).
+    pub fn solve(&self) -> Option<Vec<f64>> {
+        let p = self.p();
+        let mut a = self.xtx.clone();
+        for i in 0..p {
+            for j in 0..i {
+                a[(i, j)] = a[(j, i)];
+            }
+        }
+        a.solve_spd(&self.xty)
+    }
+
+    /// `(XᵀX)⁻¹` for coefficient covariance. `None` when singular.
+    pub fn xtx_inverse(&self) -> Option<Matrix> {
+        let p = self.p();
+        let mut a = self.xtx.clone();
+        for i in 0..p {
+            for j in 0..i {
+                a[(i, j)] = a[(j, i)];
+            }
+        }
+        a.inverse_spd()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cholesky_roundtrip() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+        let l = a.cholesky().unwrap();
+        // L * L^T == A
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut s = 0.0;
+                for k in 0..2 {
+                    s += l[(i, k)] * l[(j, k)];
+                }
+                assert!((s - a[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(a.cholesky().is_none());
+    }
+
+    #[test]
+    fn solve_spd_known_system() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+        let x = a.solve_spd(&[10.0, 8.0]).unwrap();
+        // 4x + 2y = 10; 2x + 3y = 8 => x = 1.75, y = 1.5
+        assert!((x[0] - 1.75).abs() < 1e-12);
+        assert!((x[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_spd_identity() {
+        let a = Matrix::from_rows(&[&[2.0, 0.5], &[0.5, 1.0]]);
+        let inv = a.inverse_spd().unwrap();
+        for i in 0..2 {
+            let mut row = vec![0.0; 2];
+            for j in 0..2 {
+                for k in 0..2 {
+                    row[j] += a[(i, k)] * inv[(k, j)];
+                }
+            }
+            assert!((row[i] - 1.0).abs() < 1e-12);
+            assert!((row[1 - i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn normal_equations_recover_line() {
+        let mut ne = NormalEquations::new(2);
+        for i in 0..50 {
+            let x = i as f64;
+            ne.add(&[1.0, x], 3.0 + 2.0 * x);
+        }
+        let beta = ne.solve().unwrap();
+        assert!((beta[0] - 3.0).abs() < 1e-9);
+        assert!((beta[1] - 2.0).abs() < 1e-10);
+        assert_eq!(ne.n, 50);
+    }
+
+    #[test]
+    fn normal_equations_detect_collinearity() {
+        let mut ne = NormalEquations::new(2);
+        for i in 0..10 {
+            let x = i as f64;
+            ne.add(&[x, 2.0 * x], x); // second column = 2 * first
+        }
+        assert!(ne.solve().is_none());
+    }
+
+    #[test]
+    fn mul_vec_basic() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.mul_vec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        let i3 = Matrix::identity(3);
+        assert_eq!(i3.mul_vec(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+    }
+}

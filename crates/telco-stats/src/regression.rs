@@ -1,0 +1,410 @@
+//! Ordinary least squares with categorical covariates — the machinery behind
+//! the paper's Tables 4, 5 and 7 (generalized linear model on
+//! `log(HOF rate)` with HO type, area type, vendor, region, population).
+//!
+//! A [`Design`] declares the covariates (numeric columns and categorical
+//! columns with a baseline level, expanded to dummy variables), collects
+//! observations, and [`ols`] produces the familiar regression summary:
+//! estimate, standard error, t value, two-sided p-value, plus N, R², RMSE,
+//! MAE and AIC.
+
+use serde::{Deserialize, Serialize};
+
+use crate::linalg::NormalEquations;
+use crate::special::t_sf_two_sided;
+
+/// A covariate value supplied for one observation, matching the order in
+/// which columns were declared on the [`Design`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// A numeric covariate.
+    Num(f64),
+    /// A categorical covariate given as a level index (0 = baseline).
+    Cat(usize),
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum ColumnSpec {
+    Intercept,
+    Numeric { name: String },
+    Categorical { name: String, levels: Vec<String> },
+}
+
+/// A regression design: declared covariates plus collected observations.
+///
+/// Categorical columns use treatment (dummy) coding with the first declared
+/// level as the baseline, matching R's `lm` defaults that the paper's tables
+/// reflect (e.g. "HO type: 4G/5G-NSA→3G" with intra 4G/5G-NSA absorbed into
+/// the intercept).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Design {
+    columns: Vec<ColumnSpec>,
+    /// Expanded design-matrix column names.
+    names: Vec<String>,
+    /// Expanded width (number of design columns).
+    p: usize,
+    /// Flattened row-major design matrix.
+    x: Vec<f64>,
+    /// Responses.
+    y: Vec<f64>,
+}
+
+impl Design {
+    /// Empty design with no columns.
+    pub fn new() -> Self {
+        Design { columns: Vec::new(), names: Vec::new(), p: 0, x: Vec::new(), y: Vec::new() }
+    }
+
+    /// Add an intercept column named `(Intercept)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if observations were already added.
+    pub fn intercept(mut self) -> Self {
+        self.assert_no_rows();
+        self.columns.push(ColumnSpec::Intercept);
+        self.names.push("(Intercept)".to_string());
+        self.p += 1;
+        self
+    }
+
+    /// Add a numeric covariate.
+    pub fn numeric(mut self, name: &str) -> Self {
+        self.assert_no_rows();
+        self.columns.push(ColumnSpec::Numeric { name: name.to_string() });
+        self.names.push(name.to_string());
+        self.p += 1;
+        self
+    }
+
+    /// Add a categorical covariate with the given levels; the first level is
+    /// the baseline and produces no column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two levels are supplied.
+    pub fn categorical(mut self, name: &str, levels: &[&str]) -> Self {
+        self.assert_no_rows();
+        assert!(levels.len() >= 2, "categorical covariate needs >= 2 levels");
+        for level in &levels[1..] {
+            self.names.push(format!("{name}: {level}"));
+        }
+        self.p += levels.len() - 1;
+        self.columns.push(ColumnSpec::Categorical {
+            name: name.to_string(),
+            levels: levels.iter().map(|s| s.to_string()).collect(),
+        });
+        self
+    }
+
+    fn assert_no_rows(&self) {
+        assert!(self.y.is_empty(), "cannot change columns after adding observations");
+    }
+
+    /// Expanded design-matrix column names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of expanded design columns.
+    pub fn width(&self) -> usize {
+        self.p
+    }
+
+    /// Number of observations collected so far.
+    pub fn n(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Add one observation. `values` must match the declared non-intercept
+    /// columns in order; `y` is the response.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch, wrong value kind, or out-of-range level.
+    pub fn add(&mut self, values: &[Value], y: f64) {
+        let expected: usize =
+            self.columns.iter().filter(|c| !matches!(c, ColumnSpec::Intercept)).count();
+        assert_eq!(values.len(), expected, "expected {expected} covariate values");
+        let mut row = Vec::with_capacity(self.p);
+        let mut vi = 0;
+        for col in &self.columns {
+            match col {
+                ColumnSpec::Intercept => row.push(1.0),
+                ColumnSpec::Numeric { name } => {
+                    match values[vi] {
+                        Value::Num(v) => row.push(v),
+                        Value::Cat(_) => panic!("column '{name}' expects a numeric value"),
+                    }
+                    vi += 1;
+                }
+                ColumnSpec::Categorical { name, levels } => {
+                    let idx = match values[vi] {
+                        Value::Cat(i) => i,
+                        Value::Num(_) => panic!("column '{name}' expects a level index"),
+                    };
+                    assert!(idx < levels.len(), "level index {idx} out of range for '{name}'");
+                    for k in 1..levels.len() {
+                        row.push(if k == idx { 1.0 } else { 0.0 });
+                    }
+                    vi += 1;
+                }
+            }
+        }
+        self.x.extend_from_slice(&row);
+        self.y.push(y);
+    }
+
+    /// Iterate over `(row, y)` pairs.
+    pub fn rows(&self) -> impl Iterator<Item = (&[f64], f64)> + '_ {
+        self.y.iter().enumerate().map(move |(i, &y)| (&self.x[i * self.p..(i + 1) * self.p], y))
+    }
+}
+
+impl Default for Design {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One fitted coefficient with its inference statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Coefficient {
+    /// Expanded design-column name (e.g. `"HO type: 4G/5G-NSA→3G"`).
+    pub name: String,
+    /// Point estimate.
+    pub estimate: f64,
+    /// Standard error.
+    pub std_err: f64,
+    /// `estimate / std_err`.
+    pub t_value: f64,
+    /// Two-sided p-value under the t distribution with `n - p` dof.
+    pub p_value: f64,
+    /// 95% confidence interval (normal approximation for large n).
+    pub ci95: (f64, f64),
+}
+
+/// A fitted OLS model summary, mirroring the footer of the paper's
+/// regression tables (`N`, `RMSE`, `R²`, `AIC`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OlsFit {
+    /// Per-column coefficient rows.
+    pub coefficients: Vec<Coefficient>,
+    /// Number of observations.
+    pub n: usize,
+    /// Residual degrees of freedom (`n - p`).
+    pub df_resid: usize,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+    /// Adjusted R².
+    pub adj_r_squared: f64,
+    /// Root mean squared error of residuals.
+    pub rmse: f64,
+    /// Mean absolute error of residuals.
+    pub mae: f64,
+    /// Akaike information criterion under the Gaussian likelihood.
+    pub aic: f64,
+    /// Residual variance estimate `σ²`.
+    pub sigma2: f64,
+}
+
+impl OlsFit {
+    /// Look up a coefficient by (exact) expanded name.
+    pub fn coefficient(&self, name: &str) -> Option<&Coefficient> {
+        self.coefficients.iter().find(|c| c.name == name)
+    }
+
+    /// Predicted value for a design row.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.coefficients.len(), "row width mismatch");
+        row.iter().zip(&self.coefficients).map(|(x, c)| x * c.estimate).sum()
+    }
+}
+
+/// Errors from fitting a regression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// Fewer observations than design columns (plus one residual dof).
+    TooFewObservations,
+    /// The design matrix is rank deficient (collinear columns).
+    Singular,
+    /// IRLS failed to converge within its iteration budget.
+    NoConvergence,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::TooFewObservations => write!(f, "too few observations for the design"),
+            FitError::Singular => write!(f, "design matrix is singular (collinear covariates)"),
+            FitError::NoConvergence => write!(f, "iterative fit did not converge"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// Fit ordinary least squares on a populated design.
+pub fn ols(design: &Design) -> Result<OlsFit, FitError> {
+    let p = design.width();
+    let n = design.n();
+    if n <= p {
+        return Err(FitError::TooFewObservations);
+    }
+    let mut ne = NormalEquations::new(p);
+    let mut sum_y = 0.0;
+    for (row, y) in design.rows() {
+        ne.add(row, y);
+        sum_y += y;
+    }
+    let beta = ne.solve().ok_or(FitError::Singular)?;
+    let inv = ne.xtx_inverse().ok_or(FitError::Singular)?;
+
+    // Residual sum of squares via the quadratic form (single pass already
+    // accumulated): SS_res = yᵀy − 2βᵀXᵀy + βᵀXᵀXβ = yᵀy − βᵀXᵀy (at the
+    // normal-equations solution XᵀXβ = Xᵀy).
+    let bxty: f64 = beta.iter().zip(&ne.xty).map(|(b, v)| b * v).sum();
+    let ss_res = (ne.yty - bxty).max(0.0);
+    let mean_y = sum_y / n as f64;
+    let ss_tot = (ne.yty - n as f64 * mean_y * mean_y).max(0.0);
+
+    // MAE needs the residuals themselves — one more cheap pass.
+    let mut abs_sum = 0.0;
+    for (row, y) in design.rows() {
+        let pred: f64 = row.iter().zip(&beta).map(|(x, b)| x * b).sum();
+        abs_sum += (y - pred).abs();
+    }
+
+    let df = (n - p) as f64;
+    let sigma2 = ss_res / df;
+    let coefficients = beta
+        .iter()
+        .enumerate()
+        .map(|(j, &est)| {
+            let se = (sigma2 * inv[(j, j)]).max(0.0).sqrt();
+            let t = if se > 0.0 { est / se } else { f64::INFINITY };
+            let pval = if se > 0.0 { t_sf_two_sided(t, df) } else { 0.0 };
+            Coefficient {
+                name: design.names()[j].clone(),
+                estimate: est,
+                std_err: se,
+                t_value: t,
+                p_value: pval,
+                ci95: (est - 1.959_963_984_540_054 * se, est + 1.959_963_984_540_054 * se),
+            }
+        })
+        .collect();
+
+    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 0.0 };
+    let adj = 1.0 - (1.0 - r2) * (n as f64 - 1.0) / df;
+    // Gaussian AIC: n ln(SS_res / n) + 2 (p + 1), dropping the constant.
+    let aic = n as f64 * (ss_res / n as f64).max(1e-300).ln() + 2.0 * (p as f64 + 1.0);
+    Ok(OlsFit {
+        coefficients,
+        n,
+        df_resid: n - p,
+        r_squared: r2,
+        adj_r_squared: adj,
+        rmse: (ss_res / n as f64).sqrt(),
+        mae: abs_sum / n as f64,
+        aic,
+        sigma2,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_design(noise: &[f64]) -> Design {
+        let mut d = Design::new().intercept().numeric("x");
+        for (i, &e) in noise.iter().enumerate() {
+            let x = i as f64;
+            d.add(&[Value::Num(x)], 1.5 + 0.5 * x + e);
+        }
+        d
+    }
+
+    #[test]
+    fn ols_recovers_exact_line() {
+        let fit = ols(&line_design(&[0.0; 20])).unwrap();
+        assert!((fit.coefficient("(Intercept)").unwrap().estimate - 1.5).abs() < 1e-10);
+        assert!((fit.coefficient("x").unwrap().estimate - 0.5).abs() < 1e-11);
+        assert!(fit.r_squared > 0.999_999);
+        assert!(fit.rmse < 1e-9);
+    }
+
+    #[test]
+    fn ols_inference_on_noisy_line() {
+        // Deterministic "noise" with zero mean.
+        let noise: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 0.1 } else { -0.1 }).collect();
+        let fit = ols(&line_design(&noise)).unwrap();
+        let slope = fit.coefficient("x").unwrap();
+        assert!((slope.estimate - 0.5).abs() < 0.01);
+        assert!(slope.std_err > 0.0);
+        assert!(slope.p_value < 1e-10, "strong slope must be significant");
+        assert!(slope.ci95.0 < slope.estimate && slope.estimate < slope.ci95.1);
+    }
+
+    #[test]
+    fn categorical_dummy_coding() {
+        // y = 1 + 2*[level B] + 5*[level C]
+        let mut d = Design::new().intercept().categorical("g", &["A", "B", "C"]);
+        for rep in 0..10 {
+            let _ = rep;
+            d.add(&[Value::Cat(0)], 1.0);
+            d.add(&[Value::Cat(1)], 3.0);
+            d.add(&[Value::Cat(2)], 6.0);
+        }
+        let fit = ols(&d).unwrap();
+        assert!((fit.coefficient("(Intercept)").unwrap().estimate - 1.0).abs() < 1e-10);
+        assert!((fit.coefficient("g: B").unwrap().estimate - 2.0).abs() < 1e-10);
+        assert!((fit.coefficient("g: C").unwrap().estimate - 5.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn singular_design_is_reported() {
+        let mut d = Design::new().intercept().numeric("x").numeric("x2");
+        for i in 0..10 {
+            let x = i as f64;
+            d.add(&[Value::Num(x), Value::Num(2.0 * x)], x);
+        }
+        assert_eq!(ols(&d).unwrap_err(), FitError::Singular);
+    }
+
+    #[test]
+    fn too_few_observations() {
+        let mut d = Design::new().intercept().numeric("x");
+        d.add(&[Value::Num(1.0)], 1.0);
+        assert_eq!(ols(&d).unwrap_err(), FitError::TooFewObservations);
+    }
+
+    #[test]
+    fn predict_matches_fit() {
+        let fit = ols(&line_design(&[0.0; 10])).unwrap();
+        let pred = fit.predict(&[1.0, 4.0]);
+        assert!((pred - (1.5 + 0.5 * 4.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let mut d = Design::new().intercept().numeric("x");
+        d.add(&[], 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn kind_mismatch_panics() {
+        let mut d = Design::new().numeric("x");
+        d.add(&[Value::Cat(0)], 1.0);
+    }
+
+    #[test]
+    fn mae_and_rmse_consistent() {
+        let noise: Vec<f64> = (0..30).map(|i| if i % 2 == 0 { 0.2 } else { -0.2 }).collect();
+        let fit = ols(&line_design(&noise)).unwrap();
+        assert!((fit.mae - 0.2).abs() < 0.05);
+        assert!(fit.rmse >= fit.mae); // RMSE dominates MAE
+    }
+}

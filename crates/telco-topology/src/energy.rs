@@ -1,0 +1,190 @@
+//! Dynamic energy-saving sector shutdown.
+//!
+//! MNOs switch off capacity-booster sectors when demand does not require
+//! them (§5.1, citing carrier-shutdown modeling work): after the evening
+//! the share of active sectors declines roughly 1% per 30 minutes until
+//! midnight, bottoming out overnight, while ≈99% of sectors are active
+//! between the morning peak and 17:00.
+
+use serde::{Deserialize, Serialize};
+
+use crate::elements::{RadioSector, SectorId};
+
+/// Number of 30-minute slots in a day.
+pub const SLOTS_PER_DAY: usize = 48;
+
+/// The operator's energy-saving policy: a target active fraction for
+/// capacity boosters per 30-minute slot of the day.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergySavingPolicy {
+    /// Target fraction of boosters active in each 30-minute slot.
+    booster_active_fraction: Vec<f64>,
+}
+
+impl Default for EnergySavingPolicy {
+    fn default() -> Self {
+        let mut f = vec![1.0f64; SLOTS_PER_DAY];
+        for (slot, v) in f.iter_mut().enumerate() {
+            let hour = slot as f64 / 2.0;
+            *v = if (7.0..17.0).contains(&hour) {
+                // Daytime: effectively everything on (≈99% observed active).
+                1.0
+            } else if hour >= 17.0 {
+                // Evening glide: ~2% of boosters off per 30-minute slot
+                // (≈1% of all sectors, boosters being ~half of urban EPC
+                // sectors), reaching the overnight floor at midnight.
+                (1.0 - 0.028 * (hour - 17.0) * 2.0).max(0.60)
+            } else {
+                // Overnight floor rising back towards the morning peak.
+                match hour as u32 {
+                    0..=3 => 0.55,
+                    4 => 0.62,
+                    5 => 0.75,
+                    _ => 0.90, // 6:00–7:00 ramp-up
+                }
+            };
+        }
+        EnergySavingPolicy { booster_active_fraction: f }
+    }
+}
+
+impl EnergySavingPolicy {
+    /// Target active fraction for boosters in a 30-minute slot (0..48).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= 48`.
+    pub fn booster_fraction(&self, slot: usize) -> f64 {
+        self.booster_active_fraction[slot]
+    }
+
+    /// Whether a sector is active during `slot` (0..48) of `day`.
+    ///
+    /// Non-boosters are always on. Each booster draws a deterministic
+    /// per-day priority from a hash of `(sector, day)`; as the target
+    /// fraction declines through the evening, boosters with high priority
+    /// values shut down first — so within a day the active set shrinks
+    /// monotonically with the target, and across days the rotation differs
+    /// (sharing the energy-saving burden).
+    pub fn is_active(&self, sector: &RadioSector, day: u32, slot: usize) -> bool {
+        if !sector.capacity_booster {
+            return true;
+        }
+        let u = unit_hash(sector.id, day);
+        u < self.booster_fraction(slot)
+    }
+}
+
+/// Deterministic hash of `(sector, day)` to the unit interval.
+fn unit_hash(sector: SectorId, day: u32) -> f64 {
+    // SplitMix64 finalizer over the packed key.
+    let mut z = ((sector.0 as u64) << 32) ^ (day as u64) ^ 0x9e37_79b9_7f4a_7c15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rat::Rat;
+    use crate::vendor::Vendor;
+
+    fn booster(id: u32) -> RadioSector {
+        RadioSector {
+            id: SectorId(id),
+            site: crate::elements::SiteId(0),
+            rat: Rat::G4,
+            vendor: Vendor::V1,
+            azimuth_deg: 0,
+            carrier: 0,
+            deployed_year: 2020,
+            capacity_booster: true,
+            capacity: 600,
+        }
+    }
+
+    #[test]
+    fn non_boosters_always_active() {
+        let policy = EnergySavingPolicy::default();
+        let mut s = booster(1);
+        s.capacity_booster = false;
+        for slot in 0..SLOTS_PER_DAY {
+            assert!(policy.is_active(&s, 0, slot));
+        }
+    }
+
+    #[test]
+    fn daytime_fraction_is_full() {
+        let policy = EnergySavingPolicy::default();
+        for slot in 16..34 {
+            // 8:00–17:00
+            assert!(policy.booster_fraction(slot) >= 0.99, "slot {slot}");
+        }
+    }
+
+    #[test]
+    fn evening_declines_night_is_lowest() {
+        let policy = EnergySavingPolicy::default();
+        // Declining after 17:00.
+        for slot in 34..SLOTS_PER_DAY - 1 {
+            assert!(
+                policy.booster_fraction(slot + 1) <= policy.booster_fraction(slot) + 1e-12,
+                "evening slot {slot} must not increase"
+            );
+        }
+        // Night floor below evening start.
+        assert!(policy.booster_fraction(4) < policy.booster_fraction(35));
+    }
+
+    #[test]
+    fn active_set_shrinks_monotonically_within_a_day() {
+        let policy = EnergySavingPolicy::default();
+        let sectors: Vec<RadioSector> = (0..500).map(booster).collect();
+        let active = |slot: usize| -> Vec<u32> {
+            sectors
+                .iter()
+                .filter(|s| policy.is_active(s, 3, slot))
+                .map(|s| s.id.0)
+                .collect()
+        };
+        // Every sector active at 22:00 is also active at 18:00.
+        let evening = active(36);
+        let late = active(44);
+        for id in &late {
+            assert!(evening.contains(id), "sector {id} flickered back on");
+        }
+        assert!(late.len() < evening.len());
+    }
+
+    #[test]
+    fn rotation_differs_across_days() {
+        let policy = EnergySavingPolicy::default();
+        let sectors: Vec<RadioSector> = (0..300).map(booster).collect();
+        let off_on = |day: u32| -> Vec<u32> {
+            sectors
+                .iter()
+                .filter(|s| !policy.is_active(s, day, 46))
+                .map(|s| s.id.0)
+                .collect()
+        };
+        assert_ne!(off_on(0), off_on(1), "burden should rotate across days");
+    }
+
+    #[test]
+    fn realized_fraction_tracks_target() {
+        let policy = EnergySavingPolicy::default();
+        let sectors: Vec<RadioSector> = (0..2000).map(booster).collect();
+        for slot in [0, 20, 40, 47] {
+            let active =
+                sectors.iter().filter(|s| policy.is_active(s, 1, slot)).count() as f64;
+            let target = policy.booster_fraction(slot);
+            assert!(
+                (active / 2000.0 - target).abs() < 0.05,
+                "slot {slot}: realized {} vs target {target}",
+                active / 2000.0
+            );
+        }
+    }
+}

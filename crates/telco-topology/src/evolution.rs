@@ -1,0 +1,225 @@
+//! Reconstruction of the network's deployment history (Fig. 3a).
+//!
+//! The topology snapshot holds only the sectors alive at the end of 2023;
+//! Fig. 3a additionally shows the *decommissioning* of 2G/3G over the
+//! years. The history therefore combines:
+//!
+//! * the snapshot's per-sector deployment years (ramp-up of each RAT), and
+//! * a retention curve for legacy RATs: 2G/3G counts peaked in the early
+//!   2010s and were gradually decommissioned, leaving the ≈18% + 18%
+//!   observed in 2023.
+
+use serde::{Deserialize, Serialize};
+
+use crate::deployment::Topology;
+use crate::rat::Rat;
+
+/// First year covered by Fig. 3a.
+pub const HISTORY_START: u16 = 2009;
+/// Last year covered (the study snapshot).
+pub const HISTORY_END: u16 = 2023;
+
+/// Year the MNO began decommissioning legacy sectors.
+const DECOMMISSION_START: u16 = 2014;
+/// Fraction of the legacy peak still alive at the end of the window.
+const LEGACY_RETENTION_2023: f64 = 0.55;
+
+/// Reconstructed yearly deployment counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeploymentHistory {
+    /// Years covered, ascending.
+    pub years: Vec<u16>,
+    /// Estimated live sector count per RAT per year (`per_rat[rat][year]`).
+    pub per_rat: [Vec<f64>; 4],
+    /// Total live sectors per year.
+    pub total_sectors: Vec<f64>,
+    /// Cumulative cell sites per year (a site exists once its first sector
+    /// is deployed; sites are not decommissioned in the window).
+    pub total_sites: Vec<f64>,
+}
+
+impl DeploymentHistory {
+    /// Reconstruct the history from a topology snapshot.
+    pub fn reconstruct(topology: &Topology) -> Self {
+        let years: Vec<u16> = (HISTORY_START..=HISTORY_END).collect();
+        let n_years = years.len();
+
+        // Cumulative deployments per RAT by year, from the snapshot.
+        let mut cum =
+            [vec![0f64; n_years], vec![0f64; n_years], vec![0f64; n_years], vec![0f64; n_years]];
+        for s in topology.sectors() {
+            let y0 = (s.deployed_year.max(HISTORY_START) - HISTORY_START) as usize;
+            for c in cum[s.rat.index()][y0..n_years].iter_mut() {
+                *c += 1.0;
+            }
+        }
+
+        // Legacy RATs: survivors-in-snapshot / retention(2023) gives the
+        // peak; the live count in year y is ramp(y) * retention(y) scaled.
+        let mut per_rat = cum.clone();
+        for rat in [Rat::G2, Rat::G3] {
+            let idx = rat.index();
+            let survivors = cum[idx][n_years - 1];
+            if survivors == 0.0 {
+                continue;
+            }
+            let peak_scale = 1.0 / LEGACY_RETENTION_2023;
+            for (y, &year) in years.iter().enumerate() {
+                let ramp = cum[idx][y] / survivors; // fraction deployed by y
+                per_rat[idx][y] = survivors * peak_scale * ramp * retention(year);
+            }
+        }
+
+        let total_sectors: Vec<f64> =
+            (0..n_years).map(|y| per_rat.iter().map(|r| r[y]).sum()).collect();
+
+        // Sites: first deployment year per site.
+        let mut total_sites = vec![0f64; n_years];
+        for site in topology.sites() {
+            let first = site
+                .sectors
+                .iter()
+                .map(|&s| topology.sector(s).deployed_year)
+                .min()
+                .unwrap_or(HISTORY_END);
+            let y0 = (first.max(HISTORY_START) - HISTORY_START) as usize;
+            for c in total_sites[y0..n_years].iter_mut() {
+                *c += 1.0;
+            }
+        }
+
+        DeploymentHistory { years, per_rat, total_sectors, total_sites }
+    }
+
+    /// Live sector count of a RAT in a year.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the year is outside the history window.
+    pub fn count(&self, rat: Rat, year: u16) -> f64 {
+        let idx = self.year_index(year);
+        self.per_rat[rat.index()][idx]
+    }
+
+    /// Share of a RAT among live sectors in a year.
+    pub fn share(&self, rat: Rat, year: u16) -> f64 {
+        let idx = self.year_index(year);
+        let total = self.total_sectors[idx];
+        if total == 0.0 {
+            0.0
+        } else {
+            self.per_rat[rat.index()][idx] / total
+        }
+    }
+
+    /// Relative growth of the total sector count between two years
+    /// (`total(y1) / total(y0) − 1`).
+    pub fn growth(&self, y0: u16, y1: u16) -> f64 {
+        let a = self.total_sectors[self.year_index(y0)];
+        let b = self.total_sectors[self.year_index(y1)];
+        assert!(a > 0.0, "no sectors in base year {y0}");
+        b / a - 1.0
+    }
+
+    fn year_index(&self, year: u16) -> usize {
+        assert!(
+            (HISTORY_START..=HISTORY_END).contains(&year),
+            "year {year} outside history window"
+        );
+        (year - HISTORY_START) as usize
+    }
+}
+
+/// Legacy retention curve: 1.0 until decommissioning starts, then a linear
+/// glide to [`LEGACY_RETENTION_2023`] at the end of the window.
+fn retention(year: u16) -> f64 {
+    if year <= DECOMMISSION_START {
+        return 1.0;
+    }
+    let span = (HISTORY_END - DECOMMISSION_START) as f64;
+    let t = (year - DECOMMISSION_START) as f64 / span;
+    1.0 - t * (1.0 - LEGACY_RETENTION_2023)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::TopologyConfig;
+    use telco_geo::country::{Country, CountryConfig};
+
+    fn history() -> DeploymentHistory {
+        let country = Country::generate(CountryConfig::default());
+        let topo = Topology::generate(&country, TopologyConfig::default());
+        DeploymentHistory::reconstruct(&topo)
+    }
+
+    #[test]
+    fn final_year_matches_snapshot() {
+        let country = Country::generate(CountryConfig::default());
+        let topo = Topology::generate(&country, TopologyConfig::default());
+        let h = DeploymentHistory::reconstruct(&topo);
+        let counts = topo.sector_counts();
+        // 4G/5G histories end exactly at the snapshot; legacy ends at the
+        // snapshot count by construction (ramp = 1, retention = 0.55, peak
+        // scale = 1/0.55).
+        assert!((h.count(Rat::G4, 2023) - counts[Rat::G4.index()] as f64).abs() < 1e-6);
+        assert!((h.count(Rat::G5Nr, 2023) - counts[Rat::G5Nr.index()] as f64).abs() < 1e-6);
+        assert!((h.count(Rat::G2, 2023) - counts[Rat::G2.index()] as f64).abs() < 1.0);
+        assert!((h.count(Rat::G3, 2023) - counts[Rat::G3.index()] as f64).abs() < 1.0);
+    }
+
+    #[test]
+    fn five_g_appears_in_2019() {
+        let h = history();
+        assert_eq!(h.count(Rat::G5Nr, 2018), 0.0);
+        assert!(h.count(Rat::G5Nr, 2019) > 0.0);
+        assert!(h.share(Rat::G5Nr, 2023) > 0.05);
+    }
+
+    #[test]
+    fn legacy_peaks_then_declines() {
+        let h = history();
+        let peak_2g = h
+            .years
+            .iter()
+            .map(|&y| h.count(Rat::G2, y))
+            .fold(0.0f64, f64::max);
+        assert!(peak_2g > h.count(Rat::G2, 2023), "2G must decline from its peak");
+        // Monotone decline after decommissioning starts and ramp completes.
+        for y in 2016..2023 {
+            assert!(h.count(Rat::G3, y) >= h.count(Rat::G3, y + 1) - 1e-9);
+        }
+    }
+
+    #[test]
+    fn total_growth_recent_years() {
+        let h = history();
+        let g = h.growth(2018, 2023);
+        // Paper: +59% between 2018 and 2023; accept the neighbourhood.
+        assert!((0.3..0.9).contains(&g), "2018→2023 growth {g}");
+    }
+
+    #[test]
+    fn sites_monotone_nondecreasing() {
+        let h = history();
+        assert!(h.total_sites.windows(2).all(|w| w[0] <= w[1]));
+        assert!(*h.total_sites.last().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn shares_sum_to_one_each_year() {
+        let h = history();
+        for (i, &y) in h.years.iter().enumerate() {
+            if h.total_sectors[i] > 0.0 {
+                let s: f64 = Rat::ALL.iter().map(|&r| h.share(r, y)).sum();
+                assert!((s - 1.0).abs() < 1e-9, "year {y} shares sum {s}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_window_year_panics() {
+        history().count(Rat::G4, 2008);
+    }
+}

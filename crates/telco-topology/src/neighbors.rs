@@ -1,0 +1,157 @@
+//! Neighbor relations between radio sectors.
+//!
+//! The source sector picks the handover target among its configured
+//! neighbors (§2). We derive neighbor lists geometrically: the same-RAT
+//! sectors of the `k` nearest hosting sites, plus all co-sited sectors
+//! (inter-RAT neighbors enable the vertical handovers of §5.2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::deployment::Topology;
+use crate::elements::SectorId;
+use crate::rat::Rat;
+
+/// Precomputed neighbor lists, indexed by `SectorId.0`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NeighborTable {
+    /// Same-RAT neighbors on nearby sites (handover candidates).
+    intra_rat: Vec<Vec<SectorId>>,
+    /// Co-sited sectors of other RATs (vertical fallback candidates).
+    co_sited: Vec<Vec<SectorId>>,
+}
+
+impl NeighborTable {
+    /// Build neighbor lists using the `k` nearest hosting sites per sector.
+    pub fn build(topology: &Topology, k: usize) -> Self {
+        let n = topology.sectors().len();
+        let mut intra_rat = vec![Vec::new(); n];
+        let mut co_sited = vec![Vec::new(); n];
+
+        for sector in topology.sectors() {
+            let site = topology.site(sector.site);
+            let idx = sector.id.0 as usize;
+
+            // Co-sited sectors of any RAT (excluding self).
+            co_sited[idx] = site
+                .sectors
+                .iter()
+                .copied()
+                .filter(|&s| s != sector.id && topology.sector(s).rat != sector.rat)
+                .collect();
+
+            // Same-RAT sectors on the k nearest *other* hosting sites, plus
+            // same-RAT co-sited faces.
+            let mut neigh: Vec<SectorId> = site
+                .sectors
+                .iter()
+                .copied()
+                .filter(|&s| s != sector.id && topology.sector(s).rat == sector.rat)
+                .collect();
+            // k + 1 because the nearest hosting site is usually our own.
+            let radius = sector.rat.nominal_range_km(true).max(2.0) * 6.0;
+            let mut nearby = topology.sites_near(&site.position, sector.rat, radius);
+            nearby.retain(|&s| s != sector.site);
+            nearby.sort_by(|&a, &b| {
+                let da = topology.site(a).position.distance_km(&site.position);
+                let db = topology.site(b).position.distance_km(&site.position);
+                da.partial_cmp(&db).expect("finite distances")
+            });
+            for other in nearby.into_iter().take(k) {
+                for &s in &topology.site(other).sectors {
+                    if topology.sector(s).rat == sector.rat {
+                        neigh.push(s);
+                    }
+                }
+            }
+            intra_rat[idx] = neigh;
+        }
+        NeighborTable { intra_rat, co_sited }
+    }
+
+    /// Same-RAT handover candidates of a sector.
+    pub fn intra_rat(&self, sector: SectorId) -> &[SectorId] {
+        &self.intra_rat[sector.0 as usize]
+    }
+
+    /// Co-sited sectors of other RATs.
+    pub fn co_sited(&self, sector: SectorId) -> &[SectorId] {
+        &self.co_sited[sector.0 as usize]
+    }
+
+    /// Co-sited sector on a specific RAT, if the site hosts it.
+    pub fn co_sited_on(
+        &self,
+        topology: &Topology,
+        sector: SectorId,
+        rat: Rat,
+    ) -> Option<SectorId> {
+        self.co_sited[sector.0 as usize]
+            .iter()
+            .copied()
+            .find(|&s| topology.sector(s).rat == rat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::TopologyConfig;
+    use telco_geo::country::{Country, CountryConfig};
+
+    fn setup() -> (Topology, NeighborTable) {
+        let country = Country::generate(CountryConfig::tiny());
+        let topo = Topology::generate(&country, TopologyConfig::tiny());
+        let table = NeighborTable::build(&topo, 3);
+        (topo, table)
+    }
+
+    #[test]
+    fn neighbors_share_the_rat() {
+        let (topo, table) = setup();
+        for sector in topo.sectors() {
+            for &n in table.intra_rat(sector.id) {
+                assert_eq!(topo.sector(n).rat, sector.rat);
+                assert_ne!(n, sector.id, "sector neighboring itself");
+            }
+        }
+    }
+
+    #[test]
+    fn co_sited_are_on_same_site_other_rat() {
+        let (topo, table) = setup();
+        for sector in topo.sectors() {
+            for &c in table.co_sited(sector.id) {
+                assert_eq!(topo.sector(c).site, sector.site);
+                assert_ne!(topo.sector(c).rat, sector.rat);
+            }
+        }
+    }
+
+    #[test]
+    fn four_g_sectors_have_intra_neighbors() {
+        let (topo, table) = setup();
+        // 4G is everywhere; its sectors must see the two co-sited faces at
+        // minimum.
+        for sector in topo.sectors().iter().filter(|s| s.rat == Rat::G4) {
+            assert!(
+                table.intra_rat(sector.id).len() >= 2,
+                "4G sector {} has too few neighbors",
+                sector.id
+            );
+        }
+    }
+
+    #[test]
+    fn co_sited_on_finds_legacy_fallback_where_hosted() {
+        let (topo, table) = setup();
+        let mut found_any = false;
+        for sector in topo.sectors().iter().filter(|s| s.rat == Rat::G4) {
+            if let Some(s3) = table.co_sited_on(&topo, sector.id, Rat::G3) {
+                assert_eq!(topo.sector(s3).rat, Rat::G3);
+                assert_eq!(topo.sector(s3).site, sector.site);
+                found_any = true;
+            }
+        }
+        assert!(found_any, "some site must host both 4G and 3G");
+    }
+}

@@ -1,0 +1,126 @@
+//! Radio access technologies.
+//!
+//! All four digital RAT generations developed over the last three decades
+//! operate concurrently in the studied network (§1): 2G (GSM), 3G (UMTS),
+//! 4G (LTE) and 5G NR in its Non-Standalone form anchored on the 4G EPC.
+
+use serde::{Deserialize, Serialize};
+
+/// A radio access technology generation.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Rat {
+    /// GSM/GPRS.
+    G2,
+    /// UMTS.
+    G3,
+    /// LTE.
+    G4,
+    /// 5G New Radio (NSA, anchored on the 4G EPC).
+    G5Nr,
+}
+
+impl Rat {
+    /// All RATs, oldest first.
+    pub const ALL: [Rat; 4] = [Rat::G2, Rat::G3, Rat::G4, Rat::G5Nr];
+
+    /// Generation number (2..=5).
+    pub fn generation(&self) -> u8 {
+        match self {
+            Rat::G2 => 2,
+            Rat::G3 => 3,
+            Rat::G4 => 4,
+            Rat::G5Nr => 5,
+        }
+    }
+
+    /// Display label as used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Rat::G2 => "2G",
+            Rat::G3 => "3G",
+            Rat::G4 => "4G",
+            Rat::G5Nr => "5G-NR",
+        }
+    }
+
+    /// Whether mobility for this RAT is managed by the 4G EPC (MME) —
+    /// true for 4G and 5G-NSA, which the paper cannot distinguish (§4.1).
+    pub fn uses_epc(&self) -> bool {
+        matches!(self, Rat::G4 | Rat::G5Nr)
+    }
+
+    /// Stable index for categorical encodings.
+    pub fn index(&self) -> usize {
+        match self {
+            Rat::G2 => 0,
+            Rat::G3 => 1,
+            Rat::G4 => 2,
+            Rat::G5Nr => 3,
+        }
+    }
+
+    /// First year this RAT was deployed in the synthetic network's
+    /// history (Fig. 3a: last major upgrade 5G-NR in 2019).
+    pub fn first_deployment_year(&self) -> u16 {
+        match self {
+            Rat::G2 => 2009, // network history window starts in 2009
+            Rat::G3 => 2009,
+            Rat::G4 => 2013,
+            Rat::G5Nr => 2019,
+        }
+    }
+
+    /// Typical cell radius in km by environment density class; drives both
+    /// sector placement and the serving-sector model.
+    pub fn nominal_range_km(&self, urban: bool) -> f64 {
+        match (self, urban) {
+            (Rat::G2, true) => 3.0,
+            (Rat::G2, false) => 15.0,
+            (Rat::G3, true) => 2.0,
+            (Rat::G3, false) => 10.0,
+            (Rat::G4, true) => 1.2,
+            (Rat::G4, false) => 8.0,
+            (Rat::G5Nr, true) => 0.6,
+            (Rat::G5Nr, false) => 3.0,
+        }
+    }
+}
+
+impl std::fmt::Display for Rat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generations_ascend() {
+        let gens: Vec<u8> = Rat::ALL.iter().map(Rat::generation).collect();
+        assert_eq!(gens, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn epc_membership() {
+        assert!(Rat::G4.uses_epc());
+        assert!(Rat::G5Nr.uses_epc());
+        assert!(!Rat::G3.uses_epc());
+        assert!(!Rat::G2.uses_epc());
+    }
+
+    #[test]
+    fn ranges_shrink_with_generation_in_urban() {
+        let r: Vec<f64> = Rat::ALL.iter().map(|r| r.nominal_range_km(true)).collect();
+        assert!(r.windows(2).all(|w| w[0] > w[1]), "newer RATs are denser: {r:?}");
+    }
+
+    #[test]
+    fn deployment_years_ordered() {
+        assert!(Rat::G5Nr.first_deployment_year() > Rat::G4.first_deployment_year());
+        assert_eq!(Rat::G5Nr.first_deployment_year(), 2019);
+    }
+}

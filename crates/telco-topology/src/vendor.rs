@@ -1,0 +1,116 @@
+//! Antenna vendors.
+//!
+//! Four principal vendors (anonymized V1–V4 in the paper) supply the
+//! network's antennas, "distributed asymmetrically across different
+//! regions" (§4.1, Appendix B Fig. 17). The vendor is a significant —
+//! though small — covariate in the HOF models (Tables 5/7: V3's coefficient
+//! is the largest vendor effect).
+
+use serde::{Deserialize, Serialize};
+
+use telco_geo::district::Region;
+
+/// An anonymized antenna vendor.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[allow(missing_docs)]
+pub enum Vendor {
+    V1,
+    V2,
+    V3,
+    V4,
+}
+
+impl Vendor {
+    /// All vendors in index order.
+    pub const ALL: [Vendor; 4] = [Vendor::V1, Vendor::V2, Vendor::V3, Vendor::V4];
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Vendor::V1 => "V1",
+            Vendor::V2 => "V2",
+            Vendor::V3 => "V3",
+            Vendor::V4 => "V4",
+        }
+    }
+
+    /// Stable index for categorical encodings.
+    pub fn index(&self) -> usize {
+        match self {
+            Vendor::V1 => 0,
+            Vendor::V2 => 1,
+            Vendor::V3 => 2,
+            Vendor::V4 => 3,
+        }
+    }
+
+    /// Relative deployment weight of each vendor within a region. The
+    /// asymmetry mirrors Fig. 17 (top): V1/V2 dominate overall, V3
+    /// concentrates in the West, V4 is a small player in the North.
+    pub fn region_weights(region: Region) -> [f64; 4] {
+        match region {
+            Region::Capital => [0.52, 0.44, 0.02, 0.02],
+            Region::North => [0.38, 0.50, 0.02, 0.10],
+            Region::South => [0.46, 0.50, 0.02, 0.02],
+            Region::West => [0.30, 0.38, 0.28, 0.04],
+        }
+    }
+
+    /// Multiplier on the baseline HOF rate attributable to the vendor's
+    /// equipment and configuration defaults. Calibrated to the regression
+    /// coefficients of Table 7 (baseline V1; V2 ≈ e^0.024, V3 ≈ e^1.0,
+    /// V4 ≈ e^0.23).
+    pub fn hof_rate_factor(&self) -> f64 {
+        match self {
+            Vendor::V1 => 1.00,
+            Vendor::V2 => 1.02,
+            Vendor::V3 => 2.7,
+            Vendor::V4 => 1.26,
+        }
+    }
+}
+
+impl std::fmt::Display for Vendor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_weights_normalize() {
+        for region in Region::ALL {
+            let w = Vendor::region_weights(region);
+            let sum: f64 = w.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{region}: weights sum to {sum}");
+        }
+    }
+
+    #[test]
+    fn v3_concentrates_in_west() {
+        let west = Vendor::region_weights(Region::West)[Vendor::V3.index()];
+        for region in [Region::Capital, Region::North, Region::South] {
+            let other = Vendor::region_weights(region)[Vendor::V3.index()];
+            assert!(west > 5.0 * other, "V3 must be concentrated in the West");
+        }
+    }
+
+    #[test]
+    fn vendor_hof_ordering_matches_regression() {
+        // Table 7: coefficient(V3) >> coefficient(V4) > coefficient(V2) > 0.
+        assert!(Vendor::V3.hof_rate_factor() > Vendor::V4.hof_rate_factor());
+        assert!(Vendor::V4.hof_rate_factor() > Vendor::V2.hof_rate_factor());
+        assert!(Vendor::V2.hof_rate_factor() > Vendor::V1.hof_rate_factor());
+    }
+
+    #[test]
+    fn indices_unique() {
+        let idx: Vec<usize> = Vendor::ALL.iter().map(Vendor::index).collect();
+        assert_eq!(idx, vec![0, 1, 2, 3]);
+    }
+}

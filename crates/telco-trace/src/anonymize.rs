@@ -1,0 +1,83 @@
+//! Identity anonymization.
+//!
+//! The operator anonymizes IMSI/IMEI before analysts ever see the data
+//! (§3.1, Appendix A). The anonymizer is a salted one-way hash mapping
+//! identities to opaque 64-bit tokens: stable within a study (so per-UE
+//! aggregation works) but unlinkable to the raw identity without the salt.
+
+use serde::{Deserialize, Serialize};
+
+use telco_devices::ids::{Imei, Imsi};
+
+/// Salted identity anonymizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Anonymizer {
+    salt: u64,
+}
+
+impl Anonymizer {
+    /// Anonymizer with the given salt (the operator's secret).
+    pub fn new(salt: u64) -> Self {
+        Anonymizer { salt }
+    }
+
+    /// Anonymize an IMSI.
+    pub fn imsi_token(&self, imsi: &Imsi) -> u64 {
+        let packed =
+            (imsi.mcc as u64) << 50 | (imsi.mnc as u64) << 40 | (imsi.msin & 0xFF_FFFF_FFFF);
+        mix(packed ^ self.salt)
+    }
+
+    /// Anonymize an IMEI. The TAC is deliberately preserved alongside the
+    /// token by callers that need the device-model join (§3.1 footnote:
+    /// the first 8 IMEI digits classify the device).
+    pub fn imei_token(&self, imei: &Imei) -> u64 {
+        mix(imei.as_u64() ^ self.salt.rotate_left(17))
+    }
+}
+
+/// SplitMix64 finalizer: full-avalanche 64-bit mixing.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telco_devices::ids::Tac;
+
+    #[test]
+    fn tokens_are_stable() {
+        let a = Anonymizer::new(42);
+        let imsi = Imsi::new(299, 42, 1234);
+        assert_eq!(a.imsi_token(&imsi), a.imsi_token(&imsi));
+    }
+
+    #[test]
+    fn tokens_differ_across_salts() {
+        let imsi = Imsi::new(299, 42, 1234);
+        assert_ne!(Anonymizer::new(1).imsi_token(&imsi), Anonymizer::new(2).imsi_token(&imsi));
+    }
+
+    #[test]
+    fn distinct_identities_distinct_tokens() {
+        let a = Anonymizer::new(7);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            let t = a.imsi_token(&Imsi::new(299, 42, i));
+            assert!(seen.insert(t), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn imei_tokens_do_not_leak_serial_ordering() {
+        let a = Anonymizer::new(9);
+        let t1 = a.imei_token(&Imei::new(Tac::new(35_000_000), 1));
+        let t2 = a.imei_token(&Imei::new(Tac::new(35_000_000), 2));
+        // Adjacent serials must not map to adjacent tokens.
+        assert!(t1.abs_diff(t2) > 1_000_000, "tokens too close: {t1} vs {t2}");
+    }
+}

@@ -1,0 +1,207 @@
+//! The in-memory signaling dataset: the collection of handover records a
+//! study run produces, with the slicing operations every analysis needs.
+
+use serde::{Deserialize, Serialize};
+
+use telco_devices::population::UeId;
+use telco_signaling::messages::HoType;
+
+use crate::record::HoRecord;
+
+/// The mobility-management signaling dataset of one study run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SignalingDataset {
+    /// Number of study days covered.
+    pub days: u32,
+    records: Vec<HoRecord>,
+}
+
+impl SignalingDataset {
+    /// Empty dataset covering `days` study days.
+    pub fn new(days: u32) -> Self {
+        SignalingDataset { days, records: Vec::new() }
+    }
+
+    /// Build from records (takes ownership; sorts by timestamp).
+    pub fn from_records(days: u32, mut records: Vec<HoRecord>) -> Self {
+        records.sort_by_key(|r| r.timestamp_ms);
+        SignalingDataset { days, records }
+    }
+
+    /// Append a record (no sorting; callers appending out of order must
+    /// call [`SignalingDataset::sort`] before range queries).
+    pub fn push(&mut self, record: HoRecord) {
+        self.records.push(record);
+    }
+
+    /// Extend with many records.
+    pub fn extend(&mut self, records: impl IntoIterator<Item = HoRecord>) {
+        self.records.extend(records);
+    }
+
+    /// Sort records by timestamp.
+    pub fn sort(&mut self) {
+        self.records.sort_by_key(|r| r.timestamp_ms);
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[HoRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records of one study day.
+    pub fn day(&self, day: u32) -> impl Iterator<Item = &HoRecord> + '_ {
+        self.records.iter().filter(move |r| r.day() == day)
+    }
+
+    /// Records of one handover type.
+    pub fn of_type(&self, ho_type: HoType) -> impl Iterator<Item = &HoRecord> + '_ {
+        self.records.iter().filter(move |r| r.ho_type() == ho_type)
+    }
+
+    /// Failures only.
+    pub fn failures(&self) -> impl Iterator<Item = &HoRecord> + '_ {
+        self.records.iter().filter(|r| r.is_failure())
+    }
+
+    /// Records of one UE.
+    pub fn of_ue(&self, ue: UeId) -> impl Iterator<Item = &HoRecord> + '_ {
+        self.records.iter().filter(move |r| r.ue == ue)
+    }
+
+    /// Overall handover-failure rate.
+    pub fn hof_rate(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.failures().count() as f64 / self.records.len() as f64
+    }
+
+    /// Handover counts per type, ordered as [`HoType::ALL`].
+    pub fn counts_by_type(&self) -> [u64; 3] {
+        let mut counts = [0u64; 3];
+        for r in &self.records {
+            counts[r.ho_type().index()] += 1;
+        }
+        counts
+    }
+
+    /// Average records per day.
+    pub fn daily_mean(&self) -> f64 {
+        if self.days == 0 {
+            return 0.0;
+        }
+        self.records.len() as f64 / self.days as f64
+    }
+
+    /// Merge another dataset (same day span) into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the day spans differ.
+    pub fn merge(&mut self, other: SignalingDataset) {
+        assert_eq!(self.days, other.days, "cannot merge datasets of different spans");
+        self.records.extend(other.records);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::HoOutcome;
+    use telco_signaling::causes::{CauseCode, PrincipalCause};
+    use telco_topology::elements::SectorId;
+    use telco_topology::rat::Rat;
+
+    fn rec(ts: u64, ue: u32, target: Rat, fail: bool) -> HoRecord {
+        HoRecord {
+            timestamp_ms: ts,
+            ue: UeId(ue),
+            source_sector: SectorId(1),
+            target_sector: SectorId(2),
+            source_rat: Rat::G4,
+            target_rat: target,
+            outcome: if fail { HoOutcome::Failure } else { HoOutcome::Success },
+            cause: fail.then(|| CauseCode::principal(PrincipalCause::TargetLoadTooHigh)),
+            duration_ms: 50.0,
+            srvcc: false,
+            messages: 12,
+        }
+    }
+
+    fn dataset() -> SignalingDataset {
+        SignalingDataset::from_records(
+            2,
+            vec![
+                rec(100, 1, Rat::G4, false),
+                rec(86_400_001, 1, Rat::G3, true),
+                rec(50, 2, Rat::G4, false),
+                rec(86_400_100, 2, Rat::G2, false),
+            ],
+        )
+    }
+
+    #[test]
+    fn from_records_sorts() {
+        let d = dataset();
+        assert!(d.records().windows(2).all(|w| w[0].timestamp_ms <= w[1].timestamp_ms));
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    fn day_filter() {
+        let d = dataset();
+        assert_eq!(d.day(0).count(), 2);
+        assert_eq!(d.day(1).count(), 2);
+        assert_eq!(d.day(2).count(), 0);
+    }
+
+    #[test]
+    fn type_counts_and_hof_rate() {
+        let d = dataset();
+        assert_eq!(d.counts_by_type(), [2, 1, 1]);
+        assert_eq!(d.hof_rate(), 0.25);
+        assert_eq!(d.failures().count(), 1);
+        assert_eq!(d.daily_mean(), 2.0);
+    }
+
+    #[test]
+    fn ue_filter() {
+        let d = dataset();
+        assert_eq!(d.of_ue(UeId(1)).count(), 2);
+        assert_eq!(d.of_ue(UeId(9)).count(), 0);
+    }
+
+    #[test]
+    fn merge_same_span() {
+        let mut a = dataset();
+        let b = dataset();
+        a.merge(b);
+        assert_eq!(a.len(), 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn merge_rejects_span_mismatch() {
+        let mut a = dataset();
+        a.merge(SignalingDataset::new(7));
+    }
+
+    #[test]
+    fn empty_dataset_rates() {
+        let d = SignalingDataset::new(0);
+        assert_eq!(d.hof_rate(), 0.0);
+        assert_eq!(d.daily_mean(), 0.0);
+        assert!(d.is_empty());
+    }
+}

@@ -1,0 +1,254 @@
+//! Trace serialization: a compact binary codec plus JSON export.
+//!
+//! The operator's daily trace weighs ≈8 TB (§3.1, Table 1); even at
+//! simulation scale a run produces millions of rows, so the binary format
+//! packs each record into a fixed 36-byte frame. JSON export serves
+//! human inspection and downstream tooling.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use telco_devices::population::UeId;
+use telco_signaling::causes::CauseCode;
+use telco_topology::elements::SectorId;
+use telco_topology::rat::Rat;
+
+use crate::dataset::SignalingDataset;
+use crate::record::{HoOutcome, HoRecord};
+
+/// Magic bytes opening a binary trace.
+pub const MAGIC: [u8; 4] = *b"TLHO";
+/// Current binary format version.
+pub const VERSION: u16 = 1;
+/// Bytes per encoded record.
+pub const RECORD_BYTES: usize = 36;
+
+/// Errors from decoding a binary trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input shorter than its header or declared payload.
+    Truncated,
+    /// Wrong magic bytes.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// A field held an invalid enumeration value.
+    BadField(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "trace truncated"),
+            CodecError::BadMagic => write!(f, "bad magic bytes"),
+            CodecError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            CodecError::BadField(name) => write!(f, "invalid field value: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn rat_code(rat: Rat) -> u8 {
+    rat.index() as u8
+}
+
+fn rat_from(code: u8) -> Result<Rat, CodecError> {
+    Rat::ALL.get(code as usize).copied().ok_or(CodecError::BadField("rat"))
+}
+
+/// Encode a dataset into the binary frame format.
+pub fn encode(dataset: &SignalingDataset) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + dataset.len() * RECORD_BYTES);
+    buf.put_slice(&MAGIC);
+    buf.put_u16(VERSION);
+    buf.put_u32(dataset.days);
+    buf.put_u64(dataset.len() as u64);
+    for r in dataset.records() {
+        buf.put_u64(r.timestamp_ms);
+        buf.put_u32(r.ue.0);
+        buf.put_u32(r.source_sector.0);
+        buf.put_u32(r.target_sector.0);
+        buf.put_u8(rat_code(r.source_rat));
+        buf.put_u8(rat_code(r.target_rat));
+        let flags: u8 = u8::from(r.outcome == HoOutcome::Failure) | (u8::from(r.srvcc) << 1);
+        buf.put_u8(flags);
+        buf.put_u8(0); // reserved
+        buf.put_u16(r.cause.map_or(0, |c| c.0));
+        buf.put_u16(r.messages);
+        buf.put_f32(r.duration_ms);
+        buf.put_u32(0); // reserved / alignment
+    }
+    buf.freeze()
+}
+
+/// Decode a binary trace.
+pub fn decode(mut data: Bytes) -> Result<SignalingDataset, CodecError> {
+    if data.remaining() < 18 {
+        return Err(CodecError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if magic != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = data.get_u16();
+    if version != VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let days = data.get_u32();
+    let count = data.get_u64() as usize;
+    if data.remaining() < count * RECORD_BYTES {
+        return Err(CodecError::Truncated);
+    }
+    let mut records = Vec::with_capacity(count);
+    for _ in 0..count {
+        let timestamp_ms = data.get_u64();
+        let ue = UeId(data.get_u32());
+        let source_sector = SectorId(data.get_u32());
+        let target_sector = SectorId(data.get_u32());
+        let source_rat = rat_from(data.get_u8())?;
+        let target_rat = rat_from(data.get_u8())?;
+        let flags = data.get_u8();
+        let _reserved = data.get_u8();
+        let cause_raw = data.get_u16();
+        let messages = data.get_u16();
+        let duration_ms = data.get_f32();
+        let _pad = data.get_u32();
+        let failed = flags & 1 != 0;
+        if failed && cause_raw == 0 {
+            return Err(CodecError::BadField("cause"));
+        }
+        records.push(HoRecord {
+            timestamp_ms,
+            ue,
+            source_sector,
+            target_sector,
+            source_rat,
+            target_rat,
+            outcome: if failed { HoOutcome::Failure } else { HoOutcome::Success },
+            cause: if failed { Some(CauseCode(cause_raw)) } else { None },
+            duration_ms,
+            srvcc: flags & 2 != 0,
+            messages,
+        });
+    }
+    Ok(SignalingDataset::from_records(days, records))
+}
+
+/// Write a dataset to a binary trace file.
+pub fn write_file(dataset: &SignalingDataset, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, encode(dataset))
+}
+
+/// Read a dataset from a binary trace file.
+pub fn read_file(path: &std::path::Path) -> std::io::Result<SignalingDataset> {
+    let raw = std::fs::read(path)?;
+    decode(Bytes::from(raw))
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+/// Export a dataset to pretty JSON (human inspection / small slices only).
+pub fn to_json(dataset: &SignalingDataset) -> serde_json::Result<String> {
+    serde_json::to_string_pretty(dataset)
+}
+
+/// Import a dataset from JSON.
+pub fn from_json(json: &str) -> serde_json::Result<SignalingDataset> {
+    serde_json::from_str(json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telco_signaling::causes::PrincipalCause;
+
+    fn sample_dataset() -> SignalingDataset {
+        let mut records = Vec::new();
+        for i in 0..100u64 {
+            let fail = i % 7 == 0;
+            records.push(HoRecord {
+                timestamp_ms: i * 1000,
+                ue: UeId(i as u32 % 10),
+                source_sector: SectorId(i as u32),
+                target_sector: SectorId(i as u32 + 1),
+                source_rat: Rat::G4,
+                target_rat: if i % 11 == 0 { Rat::G3 } else { Rat::G4 },
+                outcome: if fail { HoOutcome::Failure } else { HoOutcome::Success },
+                cause: fail.then(|| CauseCode::principal(PrincipalCause::SourceCanceled)),
+                duration_ms: 43.0 + i as f32,
+                srvcc: i % 13 == 0,
+                messages: 12,
+            });
+        }
+        SignalingDataset::from_records(1, records)
+    }
+
+    #[test]
+    fn binary_roundtrip_is_lossless() {
+        let d = sample_dataset();
+        let encoded = encode(&d);
+        assert_eq!(encoded.len(), 18 + d.len() * RECORD_BYTES);
+        let decoded = decode(encoded).unwrap();
+        assert_eq!(d, decoded);
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let d = sample_dataset();
+        let json = to_json(&d).unwrap();
+        let decoded = from_json(&json).unwrap();
+        assert_eq!(d, decoded);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut raw = BytesMut::from(&encode(&sample_dataset())[..]);
+        raw[0] = b'X';
+        assert_eq!(decode(raw.freeze()).unwrap_err(), CodecError::BadMagic);
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut raw = BytesMut::from(&encode(&sample_dataset())[..]);
+        raw[4] = 0xFF;
+        assert!(matches!(decode(raw.freeze()).unwrap_err(), CodecError::BadVersion(_)));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let raw = encode(&sample_dataset());
+        let cut = raw.slice(0..raw.len() - 5);
+        assert_eq!(decode(cut).unwrap_err(), CodecError::Truncated);
+        assert_eq!(decode(Bytes::from_static(b"TL")).unwrap_err(), CodecError::Truncated);
+    }
+
+    #[test]
+    fn bad_rat_rejected() {
+        let mut raw = BytesMut::from(&encode(&sample_dataset())[..]);
+        // First record's source-RAT byte sits at offset 18 + 20.
+        raw[18 + 20] = 9;
+        assert_eq!(decode(raw.freeze()).unwrap_err(), CodecError::BadField("rat"));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let d = sample_dataset();
+        let dir = std::env::temp_dir().join("telco_trace_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.tlho");
+        write_file(&d, &path).unwrap();
+        assert_eq!(read_file(&path).unwrap(), d);
+        // Corrupt file surfaces as InvalidData.
+        std::fs::write(&path, b"garbage").unwrap();
+        assert_eq!(read_file(&path).unwrap_err().kind(), std::io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_dataset_roundtrip() {
+        let d = SignalingDataset::new(28);
+        let decoded = decode(encode(&d)).unwrap();
+        assert_eq!(decoded.days, 28);
+        assert!(decoded.is_empty());
+    }
+}

@@ -1,0 +1,30 @@
+//! # telco-trace
+//!
+//! Trace substrate: the handover-record schema carrying the six variables
+//! of the paper's mobility-management signaling dataset (§3.1), the
+//! in-memory dataset with the slicing primitives every analysis needs, a
+//! compact binary codec and JSON export, and the operator-side identity
+//! anonymizer (§3.1, Appendix A).
+//!
+//! ## Example
+//!
+//! ```
+//! use telco_trace::dataset::SignalingDataset;
+//! use telco_trace::io::{decode, encode};
+//!
+//! let d = SignalingDataset::new(28);
+//! let bytes = encode(&d);
+//! assert_eq!(decode(bytes).unwrap().days, 28);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod anonymize;
+pub mod dataset;
+pub mod io;
+pub mod record;
+
+pub use anonymize::Anonymizer;
+pub use dataset::SignalingDataset;
+pub use io::{decode, encode, from_json, read_file, to_json, write_file, CodecError};
+pub use record::{DeviceRecord, HoOutcome, HoRecord, TopologyRecord};

@@ -1,0 +1,63 @@
+//! Rush hour: the diurnal anatomy of handovers and handover failures in
+//! urban vs rural areas (the paper's Figs. 7 and 12).
+//!
+//! Prints an ASCII weekly heat-line of normalized HO volume, then the
+//! hourly urban/rural HOF comparison around the morning commute.
+//!
+//! ```text
+//! cargo run --release --example rush_hour
+//! ```
+
+use telco_lens::prelude::*;
+use telco_mobility::schedule::DayOfWeek;
+
+fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().fold(0.0f64, f64::max).max(1e-9);
+    values
+        .iter()
+        .map(|v| BARS[((v / max) * 7.0).round() as usize])
+        .collect()
+}
+
+fn main() {
+    let mut config = SimConfig::small();
+    config.n_days = 14; // two full weeks for stable weekday/weekend shapes
+    println!("Simulating two weeks of rush hours...");
+    let study = Study::run(config);
+
+    let temporal = study.temporal_evolution();
+    println!("\nNormalized HO volume per 30-minute slot (urban):");
+    for day in DayOfWeek::ALL {
+        let slots: Vec<f64> =
+            (0..48).map(|s| temporal.hos_urban.at(day, s)).collect();
+        println!("  {} {}", day, sparkline(&slots));
+    }
+    println!("\nNormalized HO volume per 30-minute slot (rural):");
+    for day in DayOfWeek::ALL {
+        let slots: Vec<f64> =
+            (0..48).map(|s| temporal.hos_rural.at(day, s)).collect();
+        println!("  {} {}", day, sparkline(&slots));
+    }
+
+    println!("\n{}", temporal.table());
+    println!(
+        "Urban areas carry {:.0}% of handovers (paper: 78%); the 6:00→8:00 \
+         surge is ×{:.1} (paper: ×3); Sunday peaks {:.0}% below Friday \
+         (paper: 33%).",
+        100.0 * temporal.urban_ho_share,
+        temporal.morning_surge,
+        100.0 * temporal.sunday_vs_friday_drop,
+    );
+
+    // Fig. 12: failures around the commute.
+    let hof = study.hof_patterns();
+    println!("\n{}", hof.table());
+    if hof.rural_morning_excess.is_finite() {
+        println!(
+            "Rural sectors see {:.0}% more normalized HOFs than urban ones \
+             during [7:00-8:00) (paper: +32.4%).",
+            100.0 * hof.rural_morning_excess
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! # telco-lens
+//!
+//! A countrywide cellular-handover study toolkit: the open-source
+//! reproduction of *"Through the Telco Lens: A Countrywide Empirical Study
+//! of Cellular Handovers"* (Kalntis et al., IMC 2024).
+//!
+//! The paper measures every handover in a top-tier European MNO for four
+//! weeks. Its data is proprietary, so this crate ships both halves of the
+//! study:
+//!
+//! * **the substrate** — a deterministic synthetic MNO: geography + census
+//!   ([`geo`]), a GSMA-style device catalog ([`devices`]), the multi-RAT
+//!   radio topology with its 2009–2023 history ([`topology`]), UE mobility
+//!   ([`mobility`]), and the 3GPP handover procedure with cause codes and
+//!   calibrated failure/duration models ([`signaling`]), driven by an
+//!   event-based simulation engine ([`sim`]) that emits the paper's trace
+//!   ([`trace`]);
+//! * **the analyses** — every table and figure of the paper computed from
+//!   a generated trace ([`analytics`]), on top of a self-contained
+//!   statistics library ([`stats`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use telco_lens::prelude::*;
+//!
+//! // Simulate a small country for a couple of days...
+//! let study = Study::run(SimConfig::tiny());
+//! // ...and reproduce the paper's Table 2.
+//! let table2 = study.ho_types();
+//! println!("{}", table2.table());
+//! assert!(table2.intra_share() > 0.5);
+//! ```
+//!
+//! Scale up with [`sim::SimConfig::default_study`] (the 28-day configuration
+//! behind `EXPERIMENTS.md`) or tune every model through [`sim::SimConfig`].
+
+#![warn(missing_docs)]
+
+pub use telco_analytics as analytics;
+pub use telco_devices as devices;
+pub use telco_geo as geo;
+pub use telco_mobility as mobility;
+pub use telco_signaling as signaling;
+pub use telco_sim as sim;
+pub use telco_stats as stats;
+pub use telco_topology as topology;
+pub use telco_trace as trace;
+
+/// The types most programs need.
+pub mod prelude {
+    pub use telco_analytics::{
+        CauseAnalysis, DatasetStats, DeviceMix, HoDensity, HoTypeTable, HofModels,
+        ManufacturerImpact, MobilityEcdfs, SectorDayFrame, Study, TemporalEvolution, TextTable,
+    };
+    pub use telco_devices::types::{DeviceType, Manufacturer, RatSupport};
+    pub use telco_geo::country::{Country, CountryConfig};
+    pub use telco_geo::postcode::AreaType;
+    pub use telco_sim::{run_study, SimConfig, StudyData};
+    pub use telco_signaling::causes::PrincipalCause;
+    pub use telco_signaling::messages::HoType;
+    pub use telco_topology::rat::Rat;
+    pub use telco_topology::vendor::Vendor;
+    pub use telco_trace::dataset::SignalingDataset;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_compiles_and_runs() {
+        let study = Study::run(SimConfig::tiny());
+        assert!(study.data().output.dataset.len() > 0);
+        assert_eq!(HoType::ALL.len(), 3);
+        assert_eq!(Rat::ALL.len(), 4);
+    }
+}

@@ -10,8 +10,8 @@ use serde::{Deserialize, Serialize};
 use telco_devices::types::{DeviceType, Manufacturer};
 use telco_geo::district::{DistrictId, Region};
 use telco_geo::postcode::AreaType;
-use telco_sim::StudyData;
 use telco_signaling::messages::HoType;
+use telco_sim::StudyData;
 use telco_topology::elements::SectorId;
 use telco_topology::vendor::Vendor;
 use telco_trace::record::HoRecord;

@@ -48,9 +48,9 @@ impl PopulationInference {
         // approximated by their first recorded source sector of each day.
         let mut first_of_day: HashMap<(u32, u32), u16> = HashMap::new();
         for r in study.output.dataset.records() {
-            first_of_day.entry((r.ue.0, r.day())).or_insert_with(|| {
-                study.world.topology.sector_district(r.source_sector).0
-            });
+            first_of_day
+                .entry((r.ue.0, r.day()))
+                .or_insert_with(|| study.world.topology.sector_district(r.source_sector).0);
         }
         for ((ue, day), district) in &first_of_day {
             *per_ue.entry(*ue).or_default().entry(*district).or_insert(0) += 1;
@@ -158,10 +158,8 @@ impl HoDensity {
 
     /// Render summary.
     pub fn table(&self) -> TextTable {
-        let mut t = TextTable::new(
-            "Fig 6: Daily HOs per km² vs population density",
-            &["Metric", "Value"],
-        );
+        let mut t =
+            TextTable::new("Fig 6: Daily HOs per km² vs population density", &["Metric", "Value"]);
         t.row_strs(&["Pearson(HO density, pop density)", &num(self.pearson, 3)]);
         t.row_strs(&["Max district HO density (/km²/day)", &num(self.max_density, 1)]);
         t.row_strs(&["Min district HO density (/km²/day)", &num(self.min_density, 3)]);
@@ -184,11 +182,7 @@ mod tests {
         let s = study();
         let inf = PopulationInference::compute(&s, 14);
         assert!(inf.inferred_ues > 0, "no homes inferred");
-        assert!(
-            inf.r_squared > 0.5,
-            "census correlation too weak: R² = {}",
-            inf.r_squared
-        );
+        assert!(inf.r_squared > 0.5, "census correlation too weak: R² = {}", inf.r_squared);
     }
 
     #[test]

@@ -6,8 +6,8 @@ use serde::{Deserialize, Serialize};
 
 use telco_devices::types::DeviceType;
 use telco_geo::district::DistrictId;
-use telco_sim::StudyData;
 use telco_signaling::messages::HoType;
+use telco_sim::StudyData;
 use telco_stats::desc::{mean, std_dev};
 use telco_stats::ecdf::Ecdf;
 
@@ -136,10 +136,8 @@ impl DurationAnalysis {
 
     /// Render median / p95 per type.
     pub fn table(&self) -> TextTable {
-        let mut t = TextTable::new(
-            "Fig 8: HO duration per type (ms)",
-            &["HO type", "median", "p95"],
-        );
+        let mut t =
+            TextTable::new("Fig 8: HO duration per type (ms)", &["HO type", "median", "p95"]);
         t.row(&[
             HoType::Intra4g5g.to_string(),
             num(self.intra.median(), 0),
@@ -191,10 +189,8 @@ impl DistrictDistribution {
             .collect();
         // The 6% least densely populated districts.
         let least = study.world.census.least_dense(0.06);
-        let least_to3g: Vec<f64> = least
-            .iter()
-            .map(|row| per_district[row.district.0 as usize].2)
-            .collect();
+        let least_to3g: Vec<f64> =
+            least.iter().map(|row| per_district[row.district.0 as usize].2).collect();
         DistrictDistribution {
             max_intra_share: per_district.iter().map(|x| x.1).fold(0.0, f64::max),
             least_dense_to3g_mean: mean(&least_to3g).unwrap_or(0.0),
@@ -205,12 +201,12 @@ impl DistrictDistribution {
 
     /// Render summary.
     pub fn table(&self) -> TextTable {
-        let mut t = TextTable::new(
-            "Fig 9: HO types across districts",
-            &["Metric", "Value"],
-        );
+        let mut t = TextTable::new("Fig 9: HO types across districts", &["Metric", "Value"]);
         t.row_strs(&["Max district intra share", &pct(self.max_intra_share, 2)]);
-        t.row_strs(&["Mean ->3G share, 6% least-dense districts", &pct(self.least_dense_to3g_mean, 1)]);
+        t.row_strs(&[
+            "Mean ->3G share, 6% least-dense districts",
+            &pct(self.least_dense_to3g_mean, 1),
+        ]);
         t.row_strs(&["Max district ->3G share", &pct(self.max_to3g_share, 1)]);
         t
     }
@@ -257,8 +253,8 @@ mod tests {
         let d = DistrictDistribution::compute(study());
         assert!(d.max_intra_share > 0.9);
         assert!(
-            d.least_dense_to3g_mean > d.per_district.iter().map(|x| x.2).sum::<f64>()
-                / d.per_district.len() as f64,
+            d.least_dense_to3g_mean
+                > d.per_district.iter().map(|x| x.2).sum::<f64>() / d.per_district.len() as f64,
             "least-dense districts must lean more on 3G"
         );
     }

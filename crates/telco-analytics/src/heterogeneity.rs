@@ -237,26 +237,17 @@ impl DeviceMix {
             &["Device type", "Pop. share", "Top manufacturers (share within type)"],
         );
         for (ty, mfrs) in &self.manufacturers {
-            let top: Vec<String> = mfrs
-                .iter()
-                .take(5)
-                .map(|(m, s)| format!("{m} {}", pct(*s, 1)))
-                .collect();
-            t.row(&[
-                ty.to_string(),
-                pct(self.type_shares[ty.index()], 1),
-                top.join(", "),
-            ]);
+            let top: Vec<String> =
+                mfrs.iter().take(5).map(|(m, s)| format!("{m} {}", pct(*s, 1))).collect();
+            t.row(&[ty.to_string(), pct(self.type_shares[ty.index()], 1), top.join(", ")]);
         }
         t
     }
 
     /// Render Fig. 4b.
     pub fn table_rat_support(&self) -> TextTable {
-        let mut t = TextTable::new(
-            "Fig 4b: Supported RATs across UEs",
-            &["Ceiling", "Share of UEs"],
-        );
+        let mut t =
+            TextTable::new("Fig 4b: Supported RATs across UEs", &["Ceiling", "Share of UEs"]);
         for rs in RatSupport::ALL {
             t.row(&[rs.to_string(), pct(self.rat_support_shares[rs as usize], 1)]);
         }

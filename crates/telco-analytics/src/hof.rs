@@ -7,9 +7,9 @@ use serde::{Deserialize, Serialize};
 
 use telco_devices::types::{DeviceType, Manufacturer};
 use telco_geo::postcode::AreaType;
-use telco_sim::StudyData;
 use telco_signaling::causes::{CauseCode, PrincipalCause};
 use telco_signaling::messages::HoType;
+use telco_sim::StudyData;
 use telco_stats::boxplot::BoxplotStats;
 use telco_stats::ecdf::Ecdf;
 
@@ -55,9 +55,7 @@ impl HofPatterns {
         for day in 0..n_days {
             for hour in 0..24 {
                 let idx = day * 24 + hour;
-                for (ai, samples) in
-                    [(0, &mut urban_samples), (1, &mut rural_samples)]
-                {
+                for (ai, samples) in [(0, &mut urban_samples), (1, &mut rural_samples)] {
                     let n_active = active[idx][ai].len();
                     if n_active > 0 {
                         samples[hour].push(hofs[idx][ai] as f64 / n_active as f64);
@@ -209,21 +207,15 @@ impl CauseAnalysis {
             shares,
             shares_min,
             shares_max,
-            to3g_failure_share: by_type[HoType::To3g.index()] as f64
-                / total_failures.max(1) as f64,
-            to2g_failure_share: by_type[HoType::To2g.index()] as f64
-                / total_failures.max(1) as f64,
+            to3g_failure_share: by_type[HoType::To3g.index()] as f64 / total_failures.max(1) as f64,
+            to2g_failure_share: by_type[HoType::To2g.index()] as f64 / total_failures.max(1) as f64,
             distinct_causes: seen.len(),
             durations: durations
                 .into_iter()
                 .map(|v| (!v.is_empty()).then(|| Ecdf::new(&v)))
                 .collect(),
             by_area: [normalize(by_area[0]), normalize(by_area[1])],
-            by_device: [
-                normalize(by_device[0]),
-                normalize(by_device[1]),
-                normalize(by_device[2]),
-            ],
+            by_device: [normalize(by_device[0]), normalize(by_device[1]), normalize(by_device[2])],
             by_top5_manufacturer: top5,
         }
     }
@@ -265,11 +257,7 @@ impl CauseAnalysis {
         );
         for c in PrincipalCause::ALL {
             if let Some(e) = &self.durations[c.index()] {
-                t.row(&[
-                    format!("#{}", c.number()),
-                    num(e.median(), 0),
-                    num(e.quantile(0.95), 0),
-                ]);
+                t.row(&[format!("#{}", c.number()), num(e.median(), 0), num(e.quantile(0.95), 0)]);
             }
         }
         t
@@ -319,22 +307,14 @@ mod tests {
         let c = CauseAnalysis::compute(study());
         let total: f64 = c.shares.iter().sum();
         assert!((total - 1.0).abs() < 0.05, "shares sum {total}");
-        assert!(
-            c.principal_share() > 0.8,
-            "principal causes carry {}",
-            c.principal_share()
-        );
+        assert!(c.principal_share() > 0.8, "principal causes carry {}", c.principal_share());
         assert!(c.distinct_causes > 8, "only {} distinct causes", c.distinct_causes);
     }
 
     #[test]
     fn three_g_failures_dominate() {
         let c = CauseAnalysis::compute(study());
-        assert!(
-            c.to3g_failure_share > 0.5,
-            "→3G failure share {}",
-            c.to3g_failure_share
-        );
+        assert!(c.to3g_failure_share > 0.5, "→3G failure share {}", c.to3g_failure_share);
         assert!(c.to2g_failure_share < 0.05);
     }
 
@@ -356,9 +336,8 @@ mod tests {
         let h = HofPatterns::compute(study());
         // Some daytime hour must carry more normalized HOFs than 03:00.
         let night = h.urban[3].as_ref().map_or(0.0, |b| b.median);
-        let day_max = (7..20)
-            .filter_map(|hr| h.urban[hr].as_ref().map(|b| b.median))
-            .fold(0.0f64, f64::max);
+        let day_max =
+            (7..20).filter_map(|hr| h.urban[hr].as_ref().map(|b| b.median)).fold(0.0f64, f64::max);
         assert!(day_max >= night, "daytime {day_max} vs night {night}");
         assert!(h.table().len() == 24);
     }

@@ -70,9 +70,7 @@ impl ManufacturerImpact {
             let cell = cells.entry((district.0, attrs.manufacturer)).or_default();
             cell.hos += 1;
             cell.hofs += u64::from(r.is_failure());
-            let tot = district_totals
-                .entry((district.0, attrs.device_type.index()))
-                .or_default();
+            let tot = district_totals.entry((district.0, attrs.device_type.index())).or_default();
             tot.hos += 1;
             tot.hofs += u64::from(r.is_failure());
         }
@@ -164,10 +162,7 @@ mod tests {
         let i = impact();
         for mfr in [Manufacturer::Apple, Manufacturer::Samsung] {
             if let Some(r) = i.median_ho_ratio(mfr) {
-                assert!(
-                    (0.6..1.6).contains(&r),
-                    "{mfr}: normalized HO ratio {r} far from 1"
-                );
+                assert!((0.6..1.6).contains(&r), "{mfr}: normalized HO ratio {r} far from 1");
             }
         }
     }
@@ -175,14 +170,10 @@ mod tests {
     #[test]
     fn simcom_generates_more_handovers() {
         let i = impact();
-        if let (Some(simcom), Some(apple)) = (
-            i.median_ho_ratio(Manufacturer::Simcom),
-            i.median_ho_ratio(Manufacturer::Apple),
-        ) {
-            assert!(
-                simcom > 1.5 * apple,
-                "Simcom {simcom} should far exceed Apple {apple}"
-            );
+        if let (Some(simcom), Some(apple)) =
+            (i.median_ho_ratio(Manufacturer::Simcom), i.median_ho_ratio(Manufacturer::Apple))
+        {
+            assert!(simcom > 1.5 * apple, "Simcom {simcom} should far exceed Apple {apple}");
         }
     }
 

@@ -31,10 +31,7 @@ impl MobilityEcdfs {
             gyration[ty].push(m.gyration_km as f64);
         }
         MobilityEcdfs {
-            sectors: sectors
-                .into_iter()
-                .map(|v| (!v.is_empty()).then(|| Ecdf::new(&v)))
-                .collect(),
+            sectors: sectors.into_iter().map(|v| (!v.is_empty()).then(|| Ecdf::new(&v))).collect(),
             gyration: gyration
                 .into_iter()
                 .map(|v| (!v.is_empty()).then(|| Ecdf::new(&v)))
@@ -205,7 +202,7 @@ mod tests {
     #[test]
     fn smartphone_mobility_dominates() {
         let s = study();
-        let m = MobilityEcdfs::compute(&s);
+        let m = MobilityEcdfs::compute(s);
         let smart = m.median_sectors(DeviceType::Smartphone).unwrap();
         let m2m = m.median_sectors(DeviceType::M2mIot).unwrap();
         assert!(smart > 2.0 * m2m, "smartphones {smart} vs M2M {m2m}");
@@ -216,7 +213,7 @@ mod tests {
     #[test]
     fn hof_vs_mobility_rises_with_sectors() {
         let s = study();
-        let h = HofVsMobility::compute(&s);
+        let h = HofVsMobility::compute(s);
         // Low-mobility bins carry almost zero HOF; some high bins exist.
         assert!(h.sector_counts.iter().sum::<usize>() > 0);
         // The bin with 1..10 sectors should have near-zero median HOF rate.
@@ -229,7 +226,7 @@ mod tests {
     #[test]
     fn share_below_counts_everything() {
         let s = study();
-        let h = HofVsMobility::compute(&s);
+        let h = HofVsMobility::compute(s);
         let below_inf = h.share_below_sectors(f64::INFINITY);
         assert!((below_inf - 1.0).abs() < 1e-9);
         assert!(h.share_below_sectors(10.0) <= 1.0);
@@ -238,7 +235,7 @@ mod tests {
     #[test]
     fn tables_render() {
         let s = study();
-        assert!(MobilityEcdfs::compute(&s).table().to_string().contains("median sectors"));
-        assert!(HofVsMobility::compute(&s).table().len() > 3);
+        assert!(MobilityEcdfs::compute(s).table().to_string().contains("median sectors"));
+        assert!(HofVsMobility::compute(s).table().len() > 3);
     }
 }

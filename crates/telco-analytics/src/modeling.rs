@@ -242,8 +242,7 @@ impl HofModels {
         // --- Tables 8 & 9: quantile regressions on HO type only. ---
         let taus = [0.2, 0.4, 0.6, 0.8];
         let quantile_filtered = quantiles_on(&filtered, &taus);
-        let nonzero: Vec<&SectorDayObs> =
-            obs.iter().copied().filter(|o| o.hofs > 0).collect();
+        let nonzero: Vec<&SectorDayObs> = obs.iter().copied().filter(|o| o.hofs > 0).collect();
         let quantile_all = quantiles_on(&nonzero, &taus);
 
         // --- Fig. 16 ECDFs. ---
@@ -268,11 +267,7 @@ impl HofModels {
         let rf_design = full_design(&rf_sample);
         let forest = telco_stats::forest::RandomForest::fit(
             &rf_design,
-            telco_stats::forest::ForestOptions {
-                n_trees: 20,
-                max_depth: 8,
-                ..Default::default()
-            },
+            telco_stats::forest::ForestOptions { n_trees: 20, max_depth: 8, ..Default::default() },
         );
         let forest_quality = forest.evaluate(&rf_design);
 
@@ -355,10 +350,9 @@ impl HofModels {
             "Table 6: Summary stats of the sector-day dataset",
             &["Feature", "Min", "1st Qu", "Median", "Mean", "3rd Qu", "Max"],
         );
-        for (name, s) in [
-            ("Daily HOs", &self.summary_daily_hos),
-            ("HOF rate (%)", &self.summary_hof_rate),
-        ] {
+        for (name, s) in
+            [("Daily HOs", &self.summary_daily_hos), ("HOF rate (%)", &self.summary_hof_rate)]
+        {
             t.row(&[
                 name.to_string(),
                 num(s.min, 1),
@@ -492,11 +486,8 @@ mod tests {
     #[test]
     fn full_model_keeps_ho_type_dominant() {
         let m = models();
-        let c3 = m
-            .full_model
-            .coefficient("HO type: 4G/5G-NSA->3G")
-            .expect("covariate present")
-            .estimate;
+        let c3 =
+            m.full_model.coefficient("HO type: 4G/5G-NSA->3G").expect("covariate present").estimate;
         assert!(c3 > 1.0);
         // Every other coefficient is smaller in magnitude than the HO-type
         // effect (the paper's key robustness claim).
@@ -541,11 +532,11 @@ mod tests {
         assert!(HofModels::table3().to_string().contains("Antenna Vendor"));
         assert!(m.table4().to_string().contains("Coef."));
         assert!(m.table6().to_string().contains("Median"));
-        assert!(
-            HofModels::regression_table(&m.full_model, "Table 5").to_string().contains("t value")
-        );
-        assert!(
-            HofModels::quantile_table(&m.quantile_all, "Table 9").to_string().contains("τ=0.2")
-        );
+        assert!(HofModels::regression_table(&m.full_model, "Table 5")
+            .to_string()
+            .contains("t value"));
+        assert!(HofModels::quantile_table(&m.quantile_all, "Table 9")
+            .to_string()
+            .contains("τ=0.2"));
     }
 }

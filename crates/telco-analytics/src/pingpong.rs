@@ -142,16 +142,10 @@ mod tests {
     #[test]
     fn chatty_manufacturers_pingpong_more() {
         let pp = PingPongAnalysis::compute(study());
-        let get = |m: Manufacturer| {
-            pp.by_manufacturer.iter().find(|(x, _)| *x == m).map(|(_, r)| *r)
-        };
-        if let (Some(simcom), Some(apple)) =
-            (get(Manufacturer::Simcom), get(Manufacturer::Apple))
-        {
-            assert!(
-                simcom > apple,
-                "Simcom PP rate {simcom} should exceed Apple's {apple}"
-            );
+        let get =
+            |m: Manufacturer| pp.by_manufacturer.iter().find(|(x, _)| *x == m).map(|(_, r)| *r);
+        if let (Some(simcom), Some(apple)) = (get(Manufacturer::Simcom), get(Manufacturer::Apple)) {
+            assert!(simcom > apple, "Simcom PP rate {simcom} should exceed Apple's {apple}");
         }
     }
 

@@ -29,11 +29,7 @@ impl Study {
 
     /// Wrap an existing study.
     pub fn from_data(data: StudyData) -> Self {
-        Study {
-            data,
-            frame: std::sync::OnceLock::new(),
-            period_frame: std::sync::OnceLock::new(),
-        }
+        Study { data, frame: std::sync::OnceLock::new(), period_frame: std::sync::OnceLock::new() }
     }
 
     /// The underlying simulation output.

@@ -106,10 +106,8 @@ impl TemporalEvolution {
     pub fn compute(study: &StudyData) -> Self {
         let enriched = Enriched::new(study);
         let n_weeks = study.config.n_days.div_ceil(7).max(1) as usize;
-        let mut ho_weeks = [vec![vec![0.0; SLOTS_PER_WEEK]; n_weeks], vec![
-            vec![0.0; SLOTS_PER_WEEK];
-            n_weeks
-        ]];
+        let mut ho_weeks =
+            [vec![vec![0.0; SLOTS_PER_WEEK]; n_weeks], vec![vec![0.0; SLOTS_PER_WEEK]; n_weeks]];
         // Active sectors: distinct sectors with ≥1 HO per slot.
         let mut active: Vec<[HashSet<u32>; 2]> = Vec::new();
         active.resize_with(n_weeks * SLOTS_PER_WEEK, Default::default);
@@ -153,25 +151,20 @@ impl TemporalEvolution {
         let mut active_rural = WeeklyCurve::from_weeks(&active_weeks[1]);
 
         // Correlation before normalization (it is scale-free anyway).
-        let combined_hos: Vec<f64> = (0..SLOTS_PER_WEEK)
-            .map(|i| hos_urban.mean[i] + hos_rural.mean[i])
-            .collect();
-        let combined_active: Vec<f64> = (0..SLOTS_PER_WEEK)
-            .map(|i| active_urban.mean[i] + active_rural.mean[i])
-            .collect();
+        let combined_hos: Vec<f64> =
+            (0..SLOTS_PER_WEEK).map(|i| hos_urban.mean[i] + hos_rural.mean[i]).collect();
+        let combined_active: Vec<f64> =
+            (0..SLOTS_PER_WEEK).map(|i| active_urban.mean[i] + active_rural.mean[i]).collect();
         let correlation = pearson(&combined_hos, &combined_active).unwrap_or(0.0);
 
         let peak_of_day = |day: DayOfWeek| -> f64 {
-            (0..48)
-                .map(|s| combined_hos[day.index() * 48 + s])
-                .fold(0.0f64, f64::max)
+            (0..48).map(|s| combined_hos[day.index() * 48 + s]).fold(0.0f64, f64::max)
         };
         let friday = peak_of_day(DayOfWeek::Friday);
         let sunday = peak_of_day(DayOfWeek::Sunday);
         // Average weekday 6:00 vs 8:00 levels.
-        let weekday_level = |slot: usize| -> f64 {
-            (0..5).map(|d| combined_hos[d * 48 + slot]).sum::<f64>() / 5.0
-        };
+        let weekday_level =
+            |slot: usize| -> f64 { (0..5).map(|d| combined_hos[d * 48 + slot]).sum::<f64>() / 5.0 };
         let morning_surge = weekday_level(16) / weekday_level(12).max(1e-9);
 
         hos_urban.normalize();
@@ -226,11 +219,7 @@ mod tests {
     #[test]
     fn urban_dominates_handovers() {
         let e = evolution();
-        assert!(
-            e.urban_ho_share > 0.55,
-            "urban HO share {} too low",
-            e.urban_ho_share
-        );
+        assert!(e.urban_ho_share > 0.55, "urban HO share {} too low", e.urban_ho_share);
     }
 
     #[test]
@@ -252,11 +241,7 @@ mod tests {
     #[test]
     fn sunday_quieter_than_friday() {
         let e = evolution();
-        assert!(
-            e.sunday_vs_friday_drop > 0.1,
-            "Sunday drop {}",
-            e.sunday_vs_friday_drop
-        );
+        assert!(e.sunday_vs_friday_drop > 0.1, "Sunday drop {}", e.sunday_vs_friday_drop);
     }
 
     #[test]

@@ -82,25 +82,11 @@ impl VendorAnalysis {
         );
         for region in Region::ALL {
             let s = self.sectors_by_region[region.index()];
-            t.row(&[
-                region.to_string(),
-                pct(s[0], 1),
-                pct(s[1], 1),
-                pct(s[2], 1),
-                pct(s[3], 1),
-            ]);
+            t.row(&[region.to_string(), pct(s[0], 1), pct(s[1], 1), pct(s[2], 1), pct(s[3], 1)]);
         }
-        for (i, label) in
-            ["Intra 4G/5G-NSA HOs", "->3G HOs", "->2G HOs"].iter().enumerate()
-        {
+        for (i, label) in ["Intra 4G/5G-NSA HOs", "->3G HOs", "->2G HOs"].iter().enumerate() {
             let s = self.hos_by_type[i];
-            t.row(&[
-                label.to_string(),
-                pct(s[0], 1),
-                pct(s[1], 1),
-                pct(s[2], 1),
-                pct(s[3], 1),
-            ]);
+            t.row(&[label.to_string(), pct(s[0], 1), pct(s[1], 1), pct(s[2], 1), pct(s[3], 1)]);
         }
         t
     }

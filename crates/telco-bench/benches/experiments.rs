@@ -20,9 +20,7 @@ fn bench_tables(c: &mut Criterion) {
     // Tables 3–9 all hang off the §6.3 modeling pipeline; Table 3 is the
     // covariate declaration (free), the rest share the sector frame.
     g.bench_function("t4_t9_hof_models", |b| {
-        b.iter(|| {
-            black_box(HofModels::compute(study.period_frame(), ModelingOptions::default()))
-        })
+        b.iter(|| black_box(HofModels::compute(study.period_frame(), ModelingOptions::default())))
     });
     g.bench_function("t6_frame_build", |b| {
         b.iter(|| {
@@ -48,9 +46,7 @@ fn bench_figures(c: &mut Criterion) {
         b.iter(|| black_box(study.population_inference()))
     });
     g.bench_function("f6_ho_density", |b| b.iter(|| black_box(study.ho_density())));
-    g.bench_function("f7_temporal_evolution", |b| {
-        b.iter(|| black_box(study.temporal_evolution()))
-    });
+    g.bench_function("f7_temporal_evolution", |b| b.iter(|| black_box(study.temporal_evolution())));
     g.bench_function("f8_durations", |b| b.iter(|| black_box(study.durations())));
     g.bench_function("f9_district_distribution", |b| {
         b.iter(|| black_box(study.district_distribution()))
@@ -60,14 +56,10 @@ fn bench_figures(c: &mut Criterion) {
         b.iter(|| black_box(study.manufacturer_impact()))
     });
     g.bench_function("f12_hof_patterns", |b| b.iter(|| black_box(study.hof_patterns())));
-    g.bench_function("f13_hof_vs_mobility", |b| {
-        b.iter(|| black_box(study.hof_vs_mobility()))
-    });
+    g.bench_function("f13_hof_vs_mobility", |b| b.iter(|| black_box(study.hof_vs_mobility())));
     g.bench_function("f14_f15_causes", |b| b.iter(|| black_box(study.causes())));
     // Fig. 16 is produced inside the models bench above; Figs. 17–18:
-    g.bench_function("f17_f18_vendor_analysis", |b| {
-        b.iter(|| black_box(study.vendor_analysis()))
-    });
+    g.bench_function("f17_f18_vendor_analysis", |b| b.iter(|| black_box(study.vendor_analysis())));
     g.finish();
 }
 

@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use telco_bench::bench_study;
-use telco_sim::{simulate_ue_day, SimConfig, SimOutput, World};
+use telco_sim::{simulate_ue_day, SimConfig, SimOutput, SimScratch, World};
 use telco_stats::anova::one_way_anova;
 use telco_stats::ecdf::Ecdf;
 use telco_stats::regression::{ols, Design, Value};
@@ -18,10 +18,18 @@ fn bench_simulation(c: &mut Criterion) {
     let mut g = c.benchmark_group("simulation");
     g.throughput(Throughput::Elements(64));
     g.bench_function("ue_days_64", |b| {
+        let mut scratch = SimScratch::new();
         b.iter(|| {
             let mut out = SimOutput::new(cfg.n_days);
             for ue in 0..64u32 {
-                simulate_ue_day(&world, &cfg, telco_devices::population::UeId(ue), 0, &mut out);
+                simulate_ue_day(
+                    &world,
+                    &cfg,
+                    telco_devices::population::UeId(ue),
+                    0,
+                    &mut scratch,
+                    &mut out,
+                );
             }
             black_box(out.dataset.len())
         })
@@ -93,10 +101,8 @@ fn bench_spatial(c: &mut Criterion) {
 
 fn bench_stats(c: &mut Criterion) {
     // OLS on a 10k × 6 design.
-    let mut design = Design::new().intercept().numeric("x1").numeric("x2").categorical(
-        "g",
-        &["a", "b", "c"],
-    );
+    let mut design =
+        Design::new().intercept().numeric("x1").numeric("x2").categorical("g", &["a", "b", "c"]);
     let mut state = 1u64;
     let mut next = || {
         state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);

@@ -1,0 +1,53 @@
+//! End-to-end runner throughput: UE-days per second through
+//! `run_on_world` for the tiny and small presets at 1, 2, and all
+//! available threads. This is the bench that guards the work-stealing
+//! scheduler — the kernel benches measure a single UE-day, this one
+//! measures scheduling, merge, and scaling.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use telco_sim::{run_on_world, RunnerMode, SimConfig, World};
+
+fn preset(name: &str) -> SimConfig {
+    match name {
+        "tiny" => SimConfig::tiny(),
+        "small" => SimConfig::small(),
+        other => panic!("unknown preset {other}"),
+    }
+}
+
+fn bench_runner(c: &mut Criterion) {
+    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    for preset_name in ["tiny", "small"] {
+        let base = preset(preset_name);
+        let world = World::build(&base);
+        let ue_days = base.n_ues as u64 * base.n_days as u64;
+
+        let mut g = c.benchmark_group(format!("sim_throughput/{preset_name}"));
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(ue_days));
+        let mut thread_counts = vec![1usize, 2];
+        if max_threads > 2 {
+            thread_counts.push(max_threads);
+        }
+        for threads in thread_counts {
+            let mut cfg = base.clone();
+            cfg.threads = threads;
+            g.bench_function(&format!("threads_{threads}"), |b| {
+                b.iter(|| {
+                    let out = run_on_world(&world, &cfg);
+                    // Make sure we measured the path we meant to.
+                    if threads > 1 {
+                        assert_eq!(out.runner.mode, RunnerMode::WorkStealing);
+                    }
+                    black_box(out.dataset.len())
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(sim_throughput, bench_runner);
+criterion_main!(sim_throughput);

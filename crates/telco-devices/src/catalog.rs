@@ -146,8 +146,9 @@ impl GsmaCatalog {
                     // Split the cell across a few models with jittered
                     // weights (a realistic catalog has many near-duplicate
                     // TACs per commercial model family).
-                    let mut jitters: Vec<f64> =
-                        (0..config.models_per_cell).map(|_| rng.random_range(0.3..1.0f64)).collect();
+                    let mut jitters: Vec<f64> = (0..config.models_per_cell)
+                        .map(|_| rng.random_range(0.3..1.0f64))
+                        .collect();
                     let jsum: f64 = jitters.iter().sum();
                     for j in &mut jitters {
                         *j /= jsum;
@@ -279,11 +280,7 @@ mod tests {
     fn rat_marginals_match_paper() {
         let c = catalog();
         let share_of = |rat: RatSupport| -> f64 {
-            c.models()
-                .iter()
-                .filter(|m| m.rat_support == rat)
-                .map(|m| m.population_weight)
-                .sum()
+            c.models().iter().filter(|m| m.rat_support == rat).map(|m| m.population_weight).sum()
         };
         // 12.6% 2G-only, ~20.1% up to 3G, 67.2% 4G-or-better (§4.2).
         assert!((share_of(RatSupport::UpTo2g) - 0.126).abs() < 0.005);

@@ -8,9 +8,7 @@ use serde::{Deserialize, Serialize};
 
 /// Type Allocation Code: the first 8 digits of an IMEI, identifying the
 /// device model.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Tac(pub u32);
 
 impl Tac {
@@ -36,9 +34,7 @@ impl std::fmt::Display for Tac {
 
 /// International Mobile Equipment Identity: TAC (8 digits) + serial number
 /// (6 digits) + Luhn check digit.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Imei {
     /// Device-model code.
     pub tac: Tac,
@@ -91,9 +87,7 @@ impl std::fmt::Display for Imei {
 }
 
 /// International Mobile Subscriber Identity: MCC + MNC + MSIN.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Imsi {
     /// Mobile country code (3 digits).
     pub mcc: u16,

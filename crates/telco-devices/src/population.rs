@@ -14,9 +14,7 @@ use crate::ids::{Imei, Imsi, Tac};
 use crate::types::{DeviceType, Manufacturer, RatSupport};
 
 /// Dense identifier of a UE in the simulated population.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct UeId(pub u32);
 
 impl std::fmt::Display for UeId {
@@ -81,8 +79,7 @@ impl DevicePopulation {
     pub fn sample(catalog: &GsmaCatalog, n: usize, seed: u64) -> Self {
         assert!(!catalog.is_empty(), "catalog must not be empty");
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let sampler =
-            CumulativeSampler::new(catalog.models().iter().map(|m| m.population_weight));
+        let sampler = CumulativeSampler::new(catalog.models().iter().map(|m| m.population_weight));
         let devices = (0..n)
             .map(|i| {
                 let model_idx = sampler.sample(&mut rng);
@@ -170,10 +167,7 @@ mod tests {
                 .filter(|d| catalog.model(d.model as usize).device_type == ty)
                 .count() as f64
                 / pop.len() as f64;
-            assert!(
-                (got - share).abs() < 0.02,
-                "{ty}: realized {got} vs target {share}"
-            );
+            assert!((got - share).abs() < 0.02, "{ty}: realized {got} vs target {share}");
         }
     }
 

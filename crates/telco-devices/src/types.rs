@@ -7,9 +7,7 @@
 use serde::{Deserialize, Serialize};
 
 /// The three device classes of the study.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum DeviceType {
     /// Smartphones.
     Smartphone,
@@ -52,9 +50,7 @@ impl std::fmt::Display for DeviceType {
 /// The set of radio access technologies a device model supports, as a
 /// compact generation ceiling plus the implied lower generations (devices
 /// supporting 5G also support 4G/3G/2G, matching GSMA catalog semantics).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum RatSupport {
     /// 2G only (GSM/GPRS class modules).
     UpTo2g,
@@ -115,9 +111,7 @@ impl std::fmt::Display for RatSupport {
 /// diversified M2M/IoT module makers, the feature-phone brands, and the
 /// outlier manufacturers called out in §5.3 (KVD, HMD, Simcom). `OtherX`
 /// variants absorb the long tail per device class.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[allow(missing_docs)]
 pub enum Manufacturer {
     // Smartphone top-5 (Fig. 4a).

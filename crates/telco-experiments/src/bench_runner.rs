@@ -1,0 +1,177 @@
+//! `repro bench-runner` — measure end-to-end study throughput of the
+//! work-stealing runner against a baseline that reproduces the original
+//! static-shard runner (fixed per-thread UE ranges, mutex-collected
+//! shards, a fresh scratch per UE-day, and a final concatenate-and-sort),
+//! and write the numbers to `BENCH_runner.json` at the repo root.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use telco_devices::population::UeId;
+use telco_sim::{run_on_world, RunnerMode, SimConfig, SimOutput, SimScratch, World};
+
+/// The original runner, kept verbatim in spirit: static UE ranges sized
+/// `n_ues / threads`, one shard output per thread pushed through a mutex,
+/// a fresh `SimScratch` per UE-day (the old engine allocated all its
+/// buffers per call), and a full `sort` of the concatenated dataset.
+fn run_static_shards(world: &World, config: &SimConfig, threads: usize) -> SimOutput {
+    let n_ues = world.n_ues();
+    let n_days = config.n_days;
+    if threads <= 1 {
+        let mut out = SimOutput::new(n_days);
+        for day in 0..n_days {
+            for ue in 0..n_ues {
+                let mut scratch = SimScratch::new();
+                simulate_one(world, config, ue, day, &mut scratch, &mut out);
+            }
+        }
+        out.dataset.sort();
+        return out;
+    }
+    let per = n_ues.div_ceil(threads);
+    let shards: Mutex<Vec<(usize, SimOutput)>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let shards = &shards;
+            s.spawn(move || {
+                let lo = t * per;
+                let hi = ((t + 1) * per).min(n_ues);
+                let mut out = SimOutput::new(n_days);
+                for day in 0..n_days {
+                    for ue in lo..hi {
+                        let mut scratch = SimScratch::new();
+                        simulate_one(world, config, ue, day, &mut scratch, &mut out);
+                    }
+                }
+                shards.lock().unwrap().push((t, out));
+            });
+        }
+    });
+    let mut shards = shards.into_inner().unwrap();
+    shards.sort_by_key(|&(t, _)| t);
+    let mut merged = SimOutput::new(n_days);
+    for (_, shard) in shards {
+        merged.merge(shard);
+    }
+    merged.dataset.sort();
+    merged.mobility.sort_by_key(|row| (row.day, row.ue.0));
+    merged
+}
+
+fn simulate_one(
+    world: &World,
+    config: &SimConfig,
+    ue: usize,
+    day: u32,
+    scratch: &mut SimScratch,
+    out: &mut SimOutput,
+) {
+    telco_sim::simulate_ue_day(world, config, UeId(ue as u32), day, scratch, out);
+}
+
+struct Measurement {
+    threads: usize,
+    secs: f64,
+    records: usize,
+}
+
+impl Measurement {
+    fn json(&self, ue_days: u64) -> String {
+        format!(
+            "{{\"threads\": {}, \"secs\": {:.3}, \"ue_days_per_sec\": {:.1}, \
+             \"records_per_sec\": {:.1}}}",
+            self.threads,
+            self.secs,
+            ue_days as f64 / self.secs,
+            self.records as f64 / self.secs
+        )
+    }
+}
+
+fn measure(what: &str, threads: usize, f: impl Fn() -> SimOutput) -> Measurement {
+    // Best of three: study runs are long enough that the minimum is a
+    // stable estimator and the total stays tolerable.
+    let mut best = f64::INFINITY;
+    let mut records = 0;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let out = f();
+        let secs = t0.elapsed().as_secs_f64();
+        records = out.dataset.len();
+        best = best.min(secs);
+    }
+    eprintln!("bench-runner: {what} threads={threads}: {best:.3}s, {records} records");
+    Measurement { threads, secs: best, records }
+}
+
+/// Run the benchmark and write `BENCH_runner.json`.
+///
+/// `seed_secs` is an externally measured wall time of the *seed* runner
+/// (the pre-rework engine, built from the seed commit) on the same preset
+/// and hardware; when given, it is recorded as the reference the speedup
+/// criterion is judged against.
+pub fn run(config: SimConfig, preset_name: &str, seed_secs: Option<f64>) {
+    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let ue_days = config.n_ues as u64 * config.n_days as u64;
+    eprintln!(
+        "bench-runner: preset {preset_name}, {} UEs × {} days ({ue_days} UE-days), \
+         {max_threads} hardware threads",
+        config.n_ues, config.n_days
+    );
+    let world = World::build(&config);
+
+    let baseline =
+        measure("static-shards", max_threads, || run_static_shards(&world, &config, max_threads));
+
+    let mut thread_counts = vec![1usize];
+    if max_threads >= 2 {
+        thread_counts.push(2);
+    }
+    if max_threads > 2 {
+        thread_counts.push(max_threads);
+    }
+    let runner: Vec<Measurement> = thread_counts
+        .into_iter()
+        .map(|threads| {
+            let mut cfg = config.clone();
+            cfg.threads = threads;
+            let m = measure("work-stealing", threads, || run_on_world(&world, &cfg));
+            if threads > 1 {
+                let out = run_on_world(&world, &cfg);
+                assert_eq!(out.runner.mode, RunnerMode::WorkStealing);
+            }
+            m
+        })
+        .collect();
+
+    let at_max = runner.last().expect("at least one measurement");
+    let speedup = baseline.secs / at_max.secs;
+    eprintln!(
+        "bench-runner: {:.1} UE-days/s baseline → {:.1} UE-days/s work-stealing \
+         ({speedup:.2}× at {max_threads} threads)",
+        ue_days as f64 / baseline.secs,
+        ue_days as f64 / at_max.secs
+    );
+
+    let seed_line = seed_secs.map_or(String::new(), |secs| {
+        let sp = secs / at_max.secs;
+        eprintln!("bench-runner: seed reference {secs:.3}s → speedup vs seed {sp:.2}×");
+        format!(
+            "  \"seed_runner_reference\": {{\"secs\": {secs:.3}, \
+             \"ue_days_per_sec\": {:.1}, \"speedup_vs_seed\": {sp:.2}}},\n",
+            ue_days as f64 / secs
+        )
+    });
+    // The vendored serde_json is a stand-in, so format by hand.
+    let runs: Vec<String> = runner.iter().map(|m| format!("    {}", m.json(ue_days))).collect();
+    let json = format!(
+        "{{\n  \"preset\": \"{preset_name}\",\n  \"ue_days\": {ue_days},\n  \
+         \"hardware_threads\": {max_threads},\n{seed_line}  \
+         \"baseline_static_shards\": {},\n  \
+         \"work_stealing\": [\n{}\n  ],\n  \"speedup_at_max_threads\": {speedup:.2}\n}}\n",
+        baseline.json(ue_days),
+        runs.join(",\n")
+    );
+    std::fs::write("BENCH_runner.json", &json).expect("write BENCH_runner.json");
+    eprintln!("bench-runner: wrote BENCH_runner.json");
+}

@@ -17,20 +17,46 @@ use telco_analytics::Study;
 use telco_sim::SimConfig;
 use telco_stats::desc::percentile;
 
+mod bench_runner;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut config = SimConfig::default_study();
+    let mut preset_name = "default";
     let mut wanted: Vec<String> = Vec::new();
     for arg in &args {
         match arg.as_str() {
-            "--small" => config = SimConfig::small(),
-            "--tiny" => config = SimConfig::tiny(),
+            "--small" => {
+                config = SimConfig::small();
+                preset_name = "small";
+            }
+            "--tiny" => {
+                config = SimConfig::tiny();
+                preset_name = "tiny";
+            }
             "--help" | "-h" => {
-                println!("usage: repro [--small|--tiny] [experiment ...]");
+                println!("usage: repro [--small|--tiny] [bench-runner|experiment ...]");
                 return;
             }
             other => wanted.push(other.to_string()),
         }
+    }
+    if wanted.iter().any(|w| w == "bench-runner") {
+        // Throughput measurement, not a table: defaults to the small
+        // preset unless a scale flag was given explicitly.
+        if preset_name == "default" {
+            config = SimConfig::small();
+            preset_name = "small";
+        }
+        // Optional externally measured seed-runner wall time, e.g.
+        // `bench-runner --seed-secs 2.042`.
+        let seed_secs = wanted
+            .iter()
+            .position(|w| w == "--seed-secs")
+            .and_then(|i| wanted.get(i + 1))
+            .and_then(|v| v.parse::<f64>().ok());
+        bench_runner::run(config, preset_name, seed_secs);
+        return;
     }
     if wanted.is_empty() {
         wanted.push("all".to_string());

@@ -133,14 +133,9 @@ mod tests {
         let k = t.least_dense(0.25).len();
         assert_eq!(k, (t.rows().len() as f64 * 0.25).ceil() as usize);
         // The selected districts are the least dense ones.
-        let max_sel =
-            t.least_dense(0.25).iter().map(|r| r.density).fold(0.0f64, f64::max);
-        let min_rest = t
-            .by_density()
-            .into_iter()
-            .skip(k)
-            .map(|r| r.density)
-            .fold(f64::INFINITY, f64::min);
+        let max_sel = t.least_dense(0.25).iter().map(|r| r.density).fold(0.0f64, f64::max);
+        let min_rest =
+            t.by_density().into_iter().skip(k).map(|r| r.density).fold(f64::INFINITY, f64::min);
         assert!(max_sel <= min_rest);
     }
 

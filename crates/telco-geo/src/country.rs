@@ -64,7 +64,9 @@ impl CountryConfig {
     /// A small configuration for fast tests.
     pub fn tiny() -> Self {
         CountryConfig {
-            n_districts: 24,
+            // Few districts so the 10k urban threshold still splits the
+            // country realistically at 1/25th of the full population.
+            n_districts: 16,
             total_population: 400_000,
             extent_km: (200.0, 160.0),
             capital_radius_km: 40.0,
@@ -95,8 +97,10 @@ impl Country {
             "urban_area_fraction must be in [0,1)"
         );
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
-        let bounds =
-            KmRect::new(KmPoint::new(0.0, 0.0), KmPoint::new(config.extent_km.0, config.extent_km.1));
+        let bounds = KmRect::new(
+            KmPoint::new(0.0, 0.0),
+            KmPoint::new(config.extent_km.0, config.extent_km.1),
+        );
         let center = bounds.center();
 
         // --- District centroids: jittered grid so they tile the country. ---
@@ -145,8 +149,7 @@ impl Country {
             rest.swap(i, j);
         }
         let mut populations = vec![0u64; n];
-        populations[capital_idx] =
-            (weights[0] * config.total_population as f64).round() as u64;
+        populations[capital_idx] = (weights[0] * config.total_population as f64).round() as u64;
         for (rank, &idx) in rest.iter().enumerate() {
             populations[idx] =
                 ((weights[rank + 1] * config.total_population as f64).round() as u64).max(500);
@@ -186,8 +189,12 @@ impl Country {
             let pop = populations[i];
             // Between 2 and 14 postcodes, growing with population.
             let n_pc = (2 + (pop as f64 / 40_000.0).sqrt() as usize).min(14);
-            // Population split: the town postcode concentrates most people.
-            let town_share: f64 = rng.random_range(0.45..0.85);
+            // Population split: the town postcode concentrates most people,
+            // and larger districts are more urbanised (the concentration is
+            // what puts ~78% of handovers in urban areas, Fig. 7 / §5.1 —
+            // population, sites and therefore signaling all follow it).
+            let urbanisation = (pop as f64 / 25_000.0).min(1.0) * 0.15;
+            let town_share: f64 = rng.random_range(0.62..0.80) + urbanisation;
             let mut pc_pops = vec![0u64; n_pc];
             pc_pops[0] = (pop as f64 * town_share) as u64;
             let mut rest_weights: Vec<f64> =
@@ -211,8 +218,8 @@ impl Country {
                         let r: f64 = rng.random_range(0.25..0.9) * radius;
                         (ang.cos() * r, ang.sin() * r)
                     };
-                    let centroid = bounds
-                        .clamp(&KmPoint::new(centroids[i].x + dx, centroids[i].y + dy));
+                    let centroid =
+                        bounds.clamp(&KmPoint::new(centroids[i].x + dx, centroids[i].y + dy));
                     postcodes.push(Postcode {
                         id,
                         district: DistrictId(i as u16),
@@ -220,8 +227,7 @@ impl Country {
                         area_km2: 0.0, // filled after urban/rural calibration
                         population: pc_pops[k],
                         area_type: AreaType::classify(pc_pops[k]),
-                        census_reliable: rng.random::<f64>()
-                            >= config.unreliable_census_fraction,
+                        census_reliable: rng.random::<f64>() >= config.unreliable_census_fraction,
                     });
                     id
                 })
@@ -330,10 +336,7 @@ mod tests {
         assert!(c.postcodes().len() > 312 * 2 - 1);
         // Every region is represented.
         for r in Region::ALL {
-            assert!(
-                c.districts().iter().any(|d| d.region == r),
-                "missing region {r}"
-            );
+            assert!(c.districts().iter().any(|d| d.region == r), "missing region {r}");
         }
     }
 

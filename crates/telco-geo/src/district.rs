@@ -11,9 +11,7 @@ use crate::coords::KmPoint;
 use crate::postcode::PostcodeId;
 
 /// Identifier of a census district.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct DistrictId(pub u16);
 
 impl std::fmt::Display for DistrictId {
@@ -23,9 +21,7 @@ impl std::fmt::Display for DistrictId {
 }
 
 /// The four coarse regions used as a regression covariate (Table 3).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Region {
     /// The capital metropolitan area.
     Capital,

@@ -61,6 +61,7 @@ impl<T: Clone> GridIndex<T> {
         let mut out = Vec::new();
         let (ccx, ccy) = self.cell_of(center);
         let r_cells = (radius_km / self.cell_km).ceil() as isize + 1;
+        let radius2 = radius_km * radius_km;
         for dy in -r_cells..=r_cells {
             for dx in -r_cells..=r_cells {
                 let cx = ccx as isize + dx;
@@ -69,7 +70,7 @@ impl<T: Clone> GridIndex<T> {
                     continue;
                 }
                 for (p, v) in &self.cells[cy as usize * self.nx + cx as usize] {
-                    if p.distance_km(center) <= radius_km {
+                    if dist2(p, center) <= radius2 {
                         out.push((*p, v));
                     }
                 }
@@ -88,13 +89,15 @@ impl<T: Clone> GridIndex<T> {
         }
         let (ccx, ccy) = self.cell_of(center);
         let max_ring = self.nx.max(self.ny) as isize;
+        // Track *squared* distances: strictly monotone in the true
+        // distance, so the winner is identical but no point costs a sqrt.
         let mut best: Option<(f64, KmPoint, &T)> = None;
         for ring in 0..=max_ring {
             // Once we have a candidate, stop when the ring's minimum possible
             // distance exceeds it.
-            if let Some((d, _, _)) = best {
+            if let Some((d2, _, _)) = best {
                 let ring_min = (ring - 1).max(0) as f64 * self.cell_km;
-                if ring_min > d {
+                if ring_min * ring_min > d2 {
                     break;
                 }
             }
@@ -105,9 +108,9 @@ impl<T: Clone> GridIndex<T> {
                 }
                 visited_any = true;
                 for (p, v) in &self.cells[cy as usize * self.nx + cx as usize] {
-                    let d = p.distance_km(center);
-                    if best.as_ref().is_none_or(|(bd, _, _)| d < *bd) {
-                        best = Some((d, *p, v));
+                    let d2 = dist2(p, center);
+                    if best.as_ref().is_none_or(|(bd2, _, _)| d2 < *bd2) {
+                        best = Some((d2, *p, v));
                     }
                 }
             }
@@ -142,21 +145,24 @@ impl<T: Clone> GridIndex<T> {
     }
 }
 
+/// Squared Euclidean distance — spares the sqrt when only ordering matters.
+fn dist2(a: &KmPoint, b: &KmPoint) -> f64 {
+    let dx = a.x - b.x;
+    let dy = a.y - b.y;
+    dx * dx + dy * dy
+}
+
 /// Cells at Chebyshev distance exactly `ring` from `(cx, cy)`.
-fn ring_cells(cx: isize, cy: isize, ring: isize) -> Vec<(isize, isize)> {
-    if ring == 0 {
-        return vec![(cx, cy)];
-    }
-    let mut out = Vec::with_capacity((8 * ring) as usize);
-    for d in -ring..=ring {
-        out.push((cx + d, cy - ring));
-        out.push((cx + d, cy + ring));
-    }
-    for d in (-ring + 1)..ring {
-        out.push((cx - ring, cy + d));
-        out.push((cx + ring, cy + d));
-    }
-    out
+fn ring_cells(cx: isize, cy: isize, ring: isize) -> impl Iterator<Item = (isize, isize)> {
+    // Lazy so nearest-neighbour queries (the simulation hot path) never
+    // allocate. For ring 0 the top and bottom rows coincide; emit one.
+    let top_bottom = (-ring..=ring).flat_map(move |d| {
+        let top = Some((cx + d, cy - ring));
+        let bottom = (ring > 0).then_some((cx + d, cy + ring));
+        [top, bottom].into_iter().flatten()
+    });
+    let sides = ((-ring + 1)..ring).flat_map(move |d| [(cx - ring, cy + d), (cx + ring, cy + d)]);
+    top_bottom.chain(sides)
 }
 
 #[cfg(test)]
@@ -246,9 +252,7 @@ mod tests {
             let brute = pts
                 .iter()
                 .enumerate()
-                .min_by(|a, b| {
-                    a.1.distance_km(&q).partial_cmp(&b.1.distance_km(&q)).unwrap()
-                })
+                .min_by(|a, b| a.1.distance_km(&q).partial_cmp(&b.1.distance_km(&q)).unwrap())
                 .unwrap()
                 .0;
             assert_eq!(*got, brute);

@@ -11,9 +11,7 @@ use crate::coords::KmPoint;
 use crate::district::DistrictId;
 
 /// Identifier of a postcode area.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct PostcodeId(pub u32);
 
 impl std::fmt::Display for PostcodeId {
@@ -24,9 +22,7 @@ impl std::fmt::Display for PostcodeId {
 
 /// Urban/rural classification of a postcode area (§3.2: 10k-resident
 /// threshold).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum AreaType {
     /// More than [`URBAN_POPULATION_THRESHOLD`] residents.
     Urban,

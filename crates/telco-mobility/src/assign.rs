@@ -77,10 +77,9 @@ pub fn work_point<R: Rng + ?Sized>(
     let free = KmPoint::new(home.x + ang.cos() * dist, home.y + ang.sin() * dist);
     // Blend towards the employment centre.
     let w: f64 = rng.random_range(0.3..0.8);
-    country.bounds.clamp(&KmPoint::new(
-        free.x * (1.0 - w) + centre.x * w,
-        free.y * (1.0 - w) + centre.y * w,
-    ))
+    country
+        .bounds
+        .clamp(&KmPoint::new(free.x * (1.0 - w) + centre.x * w, free.y * (1.0 - w) + centre.y * w))
 }
 
 #[cfg(test)]

@@ -75,18 +75,47 @@ impl DailyMobility {
         self.visits.push((sector, Visit { location: site_location, dwell: dwell_ms }));
     }
 
+    /// Reset for the next day, keeping the interval buffer's capacity.
+    pub fn clear(&mut self) {
+        self.visits.clear();
+    }
+
     /// Number of *distinct* sectors visited.
     pub fn distinct_sectors(&self) -> usize {
-        let mut ids: Vec<u32> = self.visits.iter().map(|&(s, _)| s).collect();
-        ids.sort_unstable();
-        ids.dedup();
-        ids.len()
+        let mut ids = Vec::new();
+        self.distinct_sectors_into(&mut ids)
+    }
+
+    /// [`DailyMobility::distinct_sectors`] using a caller-owned scratch
+    /// buffer, so repeated daily evaluations don't allocate.
+    pub fn distinct_sectors_into(&self, scratch: &mut Vec<u32>) -> usize {
+        scratch.clear();
+        scratch.extend(self.visits.iter().map(|&(s, _)| s));
+        scratch.sort_unstable();
+        scratch.dedup();
+        scratch.len()
     }
 
     /// Radius of gyration over the recorded visits, km.
     pub fn gyration_km(&self) -> f64 {
-        let visits: Vec<Visit> = self.visits.iter().map(|&(_, v)| v).collect();
-        radius_of_gyration(&visits).unwrap_or(0.0)
+        // Same time-weighted form as [`radius_of_gyration`], inlined over
+        // the interval list so no temporary visit vector is needed.
+        let total: f64 = self.visits.iter().map(|&(_, v)| v.dwell).sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let x = self.visits.iter().map(|&(_, v)| v.location.x * v.dwell).sum::<f64>() / total;
+        let y = self.visits.iter().map(|&(_, v)| v.location.y * v.dwell).sum::<f64>() / total;
+        let cm = KmPoint::new(x, y);
+        let ss: f64 = self
+            .visits
+            .iter()
+            .map(|&(_, v)| {
+                let d = v.location.distance_km(&cm);
+                v.dwell * d * d
+            })
+            .sum();
+        (ss / total).sqrt()
     }
 
     /// Whether any visit was recorded.

@@ -14,9 +14,7 @@ use serde::{Deserialize, Serialize};
 use telco_devices::types::DeviceType;
 
 /// How a UE moves through the country during a day.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum MobilityProfile {
     /// Never moves (smart meters, fixed routers).
     Stationary,
@@ -159,8 +157,7 @@ mod tests {
         let n = 20_000;
         let stationary = (0..n)
             .filter(|_| {
-                MobilityProfile::sample(DeviceType::M2mIot, &mut rng)
-                    == MobilityProfile::Stationary
+                MobilityProfile::sample(DeviceType::M2mIot, &mut rng) == MobilityProfile::Stationary
             })
             .count();
         let frac = stationary as f64 / n as f64;
@@ -169,8 +166,13 @@ mod tests {
 
     #[test]
     fn speeds_and_distances_scale_with_profile() {
-        assert!(MobilityProfile::HighSpeedTrain.speed_kmh() > MobilityProfile::Vehicular.speed_kmh());
-        assert!(MobilityProfile::Vehicular.trip_distance_km() > MobilityProfile::Commuter.trip_distance_km());
+        assert!(
+            MobilityProfile::HighSpeedTrain.speed_kmh() > MobilityProfile::Vehicular.speed_kmh()
+        );
+        assert!(
+            MobilityProfile::Vehicular.trip_distance_km()
+                > MobilityProfile::Commuter.trip_distance_km()
+        );
         assert_eq!(MobilityProfile::Stationary.trips_per_day(), 0);
     }
 }

@@ -12,9 +12,7 @@ use serde::{Deserialize, Serialize};
 pub const SLOTS_PER_DAY: usize = 48;
 
 /// Day of week (the study starts Monday 2024-01-29).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[allow(missing_docs)]
 pub enum DayOfWeek {
     Monday,
@@ -104,9 +102,7 @@ impl WeeklySchedule {
     pub fn peak_slot(&self, day: DayOfWeek) -> usize {
         (0..SLOTS_PER_DAY)
             .max_by(|&a, &b| {
-                self.intensity(day, a)
-                    .partial_cmp(&self.intensity(day, b))
-                    .expect("finite")
+                self.intensity(day, a).partial_cmp(&self.intensity(day, b)).expect("finite")
             })
             .expect("nonempty")
     }
@@ -238,8 +234,7 @@ mod tests {
         let s = WeeklySchedule::default();
         // Between 16:00 and 20:00, each slot decays ≈11%.
         for slot in 32..40 {
-            let r = s.intensity(DayOfWeek::Monday, slot + 1)
-                / s.intensity(DayOfWeek::Monday, slot);
+            let r = s.intensity(DayOfWeek::Monday, slot + 1) / s.intensity(DayOfWeek::Monday, slot);
             assert!((r - 0.89).abs() < 0.02, "slot {slot} decay ratio {r}");
         }
     }

@@ -105,9 +105,35 @@ impl DayTrajectory {
         bounds: &KmRect,
         rng: &mut R,
     ) -> Self {
-        let mut b = TrajectoryBuilder::new(home, profile.speed_kmh().max(1.0), *bounds);
+        let mut out = DayTrajectory { waypoints: Vec::new() };
+        Self::generate_into(profile, home, work, day, schedule, bounds, rng, &mut out);
+        out
+    }
+
+    /// [`DayTrajectory::generate`] into a reused trajectory, so a caller
+    /// looping over UE-days pays no per-day waypoint allocation once the
+    /// buffer has grown to its working size.
+    #[allow(clippy::too_many_arguments)]
+    pub fn generate_into<R: Rng + ?Sized>(
+        profile: MobilityProfile,
+        home: KmPoint,
+        work: Option<KmPoint>,
+        day: DayOfWeek,
+        schedule: &WeeklySchedule,
+        bounds: &KmRect,
+        rng: &mut R,
+        out: &mut DayTrajectory,
+    ) {
+        out.waypoints.clear();
+        out.waypoints.push(Waypoint { time_ms: 0, pos: home });
+        let mut b = TrajectoryBuilder {
+            waypoints: &mut out.waypoints,
+            speed_kmh: profile.speed_kmh().max(1.0),
+            bounds: *bounds,
+            free_at_ms: 0,
+        };
         match profile {
-            MobilityProfile::Stationary => return DayTrajectory::stationary(home),
+            MobilityProfile::Stationary => {}
             MobilityProfile::Nomadic => {
                 // One short relocation, sometimes returning.
                 let depart = sample_departure(schedule, day, rng, 8.0, 20.0);
@@ -184,29 +210,21 @@ impl DayTrajectory {
                 }
             }
         }
-        b.finish()
     }
 }
 
-/// Incremental trajectory assembly with travel-time accounting.
-struct TrajectoryBuilder {
-    waypoints: Vec<Waypoint>,
+/// Incremental trajectory assembly with travel-time accounting. Borrows
+/// the output waypoint buffer so generation can reuse a caller-owned
+/// allocation.
+struct TrajectoryBuilder<'a> {
+    waypoints: &'a mut Vec<Waypoint>,
     speed_kmh: f64,
     bounds: KmRect,
     /// Time the UE becomes free after its last arrival (ms of day).
     free_at_ms: u32,
 }
 
-impl TrajectoryBuilder {
-    fn new(home: KmPoint, speed_kmh: f64, bounds: KmRect) -> Self {
-        TrajectoryBuilder {
-            waypoints: vec![Waypoint { time_ms: 0, pos: home }],
-            speed_kmh,
-            bounds,
-            free_at_ms: 0,
-        }
-    }
-
+impl TrajectoryBuilder<'_> {
     fn last_pos(&self) -> KmPoint {
         self.waypoints.last().expect("nonempty").pos
     }
@@ -249,12 +267,7 @@ impl TrajectoryBuilder {
         let median = profile.trip_distance_km().max(0.05);
         let dist = LogNormal::new(median.ln(), 0.6).expect("valid lognormal").sample(rng);
         let ang: f64 = rng.random_range(0.0..std::f64::consts::TAU);
-        self.bounds
-            .clamp(&KmPoint::new(from.x + ang.cos() * dist, from.y + ang.sin() * dist))
-    }
-
-    fn finish(self) -> DayTrajectory {
-        DayTrajectory { waypoints: self.waypoints }
+        self.bounds.clamp(&KmPoint::new(from.x + ang.cos() * dist, from.y + ang.sin() * dist))
     }
 }
 
@@ -269,10 +282,15 @@ fn sample_departure<R: Rng + ?Sized>(
 ) -> f64 {
     let lo = (from_hour * 2.0) as usize;
     let hi = ((to_hour * 2.0) as usize).min(crate::schedule::SLOTS_PER_DAY - 1);
-    let weights: Vec<f64> = (lo..=hi).map(|s| schedule.intensity(day, s)).collect();
-    let total: f64 = weights.iter().sum();
+    // The window never exceeds a day, so the weights fit on the stack.
+    let mut weights = [0.0f64; crate::schedule::SLOTS_PER_DAY];
+    for (i, s) in (lo..=hi).enumerate() {
+        weights[i] = schedule.intensity(day, s);
+    }
+    let n = hi - lo + 1;
+    let total: f64 = weights[..n].iter().sum();
     let mut u: f64 = rng.random_range(0.0..total);
-    for (i, &w) in weights.iter().enumerate() {
+    for (i, &w) in weights[..n].iter().enumerate() {
         if u < w {
             return (lo + i) as f64 / 2.0 + rng.random::<f64>() * 0.5;
         }

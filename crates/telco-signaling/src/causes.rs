@@ -14,9 +14,7 @@ use crate::messages::HoType;
 use telco_topology::vendor::Vendor;
 
 /// The eight principal failure causes of §6.2.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum PrincipalCause {
     /// #1 — "The source sector canceled the HO" (HO Cancellation, TS
     /// 36.413; timeouts on MSC/cell site or oversized Forward Relocation
@@ -84,9 +82,7 @@ impl PrincipalCause {
             PrincipalCause::InfrastructureFailure => {
                 "MME detects a HO-related failure in the target MME, SGW, PGW, cell, or system"
             }
-            PrincipalCause::SrvccNotSubscribed => {
-                "The SRVCC service is not subscribed by the UE"
-            }
+            PrincipalCause::SrvccNotSubscribed => "The SRVCC service is not subscribed by the UE",
             PrincipalCause::SrvccPsToCsFailure => {
                 "The MSC responds with PS to CS Response with cause indicating failure"
             }
@@ -101,19 +97,13 @@ impl PrincipalCause {
     /// signaling elapses — Fig. 14b shows Causes #3 and #6 with 0 ms
     /// signaling time.
     pub fn fails_before_signaling(&self) -> bool {
-        matches!(
-            self,
-            PrincipalCause::InvalidTargetSector | PrincipalCause::SrvccNotSubscribed
-        )
+        matches!(self, PrincipalCause::InvalidTargetSector | PrincipalCause::SrvccNotSubscribed)
     }
 
     /// Whether the cause is specific to SRVCC (voice continuity) handovers
     /// towards CS RATs — Causes #6 and #7 (§6.2).
     pub fn is_srvcc(&self) -> bool {
-        matches!(
-            self,
-            PrincipalCause::SrvccNotSubscribed | PrincipalCause::SrvccPsToCsFailure
-        )
+        matches!(self, PrincipalCause::SrvccNotSubscribed | PrincipalCause::SrvccPsToCsFailure)
     }
 
     /// Index in [`PrincipalCause::ALL`].
@@ -130,9 +120,7 @@ impl std::fmt::Display for PrincipalCause {
 
 /// A failure cause code as recorded in the trace: either one of the eight
 /// principal causes or a vendor sub-cause from the long tail.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct CauseCode(pub u16);
 
 impl CauseCode {

@@ -125,7 +125,7 @@ mod tests {
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
-    fn quantiles(samples: &mut Vec<f64>) -> (f64, f64) {
+    fn quantiles(samples: &mut [f64]) -> (f64, f64) {
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let med = samples[samples.len() / 2];
         let p95 = samples[(samples.len() as f64 * 0.95) as usize];
@@ -194,14 +194,10 @@ mod tests {
     fn cancellation_causes_exceed_two_seconds_on_average() {
         let model = DurationModel::default();
         let mut rng = ChaCha8Rng::seed_from_u64(5);
-        for cause in [
-            PrincipalCause::SourceCanceled,
-            PrincipalCause::InterferingInitialUeMessage,
-        ] {
-            let mean: f64 = (0..20_000)
-                .map(|_| model.sample_failure(Some(cause), &mut rng))
-                .sum::<f64>()
-                / 20_000.0;
+        for cause in [PrincipalCause::SourceCanceled, PrincipalCause::InterferingInitialUeMessage] {
+            let mean: f64 =
+                (0..20_000).map(|_| model.sample_failure(Some(cause), &mut rng)).sum::<f64>()
+                    / 20_000.0;
             assert!(mean > 2_000.0, "{cause}: mean {mean} ms");
         }
     }

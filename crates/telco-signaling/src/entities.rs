@@ -5,40 +5,58 @@
 //! roles: it routes every signaling envelope through the addressed
 //! element — keeping per-element context and message accounting the way a
 //! real core would — and exposes the counters a probe would export.
-
-use std::collections::HashMap;
+//!
+//! Counters are flat arrays indexed by the (small, closed) element and
+//! message vocabularies rather than hash maps: [`CoreNetwork::observe`]
+//! sits on the simulation hot path, called once per envelope of every
+//! handover, and the array form makes it a pair of increments with no
+//! hashing and no heap.
 
 use serde::{Deserialize, Serialize};
 
 use crate::messages::{Element, Envelope, Message};
 
-/// Per-element message counters.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+/// Per-element message counters, indexed by [`Message::index`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ElementStats {
-    /// Messages received, by message kind.
-    pub received: HashMap<Message, u64>,
-    /// Messages sent, by message kind.
-    pub sent: HashMap<Message, u64>,
+    received: [u64; Message::COUNT],
+    sent: [u64; Message::COUNT],
+}
+
+impl Default for ElementStats {
+    fn default() -> Self {
+        ElementStats { received: [0; Message::COUNT], sent: [0; Message::COUNT] }
+    }
 }
 
 impl ElementStats {
+    /// Times `message` was received.
+    pub fn received(&self, message: Message) -> u64 {
+        self.received[message.index()]
+    }
+
+    /// Times `message` was sent.
+    pub fn sent(&self, message: Message) -> u64 {
+        self.sent[message.index()]
+    }
+
     /// Total messages received.
     pub fn total_received(&self) -> u64 {
-        self.received.values().sum()
+        self.received.iter().sum()
     }
 
     /// Total messages sent.
     pub fn total_sent(&self) -> u64 {
-        self.sent.values().sum()
+        self.sent.iter().sum()
     }
 }
 
 /// The core network as seen by the measurement infrastructure: MME, MSC,
 /// SGSN and SGW (plus the RAN-side elements), with message accounting and
 /// the MME's active-procedure bookkeeping.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CoreNetwork {
-    stats: HashMap<Element, ElementStats>,
+    stats: [ElementStats; Element::COUNT],
     /// Handover procedures currently tracked by the MME.
     mme_open_procedures: u64,
     /// Total procedures the MME has tracked.
@@ -53,20 +71,9 @@ impl CoreNetwork {
 
     /// Observe one envelope (probe view + routing bookkeeping).
     pub fn observe(&mut self, envelope: &Envelope) {
-        *self
-            .stats
-            .entry(envelope.from)
-            .or_default()
-            .sent
-            .entry(envelope.message)
-            .or_insert(0) += 1;
-        *self
-            .stats
-            .entry(envelope.to)
-            .or_default()
-            .received
-            .entry(envelope.message)
-            .or_insert(0) += 1;
+        let m = envelope.message.index();
+        self.stats[envelope.from.index()].sent[m] += 1;
+        self.stats[envelope.to.index()].received[m] += 1;
         // MME procedure bookkeeping: HandoverRequired opens a procedure,
         // UEContextRelease closes it.
         match envelope.message {
@@ -88,14 +95,15 @@ impl CoreNetwork {
         }
     }
 
-    /// Stats of one element.
+    /// Stats of one element (`None` if it never touched a message).
     pub fn element(&self, element: Element) -> Option<&ElementStats> {
-        self.stats.get(&element)
+        let stats = &self.stats[element.index()];
+        (stats.total_sent() + stats.total_received() > 0).then_some(stats)
     }
 
     /// Total messages observed network-wide (each envelope counted once).
     pub fn total_messages(&self) -> u64 {
-        self.stats.values().map(|s| s.total_sent()).sum()
+        self.stats.iter().map(|s| s.total_sent()).sum()
     }
 
     /// Handover procedures currently open at the MME.
@@ -111,13 +119,10 @@ impl CoreNetwork {
     /// Merge another core's counters into this one (used when simulation
     /// shards run in parallel).
     pub fn merge(&mut self, other: &CoreNetwork) {
-        for (elem, stats) in &other.stats {
-            let mine = self.stats.entry(*elem).or_default();
-            for (m, c) in &stats.received {
-                *mine.received.entry(*m).or_insert(0) += c;
-            }
-            for (m, c) in &stats.sent {
-                *mine.sent.entry(*m).or_insert(0) += c;
+        for (mine, theirs) in self.stats.iter_mut().zip(&other.stats) {
+            for m in 0..Message::COUNT {
+                mine.received[m] += theirs.received[m];
+                mine.sent[m] += theirs.sent[m];
             }
         }
         self.mme_open_procedures += other.mme_open_procedures;
@@ -140,8 +145,8 @@ mod tests {
         assert_eq!(core.mme_total_procedures(), 1);
         assert_eq!(core.mme_open_procedures(), 0, "procedure must be closed");
         let mme = core.element(Element::Mme).unwrap();
-        assert_eq!(mme.received.get(&Message::HandoverRequired), Some(&1));
-        assert_eq!(mme.sent.get(&Message::UeContextRelease), Some(&1));
+        assert_eq!(mme.received(Message::HandoverRequired), 1);
+        assert_eq!(mme.sent(Message::UeContextRelease), 1);
     }
 
     #[test]

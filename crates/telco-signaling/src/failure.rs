@@ -96,7 +96,8 @@ impl FailureModel {
         // modelled as a strong multiplier rather than certainty because the
         // network may still complete a PS-only fallback.
         let srvcc = if ctx.srvcc && !ctx.srvcc_subscribed { 25.0 } else { 1.0 };
-        (base * area
+        (base
+            * area
             * ctx.vendor.hof_rate_factor()
             * ctx.manufacturer.hof_rate_factor()
             * load

@@ -13,9 +13,7 @@ use telco_topology::rat::Rat;
 /// The handover types the study observes: the source is always the 4G EPC
 /// (4G or 5G-NSA anchor), the target is 4G/5G-NSA (horizontal) or a legacy
 /// RAT (vertical downgrade) — §5.2, §8.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum HoType {
     /// Horizontal handover between 4G/5G-NSA sectors.
     Intra4g5g,
@@ -69,9 +67,7 @@ impl std::fmt::Display for HoType {
 }
 
 /// A node participating in the signaling exchange.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Element {
     /// The user equipment.
     Ue,
@@ -90,6 +86,14 @@ pub enum Element {
 }
 
 impl Element {
+    /// Number of distinct elements.
+    pub const COUNT: usize = 7;
+
+    /// Dense index in `0..Element::COUNT` (declaration order).
+    pub fn index(&self) -> usize {
+        *self as usize
+    }
+
     /// Short label.
     pub fn label(&self) -> &'static str {
         match self {
@@ -111,9 +115,7 @@ impl std::fmt::Display for Element {
 }
 
 /// The signaling message vocabulary of the handover procedure.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Message {
     /// RRC Measurement Report carrying an A2/A3 event (UE → source).
     MeasurementReport,
@@ -157,6 +159,14 @@ pub enum Message {
 }
 
 impl Message {
+    /// Number of distinct messages.
+    pub const COUNT: usize = 19;
+
+    /// Dense index in `0..Message::COUNT` (declaration order).
+    pub fn index(&self) -> usize {
+        *self as usize
+    }
+
     /// Short wire name.
     pub fn label(&self) -> &'static str {
         match self {
@@ -238,6 +248,9 @@ mod tests {
     #[test]
     fn element_and_message_display() {
         assert_eq!(Element::Mme.to_string(), "MME");
-        assert_eq!(Message::RrcConnectionReconfiguration.to_string(), "RRCConnectionReconfiguration");
+        assert_eq!(
+            Message::RrcConnectionReconfiguration.to_string(),
+            "RRCConnectionReconfiguration"
+        );
     }
 }

@@ -14,9 +14,7 @@ use crate::causes::{CauseCode, PrincipalCause};
 use crate::messages::{Element, Envelope, HoType, Message};
 
 /// Procedure phases, in order.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Phase {
     /// Waiting for a triggering Measurement Report.
     AwaitingMeasurement,
@@ -65,41 +63,184 @@ struct Step {
     weight: f64,
 }
 
+/// The longest procedure (vertical SRVCC) is 15 steps, so scripts fit in
+/// a fixed stack buffer and executing a handover never touches the heap.
+const MAX_SCRIPT_STEPS: usize = 16;
+
+const PLACEHOLDER_STEP: Step = Step {
+    from: Element::Ue,
+    to: Element::Ue,
+    message: Message::MeasurementReport,
+    phase_after: Phase::Done,
+    weight: 0.0,
+};
+
+/// A fixed-capacity, stack-allocated step script.
+struct Script {
+    steps: [Step; MAX_SCRIPT_STEPS],
+    len: usize,
+}
+
+impl Script {
+    fn push(&mut self, step: Step) {
+        self.steps[self.len] = step;
+        self.len += 1;
+    }
+
+    fn as_slice(&self) -> &[Step] {
+        &self.steps[..self.len]
+    }
+}
+
 /// Build the full (success-path) step script for a handover.
-fn script(ho_type: HoType, srvcc: bool) -> Vec<Step> {
+fn script(ho_type: HoType, srvcc: bool) -> Script {
     use Element::*;
     use Message::*;
-    let mut s = vec![
-        Step { from: Ue, to: SourceSector, message: MeasurementReport, phase_after: Phase::Preparing, weight: 0.02 },
-        Step { from: SourceSector, to: Mme, message: HandoverRequired, phase_after: Phase::Preparing, weight: 0.05 },
-    ];
+    let mut s = Script { steps: [PLACEHOLDER_STEP; MAX_SCRIPT_STEPS], len: 0 };
+    s.push(Step {
+        from: Ue,
+        to: SourceSector,
+        message: MeasurementReport,
+        phase_after: Phase::Preparing,
+        weight: 0.02,
+    });
+    s.push(Step {
+        from: SourceSector,
+        to: Mme,
+        message: HandoverRequired,
+        phase_after: Phase::Preparing,
+        weight: 0.05,
+    });
     match ho_type {
         HoType::Intra4g5g => {
-            s.push(Step { from: Mme, to: TargetSector, message: HandoverRequest, phase_after: Phase::Preparing, weight: 0.10 });
-            s.push(Step { from: TargetSector, to: Mme, message: HandoverRequestAck, phase_after: Phase::Prepared, weight: 0.10 });
+            s.push(Step {
+                from: Mme,
+                to: TargetSector,
+                message: HandoverRequest,
+                phase_after: Phase::Preparing,
+                weight: 0.10,
+            });
+            s.push(Step {
+                from: TargetSector,
+                to: Mme,
+                message: HandoverRequestAck,
+                phase_after: Phase::Prepared,
+                weight: 0.10,
+            });
         }
         HoType::To3g | HoType::To2g => {
             if srvcc {
-                s.push(Step { from: Mme, to: Msc, message: PsToCsRequest, phase_after: Phase::Preparing, weight: 0.10 });
-                s.push(Step { from: Msc, to: Mme, message: PsToCsResponse, phase_after: Phase::Preparing, weight: 0.10 });
+                s.push(Step {
+                    from: Mme,
+                    to: Msc,
+                    message: PsToCsRequest,
+                    phase_after: Phase::Preparing,
+                    weight: 0.10,
+                });
+                s.push(Step {
+                    from: Msc,
+                    to: Mme,
+                    message: PsToCsResponse,
+                    phase_after: Phase::Preparing,
+                    weight: 0.10,
+                });
             }
-            s.push(Step { from: Mme, to: Sgsn, message: ForwardRelocationRequest, phase_after: Phase::Preparing, weight: 0.15 });
-            s.push(Step { from: Sgsn, to: Mme, message: ForwardRelocationResponse, phase_after: Phase::Prepared, weight: 0.15 });
+            s.push(Step {
+                from: Mme,
+                to: Sgsn,
+                message: ForwardRelocationRequest,
+                phase_after: Phase::Preparing,
+                weight: 0.15,
+            });
+            s.push(Step {
+                from: Sgsn,
+                to: Mme,
+                message: ForwardRelocationResponse,
+                phase_after: Phase::Prepared,
+                weight: 0.15,
+            });
         }
     }
-    s.push(Step { from: Mme, to: SourceSector, message: HandoverCommand, phase_after: Phase::Commanded, weight: 0.05 });
-    s.push(Step { from: SourceSector, to: Ue, message: RrcConnectionReconfiguration, phase_after: Phase::Commanded, weight: 0.05 });
-    s.push(Step { from: Ue, to: TargetSector, message: RachPreamble, phase_after: Phase::Executing, weight: 0.12 });
-    s.push(Step { from: TargetSector, to: Ue, message: RachResponse, phase_after: Phase::Executing, weight: 0.08 });
-    s.push(Step { from: Ue, to: TargetSector, message: HandoverConfirm, phase_after: Phase::Executing, weight: 0.08 });
-    s.push(Step { from: TargetSector, to: Mme, message: HandoverNotify, phase_after: Phase::Completing, weight: 0.05 });
+    s.push(Step {
+        from: Mme,
+        to: SourceSector,
+        message: HandoverCommand,
+        phase_after: Phase::Commanded,
+        weight: 0.05,
+    });
+    s.push(Step {
+        from: SourceSector,
+        to: Ue,
+        message: RrcConnectionReconfiguration,
+        phase_after: Phase::Commanded,
+        weight: 0.05,
+    });
+    s.push(Step {
+        from: Ue,
+        to: TargetSector,
+        message: RachPreamble,
+        phase_after: Phase::Executing,
+        weight: 0.12,
+    });
+    s.push(Step {
+        from: TargetSector,
+        to: Ue,
+        message: RachResponse,
+        phase_after: Phase::Executing,
+        weight: 0.08,
+    });
+    s.push(Step {
+        from: Ue,
+        to: TargetSector,
+        message: HandoverConfirm,
+        phase_after: Phase::Executing,
+        weight: 0.08,
+    });
+    s.push(Step {
+        from: TargetSector,
+        to: Mme,
+        message: HandoverNotify,
+        phase_after: Phase::Completing,
+        weight: 0.05,
+    });
     if ho_type.is_vertical() {
-        s.push(Step { from: Sgsn, to: Mme, message: ForwardRelocationComplete, phase_after: Phase::Completing, weight: 0.05 });
+        s.push(Step {
+            from: Sgsn,
+            to: Mme,
+            message: ForwardRelocationComplete,
+            phase_after: Phase::Completing,
+            weight: 0.05,
+        });
     }
-    s.push(Step { from: Mme, to: Sgw, message: ModifyBearerRequest, phase_after: Phase::Completing, weight: 0.05 });
-    s.push(Step { from: Mme, to: SourceSector, message: UeContextRelease, phase_after: Phase::Done, weight: 0.05 });
+    s.push(Step {
+        from: Mme,
+        to: Sgw,
+        message: ModifyBearerRequest,
+        phase_after: Phase::Completing,
+        weight: 0.05,
+    });
+    s.push(Step {
+        from: Mme,
+        to: SourceSector,
+        message: UeContextRelease,
+        phase_after: Phase::Done,
+        weight: 0.05,
+    });
     s
 }
+
+/// The abort tails appended after a failure cut (static: appending them
+/// costs no allocation).
+const ABORT_RELEASE: &[(Element, Element, Message)] =
+    &[(Element::Mme, Element::SourceSector, Message::UeContextRelease)];
+const ABORT_CANCEL: &[(Element, Element, Message)] = &[
+    (Element::SourceSector, Element::Mme, Message::HandoverCancel),
+    (Element::Mme, Element::SourceSector, Message::UeContextRelease),
+];
+const ABORT_INITIAL_UE: &[(Element, Element, Message)] = &[
+    (Element::SourceSector, Element::Mme, Message::InitialUeMessage),
+    (Element::Mme, Element::SourceSector, Message::UeContextRelease),
+];
 
 /// Index (into the script) at which a failure cause interrupts the
 /// procedure, plus the abort messages it appends.
@@ -108,9 +249,7 @@ fn failure_cut(
     script_len: usize,
     ho_type: HoType,
     srvcc: bool,
-) -> (usize, Vec<(Element, Element, Message)>) {
-    use Element::*;
-    use Message::*;
+) -> (usize, &'static [(Element, Element, Message)]) {
     let prep_end = match ho_type {
         HoType::Intra4g5g => 4,
         _ => {
@@ -125,37 +264,27 @@ fn failure_cut(
         // Rejected when the MME validates the HandoverRequired: the two
         // trigger messages happen, but no handover signaling elapses.
         Some(PrincipalCause::InvalidTargetSector) | Some(PrincipalCause::SrvccNotSubscribed) => {
-            (2, vec![(Mme, SourceSector, UeContextRelease)])
+            (2, ABORT_RELEASE)
         }
         // Target admission rejects during preparation.
-        Some(PrincipalCause::TargetLoadTooHigh) => {
-            (prep_end - 1, vec![(Mme, SourceSector, UeContextRelease)])
-        }
+        Some(PrincipalCause::TargetLoadTooHigh) => (prep_end - 1, ABORT_RELEASE),
         // Core detects a failure while preparing.
-        Some(PrincipalCause::InfrastructureFailure) => {
-            (prep_end - 1, vec![(Mme, SourceSector, UeContextRelease)])
-        }
+        Some(PrincipalCause::InfrastructureFailure) => (prep_end - 1, ABORT_RELEASE),
         // MSC answers PS→CS with a failure cause.
         Some(PrincipalCause::SrvccPsToCsFailure) => {
-            (if srvcc { 4 } else { prep_end - 1 }, vec![(Mme, SourceSector, UeContextRelease)])
+            (if srvcc { 4 } else { prep_end - 1 }, ABORT_RELEASE)
         }
         // Source cancels a prepared/commanded handover.
-        Some(PrincipalCause::SourceCanceled) => (
-            prep_end + 1,
-            vec![(SourceSector, Mme, HandoverCancel), (Mme, SourceSector, UeContextRelease)],
-        ),
+        Some(PrincipalCause::SourceCanceled) => (prep_end + 1, ABORT_CANCEL),
         // An Initial UE Message interrupts the ongoing procedure.
-        Some(PrincipalCause::InterferingInitialUeMessage) => (
-            prep_end,
-            vec![(SourceSector, Mme, InitialUeMessage), (Mme, SourceSector, UeContextRelease)],
-        ),
+        Some(PrincipalCause::InterferingInitialUeMessage) => (prep_end, ABORT_INITIAL_UE),
         // Everything executed, but Forward Relocation Complete never came.
         Some(PrincipalCause::RelocationTimeout) => {
             // Cut right before ForwardRelocationComplete (vertical scripts).
-            (script_len.saturating_sub(3), vec![(Mme, SourceSector, UeContextRelease)])
+            (script_len.saturating_sub(3), ABORT_RELEASE)
         }
         // Long-tail vendor causes: break mid-preparation.
-        None => (prep_end - 1, vec![(Mme, SourceSector, UeContextRelease)]),
+        None => (prep_end - 1, ABORT_RELEASE),
     }
 }
 
@@ -171,48 +300,58 @@ pub fn execute(
     failure: Option<CauseCode>,
     duration_ms: f64,
 ) -> HoRun {
+    let mut log = Vec::new();
+    let success = execute_into(ho_type, srvcc, failure, duration_ms, &mut log);
+    HoRun { success, cause: failure, duration_ms, log }
+}
+
+/// [`execute`] into a reused message-log buffer (cleared first). Returns
+/// whether the procedure succeeded. The script lives on the stack and the
+/// abort tails are static, so once `log`'s capacity has grown past the
+/// longest procedure, executing a handover performs no heap allocation.
+pub fn execute_into(
+    ho_type: HoType,
+    srvcc: bool,
+    failure: Option<CauseCode>,
+    duration_ms: f64,
+    log: &mut Vec<Envelope>,
+) -> bool {
     assert!(duration_ms >= 0.0, "duration must be nonnegative");
-    assert!(
-        !(srvcc && ho_type == HoType::Intra4g5g),
-        "SRVCC only applies to vertical handovers"
-    );
+    assert!(!(srvcc && ho_type == HoType::Intra4g5g), "SRVCC only applies to vertical handovers");
+    log.clear();
     let steps = script(ho_type, srvcc);
     match failure {
         None => {
-            let log = lay_out(&steps, duration_ms);
-            HoRun { success: true, cause: None, duration_ms, log }
+            lay_out(steps.as_slice(), duration_ms, log);
+            true
         }
         Some(code) => {
             let principal = code.as_principal();
-            let (cut, aborts) = failure_cut(principal, steps.len(), ho_type, srvcc);
-            let cut = cut.min(steps.len());
-            let mut log = lay_out(&steps[..cut], duration_ms);
+            let (cut, aborts) = failure_cut(principal, steps.len, ho_type, srvcc);
+            let cut = cut.min(steps.len);
+            lay_out(&steps.as_slice()[..cut], duration_ms, log);
             // Accumulated floating-point error can push the last laid-out
             // step an ulp past the total; aborts must never precede it.
             let abort_at = log.last().map_or(duration_ms, |e| e.at_ms.max(duration_ms));
-            for (from, to, message) in aborts {
+            for &(from, to, message) in aborts {
                 log.push(Envelope { at_ms: abort_at, from, to, message });
             }
-            HoRun { success: false, cause: Some(code), duration_ms, log }
+            false
         }
     }
 }
 
-/// Spread `duration_ms` across steps proportionally to their weights.
-fn lay_out(steps: &[Step], duration_ms: f64) -> Vec<Envelope> {
+/// Spread `duration_ms` across steps proportionally to their weights,
+/// appending the envelopes to `log`.
+fn lay_out(steps: &[Step], duration_ms: f64, log: &mut Vec<Envelope>) {
     let total_weight: f64 = steps.iter().map(|s| s.weight).sum();
     let mut at = 0.0;
-    let mut log = Vec::with_capacity(steps.len());
+    log.reserve(steps.len() + 2);
     for step in steps {
-        let dt = if total_weight > 0.0 {
-            duration_ms * step.weight / total_weight
-        } else {
-            0.0
-        };
+        let dt = if total_weight > 0.0 { duration_ms * step.weight / total_weight } else { 0.0 };
         at += dt;
         log.push(Envelope { at_ms: at, from: step.from, to: step.to, message: step.message });
     }
-    log
 }
 
 /// A typed phase tracker enforcing legal transitions; used by tests and by
@@ -327,10 +466,7 @@ mod tests {
         let run = execute(HoType::To3g, false, Some(code), 10_050.0);
         let msgs: Vec<Message> = run.log.iter().map(|e| e.message).collect();
         assert!(msgs.contains(&Message::HandoverConfirm), "execution must happen");
-        assert!(
-            !msgs.contains(&Message::ForwardRelocationComplete),
-            "completion must be missing"
-        );
+        assert!(!msgs.contains(&Message::ForwardRelocationComplete), "completion must be missing");
     }
 
     #[test]

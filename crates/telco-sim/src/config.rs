@@ -34,8 +34,11 @@ pub struct CoverageConfig {
     pub density_exponent: f64,
     /// Upper clamp on the fallback probability.
     pub max_prob: f64,
-    /// Probability that a fallback targets 2G instead of 3G (the paper
-    /// sees ≈0.001% of HOs ending on 2G).
+    /// Probability that a fallback targets 2G instead of 3G. The paper
+    /// sees ≈0.001% of HOs ending on 2G; at simulation scale (tens of
+    /// daily HOs per sector, not thousands) that share is upscaled so
+    /// →2G stays statistically observable, while remaining orders of
+    /// magnitude rarer than →3G.
     pub two_g_share: f64,
     /// Mean dwell on the legacy RAT after a fallback, ms (during which the
     /// UE is invisible to the EPC).
@@ -45,13 +48,13 @@ pub struct CoverageConfig {
 impl Default for CoverageConfig {
     fn default() -> Self {
         CoverageConfig {
-            urban_base: 0.36,
-            rural_base: 0.062,
+            urban_base: 0.26,
+            rural_base: 0.046,
             r_sensitivity: 1.2,
             density_ref: 60.0,
             density_exponent: 0.7,
             max_prob: 0.85,
-            two_g_share: 0.001,
+            two_g_share: 0.005,
             fallback_dwell_ms: 300_000.0,
         }
     }

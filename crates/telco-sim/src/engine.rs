@@ -21,8 +21,8 @@ use telco_signaling::causes::CauseCode;
 use telco_signaling::duration::DurationModel;
 use telco_signaling::events::{rsrp_dbm, MobilityConfig};
 use telco_signaling::failure::{FailureModel, HoContext};
-use telco_signaling::messages::HoType;
-use telco_signaling::state_machine::execute;
+use telco_signaling::messages::{Envelope, HoType};
+use telco_signaling::state_machine::execute_into;
 use telco_topology::elements::SectorId;
 use telco_topology::rat::Rat;
 use telco_trace::record::{HoOutcome, HoRecord};
@@ -42,8 +42,54 @@ fn daily_volume_mb(device_type: DeviceType) -> (f64, f64) {
     }
 }
 
-/// Simulate one UE for one study day, appending to `out`.
-pub fn simulate_ue_day(world: &World, cfg: &SimConfig, ue: UeId, day: u32, out: &mut SimOutput) {
+/// Reusable per-worker buffers for the per-UE-day hot loop. One scratch
+/// lives on each worker thread; after a few warm-up UE-days its buffers
+/// reach their working sizes and the steady-state loop performs no heap
+/// allocation (asserted by the `zero_alloc` counting-allocator test).
+#[derive(Debug)]
+pub struct SimScratch {
+    /// Trajectory waypoints, rewritten in place each day.
+    trajectory: DayTrajectory,
+    /// Sampled `(ms-of-day, position)` walk points.
+    samples: Vec<(u32, KmPoint)>,
+    /// Daily sector-visit accumulator.
+    mobility: DailyMobility,
+    /// Distinct-sector counting scratch.
+    sector_ids: Vec<u32>,
+    /// Handover message-log buffer (bounded by the longest procedure).
+    log: Vec<Envelope>,
+}
+
+impl SimScratch {
+    /// Fresh scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        SimScratch {
+            trajectory: DayTrajectory::stationary(KmPoint::new(0.0, 0.0)),
+            samples: Vec::new(),
+            mobility: DailyMobility::new(),
+            sector_ids: Vec::new(),
+            log: Vec::new(),
+        }
+    }
+}
+
+impl Default for SimScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Simulate one UE for one study day, appending to `out`. `scratch` holds
+/// the reused working buffers; any instance works, but reusing one across
+/// calls keeps the loop allocation-free.
+pub fn simulate_ue_day(
+    world: &World,
+    cfg: &SimConfig,
+    ue: UeId,
+    day: u32,
+    scratch: &mut SimScratch,
+    out: &mut SimOutput,
+) {
     let attrs = *world.ue(ue);
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.ue_day_seed(ue.0, day));
     let dow = DayOfWeek::from_study_day(day);
@@ -52,7 +98,7 @@ pub fn simulate_ue_day(world: &World, cfg: &SimConfig, ue: UeId, day: u32, out: 
     let vol_jitter: f64 = rng.random_range(0.6..1.4);
     let (ul, dl) = (ul * vol_jitter, dl * vol_jitter);
 
-    let trajectory = DayTrajectory::generate(
+    DayTrajectory::generate_into(
         attrs.profile,
         attrs.home,
         Some(attrs.work),
@@ -60,20 +106,34 @@ pub fn simulate_ue_day(world: &World, cfg: &SimConfig, ue: UeId, day: u32, out: 
         &world.schedule,
         &world.country.bounds,
         &mut rng,
+        &mut scratch.trajectory,
     );
 
     if !attrs.rat_support.is_4g_capable() {
-        simulate_legacy_ue_day(world, ue, day, &attrs.rat_support, &trajectory, attach_ms, ul, dl, cfg, out);
+        simulate_legacy_ue_day(
+            world,
+            ue,
+            day,
+            &attrs.rat_support,
+            attach_ms,
+            ul,
+            dl,
+            cfg,
+            scratch,
+            out,
+        );
         return;
     }
 
     // --- 4G/5G-NSA UE: the EPC sees its handovers. ---
-    let samples = sample_points(&trajectory, cfg.step_km);
+    // Borrow the scratch buffers disjointly for the rest of the day.
+    let SimScratch { trajectory, samples, mobility, sector_ids, log } = scratch;
+    sample_points_into(trajectory, cfg.step_km, samples);
     let mobility_cfg = MobilityConfig::default();
     let failure_model = FailureModel::new(cfg.failure);
     let durations = cfg.durations;
 
-    let mut mobility = DailyMobility::new();
+    mobility.clear();
     // `cur_face` tracks the geometric serving face (crossing detection);
     // `cur_attached` is the sector the UE is actually camped on (which may
     // be a different carrier of the same face after load balancing).
@@ -98,13 +158,16 @@ pub fn simulate_ue_day(world: &World, cfg: &SimConfig, ue: UeId, day: u32, out: 
         DeviceType::FeaturePhone => cfg.session.feature_voice,
     };
 
-    for &(t, pos) in &samples {
+    let mut serving_cache = ServingCache::new(Rat::G4);
+    for &(t, pos) in samples.iter() {
         if t < suppressed_until {
             prev_t = t;
             continue;
         }
         let slot = (t / 1_800_000) as usize;
-        let Some(serving) = serving_epc_sector(world, &pos, day, slot) else {
+        let Some(serving) =
+            serving_cache.lookup(world, &pos).map(|sid| energy_redirect(world, sid, day, slot))
+        else {
             prev_t = t;
             continue;
         };
@@ -124,9 +187,13 @@ pub fn simulate_ue_day(world: &World, cfg: &SimConfig, ue: UeId, day: u32, out: 
                 // handover (this is what lifts connected smartphones to the
                 // paper's 22 visited sectors per day, Fig. 10a).
                 let attached = cur_attached.expect("attached whenever a face is set");
-                let p_cc = cfg.session.carrier_change_per_slot
-                    [attrs.device_type.index()]
-                    * world.schedule.intensity(dow, slot);
+                // The manufacturer's mobility-management implementation
+                // scales how often its devices are rebalanced (Fig. 11:
+                // Simcom modules hand over ~4× their district peers).
+                let p_cc = (cfg.session.carrier_change_per_slot[attrs.device_type.index()]
+                    * world.schedule.intensity(dow, slot)
+                    * attrs.manufacturer.ho_volume_factor())
+                .min(1.0);
                 if slot != prev_slot && rng.random::<f64>() < p_cc {
                     if let Some(sib) = sibling_sector(world, attached, &mut rng) {
                         let (failed, cause, duration, msg_count) = run_handover(
@@ -145,6 +212,7 @@ pub fn simulate_ue_day(world: &World, cfg: &SimConfig, ue: UeId, day: u32, out: 
                             slot,
                             day,
                             &mut rng,
+                            log,
                             out,
                         );
                         out.dataset.push(HoRecord {
@@ -154,11 +222,7 @@ pub fn simulate_ue_day(world: &World, cfg: &SimConfig, ue: UeId, day: u32, out: 
                             target_sector: sib,
                             source_rat: world.topology.sector(attached).rat,
                             target_rat: world.topology.sector(sib).rat,
-                            outcome: if failed {
-                                HoOutcome::Failure
-                            } else {
-                                HoOutcome::Success
-                            },
+                            outcome: if failed { HoOutcome::Failure } else { HoOutcome::Success },
                             cause,
                             duration_ms: duration as f32,
                             srvcc: false,
@@ -180,7 +244,7 @@ pub fn simulate_ue_day(world: &World, cfg: &SimConfig, ue: UeId, day: u32, out: 
                 // Sector crossing: the UE leaves its attached sector.
                 let old = cur_attached.expect("attached whenever a face is set");
                 let factor = attrs.manufacturer.ho_volume_factor();
-                let record_prob = duty * factor.min(1.0);
+                let record_prob = (duty * factor).min(1.0);
                 if rng.random::<f64>() >= record_prob {
                     // Idle-mode reselection: sector changes, no HO record.
                     cur_face = Some(serving);
@@ -197,26 +261,20 @@ pub fn simulate_ue_day(world: &World, cfg: &SimConfig, ue: UeId, day: u32, out: 
                 // margin (A2 semantics) is tracked for the measurement
                 // report but the probability is ratio-driven, keeping the
                 // model invariant to the deployment's absolute density.
-                let urban = world.area_type(site.postcode)
-                    == telco_geo::postcode::AreaType::Urban;
+                let urban = world.area_type(site.postcode) == telco_geo::postcode::AreaType::Urban;
                 let dist = pos.distance_km(&site.position);
                 let _a2 = rsrp_dbm(dist, Rat::G4, urban) < mobility_cfg.a2_threshold_dbm;
                 let r = dist / world.cell_radius(site.postcode).max(0.05);
                 let base = if urban { cfg.coverage.urban_base } else { cfg.coverage.rural_base };
                 // Denser districts keep UEs on 4G/5G (capital ≥99.9% intra);
                 // sparse ones lean on legacy coverage (Fig. 9).
-                let density = world
-                    .country
-                    .district(site.district)
-                    .population_density()
-                    .max(1.0);
+                let density = world.country.district(site.district).population_density().max(1.0);
                 let density_factor = (cfg.coverage.density_ref / density)
                     .powf(cfg.coverage.density_exponent)
                     .clamp(0.05, 8.0);
-                let p_vert = (base
-                    * density_factor
-                    * ((r - 1.0) * cfg.coverage.r_sensitivity).exp())
-                .clamp(0.0, cfg.coverage.max_prob);
+                let p_vert =
+                    (base * density_factor * ((r - 1.0) * cfg.coverage.r_sensitivity).exp())
+                        .clamp(0.0, cfg.coverage.max_prob);
                 let mut vertical_target: Option<(SectorId, Rat)> = None;
                 if rng.random::<f64>() < p_vert {
                     let want_2g = rng.random::<f64>() < cfg.coverage.two_g_share;
@@ -234,8 +292,7 @@ pub fn simulate_ue_day(world: &World, cfg: &SimConfig, ue: UeId, day: u32, out: 
                     }
                 }
 
-                let (target_sector, target_rat) =
-                    vertical_target.unwrap_or((serving, Rat::G4));
+                let (target_sector, target_rat) = vertical_target.unwrap_or((serving, Rat::G4));
                 let ho_type = HoType::from_target_rat(target_rat);
                 let srvcc = ho_type.is_vertical() && rng.random::<f64>() < voice_prob;
 
@@ -255,6 +312,7 @@ pub fn simulate_ue_day(world: &World, cfg: &SimConfig, ue: UeId, day: u32, out: 
                     slot,
                     day,
                     &mut rng,
+                    log,
                     out,
                 );
                 let timestamp_ms = day as u64 * DAY_MS as u64 + t as u64;
@@ -295,13 +353,13 @@ pub fn simulate_ue_day(world: &World, cfg: &SimConfig, ue: UeId, day: u32, out: 
                         slot,
                         day,
                         &mut rng,
+                        log,
                         out,
                     );
                     out.dataset.push(HoRecord {
                         // Clamp inside the day (a crossing at 23:59:59.999
                         // must not bleed into the next study day).
-                        timestamp_ms: (timestamp_ms + 1)
-                            .min((day as u64 + 1) * DAY_MS as u64 - 1),
+                        timestamp_ms: (timestamp_ms + 1).min((day as u64 + 1) * DAY_MS as u64 - 1),
                         ue,
                         source_sector: target_sector,
                         target_sector: old,
@@ -346,19 +404,13 @@ pub fn simulate_ue_day(world: &World, cfg: &SimConfig, ue: UeId, day: u32, out: 
     // with legacy throughput discounted.
     let legacy_ms = legacy_ms.min(attach_ms * 0.8);
     let legacy_frac = legacy_ms / attach_ms.max(1.0);
-    let legacy_rat = if attrs.rat_support == RatSupport::UpTo5g
-        || attrs.rat_support == RatSupport::UpTo4g
-    {
-        Rat::G3
-    } else {
-        Rat::G2
-    };
-    out.ledger.add(
-        legacy_rat,
-        legacy_ms,
-        ul * legacy_frac * 0.3,
-        dl * legacy_frac * 0.3,
-    );
+    let legacy_rat =
+        if attrs.rat_support == RatSupport::UpTo5g || attrs.rat_support == RatSupport::UpTo4g {
+            Rat::G3
+        } else {
+            Rat::G2
+        };
+    out.ledger.add(legacy_rat, legacy_ms, ul * legacy_frac * 0.3, dl * legacy_frac * 0.3);
     out.ledger.add(
         Rat::G4,
         (attach_ms - legacy_ms).max(0.0),
@@ -369,7 +421,7 @@ pub fn simulate_ue_day(world: &World, cfg: &SimConfig, ue: UeId, day: u32, out: 
     out.mobility.push(UeDayMobility {
         ue,
         day,
-        sectors: mobility.distinct_sectors().min(u16::MAX as usize) as u16,
+        sectors: mobility.distinct_sectors_into(sector_ids).min(u16::MAX as usize) as u16,
         gyration_km: mobility.gyration_km() as f32,
         hos: hos.min(u16::MAX as u32) as u16,
         hofs: hofs.min(u16::MAX as u32) as u16,
@@ -378,7 +430,8 @@ pub fn simulate_ue_day(world: &World, cfg: &SimConfig, ue: UeId, day: u32, out: 
 }
 
 /// Run one handover through the failure model and the state machine;
-/// returns `(failed, cause, duration_ms, messages)`.
+/// returns `(failed, cause, duration_ms, messages)`. `log` is the reused
+/// message-log buffer (overwritten each run).
 #[allow(clippy::too_many_arguments)]
 fn run_handover(
     world: &World,
@@ -396,6 +449,7 @@ fn run_handover(
     slot: usize,
     day: u32,
     rng: &mut ChaCha8Rng,
+    log: &mut Vec<Envelope>,
     out: &mut SimOutput,
 ) -> (bool, Option<CauseCode>, f64, u16) {
     let source_pc = world.topology.sector_postcode(source);
@@ -421,9 +475,9 @@ fn run_handover(
     } else {
         (None, durations.sample_success(ho_type, rng))
     };
-    let run = execute(ho_type, srvcc, cause, duration);
-    out.core.observe_run(&run.log);
-    (failed, cause, duration, run.message_count() as u16)
+    execute_into(ho_type, srvcc, cause, duration, log);
+    out.core.observe_run(log);
+    (failed, cause, duration, log.len() as u16)
 }
 
 /// Legacy-only UE: contributes attach time, traffic, and mobility metrics
@@ -435,21 +489,23 @@ fn simulate_legacy_ue_day(
     ue: UeId,
     day: u32,
     support: &RatSupport,
-    trajectory: &DayTrajectory,
     attach_ms: f64,
     ul: f64,
     dl: f64,
     cfg: &SimConfig,
+    scratch: &mut SimScratch,
     out: &mut SimOutput,
 ) {
     let rat = if *support == RatSupport::UpTo2g { Rat::G2 } else { Rat::G3 };
     out.ledger.add(rat, attach_ms, ul, dl);
 
-    let mut mobility = DailyMobility::new();
-    let samples = sample_points(trajectory, cfg.step_km.max(0.5));
+    let SimScratch { trajectory, samples, mobility, sector_ids, .. } = scratch;
+    mobility.clear();
+    sample_points_into(trajectory, cfg.step_km.max(0.5), samples);
     let mut prev_t = 0u32;
-    for &(t, pos) in &samples {
-        if let Some(s) = world.topology.serving_sector(&pos, rat) {
+    let mut serving_cache = ServingCache::new(rat);
+    for &(t, pos) in samples.iter() {
+        if let Some(s) = serving_cache.lookup(world, &pos) {
             let site = world.topology.site(world.topology.sector(s).site);
             mobility.record(s.0, site.position, (t - prev_t).max(1) as f64);
         }
@@ -458,7 +514,7 @@ fn simulate_legacy_ue_day(
     out.mobility.push(UeDayMobility {
         ue,
         day,
-        sectors: mobility.distinct_sectors().min(u16::MAX as usize) as u16,
+        sectors: mobility.distinct_sectors_into(sector_ids).min(u16::MAX as usize) as u16,
         gyration_km: mobility.gyration_km() as f32,
         hos: 0,
         hofs: 0,
@@ -467,20 +523,11 @@ fn simulate_legacy_ue_day(
 }
 
 /// A random co-sited same-RAT sector other than `attached` (a different
-/// carrier or face), for intra-site load-balancing handovers.
-fn sibling_sector(
-    world: &World,
-    attached: SectorId,
-    rng: &mut ChaCha8Rng,
-) -> Option<SectorId> {
-    let sec = world.topology.sector(attached);
-    let site = world.topology.site(sec.site);
-    let candidates: Vec<SectorId> = site
-        .sectors
-        .iter()
-        .copied()
-        .filter(|&s| s != attached && world.topology.sector(s).rat == sec.rat)
-        .collect();
+/// carrier or face), for intra-site load-balancing handovers. Candidates
+/// come from the world's precomputed sibling table; the uniform pick
+/// consumes one RNG draw, exactly as the on-the-fly filter used to.
+fn sibling_sector(world: &World, attached: SectorId, rng: &mut ChaCha8Rng) -> Option<SectorId> {
+    let candidates = world.siblings.get(attached);
     if candidates.is_empty() {
         None
     } else {
@@ -488,39 +535,68 @@ fn sibling_sector(
     }
 }
 
-/// The serving EPC (4G-anchor) sector at a position, honouring the
-/// energy-saving policy: an off booster hands its traffic to an active
-/// co-sited 4G face when one exists.
-fn serving_epc_sector(
-    world: &World,
-    pos: &KmPoint,
-    day: u32,
-    slot: usize,
-) -> Option<SectorId> {
-    let sid = world.topology.serving_sector(pos, Rat::G4)?;
+/// Apply the energy-saving redirect to a geometrically serving sector:
+/// an off booster hands its traffic to an active co-sited 4G face when
+/// one exists.
+fn energy_redirect(world: &World, sid: SectorId, day: u32, slot: usize) -> SectorId {
     let sector = world.topology.sector(sid);
     if world.energy.is_active(sector, day, slot) {
-        return Some(sid);
+        return sid;
     }
-    // Redirect to an active co-sited 4G face.
-    let site = world.topology.site(sector.site);
-    site.sectors
+    // Redirect to an active co-sited 4G face (precomputed candidate list).
+    world
+        .cosited_4g
+        .get(sid)
         .iter()
         .copied()
-        .find(|&s| {
-            let sec = world.topology.sector(s);
-            sec.rat == Rat::G4 && world.energy.is_active(sec, day, slot)
-        })
-        .or(Some(sid))
+        .find(|&s| world.energy.is_active(world.topology.sector(s), day, slot))
+        .unwrap_or(sid)
+}
+
+/// Memoizes the geometric serving-sector query on exact position repeats.
+///
+/// Dwell samples re-emit the identical position once per half-hour slot,
+/// so a one-entry cache removes the grid search for every stationary
+/// stretch of a trajectory — the common case for most of the device mix —
+/// while staying a pure function of position (bit-identical results).
+struct ServingCache {
+    rat: Rat,
+    last: Option<(KmPoint, Option<SectorId>)>,
+}
+
+impl ServingCache {
+    fn new(rat: Rat) -> Self {
+        ServingCache { rat, last: None }
+    }
+
+    fn lookup(&mut self, world: &World, pos: &KmPoint) -> Option<SectorId> {
+        if let Some((p, hit)) = self.last {
+            if p == *pos {
+                return hit;
+            }
+        }
+        let miss = world.topology.serving_sector(pos, self.rat);
+        self.last = Some((*pos, miss));
+        miss
+    }
 }
 
 /// Sample a trajectory into `(ms-of-day, position)` points: dwell
 /// endpoints plus `step_km`-spaced points along moving segments, ending
 /// with the end-of-day position.
 pub fn sample_points(trajectory: &DayTrajectory, step_km: f64) -> Vec<(u32, KmPoint)> {
+    let mut out = Vec::new();
+    sample_points_into(trajectory, step_km, &mut out);
+    out
+}
+
+/// [`sample_points`] into a reused buffer (cleared first), so walking many
+/// UE-days does not allocate once the buffer reaches its working size.
+pub fn sample_points_into(trajectory: &DayTrajectory, step_km: f64, out: &mut Vec<(u32, KmPoint)>) {
     assert!(step_km > 0.0, "step must be positive");
     let wps = trajectory.waypoints();
-    let mut out: Vec<(u32, KmPoint)> = Vec::with_capacity(wps.len() * 4);
+    out.clear();
+    out.reserve(wps.len() * 4);
     out.push((wps[0].time_ms, wps[0].pos));
     for pair in wps.windows(2) {
         let (a, b) = (&pair[0], &pair[1]);
@@ -540,10 +616,8 @@ pub fn sample_points(trajectory: &DayTrajectory, step_km: f64) -> Vec<(u32, KmPo
         for k in 1..=n {
             let f = k as f64 / n as f64;
             let t = a.time_ms + ((b.time_ms - a.time_ms) as f64 * f) as u32;
-            let p = KmPoint::new(
-                a.pos.x + (b.pos.x - a.pos.x) * f,
-                a.pos.y + (b.pos.y - a.pos.y) * f,
-            );
+            let p =
+                KmPoint::new(a.pos.x + (b.pos.x - a.pos.x) * f, a.pos.y + (b.pos.y - a.pos.y) * f);
             out.push((t, p));
         }
     }
@@ -565,7 +639,6 @@ pub fn sample_points(trajectory: &DayTrajectory, step_km: f64) -> Vec<(u32, KmPo
             false
         }
     });
-    out
 }
 
 #[cfg(test)]
@@ -605,8 +678,9 @@ mod tests {
         let cfg = SimConfig::tiny();
         let world = World::build(&cfg);
         let mut out = SimOutput::new(cfg.n_days);
+        let mut scratch = SimScratch::new();
         for ue in 0..world.n_ues() {
-            simulate_ue_day(&world, &cfg, UeId(ue as u32), 0, &mut out);
+            simulate_ue_day(&world, &cfg, UeId(ue as u32), 0, &mut scratch, &mut out);
         }
         assert!(!out.dataset.is_empty(), "no handovers generated");
         assert_eq!(out.mobility.len(), world.n_ues());
@@ -622,9 +696,12 @@ mod tests {
         let world = World::build(&cfg);
         let mut a = SimOutput::new(cfg.n_days);
         let mut b = SimOutput::new(cfg.n_days);
+        // Distinct scratch instances (one warm, one fresh per call) must
+        // not change the output.
+        let mut scratch = SimScratch::new();
         for ue in 0..50 {
-            simulate_ue_day(&world, &cfg, UeId(ue), 0, &mut a);
-            simulate_ue_day(&world, &cfg, UeId(ue), 0, &mut b);
+            simulate_ue_day(&world, &cfg, UeId(ue), 0, &mut scratch, &mut a);
+            simulate_ue_day(&world, &cfg, UeId(ue), 0, &mut SimScratch::new(), &mut b);
         }
         assert_eq!(a.dataset.records(), b.dataset.records());
         assert_eq!(a.mobility, b.mobility);
@@ -635,10 +712,11 @@ mod tests {
         let cfg = SimConfig::tiny();
         let world = World::build(&cfg);
         let mut out = SimOutput::new(cfg.n_days);
+        let mut scratch = SimScratch::new();
         for ue in 0..world.n_ues() {
             let attrs = world.ue(UeId(ue as u32));
             if !attrs.rat_support.is_4g_capable() {
-                simulate_ue_day(&world, &cfg, UeId(ue as u32), 0, &mut out);
+                simulate_ue_day(&world, &cfg, UeId(ue as u32), 0, &mut scratch, &mut out);
             }
         }
         assert!(out.dataset.is_empty(), "legacy UEs must not appear in the EPC trace");

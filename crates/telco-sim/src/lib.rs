@@ -28,7 +28,10 @@ pub mod runner;
 pub mod world;
 
 pub use config::{CoverageConfig, SessionConfig, SimConfig};
-pub use engine::{sample_points, simulate_ue_day};
+pub use engine::{sample_points, sample_points_into, simulate_ue_day, SimScratch};
 pub use output::{RatLedger, SimOutput, UeDayMobility};
-pub use runner::{run_on_world, run_study, StudyData};
-pub use world::{UeAttrs, World};
+pub use runner::{
+    run_on_world, run_on_world_chunked, run_study, RunnerMode, RunnerStats, StudyData,
+    DEFAULT_UE_CHUNK, SEQUENTIAL_UE_THRESHOLD,
+};
+pub use world::{SectorLists, UeAttrs, World};

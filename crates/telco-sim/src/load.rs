@@ -50,9 +50,7 @@ mod tests {
         let s = WeeklySchedule::default();
         let peak_slot = s.peak_slot(DayOfWeek::Monday);
         let hot = (0..200)
-            .map(|i| {
-                load_ratio(&s, SectorId(i), AreaType::Urban, DayOfWeek::Monday, peak_slot, 0)
-            })
+            .map(|i| load_ratio(&s, SectorId(i), AreaType::Urban, DayOfWeek::Monday, peak_slot, 0))
             .filter(|&l| l > 0.85)
             .count();
         assert!(hot > 100, "most urban sectors must be hot at the peak: {hot}/200");
@@ -63,9 +61,7 @@ mod tests {
         let s = WeeklySchedule::default();
         let peak_slot = s.peak_slot(DayOfWeek::Monday);
         let hot = (0..200)
-            .map(|i| {
-                load_ratio(&s, SectorId(i), AreaType::Rural, DayOfWeek::Monday, peak_slot, 0)
-            })
+            .map(|i| load_ratio(&s, SectorId(i), AreaType::Rural, DayOfWeek::Monday, peak_slot, 0))
             .filter(|&l| l > 0.85)
             .count();
         assert!(hot < 20, "rural sectors should rarely be hot: {hot}/200");

@@ -7,6 +7,8 @@ use telco_signaling::entities::CoreNetwork;
 use telco_topology::rat::Rat;
 use telco_trace::dataset::SignalingDataset;
 
+use crate::runner::RunnerStats;
+
 /// One UE-day row of the mobility ledger: the §3.3 metrics plus handover
 /// accounting (feeds Figs. 10 and 13).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -109,6 +111,10 @@ pub struct SimOutput {
     pub ledger: RatLedger,
     /// Core-network message accounting (the probe view).
     pub core: CoreNetwork,
+    /// How the runner produced this output (which scheduling path ran,
+    /// with how many threads and work items) — so throughput benchmarks
+    /// can assert they measured the path they meant to.
+    pub runner: RunnerStats,
 }
 
 impl SimOutput {
@@ -119,10 +125,12 @@ impl SimOutput {
             mobility: Vec::new(),
             ledger: RatLedger::default(),
             core: CoreNetwork::new(),
+            runner: RunnerStats::default(),
         }
     }
 
-    /// Merge a shard's output (same span).
+    /// Merge a shard's output (same span). The runner stats of `self` are
+    /// kept: scheduling metadata describes the whole run, not a shard.
     pub fn merge(&mut self, other: SimOutput) {
         self.dataset.merge(other.dataset);
         self.mobility.extend(other.mobility);

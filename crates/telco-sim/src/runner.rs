@@ -1,20 +1,65 @@
 //! The study runner: orchestrates a full multi-day, multi-UE simulation,
 //! optionally in parallel.
 //!
-//! Parallelism shards the UE population across worker threads with
-//! `crossbeam::scope`; every (UE, day) pair derives its own RNG stream
-//! from the master seed, so the output is bit-identical regardless of the
-//! thread count.
+//! Parallel runs use *work stealing over a shared cursor*: the `(day,
+//! UE-chunk)` space is flattened into a single atomic counter that worker
+//! threads drain with `fetch_add`, so a straggler chunk (a dense urban
+//! commuter cohort, say) never idles the other workers the way static
+//! per-thread UE ranges did. Every `(UE, day)` pair derives its own RNG
+//! stream from the master seed, so execution order is irrelevant to the
+//! output — only the merge order must be canonical. Each work item emits a
+//! timestamp-sorted run tagged with its chunk index; runs are merged
+//! day-major with a k-way heap merge whose ties break on run order, which
+//! reproduces the sequential path's append-then-stable-sort byte for byte.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam::thread;
-use parking_lot::Mutex;
 
 use telco_devices::population::UeId;
+use telco_trace::dataset::SignalingDataset;
 
 use crate::config::SimConfig;
-use crate::engine::simulate_ue_day;
+use crate::engine::{simulate_ue_day, SimScratch};
 use crate::output::SimOutput;
 use crate::world::World;
+
+/// Below this UE count the runner stays sequential: thread spawn and merge
+/// overhead dwarfs the work itself. Benchmarks check
+/// [`RunnerStats::mode`] so they never mistake this path for the parallel
+/// one.
+pub const SEQUENTIAL_UE_THRESHOLD: usize = 64;
+
+/// Default UEs per work item. Small enough that the `(day, chunk)` grid
+/// offers plenty of stealable items even for the tiny presets, large
+/// enough that the per-item output setup/merge cost stays negligible.
+pub const DEFAULT_UE_CHUNK: usize = 32;
+
+/// Which scheduling path [`run_on_world`] took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RunnerMode {
+    /// Single-threaded day-major loop (threads ≤ 1 or a tiny population).
+    #[default]
+    Sequential,
+    /// Work-stealing workers draining the shared `(day, chunk)` cursor.
+    WorkStealing,
+}
+
+/// Scheduling metadata of a finished run, recorded on
+/// [`SimOutput::runner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunnerStats {
+    /// The path that executed.
+    pub mode: RunnerMode,
+    /// Worker threads used (1 for the sequential path).
+    pub threads: usize,
+    /// UEs per work item (the whole population for the sequential path).
+    pub chunk_ues: usize,
+    /// Total work items drained.
+    pub work_items: usize,
+    /// UE-days simulated.
+    pub ue_days: usize,
+}
 
 /// A completed study: the world it ran against plus everything it
 /// produced.
@@ -37,52 +82,115 @@ pub fn run_study(config: SimConfig) -> StudyData {
 
 /// Run the simulation over an already-built world.
 pub fn run_on_world(world: &World, config: &SimConfig) -> SimOutput {
+    run_on_world_chunked(world, config, DEFAULT_UE_CHUNK)
+}
+
+/// [`run_on_world`] with an explicit work-item granularity. The records
+/// and mobility rows are byte-identical for every `chunk_ues` and thread
+/// count; only the ledger's floating-point sums regroup (equal within
+/// ~1e-12 relative — see the determinism-matrix test).
+pub fn run_on_world_chunked(world: &World, config: &SimConfig, chunk_ues: usize) -> SimOutput {
+    assert!(chunk_ues > 0, "chunk size must be positive");
     let threads = if config.threads == 0 {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     } else {
         config.threads
     };
     let n_ues = world.n_ues();
-    if threads <= 1 || n_ues < 64 {
-        let mut out = SimOutput::new(config.n_days);
-        for day in 0..config.n_days {
+    let n_days = config.n_days;
+    let ue_days = n_ues * n_days as usize;
+
+    if threads <= 1 || n_ues < SEQUENTIAL_UE_THRESHOLD {
+        let mut out = SimOutput::new(n_days);
+        let mut scratch = SimScratch::new();
+        for day in 0..n_days {
             for ue in 0..n_ues {
-                simulate_ue_day(world, config, UeId(ue as u32), day, &mut out);
+                simulate_ue_day(world, config, UeId(ue as u32), day, &mut scratch, &mut out);
             }
         }
         out.dataset.sort();
+        out.runner = RunnerStats {
+            mode: RunnerMode::Sequential,
+            threads: 1,
+            chunk_ues: n_ues.max(1),
+            work_items: n_days as usize,
+            ue_days,
+        };
         return out;
     }
 
-    // Shard by UE ranges; merge in deterministic shard order.
-    let shard_size = n_ues.div_ceil(threads);
-    let results: Mutex<Vec<(usize, SimOutput)>> = Mutex::new(Vec::with_capacity(threads));
-    thread::scope(|s| {
-        for (shard_idx, chunk_start) in (0..n_ues).step_by(shard_size).enumerate() {
-            let results = &results;
-            let chunk_end = (chunk_start + shard_size).min(n_ues);
-            s.spawn(move |_| {
-                let mut out = SimOutput::new(config.n_days);
-                for day in 0..config.n_days {
-                    for ue in chunk_start..chunk_end {
-                        simulate_ue_day(world, config, UeId(ue as u32), day, &mut out);
-                    }
-                }
-                results.lock().push((shard_idx, out));
-            });
-        }
-    })
-    .expect("simulation worker panicked");
+    // The flattened work-item space, day-major: item i covers day
+    // i / chunks_per_day and UEs [chunk·chunk_ues, …) of chunk
+    // i % chunks_per_day. Day-major order makes the canonical run order
+    // equal to the sequential loop's insertion order.
+    let chunks_per_day = n_ues.div_ceil(chunk_ues);
+    let n_items = chunks_per_day * n_days as usize;
+    let cursor = AtomicUsize::new(0);
 
-    let mut shards = results.into_inner();
-    shards.sort_by_key(|(idx, _)| *idx);
-    let mut merged = SimOutput::new(config.n_days);
-    for (_, shard) in shards {
-        merged.merge(shard);
+    let per_worker: Vec<Vec<(usize, SimOutput)>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cursor = &cursor;
+                s.spawn(move |_| {
+                    let mut scratch = SimScratch::new();
+                    let mut produced: Vec<(usize, SimOutput)> = Vec::new();
+                    loop {
+                        let item = cursor.fetch_add(1, Ordering::Relaxed);
+                        if item >= n_items {
+                            break;
+                        }
+                        let day = (item / chunks_per_day) as u32;
+                        let chunk = item % chunks_per_day;
+                        let lo = chunk * chunk_ues;
+                        let hi = (lo + chunk_ues).min(n_ues);
+                        let mut out = SimOutput::new(n_days);
+                        for ue in lo..hi {
+                            simulate_ue_day(
+                                world,
+                                config,
+                                UeId(ue as u32),
+                                day,
+                                &mut scratch,
+                                &mut out,
+                            );
+                        }
+                        // Emit a sorted run; the stable sort keeps equal
+                        // timestamps in UE order within the chunk.
+                        out.dataset.sort();
+                        produced.push((item, out));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("simulation worker panicked")).collect()
+    })
+    .expect("simulation scope panicked");
+
+    // Canonical merge: runs ordered by item index (day-major, then chunk)
+    // equal the sequential insertion order, so the tie-breaking k-way
+    // merge reproduces the sequential stable sort exactly. Mobility rows
+    // concatenate into (day, UE) order with no sort at all.
+    let mut runs: Vec<(usize, SimOutput)> = per_worker.into_iter().flatten().collect();
+    runs.sort_unstable_by_key(|&(item, _)| item);
+
+    let mut merged = SimOutput::new(n_days);
+    merged.mobility.reserve(ue_days);
+    let mut datasets: Vec<SignalingDataset> = Vec::with_capacity(runs.len());
+    for (_, run) in runs {
+        datasets.push(run.dataset);
+        merged.mobility.extend(run.mobility);
+        merged.ledger.merge(&run.ledger);
+        merged.core.merge(&run.core);
     }
-    merged.dataset.sort();
-    // Mobility rows in deterministic order too.
-    merged.mobility.sort_by_key(|m| (m.day, m.ue.0));
+    merged.dataset = SignalingDataset::merge_sorted_runs(n_days, datasets);
+    merged.runner = RunnerStats {
+        mode: RunnerMode::WorkStealing,
+        threads,
+        chunk_ues,
+        work_items: n_items,
+        ue_days,
+    };
     merged
 }
 
@@ -101,15 +209,18 @@ mod tests {
         let mut seq_cfg = cfg.clone();
         seq_cfg.threads = 1;
         let seq = run_on_world(&world, &seq_cfg);
+        assert_eq!(seq.runner.mode, RunnerMode::Sequential);
 
         let mut par_cfg = cfg.clone();
         par_cfg.threads = 4;
         let par = run_on_world(&world, &par_cfg);
+        assert_eq!(par.runner.mode, RunnerMode::WorkStealing);
+        assert_eq!(par.runner.threads, 4);
 
         assert_eq!(seq.dataset.records(), par.dataset.records());
         assert_eq!(seq.mobility, par.mobility);
-        // Ledger sums are merged in shard order; floating-point addition is
-        // not associative, so compare to relative precision.
+        // Ledger sums are merged in chunk order; floating-point addition
+        // is not associative, so compare to relative precision.
         for i in 0..4 {
             let (a, b) = (seq.ledger.attach_ms[i], par.ledger.attach_ms[i]);
             assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "attach[{i}]: {a} vs {b}");
@@ -124,10 +235,8 @@ mod tests {
         assert!(days.contains(&0));
         assert!(days.len() as u32 <= data.config.n_days);
         // Mobility rows exist for every (ue, day).
-        assert_eq!(
-            data.output.mobility.len(),
-            data.config.n_ues * data.config.n_days as usize
-        );
+        assert_eq!(data.output.mobility.len(), data.config.n_ues * data.config.n_days as usize);
+        assert_eq!(data.output.runner.ue_days, data.config.n_ues * data.config.n_days as usize);
     }
 
     #[test]
@@ -138,5 +247,17 @@ mod tests {
         assert!(total > 100, "too few handovers: {total}");
         let intra = counts[HoType::Intra4g5g.index()] as f64 / total as f64;
         assert!(intra > 0.75, "intra share {intra} too low");
+    }
+
+    #[test]
+    fn small_populations_run_sequentially_even_with_threads() {
+        let mut cfg = SimConfig::tiny();
+        cfg.n_ues = SEQUENTIAL_UE_THRESHOLD - 1;
+        cfg.n_days = 1;
+        cfg.threads = 4;
+        let world = World::build(&cfg);
+        let out = run_on_world(&world, &cfg);
+        assert_eq!(out.runner.mode, RunnerMode::Sequential);
+        assert_eq!(out.runner.threads, 1);
     }
 }

@@ -15,7 +15,9 @@ use telco_mobility::assign::{assign_home_postcodes, home_point, work_point};
 use telco_mobility::profile::MobilityProfile;
 use telco_mobility::schedule::WeeklySchedule;
 use telco_topology::deployment::Topology;
+use telco_topology::elements::SectorId;
 use telco_topology::energy::EnergySavingPolicy;
+use telco_topology::rat::Rat;
 
 use crate::config::SimConfig;
 
@@ -42,6 +44,40 @@ pub struct UeAttrs {
     pub attach_hours: f32,
 }
 
+/// Per-sector neighbour lists in compressed (CSR) layout: one flat data
+/// vector plus per-sector offsets. Built once at world-construction time
+/// so the per-sample hot path never filters `site.sectors` or allocates
+/// candidate vectors.
+#[derive(Debug, Clone, Default)]
+pub struct SectorLists {
+    offsets: Vec<u32>,
+    data: Vec<SectorId>,
+}
+
+impl SectorLists {
+    /// Build a list per sector (in sector-id order) from a predicate over
+    /// the sector's co-sited peers, preserving `site.sectors` order.
+    fn build(topology: &Topology, keep: impl Fn(SectorId, SectorId) -> bool) -> Self {
+        let n = topology.sectors().len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut data = Vec::new();
+        offsets.push(0u32);
+        for id in 0..n {
+            let sid = SectorId(id as u32);
+            let site = topology.site(topology.sector(sid).site);
+            data.extend(site.sectors.iter().copied().filter(|&peer| keep(sid, peer)));
+            offsets.push(data.len() as u32);
+        }
+        SectorLists { offsets, data }
+    }
+
+    /// The precomputed list for a sector.
+    pub fn get(&self, sector: SectorId) -> &[SectorId] {
+        let i = sector.0 as usize;
+        &self.data[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+}
+
 /// The immutable world shared by all simulation shards.
 #[derive(Debug, Clone)]
 pub struct World {
@@ -65,6 +101,13 @@ pub struct World {
     /// spacing), km — the denominator of the coverage model's edge-depth
     /// ratio. Indexed by `PostcodeId.0`.
     pub cell_radius_km: Vec<f64>,
+    /// Per-sector co-sited same-RAT sectors (other carriers/faces of the
+    /// site), excluding the sector itself: the candidate pool for
+    /// intra-site load-balancing handovers.
+    pub siblings: SectorLists,
+    /// Per-sector co-sited 4G sectors (including the sector itself when it
+    /// is 4G): the redirect pool when the energy policy parks a booster.
+    pub cosited_4g: SectorLists,
 }
 
 impl World {
@@ -88,21 +131,18 @@ impl World {
                 // 2G-only modules (meters, trackers) hold long attach
                 // sessions, balancing the 2G/3G time shares at ≈8.9% each
                 // (Fig. 3b).
-                let legacy_boost =
-                    if model.rat_support == RatSupport::UpTo2g { 1.6 } else { 1.0 };
-                let mean_h =
-                    config.session.attach_hours[model.device_type.index()] * legacy_boost;
+                let legacy_boost = if model.rat_support == RatSupport::UpTo2g { 1.6 } else { 1.0 };
+                let mean_h = config.session.attach_hours[model.device_type.index()] * legacy_boost;
                 UeAttrs {
                     home_postcode: home_pc,
                     home,
                     work,
                     profile,
-                    srvcc_subscribed: rng.random::<f64>()
-                        < config.session.srvcc_subscription_rate,
+                    srvcc_subscribed: rng.random::<f64>() < config.session.srvcc_subscription_rate,
                     device_type: model.device_type,
                     manufacturer: model.manufacturer,
                     rat_support: model.rat_support,
-                    attach_hours: (mean_h * rng.random_range(0.6..1.4)).min(24.0) as f32,
+                    attach_hours: (mean_h * rng.random_range(0.6f64..1.4)).min(24.0) as f32,
                 }
             })
             .collect();
@@ -122,6 +162,12 @@ impl World {
             })
             .collect();
 
+        let siblings = SectorLists::build(&topology, |sid, peer| {
+            peer != sid && topology.sector(peer).rat == topology.sector(sid).rat
+        });
+        let cosited_4g =
+            SectorLists::build(&topology, |_, peer| topology.sector(peer).rat == Rat::G4);
+
         World {
             country,
             census,
@@ -132,6 +178,8 @@ impl World {
             schedule: WeeklySchedule::default(),
             ues,
             cell_radius_km,
+            siblings,
+            cosited_4g,
         }
     }
 
@@ -190,8 +238,8 @@ mod tests {
         cfg.n_ues = 5_000;
         let w = World::build(&cfg);
         for &(ty, share) in &shares::DEVICE_TYPE {
-            let got = w.ues.iter().filter(|u| u.device_type == ty).count() as f64
-                / w.ues.len() as f64;
+            let got =
+                w.ues.iter().filter(|u| u.device_type == ty).count() as f64 / w.ues.len() as f64;
             assert!((got - share).abs() < 0.03, "{ty}: {got} vs {share}");
         }
     }
@@ -200,8 +248,7 @@ mod tests {
     fn most_ues_have_srvcc() {
         let cfg = SimConfig::tiny();
         let w = World::build(&cfg);
-        let frac = w.ues.iter().filter(|u| u.srvcc_subscribed).count() as f64
-            / w.ues.len() as f64;
+        let frac = w.ues.iter().filter(|u| u.srvcc_subscribed).count() as f64 / w.ues.len() as f64;
         assert!((frac - 0.93).abs() < 0.05, "SRVCC subscription rate {frac}");
     }
 }

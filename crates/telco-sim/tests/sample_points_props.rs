@@ -1,0 +1,83 @@
+//! Property tests for the trajectory sampler: for arbitrary physically
+//! plausible waypoint sequences, `sample_points` must produce strictly
+//! increasing timestamps, preserve the trajectory endpoints, and never
+//! leave a spatial gap wider than `step_km` between consecutive samples on
+//! a moving segment.
+
+use proptest::prelude::*;
+
+use telco_geo::coords::KmPoint;
+use telco_mobility::trajectory::{DayTrajectory, Waypoint, DAY_MS};
+use telco_sim::sample_points;
+
+/// Build a waypoint sequence from (time-gap, dx, dy) triples: gaps are at
+/// least a minute so segment speeds stay physical (no teleporting, which
+/// would legitimately collapse interpolated samples onto one millisecond).
+fn trajectory_from(start_ms: u32, legs: &[(u32, f64, f64)]) -> DayTrajectory {
+    let mut t = start_ms;
+    let (mut x, mut y) = (120.0f64, 95.0f64);
+    let mut wps = vec![Waypoint { time_ms: t, pos: KmPoint::new(x, y) }];
+    for &(gap_ms, dx, dy) in legs {
+        t = (t + gap_ms).min(DAY_MS - 1);
+        x += dx;
+        y += dy;
+        wps.push(Waypoint { time_ms: t, pos: KmPoint::new(x, y) });
+        if t == DAY_MS - 1 {
+            break;
+        }
+    }
+    wps.dedup_by_key(|w| w.time_ms);
+    DayTrajectory::from_waypoints(wps)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn sampler_invariants(
+        start_ms in 0u32..3_600_000,
+        step_km in 0.1f64..1.5,
+        legs in proptest::collection::vec(
+            (60_000u32..7_200_000, -8.0f64..8.0, -8.0f64..8.0),
+            1..12,
+        ),
+    ) {
+        let trajectory = trajectory_from(start_ms, &legs);
+        let wps = trajectory.waypoints();
+        let samples = sample_points(&trajectory, step_km);
+
+        // Timestamps strictly increase (the sampler dedups equal stamps).
+        prop_assert!(!samples.is_empty());
+        for w in samples.windows(2) {
+            prop_assert!(
+                w[0].0 < w[1].0,
+                "timestamps not strictly increasing: {} then {}", w[0].0, w[1].0
+            );
+        }
+
+        // Endpoints preserved: sampling starts at the first waypoint and
+        // covers the rest of the day at the final position.
+        let first = samples.first().unwrap();
+        prop_assert_eq!(first.0, wps[0].time_ms);
+        let last_wp = wps.last().unwrap();
+        let last = samples.last().unwrap();
+        let expected_end = last_wp.time_ms.max(DAY_MS - 1);
+        prop_assert_eq!(last.0, expected_end);
+        prop_assert!(
+            last.1.distance_km(&last_wp.pos) < 1e-9,
+            "day does not end at the final waypoint"
+        );
+
+        // No spatial gap wider than step_km between consecutive samples:
+        // moving segments are subdivided into ceil(dist/step) equal steps,
+        // and dwell samples do not move at all.
+        for w in samples.windows(2) {
+            let gap = w[0].1.distance_km(&w[1].1);
+            prop_assert!(
+                gap <= step_km + 1e-9,
+                "spatial gap {gap} exceeds step {step_km} between t={} and t={}",
+                w[0].0, w[1].0
+            );
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Asserts the zero-allocation contract of the per-UE-day hot path: once
+//! the scratch buffers have grown to their working size and the output
+//! collections have capacity, `simulate_ue_day` performs no heap
+//! allocation at all.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; the test
+//! warms up by simulating a set of (UE, day) pairs (growing every scratch
+//! buffer and populating the core network's counter keys), reserves room
+//! for the second pass's records, then re-simulates the *same* pairs —
+//! which, being deterministic, produce identically sized output — and
+//! requires the allocation count not to move.
+//!
+//! This file holds exactly one test so no concurrent test in the same
+//! binary can allocate during the measured window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use telco_devices::population::UeId;
+use telco_sim::{simulate_ue_day, SimConfig, SimOutput, SimScratch, World};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_ue_day_loop_does_not_allocate() {
+    let cfg = SimConfig::tiny();
+    let world = World::build(&cfg);
+    let pairs: Vec<(u32, u32)> =
+        (0..cfg.n_days).flat_map(|day| (0..120u32).map(move |ue| (ue, day))).collect();
+
+    let mut out = SimOutput::new(cfg.n_days);
+    let mut scratch = SimScratch::new();
+
+    // Warm-up pass: grows every scratch buffer to its working size and
+    // inserts every (element, message) key the core network will count.
+    for &(ue, day) in &pairs {
+        simulate_ue_day(&world, &cfg, UeId(ue), day, &mut scratch, &mut out);
+    }
+
+    // The second pass re-simulates the same pairs, so it appends exactly
+    // as many records and mobility rows again: reserve that much.
+    let records = out.dataset.len();
+    let rows = out.mobility.len();
+    assert!(records > 0, "warm-up produced no records; test is vacuous");
+    out.dataset.reserve(records);
+    out.mobility.reserve(rows);
+
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    for &(ue, day) in &pairs {
+        simulate_ue_day(&world, &cfg, UeId(ue), day, &mut scratch, &mut out);
+    }
+    let after = ALLOC_CALLS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state loop allocated {} time(s) over {} UE-days",
+        after - before,
+        pairs.len()
+    );
+    assert_eq!(out.dataset.len(), 2 * records, "passes were not identical");
+    assert_eq!(out.mobility.len(), 2 * rows, "passes were not identical");
+}

@@ -86,11 +86,7 @@ pub fn one_way_anova(groups: &[&[f64]]) -> Result<AnovaResult, AnovaError> {
     if ss_within == 0.0 && ss_between == 0.0 {
         return Err(AnovaError::ZeroVariance);
     }
-    let f = if ss_within == 0.0 {
-        f64::INFINITY
-    } else {
-        (ss_between / df_b) / (ss_within / df_w)
-    };
+    let f = if ss_within == 0.0 { f64::INFINITY } else { (ss_between / df_b) / (ss_within / df_w) };
     let p = if f.is_finite() { f_sf(f, df_b, df_w) } else { 0.0 };
     Ok(AnovaResult {
         f_statistic: f,

@@ -220,8 +220,7 @@ impl RandomForest {
         let trees = (0..opts.n_trees)
             .map(|_| {
                 // Bootstrap sample with replacement.
-                let mut indices: Vec<usize> =
-                    (0..n).map(|_| (rng.next() as usize) % n).collect();
+                let mut indices: Vec<usize> = (0..n).map(|_| (rng.next() as usize) % n).collect();
                 RegressionTree::fit(&x, &y, &mut indices, &opts, &mut rng)
             })
             .collect();
@@ -340,8 +339,7 @@ mod tests {
         let a = RandomForest::fit(&d, ForestOptions::default());
         let b = RandomForest::fit(&d, ForestOptions::default());
         assert_eq!(a, b);
-        let mut opts = ForestOptions::default();
-        opts.seed = 99;
+        let opts = ForestOptions { seed: 99, ..Default::default() };
         let c = RandomForest::fit(&d, opts);
         assert_ne!(a, c, "different seeds must differ");
     }

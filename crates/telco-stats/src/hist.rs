@@ -57,11 +57,7 @@ impl Histogram {
     /// `(bin_center, count)` pairs.
     pub fn centers(&self) -> Vec<(f64, u64)> {
         let w = (self.hi - self.lo) / self.counts.len() as f64;
-        self.counts
-            .iter()
-            .enumerate()
-            .map(|(i, &c)| (self.lo + w * (i as f64 + 0.5), c))
-            .collect()
+        self.counts.iter().enumerate().map(|(i, &c)| (self.lo + w * (i as f64 + 0.5), c)).collect()
     }
 
     /// Normalized frequencies per bin (empty histogram yields zeros).

@@ -152,9 +152,6 @@ mod tests {
     fn error_cases() {
         assert_eq!(kruskal_wallis(&[&[1.0]]).unwrap_err(), KruskalError::TooFewGroups);
         assert_eq!(kruskal_wallis(&[&[1.0], &[]]).unwrap_err(), KruskalError::EmptyGroup);
-        assert_eq!(
-            kruskal_wallis(&[&[3.0, 3.0], &[3.0, 3.0]]).unwrap_err(),
-            KruskalError::AllTied
-        );
+        assert_eq!(kruskal_wallis(&[&[3.0, 3.0], &[3.0, 3.0]]).unwrap_err(), KruskalError::AllTied);
     }
 }

@@ -280,7 +280,7 @@ mod tests {
         let a = Matrix::from_rows(&[&[2.0, 0.5], &[0.5, 1.0]]);
         let inv = a.inverse_spd().unwrap();
         for i in 0..2 {
-            let mut row = vec![0.0; 2];
+            let mut row = [0.0; 2];
             for j in 0..2 {
                 for k in 0..2 {
                     row[j] += a[(i, k)] * inv[(k, j)];

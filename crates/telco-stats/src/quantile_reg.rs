@@ -93,11 +93,7 @@ pub fn quantile_regression(
             wne.add_weighted(row, y, w);
         }
         let next = wne.solve().ok_or(FitError::Singular)?;
-        let delta = beta
-            .iter()
-            .zip(&next)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max);
+        let delta = beta.iter().zip(&next).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
         beta = next;
         if delta < opts.tol {
             converged = true;

@@ -107,9 +107,10 @@ impl Topology {
             for _ in 0..n_sites {
                 let ang: f64 = rng.random_range(0.0..std::f64::consts::TAU);
                 let r: f64 = rng.random::<f64>().sqrt() * scatter;
-                let pos = country
-                    .bounds
-                    .clamp(&KmPoint::new(pc.centroid.x + ang.cos() * r, pc.centroid.y + ang.sin() * r));
+                let pos = country.bounds.clamp(&KmPoint::new(
+                    pc.centroid.x + ang.cos() * r,
+                    pc.centroid.y + ang.sin() * r,
+                ));
                 let site_id = SiteId(sites.len() as u32);
 
                 // Vendor per site, weighted by region.
@@ -148,8 +149,7 @@ impl Topology {
                             let id = SectorId(sectors.len() as u32);
                             let booster = urban
                                 && rat.uses_epc()
-                                && (carrier > 0
-                                    || rng.random::<f64>() < config.booster_fraction);
+                                && (carrier > 0 || rng.random::<f64>() < config.booster_fraction);
                             sectors.push(RadioSector {
                                 id,
                                 site: site_id,
@@ -242,15 +242,11 @@ impl Topology {
         // Bearing from site to UE, degrees clockwise from north.
         let bearing = (point.x - site_pos.x).atan2(point.y - site_pos.y).to_degrees();
         let bearing = if bearing < 0.0 { bearing + 360.0 } else { bearing };
-        site.sectors
-            .iter()
-            .copied()
-            .filter(|&s| self.sector(s).rat == rat)
-            .min_by_key(|&s| {
-                let az = self.sector(s).azimuth_deg as f64;
-                let diff = (bearing - az).abs();
-                (diff.min(360.0 - diff) * 1000.0) as u64
-            })
+        site.sectors.iter().copied().filter(|&s| self.sector(s).rat == rat).min_by_key(|&s| {
+            let az = self.sector(s).azimuth_deg as f64;
+            let diff = (bearing - az).abs();
+            (diff.min(360.0 - diff) * 1000.0) as u64
+        })
     }
 
     /// Sites hosting `rat` within `radius_km` of a point.
@@ -276,9 +272,7 @@ impl Topology {
         let urban = self
             .sectors
             .iter()
-            .filter(|s| {
-                country.postcode(self.site(s.site).postcode).area_type == AreaType::Urban
-            })
+            .filter(|s| country.postcode(self.site(s.site).postcode).area_type == AreaType::Urban)
             .count();
         urban as f64 / self.sectors.len() as f64
     }
@@ -305,7 +299,7 @@ fn nominal_capacity(rat: Rat, urban: bool) -> u32 {
 fn sample_deployment_year(rat: Rat, rng: &mut ChaCha8Rng) -> u16 {
     let first = rat.first_deployment_year();
     match rat {
-        Rat::G2 | Rat::G3 => first + rng.random_range(0..4),
+        Rat::G2 | Rat::G3 => first + rng.random_range(0..4u16),
         Rat::G4 => {
             // Growth-weighted: later years more likely (network expansion).
             let span = 2023 - first;
@@ -379,19 +373,11 @@ mod tests {
                 per_rat[topo.sector(s).rat.index()] += 1;
             }
             for (i, &n) in per_rat.iter().enumerate() {
-                assert!(
-                    n % 3 == 0 && n <= 9,
-                    "site {} has {n} sectors of RAT {i}",
-                    site.id
-                );
+                assert!(n % 3 == 0 && n <= 9, "site {} has {n} sectors of RAT {i}", site.id);
             }
         }
         // Urban sites actually use the second carrier somewhere.
-        let multi = topo
-            .sectors()
-            .iter()
-            .filter(|s| s.carrier > 0)
-            .count();
+        let multi = topo.sectors().iter().filter(|s| s.carrier > 0).count();
         assert!(multi > 0, "no second-carrier sectors generated");
     }
 

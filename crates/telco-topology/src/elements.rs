@@ -10,9 +10,7 @@ use crate::rat::Rat;
 use crate::vendor::Vendor;
 
 /// Identifier of a cell site.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct SiteId(pub u32);
 
 impl std::fmt::Display for SiteId {
@@ -22,9 +20,7 @@ impl std::fmt::Display for SiteId {
 }
 
 /// Identifier of a radio sector.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct SectorId(pub u32);
 
 impl std::fmt::Display for SectorId {

@@ -143,11 +143,7 @@ mod tests {
         let policy = EnergySavingPolicy::default();
         let sectors: Vec<RadioSector> = (0..500).map(booster).collect();
         let active = |slot: usize| -> Vec<u32> {
-            sectors
-                .iter()
-                .filter(|s| policy.is_active(s, 3, slot))
-                .map(|s| s.id.0)
-                .collect()
+            sectors.iter().filter(|s| policy.is_active(s, 3, slot)).map(|s| s.id.0).collect()
         };
         // Every sector active at 22:00 is also active at 18:00.
         let evening = active(36);
@@ -163,11 +159,7 @@ mod tests {
         let policy = EnergySavingPolicy::default();
         let sectors: Vec<RadioSector> = (0..300).map(booster).collect();
         let off_on = |day: u32| -> Vec<u32> {
-            sectors
-                .iter()
-                .filter(|s| !policy.is_active(s, day, 46))
-                .map(|s| s.id.0)
-                .collect()
+            sectors.iter().filter(|s| !policy.is_active(s, day, 46)).map(|s| s.id.0).collect()
         };
         assert_ne!(off_on(0), off_on(1), "burden should rotate across days");
     }
@@ -177,8 +169,7 @@ mod tests {
         let policy = EnergySavingPolicy::default();
         let sectors: Vec<RadioSector> = (0..2000).map(booster).collect();
         for slot in [0, 20, 40, 47] {
-            let active =
-                sectors.iter().filter(|s| policy.is_active(s, 1, slot)).count() as f64;
+            let active = sectors.iter().filter(|s| policy.is_active(s, 1, slot)).count() as f64;
             let target = policy.booster_fraction(slot);
             assert!(
                 (active / 2000.0 - target).abs() < 0.05,

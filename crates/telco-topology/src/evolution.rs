@@ -179,11 +179,7 @@ mod tests {
     #[test]
     fn legacy_peaks_then_declines() {
         let h = history();
-        let peak_2g = h
-            .years
-            .iter()
-            .map(|&y| h.count(Rat::G2, y))
-            .fold(0.0f64, f64::max);
+        let peak_2g = h.years.iter().map(|&y| h.count(Rat::G2, y)).fold(0.0f64, f64::max);
         assert!(peak_2g > h.count(Rat::G2, 2023), "2G must decline from its peak");
         // Monotone decline after decommissioning starts and ramp completes.
         for y in 2016..2023 {

@@ -79,16 +79,8 @@ impl NeighborTable {
     }
 
     /// Co-sited sector on a specific RAT, if the site hosts it.
-    pub fn co_sited_on(
-        &self,
-        topology: &Topology,
-        sector: SectorId,
-        rat: Rat,
-    ) -> Option<SectorId> {
-        self.co_sited[sector.0 as usize]
-            .iter()
-            .copied()
-            .find(|&s| topology.sector(s).rat == rat)
+    pub fn co_sited_on(&self, topology: &Topology, sector: SectorId, rat: Rat) -> Option<SectorId> {
+        self.co_sited[sector.0 as usize].iter().copied().find(|&s| topology.sector(s).rat == rat)
     }
 }
 

@@ -7,9 +7,7 @@
 use serde::{Deserialize, Serialize};
 
 /// A radio access technology generation.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Rat {
     /// GSM/GPRS.
     G2,

@@ -11,9 +11,7 @@ use serde::{Deserialize, Serialize};
 use telco_geo::district::Region;
 
 /// An anonymized antenna vendor.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[allow(missing_docs)]
 pub enum Vendor {
     V1,

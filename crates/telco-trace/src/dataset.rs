@@ -113,6 +113,51 @@ impl SignalingDataset {
         assert_eq!(self.days, other.days, "cannot merge datasets of different spans");
         self.records.extend(other.records);
     }
+
+    /// Reserve room for `additional` more records.
+    pub fn reserve(&mut self, additional: usize) {
+        self.records.reserve(additional);
+    }
+
+    /// K-way merge of timestamp-sorted runs into one sorted dataset —
+    /// O(N log k) instead of the O(N log N) of concatenate-and-sort.
+    ///
+    /// Ties break on run index, so the result is exactly the stable
+    /// timestamp sort of the runs' concatenation: callers that order runs
+    /// canonically (e.g. the parallel study runner, day-major) get output
+    /// byte-identical to a sequential append-then-stable-sort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a run's day span differs from `days` or a run is not
+    /// sorted (debug builds only).
+    pub fn merge_sorted_runs(days: u32, runs: Vec<SignalingDataset>) -> Self {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let total = runs.iter().map(|r| r.len()).sum();
+        let mut records: Vec<HoRecord> = Vec::with_capacity(total);
+        let mut cursors = vec![0usize; runs.len()];
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::with_capacity(runs.len());
+        for (i, run) in runs.iter().enumerate() {
+            assert_eq!(run.days, days, "cannot merge runs of different spans");
+            debug_assert!(
+                run.records.windows(2).all(|w| w[0].timestamp_ms <= w[1].timestamp_ms),
+                "run {i} is not timestamp-sorted"
+            );
+            if let Some(first) = run.records.first() {
+                heap.push(Reverse((first.timestamp_ms, i)));
+            }
+        }
+        while let Some(Reverse((_, i))) = heap.pop() {
+            records.push(runs[i].records[cursors[i]]);
+            cursors[i] += 1;
+            if let Some(next) = runs[i].records.get(cursors[i]) {
+                heap.push(Reverse((next.timestamp_ms, i)));
+            }
+        }
+        SignalingDataset { days, records }
+    }
 }
 
 #[cfg(test)]
@@ -195,6 +240,47 @@ mod tests {
     fn merge_rejects_span_mismatch() {
         let mut a = dataset();
         a.merge(SignalingDataset::new(7));
+    }
+
+    #[test]
+    fn merge_sorted_runs_equals_stable_sort_of_concatenation() {
+        // Interleaved timestamps with cross-run ties: the merge must keep
+        // equal timestamps in run order (stable-sort equivalence).
+        let runs = vec![
+            SignalingDataset::from_records(
+                2,
+                vec![rec(100, 1, Rat::G4, false), rec(300, 2, Rat::G3, true)],
+            ),
+            SignalingDataset::new(2),
+            SignalingDataset::from_records(
+                2,
+                vec![rec(50, 3, Rat::G4, false), rec(100, 4, Rat::G4, false)],
+            ),
+            SignalingDataset::from_records(2, vec![rec(100, 5, Rat::G2, false)]),
+        ];
+        let mut reference: Vec<HoRecord> =
+            runs.iter().flat_map(|r| r.records().iter().copied()).collect();
+        reference.sort_by_key(|r| r.timestamp_ms);
+        let merged = SignalingDataset::merge_sorted_runs(2, runs);
+        assert_eq!(merged.records(), &reference[..]);
+        assert_eq!(merged.len(), 5);
+        // The ties at t=100 stayed in run order: UE 1, then 4, then 5.
+        let tied: Vec<u32> =
+            merged.records().iter().filter(|r| r.timestamp_ms == 100).map(|r| r.ue.0).collect();
+        assert_eq!(tied, vec![1, 4, 5]);
+    }
+
+    #[test]
+    fn merge_sorted_runs_of_nothing_is_empty() {
+        let merged = SignalingDataset::merge_sorted_runs(3, Vec::new());
+        assert!(merged.is_empty());
+        assert_eq!(merged.days, 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn merge_sorted_runs_rejects_span_mismatch() {
+        SignalingDataset::merge_sorted_runs(2, vec![SignalingDataset::new(7)]);
     }
 
     #[test]

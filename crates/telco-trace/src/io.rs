@@ -143,8 +143,7 @@ pub fn write_file(dataset: &SignalingDataset, path: &std::path::Path) -> std::io
 /// Read a dataset from a binary trace file.
 pub fn read_file(path: &std::path::Path) -> std::io::Result<SignalingDataset> {
     let raw = std::fs::read(path)?;
-    decode(Bytes::from(raw))
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    decode(Bytes::from(raw)).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
 }
 
 /// Export a dataset to pretty JSON (human inspection / small slices only).

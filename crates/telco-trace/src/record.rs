@@ -16,9 +16,7 @@ use telco_topology::elements::SectorId;
 use telco_topology::rat::Rat;
 
 /// The outcome of a handover.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum HoOutcome {
     /// Completed successfully.
     Success,

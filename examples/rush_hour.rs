@@ -14,10 +14,7 @@ use telco_mobility::schedule::DayOfWeek;
 fn sparkline(values: &[f64]) -> String {
     const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
     let max = values.iter().copied().fold(0.0f64, f64::max).max(1e-9);
-    values
-        .iter()
-        .map(|v| BARS[((v / max) * 7.0).round() as usize])
-        .collect()
+    values.iter().map(|v| BARS[((v / max) * 7.0).round() as usize]).collect()
 }
 
 fn main() {
@@ -29,14 +26,12 @@ fn main() {
     let temporal = study.temporal_evolution();
     println!("\nNormalized HO volume per 30-minute slot (urban):");
     for day in DayOfWeek::ALL {
-        let slots: Vec<f64> =
-            (0..48).map(|s| temporal.hos_urban.at(day, s)).collect();
+        let slots: Vec<f64> = (0..48).map(|s| temporal.hos_urban.at(day, s)).collect();
         println!("  {} {}", day, sparkline(&slots));
     }
     println!("\nNormalized HO volume per 30-minute slot (rural):");
     for day in DayOfWeek::ALL {
-        let slots: Vec<f64> =
-            (0..48).map(|s| temporal.hos_rural.at(day, s)).collect();
+        let slots: Vec<f64> = (0..48).map(|s| temporal.hos_rural.at(day, s)).collect();
         println!("  {} {}", day, sparkline(&slots));
     }
 

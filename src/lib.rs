@@ -56,9 +56,9 @@ pub mod prelude {
     pub use telco_devices::types::{DeviceType, Manufacturer, RatSupport};
     pub use telco_geo::country::{Country, CountryConfig};
     pub use telco_geo::postcode::AreaType;
-    pub use telco_sim::{run_study, SimConfig, StudyData};
     pub use telco_signaling::causes::PrincipalCause;
     pub use telco_signaling::messages::HoType;
+    pub use telco_sim::{run_study, SimConfig, StudyData};
     pub use telco_topology::rat::Rat;
     pub use telco_topology::vendor::Vendor;
     pub use telco_trace::dataset::SignalingDataset;
@@ -71,7 +71,7 @@ mod tests {
     #[test]
     fn prelude_compiles_and_runs() {
         let study = Study::run(SimConfig::tiny());
-        assert!(study.data().output.dataset.len() > 0);
+        assert!(!study.data().output.dataset.is_empty());
         assert_eq!(HoType::ALL.len(), 3);
         assert_eq!(Rat::ALL.len(), 4);
     }

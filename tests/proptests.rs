@@ -9,9 +9,9 @@ use telco_lens::devices::population::UeId;
 use telco_lens::signaling::causes::{CauseCode, PrincipalCause};
 use telco_lens::signaling::messages::HoType;
 use telco_lens::signaling::state_machine::execute;
+use telco_lens::stats::corr::pearson;
 use telco_lens::stats::desc::{percentile, Summary};
 use telco_lens::stats::ecdf::Ecdf;
-use telco_lens::stats::corr::pearson;
 use telco_lens::topology::elements::SectorId;
 use telco_lens::topology::rat::Rat;
 use telco_lens::trace::dataset::SignalingDataset;

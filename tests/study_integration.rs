@@ -61,11 +61,7 @@ fn fig8_duration_hierarchy() {
     let intra = d.intra.median();
     assert!((30.0..60.0).contains(&intra), "intra median {intra}");
     let to3g = d.to3g.as_ref().expect("→3G HOs exist").median();
-    assert!(
-        (5.0..20.0).contains(&(to3g / intra)),
-        "→3G/intra duration ratio {}",
-        to3g / intra
-    );
+    assert!((5.0..20.0).contains(&(to3g / intra)), "→3G/intra duration ratio {}", to3g / intra);
     if let Some(to2g) = &d.to2g {
         assert!(to2g.median() > to3g, "→2G median must exceed →3G");
     }
@@ -132,10 +128,8 @@ fn section_6_3_models_confirm_ho_type_effect() {
     assert!(c3 > 1.0, "→3G coefficient {c3}");
     // The HO type is significant in the full model too, and its effect
     // dwarfs the vendor/area/region covariates.
-    let full_c3 = models
-        .full_model
-        .coefficient("HO type: 4G/5G-NSA->3G")
-        .expect("covariate present");
+    let full_c3 =
+        models.full_model.coefficient("HO type: 4G/5G-NSA->3G").expect("covariate present");
     assert!(full_c3.p_value < 1e-3);
     for c in &models.full_model.coefficients {
         if c.name.starts_with("Antenna Vendor") || c.name.starts_with("Area Type") {
@@ -155,8 +149,8 @@ fn appendix_b_vendor_effects() {
     let s = study();
     let v = s.vendor_analysis();
     // V3 concentrates in the West (Fig. 17).
-    let west = v.sectors_by_region[telco_lens::geo::district::Region::West.index()]
-        [Vendor::V3.index()];
+    let west =
+        v.sectors_by_region[telco_lens::geo::district::Region::West.index()][Vendor::V3.index()];
     assert!(west > 0.1, "V3 west share {west}");
     // The vendor ANOVA is significant but small next to the HO type.
     let models = s.models();
@@ -171,8 +165,7 @@ fn core_network_probe_balances() {
     assert_eq!(core.mme_open_procedures(), 0);
     assert!(core.mme_total_procedures() > 0);
     // The probe saw roughly a dozen messages per handover.
-    let per_ho =
-        core.total_messages() as f64 / study().data().output.dataset.len() as f64;
+    let per_ho = core.total_messages() as f64 / study().data().output.dataset.len() as f64;
     assert!((5.0..20.0).contains(&per_ho), "messages per HO {per_ho}");
 }
 

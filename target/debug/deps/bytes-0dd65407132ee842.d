@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-0dd65407132ee842.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-0dd65407132ee842.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-0dd65407132ee842.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

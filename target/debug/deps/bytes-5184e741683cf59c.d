@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-5184e741683cf59c.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-5184e741683cf59c.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

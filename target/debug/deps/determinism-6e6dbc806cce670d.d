@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-6e6dbc806cce670d.d: crates/telco-sim/tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-6e6dbc806cce670d.rmeta: crates/telco-sim/tests/determinism.rs Cargo.toml
+
+crates/telco-sim/tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

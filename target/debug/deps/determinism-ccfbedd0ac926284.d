@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-ccfbedd0ac926284.d: crates/telco-sim/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-ccfbedd0ac926284: crates/telco-sim/tests/determinism.rs
+
+crates/telco-sim/tests/determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiments-da5e362492248486.d: crates/telco-bench/benches/experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments-da5e362492248486.rmeta: crates/telco-bench/benches/experiments.rs Cargo.toml
+
+crates/telco-bench/benches/experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

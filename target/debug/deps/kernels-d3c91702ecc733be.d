@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernels-d3c91702ecc733be.d: crates/telco-bench/benches/kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernels-d3c91702ecc733be.rmeta: crates/telco-bench/benches/kernels.rs Cargo.toml
+
+crates/telco-bench/benches/kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-1fca0ce1d469c7de.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-1fca0ce1d469c7de: tests/proptests.rs
+
+tests/proptests.rs:

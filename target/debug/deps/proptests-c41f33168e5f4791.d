@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-c41f33168e5f4791.d: tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-c41f33168e5f4791.rmeta: tests/proptests.rs Cargo.toml
+
+tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

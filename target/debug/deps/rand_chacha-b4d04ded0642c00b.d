@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_chacha-b4d04ded0642c00b.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-b4d04ded0642c00b.rmeta: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

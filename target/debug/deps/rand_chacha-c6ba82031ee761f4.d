@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_chacha-c6ba82031ee761f4.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-c6ba82031ee761f4.rlib: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-c6ba82031ee761f4.rmeta: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_distr-35d150df04f74b79.d: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-35d150df04f74b79.rmeta: vendor/rand_distr/src/lib.rs
+
+vendor/rand_distr/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_distr-4e0240a2205642ea.d: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-4e0240a2205642ea.rlib: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-4e0240a2205642ea.rmeta: vendor/rand_distr/src/lib.rs
+
+vendor/rand_distr/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/repro-8788243b7484418a.d: crates/telco-experiments/src/main.rs crates/telco-experiments/src/bench_runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro-8788243b7484418a.rmeta: crates/telco-experiments/src/main.rs crates/telco-experiments/src/bench_runner.rs Cargo.toml
+
+crates/telco-experiments/src/main.rs:
+crates/telco-experiments/src/bench_runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

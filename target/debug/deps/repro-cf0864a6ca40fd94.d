@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/repro-cf0864a6ca40fd94.d: crates/telco-experiments/src/main.rs crates/telco-experiments/src/bench_runner.rs
+
+/root/repo/target/debug/deps/repro-cf0864a6ca40fd94: crates/telco-experiments/src/main.rs crates/telco-experiments/src/bench_runner.rs
+
+crates/telco-experiments/src/main.rs:
+crates/telco-experiments/src/bench_runner.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sample_points_props-2160f3f52a395761.d: crates/telco-sim/tests/sample_points_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsample_points_props-2160f3f52a395761.rmeta: crates/telco-sim/tests/sample_points_props.rs Cargo.toml
+
+crates/telco-sim/tests/sample_points_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

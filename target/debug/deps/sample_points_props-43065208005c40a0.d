@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sample_points_props-43065208005c40a0.d: crates/telco-sim/tests/sample_points_props.rs
+
+/root/repo/target/debug/deps/sample_points_props-43065208005c40a0: crates/telco-sim/tests/sample_points_props.rs
+
+crates/telco-sim/tests/sample_points_props.rs:

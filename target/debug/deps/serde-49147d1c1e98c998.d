@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-49147d1c1e98c998.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-49147d1c1e98c998.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-8f4d082808c13d67.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-8f4d082808c13d67.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

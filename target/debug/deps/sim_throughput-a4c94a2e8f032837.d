@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_throughput-a4c94a2e8f032837.d: crates/telco-bench/benches/sim_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_throughput-a4c94a2e8f032837.rmeta: crates/telco-bench/benches/sim_throughput.rs Cargo.toml
+
+crates/telco-bench/benches/sim_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/study_integration-1a96e63652f4f7ca.d: tests/study_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstudy_integration-1a96e63652f4f7ca.rmeta: tests/study_integration.rs Cargo.toml
+
+tests/study_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/study_integration-9e1c51ff17feb095.d: tests/study_integration.rs
+
+/root/repo/target/debug/deps/study_integration-9e1c51ff17feb095: tests/study_integration.rs
+
+tests/study_integration.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/telco_analytics-405051bfc3cfeabe.d: crates/telco-analytics/src/lib.rs crates/telco-analytics/src/frame.rs crates/telco-analytics/src/geodemo.rs crates/telco-analytics/src/handovers.rs crates/telco-analytics/src/heterogeneity.rs crates/telco-analytics/src/hof.rs crates/telco-analytics/src/manufacturer.rs crates/telco-analytics/src/mobility_analysis.rs crates/telco-analytics/src/modeling.rs crates/telco-analytics/src/pingpong.rs crates/telco-analytics/src/study.rs crates/telco-analytics/src/tables.rs crates/telco-analytics/src/timeseries.rs crates/telco-analytics/src/vendor_analysis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelco_analytics-405051bfc3cfeabe.rmeta: crates/telco-analytics/src/lib.rs crates/telco-analytics/src/frame.rs crates/telco-analytics/src/geodemo.rs crates/telco-analytics/src/handovers.rs crates/telco-analytics/src/heterogeneity.rs crates/telco-analytics/src/hof.rs crates/telco-analytics/src/manufacturer.rs crates/telco-analytics/src/mobility_analysis.rs crates/telco-analytics/src/modeling.rs crates/telco-analytics/src/pingpong.rs crates/telco-analytics/src/study.rs crates/telco-analytics/src/tables.rs crates/telco-analytics/src/timeseries.rs crates/telco-analytics/src/vendor_analysis.rs Cargo.toml
+
+crates/telco-analytics/src/lib.rs:
+crates/telco-analytics/src/frame.rs:
+crates/telco-analytics/src/geodemo.rs:
+crates/telco-analytics/src/handovers.rs:
+crates/telco-analytics/src/heterogeneity.rs:
+crates/telco-analytics/src/hof.rs:
+crates/telco-analytics/src/manufacturer.rs:
+crates/telco-analytics/src/mobility_analysis.rs:
+crates/telco-analytics/src/modeling.rs:
+crates/telco-analytics/src/pingpong.rs:
+crates/telco-analytics/src/study.rs:
+crates/telco-analytics/src/tables.rs:
+crates/telco-analytics/src/timeseries.rs:
+crates/telco-analytics/src/vendor_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

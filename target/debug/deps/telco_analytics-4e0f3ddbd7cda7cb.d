@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/telco_analytics-4e0f3ddbd7cda7cb.d: crates/telco-analytics/src/lib.rs crates/telco-analytics/src/frame.rs crates/telco-analytics/src/geodemo.rs crates/telco-analytics/src/handovers.rs crates/telco-analytics/src/heterogeneity.rs crates/telco-analytics/src/hof.rs crates/telco-analytics/src/manufacturer.rs crates/telco-analytics/src/mobility_analysis.rs crates/telco-analytics/src/modeling.rs crates/telco-analytics/src/pingpong.rs crates/telco-analytics/src/study.rs crates/telco-analytics/src/tables.rs crates/telco-analytics/src/timeseries.rs crates/telco-analytics/src/vendor_analysis.rs
+
+/root/repo/target/debug/deps/telco_analytics-4e0f3ddbd7cda7cb: crates/telco-analytics/src/lib.rs crates/telco-analytics/src/frame.rs crates/telco-analytics/src/geodemo.rs crates/telco-analytics/src/handovers.rs crates/telco-analytics/src/heterogeneity.rs crates/telco-analytics/src/hof.rs crates/telco-analytics/src/manufacturer.rs crates/telco-analytics/src/mobility_analysis.rs crates/telco-analytics/src/modeling.rs crates/telco-analytics/src/pingpong.rs crates/telco-analytics/src/study.rs crates/telco-analytics/src/tables.rs crates/telco-analytics/src/timeseries.rs crates/telco-analytics/src/vendor_analysis.rs
+
+crates/telco-analytics/src/lib.rs:
+crates/telco-analytics/src/frame.rs:
+crates/telco-analytics/src/geodemo.rs:
+crates/telco-analytics/src/handovers.rs:
+crates/telco-analytics/src/heterogeneity.rs:
+crates/telco-analytics/src/hof.rs:
+crates/telco-analytics/src/manufacturer.rs:
+crates/telco-analytics/src/mobility_analysis.rs:
+crates/telco-analytics/src/modeling.rs:
+crates/telco-analytics/src/pingpong.rs:
+crates/telco-analytics/src/study.rs:
+crates/telco-analytics/src/tables.rs:
+crates/telco-analytics/src/timeseries.rs:
+crates/telco-analytics/src/vendor_analysis.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/telco_bench-118efbac6caa3230.d: crates/telco-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtelco_bench-118efbac6caa3230.rlib: crates/telco-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtelco_bench-118efbac6caa3230.rmeta: crates/telco-bench/src/lib.rs
+
+crates/telco-bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telco_bench-2b94cbe53197e470.d: crates/telco-bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelco_bench-2b94cbe53197e470.rmeta: crates/telco-bench/src/lib.rs Cargo.toml
+
+crates/telco-bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telco_bench-e8f16c199759413e.d: crates/telco-bench/src/lib.rs
+
+/root/repo/target/debug/deps/telco_bench-e8f16c199759413e: crates/telco-bench/src/lib.rs
+
+crates/telco-bench/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/telco_devices-4f7378e400a81fd8.d: crates/telco-devices/src/lib.rs crates/telco-devices/src/apn.rs crates/telco-devices/src/catalog.rs crates/telco-devices/src/ids.rs crates/telco-devices/src/population.rs crates/telco-devices/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelco_devices-4f7378e400a81fd8.rmeta: crates/telco-devices/src/lib.rs crates/telco-devices/src/apn.rs crates/telco-devices/src/catalog.rs crates/telco-devices/src/ids.rs crates/telco-devices/src/population.rs crates/telco-devices/src/types.rs Cargo.toml
+
+crates/telco-devices/src/lib.rs:
+crates/telco-devices/src/apn.rs:
+crates/telco-devices/src/catalog.rs:
+crates/telco-devices/src/ids.rs:
+crates/telco-devices/src/population.rs:
+crates/telco-devices/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

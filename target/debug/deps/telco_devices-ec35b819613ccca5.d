@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/telco_devices-ec35b819613ccca5.d: crates/telco-devices/src/lib.rs crates/telco-devices/src/apn.rs crates/telco-devices/src/catalog.rs crates/telco-devices/src/ids.rs crates/telco-devices/src/population.rs crates/telco-devices/src/types.rs
+
+/root/repo/target/debug/deps/telco_devices-ec35b819613ccca5: crates/telco-devices/src/lib.rs crates/telco-devices/src/apn.rs crates/telco-devices/src/catalog.rs crates/telco-devices/src/ids.rs crates/telco-devices/src/population.rs crates/telco-devices/src/types.rs
+
+crates/telco-devices/src/lib.rs:
+crates/telco-devices/src/apn.rs:
+crates/telco-devices/src/catalog.rs:
+crates/telco-devices/src/ids.rs:
+crates/telco-devices/src/population.rs:
+crates/telco-devices/src/types.rs:

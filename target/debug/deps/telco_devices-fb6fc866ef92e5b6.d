@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/telco_devices-fb6fc866ef92e5b6.d: crates/telco-devices/src/lib.rs crates/telco-devices/src/apn.rs crates/telco-devices/src/catalog.rs crates/telco-devices/src/ids.rs crates/telco-devices/src/population.rs crates/telco-devices/src/types.rs
+
+/root/repo/target/debug/deps/libtelco_devices-fb6fc866ef92e5b6.rlib: crates/telco-devices/src/lib.rs crates/telco-devices/src/apn.rs crates/telco-devices/src/catalog.rs crates/telco-devices/src/ids.rs crates/telco-devices/src/population.rs crates/telco-devices/src/types.rs
+
+/root/repo/target/debug/deps/libtelco_devices-fb6fc866ef92e5b6.rmeta: crates/telco-devices/src/lib.rs crates/telco-devices/src/apn.rs crates/telco-devices/src/catalog.rs crates/telco-devices/src/ids.rs crates/telco-devices/src/population.rs crates/telco-devices/src/types.rs
+
+crates/telco-devices/src/lib.rs:
+crates/telco-devices/src/apn.rs:
+crates/telco-devices/src/catalog.rs:
+crates/telco-devices/src/ids.rs:
+crates/telco-devices/src/population.rs:
+crates/telco-devices/src/types.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/telco_geo-2f3d47c5be3e3f39.d: crates/telco-geo/src/lib.rs crates/telco-geo/src/census.rs crates/telco-geo/src/coords.rs crates/telco-geo/src/country.rs crates/telco-geo/src/district.rs crates/telco-geo/src/grid.rs crates/telco-geo/src/postcode.rs
+
+/root/repo/target/debug/deps/telco_geo-2f3d47c5be3e3f39: crates/telco-geo/src/lib.rs crates/telco-geo/src/census.rs crates/telco-geo/src/coords.rs crates/telco-geo/src/country.rs crates/telco-geo/src/district.rs crates/telco-geo/src/grid.rs crates/telco-geo/src/postcode.rs
+
+crates/telco-geo/src/lib.rs:
+crates/telco-geo/src/census.rs:
+crates/telco-geo/src/coords.rs:
+crates/telco-geo/src/country.rs:
+crates/telco-geo/src/district.rs:
+crates/telco-geo/src/grid.rs:
+crates/telco-geo/src/postcode.rs:

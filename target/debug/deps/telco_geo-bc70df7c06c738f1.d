@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/telco_geo-bc70df7c06c738f1.d: crates/telco-geo/src/lib.rs crates/telco-geo/src/census.rs crates/telco-geo/src/coords.rs crates/telco-geo/src/country.rs crates/telco-geo/src/district.rs crates/telco-geo/src/grid.rs crates/telco-geo/src/postcode.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelco_geo-bc70df7c06c738f1.rmeta: crates/telco-geo/src/lib.rs crates/telco-geo/src/census.rs crates/telco-geo/src/coords.rs crates/telco-geo/src/country.rs crates/telco-geo/src/district.rs crates/telco-geo/src/grid.rs crates/telco-geo/src/postcode.rs Cargo.toml
+
+crates/telco-geo/src/lib.rs:
+crates/telco-geo/src/census.rs:
+crates/telco-geo/src/coords.rs:
+crates/telco-geo/src/country.rs:
+crates/telco-geo/src/district.rs:
+crates/telco-geo/src/grid.rs:
+crates/telco-geo/src/postcode.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

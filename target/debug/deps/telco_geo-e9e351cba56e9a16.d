@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/telco_geo-e9e351cba56e9a16.d: crates/telco-geo/src/lib.rs crates/telco-geo/src/census.rs crates/telco-geo/src/coords.rs crates/telco-geo/src/country.rs crates/telco-geo/src/district.rs crates/telco-geo/src/grid.rs crates/telco-geo/src/postcode.rs
+
+/root/repo/target/debug/deps/libtelco_geo-e9e351cba56e9a16.rlib: crates/telco-geo/src/lib.rs crates/telco-geo/src/census.rs crates/telco-geo/src/coords.rs crates/telco-geo/src/country.rs crates/telco-geo/src/district.rs crates/telco-geo/src/grid.rs crates/telco-geo/src/postcode.rs
+
+/root/repo/target/debug/deps/libtelco_geo-e9e351cba56e9a16.rmeta: crates/telco-geo/src/lib.rs crates/telco-geo/src/census.rs crates/telco-geo/src/coords.rs crates/telco-geo/src/country.rs crates/telco-geo/src/district.rs crates/telco-geo/src/grid.rs crates/telco-geo/src/postcode.rs
+
+crates/telco-geo/src/lib.rs:
+crates/telco-geo/src/census.rs:
+crates/telco-geo/src/coords.rs:
+crates/telco-geo/src/country.rs:
+crates/telco-geo/src/district.rs:
+crates/telco-geo/src/grid.rs:
+crates/telco-geo/src/postcode.rs:

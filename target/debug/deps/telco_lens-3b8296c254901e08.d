@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telco_lens-3b8296c254901e08.d: src/lib.rs
+
+/root/repo/target/debug/deps/telco_lens-3b8296c254901e08: src/lib.rs
+
+src/lib.rs:

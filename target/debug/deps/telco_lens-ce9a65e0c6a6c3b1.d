@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/telco_lens-ce9a65e0c6a6c3b1.d: src/lib.rs
+
+/root/repo/target/debug/deps/libtelco_lens-ce9a65e0c6a6c3b1.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libtelco_lens-ce9a65e0c6a6c3b1.rmeta: src/lib.rs
+
+src/lib.rs:

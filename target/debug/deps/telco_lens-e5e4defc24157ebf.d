@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telco_lens-e5e4defc24157ebf.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelco_lens-e5e4defc24157ebf.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/telco_mobility-344b937103552800.d: crates/telco-mobility/src/lib.rs crates/telco-mobility/src/assign.rs crates/telco-mobility/src/metrics.rs crates/telco-mobility/src/profile.rs crates/telco-mobility/src/schedule.rs crates/telco-mobility/src/trajectory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelco_mobility-344b937103552800.rmeta: crates/telco-mobility/src/lib.rs crates/telco-mobility/src/assign.rs crates/telco-mobility/src/metrics.rs crates/telco-mobility/src/profile.rs crates/telco-mobility/src/schedule.rs crates/telco-mobility/src/trajectory.rs Cargo.toml
+
+crates/telco-mobility/src/lib.rs:
+crates/telco-mobility/src/assign.rs:
+crates/telco-mobility/src/metrics.rs:
+crates/telco-mobility/src/profile.rs:
+crates/telco-mobility/src/schedule.rs:
+crates/telco-mobility/src/trajectory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

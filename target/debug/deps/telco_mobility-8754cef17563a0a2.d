@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/telco_mobility-8754cef17563a0a2.d: crates/telco-mobility/src/lib.rs crates/telco-mobility/src/assign.rs crates/telco-mobility/src/metrics.rs crates/telco-mobility/src/profile.rs crates/telco-mobility/src/schedule.rs crates/telco-mobility/src/trajectory.rs
+
+/root/repo/target/debug/deps/libtelco_mobility-8754cef17563a0a2.rlib: crates/telco-mobility/src/lib.rs crates/telco-mobility/src/assign.rs crates/telco-mobility/src/metrics.rs crates/telco-mobility/src/profile.rs crates/telco-mobility/src/schedule.rs crates/telco-mobility/src/trajectory.rs
+
+/root/repo/target/debug/deps/libtelco_mobility-8754cef17563a0a2.rmeta: crates/telco-mobility/src/lib.rs crates/telco-mobility/src/assign.rs crates/telco-mobility/src/metrics.rs crates/telco-mobility/src/profile.rs crates/telco-mobility/src/schedule.rs crates/telco-mobility/src/trajectory.rs
+
+crates/telco-mobility/src/lib.rs:
+crates/telco-mobility/src/assign.rs:
+crates/telco-mobility/src/metrics.rs:
+crates/telco-mobility/src/profile.rs:
+crates/telco-mobility/src/schedule.rs:
+crates/telco-mobility/src/trajectory.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/telco_mobility-bae480e7dbf76ded.d: crates/telco-mobility/src/lib.rs crates/telco-mobility/src/assign.rs crates/telco-mobility/src/metrics.rs crates/telco-mobility/src/profile.rs crates/telco-mobility/src/schedule.rs crates/telco-mobility/src/trajectory.rs
+
+/root/repo/target/debug/deps/telco_mobility-bae480e7dbf76ded: crates/telco-mobility/src/lib.rs crates/telco-mobility/src/assign.rs crates/telco-mobility/src/metrics.rs crates/telco-mobility/src/profile.rs crates/telco-mobility/src/schedule.rs crates/telco-mobility/src/trajectory.rs
+
+crates/telco-mobility/src/lib.rs:
+crates/telco-mobility/src/assign.rs:
+crates/telco-mobility/src/metrics.rs:
+crates/telco-mobility/src/profile.rs:
+crates/telco-mobility/src/schedule.rs:
+crates/telco-mobility/src/trajectory.rs:

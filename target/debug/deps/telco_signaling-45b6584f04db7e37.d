@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/telco_signaling-45b6584f04db7e37.d: crates/telco-signaling/src/lib.rs crates/telco-signaling/src/causes.rs crates/telco-signaling/src/duration.rs crates/telco-signaling/src/entities.rs crates/telco-signaling/src/events.rs crates/telco-signaling/src/failure.rs crates/telco-signaling/src/messages.rs crates/telco-signaling/src/state_machine.rs
+
+/root/repo/target/debug/deps/telco_signaling-45b6584f04db7e37: crates/telco-signaling/src/lib.rs crates/telco-signaling/src/causes.rs crates/telco-signaling/src/duration.rs crates/telco-signaling/src/entities.rs crates/telco-signaling/src/events.rs crates/telco-signaling/src/failure.rs crates/telco-signaling/src/messages.rs crates/telco-signaling/src/state_machine.rs
+
+crates/telco-signaling/src/lib.rs:
+crates/telco-signaling/src/causes.rs:
+crates/telco-signaling/src/duration.rs:
+crates/telco-signaling/src/entities.rs:
+crates/telco-signaling/src/events.rs:
+crates/telco-signaling/src/failure.rs:
+crates/telco-signaling/src/messages.rs:
+crates/telco-signaling/src/state_machine.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/telco_signaling-a91255e7d264d44b.d: crates/telco-signaling/src/lib.rs crates/telco-signaling/src/causes.rs crates/telco-signaling/src/duration.rs crates/telco-signaling/src/entities.rs crates/telco-signaling/src/events.rs crates/telco-signaling/src/failure.rs crates/telco-signaling/src/messages.rs crates/telco-signaling/src/state_machine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelco_signaling-a91255e7d264d44b.rmeta: crates/telco-signaling/src/lib.rs crates/telco-signaling/src/causes.rs crates/telco-signaling/src/duration.rs crates/telco-signaling/src/entities.rs crates/telco-signaling/src/events.rs crates/telco-signaling/src/failure.rs crates/telco-signaling/src/messages.rs crates/telco-signaling/src/state_machine.rs Cargo.toml
+
+crates/telco-signaling/src/lib.rs:
+crates/telco-signaling/src/causes.rs:
+crates/telco-signaling/src/duration.rs:
+crates/telco-signaling/src/entities.rs:
+crates/telco-signaling/src/events.rs:
+crates/telco-signaling/src/failure.rs:
+crates/telco-signaling/src/messages.rs:
+crates/telco-signaling/src/state_machine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

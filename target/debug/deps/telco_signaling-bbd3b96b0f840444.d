@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/telco_signaling-bbd3b96b0f840444.d: crates/telco-signaling/src/lib.rs crates/telco-signaling/src/causes.rs crates/telco-signaling/src/duration.rs crates/telco-signaling/src/entities.rs crates/telco-signaling/src/events.rs crates/telco-signaling/src/failure.rs crates/telco-signaling/src/messages.rs crates/telco-signaling/src/state_machine.rs
+
+/root/repo/target/debug/deps/libtelco_signaling-bbd3b96b0f840444.rlib: crates/telco-signaling/src/lib.rs crates/telco-signaling/src/causes.rs crates/telco-signaling/src/duration.rs crates/telco-signaling/src/entities.rs crates/telco-signaling/src/events.rs crates/telco-signaling/src/failure.rs crates/telco-signaling/src/messages.rs crates/telco-signaling/src/state_machine.rs
+
+/root/repo/target/debug/deps/libtelco_signaling-bbd3b96b0f840444.rmeta: crates/telco-signaling/src/lib.rs crates/telco-signaling/src/causes.rs crates/telco-signaling/src/duration.rs crates/telco-signaling/src/entities.rs crates/telco-signaling/src/events.rs crates/telco-signaling/src/failure.rs crates/telco-signaling/src/messages.rs crates/telco-signaling/src/state_machine.rs
+
+crates/telco-signaling/src/lib.rs:
+crates/telco-signaling/src/causes.rs:
+crates/telco-signaling/src/duration.rs:
+crates/telco-signaling/src/entities.rs:
+crates/telco-signaling/src/events.rs:
+crates/telco-signaling/src/failure.rs:
+crates/telco-signaling/src/messages.rs:
+crates/telco-signaling/src/state_machine.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/telco_sim-034c82c015d2b921.d: crates/telco-sim/src/lib.rs crates/telco-sim/src/config.rs crates/telco-sim/src/engine.rs crates/telco-sim/src/load.rs crates/telco-sim/src/output.rs crates/telco-sim/src/runner.rs crates/telco-sim/src/world.rs
+
+/root/repo/target/debug/deps/telco_sim-034c82c015d2b921: crates/telco-sim/src/lib.rs crates/telco-sim/src/config.rs crates/telco-sim/src/engine.rs crates/telco-sim/src/load.rs crates/telco-sim/src/output.rs crates/telco-sim/src/runner.rs crates/telco-sim/src/world.rs
+
+crates/telco-sim/src/lib.rs:
+crates/telco-sim/src/config.rs:
+crates/telco-sim/src/engine.rs:
+crates/telco-sim/src/load.rs:
+crates/telco-sim/src/output.rs:
+crates/telco-sim/src/runner.rs:
+crates/telco-sim/src/world.rs:

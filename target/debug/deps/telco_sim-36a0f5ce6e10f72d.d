@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/telco_sim-36a0f5ce6e10f72d.d: crates/telco-sim/src/lib.rs crates/telco-sim/src/config.rs crates/telco-sim/src/engine.rs crates/telco-sim/src/load.rs crates/telco-sim/src/output.rs crates/telco-sim/src/runner.rs crates/telco-sim/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelco_sim-36a0f5ce6e10f72d.rmeta: crates/telco-sim/src/lib.rs crates/telco-sim/src/config.rs crates/telco-sim/src/engine.rs crates/telco-sim/src/load.rs crates/telco-sim/src/output.rs crates/telco-sim/src/runner.rs crates/telco-sim/src/world.rs Cargo.toml
+
+crates/telco-sim/src/lib.rs:
+crates/telco-sim/src/config.rs:
+crates/telco-sim/src/engine.rs:
+crates/telco-sim/src/load.rs:
+crates/telco-sim/src/output.rs:
+crates/telco-sim/src/runner.rs:
+crates/telco-sim/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/telco_sim-9a1556ca610d3f85.d: crates/telco-sim/src/lib.rs crates/telco-sim/src/config.rs crates/telco-sim/src/engine.rs crates/telco-sim/src/load.rs crates/telco-sim/src/output.rs crates/telco-sim/src/runner.rs crates/telco-sim/src/world.rs
+
+/root/repo/target/debug/deps/libtelco_sim-9a1556ca610d3f85.rlib: crates/telco-sim/src/lib.rs crates/telco-sim/src/config.rs crates/telco-sim/src/engine.rs crates/telco-sim/src/load.rs crates/telco-sim/src/output.rs crates/telco-sim/src/runner.rs crates/telco-sim/src/world.rs
+
+/root/repo/target/debug/deps/libtelco_sim-9a1556ca610d3f85.rmeta: crates/telco-sim/src/lib.rs crates/telco-sim/src/config.rs crates/telco-sim/src/engine.rs crates/telco-sim/src/load.rs crates/telco-sim/src/output.rs crates/telco-sim/src/runner.rs crates/telco-sim/src/world.rs
+
+crates/telco-sim/src/lib.rs:
+crates/telco-sim/src/config.rs:
+crates/telco-sim/src/engine.rs:
+crates/telco-sim/src/load.rs:
+crates/telco-sim/src/output.rs:
+crates/telco-sim/src/runner.rs:
+crates/telco-sim/src/world.rs:

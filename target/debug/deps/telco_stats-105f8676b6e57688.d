@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/telco_stats-105f8676b6e57688.d: crates/telco-stats/src/lib.rs crates/telco-stats/src/anova.rs crates/telco-stats/src/boxplot.rs crates/telco-stats/src/corr.rs crates/telco-stats/src/desc.rs crates/telco-stats/src/ecdf.rs crates/telco-stats/src/forest.rs crates/telco-stats/src/hist.rs crates/telco-stats/src/kruskal.rs crates/telco-stats/src/linalg.rs crates/telco-stats/src/quantile_reg.rs crates/telco-stats/src/regression.rs crates/telco-stats/src/special.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelco_stats-105f8676b6e57688.rmeta: crates/telco-stats/src/lib.rs crates/telco-stats/src/anova.rs crates/telco-stats/src/boxplot.rs crates/telco-stats/src/corr.rs crates/telco-stats/src/desc.rs crates/telco-stats/src/ecdf.rs crates/telco-stats/src/forest.rs crates/telco-stats/src/hist.rs crates/telco-stats/src/kruskal.rs crates/telco-stats/src/linalg.rs crates/telco-stats/src/quantile_reg.rs crates/telco-stats/src/regression.rs crates/telco-stats/src/special.rs Cargo.toml
+
+crates/telco-stats/src/lib.rs:
+crates/telco-stats/src/anova.rs:
+crates/telco-stats/src/boxplot.rs:
+crates/telco-stats/src/corr.rs:
+crates/telco-stats/src/desc.rs:
+crates/telco-stats/src/ecdf.rs:
+crates/telco-stats/src/forest.rs:
+crates/telco-stats/src/hist.rs:
+crates/telco-stats/src/kruskal.rs:
+crates/telco-stats/src/linalg.rs:
+crates/telco-stats/src/quantile_reg.rs:
+crates/telco-stats/src/regression.rs:
+crates/telco-stats/src/special.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

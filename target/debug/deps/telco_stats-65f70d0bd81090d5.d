@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/telco_stats-65f70d0bd81090d5.d: crates/telco-stats/src/lib.rs crates/telco-stats/src/anova.rs crates/telco-stats/src/boxplot.rs crates/telco-stats/src/corr.rs crates/telco-stats/src/desc.rs crates/telco-stats/src/ecdf.rs crates/telco-stats/src/forest.rs crates/telco-stats/src/hist.rs crates/telco-stats/src/kruskal.rs crates/telco-stats/src/linalg.rs crates/telco-stats/src/quantile_reg.rs crates/telco-stats/src/regression.rs crates/telco-stats/src/special.rs
+
+/root/repo/target/debug/deps/telco_stats-65f70d0bd81090d5: crates/telco-stats/src/lib.rs crates/telco-stats/src/anova.rs crates/telco-stats/src/boxplot.rs crates/telco-stats/src/corr.rs crates/telco-stats/src/desc.rs crates/telco-stats/src/ecdf.rs crates/telco-stats/src/forest.rs crates/telco-stats/src/hist.rs crates/telco-stats/src/kruskal.rs crates/telco-stats/src/linalg.rs crates/telco-stats/src/quantile_reg.rs crates/telco-stats/src/regression.rs crates/telco-stats/src/special.rs
+
+crates/telco-stats/src/lib.rs:
+crates/telco-stats/src/anova.rs:
+crates/telco-stats/src/boxplot.rs:
+crates/telco-stats/src/corr.rs:
+crates/telco-stats/src/desc.rs:
+crates/telco-stats/src/ecdf.rs:
+crates/telco-stats/src/forest.rs:
+crates/telco-stats/src/hist.rs:
+crates/telco-stats/src/kruskal.rs:
+crates/telco-stats/src/linalg.rs:
+crates/telco-stats/src/quantile_reg.rs:
+crates/telco-stats/src/regression.rs:
+crates/telco-stats/src/special.rs:

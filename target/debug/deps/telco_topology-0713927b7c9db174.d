@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/telco_topology-0713927b7c9db174.d: crates/telco-topology/src/lib.rs crates/telco-topology/src/deployment.rs crates/telco-topology/src/elements.rs crates/telco-topology/src/energy.rs crates/telco-topology/src/evolution.rs crates/telco-topology/src/neighbors.rs crates/telco-topology/src/rat.rs crates/telco-topology/src/vendor.rs
+
+/root/repo/target/debug/deps/libtelco_topology-0713927b7c9db174.rlib: crates/telco-topology/src/lib.rs crates/telco-topology/src/deployment.rs crates/telco-topology/src/elements.rs crates/telco-topology/src/energy.rs crates/telco-topology/src/evolution.rs crates/telco-topology/src/neighbors.rs crates/telco-topology/src/rat.rs crates/telco-topology/src/vendor.rs
+
+/root/repo/target/debug/deps/libtelco_topology-0713927b7c9db174.rmeta: crates/telco-topology/src/lib.rs crates/telco-topology/src/deployment.rs crates/telco-topology/src/elements.rs crates/telco-topology/src/energy.rs crates/telco-topology/src/evolution.rs crates/telco-topology/src/neighbors.rs crates/telco-topology/src/rat.rs crates/telco-topology/src/vendor.rs
+
+crates/telco-topology/src/lib.rs:
+crates/telco-topology/src/deployment.rs:
+crates/telco-topology/src/elements.rs:
+crates/telco-topology/src/energy.rs:
+crates/telco-topology/src/evolution.rs:
+crates/telco-topology/src/neighbors.rs:
+crates/telco-topology/src/rat.rs:
+crates/telco-topology/src/vendor.rs:

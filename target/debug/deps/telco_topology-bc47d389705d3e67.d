@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/telco_topology-bc47d389705d3e67.d: crates/telco-topology/src/lib.rs crates/telco-topology/src/deployment.rs crates/telco-topology/src/elements.rs crates/telco-topology/src/energy.rs crates/telco-topology/src/evolution.rs crates/telco-topology/src/neighbors.rs crates/telco-topology/src/rat.rs crates/telco-topology/src/vendor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelco_topology-bc47d389705d3e67.rmeta: crates/telco-topology/src/lib.rs crates/telco-topology/src/deployment.rs crates/telco-topology/src/elements.rs crates/telco-topology/src/energy.rs crates/telco-topology/src/evolution.rs crates/telco-topology/src/neighbors.rs crates/telco-topology/src/rat.rs crates/telco-topology/src/vendor.rs Cargo.toml
+
+crates/telco-topology/src/lib.rs:
+crates/telco-topology/src/deployment.rs:
+crates/telco-topology/src/elements.rs:
+crates/telco-topology/src/energy.rs:
+crates/telco-topology/src/evolution.rs:
+crates/telco-topology/src/neighbors.rs:
+crates/telco-topology/src/rat.rs:
+crates/telco-topology/src/vendor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

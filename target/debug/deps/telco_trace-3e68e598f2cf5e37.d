@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/telco_trace-3e68e598f2cf5e37.d: crates/telco-trace/src/lib.rs crates/telco-trace/src/anonymize.rs crates/telco-trace/src/dataset.rs crates/telco-trace/src/io.rs crates/telco-trace/src/record.rs
+
+/root/repo/target/debug/deps/libtelco_trace-3e68e598f2cf5e37.rlib: crates/telco-trace/src/lib.rs crates/telco-trace/src/anonymize.rs crates/telco-trace/src/dataset.rs crates/telco-trace/src/io.rs crates/telco-trace/src/record.rs
+
+/root/repo/target/debug/deps/libtelco_trace-3e68e598f2cf5e37.rmeta: crates/telco-trace/src/lib.rs crates/telco-trace/src/anonymize.rs crates/telco-trace/src/dataset.rs crates/telco-trace/src/io.rs crates/telco-trace/src/record.rs
+
+crates/telco-trace/src/lib.rs:
+crates/telco-trace/src/anonymize.rs:
+crates/telco-trace/src/dataset.rs:
+crates/telco-trace/src/io.rs:
+crates/telco-trace/src/record.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/telco_trace-45d412c5b7685155.d: crates/telco-trace/src/lib.rs crates/telco-trace/src/anonymize.rs crates/telco-trace/src/dataset.rs crates/telco-trace/src/io.rs crates/telco-trace/src/record.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelco_trace-45d412c5b7685155.rmeta: crates/telco-trace/src/lib.rs crates/telco-trace/src/anonymize.rs crates/telco-trace/src/dataset.rs crates/telco-trace/src/io.rs crates/telco-trace/src/record.rs Cargo.toml
+
+crates/telco-trace/src/lib.rs:
+crates/telco-trace/src/anonymize.rs:
+crates/telco-trace/src/dataset.rs:
+crates/telco-trace/src/io.rs:
+crates/telco-trace/src/record.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

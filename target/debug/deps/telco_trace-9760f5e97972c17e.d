@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telco_trace-9760f5e97972c17e.d: crates/telco-trace/src/lib.rs crates/telco-trace/src/anonymize.rs crates/telco-trace/src/dataset.rs crates/telco-trace/src/io.rs crates/telco-trace/src/record.rs
+
+/root/repo/target/debug/deps/telco_trace-9760f5e97972c17e: crates/telco-trace/src/lib.rs crates/telco-trace/src/anonymize.rs crates/telco-trace/src/dataset.rs crates/telco-trace/src/io.rs crates/telco-trace/src/record.rs
+
+crates/telco-trace/src/lib.rs:
+crates/telco-trace/src/anonymize.rs:
+crates/telco-trace/src/dataset.rs:
+crates/telco-trace/src/io.rs:
+crates/telco-trace/src/record.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zero_alloc-1a84e18d26153f37.d: crates/telco-sim/tests/zero_alloc.rs
+
+/root/repo/target/debug/deps/zero_alloc-1a84e18d26153f37: crates/telco-sim/tests/zero_alloc.rs
+
+crates/telco-sim/tests/zero_alloc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zero_alloc-620df594295fbc88.d: crates/telco-sim/tests/zero_alloc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzero_alloc-620df594295fbc88.rmeta: crates/telco-sim/tests/zero_alloc.rs Cargo.toml
+
+crates/telco-sim/tests/zero_alloc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

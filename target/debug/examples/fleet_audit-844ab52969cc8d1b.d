@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fleet_audit-844ab52969cc8d1b.d: examples/fleet_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfleet_audit-844ab52969cc8d1b.rmeta: examples/fleet_audit.rs Cargo.toml
+
+examples/fleet_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fleet_audit-cebd1d773173376f.d: examples/fleet_audit.rs
+
+/root/repo/target/debug/examples/fleet_audit-cebd1d773173376f: examples/fleet_audit.rs
+
+examples/fleet_audit.rs:

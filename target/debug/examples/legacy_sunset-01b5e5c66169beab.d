@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/legacy_sunset-01b5e5c66169beab.d: examples/legacy_sunset.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblegacy_sunset-01b5e5c66169beab.rmeta: examples/legacy_sunset.rs Cargo.toml
+
+examples/legacy_sunset.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/legacy_sunset-8fe47d2b80be2cda.d: examples/legacy_sunset.rs
+
+/root/repo/target/debug/examples/legacy_sunset-8fe47d2b80be2cda: examples/legacy_sunset.rs
+
+examples/legacy_sunset.rs:

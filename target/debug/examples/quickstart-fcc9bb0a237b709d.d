@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-fcc9bb0a237b709d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-fcc9bb0a237b709d: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/rush_hour-5bea5f807179281a.d: examples/rush_hour.rs Cargo.toml
+
+/root/repo/target/debug/examples/librush_hour-5bea5f807179281a.rmeta: examples/rush_hour.rs Cargo.toml
+
+examples/rush_hour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rush_hour-d4394b9c8fb416e2.d: examples/rush_hour.rs
+
+/root/repo/target/debug/examples/rush_hour-d4394b9c8fb416e2: examples/rush_hour.rs
+
+examples/rush_hour.rs:

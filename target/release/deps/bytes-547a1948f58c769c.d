@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-547a1948f58c769c.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-547a1948f58c769c.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-547a1948f58c769c.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

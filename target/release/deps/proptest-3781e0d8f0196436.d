@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-3781e0d8f0196436.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-3781e0d8f0196436.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-3781e0d8f0196436.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

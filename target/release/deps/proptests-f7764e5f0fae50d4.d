@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-f7764e5f0fae50d4.d: tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-f7764e5f0fae50d4: tests/proptests.rs
+
+tests/proptests.rs:

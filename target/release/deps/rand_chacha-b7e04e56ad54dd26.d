@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-b7e04e56ad54dd26.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-b7e04e56ad54dd26.rlib: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-b7e04e56ad54dd26.rmeta: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

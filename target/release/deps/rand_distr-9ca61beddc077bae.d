@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_distr-9ca61beddc077bae.d: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/release/deps/librand_distr-9ca61beddc077bae.rlib: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/release/deps/librand_distr-9ca61beddc077bae.rmeta: vendor/rand_distr/src/lib.rs
+
+vendor/rand_distr/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-48a3a0f99a68506e.d: crates/telco-experiments/src/main.rs
+
+/root/repo/target/release/deps/repro-48a3a0f99a68506e: crates/telco-experiments/src/main.rs
+
+crates/telco-experiments/src/main.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/repro-598144265a76ca76.d: crates/telco-experiments/src/main.rs crates/telco-experiments/src/bench_runner.rs
+
+/root/repo/target/release/deps/repro-598144265a76ca76: crates/telco-experiments/src/main.rs crates/telco-experiments/src/bench_runner.rs
+
+crates/telco-experiments/src/main.rs:
+crates/telco-experiments/src/bench_runner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sim_throughput-a6c4b6f6a058e1cb.d: crates/telco-bench/benches/sim_throughput.rs
+
+/root/repo/target/release/deps/sim_throughput-a6c4b6f6a058e1cb: crates/telco-bench/benches/sim_throughput.rs
+
+crates/telco-bench/benches/sim_throughput.rs:

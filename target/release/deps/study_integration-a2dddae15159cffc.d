@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/study_integration-a2dddae15159cffc.d: tests/study_integration.rs
+
+/root/repo/target/release/deps/study_integration-a2dddae15159cffc: tests/study_integration.rs
+
+tests/study_integration.rs:

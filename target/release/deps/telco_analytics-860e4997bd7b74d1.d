@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/telco_analytics-860e4997bd7b74d1.d: crates/telco-analytics/src/lib.rs crates/telco-analytics/src/frame.rs crates/telco-analytics/src/geodemo.rs crates/telco-analytics/src/handovers.rs crates/telco-analytics/src/heterogeneity.rs crates/telco-analytics/src/hof.rs crates/telco-analytics/src/manufacturer.rs crates/telco-analytics/src/mobility_analysis.rs crates/telco-analytics/src/modeling.rs crates/telco-analytics/src/pingpong.rs crates/telco-analytics/src/study.rs crates/telco-analytics/src/tables.rs crates/telco-analytics/src/timeseries.rs crates/telco-analytics/src/vendor_analysis.rs
+
+/root/repo/target/release/deps/libtelco_analytics-860e4997bd7b74d1.rlib: crates/telco-analytics/src/lib.rs crates/telco-analytics/src/frame.rs crates/telco-analytics/src/geodemo.rs crates/telco-analytics/src/handovers.rs crates/telco-analytics/src/heterogeneity.rs crates/telco-analytics/src/hof.rs crates/telco-analytics/src/manufacturer.rs crates/telco-analytics/src/mobility_analysis.rs crates/telco-analytics/src/modeling.rs crates/telco-analytics/src/pingpong.rs crates/telco-analytics/src/study.rs crates/telco-analytics/src/tables.rs crates/telco-analytics/src/timeseries.rs crates/telco-analytics/src/vendor_analysis.rs
+
+/root/repo/target/release/deps/libtelco_analytics-860e4997bd7b74d1.rmeta: crates/telco-analytics/src/lib.rs crates/telco-analytics/src/frame.rs crates/telco-analytics/src/geodemo.rs crates/telco-analytics/src/handovers.rs crates/telco-analytics/src/heterogeneity.rs crates/telco-analytics/src/hof.rs crates/telco-analytics/src/manufacturer.rs crates/telco-analytics/src/mobility_analysis.rs crates/telco-analytics/src/modeling.rs crates/telco-analytics/src/pingpong.rs crates/telco-analytics/src/study.rs crates/telco-analytics/src/tables.rs crates/telco-analytics/src/timeseries.rs crates/telco-analytics/src/vendor_analysis.rs
+
+crates/telco-analytics/src/lib.rs:
+crates/telco-analytics/src/frame.rs:
+crates/telco-analytics/src/geodemo.rs:
+crates/telco-analytics/src/handovers.rs:
+crates/telco-analytics/src/heterogeneity.rs:
+crates/telco-analytics/src/hof.rs:
+crates/telco-analytics/src/manufacturer.rs:
+crates/telco-analytics/src/mobility_analysis.rs:
+crates/telco-analytics/src/modeling.rs:
+crates/telco-analytics/src/pingpong.rs:
+crates/telco-analytics/src/study.rs:
+crates/telco-analytics/src/tables.rs:
+crates/telco-analytics/src/timeseries.rs:
+crates/telco-analytics/src/vendor_analysis.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/telco_bench-319ab60433baca9a.d: crates/telco-bench/src/lib.rs
+
+/root/repo/target/release/deps/libtelco_bench-319ab60433baca9a.rlib: crates/telco-bench/src/lib.rs
+
+/root/repo/target/release/deps/libtelco_bench-319ab60433baca9a.rmeta: crates/telco-bench/src/lib.rs
+
+crates/telco-bench/src/lib.rs:

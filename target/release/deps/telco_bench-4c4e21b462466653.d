@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/telco_bench-4c4e21b462466653.d: crates/telco-bench/src/lib.rs
+
+/root/repo/target/release/deps/libtelco_bench-4c4e21b462466653.rlib: crates/telco-bench/src/lib.rs
+
+/root/repo/target/release/deps/libtelco_bench-4c4e21b462466653.rmeta: crates/telco-bench/src/lib.rs
+
+crates/telco-bench/src/lib.rs:

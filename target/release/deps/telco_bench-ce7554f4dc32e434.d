@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/telco_bench-ce7554f4dc32e434.d: crates/telco-bench/src/lib.rs
+
+/root/repo/target/release/deps/telco_bench-ce7554f4dc32e434: crates/telco-bench/src/lib.rs
+
+crates/telco-bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/telco_devices-b4619782690a4134.d: crates/telco-devices/src/lib.rs crates/telco-devices/src/apn.rs crates/telco-devices/src/catalog.rs crates/telco-devices/src/ids.rs crates/telco-devices/src/population.rs crates/telco-devices/src/types.rs
+
+/root/repo/target/release/deps/libtelco_devices-b4619782690a4134.rlib: crates/telco-devices/src/lib.rs crates/telco-devices/src/apn.rs crates/telco-devices/src/catalog.rs crates/telco-devices/src/ids.rs crates/telco-devices/src/population.rs crates/telco-devices/src/types.rs
+
+/root/repo/target/release/deps/libtelco_devices-b4619782690a4134.rmeta: crates/telco-devices/src/lib.rs crates/telco-devices/src/apn.rs crates/telco-devices/src/catalog.rs crates/telco-devices/src/ids.rs crates/telco-devices/src/population.rs crates/telco-devices/src/types.rs
+
+crates/telco-devices/src/lib.rs:
+crates/telco-devices/src/apn.rs:
+crates/telco-devices/src/catalog.rs:
+crates/telco-devices/src/ids.rs:
+crates/telco-devices/src/population.rs:
+crates/telco-devices/src/types.rs:

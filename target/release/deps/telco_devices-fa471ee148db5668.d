@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/telco_devices-fa471ee148db5668.d: crates/telco-devices/src/lib.rs crates/telco-devices/src/apn.rs crates/telco-devices/src/catalog.rs crates/telco-devices/src/ids.rs crates/telco-devices/src/population.rs crates/telco-devices/src/types.rs
+
+/root/repo/target/release/deps/telco_devices-fa471ee148db5668: crates/telco-devices/src/lib.rs crates/telco-devices/src/apn.rs crates/telco-devices/src/catalog.rs crates/telco-devices/src/ids.rs crates/telco-devices/src/population.rs crates/telco-devices/src/types.rs
+
+crates/telco-devices/src/lib.rs:
+crates/telco-devices/src/apn.rs:
+crates/telco-devices/src/catalog.rs:
+crates/telco-devices/src/ids.rs:
+crates/telco-devices/src/population.rs:
+crates/telco-devices/src/types.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/telco_geo-05fc172d212d29f6.d: crates/telco-geo/src/lib.rs crates/telco-geo/src/census.rs crates/telco-geo/src/coords.rs crates/telco-geo/src/country.rs crates/telco-geo/src/district.rs crates/telco-geo/src/grid.rs crates/telco-geo/src/postcode.rs
+
+/root/repo/target/release/deps/libtelco_geo-05fc172d212d29f6.rlib: crates/telco-geo/src/lib.rs crates/telco-geo/src/census.rs crates/telco-geo/src/coords.rs crates/telco-geo/src/country.rs crates/telco-geo/src/district.rs crates/telco-geo/src/grid.rs crates/telco-geo/src/postcode.rs
+
+/root/repo/target/release/deps/libtelco_geo-05fc172d212d29f6.rmeta: crates/telco-geo/src/lib.rs crates/telco-geo/src/census.rs crates/telco-geo/src/coords.rs crates/telco-geo/src/country.rs crates/telco-geo/src/district.rs crates/telco-geo/src/grid.rs crates/telco-geo/src/postcode.rs
+
+crates/telco-geo/src/lib.rs:
+crates/telco-geo/src/census.rs:
+crates/telco-geo/src/coords.rs:
+crates/telco-geo/src/country.rs:
+crates/telco-geo/src/district.rs:
+crates/telco-geo/src/grid.rs:
+crates/telco-geo/src/postcode.rs:

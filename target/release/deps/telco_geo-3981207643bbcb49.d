@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/telco_geo-3981207643bbcb49.d: crates/telco-geo/src/lib.rs crates/telco-geo/src/census.rs crates/telco-geo/src/coords.rs crates/telco-geo/src/country.rs crates/telco-geo/src/district.rs crates/telco-geo/src/grid.rs crates/telco-geo/src/postcode.rs
+
+/root/repo/target/release/deps/telco_geo-3981207643bbcb49: crates/telco-geo/src/lib.rs crates/telco-geo/src/census.rs crates/telco-geo/src/coords.rs crates/telco-geo/src/country.rs crates/telco-geo/src/district.rs crates/telco-geo/src/grid.rs crates/telco-geo/src/postcode.rs
+
+crates/telco-geo/src/lib.rs:
+crates/telco-geo/src/census.rs:
+crates/telco-geo/src/coords.rs:
+crates/telco-geo/src/country.rs:
+crates/telco-geo/src/district.rs:
+crates/telco-geo/src/grid.rs:
+crates/telco-geo/src/postcode.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/telco_lens-6a8bc3f377c4c794.d: src/lib.rs
+
+/root/repo/target/release/deps/libtelco_lens-6a8bc3f377c4c794.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libtelco_lens-6a8bc3f377c4c794.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/telco_lens-af388f18c511900f.d: src/lib.rs
+
+/root/repo/target/release/deps/libtelco_lens-af388f18c511900f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libtelco_lens-af388f18c511900f.rmeta: src/lib.rs
+
+src/lib.rs:

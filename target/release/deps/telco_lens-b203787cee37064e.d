@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/telco_lens-b203787cee37064e.d: src/lib.rs
+
+/root/repo/target/release/deps/telco_lens-b203787cee37064e: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/telco_mobility-0b740ffadfe973d5.d: crates/telco-mobility/src/lib.rs crates/telco-mobility/src/assign.rs crates/telco-mobility/src/metrics.rs crates/telco-mobility/src/profile.rs crates/telco-mobility/src/schedule.rs crates/telco-mobility/src/trajectory.rs
+
+/root/repo/target/release/deps/libtelco_mobility-0b740ffadfe973d5.rlib: crates/telco-mobility/src/lib.rs crates/telco-mobility/src/assign.rs crates/telco-mobility/src/metrics.rs crates/telco-mobility/src/profile.rs crates/telco-mobility/src/schedule.rs crates/telco-mobility/src/trajectory.rs
+
+/root/repo/target/release/deps/libtelco_mobility-0b740ffadfe973d5.rmeta: crates/telco-mobility/src/lib.rs crates/telco-mobility/src/assign.rs crates/telco-mobility/src/metrics.rs crates/telco-mobility/src/profile.rs crates/telco-mobility/src/schedule.rs crates/telco-mobility/src/trajectory.rs
+
+crates/telco-mobility/src/lib.rs:
+crates/telco-mobility/src/assign.rs:
+crates/telco-mobility/src/metrics.rs:
+crates/telco-mobility/src/profile.rs:
+crates/telco-mobility/src/schedule.rs:
+crates/telco-mobility/src/trajectory.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/telco_mobility-85434cf8fe63b923.d: crates/telco-mobility/src/lib.rs crates/telco-mobility/src/assign.rs crates/telco-mobility/src/metrics.rs crates/telco-mobility/src/profile.rs crates/telco-mobility/src/schedule.rs crates/telco-mobility/src/trajectory.rs
+
+/root/repo/target/release/deps/telco_mobility-85434cf8fe63b923: crates/telco-mobility/src/lib.rs crates/telco-mobility/src/assign.rs crates/telco-mobility/src/metrics.rs crates/telco-mobility/src/profile.rs crates/telco-mobility/src/schedule.rs crates/telco-mobility/src/trajectory.rs
+
+crates/telco-mobility/src/lib.rs:
+crates/telco-mobility/src/assign.rs:
+crates/telco-mobility/src/metrics.rs:
+crates/telco-mobility/src/profile.rs:
+crates/telco-mobility/src/schedule.rs:
+crates/telco-mobility/src/trajectory.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/telco_signaling-76832caa76eb3a0c.d: crates/telco-signaling/src/lib.rs crates/telco-signaling/src/causes.rs crates/telco-signaling/src/duration.rs crates/telco-signaling/src/entities.rs crates/telco-signaling/src/events.rs crates/telco-signaling/src/failure.rs crates/telco-signaling/src/messages.rs crates/telco-signaling/src/state_machine.rs
+
+/root/repo/target/release/deps/telco_signaling-76832caa76eb3a0c: crates/telco-signaling/src/lib.rs crates/telco-signaling/src/causes.rs crates/telco-signaling/src/duration.rs crates/telco-signaling/src/entities.rs crates/telco-signaling/src/events.rs crates/telco-signaling/src/failure.rs crates/telco-signaling/src/messages.rs crates/telco-signaling/src/state_machine.rs
+
+crates/telco-signaling/src/lib.rs:
+crates/telco-signaling/src/causes.rs:
+crates/telco-signaling/src/duration.rs:
+crates/telco-signaling/src/entities.rs:
+crates/telco-signaling/src/events.rs:
+crates/telco-signaling/src/failure.rs:
+crates/telco-signaling/src/messages.rs:
+crates/telco-signaling/src/state_machine.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/telco_signaling-f285a1afb9ae77ff.d: crates/telco-signaling/src/lib.rs crates/telco-signaling/src/causes.rs crates/telco-signaling/src/duration.rs crates/telco-signaling/src/entities.rs crates/telco-signaling/src/events.rs crates/telco-signaling/src/failure.rs crates/telco-signaling/src/messages.rs crates/telco-signaling/src/state_machine.rs
+
+/root/repo/target/release/deps/libtelco_signaling-f285a1afb9ae77ff.rlib: crates/telco-signaling/src/lib.rs crates/telco-signaling/src/causes.rs crates/telco-signaling/src/duration.rs crates/telco-signaling/src/entities.rs crates/telco-signaling/src/events.rs crates/telco-signaling/src/failure.rs crates/telco-signaling/src/messages.rs crates/telco-signaling/src/state_machine.rs
+
+/root/repo/target/release/deps/libtelco_signaling-f285a1afb9ae77ff.rmeta: crates/telco-signaling/src/lib.rs crates/telco-signaling/src/causes.rs crates/telco-signaling/src/duration.rs crates/telco-signaling/src/entities.rs crates/telco-signaling/src/events.rs crates/telco-signaling/src/failure.rs crates/telco-signaling/src/messages.rs crates/telco-signaling/src/state_machine.rs
+
+crates/telco-signaling/src/lib.rs:
+crates/telco-signaling/src/causes.rs:
+crates/telco-signaling/src/duration.rs:
+crates/telco-signaling/src/entities.rs:
+crates/telco-signaling/src/events.rs:
+crates/telco-signaling/src/failure.rs:
+crates/telco-signaling/src/messages.rs:
+crates/telco-signaling/src/state_machine.rs:

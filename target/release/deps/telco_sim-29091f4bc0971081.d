@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/telco_sim-29091f4bc0971081.d: crates/telco-sim/src/lib.rs crates/telco-sim/src/config.rs crates/telco-sim/src/engine.rs crates/telco-sim/src/load.rs crates/telco-sim/src/output.rs crates/telco-sim/src/runner.rs crates/telco-sim/src/world.rs
+
+/root/repo/target/release/deps/telco_sim-29091f4bc0971081: crates/telco-sim/src/lib.rs crates/telco-sim/src/config.rs crates/telco-sim/src/engine.rs crates/telco-sim/src/load.rs crates/telco-sim/src/output.rs crates/telco-sim/src/runner.rs crates/telco-sim/src/world.rs
+
+crates/telco-sim/src/lib.rs:
+crates/telco-sim/src/config.rs:
+crates/telco-sim/src/engine.rs:
+crates/telco-sim/src/load.rs:
+crates/telco-sim/src/output.rs:
+crates/telco-sim/src/runner.rs:
+crates/telco-sim/src/world.rs:

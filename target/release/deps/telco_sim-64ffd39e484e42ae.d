@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/telco_sim-64ffd39e484e42ae.d: crates/telco-sim/src/lib.rs crates/telco-sim/src/config.rs crates/telco-sim/src/engine.rs crates/telco-sim/src/load.rs crates/telco-sim/src/output.rs crates/telco-sim/src/runner.rs crates/telco-sim/src/world.rs
+
+/root/repo/target/release/deps/libtelco_sim-64ffd39e484e42ae.rlib: crates/telco-sim/src/lib.rs crates/telco-sim/src/config.rs crates/telco-sim/src/engine.rs crates/telco-sim/src/load.rs crates/telco-sim/src/output.rs crates/telco-sim/src/runner.rs crates/telco-sim/src/world.rs
+
+/root/repo/target/release/deps/libtelco_sim-64ffd39e484e42ae.rmeta: crates/telco-sim/src/lib.rs crates/telco-sim/src/config.rs crates/telco-sim/src/engine.rs crates/telco-sim/src/load.rs crates/telco-sim/src/output.rs crates/telco-sim/src/runner.rs crates/telco-sim/src/world.rs
+
+crates/telco-sim/src/lib.rs:
+crates/telco-sim/src/config.rs:
+crates/telco-sim/src/engine.rs:
+crates/telco-sim/src/load.rs:
+crates/telco-sim/src/output.rs:
+crates/telco-sim/src/runner.rs:
+crates/telco-sim/src/world.rs:

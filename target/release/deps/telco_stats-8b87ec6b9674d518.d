@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/telco_stats-8b87ec6b9674d518.d: crates/telco-stats/src/lib.rs crates/telco-stats/src/anova.rs crates/telco-stats/src/boxplot.rs crates/telco-stats/src/corr.rs crates/telco-stats/src/desc.rs crates/telco-stats/src/ecdf.rs crates/telco-stats/src/forest.rs crates/telco-stats/src/hist.rs crates/telco-stats/src/kruskal.rs crates/telco-stats/src/linalg.rs crates/telco-stats/src/quantile_reg.rs crates/telco-stats/src/regression.rs crates/telco-stats/src/special.rs
+
+/root/repo/target/release/deps/telco_stats-8b87ec6b9674d518: crates/telco-stats/src/lib.rs crates/telco-stats/src/anova.rs crates/telco-stats/src/boxplot.rs crates/telco-stats/src/corr.rs crates/telco-stats/src/desc.rs crates/telco-stats/src/ecdf.rs crates/telco-stats/src/forest.rs crates/telco-stats/src/hist.rs crates/telco-stats/src/kruskal.rs crates/telco-stats/src/linalg.rs crates/telco-stats/src/quantile_reg.rs crates/telco-stats/src/regression.rs crates/telco-stats/src/special.rs
+
+crates/telco-stats/src/lib.rs:
+crates/telco-stats/src/anova.rs:
+crates/telco-stats/src/boxplot.rs:
+crates/telco-stats/src/corr.rs:
+crates/telco-stats/src/desc.rs:
+crates/telco-stats/src/ecdf.rs:
+crates/telco-stats/src/forest.rs:
+crates/telco-stats/src/hist.rs:
+crates/telco-stats/src/kruskal.rs:
+crates/telco-stats/src/linalg.rs:
+crates/telco-stats/src/quantile_reg.rs:
+crates/telco-stats/src/regression.rs:
+crates/telco-stats/src/special.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/telco_topology-0b61f0bf675b3105.d: crates/telco-topology/src/lib.rs crates/telco-topology/src/deployment.rs crates/telco-topology/src/elements.rs crates/telco-topology/src/energy.rs crates/telco-topology/src/evolution.rs crates/telco-topology/src/neighbors.rs crates/telco-topology/src/rat.rs crates/telco-topology/src/vendor.rs
+
+/root/repo/target/release/deps/libtelco_topology-0b61f0bf675b3105.rlib: crates/telco-topology/src/lib.rs crates/telco-topology/src/deployment.rs crates/telco-topology/src/elements.rs crates/telco-topology/src/energy.rs crates/telco-topology/src/evolution.rs crates/telco-topology/src/neighbors.rs crates/telco-topology/src/rat.rs crates/telco-topology/src/vendor.rs
+
+/root/repo/target/release/deps/libtelco_topology-0b61f0bf675b3105.rmeta: crates/telco-topology/src/lib.rs crates/telco-topology/src/deployment.rs crates/telco-topology/src/elements.rs crates/telco-topology/src/energy.rs crates/telco-topology/src/evolution.rs crates/telco-topology/src/neighbors.rs crates/telco-topology/src/rat.rs crates/telco-topology/src/vendor.rs
+
+crates/telco-topology/src/lib.rs:
+crates/telco-topology/src/deployment.rs:
+crates/telco-topology/src/elements.rs:
+crates/telco-topology/src/energy.rs:
+crates/telco-topology/src/evolution.rs:
+crates/telco-topology/src/neighbors.rs:
+crates/telco-topology/src/rat.rs:
+crates/telco-topology/src/vendor.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/telco_topology-1846b72e54ba7bc5.d: crates/telco-topology/src/lib.rs crates/telco-topology/src/deployment.rs crates/telco-topology/src/elements.rs crates/telco-topology/src/energy.rs crates/telco-topology/src/evolution.rs crates/telco-topology/src/neighbors.rs crates/telco-topology/src/rat.rs crates/telco-topology/src/vendor.rs
+
+/root/repo/target/release/deps/telco_topology-1846b72e54ba7bc5: crates/telco-topology/src/lib.rs crates/telco-topology/src/deployment.rs crates/telco-topology/src/elements.rs crates/telco-topology/src/energy.rs crates/telco-topology/src/evolution.rs crates/telco-topology/src/neighbors.rs crates/telco-topology/src/rat.rs crates/telco-topology/src/vendor.rs
+
+crates/telco-topology/src/lib.rs:
+crates/telco-topology/src/deployment.rs:
+crates/telco-topology/src/elements.rs:
+crates/telco-topology/src/energy.rs:
+crates/telco-topology/src/evolution.rs:
+crates/telco-topology/src/neighbors.rs:
+crates/telco-topology/src/rat.rs:
+crates/telco-topology/src/vendor.rs:

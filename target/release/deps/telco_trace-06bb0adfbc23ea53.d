@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/telco_trace-06bb0adfbc23ea53.d: crates/telco-trace/src/lib.rs crates/telco-trace/src/anonymize.rs crates/telco-trace/src/dataset.rs crates/telco-trace/src/io.rs crates/telco-trace/src/record.rs
+
+/root/repo/target/release/deps/telco_trace-06bb0adfbc23ea53: crates/telco-trace/src/lib.rs crates/telco-trace/src/anonymize.rs crates/telco-trace/src/dataset.rs crates/telco-trace/src/io.rs crates/telco-trace/src/record.rs
+
+crates/telco-trace/src/lib.rs:
+crates/telco-trace/src/anonymize.rs:
+crates/telco-trace/src/dataset.rs:
+crates/telco-trace/src/io.rs:
+crates/telco-trace/src/record.rs:

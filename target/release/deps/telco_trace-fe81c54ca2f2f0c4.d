@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/telco_trace-fe81c54ca2f2f0c4.d: crates/telco-trace/src/lib.rs crates/telco-trace/src/anonymize.rs crates/telco-trace/src/dataset.rs crates/telco-trace/src/io.rs crates/telco-trace/src/record.rs
+
+/root/repo/target/release/deps/libtelco_trace-fe81c54ca2f2f0c4.rlib: crates/telco-trace/src/lib.rs crates/telco-trace/src/anonymize.rs crates/telco-trace/src/dataset.rs crates/telco-trace/src/io.rs crates/telco-trace/src/record.rs
+
+/root/repo/target/release/deps/libtelco_trace-fe81c54ca2f2f0c4.rmeta: crates/telco-trace/src/lib.rs crates/telco-trace/src/anonymize.rs crates/telco-trace/src/dataset.rs crates/telco-trace/src/io.rs crates/telco-trace/src/record.rs
+
+crates/telco-trace/src/lib.rs:
+crates/telco-trace/src/anonymize.rs:
+crates/telco-trace/src/dataset.rs:
+crates/telco-trace/src/io.rs:
+crates/telco-trace/src/record.rs:

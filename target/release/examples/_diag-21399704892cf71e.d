@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_diag-21399704892cf71e.d: examples/_diag.rs
+
+/root/repo/target/release/examples/_diag-21399704892cf71e: examples/_diag.rs
+
+examples/_diag.rs:

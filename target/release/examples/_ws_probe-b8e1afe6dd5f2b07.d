@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_ws_probe-b8e1afe6dd5f2b07.d: examples/_ws_probe.rs
+
+/root/repo/target/release/examples/_ws_probe-b8e1afe6dd5f2b07: examples/_ws_probe.rs
+
+examples/_ws_probe.rs:

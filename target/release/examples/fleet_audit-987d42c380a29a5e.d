@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fleet_audit-987d42c380a29a5e.d: examples/fleet_audit.rs
+
+/root/repo/target/release/examples/fleet_audit-987d42c380a29a5e: examples/fleet_audit.rs
+
+examples/fleet_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/legacy_sunset-b86c64ced05a0c27.d: examples/legacy_sunset.rs
+
+/root/repo/target/release/examples/legacy_sunset-b86c64ced05a0c27: examples/legacy_sunset.rs
+
+examples/legacy_sunset.rs:

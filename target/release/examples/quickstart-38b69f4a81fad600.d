@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-38b69f4a81fad600.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-38b69f4a81fad600: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/rush_hour-91324f4cdf7d1c55.d: examples/rush_hour.rs
+
+/root/repo/target/release/examples/rush_hour-91324f4cdf7d1c55: examples/rush_hour.rs
+
+examples/rush_hour.rs:

@@ -1,0 +1,335 @@
+//! Offline stand-in for the `bytes` crate: [`Bytes`], [`BytesMut`], and the
+//! big-endian [`Buf`]/[`BufMut`] accessors the trace codec uses. Multi-byte
+//! integers are big-endian, matching the real crate's defaults.
+
+use std::ops::{Deref, DerefMut, RangeBounds};
+use std::sync::Arc;
+
+/// Read-side cursor over a byte buffer.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Consume `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Copy `dst.len()` bytes out, advancing past them.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Read a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_be_bytes(b)
+    }
+
+    /// Read a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    /// Read a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+
+    /// Read a big-endian `f32`.
+    fn get_f32(&mut self) -> f32 {
+        f32::from_bits(self.get_u32())
+    }
+
+    /// Read a big-endian `f64`.
+    fn get_f64(&mut self) -> f64 {
+        f64::from_bits(self.get_u64())
+    }
+}
+
+/// Write-side sink for bytes.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `f32`.
+    fn put_f32(&mut self, v: f32) {
+        self.put_u32(v.to_bits());
+    }
+
+    /// Append a big-endian `f64`.
+    fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+}
+
+/// Cheaply cloneable, immutable byte buffer: an `Arc<[u8]>` plus a window.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::from(Vec::new())
+    }
+
+    /// Wrap a static slice (copies once; the stand-in has no zero-copy path).
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes::from(bytes.to_vec())
+    }
+
+    /// Length of the visible window.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A sub-window sharing the same allocation.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        use std::ops::Bound;
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Bytes { data: Arc::clone(&self.data), start: self.start + lo, end: self.start + hi }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        let end = data.len();
+        Bytes { data: Arc::new(data), start: 0, end }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.iter() {
+            write!(f, "{}", std::ascii::escape_default(b))?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for Bytes {}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end");
+        self.start += cnt;
+    }
+}
+
+/// Growable, mutable byte buffer.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut { data: Vec::new() }
+    }
+
+    /// An empty buffer with `cap` bytes reserved.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(cap) }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Shorten to `len` bytes (no-op if already shorter).
+    pub fn truncate(&mut self, len: usize) {
+        self.data.truncate(len);
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> Self {
+        BytesMut { data: src.to_vec() }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BytesMut({} bytes)", self.len())
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_big_endian() {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_u8(0xAB);
+        buf.put_u16(0x1234);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_u64(0x0102_0304_0506_0708);
+        buf.put_f32(1.5);
+        assert_eq!(&buf[1..3], &[0x12, 0x34]); // big-endian on the wire
+        let mut b = buf.freeze();
+        assert_eq!(b.get_u8(), 0xAB);
+        assert_eq!(b.get_u16(), 0x1234);
+        assert_eq!(b.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(b.get_u64(), 0x0102_0304_0506_0708);
+        assert_eq!(b.get_f32(), 1.5);
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_shares_and_clips() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        let mid = b.slice(2..5);
+        assert_eq!(&*mid, &[2, 3, 4]);
+        let inner = mid.slice(1..);
+        assert_eq!(&*inner, &[3, 4]);
+        assert_eq!(b.len(), 6); // original untouched
+    }
+
+    #[test]
+    fn bytesmut_is_indexable() {
+        let mut raw = BytesMut::from(&b"hello"[..]);
+        raw[0] = b'y';
+        assert_eq!(&*raw.freeze(), b"yello");
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut b = Bytes::from_static(b"x");
+        let _ = b.get_u32();
+    }
+}

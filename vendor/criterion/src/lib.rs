@@ -1,0 +1,247 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the bench-definition API this workspace uses —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`], [`Throughput`], `criterion_group!`/`criterion_main!` —
+//! over a simple timing loop: warm-up, adaptive iteration count, and a
+//! fixed number of samples, reporting min/mean/max and throughput.
+//!
+//! Positional command-line arguments act as substring filters on benchmark
+//! names (flags starting with `-`, such as cargo's `--bench`, are ignored).
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Per-iteration timing driver passed to bench closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, running it enough times per sample for stable numbers.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and iteration sizing: aim for ~25 ms per sample, with at
+        // least one iteration.
+        let warmup_start = Instant::now();
+        std::hint::black_box(routine());
+        let once = warmup_start.elapsed();
+        let iters = if once.as_nanos() == 0 {
+            1000
+        } else {
+            ((25_000_000 / once.as_nanos().max(1)) as usize).clamp(1, 100_000)
+        };
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters as u32);
+        }
+    }
+
+    fn stats(&self) -> Option<(Duration, Duration, Duration)> {
+        let min = self.samples.iter().min()?;
+        let max = self.samples.iter().max()?;
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        Some((*min, mean, *max))
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn fmt_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.3} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.3} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.3} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}/s")
+    }
+}
+
+/// The benchmark manager: collects CLI filters, runs matching benches.
+pub struct Criterion {
+    filters: Vec<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filters = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+        Criterion { filters, default_sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    fn matches(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f.as_str()))
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None, sample_size: None }
+    }
+
+    /// Run a standalone benchmark (no group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        run_one(self, None, name, None, sample_size, f);
+        self
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    criterion: &Criterion,
+    group: Option<&str>,
+    name: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    mut f: F,
+) {
+    let full = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_string(),
+    };
+    if !criterion.matches(&full) {
+        return;
+    }
+    let mut bencher = Bencher { samples: Vec::new(), sample_count: sample_size.max(1) };
+    f(&mut bencher);
+    let Some((min, mean, max)) = bencher.stats() else {
+        println!("{full:<40} (no samples)");
+        return;
+    };
+    let mut line = format!(
+        "{full:<40} time: [{} {} {}]",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max)
+    );
+    if let Some(tp) = throughput {
+        let mean_s = mean.as_secs_f64();
+        if mean_s > 0.0 {
+            let rate = match tp {
+                Throughput::Elements(n) => fmt_rate(n as f64 / mean_s, "elem"),
+                Throughput::Bytes(n) => fmt_rate(n as f64 / mean_s, "B"),
+            };
+            line.push_str(&format!(" thrpt: {rate}"));
+        }
+    }
+    println!("{line}");
+}
+
+/// A set of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Define and immediately run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let sample_size = self.sample_size.unwrap_or(self.criterion.default_sample_size);
+        run_one(self.criterion, Some(&self.name), name, self.throughput, sample_size, f);
+        self
+    }
+
+    /// End the group (reporting is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` to run benchmark groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion { filters: vec![], default_sample_size: 3 };
+        let mut ran = 0u32;
+        {
+            let mut g = c.benchmark_group("grp");
+            g.throughput(Throughput::Elements(4));
+            g.sample_size(2);
+            g.bench_function("fast", |b| {
+                b.iter(|| {
+                    ran += 1;
+                    std::hint::black_box(2u64 + 2)
+                })
+            });
+            g.finish();
+        }
+        assert!(ran > 0, "routine must actually run");
+    }
+
+    #[test]
+    fn filters_skip_nonmatching() {
+        let mut c = Criterion { filters: vec!["zzz".into()], default_sample_size: 2 };
+        let mut ran = false;
+        c.bench_function("other_name", |b| b.iter(|| ran = true));
+        assert!(!ran, "filtered-out bench must not run");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert!(fmt_duration(Duration::from_micros(1500)).contains("ms"));
+        assert!(fmt_rate(2.5e6, "elem").contains("Melem/s"));
+    }
+}

@@ -1,0 +1,71 @@
+//! Offline stand-in for `crossbeam`: just the scoped-thread API this
+//! workspace uses, implemented over [`std::thread::scope`] (stable since
+//! Rust 1.63, which is why the shim can be this thin).
+
+/// Scoped threads.
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A scope handle passed to [`scope`]'s closure; spawn borrows through it.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives the scope
+        /// again (crossbeam's signature) so it can spawn nested threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { handle: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        handle: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish and return its result, or the
+        /// panic payload if it panicked.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.handle.join()
+        }
+    }
+
+    /// Create a scope for spawning threads that borrow from the caller's
+    /// stack. Returns `Err` with the panic payload if the closure panics
+    /// (panics in spawned threads surface through their `join` results,
+    /// or abort the scope on implicit join, matching crossbeam).
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(&Scope { inner: s }))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = crate::thread::scope(|s| {
+            let handles: Vec<_> =
+                data.chunks(2).map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>())).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn closure_panic_is_caught() {
+        let r = crate::thread::scope(|_| panic!("boom"));
+        assert!(r.is_err());
+    }
+}

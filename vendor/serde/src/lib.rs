@@ -1,0 +1,474 @@
+//! Offline stand-in for `serde`.
+//!
+//! Instead of the real crate's serializer/deserializer visitor machinery,
+//! this models serialization as conversion to and from a [`Value`] tree:
+//! [`Serialize::to_value`] and [`Deserialize::from_value`]. The `serde_json`
+//! stand-in prints and parses that tree. The `Serialize`/`Deserialize`
+//! derive macros (re-exported from `serde_derive`) target these traits.
+
+// Lets the derive macros' generated `::serde::` paths resolve inside this
+// crate's own tests.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash};
+
+/// A self-describing serialized value.
+///
+/// `F32` is kept distinct from `F64` so the JSON printer can use the
+/// shortest representation that round-trips at `f32` precision.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Double-precision float.
+    F64(f64),
+    /// Single-precision float.
+    F32(f32),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Array(Vec<Value>),
+    /// Ordered key/value map (insertion order preserved).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow as an object's key/value pairs.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an array's elements.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion to `f64` (any numeric variant).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::U64(v) => Some(v as f64),
+            Value::I64(v) => Some(v as f64),
+            Value::F64(v) => Some(v),
+            Value::F32(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+
+    /// Integer coercion to `u64` (rejects negatives and fractions).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(v) => Some(v),
+            Value::I64(v) if v >= 0 => Some(v as u64),
+            Value::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// Integer coercion to `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::U64(v) if v <= i64::MAX as u64 => Some(v as i64),
+            Value::I64(v) => Some(v),
+            Value::F64(v) if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 => {
+                Some(v as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Borrow as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Look up a field in an object's pair list (linear scan; objects here are
+/// struct-sized).
+pub fn get_field<'a>(pairs: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+    pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// A free-form error.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    /// Type mismatch while deserializing `ty`.
+    pub fn expected(what: &str, ty: &str) -> Self {
+        DeError { msg: format!("expected {what} while deserializing {ty}") }
+    }
+
+    /// A required field was absent.
+    pub fn missing_field(field: &str, ty: &str) -> Self {
+        DeError { msg: format!("missing field `{field}` in {ty}") }
+    }
+
+    /// An enum tag did not match any variant.
+    pub fn unknown_variant(variant: &str, ty: &str) -> Self {
+        DeError { msg: format!("unknown variant `{variant}` for {ty}") }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types convertible to a [`Value`] tree.
+pub trait Serialize {
+    /// Serialize `self` as a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserialize from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---- primitive impls -------------------------------------------------------
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_u64().ok_or_else(|| DeError::expected("unsigned integer", stringify!($t)))?;
+                <$t>::try_from(n).map_err(|_| DeError::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_i64().ok_or_else(|| DeError::expected("integer", stringify!($t)))?;
+                <$t>::try_from(n).map_err(|_| DeError::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::expected("number", "f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F32(*self)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match *v {
+            Value::F32(x) => Ok(x),
+            _ => v.as_f64().map(|x| x as f32).ok_or_else(|| DeError::expected("number", "f32")),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::expected("boolean", "bool"))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str().map(str::to_owned).ok_or_else(|| DeError::expected("string", "String"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = v.as_str().ok_or_else(|| DeError::expected("string", "char"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::expected("single-character string", "char")),
+        }
+    }
+}
+
+// ---- container impls -------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::expected("array", "Vec"))?
+            .iter()
+            .map(Deserialize::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let n = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::custom(format!("expected {N}-element array, got {n}")))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($t:ident . $idx:tt),+) => $len:expr;)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let items = v.as_array().ok_or_else(|| DeError::expected("array", "tuple"))?;
+                if items.len() != $len {
+                    return Err(DeError::custom(format!(
+                        "expected {}-element array for tuple, got {}", $len, items.len()
+                    )));
+                }
+                Ok(($($t::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A.0) => 1;
+    (A.0, B.1) => 2;
+    (A.0, B.1, C.2) => 3;
+    (A.0, B.1, C.2, D.3) => 4;
+    (A.0, B.1, C.2, D.3, E.4) => 5;
+    (A.0, B.1, C.2, D.3, E.4, F.5) => 6;
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6) => 7;
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7) => 8;
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Maps serialize as an array of [key, value] pairs (keys need not be
+        // strings). Pairs are sorted by serialized key so output does not
+        // depend on hash iteration order.
+        let mut pairs: Vec<(Value, Value)> =
+            self.iter().map(|(k, v)| (k.to_value(), v.to_value())).collect();
+        pairs.sort_by(|a, b| format!("{:?}", a.0).cmp(&format!("{:?}", b.0)));
+        Value::Array(pairs.into_iter().map(|(k, v)| Value::Array(vec![k, v])).collect())
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = v.as_array().ok_or_else(|| DeError::expected("array of pairs", "HashMap"))?;
+        let mut map = HashMap::with_capacity_and_hasher(items.len(), S::default());
+        for item in items {
+            let pair = item.as_array().ok_or_else(|| DeError::expected("pair", "HashMap"))?;
+            if pair.len() != 2 {
+                return Err(DeError::expected("[key, value] pair", "HashMap"));
+            }
+            map.insert(K::from_value(&pair[0])?, V::from_value(&pair[1])?);
+        }
+        Ok(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Named {
+        a: u32,
+        b: Option<f32>,
+        #[serde(skip)]
+        cache: Vec<u8>,
+        tags: Vec<String>,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct NewType(u32);
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Pair(u8, i64);
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Mixed {
+        Plain,
+        Weighted { w: f64, n: usize },
+        Wrapped(String),
+    }
+
+    #[test]
+    fn named_struct_roundtrip_with_skip() {
+        let v =
+            Named { a: 7, b: Some(1.5), cache: vec![1, 2, 3], tags: vec!["x".into(), "y".into()] };
+        let tree = v.to_value();
+        assert!(get_field(tree.as_object().unwrap(), "cache").is_none());
+        let back = Named::from_value(&tree).unwrap();
+        assert_eq!(back.a, 7);
+        assert_eq!(back.b, Some(1.5));
+        assert_eq!(back.cache, Vec::<u8>::new()); // skipped → default
+        assert_eq!(back.tags, v.tags);
+    }
+
+    #[test]
+    fn newtype_is_transparent() {
+        assert_eq!(NewType(9).to_value(), Value::U64(9));
+        assert_eq!(NewType::from_value(&Value::U64(9)).unwrap(), NewType(9));
+        assert_eq!(Pair(1, -2).to_value(), Value::Array(vec![Value::U64(1), Value::I64(-2)]));
+    }
+
+    #[test]
+    fn enum_representations() {
+        assert_eq!(Mixed::Plain.to_value(), Value::Str("Plain".into()));
+        let w = Mixed::Weighted { w: 0.5, n: 3 }.to_value();
+        let back = Mixed::from_value(&w).unwrap();
+        assert_eq!(back, Mixed::Weighted { w: 0.5, n: 3 });
+        let wrapped = Mixed::Wrapped("hi".into()).to_value();
+        assert_eq!(Mixed::from_value(&wrapped).unwrap(), Mixed::Wrapped("hi".into()));
+        assert!(Mixed::from_value(&Value::Str("Nope".into())).is_err());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let arr: [f64; 3] = [1.0, 2.5, -3.0];
+        assert_eq!(<[f64; 3]>::from_value(&arr.to_value()).unwrap(), arr);
+        let tup = (1u32, -5i32, String::from("z"));
+        assert_eq!(<(u32, i32, String)>::from_value(&tup.to_value()).unwrap(), tup);
+        let mut map = HashMap::new();
+        map.insert(2u32, "two".to_string());
+        map.insert(1u32, "one".to_string());
+        let back: HashMap<u32, String> = HashMap::from_value(&map.to_value()).unwrap();
+        assert_eq!(back, map);
+    }
+
+    #[test]
+    fn range_errors_are_reported() {
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert!(u32::from_value(&Value::I64(-1)).is_err());
+        assert!(Option::<u32>::from_value(&Value::Null).unwrap().is_none());
+    }
+}

@@ -1,0 +1,413 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no crates.io access, so this derive is written
+//! directly against `proc_macro` (no `syn`/`quote`): it parses the item's
+//! token stream by hand and emits the impl as a formatted source string.
+//!
+//! Supported shapes — the ones this workspace actually derives on:
+//! named-field structs (with `#[serde(skip)]`), tuple structs, unit structs,
+//! and enums with unit / named-field / tuple variants. Generic items are not
+//! supported and panic with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct { name: String, shape: Shape },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Consume attributes at `*i`, returning whether any was `#[serde(skip)]`.
+fn take_attrs(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                    skip |= attr_is_serde_skip(&g.stream());
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    skip
+}
+
+fn attr_is_serde_skip(attr: &TokenStream) -> bool {
+    let mut it = attr.clone().into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match it.next() {
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1; // pub(crate) / pub(super)
+                }
+            }
+        }
+    }
+}
+
+fn ident_at(toks: &[TokenTree], i: usize) -> String {
+    match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Advance past one "type-ish" run: everything up to a comma that sits
+/// outside `<...>` nesting. `->` and standalone `>`s at depth 0 are ignored.
+fn skip_until_top_level_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut depth: i32 = 0;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && depth > 0 => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = group.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let skip = take_attrs(&toks, &mut i);
+        skip_visibility(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_at(&toks, i);
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde derive: expected ':' after field `{name}`, found {other:?}"),
+        }
+        skip_until_top_level_comma(&toks, &mut i);
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = group.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        take_attrs(&toks, &mut i);
+        skip_visibility(&toks, &mut i);
+        if i >= toks.len() {
+            break; // trailing comma
+        }
+        skip_until_top_level_comma(&toks, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = group.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        take_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_at(&toks, i);
+        i += 1;
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let s = Shape::Named(parse_named_fields(g.stream()));
+                i += 1;
+                s
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let s = Shape::Tuple(count_tuple_fields(g.stream()));
+                i += 1;
+                s
+            }
+            _ => Shape::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == '=' {
+                // Explicit discriminant: consume the expression.
+                i += 1;
+                skip_until_top_level_comma(&toks, &mut i);
+                variants.push(Variant { name, shape });
+                continue;
+            }
+        }
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    take_attrs(&toks, &mut i);
+    skip_visibility(&toks, &mut i);
+    let kw = ident_at(&toks, i);
+    i += 1;
+    let name = ident_at(&toks, i);
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde derive stand-in: generic type `{name}` is not supported");
+        }
+    }
+    match kw.as_str() {
+        "struct" => {
+            let shape = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                other => panic!("serde derive: unexpected struct body for `{name}`: {other:?}"),
+            };
+            Item::Struct { name, shape }
+        }
+        "enum" => {
+            let variants = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(g.stream())
+                }
+                other => panic!("serde derive: unexpected enum body for `{name}`: {other:?}"),
+            };
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde derive: expected struct or enum, found `{other}`"),
+    }
+}
+
+fn ser_named_fields(path: &str, fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let mut pushes = String::new();
+    for f in fields.iter().filter(|f| !f.skip) {
+        pushes.push_str(&format!(
+            "__fields.push((::std::string::String::from(\"{n}\"), \
+             ::serde::Serialize::to_value({a})));",
+            n = f.name,
+            a = access(&f.name),
+        ));
+    }
+    format!(
+        "{{ let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::with_capacity({cap}); {pushes} ::serde::Value::Object(__fields) }}",
+        cap = fields.iter().filter(|f| !f.skip).count(),
+    )
+    .replace("__PATH__", path) // path unused today; kept for symmetry
+}
+
+/// `#[derive(Serialize)]` — emits `impl ::serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let (name, body) = match &item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Named(fields) => ser_named_fields(name, fields, |f| format!("&self.{f}")),
+                Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", items.join(","))
+                }
+                Shape::Unit => "::serde::Value::Null".to_string(),
+            };
+            (name.clone(), body)
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),",
+                        v = v.name,
+                    )),
+                    Shape::Named(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let inner = ser_named_fields(name, fields, |f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from(\"{v}\"), {inner})]),",
+                            v = v.name,
+                            binds = binds.join(","),
+                        ));
+                    }
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(::std::vec![{}])", items.join(","))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from(\"{v}\"), {inner})]),",
+                            v = v.name,
+                            binds = binds.join(","),
+                        ));
+                    }
+                }
+            }
+            (name.clone(), format!("match self {{ {arms} }}"))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+         fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+    .parse()
+    .expect("serde derive: generated Serialize impl failed to parse")
+}
+
+fn de_named_fields(ty: &str, ctor: &str, fields: &[Field]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        if f.skip {
+            inits.push_str(&format!("{n}: ::core::default::Default::default(),", n = f.name));
+        } else {
+            inits.push_str(&format!(
+                "{n}: ::serde::Deserialize::from_value(::serde::get_field(__obj, \"{n}\")\
+                 .ok_or_else(|| ::serde::DeError::missing_field(\"{n}\", \"{ty}\"))?)?,",
+                n = f.name,
+            ));
+        }
+    }
+    format!(
+        "{{ let __obj = __v.as_object()\
+         .ok_or_else(|| ::serde::DeError::expected(\"object\", \"{ty}\"))?; \
+         ::std::result::Result::Ok({ctor} {{ {inits} }}) }}"
+    )
+}
+
+fn de_tuple(ty: &str, ctor: &str, n: usize) -> String {
+    if n == 1 {
+        return format!(
+            "::std::result::Result::Ok({ctor}(::serde::Deserialize::from_value(__v)?))"
+        );
+    }
+    let items: Vec<String> =
+        (0..n).map(|k| format!("::serde::Deserialize::from_value(&__arr[{k}])?")).collect();
+    format!(
+        "{{ let __arr = __v.as_array()\
+         .ok_or_else(|| ::serde::DeError::expected(\"array\", \"{ty}\"))?; \
+         if __arr.len() != {n} {{ \
+         return ::std::result::Result::Err(::serde::DeError::expected(\"{n}-element array\", \"{ty}\")); }} \
+         ::std::result::Result::Ok({ctor}({items})) }}",
+        items = items.join(","),
+    )
+}
+
+/// `#[derive(Deserialize)]` — emits `impl ::serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let (name, body) = match &item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Named(fields) => de_named_fields(name, name, fields),
+                Shape::Tuple(n) => de_tuple(name, name, *n),
+                Shape::Unit => format!("::std::result::Result::Ok({name})"),
+            };
+            (name.clone(), body)
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                match &v.shape {
+                    Shape::Unit => unit_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),",
+                        v = v.name,
+                    )),
+                    Shape::Named(fields) => {
+                        let inner = de_named_fields(name, &format!("{name}::{}", v.name), fields)
+                            .replace("__v.as_object()", "__inner.as_object()");
+                        data_arms.push_str(&format!("\"{v}\" => {inner},", v = v.name));
+                    }
+                    Shape::Tuple(n) => {
+                        let inner = de_tuple(name, &format!("{name}::{}", v.name), *n)
+                            .replace("__v)", "__inner)")
+                            .replace("__v.as_array()", "__inner.as_array()");
+                        data_arms.push_str(&format!("\"{v}\" => {inner},", v = v.name));
+                    }
+                }
+            }
+            let body = format!(
+                "match __v {{ \
+                 ::serde::Value::Str(__s) => match __s.as_str() {{ {unit_arms} \
+                   __other => ::std::result::Result::Err(\
+                     ::serde::DeError::unknown_variant(__other, \"{name}\")), }}, \
+                 ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{ \
+                   let (__tag, __inner) = &__pairs[0]; \
+                   match __tag.as_str() {{ {data_arms} \
+                     __other => ::std::result::Result::Err(\
+                       ::serde::DeError::unknown_variant(__other, \"{name}\")), }} }}, \
+                 _ => ::std::result::Result::Err(\
+                   ::serde::DeError::expected(\"enum value\", \"{name}\")), }}"
+            );
+            (name.clone(), body)
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> \
+         {{ {body} }} }}"
+    )
+    .parse()
+    .expect("serde derive: generated Deserialize impl failed to parse")
+}

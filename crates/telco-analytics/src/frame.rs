@@ -11,10 +11,12 @@ use telco_devices::types::{DeviceType, Manufacturer};
 use telco_geo::district::{DistrictId, Region};
 use telco_geo::postcode::AreaType;
 use telco_signaling::messages::HoType;
-use telco_sim::StudyData;
+use telco_sim::{StudyData, World};
 use telco_topology::elements::SectorId;
 use telco_topology::vendor::Vendor;
+use telco_trace::io::CodecError;
 use telco_trace::record::HoRecord;
+use telco_trace::store::{ChunkIssue, TraceReader};
 
 /// Per-record join helpers over a completed study.
 #[derive(Clone, Copy)]
@@ -121,44 +123,53 @@ impl SectorDayFrame {
     /// several days, so the per-cell HOF rate is not quantized to zero.
     /// `daily_hos` is reported per day (window total / window length).
     pub fn build_windowed(study: &StudyData, window_days: u32) -> Self {
-        use std::collections::HashMap;
-        let window_days = window_days.max(1);
-        let enriched = Enriched::new(study);
-        // (sector, window, type) → (hos, hofs); (sector, window) → total.
-        let mut cells: HashMap<(u32, u32, usize), (u32, u32)> = HashMap::new();
-        let mut totals: HashMap<(u32, u32), u32> = HashMap::new();
-        for r in study.output.dataset.records() {
-            let window = r.day() / window_days;
-            let key = (r.source_sector.0, window, r.ho_type().index());
-            let e = cells.entry(key).or_insert((0, 0));
-            e.0 += 1;
-            e.1 += u32::from(r.is_failure());
-            *totals.entry((r.source_sector.0, window)).or_insert(0) += 1;
+        Self::from_records(
+            &study.world,
+            study.output.dataset.records().iter().copied(),
+            window_days,
+        )
+    }
+
+    /// Build the frame from any record stream — one pass, memory bounded
+    /// by the number of distinct `(sector, window, type)` cells, never the
+    /// record count. The in-memory [`SectorDayFrame::build_windowed`]
+    /// delegates here; out-of-core callers feed it straight from a
+    /// [`TraceReader`] via [`SectorDayFrame::from_reader`].
+    pub fn from_records(
+        world: &World,
+        records: impl IntoIterator<Item = HoRecord>,
+        window_days: u32,
+    ) -> Self {
+        let mut builder = FrameBuilder::new(window_days);
+        for r in records {
+            builder.add(&r);
         }
-        let mut observations: Vec<SectorDayObs> = cells
-            .into_iter()
-            .map(|((sector, day, type_idx), (hos, hofs))| {
-                let sector_id = SectorId(sector);
-                let pc = study.world.topology.sector_postcode(sector_id);
-                let postcode = study.world.country.postcode(pc);
-                let district = study.world.country.district(postcode.district);
-                let _ = &enriched;
-                SectorDayObs {
-                    sector: sector_id,
-                    day,
-                    ho_type: HoType::ALL[type_idx],
-                    hos,
-                    hofs,
-                    daily_hos: (totals[&(sector, day)] / window_days).max(1),
-                    area: postcode.area_type,
-                    vendor: study.world.topology.sector(sector_id).vendor,
-                    region: district.region,
-                    district_population: district.population,
+        builder.finish(world)
+    }
+
+    /// Stream a trace into a frame without materializing the dataset:
+    /// one pass, one chunk in memory at a time. Damaged chunks are
+    /// skipped with the issue left on the reader ([`TraceReader::issues`])
+    /// — check it afterwards if partial aggregation matters — while
+    /// underlying I/O failures abort the build.
+    pub fn from_reader<R: std::io::Read>(
+        world: &World,
+        reader: &mut TraceReader<R>,
+        window_days: u32,
+    ) -> Result<Self, ChunkIssue> {
+        let mut builder = FrameBuilder::new(window_days);
+        while let Some(chunk) = reader.next_chunk() {
+            match chunk {
+                Ok(records) => {
+                    for r in &records {
+                        builder.add(r);
+                    }
                 }
-            })
-            .collect();
-        observations.sort_by_key(|o| (o.sector.0, o.day, o.ho_type.index()));
-        SectorDayFrame { observations }
+                Err(issue) if matches!(issue.error, CodecError::Io(_)) => return Err(issue),
+                Err(_) => {} // corruption: skip the chunk, keep aggregating
+            }
+        }
+        Ok(builder.finish(world))
     }
 
     /// All observations.
@@ -198,6 +209,62 @@ impl SectorDayFrame {
                     && o.daily_hos <= max_daily
             })
             .collect()
+    }
+}
+
+/// Streaming aggregation state of the §6.3 reshape: two hash maps keyed
+/// by sector/window, independent of how many records flow through.
+struct FrameBuilder {
+    window_days: u32,
+    /// (sector, window, type) → (hos, hofs).
+    cells: std::collections::HashMap<(u32, u32, usize), (u32, u32)>,
+    /// (sector, window) → total handovers across types.
+    totals: std::collections::HashMap<(u32, u32), u32>,
+}
+
+impl FrameBuilder {
+    fn new(window_days: u32) -> Self {
+        FrameBuilder {
+            window_days: window_days.max(1),
+            cells: std::collections::HashMap::new(),
+            totals: std::collections::HashMap::new(),
+        }
+    }
+
+    fn add(&mut self, r: &HoRecord) {
+        let window = r.day() / self.window_days;
+        let e =
+            self.cells.entry((r.source_sector.0, window, r.ho_type().index())).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += u32::from(r.is_failure());
+        *self.totals.entry((r.source_sector.0, window)).or_insert(0) += 1;
+    }
+
+    fn finish(self, world: &World) -> SectorDayFrame {
+        let FrameBuilder { window_days, cells, totals } = self;
+        let mut observations: Vec<SectorDayObs> = cells
+            .into_iter()
+            .map(|((sector, day, type_idx), (hos, hofs))| {
+                let sector_id = SectorId(sector);
+                let pc = world.topology.sector_postcode(sector_id);
+                let postcode = world.country.postcode(pc);
+                let district = world.country.district(postcode.district);
+                SectorDayObs {
+                    sector: sector_id,
+                    day,
+                    ho_type: HoType::ALL[type_idx],
+                    hos,
+                    hofs,
+                    daily_hos: (totals[&(sector, day)] / window_days).max(1),
+                    area: postcode.area_type,
+                    vendor: world.topology.sector(sector_id).vendor,
+                    region: district.region,
+                    district_population: district.population,
+                }
+            })
+            .collect();
+        observations.sort_by_key(|o| (o.sector.0, o.day, o.ho_type.index()));
+        SectorDayFrame { observations }
     }
 }
 
@@ -249,6 +316,37 @@ mod tests {
             assert!(o.hof_rate_pct() < 50.0);
             assert!(o.daily_hos >= 2);
         }
+    }
+
+    #[test]
+    fn from_reader_matches_in_memory_build() {
+        let s = study();
+        let in_mem = SectorDayFrame::build(&s);
+        // Round the trace through the v2 store and aggregate the stream.
+        let mut w = telco_trace::store::TraceWriter::new(Vec::new(), s.config.n_days).unwrap();
+        w.write_dataset(&s.output.dataset).unwrap();
+        let bytes = w.finish().unwrap();
+        let mut reader = TraceReader::new(&bytes[..]).unwrap();
+        let streamed = SectorDayFrame::from_reader(&s.world, &mut reader, 1).unwrap();
+        assert_eq!(streamed.observations(), in_mem.observations());
+        assert!(reader.issues().is_empty());
+    }
+
+    #[test]
+    fn from_reader_skips_damaged_chunks() {
+        let s = study();
+        let mut w = telco_trace::store::TraceWriter::new(Vec::new(), s.config.n_days).unwrap();
+        w.write_dataset(&s.output.dataset).unwrap();
+        let mut bytes = w.finish().unwrap();
+        // Corrupt one payload byte inside the first chunk.
+        bytes[10 + 16 + 40] ^= 0x40;
+        let mut reader = TraceReader::new(&bytes[..]).unwrap();
+        let frame = SectorDayFrame::from_reader(&s.world, &mut reader, 1).unwrap();
+        let in_mem = SectorDayFrame::build(&s);
+        let streamed_hos: u32 = frame.observations().iter().map(|o| o.hos).sum();
+        let full_hos: u32 = in_mem.observations().iter().map(|o| o.hos).sum();
+        assert!(streamed_hos < full_hos, "damaged chunk was not skipped");
+        assert_eq!(reader.issues().len(), 1);
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Golden-output regression suite: pins the paper-table outputs of a
+//! fixed-seed study against checked-in JSON snapshots, so any refactor
+//! that drifts a tracked metric — record counts, type mix, HOF rate,
+//! cause ranking — fails loudly instead of silently rewriting the
+//! reproduction's numbers.
+//!
+//! To refresh after an *intentional* change:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test -p telco-analytics --test golden_outputs
+//! ```
+//!
+//! then review the diff of `tests/goldens/` like any other code change.
+
+use telco_analytics::Study;
+use telco_signaling::causes::PrincipalCause;
+use telco_sim::SimConfig;
+
+/// Serialize the tracked metrics of a study, deterministically. The
+/// vendored serde_json is a stand-in, so the JSON is formatted by hand;
+/// floats use `{:?}` (shortest round-trip form), which is stable for a
+/// bit-identical simulation.
+fn golden_json(preset: &str, study: &Study) -> String {
+    let cfg = &study.data().config;
+    let stats = study.dataset_stats();
+    let dataset = &study.data().output.dataset;
+    let counts = dataset.counts_by_type();
+    let ho_types = study.ho_types();
+    let causes = study.causes();
+
+    // Top-5 principal causes by mean daily share (slot 8 is the long
+    // tail), ranked descending with the slot index breaking ties.
+    let mut ranked: Vec<usize> = (0..causes.shares.len()).collect();
+    ranked
+        .sort_by(|&a, &b| causes.shares[b].partial_cmp(&causes.shares[a]).unwrap().then(a.cmp(&b)));
+    let cause_label = |slot: usize| -> String {
+        if slot < 8 {
+            PrincipalCause::ALL[slot].to_string()
+        } else {
+            "long tail".to_string()
+        }
+    };
+    let top5: Vec<String> = ranked
+        .iter()
+        .take(5)
+        .map(|&slot| {
+            format!(
+                "    {{\"cause\": \"{}\", \"share\": {:?}}}",
+                cause_label(slot),
+                causes.shares[slot]
+            )
+        })
+        .collect();
+
+    let fmt_f64_row =
+        |row: &[f64]| row.iter().map(|v| format!("{v:?}")).collect::<Vec<_>>().join(", ");
+    let share_rows: Vec<String> =
+        ho_types.share.iter().map(|row| format!("      [{}]", fmt_f64_row(row))).collect();
+
+    format!(
+        "{{\n  \"config\": {{\"preset\": \"{preset}\", \"seed\": {}, \"ues\": {}, \
+         \"days\": {}}},\n  \
+         \"dataset_stats\": {{\n    \"districts\": {},\n    \"sites\": {},\n    \
+         \"sectors\": {},\n    \"ues\": {},\n    \"daily_hos\": {:?},\n    \
+         \"days\": {},\n    \"daily_trace_bytes\": {}\n  }},\n  \
+         \"records\": {},\n  \"counts_by_type\": [{}, {}, {}],\n  \
+         \"hof_rate\": {:?},\n  \
+         \"ho_types\": {{\n    \"type_totals\": [{}],\n    \"device_totals\": [{}],\n    \
+         \"share\": [\n{}\n    ]\n  }},\n  \
+         \"cause_top5\": [\n{}\n  ]\n}}\n",
+        cfg.seed,
+        cfg.n_ues,
+        cfg.n_days,
+        stats.districts,
+        stats.sites,
+        stats.sectors,
+        stats.ues,
+        stats.daily_hos,
+        stats.days,
+        stats.daily_trace_bytes,
+        dataset.len(),
+        counts[0],
+        counts[1],
+        counts[2],
+        dataset.hof_rate(),
+        fmt_f64_row(&ho_types.type_totals),
+        fmt_f64_row(&ho_types.device_totals),
+        share_rows.join(",\n"),
+        top5.join(",\n")
+    )
+}
+
+fn check_golden(preset: &str, config: SimConfig) {
+    let study = Study::run(config);
+    let actual = golden_json(preset, &study);
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(format!("study_{preset}.json"));
+
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        eprintln!("golden updated: {}", path.display());
+        return;
+    }
+
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run `UPDATE_GOLDENS=1 cargo test -p \
+             telco-analytics --test golden_outputs` to create it",
+            path.display()
+        )
+    });
+    if actual != expected {
+        // Point at the first drifting line, then fail with both payloads.
+        for (i, (a, e)) in actual.lines().zip(expected.lines()).enumerate() {
+            if a != e {
+                eprintln!("golden drift at {}:{}", path.display(), i + 1);
+                eprintln!("  expected: {e}");
+                eprintln!("  actual:   {a}");
+                break;
+            }
+        }
+        panic!(
+            "study `{preset}` drifted from its golden ({}).\n\
+             If the change is intentional, refresh with UPDATE_GOLDENS=1 and \
+             review the diff.\n--- expected ---\n{expected}\n--- actual ---\n{actual}",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn golden_study_tiny() {
+    check_golden("tiny", SimConfig::tiny());
+}
+
+#[test]
+fn golden_tracks_real_drift() {
+    // The suite must fail when a tracked metric moves: a different seed
+    // must not reproduce the tiny golden.
+    let mut cfg = SimConfig::tiny();
+    cfg.seed ^= 1;
+    let study = Study::run(cfg);
+    let drifted = golden_json("tiny", &study);
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/goldens/study_tiny.json");
+    if let Ok(expected) = std::fs::read_to_string(&path) {
+        assert_ne!(drifted, expected, "golden failed to discriminate a perturbed study");
+    }
+}

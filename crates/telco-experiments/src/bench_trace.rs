@@ -1,0 +1,107 @@
+//! `repro bench-trace` — measure the streaming trace store: v2 chunked
+//! write/read throughput against the v1 single-buffer codec, plus the
+//! one-pass out-of-core aggregation (`SectorDayFrame::from_reader`), and
+//! write the numbers to `BENCH_trace.json` at the repo root.
+
+use std::time::Instant;
+
+use telco_analytics::SectorDayFrame;
+use telco_sim::{run_study, SimConfig, StudyData};
+use telco_trace::io::{encode, read_file, write_file, RECORD_BYTES};
+use telco_trace::store::{write_file_v2, TraceReader};
+
+struct Measurement {
+    secs: f64,
+    bytes: u64,
+    records: u64,
+}
+
+impl Measurement {
+    fn json(&self) -> String {
+        format!(
+            "{{\"secs\": {:.4}, \"mb_per_sec\": {:.1}, \"records_per_sec\": {:.0}}}",
+            self.secs,
+            self.bytes as f64 / self.secs / 1e6,
+            self.records as f64 / self.secs
+        )
+    }
+}
+
+/// Best-of-three wall time of `f`, reported against `bytes`/`records`.
+fn measure(what: &str, bytes: u64, records: u64, mut f: impl FnMut()) -> Measurement {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    eprintln!(
+        "bench-trace: {what}: {best:.4}s ({:.1} MB/s, {:.0} records/s)",
+        bytes as f64 / best / 1e6,
+        records as f64 / best
+    );
+    Measurement { secs: best, bytes, records }
+}
+
+/// Run the benchmark and write `BENCH_trace.json`.
+pub fn run(config: SimConfig, preset_name: &str) {
+    eprintln!(
+        "bench-trace: preset {preset_name}, simulating {} UEs × {} days...",
+        config.n_ues, config.n_days
+    );
+    let data: StudyData = run_study(config);
+    let dataset = &data.output.dataset;
+    let records = dataset.len() as u64;
+    let payload_bytes = records * RECORD_BYTES as u64;
+    eprintln!("bench-trace: {records} records ({:.1} MB framed)", payload_bytes as f64 / 1e6);
+
+    let dir = std::env::temp_dir().join("telco-bench-trace");
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    let v1_path = dir.join("bench.v1.tlho");
+    let v2_path = dir.join("bench.v2.tlho");
+
+    let v1_write = measure("v1 write", payload_bytes, records, || {
+        write_file(dataset, &v1_path).expect("v1 write");
+    });
+    let v2_write = measure("v2 write", payload_bytes, records, || {
+        write_file_v2(dataset, &v2_path).expect("v2 write");
+    });
+    let v2_size = std::fs::metadata(&v2_path).expect("v2 metadata").len();
+
+    let v1_read = measure("v1 decode", payload_bytes, records, || {
+        let d = read_file(&v1_path).expect("v1 decode");
+        assert_eq!(d.len() as u64, records);
+    });
+    let v2_read = measure("v2 streaming read", payload_bytes, records, || {
+        let mut reader = TraceReader::open(&v2_path).expect("v2 open");
+        let d = reader.read_to_dataset_strict().expect("v2 read");
+        assert_eq!(d.len() as u64, records);
+    });
+    let v2_aggregate = measure("v2 stream → frame", payload_bytes, records, || {
+        let mut reader = TraceReader::open(&v2_path).expect("v2 open");
+        let frame = SectorDayFrame::from_reader(&data.world, &mut reader, 1).expect("v2 aggregate");
+        assert!(!frame.is_empty());
+    });
+    // Sanity: both containers round-trip to identical bits.
+    {
+        let mut reader = TraceReader::open(&v2_path).expect("v2 open");
+        let back = reader.read_to_dataset_strict().expect("v2 read");
+        assert_eq!(encode(&back), encode(dataset), "v2 round-trip drifted");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // The vendored serde_json is a stand-in, so format by hand.
+    let json = format!(
+        "{{\n  \"preset\": \"{preset_name}\",\n  \"records\": {records},\n  \
+         \"payload_bytes\": {payload_bytes},\n  \"v2_file_bytes\": {v2_size},\n  \
+         \"v1_write\": {},\n  \"v2_write\": {},\n  \"v1_decode\": {},\n  \
+         \"v2_streaming_read\": {},\n  \"v2_stream_aggregate\": {}\n}}\n",
+        v1_write.json(),
+        v2_write.json(),
+        v1_read.json(),
+        v2_read.json(),
+        v2_aggregate.json()
+    );
+    std::fs::write("BENCH_trace.json", &json).expect("write BENCH_trace.json");
+    eprintln!("bench-trace: wrote BENCH_trace.json");
+}

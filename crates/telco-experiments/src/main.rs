@@ -10,7 +10,9 @@
 //!
 //! With no experiment argument, `all` is assumed. `--small` runs the
 //! 7-day/3k-UE configuration instead of the full 28-day study; `--tiny`
-//! is for smoke tests.
+//! is for smoke tests. `--spill-dir <dir>` runs the simulation out of
+//! core: per-worker runs spill to `<dir>` as v2 chunk files and are
+//! merged from disk, bounding trace memory (byte-identical output).
 
 use telco_analytics::modeling::HofModels;
 use telco_analytics::Study;
@@ -18,13 +20,16 @@ use telco_sim::SimConfig;
 use telco_stats::desc::percentile;
 
 mod bench_runner;
+mod bench_trace;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut config = SimConfig::default_study();
     let mut preset_name = "default";
+    let mut spill_dir: Option<std::path::PathBuf> = None;
     let mut wanted: Vec<String> = Vec::new();
-    for arg in &args {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--small" => {
                 config = SimConfig::small();
@@ -34,12 +39,32 @@ fn main() {
                 config = SimConfig::tiny();
                 preset_name = "tiny";
             }
+            "--spill-dir" => match iter.next() {
+                Some(dir) => spill_dir = Some(std::path::PathBuf::from(dir)),
+                None => {
+                    eprintln!("repro: --spill-dir needs a directory argument");
+                    std::process::exit(2);
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: repro [--small|--tiny] [bench-runner|experiment ...]");
+                println!(
+                    "usage: repro [--small|--tiny] [--spill-dir <dir>] \
+                     [bench-runner|bench-trace|experiment ...]"
+                );
                 return;
             }
             other => wanted.push(other.to_string()),
         }
+    }
+    if wanted.iter().any(|w| w == "bench-trace") {
+        // Throughput measurement: defaults to the small preset unless a
+        // scale flag was given explicitly.
+        if preset_name == "default" {
+            config = SimConfig::small();
+            preset_name = "small";
+        }
+        bench_trace::run(config, preset_name);
+        return;
     }
     if wanted.iter().any(|w| w == "bench-runner") {
         // Throughput measurement, not a table: defaults to the small
@@ -69,7 +94,19 @@ fn main() {
         config.n_ues, config.n_days, config.seed
     );
     let t0 = std::time::Instant::now();
-    let study = Study::run(config);
+    let study = match &spill_dir {
+        Some(dir) => {
+            // Out-of-core: per-worker runs spill to disk as v2 chunk
+            // files and merge from disk — same bytes, bounded memory.
+            eprintln!("repro: spilling runs to {}", dir.display());
+            std::fs::create_dir_all(dir).expect("create spill dir");
+            let world = telco_sim::World::build(&config);
+            let output = telco_sim::run_on_world_spilled(&world, &config, dir)
+                .expect("spilled simulation failed");
+            Study::from_data(telco_sim::StudyData { config, world, output })
+        }
+        None => Study::run(config),
+    };
     eprintln!("repro: simulation finished in {:?}", t0.elapsed());
     eprintln!(
         "repro: {} handover records, {} sector-day observations\n",

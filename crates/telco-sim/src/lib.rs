@@ -31,7 +31,8 @@ pub use config::{CoverageConfig, SessionConfig, SimConfig};
 pub use engine::{sample_points, sample_points_into, simulate_ue_day, SimScratch};
 pub use output::{RatLedger, SimOutput, UeDayMobility};
 pub use runner::{
-    run_on_world, run_on_world_chunked, run_study, RunnerMode, RunnerStats, StudyData,
-    DEFAULT_UE_CHUNK, SEQUENTIAL_UE_THRESHOLD,
+    run_on_world, run_on_world_chunked, run_on_world_spilled, run_on_world_spilled_chunked,
+    run_study, RunnerMode, RunnerStats, StudyData, DEFAULT_UE_CHUNK, MERGE_FAN_IN,
+    SEQUENTIAL_UE_THRESHOLD,
 };
 pub use world::{SectorLists, UeAttrs, World};

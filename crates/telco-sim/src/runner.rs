@@ -12,12 +12,14 @@
 //! day-major with a k-way heap merge whose ties break on run order, which
 //! reproduces the sequential path's append-then-stable-sort byte for byte.
 
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam::thread;
 
 use telco_devices::population::UeId;
 use telco_trace::dataset::SignalingDataset;
+use telco_trace::store::{merge_run_files, TraceWriter};
 
 use crate::config::SimConfig;
 use crate::engine::{simulate_ue_day, SimScratch};
@@ -43,6 +45,9 @@ pub enum RunnerMode {
     Sequential,
     /// Work-stealing workers draining the shared `(day, chunk)` cursor.
     WorkStealing,
+    /// Work-stealing workers spilling per-item sorted runs to disk as v2
+    /// chunk files, k-way merged from disk (out-of-core).
+    Spilled,
 }
 
 /// Scheduling metadata of a finished run, recorded on
@@ -194,6 +199,120 @@ pub fn run_on_world_chunked(world: &World, config: &SimConfig, chunk_ues: usize)
     merged
 }
 
+/// Open-file fan-in of the on-disk merge. The default study spills
+/// thousands of run files — far past a typical 1024-descriptor ulimit —
+/// so the merge goes multi-pass above this bound.
+pub const MERGE_FAN_IN: usize = 128;
+
+/// [`run_on_world`] in spill-to-disk mode: each work item's sorted run is
+/// written to `spill_dir` as a v2 chunk file instead of held in RAM, and
+/// the runs are k-way merged from disk (multi-pass above
+/// [`MERGE_FAN_IN`] files). Peak trace memory is bounded by one chunk per
+/// open run rather than the whole dataset.
+///
+/// Output is byte-identical to the in-memory paths: runs are merged in
+/// item order with index tie-breaks, exactly the
+/// [`SignalingDataset::merge_sorted_runs`] contract. Run files and merge
+/// intermediates are deleted as they are consumed; `spill_dir` must exist.
+pub fn run_on_world_spilled(
+    world: &World,
+    config: &SimConfig,
+    spill_dir: &Path,
+) -> std::io::Result<SimOutput> {
+    run_on_world_spilled_chunked(world, config, DEFAULT_UE_CHUNK, spill_dir)
+}
+
+/// [`run_on_world_spilled`] with an explicit work-item granularity.
+///
+/// Unlike the in-memory path there is no sequential fallback: the whole
+/// point is bounding memory, so even `threads == 1` runs the item grid
+/// and spills every run.
+pub fn run_on_world_spilled_chunked(
+    world: &World,
+    config: &SimConfig,
+    chunk_ues: usize,
+    spill_dir: &Path,
+) -> std::io::Result<SimOutput> {
+    assert!(chunk_ues > 0, "chunk size must be positive");
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        config.threads
+    };
+    let n_ues = world.n_ues();
+    let n_days = config.n_days;
+    let ue_days = n_ues * n_days as usize;
+    let chunks_per_day = n_ues.div_ceil(chunk_ues).max(1);
+    let n_items = chunks_per_day * n_days as usize;
+    let cursor = AtomicUsize::new(0);
+
+    // Workers drain the same (day, chunk) grid as the in-memory path, but
+    // each finished run goes straight to disk: the SimOutput they keep
+    // carries only the small per-item side state (mobility, ledger, core).
+    let per_worker: Vec<std::io::Result<Vec<(usize, SimOutput)>>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cursor = &cursor;
+                s.spawn(move |_| -> std::io::Result<Vec<(usize, SimOutput)>> {
+                    let mut scratch = SimScratch::new();
+                    let mut produced: Vec<(usize, SimOutput)> = Vec::new();
+                    loop {
+                        let item = cursor.fetch_add(1, Ordering::Relaxed);
+                        if item >= n_items {
+                            break;
+                        }
+                        let day = (item / chunks_per_day) as u32;
+                        let chunk = item % chunks_per_day;
+                        let lo = chunk * chunk_ues;
+                        let hi = (lo + chunk_ues).min(n_ues);
+                        let mut out = SimOutput::new(n_days);
+                        for ue in lo..hi {
+                            simulate_ue_day(
+                                world,
+                                config,
+                                UeId(ue as u32),
+                                day,
+                                &mut scratch,
+                                &mut out,
+                            );
+                        }
+                        out.dataset.sort();
+                        let path = spill_dir.join(format!("run-{item:06}.tmp-trace"));
+                        let mut w = TraceWriter::create(&path, n_days)?;
+                        w.write_chunk(out.dataset.records())?;
+                        w.finish()?;
+                        out.dataset = SignalingDataset::new(n_days);
+                        produced.push((item, out));
+                    }
+                    Ok(produced)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("simulation worker panicked")).collect()
+    })
+    .expect("simulation scope panicked");
+
+    let mut runs: Vec<(usize, SimOutput)> = Vec::with_capacity(n_items);
+    for worker in per_worker {
+        runs.extend(worker?);
+    }
+    runs.sort_unstable_by_key(|&(item, _)| item);
+
+    let mut merged = SimOutput::new(n_days);
+    merged.mobility.reserve(ue_days);
+    let mut paths: Vec<PathBuf> = Vec::with_capacity(runs.len());
+    for (item, run) in runs {
+        paths.push(spill_dir.join(format!("run-{item:06}.tmp-trace")));
+        merged.mobility.extend(run.mobility);
+        merged.ledger.merge(&run.ledger);
+        merged.core.merge(&run.core);
+    }
+    merged.dataset = merge_run_files(n_days, paths, spill_dir, MERGE_FAN_IN)?;
+    merged.runner =
+        RunnerStats { mode: RunnerMode::Spilled, threads, chunk_ues, work_items: n_items, ue_days };
+    Ok(merged)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +366,28 @@ mod tests {
         assert!(total > 100, "too few handovers: {total}");
         let intra = counts[HoType::Intra4g5g.index()] as f64 / total as f64;
         assert!(intra > 0.75, "intra share {intra} too low");
+    }
+
+    #[test]
+    fn spilled_equals_in_memory() {
+        let mut cfg = SimConfig::tiny();
+        cfg.n_ues = 120;
+        cfg.n_days = 2;
+        cfg.threads = 4;
+        let world = World::build(&cfg);
+        let in_mem = run_on_world(&world, &cfg);
+
+        let dir = std::env::temp_dir().join("telco_runner_spill_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spilled = run_on_world_spilled(&world, &cfg, &dir).unwrap();
+        assert_eq!(spilled.runner.mode, RunnerMode::Spilled);
+        assert_eq!(spilled.dataset.records(), in_mem.dataset.records());
+        assert_eq!(spilled.mobility, in_mem.mobility);
+        assert_eq!(spilled.core, in_mem.core);
+        // All run files and intermediates consumed.
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! Determinism matrix: the work-stealing runner must produce byte-identical
 //! records and mobility rows for every (thread count, chunk size)
-//! combination, with only the ledger's floating-point sums allowed to
-//! regroup (compared under a documented relative tolerance).
+//! combination — whether runs stay in memory or spill to disk — with only
+//! the ledger's floating-point sums allowed to regroup (compared under a
+//! documented relative tolerance).
 
-use telco_sim::{run_on_world_chunked, RunnerMode, SimConfig, World};
+use telco_sim::{run_on_world_chunked, run_on_world_spilled_chunked, RunnerMode, SimConfig, World};
+use telco_trace::io::encode;
 
 /// Relative tolerance for ledger sums: f64 addition is not associative, so
 /// chunked accumulation orders differ from the sequential (day, ue) order.
@@ -61,6 +63,78 @@ fn runner_matrix_is_deterministic() {
             assert_ledger_close(&reference.ledger.dl_mb, &out.ledger.dl_mb, "dl_mb");
         }
     }
+}
+
+#[test]
+fn spilled_matrix_matches_in_memory_byte_for_byte() {
+    // The spill-to-disk path must be indistinguishable from the in-memory
+    // path at the byte level: same encoded trace for every thread count,
+    // whether the runs lived in RAM or round-tripped through v2 chunk
+    // files and the on-disk merge.
+    let mut cfg = SimConfig::tiny();
+    cfg.n_ues = 150;
+    cfg.n_days = 2;
+    cfg.threads = 1;
+    let world = World::build(&cfg);
+    let reference = run_on_world_chunked(&world, &cfg, 32);
+    let reference_bytes = encode(&reference.dataset);
+
+    let dir = std::env::temp_dir().join("telco_determinism_spill");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    for threads in [1usize, 2, 8] {
+        for (mode, label) in [("memory", "in-memory"), ("spilled", "spilled")] {
+            let mut cfg = cfg.clone();
+            cfg.threads = threads;
+            let out = if mode == "spilled" {
+                let sub = dir.join(format!("t{threads}"));
+                std::fs::create_dir_all(&sub).unwrap();
+                let out = run_on_world_spilled_chunked(&world, &cfg, 32, &sub)
+                    .expect("spilled run failed");
+                assert_eq!(out.runner.mode, RunnerMode::Spilled, "threads={threads}");
+                // Nothing left behind: runs and merge intermediates are
+                // consumed as the merge drains them.
+                assert_eq!(
+                    std::fs::read_dir(&sub).unwrap().count(),
+                    0,
+                    "threads={threads}: spill dir not drained"
+                );
+                out
+            } else {
+                run_on_world_chunked(&world, &cfg, 32)
+            };
+            assert_eq!(
+                encode(&out.dataset),
+                reference_bytes,
+                "threads={threads} {label}: encoded trace diverged"
+            );
+            assert_eq!(
+                out.mobility, reference.mobility,
+                "threads={threads} {label}: mobility diverged"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn spilled_multi_pass_merge_is_identical() {
+    // Chunk size 1 on 150 UEs × 2 days produces 300 run files — more than
+    // the merge fan-in would ever see in one pass if it were small; here
+    // it exercises the many-runs regime of the external merge.
+    let mut cfg = SimConfig::tiny();
+    cfg.n_ues = 150;
+    cfg.n_days = 2;
+    cfg.threads = 4;
+    let world = World::build(&cfg);
+    let reference = run_on_world_chunked(&world, &cfg, 1);
+    let dir = std::env::temp_dir().join("telco_determinism_spill_many");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let spilled = run_on_world_spilled_chunked(&world, &cfg, 1, &dir).expect("spilled run failed");
+    assert_eq!(encode(&spilled.dataset), encode(&reference.dataset));
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -1,0 +1,103 @@
+//! CRC-32 (IEEE 802.3, polynomial 0xEDB88320) — the checksum guarding v2
+//! chunk frames. Table-driven and dependency-free: the build environment
+//! vendors no checksum crate, and the codec only needs integrity
+//! detection, not cryptographic strength.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// Streaming CRC-32 hasher: feed bytes incrementally, then
+/// [`Crc32::finish`]. The writer uses this to checksum a chunk payload
+/// while encoding it, without a second pass.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        Crc32 { state: !0 }
+    }
+
+    /// Absorb `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut crc = self.state;
+        for &b in data {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The checksum of everything absorbed so far.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+/// One-shot CRC-32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(data);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard IEEE CRC-32 test vectors.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let data = b"chunked streaming trace store";
+        let mut h = Crc32::new();
+        for part in data.chunks(7) {
+            h.update(part);
+        }
+        assert_eq!(h.finish(), crc32(data));
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data: Vec<u8> = (0u32..256).map(|i| (i * 7) as u8).collect();
+        let reference = crc32(&data);
+        for byte in [0usize, 100, 255] {
+            for bit in 0..8 {
+                let mut corrupted = data.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupted), reference, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+}

@@ -2,8 +2,11 @@
 //!
 //! The operator's daily trace weighs ≈8 TB (§3.1, Table 1); even at
 //! simulation scale a run produces millions of rows, so the binary format
-//! packs each record into a fixed 36-byte frame. JSON export serves
-//! human inspection and downstream tooling.
+//! packs each record into a fixed 36-byte frame. Two container formats
+//! share that record layout: the v1 single-buffer format ([`encode`] /
+//! [`decode`], this module) and the v2 chunked streaming store
+//! ([`crate::store`]). JSON export serves human inspection and downstream
+//! tooling.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -15,12 +18,14 @@ use telco_topology::rat::Rat;
 use crate::dataset::SignalingDataset;
 use crate::record::{HoOutcome, HoRecord};
 
-/// Magic bytes opening a binary trace.
+/// Magic bytes opening a binary trace (any version).
 pub const MAGIC: [u8; 4] = *b"TLHO";
-/// Current binary format version.
+/// The single-buffer format version this module encodes.
 pub const VERSION: u16 = 1;
-/// Bytes per encoded record.
+/// Bytes per encoded record (same layout in v1 and v2).
 pub const RECORD_BYTES: usize = 36;
+/// Bytes of the v1 header: magic + version + days + record count.
+pub const V1_HEADER_BYTES: usize = 18;
 
 /// Errors from decoding a binary trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,6 +38,24 @@ pub enum CodecError {
     BadVersion(u16),
     /// A field held an invalid enumeration value.
     BadField(&'static str),
+    /// A v2 chunk frame opened with neither the chunk nor the trailer
+    /// magic — the stream lost framing (the reader resyncs by scanning).
+    BadChunkMagic,
+    /// A v2 chunk payload failed its CRC32 check.
+    ChecksumMismatch {
+        /// Checksum stored in the chunk header.
+        stored: u32,
+        /// Checksum computed over the payload as read.
+        computed: u32,
+    },
+    /// A v2 stream ended without its trailer frame (e.g. a writer crashed
+    /// before [`crate::store::TraceWriter::finish`]).
+    MissingTrailer,
+    /// The v2 trailer disagrees with the stream: its own CRC failed, or
+    /// its totals do not match the chunks actually read.
+    TrailerMismatch,
+    /// The underlying reader failed.
+    Io(std::io::ErrorKind),
 }
 
 impl std::fmt::Display for CodecError {
@@ -42,6 +65,16 @@ impl std::fmt::Display for CodecError {
             CodecError::BadMagic => write!(f, "bad magic bytes"),
             CodecError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
             CodecError::BadField(name) => write!(f, "invalid field value: {name}"),
+            CodecError::BadChunkMagic => write!(f, "bad chunk magic (framing lost)"),
+            CodecError::ChecksumMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "chunk checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )
+            }
+            CodecError::MissingTrailer => write!(f, "stream ended without a trailer frame"),
+            CodecError::TrailerMismatch => write!(f, "trailer does not match the stream"),
+            CodecError::Io(kind) => write!(f, "read failed: {kind:?}"),
         }
     }
 }
@@ -56,34 +89,79 @@ fn rat_from(code: u8) -> Result<Rat, CodecError> {
     Rat::ALL.get(code as usize).copied().ok_or(CodecError::BadField("rat"))
 }
 
-/// Encode a dataset into the binary frame format.
+/// Append the 36-byte frame of one record to `buf`. Shared by the v1
+/// encoder and the v2 chunk writer — both formats carry identical record
+/// frames.
+pub fn put_record(buf: &mut impl BufMut, r: &HoRecord) {
+    buf.put_u64(r.timestamp_ms);
+    buf.put_u32(r.ue.0);
+    buf.put_u32(r.source_sector.0);
+    buf.put_u32(r.target_sector.0);
+    buf.put_u8(rat_code(r.source_rat));
+    buf.put_u8(rat_code(r.target_rat));
+    let flags: u8 = u8::from(r.outcome == HoOutcome::Failure) | (u8::from(r.srvcc) << 1);
+    buf.put_u8(flags);
+    buf.put_u8(0); // reserved
+    buf.put_u16(r.cause.map_or(0, |c| c.0));
+    buf.put_u16(r.messages);
+    buf.put_f32(r.duration_ms);
+    buf.put_u32(0); // reserved / alignment
+}
+
+/// Decode one 36-byte record frame. The caller must guarantee at least
+/// [`RECORD_BYTES`] remaining — this function validates field values, not
+/// buffer length.
+pub fn get_record(buf: &mut impl Buf) -> Result<HoRecord, CodecError> {
+    debug_assert!(buf.remaining() >= RECORD_BYTES);
+    let timestamp_ms = buf.get_u64();
+    let ue = UeId(buf.get_u32());
+    let source_sector = SectorId(buf.get_u32());
+    let target_sector = SectorId(buf.get_u32());
+    let source_rat = rat_from(buf.get_u8())?;
+    let target_rat = rat_from(buf.get_u8())?;
+    let flags = buf.get_u8();
+    let _reserved = buf.get_u8();
+    let cause_raw = buf.get_u16();
+    let messages = buf.get_u16();
+    let duration_ms = buf.get_f32();
+    let _pad = buf.get_u32();
+    let failed = flags & 1 != 0;
+    if failed && cause_raw == 0 {
+        return Err(CodecError::BadField("cause"));
+    }
+    Ok(HoRecord {
+        timestamp_ms,
+        ue,
+        source_sector,
+        target_sector,
+        source_rat,
+        target_rat,
+        outcome: if failed { HoOutcome::Failure } else { HoOutcome::Success },
+        cause: if failed { Some(CauseCode(cause_raw)) } else { None },
+        duration_ms,
+        srvcc: flags & 2 != 0,
+        messages,
+    })
+}
+
+/// Encode a dataset into the v1 single-buffer format.
 pub fn encode(dataset: &SignalingDataset) -> Bytes {
-    let mut buf = BytesMut::with_capacity(16 + dataset.len() * RECORD_BYTES);
+    let mut buf = BytesMut::with_capacity(V1_HEADER_BYTES + dataset.len() * RECORD_BYTES);
     buf.put_slice(&MAGIC);
     buf.put_u16(VERSION);
     buf.put_u32(dataset.days);
     buf.put_u64(dataset.len() as u64);
     for r in dataset.records() {
-        buf.put_u64(r.timestamp_ms);
-        buf.put_u32(r.ue.0);
-        buf.put_u32(r.source_sector.0);
-        buf.put_u32(r.target_sector.0);
-        buf.put_u8(rat_code(r.source_rat));
-        buf.put_u8(rat_code(r.target_rat));
-        let flags: u8 = u8::from(r.outcome == HoOutcome::Failure) | (u8::from(r.srvcc) << 1);
-        buf.put_u8(flags);
-        buf.put_u8(0); // reserved
-        buf.put_u16(r.cause.map_or(0, |c| c.0));
-        buf.put_u16(r.messages);
-        buf.put_f32(r.duration_ms);
-        buf.put_u32(0); // reserved / alignment
+        put_record(&mut buf, r);
     }
     buf.freeze()
 }
 
-/// Decode a binary trace.
+/// Decode a v1 binary trace. For v2 chunked streams use
+/// [`crate::store::TraceReader`] (or [`read_file`], which dispatches on
+/// the version field).
 pub fn decode(mut data: Bytes) -> Result<SignalingDataset, CodecError> {
-    if data.remaining() < 18 {
+    if data.remaining() < V1_HEADER_BYTES {
         return Err(CodecError::Truncated);
     }
     let mut magic = [0u8; 4];
@@ -96,54 +174,48 @@ pub fn decode(mut data: Bytes) -> Result<SignalingDataset, CodecError> {
         return Err(CodecError::BadVersion(version));
     }
     let days = data.get_u32();
-    let count = data.get_u64() as usize;
-    if data.remaining() < count * RECORD_BYTES {
+    let count = data.get_u64();
+    // A corrupted count can be astronomically large; checked arithmetic
+    // (and comparing against the bytes actually present before any
+    // allocation) keeps this a typed error instead of an overflow panic
+    // or an OOM abort.
+    let need = usize::try_from(count)
+        .ok()
+        .and_then(|c| c.checked_mul(RECORD_BYTES))
+        .ok_or(CodecError::Truncated)?;
+    if data.remaining() < need {
         return Err(CodecError::Truncated);
     }
+    let count = count as usize;
     let mut records = Vec::with_capacity(count);
     for _ in 0..count {
-        let timestamp_ms = data.get_u64();
-        let ue = UeId(data.get_u32());
-        let source_sector = SectorId(data.get_u32());
-        let target_sector = SectorId(data.get_u32());
-        let source_rat = rat_from(data.get_u8())?;
-        let target_rat = rat_from(data.get_u8())?;
-        let flags = data.get_u8();
-        let _reserved = data.get_u8();
-        let cause_raw = data.get_u16();
-        let messages = data.get_u16();
-        let duration_ms = data.get_f32();
-        let _pad = data.get_u32();
-        let failed = flags & 1 != 0;
-        if failed && cause_raw == 0 {
-            return Err(CodecError::BadField("cause"));
-        }
-        records.push(HoRecord {
-            timestamp_ms,
-            ue,
-            source_sector,
-            target_sector,
-            source_rat,
-            target_rat,
-            outcome: if failed { HoOutcome::Failure } else { HoOutcome::Success },
-            cause: if failed { Some(CauseCode(cause_raw)) } else { None },
-            duration_ms,
-            srvcc: flags & 2 != 0,
-            messages,
-        });
+        records.push(get_record(&mut data)?);
     }
     Ok(SignalingDataset::from_records(days, records))
 }
 
-/// Write a dataset to a binary trace file.
+/// Write a dataset to a v1 binary trace file.
 pub fn write_file(dataset: &SignalingDataset, path: &std::path::Path) -> std::io::Result<()> {
     std::fs::write(path, encode(dataset))
 }
 
-/// Read a dataset from a binary trace file.
+/// Read a dataset from a binary trace file, v1 or v2 (dispatches on the
+/// version field). Any corruption surfaces as `InvalidData`; for
+/// skip-and-report streaming of damaged v2 files use
+/// [`crate::store::TraceReader`] directly.
 pub fn read_file(path: &std::path::Path) -> std::io::Result<SignalingDataset> {
     let raw = std::fs::read(path)?;
-    decode(Bytes::from(raw)).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    let invalid = |e: CodecError| std::io::Error::new(std::io::ErrorKind::InvalidData, e);
+    if raw.len() >= 6 && raw[..4] == MAGIC {
+        let version = u16::from_be_bytes([raw[4], raw[5]]);
+        if version == crate::store::VERSION2 {
+            let mut reader = crate::store::TraceReader::new(&raw[..]).map_err(invalid)?;
+            return reader
+                .read_to_dataset_strict()
+                .map_err(|issue| std::io::Error::new(std::io::ErrorKind::InvalidData, issue));
+        }
+    }
+    decode(Bytes::from(raw)).map_err(invalid)
 }
 
 /// Export a dataset to pretty JSON (human inspection / small slices only).
@@ -186,7 +258,7 @@ mod tests {
     fn binary_roundtrip_is_lossless() {
         let d = sample_dataset();
         let encoded = encode(&d);
-        assert_eq!(encoded.len(), 18 + d.len() * RECORD_BYTES);
+        assert_eq!(encoded.len(), V1_HEADER_BYTES + d.len() * RECORD_BYTES);
         let decoded = decode(encoded).unwrap();
         assert_eq!(d, decoded);
     }
@@ -219,6 +291,17 @@ mod tests {
         let cut = raw.slice(0..raw.len() - 5);
         assert_eq!(decode(cut).unwrap_err(), CodecError::Truncated);
         assert_eq!(decode(Bytes::from_static(b"TL")).unwrap_err(), CodecError::Truncated);
+    }
+
+    #[test]
+    fn absurd_count_is_truncated_not_panic() {
+        // A bit flip in the count field must not overflow `count * 36` or
+        // trigger a giant allocation.
+        let mut raw = BytesMut::from(&encode(&sample_dataset())[..]);
+        for i in 10..18 {
+            raw[i] = 0xFF; // count = u64::MAX
+        }
+        assert_eq!(decode(raw.freeze()).unwrap_err(), CodecError::Truncated);
     }
 
     #[test]

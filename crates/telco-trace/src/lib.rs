@@ -20,11 +20,14 @@
 #![warn(missing_docs)]
 
 pub mod anonymize;
+pub mod crc32;
 pub mod dataset;
 pub mod io;
 pub mod record;
+pub mod store;
 
 pub use anonymize::Anonymizer;
 pub use dataset::SignalingDataset;
 pub use io::{decode, encode, from_json, read_file, to_json, write_file, CodecError};
 pub use record::{DeviceRecord, HoOutcome, HoRecord, TopologyRecord};
+pub use store::{ChunkIssue, TraceReader, TraceWriter};

@@ -1,0 +1,977 @@
+//! Format v2: the chunked streaming trace store.
+//!
+//! The paper's operator collects ≈8 TB of signaling per day (§3.1); no
+//! single-buffer codec survives that scale. Format v2 frames the trace as
+//! a sequence of independently verifiable chunks so writers can append
+//! incrementally and readers can stream with bounded memory:
+//!
+//! ```text
+//! header   "TLHO" | u16 version=2 | u32 days                  (10 bytes)
+//! chunk    "CHNK" | u32 seq | u32 count | u32 crc32 | payload (16 + 36·count)
+//! ...
+//! trailer  "TEND" | u64 records | u32 chunks | u32 crc32      (20 bytes)
+//! ```
+//!
+//! All integers are big-endian; the record payload layout is identical to
+//! v1 ([`crate::io`]). Every byte of the stream is covered by a check:
+//! each chunk's CRC32 covers its payload, chunk sequence numbers must run
+//! contiguously, and the trailer CRC32 seals the 10 header bytes plus the
+//! totals — so a flip in the `days` field or a silently dropped tail is
+//! caught even though the header carries no checksum field of its own. A
+//! corrupted chunk is detected, skipped, and reported without aborting
+//! the read ([`TraceReader`]); a corrupted frame *header* loses framing,
+//! and the reader resynchronizes by scanning for the next chunk or
+//! trailer magic.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use bytes::{BufMut, Bytes};
+
+use crate::crc32::crc32;
+use crate::dataset::SignalingDataset;
+use crate::io::{get_record, put_record, CodecError, MAGIC, RECORD_BYTES};
+use crate::record::HoRecord;
+
+/// The chunked streaming format version.
+pub const VERSION2: u16 = 2;
+/// Bytes of the v2 stream header.
+pub const V2_HEADER_BYTES: usize = 10;
+/// Magic opening every chunk frame.
+pub const CHUNK_MAGIC: [u8; 4] = *b"CHNK";
+/// Magic opening the trailer frame.
+pub const TRAILER_MAGIC: [u8; 4] = *b"TEND";
+/// Bytes of a chunk frame header (magic + seq + count + crc).
+pub const FRAME_HEADER_BYTES: usize = 16;
+/// Upper bound on records per chunk (≈150 MB of payload). The writer
+/// splits larger chunks; the reader treats a larger declared count as
+/// corruption, which keeps a flipped count field from driving a giant
+/// allocation.
+pub const MAX_CHUNK_RECORDS: u32 = 1 << 22;
+
+/// Records per chunk used by bulk helpers when splitting oversized chunks
+/// and by the streaming merge when writing its output.
+pub const DEFAULT_CHUNK_RECORDS: usize = 1 << 16;
+
+/// One problem found while reading a v2 stream: which frame, where, and
+/// what was wrong. Readers *report* issues and keep going (skipping the
+/// damaged chunk) rather than aborting the whole read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkIssue {
+    /// Zero-based index of the frame (in stream order) being read when the
+    /// issue was detected.
+    pub chunk: u64,
+    /// Byte offset into the stream where the issue was detected.
+    pub offset: u64,
+    /// What was wrong.
+    pub error: CodecError,
+}
+
+impl std::fmt::Display for ChunkIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "chunk {} at byte {}: {}", self.chunk, self.offset, self.error)
+    }
+}
+
+impl std::error::Error for ChunkIssue {}
+
+/// The trailer checksum: CRC32 over the canonical 10-byte header followed
+/// by the 12 trailer-total bytes. Sealing the header here is what makes a
+/// bit flip in the unchecksummed `days` field detectable.
+fn trailer_crc(days: u32, totals: &[u8]) -> u32 {
+    let mut sealed = Vec::with_capacity(V2_HEADER_BYTES + 12);
+    sealed.put_slice(&MAGIC);
+    sealed.put_u16(VERSION2);
+    sealed.put_u32(days);
+    sealed.put_slice(totals);
+    crc32(&sealed)
+}
+
+// ---- writer ----------------------------------------------------------------
+
+/// Incremental v2 writer: appends chunk frames to any [`Write`] sink and
+/// seals the stream with a trailer on [`TraceWriter::finish`]. Dropping a
+/// writer without finishing leaves a trailer-less stream, which readers
+/// flag as [`CodecError::MissingTrailer`] — the crash-detection property
+/// the trailer exists for.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    sink: W,
+    days: u32,
+    chunks: u32,
+    records: u64,
+}
+
+impl TraceWriter<BufWriter<File>> {
+    /// Create (truncate) `path` and write the v2 header.
+    pub fn create(path: &Path, days: u32) -> std::io::Result<Self> {
+        Self::new(BufWriter::new(File::create(path)?), days)
+    }
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Wrap `sink`, writing the v2 header immediately.
+    pub fn new(mut sink: W, days: u32) -> std::io::Result<Self> {
+        let mut header = Vec::with_capacity(V2_HEADER_BYTES);
+        header.put_slice(&MAGIC);
+        header.put_u16(VERSION2);
+        header.put_u32(days);
+        sink.write_all(&header)?;
+        Ok(TraceWriter { sink, days, chunks: 0, records: 0 })
+    }
+
+    /// Append one chunk of records (split transparently if longer than
+    /// [`MAX_CHUNK_RECORDS`]). An empty slice writes an empty chunk — a
+    /// valid frame that keeps sequence numbers aligned with the caller's
+    /// chunk structure.
+    pub fn write_chunk(&mut self, records: &[HoRecord]) -> std::io::Result<()> {
+        if records.is_empty() {
+            return self.write_frame(records);
+        }
+        for part in records.chunks(MAX_CHUNK_RECORDS as usize) {
+            self.write_frame(part)?;
+        }
+        Ok(())
+    }
+
+    fn write_frame(&mut self, records: &[HoRecord]) -> std::io::Result<()> {
+        let mut payload = Vec::with_capacity(records.len() * RECORD_BYTES);
+        for r in records {
+            put_record(&mut payload, r);
+        }
+        let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES);
+        frame.put_slice(&CHUNK_MAGIC);
+        frame.put_u32(self.chunks);
+        frame.put_u32(records.len() as u32);
+        frame.put_u32(crc32(&payload));
+        self.sink.write_all(&frame)?;
+        self.sink.write_all(&payload)?;
+        self.chunks += 1;
+        self.records += records.len() as u64;
+        Ok(())
+    }
+
+    /// Write a whole dataset as one chunk per study day (records must be
+    /// timestamp-sorted, as [`SignalingDataset::from_records`] guarantees;
+    /// consecutive same-day runs become one chunk each).
+    pub fn write_dataset(&mut self, dataset: &SignalingDataset) -> std::io::Result<()> {
+        let recs = dataset.records();
+        let mut start = 0;
+        while start < recs.len() {
+            let day = recs[start].day();
+            let mut end = start + 1;
+            while end < recs.len() && recs[end].day() == day {
+                end += 1;
+            }
+            self.write_chunk(&recs[start..end])?;
+            start = end;
+        }
+        Ok(())
+    }
+
+    /// Seal the stream: write the trailer, flush, and hand the sink back.
+    /// The trailer CRC covers the header bytes plus the totals, so a
+    /// flipped header field (e.g. `days`) is caught at end of stream even
+    /// though the header itself carries no checksum.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        let mut trailer = Vec::with_capacity(20);
+        trailer.put_slice(&TRAILER_MAGIC);
+        trailer.put_u64(self.records);
+        trailer.put_u32(self.chunks);
+        let crc = trailer_crc(self.days, &trailer[4..16]);
+        trailer.put_u32(crc);
+        self.sink.write_all(&trailer)?;
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+
+    /// Records written so far.
+    pub fn records_written(&self) -> u64 {
+        self.records
+    }
+
+    /// Chunk frames written so far.
+    pub fn chunks_written(&self) -> u32 {
+        self.chunks
+    }
+}
+
+/// Write a dataset to a v2 chunked trace file (one chunk per day).
+pub fn write_file_v2(dataset: &SignalingDataset, path: &Path) -> std::io::Result<()> {
+    let mut w = TraceWriter::create(path, dataset.days)?;
+    w.write_dataset(dataset)?;
+    w.finish()?;
+    Ok(())
+}
+
+// ---- reader ----------------------------------------------------------------
+
+/// Streaming v2 reader with per-chunk corruption detection and
+/// skip-and-report recovery. Also reads v1 single-buffer streams (served
+/// as CRC-free batches) so existing traces stay loadable.
+///
+/// Damaged chunks never abort the read: a CRC mismatch skips exactly that
+/// chunk, a corrupted frame header triggers a resync scan for the next
+/// magic, and every problem is recorded in [`TraceReader::issues`] (and
+/// returned inline by [`TraceReader::next_chunk`]). Underlying I/O errors
+/// and truncation end the stream but are reported the same way.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    src: R,
+    /// Bytes pushed back by the resync scanner, consumed before `src`.
+    pending: VecDeque<u8>,
+    offset: u64,
+    days: u32,
+    version: u16,
+    /// Frames attempted so far (the index used in issue reports).
+    frames_seen: u64,
+    chunks_ok: u64,
+    records_read: u64,
+    v1_remaining: u64,
+    issues: Vec<ChunkIssue>,
+    trailer_seen: bool,
+    done: bool,
+}
+
+/// Records per yielded batch when streaming a v1 stream.
+const V1_BATCH_RECORDS: u64 = 1 << 16;
+
+impl TraceReader<BufReader<File>> {
+    /// Open a trace file for streaming.
+    pub fn open(path: &Path) -> Result<Self, CodecError> {
+        let file = File::open(path).map_err(|e| CodecError::Io(e.kind()))?;
+        Self::new(BufReader::new(file))
+    }
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Wrap a reader, consuming and validating the stream header.
+    pub fn new(src: R) -> Result<Self, CodecError> {
+        let mut reader = TraceReader {
+            src,
+            pending: VecDeque::new(),
+            offset: 0,
+            days: 0,
+            version: 0,
+            frames_seen: 0,
+            chunks_ok: 0,
+            records_read: 0,
+            v1_remaining: 0,
+            issues: Vec::new(),
+            trailer_seen: false,
+            done: false,
+        };
+        let mut header = [0u8; V2_HEADER_BYTES];
+        if reader.read_bytes(&mut header)? < V2_HEADER_BYTES {
+            return Err(CodecError::Truncated);
+        }
+        if header[..4] != MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let version = u16::from_be_bytes([header[4], header[5]]);
+        let days = u32::from_be_bytes([header[6], header[7], header[8], header[9]]);
+        match version {
+            1 => {
+                let mut count = [0u8; 8];
+                if reader.read_bytes(&mut count)? < 8 {
+                    return Err(CodecError::Truncated);
+                }
+                reader.v1_remaining = u64::from_be_bytes(count);
+            }
+            VERSION2 => {}
+            other => return Err(CodecError::BadVersion(other)),
+        }
+        reader.version = version;
+        reader.days = days;
+        Ok(reader)
+    }
+
+    /// Study-day span declared by the header.
+    pub fn days(&self) -> u32 {
+        self.days
+    }
+
+    /// Format version of the stream (1 or 2).
+    pub fn version(&self) -> u16 {
+        self.version
+    }
+
+    /// Every problem encountered so far, in stream order.
+    pub fn issues(&self) -> &[ChunkIssue] {
+        &self.issues
+    }
+
+    /// Records successfully delivered so far.
+    pub fn records_read(&self) -> u64 {
+        self.records_read
+    }
+
+    /// Whether the stream ended with a valid trailer (v2 only; meaningful
+    /// after the stream is exhausted).
+    pub fn trailer_seen(&self) -> bool {
+        self.trailer_seen
+    }
+
+    fn read_bytes(&mut self, out: &mut [u8]) -> Result<usize, CodecError> {
+        let mut n = 0;
+        while n < out.len() {
+            match self.pending.pop_front() {
+                Some(b) => {
+                    out[n] = b;
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        while n < out.len() {
+            match self.src.read(&mut out[n..]) {
+                Ok(0) => break,
+                Ok(k) => n += k,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.offset += n as u64;
+                    return Err(CodecError::Io(e.kind()));
+                }
+            }
+        }
+        self.offset += n as u64;
+        Ok(n)
+    }
+
+    fn push_back(&mut self, bytes: &[u8]) {
+        for &b in bytes.iter().rev() {
+            self.pending.push_front(b);
+        }
+        self.offset -= bytes.len() as u64;
+    }
+
+    fn issue(&mut self, error: CodecError) -> ChunkIssue {
+        let issue = ChunkIssue { chunk: self.frames_seen, offset: self.offset, error };
+        self.issues.push(issue.clone());
+        issue
+    }
+
+    fn fail(&mut self, error: CodecError) -> Option<Result<Vec<HoRecord>, ChunkIssue>> {
+        self.done = true;
+        Some(Err(self.issue(error)))
+    }
+
+    /// Scan forward for the next chunk or trailer magic, pushing the match
+    /// back so the next frame read starts on it. Returns `false` at EOF.
+    fn resync(&mut self, window: [u8; 4]) -> Result<bool, CodecError> {
+        let mut window = window;
+        loop {
+            let mut next = [0u8; 1];
+            if self.read_bytes(&mut next)? == 0 {
+                return Ok(false);
+            }
+            window = [window[1], window[2], window[3], next[0]];
+            if window == CHUNK_MAGIC || window == TRAILER_MAGIC {
+                self.push_back(&window);
+                return Ok(true);
+            }
+        }
+    }
+
+    /// The next chunk of records, or the issue that damaged it (also
+    /// recorded in [`TraceReader::issues`]). `None` at end of stream.
+    /// After a reported issue the reader has already skipped or resynced —
+    /// keep calling to stream the remaining healthy chunks.
+    pub fn next_chunk(&mut self) -> Option<Result<Vec<HoRecord>, ChunkIssue>> {
+        if self.done {
+            return None;
+        }
+        if self.version == 1 {
+            return self.next_v1_batch();
+        }
+        let mut magic = [0u8; 4];
+        let got = match self.read_bytes(&mut magic) {
+            Ok(n) => n,
+            Err(e) => return self.fail(e),
+        };
+        if got == 0 {
+            self.done = true;
+            if !self.trailer_seen {
+                return Some(Err(self.issue(CodecError::MissingTrailer)));
+            }
+            return None;
+        }
+        if got < 4 {
+            return self.fail(CodecError::Truncated);
+        }
+        if magic == TRAILER_MAGIC {
+            return self.read_trailer();
+        }
+        if magic != CHUNK_MAGIC {
+            // Framing lost: report once, then scan for the next magic.
+            let issue = self.issue(CodecError::BadChunkMagic);
+            self.frames_seen += 1;
+            match self.resync(magic) {
+                Ok(true) => {}
+                Ok(false) => self.done = true,
+                Err(e) => return self.fail(e),
+            }
+            return Some(Err(issue));
+        }
+        self.read_chunk_body()
+    }
+
+    fn read_chunk_body(&mut self) -> Option<Result<Vec<HoRecord>, ChunkIssue>> {
+        let mut head = [0u8; 12];
+        match self.read_bytes(&mut head) {
+            Ok(12) => {}
+            Ok(_) => return self.fail(CodecError::Truncated),
+            Err(e) => return self.fail(e),
+        }
+        let seq = u32::from_be_bytes([head[0], head[1], head[2], head[3]]);
+        let count = u32::from_be_bytes([head[4], head[5], head[6], head[7]]);
+        let stored_crc = u32::from_be_bytes([head[8], head[9], head[10], head[11]]);
+        if count > MAX_CHUNK_RECORDS {
+            // The length field itself is untrustworthy — resync rather
+            // than skip a bogus distance.
+            let issue = self.issue(CodecError::BadField("record_count"));
+            self.frames_seen += 1;
+            match self.resync([0; 4]) {
+                Ok(true) => {}
+                Ok(false) => self.done = true,
+                Err(e) => return self.fail(e),
+            }
+            return Some(Err(issue));
+        }
+        let mut payload = vec![0u8; count as usize * RECORD_BYTES];
+        match self.read_bytes(&mut payload) {
+            Ok(n) if n == payload.len() => {}
+            Ok(_) => return self.fail(CodecError::Truncated),
+            Err(e) => return self.fail(e),
+        }
+        let computed = crc32(&payload);
+        if computed != stored_crc {
+            let issue = self.issue(CodecError::ChecksumMismatch { stored: stored_crc, computed });
+            self.frames_seen += 1;
+            return Some(Err(issue));
+        }
+        // On an otherwise-clean stream, sequence numbers must run
+        // contiguously — the seq field is outside the payload CRC, so a
+        // flip there (or a spliced chunk) shows up only here. After a
+        // reported issue gaps are expected: frames were lost or skipped.
+        if self.issues.is_empty() && u64::from(seq) != self.frames_seen {
+            let issue = self.issue(CodecError::BadField("chunk_seq"));
+            self.frames_seen += 1;
+            return Some(Err(issue));
+        }
+        let mut buf = Bytes::from(payload);
+        let mut records = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            match get_record(&mut buf) {
+                Ok(r) => records.push(r),
+                Err(e) => {
+                    // CRC passed but a field is invalid: writer-side bug
+                    // or checksum collision. Skip the chunk.
+                    let issue = self.issue(e);
+                    self.frames_seen += 1;
+                    return Some(Err(issue));
+                }
+            }
+        }
+        self.frames_seen += 1;
+        self.chunks_ok += 1;
+        self.records_read += count as u64;
+        Some(Ok(records))
+    }
+
+    fn read_trailer(&mut self) -> Option<Result<Vec<HoRecord>, ChunkIssue>> {
+        let mut body = [0u8; 16];
+        match self.read_bytes(&mut body) {
+            Ok(16) => {}
+            Ok(_) => return self.fail(CodecError::Truncated),
+            Err(e) => return self.fail(e),
+        }
+        let stored_crc = u32::from_be_bytes([body[12], body[13], body[14], body[15]]);
+        if trailer_crc(self.days, &body[..12]) != stored_crc {
+            return self.fail(CodecError::TrailerMismatch);
+        }
+        let total_records = u64::from_be_bytes(body[..8].try_into().unwrap());
+        let total_chunks = u32::from_be_bytes(body[8..12].try_into().unwrap());
+        self.trailer_seen = true;
+        // With a damaged stream the totals legitimately disagree (chunks
+        // were skipped); only an otherwise-clean read treats a total
+        // mismatch as corruption (silent chunk loss).
+        if self.issues.is_empty()
+            && (total_records != self.records_read || u64::from(total_chunks) != self.chunks_ok)
+        {
+            return self.fail(CodecError::TrailerMismatch);
+        }
+        // Anything after the trailer is corruption too.
+        let mut probe = [0u8; 1];
+        match self.read_bytes(&mut probe) {
+            Ok(0) => {
+                self.done = true;
+                None
+            }
+            Ok(_) => self.fail(CodecError::BadChunkMagic),
+            Err(e) => self.fail(e),
+        }
+    }
+
+    fn next_v1_batch(&mut self) -> Option<Result<Vec<HoRecord>, ChunkIssue>> {
+        if self.v1_remaining == 0 {
+            self.done = true;
+            self.trailer_seen = true; // v1 has no trailer; count was the header's
+            return None;
+        }
+        let batch = self.v1_remaining.min(V1_BATCH_RECORDS);
+        let mut payload = vec![0u8; batch as usize * RECORD_BYTES];
+        match self.read_bytes(&mut payload) {
+            Ok(n) if n == payload.len() => {}
+            Ok(_) => return self.fail(CodecError::Truncated),
+            Err(e) => return self.fail(e),
+        }
+        let mut buf = Bytes::from(payload);
+        let mut records = Vec::with_capacity(batch as usize);
+        for _ in 0..batch {
+            match get_record(&mut buf) {
+                Ok(r) => records.push(r),
+                Err(e) => return self.fail(e), // no framing to resync on in v1
+            }
+        }
+        self.frames_seen += 1;
+        self.chunks_ok += 1;
+        self.records_read += batch;
+        self.v1_remaining -= batch;
+        Some(Ok(records))
+    }
+
+    /// Stream the whole trace into a dataset, skipping damaged chunks.
+    /// Inspect [`TraceReader::issues`] afterwards to learn what (if
+    /// anything) was lost.
+    pub fn read_to_dataset(&mut self) -> SignalingDataset {
+        let mut records = Vec::new();
+        while let Some(chunk) = self.next_chunk() {
+            if let Ok(mut recs) = chunk {
+                records.append(&mut recs);
+            }
+        }
+        SignalingDataset::from_records(self.days, records)
+    }
+
+    /// Stream the whole trace, failing on the first issue. The strict
+    /// flavor for callers whose input must be pristine (e.g. the spill
+    /// merge reading files it just wrote).
+    pub fn read_to_dataset_strict(&mut self) -> Result<SignalingDataset, ChunkIssue> {
+        let mut records = Vec::new();
+        while let Some(chunk) = self.next_chunk() {
+            records.append(&mut chunk?);
+        }
+        Ok(SignalingDataset::from_records(self.days, records))
+    }
+}
+
+// ---- k-way streaming merge -------------------------------------------------
+
+/// Streaming k-way merge over timestamp-sorted trace readers. Ties break
+/// on reader index, so the output is the stable timestamp sort of the
+/// inputs' concatenation — the same contract as
+/// [`SignalingDataset::merge_sorted_runs`], with memory bounded by one
+/// chunk per input instead of the whole trace.
+pub struct SortedMerge<R: Read> {
+    streams: Vec<MergeStream<R>>,
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>>,
+}
+
+struct MergeStream<R: Read> {
+    reader: TraceReader<R>,
+    buf: Vec<HoRecord>,
+    pos: usize,
+}
+
+impl<R: Read> MergeStream<R> {
+    /// Ensure a current record is buffered; `Ok(false)` at end of stream.
+    fn refill(&mut self) -> Result<bool, ChunkIssue> {
+        while self.pos >= self.buf.len() {
+            match self.reader.next_chunk() {
+                None => return Ok(false),
+                Some(Err(issue)) => return Err(issue),
+                Some(Ok(records)) => {
+                    self.buf = records;
+                    self.pos = 0;
+                }
+            }
+        }
+        Ok(true)
+    }
+}
+
+impl<R: Read> SortedMerge<R> {
+    /// Start merging `readers` (each must be timestamp-sorted; the merge
+    /// is strict — any chunk issue in any input aborts).
+    pub fn new(readers: Vec<TraceReader<R>>) -> Result<Self, ChunkIssue> {
+        let mut streams: Vec<MergeStream<R>> = readers
+            .into_iter()
+            .map(|reader| MergeStream { reader, buf: Vec::new(), pos: 0 })
+            .collect();
+        let mut heap = std::collections::BinaryHeap::with_capacity(streams.len());
+        for (i, s) in streams.iter_mut().enumerate() {
+            if s.refill()? {
+                heap.push(std::cmp::Reverse((s.buf[s.pos].timestamp_ms, i)));
+            }
+        }
+        Ok(SortedMerge { streams, heap })
+    }
+
+    /// The next record in merged order.
+    #[allow(clippy::should_implement_trait)] // fallible: not Iterator::next
+    pub fn next(&mut self) -> Result<Option<HoRecord>, ChunkIssue> {
+        let std::cmp::Reverse((_, i)) = match self.heap.pop() {
+            Some(top) => top,
+            None => return Ok(None),
+        };
+        let s = &mut self.streams[i];
+        let record = s.buf[s.pos];
+        s.pos += 1;
+        if s.refill()? {
+            self.heap.push(std::cmp::Reverse((s.buf[s.pos].timestamp_ms, i)));
+        }
+        Ok(Some(record))
+    }
+}
+
+/// Merge sorted trace readers into an in-memory dataset.
+pub fn merge_sorted_readers<R: Read>(
+    days: u32,
+    readers: Vec<TraceReader<R>>,
+) -> Result<SignalingDataset, ChunkIssue> {
+    let mut merge = SortedMerge::new(readers)?;
+    let mut records = Vec::new();
+    while let Some(r) = merge.next()? {
+        records.push(r);
+    }
+    Ok(SignalingDataset::from_sorted_records(days, records))
+}
+
+/// Merge sorted trace readers directly into a [`TraceWriter`], never
+/// materializing the merged trace in memory. Returns the record count.
+pub fn merge_sorted_readers_to_writer<R: Read, W: Write>(
+    readers: Vec<TraceReader<R>>,
+    writer: &mut TraceWriter<W>,
+) -> std::io::Result<u64> {
+    let invalid = |issue: ChunkIssue| std::io::Error::new(std::io::ErrorKind::InvalidData, issue);
+    let mut merge = SortedMerge::new(readers).map_err(invalid)?;
+    let mut buf: Vec<HoRecord> = Vec::with_capacity(DEFAULT_CHUNK_RECORDS);
+    let mut total = 0u64;
+    while let Some(r) = merge.next().map_err(invalid)? {
+        buf.push(r);
+        total += 1;
+        if buf.len() == DEFAULT_CHUNK_RECORDS {
+            writer.write_chunk(&buf)?;
+            buf.clear();
+        }
+    }
+    if !buf.is_empty() {
+        writer.write_chunk(&buf)?;
+    }
+    Ok(total)
+}
+
+/// External merge of sorted run files into one dataset, bounding the
+/// open-file fan-in. With more than `fan_in` runs, groups of `fan_in`
+/// files are first merged into intermediate v2 files under `tmp_dir`
+/// (classic external merge sort); grouping is order-preserving, so the
+/// result is byte-identical to a flat stable merge. Input and
+/// intermediate files are deleted as they are consumed.
+pub fn merge_run_files(
+    days: u32,
+    runs: Vec<std::path::PathBuf>,
+    tmp_dir: &Path,
+    fan_in: usize,
+) -> std::io::Result<SignalingDataset> {
+    assert!(fan_in >= 2, "fan-in must be at least 2");
+    let invalid = |e: CodecError| std::io::Error::new(std::io::ErrorKind::InvalidData, e);
+    let mut level = 0usize;
+    let mut files = runs;
+    while files.len() > fan_in {
+        let mut next: Vec<std::path::PathBuf> = Vec::with_capacity(files.len().div_ceil(fan_in));
+        for (group_idx, group) in files.chunks(fan_in).enumerate() {
+            let out = tmp_dir.join(format!("merge-{level:02}-{group_idx:06}.tmp-trace"));
+            let mut readers = Vec::with_capacity(group.len());
+            for path in group {
+                readers.push(TraceReader::open(path).map_err(invalid)?);
+            }
+            let mut writer = TraceWriter::create(&out, days)?;
+            merge_sorted_readers_to_writer(readers, &mut writer)?;
+            writer.finish()?;
+            for path in group {
+                std::fs::remove_file(path)?;
+            }
+            next.push(out);
+        }
+        files = next;
+        level += 1;
+    }
+    let mut readers = Vec::with_capacity(files.len());
+    for path in &files {
+        readers.push(TraceReader::open(path).map_err(invalid)?);
+    }
+    let merged = merge_sorted_readers(days, readers)
+        .map_err(|issue| std::io::Error::new(std::io::ErrorKind::InvalidData, issue))?;
+    for path in &files {
+        std::fs::remove_file(path)?;
+    }
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::encode;
+    use crate::record::HoOutcome;
+    use telco_devices::population::UeId;
+    use telco_signaling::causes::{CauseCode, PrincipalCause};
+    use telco_topology::elements::SectorId;
+    use telco_topology::rat::Rat;
+
+    fn rec(ts: u64, ue: u32, fail: bool) -> HoRecord {
+        HoRecord {
+            timestamp_ms: ts,
+            ue: UeId(ue),
+            source_sector: SectorId(ue),
+            target_sector: SectorId(ue + 1),
+            source_rat: Rat::G4,
+            target_rat: if fail { Rat::G3 } else { Rat::G4 },
+            outcome: if fail { HoOutcome::Failure } else { HoOutcome::Success },
+            cause: fail.then(|| CauseCode::principal(PrincipalCause::TargetLoadTooHigh)),
+            duration_ms: 50.0,
+            srvcc: false,
+            messages: 12,
+        }
+    }
+
+    fn sample_dataset(days: u32, n: u64) -> SignalingDataset {
+        let records = (0..n)
+            .map(|i| rec(i * 7_000_000 % (days as u64 * 86_400_000), i as u32, i % 5 == 0))
+            .collect();
+        SignalingDataset::from_records(days, records)
+    }
+
+    fn encode_v2(dataset: &SignalingDataset) -> Vec<u8> {
+        let mut w = TraceWriter::new(Vec::new(), dataset.days).unwrap();
+        w.write_dataset(dataset).unwrap();
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn v2_roundtrip_per_day_chunks() {
+        let d = sample_dataset(3, 500);
+        let bytes = encode_v2(&d);
+        let mut reader = TraceReader::new(&bytes[..]).unwrap();
+        assert_eq!(reader.version(), VERSION2);
+        assert_eq!(reader.days(), 3);
+        let back = reader.read_to_dataset_strict().unwrap();
+        assert_eq!(back, d);
+        assert!(reader.trailer_seen());
+        assert!(reader.issues().is_empty());
+        // Round-trip through the byte-level v1 encoder too: identical bits.
+        assert_eq!(encode(&back), encode(&d));
+    }
+
+    #[test]
+    fn v2_empty_dataset() {
+        let d = SignalingDataset::new(28);
+        let bytes = encode_v2(&d);
+        let mut reader = TraceReader::new(&bytes[..]).unwrap();
+        let back = reader.read_to_dataset_strict().unwrap();
+        assert_eq!(back.days, 28);
+        assert!(back.is_empty());
+        assert!(reader.trailer_seen());
+    }
+
+    #[test]
+    fn v1_stream_compatibility() {
+        let d = sample_dataset(2, 300);
+        let v1 = encode(&d);
+        let mut reader = TraceReader::new(&v1[..]).unwrap();
+        assert_eq!(reader.version(), 1);
+        let back = reader.read_to_dataset_strict().unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn corrupted_chunk_is_skipped_and_reported() {
+        let d = sample_dataset(3, 600);
+        let mut bytes = encode_v2(&d);
+        // Flip a bit deep inside the second chunk's payload.
+        let day0 = d.day(0).count();
+        let target = V2_HEADER_BYTES
+            + FRAME_HEADER_BYTES
+            + day0 * RECORD_BYTES
+            + FRAME_HEADER_BYTES
+            + 5 * RECORD_BYTES
+            + 3;
+        bytes[target] ^= 0x10;
+        let mut reader = TraceReader::new(&bytes[..]).unwrap();
+        let back = reader.read_to_dataset();
+        // Exactly day 1 went missing; days 0 and 2 survived.
+        assert_eq!(back.len(), d.len() - d.day(1).count());
+        assert_eq!(reader.issues().len(), 1);
+        assert!(matches!(reader.issues()[0].error, CodecError::ChecksumMismatch { .. }));
+        assert_eq!(reader.issues()[0].chunk, 1);
+        // The strict path refuses the same stream.
+        let mut strict = TraceReader::new(&bytes[..]).unwrap();
+        assert!(strict.read_to_dataset_strict().is_err());
+    }
+
+    #[test]
+    fn corrupted_frame_header_resyncs() {
+        let d = sample_dataset(2, 400);
+        let mut bytes = encode_v2(&d);
+        // Smash the second chunk's magic: the reader must resync onto the
+        // trailer (losing the chunk) without panicking or aborting.
+        let day0 = d.day(0).count();
+        let second = V2_HEADER_BYTES + FRAME_HEADER_BYTES + day0 * RECORD_BYTES;
+        bytes[second] = b'X';
+        let mut reader = TraceReader::new(&bytes[..]).unwrap();
+        let back = reader.read_to_dataset();
+        assert_eq!(back.len(), day0);
+        assert!(reader.issues().iter().any(|i| i.error == CodecError::BadChunkMagic));
+        assert!(reader.trailer_seen());
+    }
+
+    #[test]
+    fn missing_trailer_reported() {
+        let d = sample_dataset(1, 100);
+        let mut bytes = encode_v2(&d);
+        bytes.truncate(bytes.len() - 20); // drop the trailer exactly
+        let mut reader = TraceReader::new(&bytes[..]).unwrap();
+        let back = reader.read_to_dataset();
+        assert_eq!(back.len(), 100); // data intact, seal missing
+        assert_eq!(reader.issues().len(), 1);
+        assert_eq!(reader.issues()[0].error, CodecError::MissingTrailer);
+        assert!(!reader.trailer_seen());
+    }
+
+    #[test]
+    fn truncated_payload_reported() {
+        let d = sample_dataset(1, 100);
+        let mut bytes = encode_v2(&d);
+        bytes.truncate(bytes.len() - 20 - 7); // trailer + part of last record
+        let mut reader = TraceReader::new(&bytes[..]).unwrap();
+        let _ = reader.read_to_dataset();
+        assert!(reader.issues().iter().any(|i| i.error == CodecError::Truncated));
+    }
+
+    #[test]
+    fn absurd_chunk_count_resyncs() {
+        let d = sample_dataset(1, 10);
+        let mut bytes = encode_v2(&d);
+        // Overwrite the chunk's count field with u32::MAX.
+        for b in &mut bytes[V2_HEADER_BYTES + 8..V2_HEADER_BYTES + 12] {
+            *b = 0xFF;
+        }
+        let mut reader = TraceReader::new(&bytes[..]).unwrap();
+        let back = reader.read_to_dataset();
+        assert!(back.is_empty());
+        assert!(reader.issues().iter().any(|i| i.error == CodecError::BadField("record_count")));
+    }
+
+    #[test]
+    fn flipped_days_field_detected_by_trailer_seal() {
+        let d = sample_dataset(2, 50);
+        let mut bytes = encode_v2(&d);
+        bytes[9] ^= 0x04; // days is bytes 6..10 of the header
+        let mut reader = TraceReader::new(&bytes[..]).unwrap();
+        let _ = reader.read_to_dataset();
+        assert!(
+            reader.issues().iter().any(|i| i.error == CodecError::TrailerMismatch),
+            "days flip must fail the trailer seal"
+        );
+    }
+
+    #[test]
+    fn flipped_seq_field_detected() {
+        let d = sample_dataset(3, 600);
+        let mut bytes = encode_v2(&d);
+        // Second chunk's seq field sits right after its magic.
+        let day0 = d.day(0).count();
+        let pos = V2_HEADER_BYTES + FRAME_HEADER_BYTES + day0 * RECORD_BYTES + 4;
+        bytes[pos + 3] ^= 0x02; // seq 1 -> 3
+        let mut reader = TraceReader::new(&bytes[..]).unwrap();
+        let back = reader.read_to_dataset();
+        assert_eq!(back.len(), d.len() - d.day(1).count());
+        assert!(reader.issues().iter().any(|i| i.error == CodecError::BadField("chunk_seq")));
+    }
+
+    #[test]
+    fn data_after_trailer_reported() {
+        let d = sample_dataset(1, 10);
+        let mut bytes = encode_v2(&d);
+        bytes.extend_from_slice(b"junk");
+        let mut reader = TraceReader::new(&bytes[..]).unwrap();
+        let back = reader.read_to_dataset();
+        assert_eq!(back.len(), 10);
+        assert!(!reader.issues().is_empty());
+    }
+
+    #[test]
+    fn merge_matches_in_memory_merge() {
+        // Three sorted runs with cross-run timestamp ties.
+        let runs = vec![
+            SignalingDataset::from_records(2, vec![rec(100, 1, false), rec(300, 2, true)]),
+            SignalingDataset::new(2),
+            SignalingDataset::from_records(2, vec![rec(50, 3, false), rec(100, 4, false)]),
+            SignalingDataset::from_records(2, vec![rec(100, 5, false)]),
+        ];
+        let encoded: Vec<Vec<u8>> = runs
+            .iter()
+            .map(|run| {
+                let mut w = TraceWriter::new(Vec::new(), 2).unwrap();
+                w.write_chunk(run.records()).unwrap();
+                w.finish().unwrap()
+            })
+            .collect();
+        let readers: Vec<TraceReader<&[u8]>> =
+            encoded.iter().map(|bytes| TraceReader::new(&bytes[..]).unwrap()).collect();
+        let merged = merge_sorted_readers(2, readers).unwrap();
+        let reference = SignalingDataset::merge_sorted_runs(2, runs);
+        assert_eq!(merged, reference);
+    }
+
+    #[test]
+    fn external_merge_multi_pass() {
+        let dir = std::env::temp_dir().join("telco_store_merge_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // 9 runs merged with fan-in 3 forces two passes.
+        let mut paths = Vec::new();
+        let mut all: Vec<HoRecord> = Vec::new();
+        for i in 0..9u64 {
+            let records: Vec<HoRecord> =
+                (0..50).map(|j| rec(j * 97 + i, (i * 100 + j) as u32, false)).collect();
+            let run = SignalingDataset::from_records(1, records);
+            all.extend_from_slice(run.records());
+            let path = dir.join(format!("run-{i:06}.tmp-trace"));
+            write_file_v2(&run, &path).unwrap();
+            paths.push(path);
+        }
+        let merged = merge_run_files(1, paths, &dir, 3).unwrap();
+        all.sort_by_key(|r| r.timestamp_ms);
+        assert_eq!(merged.records(), &all[..]);
+        // All intermediates cleaned up.
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_roundtrip_v2() {
+        let dir = std::env::temp_dir().join("telco_store_file_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.tlho");
+        let d = sample_dataset(2, 250);
+        write_file_v2(&d, &path).unwrap();
+        // Version-dispatching io::read_file understands v2.
+        assert_eq!(crate::io::read_file(&path).unwrap(), d);
+        let mut reader = TraceReader::open(&path).unwrap();
+        assert_eq!(reader.read_to_dataset_strict().unwrap(), d);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -22,6 +22,7 @@
 //! assert!(table2.intra_share() > 0.5); // horizontal HOs dominate
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod frame;

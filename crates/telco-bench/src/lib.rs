@@ -5,6 +5,7 @@
 //! study (`benches/experiments.rs`) and measure the hot kernels of the
 //! pipeline (`benches/kernels.rs`).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::sync::OnceLock;

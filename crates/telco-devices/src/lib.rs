@@ -23,6 +23,8 @@
 //! assert!((450..=730).contains(&smartphones));
 //! ```
 
+// telco-lint: deny-nondeterminism
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod apn;

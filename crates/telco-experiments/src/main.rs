@@ -14,6 +14,8 @@
 //! core: per-worker runs spill to `<dir>` as v2 chunk files and are
 //! merged from disk, bounding trace memory (byte-identical output).
 
+#![forbid(unsafe_code)]
+
 use telco_analytics::modeling::HofModels;
 use telco_analytics::Study;
 use telco_sim::SimConfig;

@@ -18,6 +18,8 @@
 //! assert!(cap.population_density() > 0.0);
 //! ```
 
+// telco-lint: deny-nondeterminism
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod census;

@@ -1,0 +1,193 @@
+//! # telco-lint
+//!
+//! Workspace-wide static invariant checker for the telco-lens repo,
+//! run as `cargo xtask lint` (see `.cargo/config.toml`) and as the
+//! fail-fast first job in CI.
+//!
+//! The linter enforces three families of *domain* invariants that
+//! rustc/clippy cannot see, because they live in this repo's contracts
+//! rather than in the language:
+//!
+//! - **panic-freedom** ([`rules::panic_free`]) in opted-in hot-path
+//!   modules: the simulation engine, the handover state machine, and the
+//!   trace-store read path must degrade into `Result`s, never abort a
+//!   countrywide run at 97%;
+//! - **determinism** ([`rules::determinism`]) in trace-producing crates:
+//!   no hash-ordered iteration, wall-clock reads, or thread identity may
+//!   influence trace bytes — byte-identical reruns are what the golden
+//!   and spill-merge suites assert;
+//! - **catalog exhaustiveness** ([`rules::catalog`]): the failure-cause,
+//!   phase, and message catalogs in telco-signaling must stay mutually
+//!   complete so no envelope or abort path silently drops out of the
+//!   counter matrices.
+//!
+//! Plus two hygiene rules: crate roots must `forbid(unsafe_code)`
+//! ([`rules::unsafe_forbid`]) and library crates must not print
+//! ([`rules::no_print`]).
+//!
+//! Files opt in or locally waive rules through marker comments; the
+//! grammar lives in [`markers`]. Scanning is lexical ([`scan`]) — no
+//! `syn`, no dependencies — which keeps the gate fast and means the
+//! linter can never be broken by the crates it checks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod markers;
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+pub use report::Diagnostic;
+pub use rules::catalog::CatalogPaths;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use markers::FileMarkers;
+use scan::SourceFile;
+
+/// What to lint and under which policy.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Workspace root: the directory holding `crates/`.
+    pub root: PathBuf,
+    /// Crates whose `src/` may print (CLI front-ends, the linter itself).
+    pub print_allowed_crates: Vec<String>,
+    /// Catalog file layout; `None` disables the catalog rule.
+    pub catalog: Option<CatalogPaths>,
+}
+
+impl LintConfig {
+    /// Policy for the real workspace.
+    pub fn workspace(root: impl Into<PathBuf>) -> LintConfig {
+        LintConfig {
+            root: root.into(),
+            print_allowed_crates: vec!["telco-experiments".to_string(), "telco-lint".to_string()],
+            catalog: Some(CatalogPaths::telco_signaling()),
+        }
+    }
+
+    /// Policy for a bare tree (fixture tests): all rules except the
+    /// catalog, no print exemptions.
+    pub fn bare(root: impl Into<PathBuf>) -> LintConfig {
+        LintConfig { root: root.into(), print_allowed_crates: Vec::new(), catalog: None }
+    }
+}
+
+struct Scanned {
+    file: SourceFile,
+    markers: FileMarkers,
+    crate_name: Option<String>,
+    is_crate_root: bool,
+    in_src: bool,
+}
+
+/// Lint the tree under `cfg.root`; returns diagnostics sorted by
+/// (path, line, rule).
+pub fn run_lint(cfg: &LintConfig) -> io::Result<Vec<Diagnostic>> {
+    let mut scanned: Vec<Scanned> = Vec::new();
+
+    let crates_dir = cfg.root.join("crates");
+    if crates_dir.is_dir() {
+        for crate_dir in sorted_dirs(&crates_dir)? {
+            let name =
+                crate_dir.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+            for sub in ["src", "tests", "benches", "examples"] {
+                collect(cfg, &crate_dir.join(sub), Some(&name), sub == "src", &mut scanned)?;
+            }
+        }
+    }
+    // Workspace-root facade crate.
+    for sub in ["src", "examples", "tests", "benches"] {
+        collect(cfg, &cfg.root.join(sub), None, sub == "src", &mut scanned)?;
+    }
+
+    // A `deny-nondeterminism` marker in a crate root covers the whole
+    // crate's src/; resolve the per-crate opt-in set first.
+    let nondet_crates: Vec<Option<String>> = scanned
+        .iter()
+        .filter(|s| s.is_crate_root && s.markers.deny_nondet)
+        .map(|s| s.crate_name.clone())
+        .collect();
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for s in &scanned {
+        diags.extend(s.markers.diags.iter().cloned());
+        rules::panic_free::check(&s.file, &s.markers, &mut diags);
+        rules::unsafe_forbid::check(&s.file, &s.markers, s.is_crate_root, &mut diags);
+
+        let nondet_scope =
+            s.markers.deny_nondet || (s.in_src && nondet_crates.contains(&s.crate_name));
+        rules::determinism::check(&s.file, nondet_scope, &s.markers, &mut diags);
+
+        let print_allowed = match &s.crate_name {
+            Some(name) => cfg.print_allowed_crates.iter().any(|c| c == name),
+            None => false,
+        };
+        if s.in_src && !print_allowed {
+            rules::no_print::check(&s.file, &s.markers, &mut diags);
+        }
+    }
+
+    if let Some(catalog) = &cfg.catalog {
+        let sources: Vec<&SourceFile> = scanned.iter().map(|s| &s.file).collect();
+        rules::catalog::check(&sources, catalog, &mut diags);
+    }
+
+    report::sort(&mut diags);
+    Ok(diags)
+}
+
+/// Recursively gather `.rs` files under `dir` (sorted for deterministic
+/// reports), skipping fixture trees — those are deliberately-broken
+/// inputs for the linter's own tests.
+fn collect(
+    cfg: &LintConfig,
+    dir: &Path,
+    crate_name: Option<&str>,
+    in_src: bool,
+    out: &mut Vec<Scanned>,
+) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.map(|e| e.map(|e| e.path())).collect::<Result<_, _>>()?;
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+        if path.is_dir() {
+            if name == "fixtures" || name == "target" {
+                continue;
+            }
+            collect(cfg, &path, crate_name, in_src, out)?;
+        } else if name.ends_with(".rs") {
+            let raw = fs::read_to_string(&path)?;
+            let rel = path.strip_prefix(&cfg.root).unwrap_or(&path);
+            let file = SourceFile::parse(rel, raw);
+            let markers = markers::analyze(&file);
+            let is_crate_root = in_src
+                && (name == "lib.rs" || name == "main.rs")
+                && path.parent().and_then(|p| p.file_name()).is_some_and(|p| p == "src");
+            out.push(Scanned {
+                file,
+                markers,
+                crate_name: crate_name.map(str::to_string),
+                is_crate_root,
+                in_src,
+            });
+        }
+    }
+    Ok(())
+}
+
+fn sorted_dirs(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    entries.sort();
+    Ok(entries)
+}

@@ -1,0 +1,87 @@
+//! `telco-lint` CLI: lint the workspace, print file:line diagnostics,
+//! optionally dump a machine-readable JSON report.
+//!
+//! ```text
+//! cargo xtask lint                 # lint the workspace, exit 1 on findings
+//! cargo xtask lint --json out.json # also write the JSON report
+//! cargo xtask lint --root <dir>    # lint another tree (fixture debugging)
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use telco_lint::{report, run_lint, LintConfig};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    let mut json: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            // The alias invokes `telco-lint lint`; accept and ignore the
+            // subcommand so future subcommands have a namespace.
+            "lint" => {}
+            "--root" => root = args.next().map(PathBuf::from),
+            "--json" => json = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!("usage: telco-lint [lint] [--root DIR] [--json FILE]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("telco-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => match find_workspace_root() {
+            Some(r) => r,
+            None => {
+                eprintln!("telco-lint: no workspace root found above the current directory");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let diags = match run_lint(&LintConfig::workspace(&root)) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("telco-lint: io error while scanning {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    print!("{}", report::render_text(&diags));
+    if let Some(path) = json {
+        if let Err(e) = std::fs::write(&path, report::render_json(&diags)) {
+            eprintln!("telco-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Walk up from the current directory to the first `Cargo.toml` that
+/// declares a `[workspace]` section.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

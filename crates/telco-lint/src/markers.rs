@@ -1,0 +1,263 @@
+//! Marker-comment grammar: how source files opt into (or locally waive)
+//! lint rules.
+//!
+//! Markers are ordinary `//` comments whose text starts with the tool
+//! name followed by a colon and a directive. The directives:
+//!
+//! - `deny-panic` — opt the whole file into the panic-freedom rule;
+//! - `deny-panic(begin)` / `deny-panic(end)` — opt a region in (used for
+//!   files where only one side, e.g. a reader path, must be total);
+//! - `deny-nondeterminism` — opt the file into the determinism rule;
+//!   placed in a crate's `lib.rs` it covers the whole crate's `src/`;
+//! - `allow(<what>): <justification>` — waive one rule occurrence, where
+//!   `<what>` is one of `panic`, `index`, `nondet`, `print`, `unsafe`.
+//!   The justification is **required**: an allow without a reason is
+//!   itself a lint finding. A trailing marker waives its own line; a
+//!   marker on its own line waives the next code line.
+//!
+//! Markers must appear in comments. The scanner's byte classification
+//! distinguishes a real marker comment from a string literal that merely
+//! contains the marker text, so the linter can lint its own fixtures.
+
+use crate::report::Diagnostic;
+use crate::scan::{find_from, SourceFile};
+
+/// Prefix that introduces every marker comment.
+pub const MARKER_PREFIX: &str = "telco-lint:";
+
+/// What an `allow(...)` marker waives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllowWhat {
+    /// A panic-freedom finding other than indexing.
+    Panic,
+    /// A slice/array indexing finding.
+    Index,
+    /// A determinism finding.
+    Nondet,
+    /// A no-print finding.
+    Print,
+    /// Presence of `unsafe` (or absence of the crate-root forbid).
+    Unsafe,
+}
+
+impl AllowWhat {
+    fn parse(s: &str) -> Option<AllowWhat> {
+        match s {
+            "panic" => Some(AllowWhat::Panic),
+            "index" => Some(AllowWhat::Index),
+            "nondet" => Some(AllowWhat::Nondet),
+            "print" => Some(AllowWhat::Print),
+            "unsafe" => Some(AllowWhat::Unsafe),
+            _ => None,
+        }
+    }
+}
+
+/// The marker state of one file, resolved to per-line rule scopes.
+pub struct FileMarkers {
+    /// `deny_panic[l]` is true iff 1-based line `l+1` is in panic scope.
+    deny_panic: Vec<bool>,
+    /// File carries a file-level `deny-nondeterminism` marker.
+    pub deny_nondet: bool,
+    /// Resolved `(line, what)` waivers.
+    allows: Vec<(usize, AllowWhat)>,
+    /// Grammar errors found while parsing markers.
+    pub diags: Vec<Diagnostic>,
+}
+
+impl FileMarkers {
+    /// True iff 1-based `line` is inside a panic-freedom scope.
+    pub fn panic_scope(&self, line: usize) -> bool {
+        self.deny_panic.get(line.wrapping_sub(1)).copied().unwrap_or(false)
+    }
+
+    /// Does any line opt into panic-freedom?
+    pub fn has_panic_scope(&self) -> bool {
+        self.deny_panic.iter().any(|&b| b)
+    }
+
+    /// True iff `line` carries a waiver for `what`.
+    pub fn allowed(&self, line: usize, what: AllowWhat) -> bool {
+        self.allows.iter().any(|&(l, w)| l == line && w == what)
+    }
+
+    /// True iff the file waives `what` anywhere (file-level waivers such
+    /// as `allow(unsafe)` on a test binary).
+    pub fn allowed_anywhere(&self, what: AllowWhat) -> bool {
+        self.allows.iter().any(|&(_, w)| w == what)
+    }
+}
+
+/// Parse all markers in `file` and resolve their scopes.
+pub fn analyze(file: &SourceFile) -> FileMarkers {
+    let n_lines = file.line_count();
+    let mut deny_panic = vec![false; n_lines];
+    let mut deny_nondet = false;
+    let mut allows: Vec<(usize, AllowWhat)> = Vec::new();
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut regions: Vec<usize> = Vec::new(); // open `begin` lines
+    let mut file_level_panic = false;
+
+    let mut from = 0usize;
+    while let Some(pos) = find_from(&file.raw, MARKER_PREFIX, from) {
+        from = pos + MARKER_PREFIX.len();
+        if !file.is_comment_range(pos, pos + MARKER_PREFIX.len()) {
+            continue; // mention inside a string literal or plain code
+        }
+        let line = file.line_of(pos);
+        let text = file.raw_line(line);
+        let Some(col) = text.find(MARKER_PREFIX) else { continue };
+        let directive = text[col + MARKER_PREFIX.len()..].trim();
+
+        let mut bad = |message: String| {
+            diags.push(Diagnostic {
+                rule: "marker",
+                path: file.rel_path.clone(),
+                line,
+                message,
+                snippet: text.trim().to_string(),
+            });
+        };
+
+        match directive {
+            "deny-panic" => file_level_panic = true,
+            "deny-panic(begin)" => regions.push(line),
+            "deny-panic(end)" => match regions.pop() {
+                Some(begin) => {
+                    for slot in deny_panic.iter_mut().take(line).skip(begin.saturating_sub(1)) {
+                        *slot = true;
+                    }
+                }
+                None => bad("deny-panic(end) without a matching begin".to_string()),
+            },
+            "deny-nondeterminism" => deny_nondet = true,
+            d if d.starts_with("allow(") => {
+                let Some(close) = d.find(')') else {
+                    bad("malformed allow marker: missing `)`".to_string());
+                    continue;
+                };
+                let what_str = &d["allow(".len()..close];
+                let Some(what) = AllowWhat::parse(what_str) else {
+                    bad(format!(
+                        "unknown allow target `{what_str}` (expected panic/index/nondet/print/unsafe)"
+                    ));
+                    continue;
+                };
+                let rest = d[close + 1..].trim();
+                let justification = rest.strip_prefix(':').map(str::trim).unwrap_or("");
+                if justification.is_empty() {
+                    bad(format!(
+                        "allow({what_str}) requires a justification: `allow({what_str}): <why>`"
+                    ));
+                    continue;
+                }
+                allows.push((resolve_target(file, line), what));
+            }
+            other => bad(format!("unknown directive `{other}`")),
+        }
+    }
+
+    for begin in regions {
+        diags.push(Diagnostic {
+            rule: "marker",
+            path: file.rel_path.clone(),
+            line: begin,
+            message: "deny-panic(begin) without a matching end (scope runs to EOF)".to_string(),
+            snippet: file.raw_line(begin).trim().to_string(),
+        });
+        for slot in deny_panic.iter_mut().skip(begin.saturating_sub(1)) {
+            *slot = true;
+        }
+    }
+    if file_level_panic {
+        deny_panic.iter_mut().for_each(|slot| *slot = true);
+    }
+
+    FileMarkers { deny_panic, deny_nondet, allows, diags }
+}
+
+/// An allow marker trailing code waives its own line; a marker on a line
+/// of its own waives the next line with real (masked) code on it.
+fn resolve_target(file: &SourceFile, marker_line: usize) -> usize {
+    if !file.masked_line(marker_line).trim().is_empty() {
+        return marker_line;
+    }
+    let mut l = marker_line + 1;
+    while l <= file.line_count() {
+        if !file.masked_line(l).trim().is_empty() {
+            return l;
+        }
+        l += 1;
+    }
+    marker_line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn markers(src: &str) -> FileMarkers {
+        analyze(&SourceFile::parse(Path::new("t.rs"), src.to_string()))
+    }
+
+    #[test]
+    fn file_level_deny_panic_covers_every_line() {
+        let m = markers("// telco-lint: deny-panic\nfn a() {}\nfn b() {}\n");
+        assert!(m.panic_scope(1) && m.panic_scope(3));
+        assert!(m.diags.is_empty());
+    }
+
+    #[test]
+    fn region_covers_between_begin_and_end() {
+        let src = "fn a() {}\n// telco-lint: deny-panic(begin)\nfn b() {}\n// telco-lint: deny-panic(end)\nfn c() {}\n";
+        let m = markers(src);
+        assert!(!m.panic_scope(1));
+        assert!(m.panic_scope(3));
+        assert!(!m.panic_scope(5));
+    }
+
+    #[test]
+    fn unmatched_begin_reported_and_runs_to_eof() {
+        let m = markers("// telco-lint: deny-panic(begin)\nfn b() {}\n");
+        assert_eq!(m.diags.len(), 1);
+        assert!(m.panic_scope(2));
+    }
+
+    #[test]
+    fn trailing_allow_waives_own_line_standalone_waives_next() {
+        let src = "let a = x[i]; // telco-lint: allow(index): bounds checked above\n// telco-lint: allow(panic): unreachable by construction\nlet b = y.unwrap();\n";
+        let m = markers(src);
+        assert!(m.allowed(1, AllowWhat::Index));
+        assert!(m.allowed(3, AllowWhat::Panic));
+        assert!(!m.allowed(2, AllowWhat::Panic));
+        assert!(m.diags.is_empty());
+    }
+
+    #[test]
+    fn allow_without_justification_is_a_finding() {
+        let m = markers("// telco-lint: allow(panic)\nlet b = y.unwrap();\n");
+        assert_eq!(m.diags.len(), 1);
+        assert!(m.diags[0].message.contains("justification"));
+        assert!(!m.allowed(2, AllowWhat::Panic));
+    }
+
+    #[test]
+    fn unknown_directive_is_a_finding() {
+        let m = markers("// telco-lint: deny-everything\n");
+        assert_eq!(m.diags.len(), 1);
+        assert!(m.diags[0].message.contains("unknown directive"));
+    }
+
+    #[test]
+    fn marker_text_inside_string_is_ignored() {
+        let m = markers("let s = \"// telco-lint: deny-panic\";\nlet b = y.unwrap();\n");
+        assert!(!m.has_panic_scope());
+        assert!(m.diags.is_empty());
+    }
+
+    #[test]
+    fn nondeterminism_marker_sets_flag() {
+        assert!(markers("// telco-lint: deny-nondeterminism\n").deny_nondet);
+    }
+}

@@ -1,0 +1,137 @@
+//! Diagnostics and the two report renderers (human text, machine JSON).
+
+use std::fmt;
+
+/// One lint finding, anchored at a file and 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule identifier (`panic-free`, `determinism`, `catalog`,
+    /// `unsafe-forbid`, `no-print`, `marker`).
+    pub rule: &'static str,
+    /// Path relative to the lint root, forward slashes.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation of the violated invariant.
+    pub message: String,
+    /// The offending source line, trimmed (may be empty for file-level
+    /// findings such as a missing crate attribute).
+    pub snippet: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.message)?;
+        if !self.snippet.is_empty() {
+            write!(f, "\n    {}", self.snippet)?;
+        }
+        Ok(())
+    }
+}
+
+/// Order diagnostics deterministically: by path, then line, then rule,
+/// then message (ties possible when one line breaks several rules).
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (&a.path, a.line, a.rule, &a.message).cmp(&(&b.path, b.line, b.rule, &b.message))
+    });
+}
+
+/// Render the human-readable report.
+pub fn render_text(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    if diags.is_empty() {
+        out.push_str("telco-lint: clean\n");
+    } else {
+        out.push_str(&format!("telco-lint: {} finding(s)\n", diags.len()));
+    }
+    out
+}
+
+/// Render the machine-readable JSON report: an object with a `findings`
+/// array, each finding carrying rule/path/line/message/snippet.
+///
+/// Serialised by hand — the report shape is four scalar fields, and
+/// keeping the linter dependency-free means a broken vendored serde can
+/// never take the CI gate down with it.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}}}",
+            json_string(d.rule),
+            json_string(&d.path),
+            d.line,
+            json_string(&d.message),
+            json_string(&d.snippet),
+        ));
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!("],\n  \"count\": {}\n}}\n", diags.len()));
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(path: &str, line: usize) -> Diagnostic {
+        Diagnostic {
+            rule: "panic-free",
+            path: path.to_string(),
+            line,
+            message: "m \"q\"".to_string(),
+            snippet: "s".to_string(),
+        }
+    }
+
+    #[test]
+    fn sort_is_path_then_line() {
+        let mut d = vec![diag("b.rs", 1), diag("a.rs", 9), diag("a.rs", 2)];
+        sort(&mut d);
+        assert_eq!(
+            d.iter().map(|d| (d.path.as_str(), d.line)).collect::<Vec<_>>(),
+            vec![("a.rs", 2), ("a.rs", 9), ("b.rs", 1)]
+        );
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let json = render_json(&[diag("a.rs", 1)]);
+        assert!(json.contains("\"message\": \"m \\\"q\\\"\""));
+        assert!(json.contains("\"count\": 1"));
+    }
+
+    #[test]
+    fn empty_report_is_clean() {
+        assert!(render_text(&[]).contains("clean"));
+        assert!(render_json(&[]).contains("\"count\": 0"));
+    }
+}

@@ -1,0 +1,449 @@
+//! Catalog-exhaustiveness rule.
+//!
+//! The signaling layer keeps three hand-maintained catalogs that must
+//! stay mutually complete as the protocol model grows:
+//!
+//! 1. **Causes → aborts**: every [`PrincipalCause`] variant must name an
+//!    abort path in `failure_cut` — a cause the cut cannot place would
+//!    silently fall through to a success-shaped trace.
+//! 2. **Phases → script**: every `Phase` (except the initial one) must be
+//!    produced by some scripted step's `phase_after`, i.e. be reachable
+//!    in the Fig. 1 message walk.
+//! 3. **Messages → emission**: every `Message` variant must be emitted
+//!    somewhere in the state machine (a scripted `message:` field or a
+//!    qualified `Message::` path) — dead message kinds mean the
+//!    Element×Message counter matrix carries permanently-zero rows.
+//! 4. **Counter matrix dimensions**: `Element::COUNT` / `Message::COUNT`
+//!    must equal the real variant counts, and the per-element counters in
+//!    `entities.rs` must be dimensioned by those constants, not magic
+//!    numbers.
+//!
+//! All checks are lexical over the masked sources; each finding anchors
+//! at the enum variant (or constant) that lost its counterpart, which is
+//! where the fix goes.
+//!
+//! [`PrincipalCause`]: https://docs.rs/telco-signaling
+
+use crate::report::Diagnostic;
+use crate::scan::{find_from, is_ident_byte, matching_delim, SourceFile};
+
+/// Where the catalogs live, relative to the lint root.
+#[derive(Debug, Clone)]
+pub struct CatalogPaths {
+    /// File declaring `enum PrincipalCause`.
+    pub causes: String,
+    /// File holding the scripted state machine and `failure_cut`.
+    pub state_machine: String,
+    /// File declaring `enum Element` / `enum Message` and their `COUNT`s.
+    pub messages: String,
+    /// File holding the Element×Message counter matrix.
+    pub entities: String,
+}
+
+impl CatalogPaths {
+    /// The real workspace layout (telco-signaling).
+    pub fn telco_signaling() -> CatalogPaths {
+        let src = "crates/telco-signaling/src";
+        CatalogPaths {
+            causes: format!("{src}/causes.rs"),
+            state_machine: format!("{src}/state_machine.rs"),
+            messages: format!("{src}/messages.rs"),
+            entities: format!("{src}/entities.rs"),
+        }
+    }
+}
+
+/// Run the catalog checks over the scanned file set.
+pub fn check(files: &[&SourceFile], paths: &CatalogPaths, out: &mut Vec<Diagnostic>) {
+    let Some(causes) = lookup(files, &paths.causes, out) else { return };
+    let Some(sm) = lookup(files, &paths.state_machine, out) else { return };
+    let Some(messages) = lookup(files, &paths.messages, out) else { return };
+    let Some(entities) = lookup(files, &paths.entities, out) else { return };
+
+    check_causes(causes, sm, out);
+    check_phases(sm, out);
+    check_message_emission(messages, sm, out);
+    check_counts(messages, "Element", out);
+    check_counts(messages, "Message", out);
+    check_matrix_dims(entities, out);
+}
+
+fn lookup<'a>(
+    files: &[&'a SourceFile],
+    rel: &str,
+    out: &mut Vec<Diagnostic>,
+) -> Option<&'a SourceFile> {
+    let found = files.iter().find(|f| f.rel_path == rel).copied();
+    if found.is_none() {
+        out.push(Diagnostic {
+            rule: "catalog",
+            path: rel.to_string(),
+            line: 1,
+            message: "catalog check target not found under the lint root".to_string(),
+            snippet: String::new(),
+        });
+    }
+    found
+}
+
+fn check_causes(causes: &SourceFile, sm: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let Some(variants) = enum_variants(causes, "PrincipalCause") else {
+        out.push(missing_decl(causes, "enum PrincipalCause"));
+        return;
+    };
+    let Some((body_start, body_end)) = fn_body(sm, "failure_cut") else {
+        out.push(missing_decl(sm, "fn failure_cut"));
+        return;
+    };
+    let body = &sm.masked[body_start..body_end];
+    for (variant, line) in variants {
+        if !contains_token(body, &format!("PrincipalCause::{variant}"))
+            && !contains_token(body, &variant)
+        {
+            out.push(Diagnostic {
+                rule: "catalog",
+                path: causes.rel_path.clone(),
+                line,
+                message: format!(
+                    "PrincipalCause::{variant} has no abort mapping in failure_cut; a run failing with this cause would produce a success-shaped trace"
+                ),
+                snippet: causes.raw_line(line).trim().to_string(),
+            });
+        }
+    }
+}
+
+fn check_phases(sm: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let Some(variants) = enum_variants(sm, "Phase") else {
+        out.push(missing_decl(sm, "enum Phase"));
+        return;
+    };
+    // The first variant is the entry phase: nothing needs to produce it.
+    for (variant, line) in variants.into_iter().skip(1) {
+        let produced = contains_token(&sm.masked, &format!("phase_after: Phase::{variant}"))
+            || contains_token(&sm.masked, &format!("phase_after: {variant}"));
+        if !produced {
+            out.push(Diagnostic {
+                rule: "catalog",
+                path: sm.rel_path.clone(),
+                line,
+                message: format!(
+                    "Phase::{variant} is never reached: no scripted step sets `phase_after` to it"
+                ),
+                snippet: sm.raw_line(line).trim().to_string(),
+            });
+        }
+    }
+}
+
+fn check_message_emission(messages: &SourceFile, sm: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let Some(variants) = enum_variants(messages, "Message") else {
+        out.push(missing_decl(messages, "enum Message"));
+        return;
+    };
+    for (variant, line) in variants {
+        let emitted = contains_token(&sm.masked, &format!("Message::{variant}"))
+            || contains_token(&sm.masked, &format!("message: {variant}"));
+        if !emitted {
+            out.push(Diagnostic {
+                rule: "catalog",
+                path: messages.rel_path.clone(),
+                line,
+                message: format!(
+                    "Message::{variant} is never emitted by the state machine; its counter-matrix column can only ever hold zeros"
+                ),
+                snippet: messages.raw_line(line).trim().to_string(),
+            });
+        }
+    }
+}
+
+/// `COUNT` declared inside `impl <name>` must equal the variant count of
+/// `enum <name>`.
+fn check_counts(messages: &SourceFile, name: &str, out: &mut Vec<Diagnostic>) {
+    let Some(variants) = enum_variants(messages, name) else {
+        out.push(missing_decl(messages, &format!("enum {name}")));
+        return;
+    };
+    let Some((impl_start, impl_end)) = impl_body(messages, name) else {
+        out.push(missing_decl(messages, &format!("impl {name}")));
+        return;
+    };
+    let body = &messages.masked[impl_start..impl_end];
+    let Some(rel) = find_from(body, "const COUNT: usize = ", 0) else {
+        out.push(missing_decl(messages, &format!("const COUNT in impl {name}")));
+        return;
+    };
+    let val_start = rel + "const COUNT: usize = ".len();
+    let digits: String = body[val_start..].chars().take_while(|c| c.is_ascii_digit()).collect();
+    let line = messages.line_of(impl_start + rel);
+    match digits.parse::<usize>() {
+        Ok(declared) if declared == variants.len() => {}
+        Ok(declared) => out.push(Diagnostic {
+            rule: "catalog",
+            path: messages.rel_path.clone(),
+            line,
+            message: format!(
+                "{name}::COUNT is {declared} but enum {name} has {} variants; every counter matrix sized by it is wrong",
+                variants.len()
+            ),
+            snippet: messages.raw_line(line).trim().to_string(),
+        }),
+        Err(_) => out.push(Diagnostic {
+            rule: "catalog",
+            path: messages.rel_path.clone(),
+            line,
+            message: format!("{name}::COUNT is not an integer literal; cannot verify the catalog"),
+            snippet: messages.raw_line(line).trim().to_string(),
+        }),
+    }
+}
+
+fn check_matrix_dims(entities: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for dim in ["; Element::COUNT]", "; Message::COUNT]"] {
+        if !entities.masked.contains(dim) {
+            out.push(Diagnostic {
+                rule: "catalog",
+                path: entities.rel_path.clone(),
+                line: 1,
+                message: format!(
+                    "expected a counter array dimensioned by `{}` — magic-number dimensions drift when the enum grows",
+                    dim.trim_start_matches("; ").trim_end_matches(']')
+                ),
+                snippet: String::new(),
+            });
+        }
+    }
+}
+
+fn missing_decl(file: &SourceFile, what: &str) -> Diagnostic {
+    Diagnostic {
+        rule: "catalog",
+        path: file.rel_path.clone(),
+        line: 1,
+        message: format!(
+            "expected `{what}` in this file (catalog layout changed? update CatalogPaths)"
+        ),
+        snippet: String::new(),
+    }
+}
+
+/// Does `hay` contain `token` with identifier boundaries on both sides?
+fn contains_token(hay: &str, token: &str) -> bool {
+    let bytes = hay.as_bytes();
+    let mut from = 0usize;
+    while let Some(pos) = find_from(hay, token, from) {
+        from = pos + 1;
+        let pre_ok = pos == 0 || !is_ident_byte(bytes[pos - 1]);
+        let post_ok = !bytes.get(pos + token.len()).copied().is_some_and(is_ident_byte);
+        if pre_ok && post_ok {
+            return true;
+        }
+    }
+    false
+}
+
+/// Variants of `enum <name>` in `file`, each with its 1-based line.
+fn enum_variants(file: &SourceFile, name: &str) -> Option<Vec<(String, usize)>> {
+    let decl = format!("enum {name}");
+    let bytes = file.masked.as_bytes();
+    let mut from = 0usize;
+    let decl_pos = loop {
+        let pos = find_from(&file.masked, &decl, from)?;
+        from = pos + 1;
+        let pre_ok = pos == 0 || !is_ident_byte(bytes[pos - 1]);
+        let post_ok = !bytes.get(pos + decl.len()).copied().is_some_and(is_ident_byte);
+        if pre_ok && post_ok {
+            break pos;
+        }
+    };
+    let open = find_from(&file.masked, "{", decl_pos)?;
+    let close = matching_delim(bytes, open, b'{', b'}')?;
+
+    let mut variants = Vec::new();
+    let mut j = open + 1;
+    while j < close {
+        let b = bytes[j];
+        if b.is_ascii_whitespace() || b == b',' {
+            j += 1;
+        } else if b == b'#' && bytes.get(j + 1) == Some(&b'[') {
+            j = matching_delim(bytes, j + 1, b'[', b']')? + 1;
+        } else if b.is_ascii_alphabetic() || b == b'_' {
+            let start = j;
+            while j < close && is_ident_byte(bytes[j]) {
+                j += 1;
+            }
+            variants.push((file.masked[start..j].to_string(), file.line_of(start)));
+            // Skip the variant payload/discriminant to the next `,` at
+            // this nesting level.
+            let mut depth = 0isize;
+            while j < close {
+                match bytes[j] {
+                    b'(' | b'{' | b'[' => depth += 1,
+                    b')' | b'}' | b']' => depth -= 1,
+                    b',' if depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+        } else {
+            j += 1;
+        }
+    }
+    Some(variants)
+}
+
+/// Byte range of the body of `fn <name>` (between its braces).
+fn fn_body(file: &SourceFile, name: &str) -> Option<(usize, usize)> {
+    let decl = format!("fn {name}");
+    let bytes = file.masked.as_bytes();
+    let mut from = 0usize;
+    let pos = loop {
+        let pos = find_from(&file.masked, &decl, from)?;
+        from = pos + 1;
+        let post = bytes.get(pos + decl.len()).copied();
+        if !post.is_some_and(is_ident_byte) {
+            break pos;
+        }
+    };
+    let paren = find_from(&file.masked, "(", pos)?;
+    let paren_close = matching_delim(bytes, paren, b'(', b')')?;
+    let open = find_from(&file.masked, "{", paren_close)?;
+    let close = matching_delim(bytes, open, b'{', b'}')?;
+    Some((open + 1, close))
+}
+
+/// Byte range of the body of `impl <name>` (inherent impl).
+fn impl_body(file: &SourceFile, name: &str) -> Option<(usize, usize)> {
+    let decl = format!("impl {name}");
+    let bytes = file.masked.as_bytes();
+    let mut from = 0usize;
+    let pos = loop {
+        let pos = find_from(&file.masked, &decl, from)?;
+        from = pos + 1;
+        let post = bytes.get(pos + decl.len()).copied();
+        if !post.is_some_and(is_ident_byte) {
+            break pos;
+        }
+    };
+    let open = find_from(&file.masked, "{", pos)?;
+    let close = matching_delim(bytes, open, b'{', b'}')?;
+    Some((open + 1, close))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn file(path: &str, src: &str) -> SourceFile {
+        SourceFile::parse(Path::new(path), src.to_string())
+    }
+
+    fn paths() -> CatalogPaths {
+        CatalogPaths {
+            causes: "causes.rs".to_string(),
+            state_machine: "sm.rs".to_string(),
+            messages: "messages.rs".to_string(),
+            entities: "entities.rs".to_string(),
+        }
+    }
+
+    const MESSAGES_OK: &str = "pub enum Element { Ue, Mme }\nimpl Element { pub const COUNT: usize = 2; }\npub enum Message { Ping, Pong }\nimpl Message { pub const COUNT: usize = 2; }\n";
+    const ENTITIES_OK: &str =
+        "pub struct S { rx: [u64; Message::COUNT], stats: [u8; Element::COUNT] }\n";
+
+    fn sm_ok() -> String {
+        "pub enum Phase { Idle, Busy }\nconst S: Step = Step { message: Ping, phase_after: Phase::Busy };\nfn emit() { let _ = Message::Pong; }\npub enum PC2 { A }\nfn failure_cut(c: PrincipalCause) { match c { PrincipalCause::Lost => {} } }\n".to_string()
+    }
+
+    fn run(causes: &str, sm: &str, messages: &str, entities: &str) -> Vec<Diagnostic> {
+        let files = [
+            file("causes.rs", causes),
+            file("sm.rs", sm),
+            file("messages.rs", messages),
+            file("entities.rs", entities),
+        ];
+        let refs: Vec<&SourceFile> = files.iter().collect();
+        let mut out = Vec::new();
+        check(&refs, &paths(), &mut out);
+        out
+    }
+
+    #[test]
+    fn complete_catalog_is_clean() {
+        let d = run("pub enum PrincipalCause { Lost }\n", &sm_ok(), MESSAGES_OK, ENTITIES_OK);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unmapped_cause_flagged_at_variant() {
+        let d = run(
+            "pub enum PrincipalCause {\n    Lost,\n    Orphan,\n}\n",
+            &sm_ok(),
+            MESSAGES_OK,
+            ENTITIES_OK,
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!((d[0].path.as_str(), d[0].line), ("causes.rs", 3));
+        assert!(d[0].message.contains("Orphan"));
+    }
+
+    #[test]
+    fn unreachable_phase_flagged() {
+        let sm = sm_ok().replace("phase_after: Phase::Busy", "phase_after: Phase::Idle");
+        let d = run("pub enum PrincipalCause { Lost }\n", &sm, MESSAGES_OK, ENTITIES_OK);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("Phase::Busy"));
+    }
+
+    #[test]
+    fn unemitted_message_flagged() {
+        let messages = MESSAGES_OK
+            .replace("pub enum Message { Ping, Pong }", "pub enum Message { Ping, Pong, Ghost }");
+        let messages = messages.replace(
+            "impl Message { pub const COUNT: usize = 2; }",
+            "impl Message { pub const COUNT: usize = 3; }",
+        );
+        let d = run("pub enum PrincipalCause { Lost }\n", &sm_ok(), &messages, ENTITIES_OK);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("Ghost"));
+    }
+
+    #[test]
+    fn count_drift_flagged() {
+        let messages = MESSAGES_OK.replace(
+            "impl Element { pub const COUNT: usize = 2; }",
+            "impl Element { pub const COUNT: usize = 3; }",
+        );
+        let d = run("pub enum PrincipalCause { Lost }\n", &sm_ok(), &messages, ENTITIES_OK);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("Element::COUNT is 3"));
+    }
+
+    #[test]
+    fn magic_number_matrix_flagged() {
+        let entities = "pub struct S { rx: [u64; 19], stats: [u8; Element::COUNT] }\n";
+        let d = run("pub enum PrincipalCause { Lost }\n", &sm_ok(), MESSAGES_OK, entities);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("Message::COUNT"));
+    }
+
+    #[test]
+    fn missing_target_file_reported() {
+        let files = [file("causes.rs", "pub enum PrincipalCause { Lost }\n")];
+        let refs: Vec<&SourceFile> = files.iter().collect();
+        let mut out = Vec::new();
+        check(&refs, &paths(), &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("not found"));
+    }
+
+    #[test]
+    fn variant_lines_skip_attributes_and_docs() {
+        let causes =
+            "pub enum PrincipalCause {\n    /// doc\n    #[deprecated]\n    Lost(u8),\n}\n";
+        let d = run(causes, &sm_ok(), MESSAGES_OK, ENTITIES_OK);
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

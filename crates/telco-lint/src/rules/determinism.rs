@@ -1,0 +1,231 @@
+//! Determinism rule.
+//!
+//! Trace-producing crates opt in with a `deny-nondeterminism` marker in
+//! their `lib.rs` (crate-wide over `src/`) or per file. In scope, the
+//! rule flags the three ways nondeterminism historically sneaks into
+//! "deterministic" simulators:
+//!
+//! - **Hash-ordered iteration** — iterating a `HashMap`/`HashSet`
+//!   (`.iter()`, `.keys()`, `.values()`, `.drain()`, `for x in &map`)
+//!   yields a different order per process because `RandomState` seeds
+//!   per-instance. Lookups are fine; iteration must go through a sorted
+//!   collection or an explicit sort.
+//! - **Wall-clock reads** — `std::time`, `Instant::now`, `SystemTime`:
+//!   anything derived from them differs across runs.
+//! - **Thread identity** — `thread::current`, `ThreadId`, or an OS-seeded
+//!   `thread_rng`: output must be a pure function of the config, never of
+//!   which worker executed the item.
+//!
+//! The rule is lexical and therefore deliberately over-approximate in
+//! scope declarations: a collection *named* at a `HashMap`-typed binding
+//! or field is tracked by identifier for the rest of the file.
+
+use crate::markers::{AllowWhat, FileMarkers};
+use crate::report::Diagnostic;
+use crate::rules::{ident_ending_at, last_nonspace_before, word_hits};
+use crate::scan::{is_ident_byte, SourceFile};
+
+const CLOCK_PATTERNS: [(&str, &str); 6] = [
+    ("std::time", "wall-clock time is nondeterministic across runs"),
+    ("Instant::now", "wall-clock time is nondeterministic across runs"),
+    ("SystemTime", "wall-clock time is nondeterministic across runs"),
+    ("thread::current", "thread identity must not influence trace output"),
+    ("ThreadId", "thread identity must not influence trace output"),
+    ("thread_rng", "OS-seeded RNG breaks run reproducibility; use the config-seeded stream"),
+];
+
+const ITER_SUFFIXES: [&str; 7] =
+    [".iter()", ".iter_mut()", ".keys()", ".values()", ".values_mut()", ".into_iter()", ".drain("];
+
+/// Run the rule over one file. `in_scope` is true when the file or its
+/// crate opted in.
+pub fn check(file: &SourceFile, in_scope: bool, markers: &FileMarkers, out: &mut Vec<Diagnostic>) {
+    if !in_scope {
+        return;
+    }
+    let mut emit = |pos: usize, message: String| {
+        let line = file.line_of(pos);
+        if file.is_test_line(line) || markers.allowed(line, AllowWhat::Nondet) {
+            return;
+        }
+        out.push(Diagnostic {
+            rule: "determinism",
+            path: file.rel_path.clone(),
+            line,
+            message,
+            snippet: file.raw_line(line).trim().to_string(),
+        });
+    };
+
+    for (pat, why) in CLOCK_PATTERNS {
+        for pos in word_hits(&file.masked, pat) {
+            emit(pos, format!("`{pat}`: {why}"));
+        }
+    }
+
+    for name in hash_bindings(&file.masked) {
+        for suffix in ITER_SUFFIXES {
+            let pat = format!("{name}{suffix}");
+            for pos in word_hits(&file.masked, &pat) {
+                emit(pos, iteration_message(&name));
+            }
+        }
+        for pos in for_in_hits(&file.masked, &name) {
+            emit(pos, iteration_message(&name));
+        }
+    }
+}
+
+fn iteration_message(name: &str) -> String {
+    format!(
+        "`{name}` is hash-ordered; iterating it is nondeterministic — sort first or use a BTree collection"
+    )
+}
+
+/// Identifiers bound or annotated with a `HashMap`/`HashSet` type in
+/// this file: `name: HashMap<..>` (fields, lets, params) and
+/// `let name = HashMap::new()`-style bindings. Sorted and deduplicated.
+fn hash_bindings(masked: &str) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    let bytes = masked.as_bytes();
+    for ty in ["HashMap", "HashSet"] {
+        for pos in word_hits(masked, ty) {
+            // Reject suffix matches like `HashMapExt`.
+            if bytes.get(pos + ty.len()).copied().is_some_and(is_ident_byte) {
+                continue;
+            }
+            if let Some(name) = binding_name_before(masked, pos) {
+                names.push(name);
+            }
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// Walk left from a `HashMap`/`HashSet` token, skipping any `path::`
+/// qualifiers, to the binding context: `ident :` yields the annotated
+/// name, `ident =` yields the assigned name, anything else (generics,
+/// casts, turbofish) yields nothing.
+fn binding_name_before(masked: &str, mut at: usize) -> Option<String> {
+    let bytes = masked.as_bytes();
+    loop {
+        let prev = last_nonspace_before(bytes, at)?;
+        if prev >= 1 && bytes[prev] == b':' && bytes[prev - 1] == b':' {
+            // Path separator: hop over the qualifying segment.
+            let (_, seg_start) =
+                ident_ending_at(masked, last_nonspace_before(bytes, prev - 1)? + 1)?;
+            at = seg_start;
+            continue;
+        }
+        return match bytes[prev] {
+            b':' => named_ident_before(masked, prev),
+            b'=' if prev == 0 || bytes[prev - 1] != b'=' => named_ident_before(masked, prev),
+            _ => None,
+        };
+    }
+}
+
+fn named_ident_before(masked: &str, sep: usize) -> Option<String> {
+    let bytes = masked.as_bytes();
+    let end = last_nonspace_before(bytes, sep)? + 1;
+    let (ident, _) = ident_ending_at(masked, end)?;
+    (ident != "mut").then(|| ident.to_string())
+}
+
+/// Occurrences of `for .. in <name>` / `in &name` / `in &mut name`.
+fn for_in_hits<'a>(masked: &'a str, name: &'a str) -> impl Iterator<Item = usize> + 'a {
+    let bytes = masked.as_bytes();
+    word_hits(masked, "in ").filter(move |&pos| {
+        let mut j = pos + 3;
+        while bytes.get(j).copied().is_some_and(|b| b == b' ') {
+            j += 1;
+        }
+        if bytes.get(j) == Some(&b'&') {
+            j += 1;
+            if masked.get(j..j + 4) == Some("mut ") {
+                j += 4;
+            }
+        }
+        let end = j + name.len();
+        // A following `.` means a method call — the suffix patterns own
+        // that case; flagging here too would double-report the line.
+        masked.get(j..end) == Some(name)
+            && !bytes.get(end).copied().is_some_and(|b| is_ident_byte(b) || b == b'.')
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::markers;
+    use std::path::Path;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::parse(Path::new("t.rs"), src.to_string());
+        let m = markers::analyze(&file);
+        let mut out = Vec::new();
+        check(&file, true, &m, &mut out);
+        out
+    }
+
+    #[test]
+    fn hash_iteration_flagged() {
+        let src = "use std::collections::HashMap;\nfn f(m: HashMap<u32, u32>) -> Vec<u32> {\n    m.keys().copied().collect()\n}\n";
+        let d = lint(src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 3);
+        assert!(d[0].message.contains("`m`"));
+    }
+
+    #[test]
+    fn for_loop_over_hash_flagged() {
+        let src = "fn f(set: std::collections::HashSet<u32>) {\n    for x in &set {\n        let _ = x;\n    }\n}\n";
+        let d = lint(src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn lookup_only_map_is_fine() {
+        let src = "use std::collections::HashMap;\nfn f(by_tac: &HashMap<u32, usize>, k: u32) -> Option<usize> {\n    by_tac.get(&k).copied()\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn let_binding_tracked() {
+        let src = "fn f() {\n    let mut seen = std::collections::HashSet::new();\n    seen.insert(1u32);\n    for v in seen.drain() { let _ = v; }\n}\n";
+        let d = lint(src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 4);
+    }
+
+    #[test]
+    fn wall_clock_and_thread_identity_flagged() {
+        let src = "fn f() -> u64 {\n    let t = std::time::Instant::now();\n    t.elapsed().as_nanos() as u64\n}\n";
+        let d = lint(src);
+        assert!(!d.is_empty());
+        assert!(d[0].message.contains("wall-clock"));
+    }
+
+    #[test]
+    fn cfg_test_exempt_and_allow_waives() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() {\n        let s: std::collections::HashSet<u8> = Default::default();\n        for v in &s { let _ = v; }\n    }\n}\n";
+        assert!(lint(src).is_empty());
+        let src2 = "fn f(m: std::collections::HashMap<u8, u8>) -> usize {\n    m.iter().count() // telco-lint: allow(nondet): count is order-independent\n}\n";
+        assert!(lint(src2).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_file_ignored() {
+        let file = SourceFile::parse(
+            Path::new("t.rs"),
+            "fn f() { let _ = std::time::Instant::now(); }\n".to_string(),
+        );
+        let m = markers::analyze(&file);
+        let mut out = Vec::new();
+        check(&file, false, &m, &mut out);
+        assert!(out.is_empty());
+    }
+}

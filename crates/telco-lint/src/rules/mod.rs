@@ -1,0 +1,57 @@
+//! The lint rules. Each rule consumes scanned files plus their marker
+//! state and appends [`Diagnostic`](crate::report::Diagnostic)s.
+
+pub mod catalog;
+pub mod determinism;
+pub mod no_print;
+pub mod panic_free;
+pub mod unsafe_forbid;
+
+use crate::scan::{find_from, is_ident_byte};
+
+/// Find `pat` in `masked` at or after `from`. When `pat` starts with an
+/// identifier byte, the byte before the match must not be one (so
+/// `debug_assert!` never matches an `assert!` pattern); patterns that
+/// start with `.` carry their own boundary.
+pub(crate) fn find_word(masked: &str, pat: &str, from: usize) -> Option<usize> {
+    let needs_boundary = pat.bytes().next().is_some_and(is_ident_byte);
+    let mut at = from;
+    while let Some(pos) = find_from(masked, pat, at) {
+        at = pos + 1;
+        let bounded = !needs_boundary || pos == 0 || !is_ident_byte(masked.as_bytes()[pos - 1]);
+        if bounded {
+            return Some(pos);
+        }
+    }
+    None
+}
+
+/// Iterate every word-bounded occurrence of `pat` in `masked`.
+pub(crate) fn word_hits<'a>(masked: &'a str, pat: &'a str) -> impl Iterator<Item = usize> + 'a {
+    let mut from = 0usize;
+    std::iter::from_fn(move || {
+        let pos = find_word(masked, pat, from)?;
+        from = pos + 1;
+        Some(pos)
+    })
+}
+
+/// Read the identifier ending at byte `end` (exclusive) of `masked`,
+/// returning it and its start index; `None` if the byte before `end` is
+/// not an identifier byte.
+pub(crate) fn ident_ending_at(masked: &str, end: usize) -> Option<(&str, usize)> {
+    let bytes = masked.as_bytes();
+    if end == 0 || !is_ident_byte(bytes[end - 1]) {
+        return None;
+    }
+    let mut start = end;
+    while start > 0 && is_ident_byte(bytes[start - 1]) {
+        start -= 1;
+    }
+    Some((&masked[start..end], start))
+}
+
+/// Index of the last non-whitespace byte strictly before `pos`.
+pub(crate) fn last_nonspace_before(bytes: &[u8], pos: usize) -> Option<usize> {
+    (0..pos).rev().find(|&i| !bytes[i].is_ascii_whitespace())
+}

@@ -1,0 +1,70 @@
+//! No-print rule.
+//!
+//! Library crates must not write to stdout/stderr: user-facing output is
+//! the CLI crate's job (`telco-experiments`), and a stray `dbg!` in the
+//! simulation hot loop is both a perf cliff and noise in piped output.
+//! The rule flags `println!`, `print!`, `eprintln!`, `eprint!`, and
+//! `dbg!` in library `src/` trees; `#[cfg(test)]` regions are exempt
+//! (debug prints in tests are a normal workflow), and a deliberate
+//! diagnostic print can carry an `allow(print)` waiver.
+
+use crate::markers::{AllowWhat, FileMarkers};
+use crate::report::Diagnostic;
+use crate::rules::word_hits;
+use crate::scan::SourceFile;
+
+const PRINT_MACROS: [&str; 5] = ["println!", "eprintln!", "print!", "eprint!", "dbg!"];
+
+/// Run the rule over one library-src file.
+pub fn check(file: &SourceFile, markers: &FileMarkers, out: &mut Vec<Diagnostic>) {
+    for pat in PRINT_MACROS {
+        for pos in word_hits(&file.masked, pat) {
+            let line = file.line_of(pos);
+            if file.is_test_line(line) || markers.allowed(line, AllowWhat::Print) {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: "no-print",
+                path: file.rel_path.clone(),
+                line,
+                message: format!(
+                    "`{pat}` in a library crate; stdout/stderr belong to telco-experiments — return data instead"
+                ),
+                snippet: file.raw_line(line).trim().to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::markers;
+    use std::path::Path;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::parse(Path::new("t.rs"), src.to_string());
+        let m = markers::analyze(&file);
+        let mut out = Vec::new();
+        check(&file, &m, &mut out);
+        out
+    }
+
+    #[test]
+    fn println_and_dbg_flagged() {
+        let d = lint("pub fn f(x: u8) -> u8 {\n    println!(\"{x}\");\n    dbg!(x)\n}\n");
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn test_module_exempt() {
+        let src = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { println!(\"debugging\"); }\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn waiver_and_doc_mentions_clean() {
+        let src = "/// Call `println!` yourself if needed.\npub fn f() {\n    eprintln!(\"progress\"); // telco-lint: allow(print): operator-facing progress line\n}\n";
+        assert!(lint(src).is_empty());
+    }
+}

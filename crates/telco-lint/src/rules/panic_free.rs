@@ -1,0 +1,225 @@
+//! Panic-freedom rule.
+//!
+//! Hot-path modules opt in with a `deny-panic` marker (file-wide) or a
+//! `deny-panic(begin)`/`deny-panic(end)` region. Inside the scope, the
+//! rule flags every construct that can abort the simulation at runtime:
+//!
+//! - `.unwrap()` / `.unwrap_err()` / `.expect(..)` / `.expect_err(..)`;
+//! - `panic!` / `unreachable!` / `todo!` / `unimplemented!`;
+//! - release-mode assertions (`assert!`, `assert_eq!`, `assert_ne!`) —
+//!   `debug_assert*` stays legal: it vanishes in release builds, which
+//!   is exactly the contract the hot path wants;
+//! - slice/array indexing with a non-literal index (`v[i]`, `v[..n]`).
+//!   Indexing by an integer literal or a literal-only range is allowed:
+//!   it is reviewable at a glance and overwhelmingly used on fixed-size
+//!   arrays. Everything data-dependent must go through `.get()`,
+//!   pattern matching, or carry an `allow(index)` waiver with a written
+//!   bounds argument.
+//!
+//! `#[cfg(test)]` regions are exempt: tests *should* assert.
+
+use crate::markers::{AllowWhat, FileMarkers};
+use crate::report::Diagnostic;
+use crate::rules::{ident_ending_at, last_nonspace_before, word_hits};
+use crate::scan::{matching_delim, SourceFile};
+
+const METHODS: [&str; 4] = [".unwrap()", ".unwrap_err(", ".expect(", ".expect_err("];
+const MACROS: [&str; 7] =
+    ["panic!", "unreachable!", "todo!", "unimplemented!", "assert!", "assert_eq!", "assert_ne!"];
+
+/// Keywords that can directly precede `[` without it being an index
+/// operation (slice patterns, slice types, array-literal positions).
+const NON_INDEX_KEYWORDS: [&str; 14] = [
+    "let", "mut", "ref", "in", "return", "break", "continue", "move", "if", "else", "match", "as",
+    "static", "dyn",
+];
+
+/// Run the rule over one file.
+pub fn check(file: &SourceFile, markers: &FileMarkers, out: &mut Vec<Diagnostic>) {
+    if !markers.has_panic_scope() {
+        return;
+    }
+    let mut emit = |pos: usize, what: AllowWhat, message: String| {
+        let line = file.line_of(pos);
+        if !markers.panic_scope(line) || file.is_test_line(line) || markers.allowed(line, what) {
+            return;
+        }
+        out.push(Diagnostic {
+            rule: "panic-free",
+            path: file.rel_path.clone(),
+            line,
+            message,
+            snippet: file.raw_line(line).trim().to_string(),
+        });
+    };
+
+    for pat in METHODS {
+        for pos in word_hits(&file.masked, pat) {
+            let name = pat.trim_start_matches('.').trim_end_matches(['(', ')']);
+            emit(
+                pos,
+                AllowWhat::Panic,
+                format!("`{name}` can panic in a deny-panic scope; propagate the error or match"),
+            );
+        }
+    }
+    for pat in MACROS {
+        for pos in word_hits(&file.masked, pat) {
+            emit(
+                pos,
+                AllowWhat::Panic,
+                format!(
+                    "`{pat}` aborts at runtime in a deny-panic scope; return an error or use debug_assert!"
+                ),
+            );
+        }
+    }
+    check_indexing(file, &mut emit);
+}
+
+fn check_indexing(file: &SourceFile, emit: &mut impl FnMut(usize, AllowWhat, String)) {
+    let bytes = file.masked.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' {
+            continue;
+        }
+        let Some(prev) = last_nonspace_before(bytes, i) else { continue };
+        let p = bytes[prev];
+        let is_index_target = match p {
+            b')' | b']' | b'?' => true,
+            _ if crate::scan::is_ident_byte(p) => {
+                // A keyword before `[` means pattern or literal position,
+                // not an index on a value; a lifetime (`&'a [T]`) means a
+                // slice type.
+                match ident_ending_at(&file.masked, prev + 1) {
+                    Some((word, start)) => {
+                        !NON_INDEX_KEYWORDS.contains(&word)
+                            && bytes.get(start.wrapping_sub(1)) != Some(&b'\'')
+                    }
+                    None => true,
+                }
+            }
+            _ => false,
+        };
+        if !is_index_target {
+            continue;
+        }
+        let Some(close) = matching_delim(bytes, i, b'[', b']') else { continue };
+        let content = &file.masked[i + 1..close];
+        if is_literal_index(content) {
+            continue;
+        }
+        emit(
+            i,
+            AllowWhat::Index,
+            format!(
+                "non-literal index `[{}]` can panic in a deny-panic scope; use .get()/patterns",
+                content.trim()
+            ),
+        );
+    }
+}
+
+/// Is the bracket content a compile-time-reviewable index: an integer
+/// literal, or a range whose endpoints are integer literals or open?
+fn is_literal_index(content: &str) -> bool {
+    let content = content.trim();
+    if let Some((lo, hi)) = content.split_once("..") {
+        let hi = hi.strip_prefix('=').unwrap_or(hi).trim();
+        return is_literal_or_empty(lo.trim()) && is_literal_or_empty(hi);
+    }
+    !content.is_empty() && is_int_literal(content)
+}
+
+fn is_literal_or_empty(s: &str) -> bool {
+    s.is_empty() || is_int_literal(s)
+}
+
+fn is_int_literal(s: &str) -> bool {
+    !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit() || b == b'_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::markers;
+    use std::path::Path;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::parse(Path::new("t.rs"), src.to_string());
+        let m = markers::analyze(&file);
+        let mut out = Vec::new();
+        check(&file, &m, &mut out);
+        out
+    }
+
+    const OPT_IN: &str = "// telco-lint: deny-panic\n";
+
+    #[test]
+    fn unopted_file_is_ignored() {
+        assert!(lint("fn f(x: Option<u8>) -> u8 { x.unwrap() }\n").is_empty());
+    }
+
+    #[test]
+    fn unwrap_and_expect_flagged() {
+        let d = lint(&format!("{OPT_IN}fn f(x: Option<u8>) -> u8 {{ x.unwrap() }}\nfn g(x: Option<u8>) -> u8 {{ x.expect(\"set\") }}\n"));
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_fine() {
+        assert!(lint(&format!(
+            "{OPT_IN}fn f(x: Option<u8>) -> u8 {{ x.unwrap_or(0).max(x.unwrap_or_default()) }}\n"
+        ))
+        .is_empty());
+    }
+
+    #[test]
+    fn debug_assert_allowed_release_assert_flagged() {
+        let d = lint(&format!("{OPT_IN}fn f(a: u8) {{ debug_assert!(a > 0); assert!(a > 0); }}\n"));
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("assert!"));
+    }
+
+    #[test]
+    fn dynamic_index_flagged_literal_allowed() {
+        let d = lint(&format!(
+            "{OPT_IN}fn f(v: &[u8], i: usize) -> u8 {{ let _ = v[0]; let _ = v[2..4]; v[i] }}\n"
+        ));
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("[i]"));
+    }
+
+    #[test]
+    fn slice_patterns_and_types_not_flagged() {
+        assert!(lint(&format!(
+            "{OPT_IN}fn f(v: &[u8; 2]) -> [u8; 2] {{ let [a, b] = *v; [b, a] }}\n"
+        ))
+        .is_empty());
+    }
+
+    #[test]
+    fn allow_marker_waives_one_line() {
+        let src = format!(
+            "{OPT_IN}fn f(v: &[u8], i: usize) -> u8 {{\n    v[i] // telco-lint: allow(index): i < v.len() checked by caller\n}}\n"
+        );
+        assert!(lint(&src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_region_exempt() {
+        let src = format!(
+            "{OPT_IN}#[cfg(test)]\nmod tests {{\n    fn t() {{ None::<u8>.unwrap(); }}\n}}\n"
+        );
+        assert!(lint(&src).is_empty());
+    }
+
+    #[test]
+    fn region_scope_only_covers_region() {
+        let src = "fn w(x: Option<u8>) -> u8 { x.unwrap() }\n// telco-lint: deny-panic(begin)\nfn r(x: Option<u8>) -> u8 { x.unwrap() }\n// telco-lint: deny-panic(end)\n";
+        let d = lint(src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 3);
+    }
+}

@@ -1,0 +1,105 @@
+//! Unsafe-freedom rule.
+//!
+//! None of the first-party crates need `unsafe` to do their job — the
+//! one exception is the counting global allocator in telco-sim's
+//! zero-allocation harness, which implements `GlobalAlloc` and carries a
+//! file-level waiver with its justification. The rule enforces both
+//! directions:
+//!
+//! - every crate root (`src/lib.rs` / `src/main.rs`) must carry
+//!   `#![forbid(unsafe_code)]`, so an unsafe block cannot even compile;
+//! - any `unsafe` token elsewhere (tests, benches, examples are scanned
+//!   too — `forbid` in the library does not cover them) is a finding
+//!   unless the file carries an `allow(unsafe)` waiver.
+
+use crate::markers::{AllowWhat, FileMarkers};
+use crate::report::Diagnostic;
+use crate::rules::word_hits;
+use crate::scan::{is_ident_byte, SourceFile};
+
+const FORBID_ATTR: &str = "#![forbid(unsafe_code)]";
+
+/// Run the rule over one file. `is_crate_root` marks `src/lib.rs` /
+/// `src/main.rs` files that must carry the forbid attribute.
+pub fn check(
+    file: &SourceFile,
+    markers: &FileMarkers,
+    is_crate_root: bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    let waived = markers.allowed_anywhere(AllowWhat::Unsafe);
+    if is_crate_root && !file.masked.contains(FORBID_ATTR) && !waived {
+        out.push(Diagnostic {
+            rule: "unsafe-forbid",
+            path: file.rel_path.clone(),
+            line: 1,
+            message: format!("crate root is missing `{FORBID_ATTR}`"),
+            snippet: String::new(),
+        });
+    }
+    if waived {
+        return;
+    }
+    let bytes = file.masked.as_bytes();
+    for pos in word_hits(&file.masked, "unsafe") {
+        // Reject `unsafe_code` and friends: require a boundary after.
+        if bytes.get(pos + "unsafe".len()).copied().is_some_and(is_ident_byte) {
+            continue;
+        }
+        let line = file.line_of(pos);
+        out.push(Diagnostic {
+            rule: "unsafe-forbid",
+            path: file.rel_path.clone(),
+            line,
+            message: "`unsafe` outside a waived file; add `allow(unsafe)` with a justification or rewrite safely"
+                .to_string(),
+            snippet: file.raw_line(line).trim().to_string(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::markers;
+    use std::path::Path;
+
+    fn lint(src: &str, root: bool) -> Vec<Diagnostic> {
+        let file = SourceFile::parse(Path::new("t.rs"), src.to_string());
+        let m = markers::analyze(&file);
+        let mut out = Vec::new();
+        check(&file, &m, root, &mut out);
+        out
+    }
+
+    #[test]
+    fn root_without_forbid_flagged() {
+        let d = lint("pub fn f() {}\n", true);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("forbid"));
+    }
+
+    #[test]
+    fn root_with_forbid_clean() {
+        assert!(lint("#![forbid(unsafe_code)]\npub fn f() {}\n", true).is_empty());
+    }
+
+    #[test]
+    fn unsafe_block_flagged_in_any_file() {
+        let d = lint("pub fn f(p: *const u8) -> u8 { unsafe { *p } }\n", false);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn waiver_covers_the_file() {
+        let src = "#![allow(unsafe_code)]\n// telco-lint: allow(unsafe): GlobalAlloc impl requires unsafe\npub fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        assert!(lint(src, false).is_empty());
+    }
+
+    #[test]
+    fn mention_in_comment_or_string_not_flagged() {
+        let src =
+            "#![forbid(unsafe_code)]\n// this crate has no unsafe\nconst S: &str = \"unsafe\";\n";
+        assert!(lint(src, true).is_empty());
+    }
+}

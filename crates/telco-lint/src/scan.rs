@@ -1,0 +1,478 @@
+//! Lossless single-pass source scanner.
+//!
+//! Rust's grammar is far too rich to parse by hand, but the invariants the
+//! linter enforces are all *lexical*: "this token sequence appears in real
+//! code" or "this identifier is indexed with a non-literal expression".
+//! The only genuinely hard part is deciding what counts as *real code* —
+//! a `.unwrap()` inside a doc comment or a string literal must never fire
+//! a diagnostic, and a rule match inside a `#[cfg(test)]` module is
+//! test-only code that the panic rules deliberately exempt.
+//!
+//! [`SourceFile::parse`] therefore produces a *masked* copy of the source:
+//! byte-for-byte the same length as the original, with every comment and
+//! every string/char-literal interior replaced by spaces (newlines are
+//! preserved so line numbers survive). All rule pattern matching runs on
+//! the masked text; the raw text is kept for marker parsing (markers live
+//! in comments) and for diagnostic snippets.
+//!
+//! The masker is a real lexer for the subset that matters: nested block
+//! comments, raw strings with arbitrary `#` fences, byte strings, char
+//! literals vs. lifetimes, and escape sequences inside ordinary strings.
+
+use std::path::Path;
+
+/// A scanned source file: raw text plus the code-only masked view and the
+/// per-line / per-byte classification the rules consume.
+pub struct SourceFile {
+    /// Path relative to the lint root, with forward slashes (stable for
+    /// diagnostics and JSON reports across platforms).
+    pub rel_path: String,
+    /// Original file contents.
+    pub raw: String,
+    /// Same length as `raw`; comments and literal interiors blanked.
+    pub masked: String,
+    /// `in_comment[i]` is true iff byte `i` of `raw` lies inside a
+    /// comment (line, doc, or block). Used to tell marker comments apart
+    /// from string literals that merely *mention* a marker.
+    in_comment: Vec<bool>,
+    /// Byte offset of the start of each line (line 1 at index 0).
+    line_starts: Vec<usize>,
+    /// `in_test[l]` is true iff 1-based line `l+1` is inside an item
+    /// gated by `#[cfg(test)]`.
+    in_test: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Scan `raw`, producing the masked view and line/test maps.
+    pub fn parse(rel_path: &Path, raw: String) -> SourceFile {
+        let rel_path = rel_path
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let (masked, in_comment) = mask(&raw);
+        let line_starts = line_starts(&raw);
+        let in_test = test_lines(&masked, &line_starts);
+        SourceFile { rel_path, raw, masked, in_comment, line_starts, in_test }
+    }
+
+    /// 1-based line number containing byte offset `byte`.
+    pub fn line_of(&self, byte: usize) -> usize {
+        match self.line_starts.binary_search(&byte) {
+            Ok(i) => i + 1,
+            Err(i) => i, // insertion point i means line_starts[i-1] <= byte
+        }
+    }
+
+    /// Number of lines in the file.
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+
+    /// Raw text of 1-based line `line` (without the trailing newline).
+    pub fn raw_line(&self, line: usize) -> &str {
+        self.line_slice(&self.raw, line)
+    }
+
+    /// Masked text of 1-based line `line`.
+    pub fn masked_line(&self, line: usize) -> &str {
+        self.line_slice(&self.masked, line)
+    }
+
+    /// True iff 1-based `line` is inside a `#[cfg(test)]`-gated item.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.in_test.get(line.wrapping_sub(1)).copied().unwrap_or(false)
+    }
+
+    /// True iff every byte of `range` lies inside a comment in the raw
+    /// source (as opposed to code or a string literal).
+    pub fn is_comment_range(&self, start: usize, end: usize) -> bool {
+        start < end
+            && end <= self.in_comment.len()
+            && self.in_comment[start..end].iter().all(|&c| c)
+    }
+
+    fn line_slice<'a>(&self, text: &'a str, line: usize) -> &'a str {
+        let Some(&start) = self.line_starts.get(line.wrapping_sub(1)) else {
+            return "";
+        };
+        let end =
+            self.line_starts.get(line).map(|&next| next.saturating_sub(1)).unwrap_or(text.len());
+        text.get(start..end).unwrap_or("").trim_end_matches('\r')
+    }
+}
+
+fn line_starts(text: &str) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for (i, b) in text.bytes().enumerate() {
+        if b == b'\n' && i + 1 < text.len() {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// Is `b` part of an identifier? (ASCII view is enough: first-party code
+/// uses ASCII identifiers, and rule patterns are all ASCII.)
+pub fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Blank comments and literal interiors out of `src`.
+///
+/// Returns the masked text (same byte length — multi-byte characters in
+/// blanked regions become runs of spaces, which keeps the result valid
+/// UTF-8) and the per-byte `in_comment` classification.
+fn mask(src: &str) -> (String, Vec<bool>) {
+    let bytes = src.as_bytes();
+    let n = bytes.len();
+    let mut out = bytes.to_vec();
+    let mut in_comment = vec![false; n];
+    let mut i = 0usize;
+
+    // Blank bytes [from, to) keeping newlines; mark as comment if asked.
+    macro_rules! blank {
+        ($from:expr, $to:expr, $comment:expr) => {
+            for k in $from..$to {
+                if out[k] != b'\n' {
+                    out[k] = b' ';
+                }
+                if $comment {
+                    in_comment[k] = true;
+                }
+            }
+        };
+    }
+
+    while i < n {
+        let b = bytes[i];
+        match b {
+            b'/' if i + 1 < n && bytes[i + 1] == b'/' => {
+                let end = memchr_newline(bytes, i);
+                blank!(i, end, true);
+                i = end;
+            }
+            b'/' if i + 1 < n && bytes[i + 1] == b'*' => {
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < n && depth > 0 {
+                    if j + 1 < n && bytes[j] == b'/' && bytes[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if j + 1 < n && bytes[j] == b'*' && bytes[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                blank!(i, j, true);
+                i = j;
+            }
+            b'"' => {
+                let end = skip_string(bytes, i);
+                blank!(i + 1, end.saturating_sub(1), false);
+                i = end;
+            }
+            b'r' | b'b' if is_raw_or_byte_literal_start(bytes, i) => {
+                // One of r"..", r#".."#, b"..", br".., rb is not a thing.
+                let (body_start, end) = skip_raw_or_byte(bytes, i);
+                blank!(body_start, end, false);
+                i = end;
+            }
+            b'\'' => {
+                if let Some(end) = char_literal_end(bytes, i) {
+                    blank!(i + 1, end - 1, false);
+                    i = end;
+                } else {
+                    i += 1; // lifetime: leave the quote and ident intact
+                }
+            }
+            _ => i += 1,
+        }
+    }
+
+    // Safety of from_utf8: only ASCII bytes were written over the
+    // original, and whole multi-byte sequences were always replaced.
+    (String::from_utf8(out).unwrap_or_else(|_| src.to_string()), in_comment)
+}
+
+fn memchr_newline(bytes: &[u8], from: usize) -> usize {
+    bytes[from..].iter().position(|&b| b == b'\n').map(|p| from + p).unwrap_or(bytes.len())
+}
+
+/// Skip an ordinary `"..."` (or the tail of a `b"..."`) starting at the
+/// opening quote index; returns the index just past the closing quote.
+fn skip_string(bytes: &[u8], open: usize) -> usize {
+    let mut j = open + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// Does a raw/byte string literal start at `i`? Requires the preceding
+/// byte to not be part of an identifier (so `var"` or `attr` names don't
+/// trip it).
+fn is_raw_or_byte_literal_start(bytes: &[u8], i: usize) -> bool {
+    if i > 0 && is_ident_byte(bytes[i - 1]) {
+        return false;
+    }
+    let rest = &bytes[i..];
+    let after_prefix = match rest {
+        [b'b', b'r', ..] => 2,
+        [b'r', ..] | [b'b', ..] => 1,
+        _ => return false,
+    };
+    let mut j = after_prefix;
+    // b"..." has no hashes; r and br may have any number.
+    if rest.first() == Some(&b'b') && after_prefix == 1 {
+        return rest.get(j) == Some(&b'"');
+    }
+    while rest.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    rest.get(j) == Some(&b'"')
+}
+
+/// Skip a raw or byte string starting at `i`; returns (body_start, end)
+/// where `end` is just past the closing delimiter.
+fn skip_raw_or_byte(bytes: &[u8], i: usize) -> (usize, usize) {
+    let mut j = i;
+    while j < bytes.len() && (bytes[j] == b'r' || bytes[j] == b'b') {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert_eq!(bytes.get(j), Some(&b'"'));
+    let body_start = j + 1;
+    if hashes == 0 && bytes[i..j].contains(&b'b') && !bytes[i..j].contains(&b'r') {
+        // Plain byte string: escapes apply.
+        return (body_start, skip_string(bytes, j));
+    }
+    // Raw string: ends at `"` followed by `hashes` `#`s, no escapes.
+    let mut k = body_start;
+    while k < bytes.len() {
+        if bytes[k] == b'"'
+            && bytes[k + 1..].iter().take(hashes).filter(|&&b| b == b'#').count() == hashes
+        {
+            return (body_start, k + 1 + hashes);
+        }
+        k += 1;
+    }
+    (body_start, bytes.len())
+}
+
+/// If a char literal starts at the `'` at index `i`, return the index
+/// just past its closing quote; `None` means it is a lifetime.
+fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
+    let next = *bytes.get(i + 1)?;
+    if next == b'\\' {
+        // Escaped char: scan to the closing quote.
+        let mut j = i + 2;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'\\' => j += 2,
+                b'\'' => return Some(j + 1),
+                _ => j += 1,
+            }
+        }
+        return Some(bytes.len());
+    }
+    // `'x'` (possibly multi-byte x) is a char literal; `'ident` without a
+    // closing quote right after one character is a lifetime.
+    let char_len = utf8_len(next);
+    match bytes.get(i + 1 + char_len) {
+        Some(&b'\'') => Some(i + 2 + char_len),
+        _ => None,
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+/// Mark the lines covered by `#[cfg(test)]`-gated items.
+///
+/// For each `#[cfg(test)]` attribute (exactly that predicate — `not(test)`
+/// and compound predicates are left alone), the gated item extends through
+/// any further attributes to either the matching `}` of its first body
+/// brace or the terminating `;`.
+fn test_lines(masked: &str, line_starts: &[usize]) -> Vec<bool> {
+    let mut in_test = vec![false; line_starts.len()];
+    let bytes = masked.as_bytes();
+    let mut from = 0usize;
+    while let Some(pos) = find_from(masked, "#[cfg(", from) {
+        from = pos + 1;
+        let pred_start = pos + "#[cfg(".len();
+        let Some(pred_end) = matching_delim(bytes, pred_start - 1, b'(', b')') else {
+            continue;
+        };
+        let pred: String =
+            masked[pred_start..pred_end].chars().filter(|c| !c.is_whitespace()).collect();
+        if pred != "test" {
+            continue;
+        }
+        // Past the attribute's closing `]`.
+        let Some(attr_end) = matching_delim(bytes, pos + 1, b'[', b']') else {
+            continue;
+        };
+        let Some(item_end) = item_extent(bytes, attr_end + 1) else {
+            continue;
+        };
+        let first = line_of(line_starts, pos);
+        let last = line_of(line_starts, item_end.min(bytes.len().saturating_sub(1)));
+        for l in first..=last {
+            if let Some(slot) = in_test.get_mut(l - 1) {
+                *slot = true;
+            }
+        }
+        from = item_end;
+    }
+    in_test
+}
+
+fn line_of(line_starts: &[usize], byte: usize) -> usize {
+    match line_starts.binary_search(&byte) {
+        Ok(i) => i + 1,
+        Err(i) => i,
+    }
+}
+
+/// Find `needle` in `hay` starting at byte `from`.
+pub fn find_from(hay: &str, needle: &str, from: usize) -> Option<usize> {
+    hay.get(from..)?.find(needle).map(|p| from + p)
+}
+
+/// Given `bytes[open] == open_b`, return the index of the matching
+/// `close_b`, honouring nesting.
+pub fn matching_delim(bytes: &[u8], open: usize, open_b: u8, close_b: u8) -> Option<usize> {
+    debug_assert_eq!(bytes.get(open), Some(&open_b));
+    let mut depth = 0usize;
+    for (off, &b) in bytes.iter().enumerate().skip(open) {
+        if b == open_b {
+            depth += 1;
+        } else if b == close_b {
+            depth -= 1;
+            if depth == 0 {
+                return Some(off);
+            }
+        }
+    }
+    None
+}
+
+/// End byte of the item that starts at or after `from`: skips leading
+/// whitespace and further attributes, then runs to the matching `}` of
+/// the first top-level `{`, or to the first top-level `;`.
+fn item_extent(bytes: &[u8], from: usize) -> Option<usize> {
+    let mut j = from;
+    loop {
+        while bytes.get(j).is_some_and(|b| b.is_ascii_whitespace()) {
+            j += 1;
+        }
+        if bytes.get(j) == Some(&b'#') && bytes.get(j + 1) == Some(&b'[') {
+            j = matching_delim(bytes, j + 1, b'[', b']')? + 1;
+        } else {
+            break;
+        }
+    }
+    let mut paren = 0isize;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'(' | b'[' => paren += 1,
+            b')' | b']' => paren -= 1,
+            b'{' => return matching_delim(bytes, j, b'{', b'}'),
+            b';' if paren == 0 => return Some(j),
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn parse(src: &str) -> SourceFile {
+        SourceFile::parse(Path::new("t.rs"), src.to_string())
+    }
+
+    #[test]
+    fn masks_comments_and_strings() {
+        let f = parse("let x = \"a.unwrap()\"; // .unwrap()\nx.unwrap();\n");
+        assert!(!f.masked_line(1).contains("unwrap"));
+        assert!(f.masked_line(2).contains(".unwrap()"));
+    }
+
+    #[test]
+    fn masks_raw_and_byte_strings() {
+        let f = parse("let a = r#\"x.unwrap()\"#;\nlet b = b\".expect(\";\n");
+        assert!(!f.masked.contains("unwrap"));
+        assert!(!f.masked.contains("expect"));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_do_not() {
+        let f = parse("fn f<'a>(x: &'a str) -> char { 'x' }\n");
+        assert!(f.masked.contains("<'a>"));
+        assert!(!f.masked.contains("'x'"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let f = parse("/* outer /* inner */ still.unwrap() */ let y = 1;\n");
+        assert!(!f.masked.contains("unwrap"));
+        assert!(f.masked.contains("let y = 1;"));
+    }
+
+    #[test]
+    fn comment_bytes_classified() {
+        let src = "let s = \"// telco-lint: x\"; // telco-lint: y\n";
+        let f = parse(src);
+        let in_string = src.find("x\"").unwrap();
+        let in_comment = src.find(": y").unwrap();
+        assert!(!f.is_comment_range(in_string, in_string + 1));
+        assert!(f.is_comment_range(in_comment, in_comment + 3));
+    }
+
+    #[test]
+    fn cfg_test_module_lines_marked() {
+        let src = "pub fn live() {}\n\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n\npub fn live2() {}\n";
+        let f = parse(src);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(3));
+        assert!(f.is_test_line(5));
+        assert!(f.is_test_line(6));
+        assert!(!f.is_test_line(8));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let f = parse("#[cfg(not(test))]\nfn live() {}\n");
+        assert!(!f.is_test_line(2));
+    }
+
+    #[test]
+    fn line_of_maps_bytes_to_lines() {
+        let f = parse("a\nbb\nccc\n");
+        assert_eq!(f.line_of(0), 1);
+        assert_eq!(f.line_of(2), 2);
+        assert_eq!(f.line_of(5), 3);
+        assert_eq!(f.line_count(), 3);
+    }
+}

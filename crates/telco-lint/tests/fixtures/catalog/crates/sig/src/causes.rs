@@ -1,0 +1,6 @@
+//! Fixture cause catalog: `Orphan` has no abort mapping.
+
+pub enum PrincipalCause {
+    Lost,
+    Orphan,
+}

@@ -1,0 +1,6 @@
+//! Fixture counter matrix: the message axis is a magic number.
+
+pub struct Counters {
+    pub rx: [u64; 19],
+    pub by_element: [u64; Element::COUNT],
+}

@@ -1,0 +1,21 @@
+//! Fixture message catalog: `Ghost` is never emitted and
+//! `Message::COUNT` lags the enum.
+
+pub enum Element {
+    Ue,
+    Mme,
+}
+
+impl Element {
+    pub const COUNT: usize = 2;
+}
+
+pub enum Message {
+    Ping,
+    Pong,
+    Ghost,
+}
+
+impl Message {
+    pub const COUNT: usize = 2;
+}

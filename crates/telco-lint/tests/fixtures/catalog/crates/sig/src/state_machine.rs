@@ -1,0 +1,24 @@
+//! Fixture state machine: `Phase::Done` is unreachable and the cut
+//! only maps `Lost`.
+
+pub enum Phase {
+    Idle,
+    Busy,
+    Done,
+}
+
+pub struct Step {
+    pub message: Message,
+    pub phase_after: Phase,
+}
+
+pub const SCRIPT: [Step; 2] = [
+    Step { message: Message::Ping, phase_after: Phase::Busy },
+    Step { message: Message::Pong, phase_after: Phase::Busy },
+];
+
+pub fn failure_cut(cause: PrincipalCause) -> usize {
+    match cause {
+        PrincipalCause::Lost => 1,
+    }
+}

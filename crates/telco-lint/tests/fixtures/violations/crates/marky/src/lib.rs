@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+// telco-lint: deny-everything
+
+pub fn f(x: Option<u8>) -> u8 {
+    x.unwrap_or(0) // telco-lint: allow(panic):
+}

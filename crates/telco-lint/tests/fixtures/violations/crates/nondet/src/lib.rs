@@ -1,0 +1,24 @@
+#![forbid(unsafe_code)]
+// telco-lint: deny-nondeterminism
+
+use std::collections::HashMap;
+
+pub fn tally(events: &[u32]) -> Vec<(u32, u32)> {
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    for &k in events {
+        *counts.entry(k).or_insert(0) += 1;
+    }
+    counts.iter().map(|(&k, &v)| (k, v)).collect()
+}
+
+pub fn ordered(keys: std::collections::HashSet<u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for k in &keys {
+        out.push(*k);
+    }
+    out
+}
+
+pub fn elapsed_ns(epoch: std::time::Instant) -> u128 {
+    epoch.elapsed().as_nanos()
+}

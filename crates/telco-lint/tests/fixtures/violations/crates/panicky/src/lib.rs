@@ -1,0 +1,11 @@
+#![forbid(unsafe_code)]
+// telco-lint: deny-panic
+
+pub fn pick(v: &[u8], i: usize) -> u8 {
+    assert!(i < v.len());
+    v[i]
+}
+
+pub fn must(x: Option<u8>) -> u8 {
+    x.unwrap()
+}

@@ -1,0 +1,9 @@
+#![forbid(unsafe_code)]
+
+pub fn report(n: usize) {
+    println!("processed {n} records");
+}
+
+pub fn peek(n: usize) -> usize {
+    dbg!(n)
+}

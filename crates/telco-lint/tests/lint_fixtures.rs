@@ -1,0 +1,102 @@
+//! Every rule must fire on the deliberately-broken fixture trees — and
+//! fire at the exact (rule, path, line) it documents. A rule that stops
+//! firing is indistinguishable from a clean workspace, so these tests
+//! are what keep the linter honest.
+
+use std::path::PathBuf;
+
+use telco_lint::{run_lint, CatalogPaths, Diagnostic, LintConfig};
+
+fn fixture_root(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+/// `(rule, path-suffix, line)` triples, sorted the way `run_lint` sorts.
+fn keys(diags: &[Diagnostic]) -> Vec<(&str, String, usize)> {
+    diags.iter().map(|d| (d.rule, d.path.replace('\\', "/"), d.line)).collect()
+}
+
+#[test]
+fn violation_fixtures_trip_every_rule() {
+    let cfg = LintConfig::bare(fixture_root("violations"));
+    let diags = run_lint(&cfg).expect("fixture tree readable");
+
+    let expected: Vec<(&str, String, usize)> = vec![
+        ("marker", "crates/marky/src/lib.rs".into(), 2),
+        ("marker", "crates/marky/src/lib.rs".into(), 5),
+        ("determinism", "crates/nondet/src/lib.rs".into(), 11),
+        ("determinism", "crates/nondet/src/lib.rs".into(), 16),
+        ("determinism", "crates/nondet/src/lib.rs".into(), 22),
+        ("panic-free", "crates/panicky/src/lib.rs".into(), 5),
+        ("panic-free", "crates/panicky/src/lib.rs".into(), 6),
+        ("panic-free", "crates/panicky/src/lib.rs".into(), 10),
+        ("no-print", "crates/printy/src/lib.rs".into(), 4),
+        ("no-print", "crates/printy/src/lib.rs".into(), 8),
+        ("unsafe-forbid", "crates/unsafy/src/lib.rs".into(), 1),
+        ("unsafe-forbid", "crates/unsafy/src/lib.rs".into(), 2),
+    ];
+    assert_eq!(keys(&diags), expected, "full report:\n{}", telco_lint::report::render_text(&diags));
+}
+
+#[test]
+fn violation_findings_name_the_construct() {
+    let cfg = LintConfig::bare(fixture_root("violations"));
+    let diags = run_lint(&cfg).expect("fixture tree readable");
+
+    let text = telco_lint::report::render_text(&diags);
+    for needle in [
+        "`assert!`",
+        "non-literal index `[i]`",
+        "`unwrap`",
+        "hash-ordered",
+        "wall-clock",
+        "`println!`",
+        "`dbg!`",
+        "forbid(unsafe_code)",
+        "unknown directive `deny-everything`",
+        "requires a justification",
+    ] {
+        assert!(text.contains(needle), "report missing {needle:?}:\n{text}");
+    }
+}
+
+#[test]
+fn catalog_fixture_reports_every_gap() {
+    let src = "crates/sig/src";
+    let cfg = LintConfig {
+        root: fixture_root("catalog"),
+        print_allowed_crates: Vec::new(),
+        catalog: Some(CatalogPaths {
+            causes: format!("{src}/causes.rs"),
+            state_machine: format!("{src}/state_machine.rs"),
+            messages: format!("{src}/messages.rs"),
+            entities: format!("{src}/entities.rs"),
+        }),
+    };
+    let diags = run_lint(&cfg).expect("fixture tree readable");
+    let catalog: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == "catalog").collect();
+
+    assert_eq!(catalog.len(), 5, "report:\n{}", telco_lint::report::render_text(&diags));
+    let text = telco_lint::report::render_text(&diags);
+    for needle in [
+        "PrincipalCause::Orphan has no abort mapping",
+        "Phase::Done is never reached",
+        "Message::Ghost is never emitted",
+        "Message::COUNT is 2 but enum Message has 3 variants",
+        "dimensioned by `Message::COUNT`",
+    ] {
+        assert!(text.contains(needle), "report missing {needle:?}:\n{text}");
+    }
+    // The non-catalog rules must stay quiet on this tree: its files are
+    // not crate roots and carry no opted-in markers.
+    assert_eq!(catalog.len(), diags.len());
+}
+
+#[test]
+fn json_report_is_machine_readable() {
+    let cfg = LintConfig::bare(fixture_root("violations"));
+    let diags = run_lint(&cfg).expect("fixture tree readable");
+    let json = telco_lint::report::render_json(&diags);
+    assert!(json.contains("\"count\": 12"), "{json}");
+    assert!(json.contains("\"rule\": \"panic-free\""), "{json}");
+}

@@ -1,0 +1,37 @@
+//! The real workspace must lint clean. Running this as an ordinary
+//! integration test makes every `telco-lint` finding a *test* failure
+//! too, so the invariant gate cannot drift from the test gate.
+
+use std::path::{Path, PathBuf};
+
+use telco_lint::{run_lint, LintConfig};
+
+/// Walk up from this crate's manifest dir to the directory whose
+/// `Cargo.toml` declares the workspace.
+fn workspace_root() -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest).unwrap_or_default();
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        let Some(parent) = dir.parent().map(Path::to_path_buf) else {
+            panic!("no workspace root above {}", env!("CARGO_MANIFEST_DIR"));
+        };
+        dir = parent;
+    }
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let cfg = LintConfig::workspace(workspace_root());
+    let diags = run_lint(&cfg).expect("workspace readable");
+    assert!(
+        diags.is_empty(),
+        "the workspace has lint findings; run `cargo xtask lint`:\n{}",
+        telco_lint::report::render_text(&diags)
+    );
+}

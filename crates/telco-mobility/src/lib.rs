@@ -30,6 +30,8 @@
 //! assert!(t.total_distance_km() > 0.0);
 //! ```
 
+// telco-lint: deny-nondeterminism
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod assign;

@@ -20,6 +20,8 @@
 //! assert!(run.message_count() >= 10);
 //! ```
 
+// telco-lint: deny-nondeterminism
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod causes;

@@ -8,6 +8,8 @@
 //! appropriate abort messages appended — which is what gives each failure
 //! cause its characteristic signaling time (Fig. 14b).
 
+// telco-lint: deny-panic
+
 use serde::{Deserialize, Serialize};
 
 use crate::causes::{CauseCode, PrincipalCause};
@@ -82,13 +84,21 @@ struct Script {
 }
 
 impl Script {
+    /// Append a step. The longest script (vertical SRVCC) has 15 steps,
+    /// so capacity can only be exceeded by a bug in `script()`; the
+    /// debug assertion catches that in development while the release
+    /// build stays total (an overflowing push is dropped).
     fn push(&mut self, step: Step) {
-        self.steps[self.len] = step;
-        self.len += 1;
+        debug_assert!(self.len < MAX_SCRIPT_STEPS, "script overflow");
+        if let Some(slot) = self.steps.get_mut(self.len) {
+            *slot = step;
+            self.len += 1;
+        }
     }
 
     fn as_slice(&self) -> &[Step] {
-        &self.steps[..self.len]
+        // `len <= MAX_SCRIPT_STEPS` is maintained by `push`.
+        self.steps.get(..self.len).unwrap_or(&self.steps)
     }
 }
 
@@ -316,8 +326,11 @@ pub fn execute_into(
     duration_ms: f64,
     log: &mut Vec<Envelope>,
 ) -> bool {
-    assert!(duration_ms >= 0.0, "duration must be nonnegative");
-    assert!(!(srvcc && ho_type == HoType::Intra4g5g), "SRVCC only applies to vertical handovers");
+    debug_assert!(duration_ms >= 0.0, "duration must be nonnegative");
+    debug_assert!(
+        !(srvcc && ho_type == HoType::Intra4g5g),
+        "SRVCC only applies to vertical handovers"
+    );
     log.clear();
     let steps = script(ho_type, srvcc);
     match failure {
@@ -329,7 +342,9 @@ pub fn execute_into(
             let principal = code.as_principal();
             let (cut, aborts) = failure_cut(principal, steps.len, ho_type, srvcc);
             let cut = cut.min(steps.len);
-            lay_out(&steps.as_slice()[..cut], duration_ms, log);
+            let slice = steps.as_slice();
+            // `cut <= len` by the `min` above, so `get` always hits.
+            lay_out(slice.get(..cut).unwrap_or(slice), duration_ms, log);
             // Accumulated floating-point error can push the last laid-out
             // step an ulp past the total; aborts must never precede it.
             let abort_at = log.last().map_or(duration_ms, |e| e.at_ms.max(duration_ms));
@@ -379,6 +394,7 @@ impl PhaseTracker {
     /// Panics on a backwards transition (other than staying put), which
     /// would indicate a corrupted log.
     pub fn advance(&mut self, next: Phase) {
+        // telco-lint: allow(panic): documented panic contract of a validation API — not on the trace hot path
         assert!(next >= self.phase, "illegal transition {:?} -> {next:?}", self.phase);
         self.phase = next;
     }

@@ -8,6 +8,8 @@
 //! probe. Side products are the §3.3 mobility metrics and the RAT
 //! attach-time/traffic ledger.
 
+// telco-lint: deny-panic
+
 use rand::{RngExt, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -134,11 +136,13 @@ pub fn simulate_ue_day(
     let durations = cfg.durations;
 
     mobility.clear();
-    // `cur_face` tracks the geometric serving face (crossing detection);
-    // `cur_attached` is the sector the UE is actually camped on (which may
-    // be a different carrier of the same face after load balancing).
-    let mut cur_face: Option<SectorId> = None;
-    let mut cur_attached: Option<SectorId> = None;
+    // `camp` is the UE's camping state as one `(face, attached)` pair:
+    // `face` is the geometric serving face (crossing detection) and
+    // `attached` the sector actually camped on (which may be a different
+    // carrier of the same face after load balancing). Keeping them in a
+    // single Option makes "attached whenever a face is set" hold by
+    // construction instead of by `expect`.
+    let mut camp: Option<(SectorId, SectorId)> = None;
     let mut prev_t: u32 = 0;
     let mut prev_slot: usize = 0;
     let mut suppressed_until: u32 = 0;
@@ -174,22 +178,21 @@ pub fn simulate_ue_day(
         let site = world.topology.site(world.topology.sector(serving).site);
         let dt = (t - prev_t) as f64;
 
-        match cur_face {
+        match camp {
             None => {
                 // Initial (or post-fallback) attach: no handover recorded.
-                cur_face = Some(serving);
-                cur_attached = Some(serving);
+                camp = Some((serving, serving));
                 mobility.record(serving.0, site.position, dt.max(1.0));
             }
-            Some(face) if face == serving => {
+            Some((face, mut attached)) if face == serving => {
                 // Camping on the same face: the site may rebalance the UE
                 // onto another carrier / co-sited sector — an intra-site
                 // handover (this is what lifts connected smartphones to the
                 // paper's 22 visited sectors per day, Fig. 10a).
-                let attached = cur_attached.expect("attached whenever a face is set");
                 // The manufacturer's mobility-management implementation
                 // scales how often its devices are rebalanced (Fig. 11:
                 // Simcom modules hand over ~4× their district peers).
+                // telco-lint: allow(index): device_type.index() is 0..3 by the enum's definition
                 let p_cc = (cfg.session.carrier_change_per_slot[attrs.device_type.index()]
                     * world.schedule.intensity(dow, slot)
                     * attrs.manufacturer.ho_volume_factor())
@@ -232,23 +235,21 @@ pub fn simulate_ue_day(
                         hofs += u32::from(failed);
                         messages += msg_count as u32;
                         if !failed {
-                            cur_attached = Some(sib);
+                            attached = sib;
                         }
                     }
                 }
-                let att = cur_attached.expect("attached whenever a face is set");
-                let att_site = world.topology.site(world.topology.sector(att).site);
-                mobility.record(att.0, att_site.position, dt);
+                let att_site = world.topology.site(world.topology.sector(attached).site);
+                mobility.record(attached.0, att_site.position, dt);
+                camp = Some((face, attached));
             }
-            Some(_) => {
+            Some((_, old)) => {
                 // Sector crossing: the UE leaves its attached sector.
-                let old = cur_attached.expect("attached whenever a face is set");
                 let factor = attrs.manufacturer.ho_volume_factor();
                 let record_prob = (duty * factor).min(1.0);
                 if rng.random::<f64>() >= record_prob {
                     // Idle-mode reselection: sector changes, no HO record.
-                    cur_face = Some(serving);
-                    cur_attached = Some(serving);
+                    camp = Some((serving, serving));
                     mobility.record(serving.0, site.position, dt);
                     prev_t = t;
                     prev_slot = slot;
@@ -385,13 +386,11 @@ pub fn simulate_ue_day(
                     mobility.record(target_sector.0, tgt_site.position, dwell);
                     legacy_ms += dwell;
                     suppressed_until = t.saturating_add(dwell as u32).min(DAY_MS - 1);
-                    cur_face = None;
-                    cur_attached = None;
+                    camp = None;
                 } else {
-                    cur_face = Some(serving);
                     // A failed vertical attempt leaves the UE on 4G; either
                     // way the EPC anchor is the new geometric face.
-                    cur_attached = Some(serving);
+                    camp = Some((serving, serving));
                     mobility.record(serving.0, site.position, dt);
                 }
             }
@@ -531,7 +530,7 @@ fn sibling_sector(world: &World, attached: SectorId, rng: &mut ChaCha8Rng) -> Op
     if candidates.is_empty() {
         None
     } else {
-        Some(candidates[rng.random_range(0..candidates.len())])
+        candidates.get(rng.random_range(0..candidates.len())).copied()
     }
 }
 
@@ -593,13 +592,16 @@ pub fn sample_points(trajectory: &DayTrajectory, step_km: f64) -> Vec<(u32, KmPo
 /// [`sample_points`] into a reused buffer (cleared first), so walking many
 /// UE-days does not allocate once the buffer reaches its working size.
 pub fn sample_points_into(trajectory: &DayTrajectory, step_km: f64, out: &mut Vec<(u32, KmPoint)>) {
+    // telco-lint: allow(panic): API-misuse guard at the entry boundary; every caller passes a fixed positive config value
     assert!(step_km > 0.0, "step must be positive");
     let wps = trajectory.waypoints();
     out.clear();
+    let (Some(first), Some(last)) = (wps.first(), wps.last()) else {
+        return; // an empty trajectory samples to nothing
+    };
     out.reserve(wps.len() * 4);
-    out.push((wps[0].time_ms, wps[0].pos));
-    for pair in wps.windows(2) {
-        let (a, b) = (&pair[0], &pair[1]);
+    out.push((first.time_ms, first.pos));
+    for (a, b) in wps.iter().zip(wps.iter().skip(1)) {
         let dist = a.pos.distance_km(&b.pos);
         if dist < 1e-9 {
             // Dwell: sample each 30-minute slot boundary so time-dependent
@@ -621,7 +623,6 @@ pub fn sample_points_into(trajectory: &DayTrajectory, step_km: f64, out: &mut Ve
             out.push((t, p));
         }
     }
-    let last = wps.last().expect("nonempty");
     if last.time_ms < DAY_MS - 1 {
         let mut t = (last.time_ms / 1_800_000 + 1) * 1_800_000;
         while t < DAY_MS - 1 {

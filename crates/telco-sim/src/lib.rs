@@ -18,6 +18,8 @@
 //! assert_eq!(data.output.dataset.records(), again.output.dataset.records());
 //! ```
 
+// telco-lint: deny-nondeterminism
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
@@ -25,6 +27,7 @@ pub mod engine;
 pub mod load;
 pub mod output;
 pub mod runner;
+pub mod steal;
 pub mod world;
 
 pub use config::{CoverageConfig, SessionConfig, SimConfig};
@@ -35,4 +38,5 @@ pub use runner::{
     run_study, RunnerMode, RunnerStats, StudyData, DEFAULT_UE_CHUNK, MERGE_FAN_IN,
     SEQUENTIAL_UE_THRESHOLD,
 };
+pub use steal::{collect_runs, StealCursor};
 pub use world::{SectorLists, UeAttrs, World};

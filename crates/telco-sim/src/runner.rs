@@ -13,7 +13,6 @@
 //! reproduces the sequential path's append-then-stable-sort byte for byte.
 
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam::thread;
 
@@ -24,6 +23,7 @@ use telco_trace::store::{merge_run_files, TraceWriter};
 use crate::config::SimConfig;
 use crate::engine::{simulate_ue_day, SimScratch};
 use crate::output::SimOutput;
+use crate::steal::{collect_runs, StealCursor};
 use crate::world::World;
 
 /// Below this UE count the runner stays sequential: thread spawn and merge
@@ -130,7 +130,7 @@ pub fn run_on_world_chunked(world: &World, config: &SimConfig, chunk_ues: usize)
     // equal to the sequential loop's insertion order.
     let chunks_per_day = n_ues.div_ceil(chunk_ues);
     let n_items = chunks_per_day * n_days as usize;
-    let cursor = AtomicUsize::new(0);
+    let cursor = StealCursor::new(n_items);
 
     let per_worker: Vec<Vec<(usize, SimOutput)>> = thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
@@ -139,11 +139,7 @@ pub fn run_on_world_chunked(world: &World, config: &SimConfig, chunk_ues: usize)
                 s.spawn(move |_| {
                     let mut scratch = SimScratch::new();
                     let mut produced: Vec<(usize, SimOutput)> = Vec::new();
-                    loop {
-                        let item = cursor.fetch_add(1, Ordering::Relaxed);
-                        if item >= n_items {
-                            break;
-                        }
+                    while let Some(item) = cursor.claim() {
                         let day = (item / chunks_per_day) as u32;
                         let chunk = item % chunks_per_day;
                         let lo = chunk * chunk_ues;
@@ -176,8 +172,7 @@ pub fn run_on_world_chunked(world: &World, config: &SimConfig, chunk_ues: usize)
     // equal the sequential insertion order, so the tie-breaking k-way
     // merge reproduces the sequential stable sort exactly. Mobility rows
     // concatenate into (day, UE) order with no sort at all.
-    let mut runs: Vec<(usize, SimOutput)> = per_worker.into_iter().flatten().collect();
-    runs.sort_unstable_by_key(|&(item, _)| item);
+    let runs = collect_runs(per_worker);
 
     let mut merged = SimOutput::new(n_days);
     merged.mobility.reserve(ue_days);
@@ -244,7 +239,7 @@ pub fn run_on_world_spilled_chunked(
     let ue_days = n_ues * n_days as usize;
     let chunks_per_day = n_ues.div_ceil(chunk_ues).max(1);
     let n_items = chunks_per_day * n_days as usize;
-    let cursor = AtomicUsize::new(0);
+    let cursor = StealCursor::new(n_items);
 
     // Workers drain the same (day, chunk) grid as the in-memory path, but
     // each finished run goes straight to disk: the SimOutput they keep
@@ -256,11 +251,7 @@ pub fn run_on_world_spilled_chunked(
                 s.spawn(move |_| -> std::io::Result<Vec<(usize, SimOutput)>> {
                     let mut scratch = SimScratch::new();
                     let mut produced: Vec<(usize, SimOutput)> = Vec::new();
-                    loop {
-                        let item = cursor.fetch_add(1, Ordering::Relaxed);
-                        if item >= n_items {
-                            break;
-                        }
+                    while let Some(item) = cursor.claim() {
                         let day = (item / chunks_per_day) as u32;
                         let chunk = item % chunks_per_day;
                         let lo = chunk * chunk_ues;
@@ -292,11 +283,11 @@ pub fn run_on_world_spilled_chunked(
     })
     .expect("simulation scope panicked");
 
-    let mut runs: Vec<(usize, SimOutput)> = Vec::with_capacity(n_items);
+    let mut collected: Vec<Vec<(usize, SimOutput)>> = Vec::with_capacity(per_worker.len());
     for worker in per_worker {
-        runs.extend(worker?);
+        collected.push(worker?);
     }
-    runs.sort_unstable_by_key(|&(item, _)| item);
+    let runs = collect_runs(collected);
 
     let mut merged = SimOutput::new(n_days);
     merged.mobility.reserve(ue_days);

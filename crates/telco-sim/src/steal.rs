@@ -1,0 +1,74 @@
+// telco-lint: deny-panic
+//! The work-stealing claim/drain/merge protocol, isolated from the
+//! runner so it can be model-checked.
+//!
+//! The runner's concurrency reduces to three obligations:
+//!
+//! 1. **claim** — every work item in `0..n_items` is claimed by exactly
+//!    one worker ([`StealCursor::claim`] drains a shared atomic counter);
+//! 2. **drain** — a worker that sees the cursor exhausted stops, so no
+//!    worker spins once the grid is empty;
+//! 3. **merge** — the per-worker `(item, run)` vectors, concatenated and
+//!    sorted by item index ([`collect_runs`]), recover the canonical
+//!    day-major item order no matter which worker produced which item.
+//!
+//! Together these make the parallel runner's output a pure function of
+//! the item grid — byte-identical across thread counts — which is the
+//! determinism contract `telco-sim/tests/determinism.rs` checks end to
+//! end. This module is the only place the runner touches an atomic, and
+//! `tests/loom_steal.rs` verifies the three obligations under *every*
+//! interleaving of the cursor's operations (build with
+//! `RUSTFLAGS="--cfg loom"`).
+//!
+//! The cursor uses `Relaxed` ordering: claims are independent — workers
+//! publish their results through the thread-join that ends the scope,
+//! not through the counter — and read-modify-write operations on a
+//! single location are totally ordered at any ordering, so `Relaxed`
+//! already guarantees unique claims.
+
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicUsize, Ordering};
+#[cfg(not(loom))]
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A shared cursor over the flattened `(day, chunk)` work-item grid.
+/// Workers call [`StealCursor::claim`] until it returns `None`.
+#[derive(Debug)]
+pub struct StealCursor {
+    next: AtomicUsize,
+    n_items: usize,
+}
+
+impl StealCursor {
+    /// A cursor over items `0..n_items`.
+    pub fn new(n_items: usize) -> Self {
+        StealCursor { next: AtomicUsize::new(0), n_items }
+    }
+
+    /// Claim the next unclaimed item, or `None` once the grid is
+    /// drained. Each item in `0..n_items` is returned exactly once
+    /// across all workers: the `fetch_add` read-modify-write gives every
+    /// claimant a distinct index. (Claims past exhaustion keep
+    /// incrementing the counter; with one claim per worker thread after
+    /// exhaustion, wraparound would need ~2^64 workers.)
+    pub fn claim(&self) -> Option<usize> {
+        let item = self.next.fetch_add(1, Ordering::Relaxed);
+        (item < self.n_items).then_some(item)
+    }
+
+    /// Total items in the grid.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+}
+
+/// Recover the canonical item order from per-worker production: flatten
+/// the workers' `(item, run)` vectors and sort by item index. Claim
+/// uniqueness makes the item keys distinct, so the unstable sort is
+/// deterministic and the result is independent of which worker produced
+/// which item and of production order.
+pub fn collect_runs<R>(per_worker: Vec<Vec<(usize, R)>>) -> Vec<(usize, R)> {
+    let mut runs: Vec<(usize, R)> = per_worker.into_iter().flatten().collect();
+    runs.sort_unstable_by_key(|&(item, _)| item);
+    runs
+}

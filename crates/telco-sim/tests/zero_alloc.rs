@@ -13,6 +13,9 @@
 //! This file holds exactly one test so no concurrent test in the same
 //! binary can allocate during the measured window.
 
+// telco-lint: allow(unsafe): implementing GlobalAlloc for the counting
+// allocator requires unsafe; the impl only delegates to System.
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 

@@ -29,6 +29,8 @@
 //! assert!(to3g.estimate > 4.0 && to3g.p_value < 1e-6);
 //! ```
 
+// telco-lint: deny-nondeterminism
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod anova;

@@ -20,6 +20,8 @@
 //! assert!(topo.serving_sector(&point, Rat::G4).is_some());
 //! ```
 
+// telco-lint: deny-nondeterminism
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod deployment;

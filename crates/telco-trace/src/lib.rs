@@ -17,6 +17,8 @@
 //! assert_eq!(decode(bytes).unwrap().days, 28);
 //! ```
 
+// telco-lint: deny-nondeterminism
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod anonymize;

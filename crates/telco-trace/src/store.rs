@@ -207,6 +207,9 @@ pub fn write_file_v2(dataset: &SignalingDataset, path: &Path) -> std::io::Result
 }
 
 // ---- reader ----------------------------------------------------------------
+// telco-lint: deny-panic(begin)
+// The read path ingests external bytes: every malformed input must come
+// back as a CodecError/ChunkIssue, never abort the process.
 
 /// Streaming v2 reader with per-chunk corruption detection and
 /// skip-and-report recovery. Also reads v1 single-buffer streams (served
@@ -316,17 +319,18 @@ impl<R: Read> TraceReader<R> {
 
     fn read_bytes(&mut self, out: &mut [u8]) -> Result<usize, CodecError> {
         let mut n = 0;
-        while n < out.len() {
+        while let Some(slot) = out.get_mut(n) {
             match self.pending.pop_front() {
                 Some(b) => {
-                    out[n] = b;
+                    *slot = b;
                     n += 1;
                 }
                 None => break,
             }
         }
         while n < out.len() {
-            match self.src.read(&mut out[n..]) {
+            let Some(rest) = out.get_mut(n..) else { break };
+            match self.src.read(rest) {
                 Ok(0) => break,
                 Ok(k) => n += k,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
@@ -488,12 +492,24 @@ impl<R: Read> TraceReader<R> {
             Ok(_) => return self.fail(CodecError::Truncated),
             Err(e) => return self.fail(e),
         }
-        let stored_crc = u32::from_be_bytes([body[12], body[13], body[14], body[15]]);
+        // Field layout: records u64 | chunks u32 | crc u32. The chunk
+        // splits are total on the 16-byte body; the `else` arms are
+        // unreachable but keep the read path panic-free by construction.
+        let Some((records_bytes, rest)) = body.split_first_chunk::<8>() else {
+            return self.fail(CodecError::Truncated);
+        };
+        let Some((chunks_bytes, crc_rest)) = rest.split_first_chunk::<4>() else {
+            return self.fail(CodecError::Truncated);
+        };
+        let Some((crc_bytes, _)) = crc_rest.split_first_chunk::<4>() else {
+            return self.fail(CodecError::Truncated);
+        };
+        let stored_crc = u32::from_be_bytes(*crc_bytes);
         if trailer_crc(self.days, &body[..12]) != stored_crc {
             return self.fail(CodecError::TrailerMismatch);
         }
-        let total_records = u64::from_be_bytes(body[..8].try_into().unwrap());
-        let total_chunks = u32::from_be_bytes(body[8..12].try_into().unwrap());
+        let total_records = u64::from_be_bytes(*records_bytes);
+        let total_chunks = u32::from_be_bytes(*chunks_bytes);
         self.trailer_seen = true;
         // With a damaged stream the totals legitimately disagree (chunks
         // were skipped); only an otherwise-clean read treats a total
@@ -614,7 +630,9 @@ impl<R: Read> SortedMerge<R> {
         let mut heap = std::collections::BinaryHeap::with_capacity(streams.len());
         for (i, s) in streams.iter_mut().enumerate() {
             if s.refill()? {
-                heap.push(std::cmp::Reverse((s.buf[s.pos].timestamp_ms, i)));
+                if let Some(r) = s.buf.get(s.pos) {
+                    heap.push(std::cmp::Reverse((r.timestamp_ms, i)));
+                }
             }
         }
         Ok(SortedMerge { streams, heap })
@@ -627,11 +645,16 @@ impl<R: Read> SortedMerge<R> {
             Some(top) => top,
             None => return Ok(None),
         };
-        let s = &mut self.streams[i];
-        let record = s.buf[s.pos];
+        // Heap entries are only pushed for streams with a buffered
+        // record, so both lookups always hit; a miss would mean a heap
+        // desync, which degrades to end-of-merge instead of a panic.
+        let Some(s) = self.streams.get_mut(i) else { return Ok(None) };
+        let Some(&record) = s.buf.get(s.pos) else { return Ok(None) };
         s.pos += 1;
         if s.refill()? {
-            self.heap.push(std::cmp::Reverse((s.buf[s.pos].timestamp_ms, i)));
+            if let Some(r) = s.buf.get(s.pos) {
+                self.heap.push(std::cmp::Reverse((r.timestamp_ms, i)));
+            }
         }
         Ok(Some(record))
     }
@@ -686,6 +709,7 @@ pub fn merge_run_files(
     tmp_dir: &Path,
     fan_in: usize,
 ) -> std::io::Result<SignalingDataset> {
+    // telco-lint: allow(panic): API-misuse guard; every call site passes the MERGE_FAN_IN constant
     assert!(fan_in >= 2, "fan-in must be at least 2");
     let invalid = |e: CodecError| std::io::Error::new(std::io::ErrorKind::InvalidData, e);
     let mut level = 0usize;
@@ -720,6 +744,8 @@ pub fn merge_run_files(
     }
     Ok(merged)
 }
+
+// telco-lint: deny-panic(end)
 
 #[cfg(test)]
 mod tests {

@@ -35,6 +35,7 @@
 //! Scale up with [`sim::SimConfig::default_study`] (the 28-day configuration
 //! behind `EXPERIMENTS.md`) or tune every model through [`sim::SimConfig`].
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use telco_analytics as analytics;

@@ -1,0 +1,35 @@
+//! Offline stand-in for the `loom` permutation tester.
+//!
+//! Mirrors the subset of loom's API the workspace uses — [`model`],
+//! `loom::thread::{spawn, JoinHandle}`, and `loom::sync::atomic` — and,
+//! like the real thing, runs the model closure repeatedly, exploring a
+//! different thread interleaving on every iteration until the space is
+//! exhausted.
+//!
+//! # How exploration works
+//!
+//! Model threads run as real OS threads, but only one ever executes at a
+//! time: a token is handed from thread to thread at *scheduling points*
+//! (every atomic operation, every spawn/join, and thread exit). At each
+//! point the runnable thread to execute next is a recorded decision; the
+//! driver replays a decision prefix, extends it greedily, and then
+//! backtracks depth-first over the last decision with an unexplored
+//! alternative. Because every shared-memory access in the modelled code
+//! goes through a scheduling point, enumerating all decision sequences
+//! enumerates all interleavings of those accesses.
+//!
+//! # Fidelity limits (vs. real loom)
+//!
+//! All atomics execute with sequential consistency regardless of the
+//! `Ordering` argument: the stand-in explores *interleavings*, not weak
+//! memory-order reorderings. For single-location read-modify-write
+//! protocols (such as a `fetch_add` work cursor, whose per-location
+//! modification order is total under any ordering) this is sound; code
+//! relying on cross-location Acquire/Release subtleties would need the
+//! real tool. There is also no object-graph leak checking.
+
+pub mod model;
+pub mod sync;
+pub mod thread;
+
+pub use model::model;

@@ -1,0 +1,291 @@
+//! The exploration driver and the cooperative scheduler it replays.
+//!
+//! One *execution* runs the model closure with every model thread mapped
+//! onto a real OS thread, but gated so exactly one holds the run token at
+//! a time. The token moves at scheduling points; which runnable thread
+//! receives it is a recorded [`Decision`]. The driver replays a decision
+//! prefix, extends it with first-runnable choices, then backtracks
+//! depth-first over the deepest decision that still has an unexplored
+//! alternative — classic stateless model checking, exhaustive because
+//! every shared-memory access in modelled code sits behind a scheduling
+//! point.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Hard cap on executions per [`model`] call. Exceeding it means the
+/// model's state space outgrew what "exhaustive" can honestly promise in
+/// a test suite, and the run fails loudly rather than silently sampling.
+pub const MAX_EXECUTIONS: u64 = 1_000_000;
+
+/// Panic payload used to unwind sibling threads after a model failure; the
+/// driver filters it out so only the original panic is reported.
+const ABORT: &str = "loom-model-abort";
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThreadState {
+    /// Eligible to receive the token.
+    Runnable,
+    /// Waiting for thread `on` to finish (a `join`).
+    Blocked { on: usize },
+    /// Exited; never scheduled again.
+    Finished,
+}
+
+/// One scheduling decision: which of the runnable threads ran next.
+#[derive(Debug, Clone, Copy)]
+struct Decision {
+    /// Index into the (tid-sorted) runnable list at that point.
+    chosen: usize,
+    /// How many threads were runnable — the branching factor.
+    alternatives: usize,
+}
+
+struct SchedState {
+    threads: Vec<ThreadState>,
+    /// The token holder.
+    current: usize,
+    /// Decisions consumed so far this execution.
+    step: usize,
+    /// Decision indices to replay before extending greedily.
+    prefix: Vec<usize>,
+    /// The decisions actually taken this execution.
+    trace: Vec<Decision>,
+    /// First real panic raised by a model thread, if any.
+    failed: Option<String>,
+    /// Threads registered but not yet finished.
+    live: usize,
+}
+
+pub(crate) struct Shared {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+impl Shared {
+    fn new(prefix: Vec<usize>) -> Arc<Self> {
+        Arc::new(Shared {
+            state: Mutex::new(SchedState {
+                threads: Vec::new(),
+                current: 0,
+                step: 0,
+                prefix,
+                trace: Vec::new(),
+                failed: None,
+                live: 0,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+}
+
+/// Per-OS-thread model identity, set while a model thread runs.
+struct Ctx {
+    shared: Arc<Shared>,
+    tid: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+fn with_ctx<T>(f: impl FnOnce(&Ctx) -> T) -> Option<T> {
+    CTX.with(|c| c.borrow().as_ref().map(f))
+}
+
+/// Pick the next token holder. Must hold the state lock. `exclude_self`
+/// is the tid of a thread that just blocked or finished (not runnable),
+/// or `usize::MAX` for an ordinary yield.
+fn schedule_next(shared: &Shared, state: &mut SchedState) {
+    if state.live == 0 {
+        shared.cv.notify_all();
+        return;
+    }
+    let runnable: Vec<usize> = state
+        .threads
+        .iter()
+        .enumerate()
+        .filter(|&(_, s)| *s == ThreadState::Runnable)
+        .map(|(tid, _)| tid)
+        .collect();
+    if runnable.is_empty() {
+        // Live threads but none runnable: every remaining thread waits on
+        // a join that can never complete.
+        state.failed.get_or_insert_with(|| "deadlock: no runnable model thread".to_string());
+        shared.cv.notify_all();
+        return;
+    }
+    let choice = if state.step < state.prefix.len() { state.prefix[state.step] } else { 0 };
+    let choice = choice.min(runnable.len() - 1);
+    state.trace.push(Decision { chosen: choice, alternatives: runnable.len() });
+    state.step += 1;
+    state.current = runnable[choice];
+    shared.cv.notify_all();
+}
+
+/// Block the calling model thread until it holds the token again (or the
+/// execution failed, in which case unwind).
+fn wait_for_token(shared: &Shared, tid: usize) {
+    let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+    while state.failed.is_none() && state.current != tid {
+        state = shared.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+    }
+    if state.failed.is_some() {
+        drop(state);
+        std::panic::panic_any(ABORT);
+    }
+}
+
+/// A scheduling point: offer the token to any runnable thread (including
+/// the caller) and wait to receive it back. No-op outside a model run.
+pub(crate) fn sched_point() {
+    let Some((shared, tid)) = with_ctx(|c| (c.shared.clone(), c.tid)) else {
+        return;
+    };
+    {
+        let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.failed.is_some() {
+            drop(state);
+            std::panic::panic_any(ABORT);
+        }
+        schedule_next(&shared, &mut state);
+    }
+    wait_for_token(&shared, tid);
+}
+
+/// Register a new model thread and start its OS thread. Called by
+/// `loom::thread::spawn` with the closure already wrapped to store its
+/// result. Returns the child's tid, or gives the closure back when
+/// called outside a model run (the caller falls back to a real spawn).
+pub(crate) fn register_thread(
+    body: Box<dyn FnOnce() + Send + 'static>,
+) -> Result<usize, Box<dyn FnOnce() + Send + 'static>> {
+    let Some(shared) = with_ctx(|c| c.shared.clone()) else {
+        return Err(body);
+    };
+    let tid = {
+        let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.threads.push(ThreadState::Runnable);
+        state.live += 1;
+        state.threads.len() - 1
+    };
+    let thread_shared = shared.clone();
+    std::thread::spawn(move || run_model_thread(thread_shared, tid, body));
+    Ok(tid)
+}
+
+/// Body wrapper every model thread runs: install the context, wait for
+/// the first token grant, run, then execute the exit protocol.
+fn run_model_thread(shared: Arc<Shared>, tid: usize, body: impl FnOnce()) {
+    CTX.with(|c| *c.borrow_mut() = Some(Ctx { shared: shared.clone(), tid }));
+    wait_for_token(&shared, tid);
+    let result = catch_unwind(AssertUnwindSafe(body));
+    CTX.with(|c| *c.borrow_mut() = None);
+    let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+    if let Err(payload) = result {
+        let msg = panic_message(&payload);
+        if msg != ABORT {
+            state.failed.get_or_insert(msg);
+        }
+    }
+    state.threads[tid] = ThreadState::Finished;
+    state.live -= 1;
+    // Joiners of this thread become runnable again.
+    for s in state.threads.iter_mut() {
+        if *s == (ThreadState::Blocked { on: tid }) {
+            *s = ThreadState::Runnable;
+        }
+    }
+    schedule_next(&shared, &mut state);
+}
+
+/// Block the caller until thread `target` finishes (a model `join`).
+pub(crate) fn join_thread(target: usize) {
+    let Some((shared, tid)) = with_ctx(|c| (c.shared.clone(), c.tid)) else {
+        return;
+    };
+    {
+        let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.failed.is_some() {
+            drop(state);
+            std::panic::panic_any(ABORT);
+        }
+        if state.threads[target] != ThreadState::Finished {
+            state.threads[tid] = ThreadState::Blocked { on: target };
+            schedule_next(&shared, &mut state);
+        }
+        // Already finished: joining is a no-op, keep the token.
+    }
+    wait_for_token(&shared, tid);
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked (non-string payload)".to_string()
+    }
+}
+
+/// Run `f` under every possible interleaving of its model threads'
+/// scheduling points, panicking (with the offending schedule) if any
+/// execution panics or deadlocks.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut executions: u64 = 0;
+    loop {
+        executions += 1;
+        assert!(
+            executions <= MAX_EXECUTIONS,
+            "loom model exceeded {MAX_EXECUTIONS} executions; shrink the model"
+        );
+        let shared = Shared::new(prefix.clone());
+        {
+            let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.threads.push(ThreadState::Runnable); // tid 0: the root
+            state.live = 1;
+            state.current = 0;
+        }
+        let root = f.clone();
+        let root_shared = shared.clone();
+        let handle = std::thread::spawn(move || run_model_thread(root_shared, 0, move || root()));
+        // The root's exit protocol schedules children onward; everything
+        // is done when no live threads remain.
+        {
+            let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            while state.live > 0 && state.failed.is_none() {
+                state = shared.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        let _ = handle.join();
+        // Give straggler threads (unwinding on the failed flag) a moment:
+        // they hold no state we read below except under the lock.
+        let (trace, failed) = {
+            let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            while state.live > 0 {
+                state = shared.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+            }
+            (state.trace.clone(), state.failed.take())
+        };
+        if let Some(msg) = failed {
+            let schedule: Vec<usize> = trace.iter().map(|d| d.chosen).collect();
+            panic!(
+                "loom model failed after {executions} execution(s): {msg}\n  schedule: {schedule:?}"
+            );
+        }
+        // Depth-first backtrack: bump the deepest decision with an
+        // unexplored alternative, drop everything after it.
+        let Some(deepest) = trace.iter().rposition(|d| d.chosen + 1 < d.alternatives) else {
+            return; // space exhausted
+        };
+        prefix = trace.iter().take(deepest).map(|d| d.chosen).collect();
+        prefix.push(trace[deepest].chosen + 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Model-aware synchronization primitives.
+//!
+//! Each atomic operation passes through a scheduling point before
+//! touching memory, so the explorer can interleave it against every
+//! other model thread's accesses. Operations execute with sequential
+//! consistency regardless of the requested `Ordering` (see the crate
+//! docs for why that is sound for the protocols verified here).
+
+pub use std::sync::Arc;
+
+/// Atomic types whose every operation is a scheduling point.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use crate::model::sched_point;
+
+    macro_rules! model_atomic {
+        ($name:ident, $inner:ty, $value:ty) => {
+            /// Model-checked atomic: each op is a scheduling point.
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: $inner,
+            }
+
+            impl $name {
+                /// A new atomic holding `v`.
+                pub const fn new(v: $value) -> Self {
+                    Self { inner: <$inner>::new(v) }
+                }
+
+                /// Atomic load (scheduling point).
+                pub fn load(&self, _order: Ordering) -> $value {
+                    sched_point();
+                    self.inner.load(Ordering::SeqCst)
+                }
+
+                /// Atomic store (scheduling point).
+                pub fn store(&self, v: $value, _order: Ordering) {
+                    sched_point();
+                    self.inner.store(v, Ordering::SeqCst)
+                }
+
+                /// Atomic swap (scheduling point).
+                pub fn swap(&self, v: $value, _order: Ordering) -> $value {
+                    sched_point();
+                    self.inner.swap(v, Ordering::SeqCst)
+                }
+
+                /// Atomic compare-exchange (scheduling point).
+                pub fn compare_exchange(
+                    &self,
+                    current: $value,
+                    new: $value,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$value, $value> {
+                    sched_point();
+                    self.inner.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                }
+
+                /// Weak compare-exchange; the stand-in never fails
+                /// spuriously (a subset of permitted behaviours).
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $value,
+                    new: $value,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$value, $value> {
+                    self.compare_exchange(current, new, success, failure)
+                }
+
+                /// Consume the atomic, returning the value (no scheduling
+                /// point: exclusive access).
+                pub fn into_inner(self) -> $value {
+                    self.inner.into_inner()
+                }
+            }
+        };
+    }
+
+    macro_rules! model_atomic_arith {
+        ($name:ident, $value:ty) => {
+            impl $name {
+                /// Atomic add, returning the prior value (scheduling
+                /// point).
+                pub fn fetch_add(&self, v: $value, _order: Ordering) -> $value {
+                    sched_point();
+                    self.inner.fetch_add(v, Ordering::SeqCst)
+                }
+
+                /// Atomic subtract, returning the prior value
+                /// (scheduling point).
+                pub fn fetch_sub(&self, v: $value, _order: Ordering) -> $value {
+                    sched_point();
+                    self.inner.fetch_sub(v, Ordering::SeqCst)
+                }
+
+                /// Atomic max, returning the prior value (scheduling
+                /// point).
+                pub fn fetch_max(&self, v: $value, _order: Ordering) -> $value {
+                    sched_point();
+                    self.inner.fetch_max(v, Ordering::SeqCst)
+                }
+            }
+        };
+    }
+
+    model_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    model_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    model_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+    model_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+    model_atomic_arith!(AtomicUsize, usize);
+    model_atomic_arith!(AtomicU64, u64);
+    model_atomic_arith!(AtomicU32, u32);
+
+    impl AtomicBool {
+        /// Atomic OR, returning the prior value (scheduling point).
+        pub fn fetch_or(&self, v: bool, _order: Ordering) -> bool {
+            sched_point();
+            self.inner.fetch_or(v, Ordering::SeqCst)
+        }
+
+        /// Atomic AND, returning the prior value (scheduling point).
+        pub fn fetch_and(&self, v: bool, _order: Ordering) -> bool {
+            sched_point();
+            self.inner.fetch_and(v, Ordering::SeqCst)
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Model-aware `thread::spawn` / `JoinHandle`.
+
+use std::sync::{Arc, Mutex};
+
+use crate::model::{join_thread, register_thread, sched_point};
+
+/// Handle to a spawned model thread.
+pub struct JoinHandle<T> {
+    tid: Option<usize>,
+    result: Arc<Mutex<Option<T>>>,
+    /// Fallback when spawned outside a model run.
+    os: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Spawn a model thread. Inside [`crate::model`] the thread is scheduled
+/// cooperatively with every other model thread; outside a model run this
+/// degrades to a plain `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let result: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+    let slot = result.clone();
+    let body = move || {
+        let value = f();
+        *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(value);
+    };
+    match register_thread(Box::new(body)) {
+        Ok(tid) => JoinHandle { tid: Some(tid), result, os: None },
+        Err(body) => {
+            // Not inside `model()`: degrade to a real thread.
+            let os = std::thread::spawn(body);
+            JoinHandle { tid: None, result, os: Some(os) }
+        }
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and return its value.
+    pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+        if let Some(tid) = self.tid {
+            join_thread(tid);
+        } else if let Some(os) = self.os {
+            os.join()?;
+        }
+        match self.result.lock().unwrap_or_else(|e| e.into_inner()).take() {
+            Some(v) => Ok(v),
+            None => Err(Box::new("model thread produced no value (panicked)".to_string())),
+        }
+    }
+}
+
+/// A bare scheduling point, mirroring `std::thread::yield_now`.
+pub fn yield_now() {
+    sched_point();
+}

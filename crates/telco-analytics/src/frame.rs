@@ -3,7 +3,9 @@
 //! Most analyses join the handover trace against the topology, the device
 //! catalog and the census. [`Enriched`] provides those joins per record;
 //! [`SectorDayFrame`] is the §6.3 reshape — one observation per
-//! `(source sector, day, HO type)` with the covariates of Table 3.
+//! `(source sector, day, HO type)` with the covariates of Table 3. The
+//! frame is built by [`FramePass`] inside the shared analysis sweep, so a
+//! full study never re-scans the trace for it.
 
 use serde::{Deserialize, Serialize};
 
@@ -18,52 +20,61 @@ use telco_trace::io::CodecError;
 use telco_trace::record::HoRecord;
 use telco_trace::store::{ChunkIssue, TraceReader};
 
-/// Per-record join helpers over a completed study.
+use crate::sweep::{AnalysisPass, SweepCtx};
+
+/// Per-record join helpers over the simulated world. Only the world is
+/// needed — enrichment never touches the trace itself, which is what lets
+/// every pass share one traversal.
 #[derive(Clone, Copy)]
 pub struct Enriched<'a> {
-    study: &'a StudyData,
+    world: &'a World,
 }
 
 impl<'a> Enriched<'a> {
-    /// Wrap a study.
-    pub fn new(study: &'a StudyData) -> Self {
-        Enriched { study }
+    /// Wrap a world.
+    pub fn new(world: &'a World) -> Self {
+        Enriched { world }
     }
 
-    /// The underlying study.
-    pub fn study(&self) -> &'a StudyData {
-        self.study
+    /// The underlying world.
+    pub fn world(&self) -> &'a World {
+        self.world
     }
 
     /// Urban/rural classification of the record's source sector.
     pub fn area(&self, r: &HoRecord) -> AreaType {
-        let pc = self.study.world.topology.sector_postcode(r.source_sector);
-        self.study.world.country.postcode(pc).area_type
+        let pc = self.world.topology.sector_postcode(r.source_sector);
+        self.world.country.postcode(pc).area_type
     }
 
     /// District of the record's source sector.
     pub fn district(&self, r: &HoRecord) -> DistrictId {
-        self.study.world.topology.sector_district(r.source_sector)
+        self.world.topology.sector_district(r.source_sector)
     }
 
     /// Region of the record's source sector.
     pub fn region(&self, r: &HoRecord) -> Region {
-        self.study.world.country.district(self.district(r)).region
+        self.world.country.district(self.district(r)).region
     }
 
     /// Antenna vendor of the record's source sector.
     pub fn vendor(&self, r: &HoRecord) -> Vendor {
-        self.study.world.topology.sector(r.source_sector).vendor
+        self.world.topology.sector(r.source_sector).vendor
     }
 
     /// Device type of the record's UE.
     pub fn device_type(&self, r: &HoRecord) -> DeviceType {
-        self.study.world.ue(r.ue).device_type
+        self.world.ue(r.ue).device_type
     }
 
     /// Manufacturer of the record's UE.
     pub fn manufacturer(&self, r: &HoRecord) -> Manufacturer {
-        self.study.world.ue(r.ue).manufacturer
+        self.world.ue(r.ue).manufacturer
+    }
+
+    /// Home district of the record's UE (where its home postcode lies).
+    pub fn home_district(&self, r: &HoRecord) -> DistrictId {
+        self.world.country.postcode(self.world.ue(r.ue).home_postcode).district
     }
 }
 
@@ -112,7 +123,11 @@ pub struct SectorDayFrame {
 }
 
 impl SectorDayFrame {
-    /// Build the daily frame from a study (single pass over the trace).
+    /// Build the daily frame from a study in one trace traversal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a spilled trace fails with an I/O error mid-stream.
     pub fn build(study: &StudyData) -> Self {
         Self::build_windowed(study, 1)
     }
@@ -122,19 +137,26 @@ impl SectorDayFrame {
     /// simulation scale the statistically equivalent observation pools
     /// several days, so the per-cell HOF rate is not quantized to zero.
     /// `daily_hos` is reported per day (window total / window length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a spilled trace fails with an I/O error mid-stream.
     pub fn build_windowed(study: &StudyData, window_days: u32) -> Self {
-        Self::from_records(
-            &study.world,
-            study.output.dataset.records().iter().copied(),
-            window_days,
-        )
+        let mut builder = FrameBuilder::new(window_days);
+        study
+            .trace
+            .for_each_chunk(|chunk| {
+                for r in chunk {
+                    builder.add(r);
+                }
+            })
+            .expect("trace stream failed while building the frame");
+        builder.finish(&study.world)
     }
 
     /// Build the frame from any record stream — one pass, memory bounded
     /// by the number of distinct `(sector, window, type)` cells, never the
-    /// record count. The in-memory [`SectorDayFrame::build_windowed`]
-    /// delegates here; out-of-core callers feed it straight from a
-    /// [`TraceReader`] via [`SectorDayFrame::from_reader`].
+    /// record count.
     pub fn from_records(
         world: &World,
         records: impl IntoIterator<Item = HoRecord>,
@@ -158,10 +180,11 @@ impl SectorDayFrame {
         window_days: u32,
     ) -> Result<Self, ChunkIssue> {
         let mut builder = FrameBuilder::new(window_days);
-        while let Some(chunk) = reader.next_chunk() {
-            match chunk {
-                Ok(records) => {
-                    for r in &records {
+        let mut chunk: Vec<HoRecord> = Vec::new();
+        while let Some(result) = reader.next_chunk_into(&mut chunk) {
+            match result {
+                Ok(()) => {
+                    for r in &chunk {
                         builder.add(r);
                     }
                 }
@@ -214,7 +237,7 @@ impl SectorDayFrame {
 
 /// Streaming aggregation state of the §6.3 reshape: two hash maps keyed
 /// by sector/window, independent of how many records flow through.
-struct FrameBuilder {
+pub(crate) struct FrameBuilder {
     window_days: u32,
     /// (sector, window, type) → (hos, hofs).
     cells: std::collections::HashMap<(u32, u32, usize), (u32, u32)>,
@@ -223,7 +246,7 @@ struct FrameBuilder {
 }
 
 impl FrameBuilder {
-    fn new(window_days: u32) -> Self {
+    pub(crate) fn new(window_days: u32) -> Self {
         FrameBuilder {
             window_days: window_days.max(1),
             cells: std::collections::HashMap::new(),
@@ -231,7 +254,7 @@ impl FrameBuilder {
         }
     }
 
-    fn add(&mut self, r: &HoRecord) {
+    pub(crate) fn add(&mut self, r: &HoRecord) {
         let window = r.day() / self.window_days;
         let e =
             self.cells.entry((r.source_sector.0, window, r.ho_type().index())).or_insert((0, 0));
@@ -240,7 +263,25 @@ impl FrameBuilder {
         *self.totals.entry((r.source_sector.0, window)).or_insert(0) += 1;
     }
 
-    fn finish(self, world: &World) -> SectorDayFrame {
+    // telco-lint: deny-nondeterminism(begin)
+    /// Fold another builder's cells into this one. Both maps are purely
+    /// additive counters, so the fold is order-independent and a
+    /// day-partitioned parallel sweep merges to the sequential result.
+    pub(crate) fn merge(&mut self, other: FrameBuilder) {
+        for (k, v) in other.cells {
+            // telco-lint: allow(nondet): additive counter fold; visit order cannot affect sums
+            let e = self.cells.entry(k).or_insert((0, 0));
+            e.0 += v.0;
+            e.1 += v.1;
+        }
+        for (k, v) in other.totals {
+            // telco-lint: allow(nondet): additive counter fold; visit order cannot affect sums
+            *self.totals.entry(k).or_insert(0) += v;
+        }
+    }
+    // telco-lint: deny-nondeterminism(end)
+
+    pub(crate) fn finish(self, world: &World) -> SectorDayFrame {
         let FrameBuilder { window_days, cells, totals } = self;
         let mut observations: Vec<SectorDayObs> = cells
             .into_iter()
@@ -268,9 +309,58 @@ impl FrameBuilder {
     }
 }
 
+/// The [`SectorDayFrame`] as a sweep pass: `Daily` windows for the
+/// Appendix-B vendor boxplots, `FullPeriod` for the §6.3 models.
+pub struct FramePass {
+    window: FrameWindow,
+    builder: FrameBuilder,
+}
+
+/// Window mode of a [`FramePass`], resolved against the study config at
+/// `begin` time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameWindow {
+    /// One observation per `(sector, day, type)`.
+    Daily,
+    /// One observation per `(sector, study period, type)`.
+    FullPeriod,
+}
+
+impl FramePass {
+    /// A pass with the given window mode.
+    pub fn new(window: FrameWindow) -> Self {
+        FramePass { window, builder: FrameBuilder::new(1) }
+    }
+}
+
+impl AnalysisPass for FramePass {
+    type Output = SectorDayFrame;
+
+    fn begin(&mut self, ctx: &SweepCtx) {
+        let days = match self.window {
+            FrameWindow::Daily => 1,
+            FrameWindow::FullPeriod => ctx.config.n_days.max(1),
+        };
+        self.builder = FrameBuilder::new(days);
+    }
+
+    fn record(&mut self, r: &HoRecord, _e: &Enriched) {
+        self.builder.add(r);
+    }
+
+    fn merge(&mut self, other: Self, _ctx: &SweepCtx) {
+        self.builder.merge(other.builder);
+    }
+
+    fn end(self, ctx: &SweepCtx) -> SectorDayFrame {
+        self.builder.finish(ctx.world)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sweep::Sweep;
     use telco_sim::{run_study, SimConfig};
 
     fn study() -> StudyData {
@@ -281,10 +371,11 @@ mod tests {
     fn frame_covers_every_record() {
         let s = study();
         let frame = SectorDayFrame::build(&s);
+        let d = s.trace.as_dataset().unwrap();
         let total_hos: u32 = frame.observations().iter().map(|o| o.hos).sum();
-        assert_eq!(total_hos as usize, s.output.dataset.len());
+        assert_eq!(total_hos as usize, d.len());
         let total_hofs: u32 = frame.observations().iter().map(|o| o.hofs).sum();
-        assert_eq!(total_hofs as usize, s.output.dataset.failures().count());
+        assert_eq!(total_hofs as usize, d.failures().count());
     }
 
     #[test]
@@ -300,8 +391,8 @@ mod tests {
     #[test]
     fn enrichment_matches_world() {
         let s = study();
-        let e = Enriched::new(&s);
-        for r in s.output.dataset.records().iter().take(50) {
+        let e = Enriched::new(&s.world);
+        for r in s.trace.as_dataset().unwrap().records().iter().take(50) {
             let pc = s.world.topology.sector_postcode(r.source_sector);
             assert_eq!(e.area(r), s.world.country.postcode(pc).area_type);
             assert_eq!(e.device_type(r), s.world.ue(r.ue).device_type);
@@ -323,8 +414,9 @@ mod tests {
         let s = study();
         let in_mem = SectorDayFrame::build(&s);
         // Round the trace through the v2 store and aggregate the stream.
+        let dataset = s.trace.as_dataset().unwrap();
         let mut w = telco_trace::store::TraceWriter::new(Vec::new(), s.config.n_days).unwrap();
-        w.write_dataset(&s.output.dataset).unwrap();
+        w.write_dataset(dataset).unwrap();
         let bytes = w.finish().unwrap();
         let mut reader = TraceReader::new(&bytes[..]).unwrap();
         let streamed = SectorDayFrame::from_reader(&s.world, &mut reader, 1).unwrap();
@@ -335,8 +427,9 @@ mod tests {
     #[test]
     fn from_reader_skips_damaged_chunks() {
         let s = study();
+        let dataset = s.trace.as_dataset().unwrap();
         let mut w = telco_trace::store::TraceWriter::new(Vec::new(), s.config.n_days).unwrap();
-        w.write_dataset(&s.output.dataset).unwrap();
+        w.write_dataset(dataset).unwrap();
         let mut bytes = w.finish().unwrap();
         // Corrupt one payload byte inside the first chunk.
         bytes[10 + 16 + 40] ^= 0x40;
@@ -359,5 +452,18 @@ mod tests {
             .observations()
             .windows(2)
             .all(|w| (w[0].sector.0, w[0].day) <= (w[1].sector.0, w[1].day)));
+    }
+
+    #[test]
+    fn frame_pass_matches_direct_build() {
+        let s = study();
+        let direct = SectorDayFrame::build(&s);
+        let swept = Sweep::new(&s).run(|| FramePass::new(FrameWindow::Daily)).unwrap();
+        assert_eq!(swept.observations(), direct.observations());
+        let period = Sweep::new(&s).run(|| FramePass::new(FrameWindow::FullPeriod)).unwrap();
+        assert_eq!(period.observations().len(), {
+            let windowed = SectorDayFrame::build_windowed(&s, s.config.n_days);
+            windowed.observations().len()
+        });
     }
 }

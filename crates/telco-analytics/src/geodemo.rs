@@ -1,15 +1,17 @@
 //! §4.3 — Geodemographic segmentation: population inference from
 //! night-time connectivity (Fig. 5) and the HO-density vs
-//! population-density relationship (Fig. 6).
+//! population-density relationship (Fig. 6), as streaming passes.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use serde::{Deserialize, Serialize};
 
 use telco_geo::district::DistrictId;
-use telco_sim::StudyData;
 use telco_stats::corr::{pearson, r_squared};
+use telco_trace::record::HoRecord;
 
+use crate::frame::Enriched;
+use crate::sweep::{AnalysisPass, SweepCtx};
 use crate::tables::{num, TextTable};
 
 /// Fig. 5 — census population vs population inferred from the MNO data.
@@ -26,51 +28,118 @@ pub struct PopulationInference {
 /// Night window for home inference (§4.3: 00:00–08:00).
 const NIGHT_END_HOUR: u32 = 8;
 
+/// Days of distinct presence a UE needs before its home is inferred
+/// (paper: 14 of 28; scaled down to half the study for short runs).
+pub const DEFAULT_MIN_DAYS: u32 = 14;
+
 impl PopulationInference {
-    /// Infer each UE's home district from its main night-time cell site,
-    /// requiring presence on `min_days` distinct days (paper: 14 of 28),
-    /// then compare district aggregates against the census.
-    pub fn compute(study: &StudyData, min_days: u32) -> Self {
-        // (ue → district → night dwell count), plus distinct days seen.
-        let mut per_ue: HashMap<u32, HashMap<u16, u32>> = HashMap::new();
-        let mut ue_days: HashMap<u32, std::collections::HashSet<u32>> = HashMap::new();
-        for r in study.output.dataset.records() {
-            if r.hour() < NIGHT_END_HOUR {
-                let district = study.world.topology.sector_district(r.source_sector);
-                *per_ue.entry(r.ue.0).or_default().entry(district.0).or_insert(0) += 1;
-                ue_days.entry(r.ue.0).or_default().insert(r.day());
-            }
+    /// Render summary.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Fig 5: Census vs inferred population (district level)",
+            &["Metric", "Value"],
+        );
+        t.row_strs(&["R² (census ~ inferred)", &num(self.r_squared, 3)]);
+        t.row_strs(&["UEs with inferred home", &self.inferred_ues.to_string()]);
+        t.row_strs(&["Districts", &self.per_district.len().to_string()]);
+        t
+    }
+}
+
+/// Streaming accumulator for [`PopulationInference`]: infers each UE's home
+/// district from its main night-time cell site, requiring presence on
+/// `min_days` distinct days (paper: 14 of 28), then compares district
+/// aggregates against the census in [`AnalysisPass::end`].
+#[derive(Debug)]
+pub struct PopulationPass {
+    min_days: u32,
+    /// ue → district → night dwell count.
+    per_ue: HashMap<u32, HashMap<u16, u32>>,
+    /// Distinct days each UE was seen on.
+    ue_days: HashMap<u32, HashSet<u32>>,
+    /// (ue, day) → district of the first recorded source sector that day.
+    first_of_day: HashMap<(u32, u32), u16>,
+}
+
+impl PopulationPass {
+    /// A pass with the given presence threshold (see [`DEFAULT_MIN_DAYS`]).
+    pub fn new(min_days: u32) -> Self {
+        PopulationPass {
+            min_days,
+            per_ue: HashMap::new(),
+            ue_days: HashMap::new(),
+            first_of_day: HashMap::new(),
+        }
+    }
+}
+
+impl Default for PopulationPass {
+    fn default() -> Self {
+        PopulationPass::new(DEFAULT_MIN_DAYS)
+    }
+}
+
+impl AnalysisPass for PopulationPass {
+    type Output = PopulationInference;
+
+    fn record(&mut self, r: &HoRecord, e: &Enriched) {
+        let district = e.world().topology.sector_district(r.source_sector);
+        if r.hour() < NIGHT_END_HOUR {
+            *self.per_ue.entry(r.ue.0).or_default().entry(district.0).or_insert(0) += 1;
+            self.ue_days.entry(r.ue.0).or_default().insert(r.day());
         }
         // Night handovers are sparse for static UEs; the paper uses *all*
         // night-time connectivity. Our equivalent observable is the UE's
         // home anchor expressed through its mobility rows: UEs with no
         // night records fall back to the most-visited district overall —
         // approximated by their first recorded source sector of each day.
-        let mut first_of_day: HashMap<(u32, u32), u16> = HashMap::new();
-        for r in study.output.dataset.records() {
-            first_of_day
-                .entry((r.ue.0, r.day()))
-                .or_insert_with(|| study.world.topology.sector_district(r.source_sector).0);
+        self.first_of_day.entry((r.ue.0, r.day())).or_insert(district.0);
+    }
+
+    fn merge(&mut self, other: Self, _ctx: &SweepCtx) {
+        for (ue, districts) in other.per_ue {
+            let mine = self.per_ue.entry(ue).or_default();
+            for (d, c) in districts {
+                *mine.entry(d).or_insert(0) += c;
+            }
         }
-        for ((ue, day), district) in &first_of_day {
+        for (ue, days) in other.ue_days {
+            self.ue_days.entry(ue).or_default().extend(days);
+        }
+        // Partitions arrive in day order, so an existing entry always
+        // predates `other`'s and wins the "first of the day" race — but a
+        // (ue, day) key can only span partitions at a day boundary, where
+        // both sides agree anyway.
+        for (key, district) in other.first_of_day {
+            self.first_of_day.entry(key).or_insert(district);
+        }
+    }
+
+    fn end(self, ctx: &SweepCtx) -> PopulationInference {
+        let mut per_ue = self.per_ue;
+        let mut ue_days = self.ue_days;
+        for ((ue, day), district) in &self.first_of_day {
             *per_ue.entry(*ue).or_default().entry(*district).or_insert(0) += 1;
             ue_days.entry(*ue).or_default().insert(*day);
         }
 
-        let scaled_min = min_days.min(study.config.n_days / 2);
+        let scaled_min = self.min_days.min(ctx.config.n_days / 2);
         let mut inferred: HashMap<u16, u64> = HashMap::new();
         let mut inferred_ues = 0usize;
         for (ue, districts) in &per_ue {
             if ue_days.get(ue).map_or(0, |d| d.len() as u32) < scaled_min {
                 continue;
             }
-            if let Some((&district, _)) = districts.iter().max_by_key(|(_, &c)| c) {
+            // Ties break toward the lowest district id, not hash order.
+            if let Some((&district, _)) =
+                districts.iter().max_by_key(|(&d, &c)| (c, std::cmp::Reverse(d)))
+            {
                 *inferred.entry(district).or_insert(0) += 1;
                 inferred_ues += 1;
             }
         }
 
-        let per_district: Vec<(DistrictId, u64, u64)> = study
+        let per_district: Vec<(DistrictId, u64, u64)> = ctx
             .world
             .country
             .districts()
@@ -84,18 +153,6 @@ impl PopulationInference {
             per_district,
             inferred_ues,
         }
-    }
-
-    /// Render summary.
-    pub fn table(&self) -> TextTable {
-        let mut t = TextTable::new(
-            "Fig 5: Census vs inferred population (district level)",
-            &["Metric", "Value"],
-        );
-        t.row_strs(&["R² (census ~ inferred)", &num(self.r_squared, 3)]);
-        t.row_strs(&["UEs with inferred home", &self.inferred_ues.to_string()]);
-        t.row_strs(&["Districts", &self.per_district.len().to_string()]);
-        t
     }
 }
 
@@ -116,36 +173,6 @@ pub struct HoDensity {
 }
 
 impl HoDensity {
-    /// Compute from a study.
-    pub fn compute(study: &StudyData) -> Self {
-        let mut per_district_hos = vec![0u64; study.world.country.districts().len()];
-        for r in study.output.dataset.records() {
-            let d = study.world.topology.sector_district(r.source_sector);
-            per_district_hos[d.0 as usize] += 1;
-        }
-        let days = study.config.n_days.max(1) as f64;
-        let per_district: Vec<(DistrictId, f64, f64)> = study
-            .world
-            .country
-            .districts()
-            .iter()
-            .map(|d| {
-                let hos_per_km2 = per_district_hos[d.id.0 as usize] as f64 / days / d.area_km2;
-                (d.id, hos_per_km2, d.population_density())
-            })
-            .collect();
-        let ho: Vec<f64> = per_district.iter().map(|&(_, h, _)| h).collect();
-        let pop: Vec<f64> = per_district.iter().map(|&(_, _, p)| p).collect();
-        let mean = ho.iter().sum::<f64>() / ho.len().max(1) as f64;
-        HoDensity {
-            pearson: pearson(&ho, &pop).unwrap_or(0.0),
-            max_density: ho.iter().copied().fold(0.0, f64::max),
-            min_density: ho.iter().copied().fold(f64::INFINITY, f64::min),
-            mean_density: mean,
-            per_district,
-        }
-    }
-
     /// Ratio between mean and minimum densities (the paper's ">200× lower
     /// than the mean" contrast).
     pub fn mean_to_min_ratio(&self) -> f64 {
@@ -168,10 +195,60 @@ impl HoDensity {
     }
 }
 
+/// Streaming accumulator for [`HoDensity`]: handover counts per district.
+#[derive(Debug, Default)]
+pub struct HoDensityPass {
+    per_district_hos: Vec<u64>,
+}
+
+impl AnalysisPass for HoDensityPass {
+    type Output = HoDensity;
+
+    fn begin(&mut self, ctx: &SweepCtx) {
+        self.per_district_hos = vec![0u64; ctx.world.country.districts().len()];
+    }
+
+    fn record(&mut self, r: &HoRecord, e: &Enriched) {
+        let d = e.world().topology.sector_district(r.source_sector);
+        self.per_district_hos[d.0 as usize] += 1;
+    }
+
+    fn merge(&mut self, other: Self, _ctx: &SweepCtx) {
+        for (mine, theirs) in self.per_district_hos.iter_mut().zip(other.per_district_hos) {
+            *mine += theirs;
+        }
+    }
+
+    fn end(self, ctx: &SweepCtx) -> HoDensity {
+        let days = ctx.config.n_days.max(1) as f64;
+        let per_district: Vec<(DistrictId, f64, f64)> = ctx
+            .world
+            .country
+            .districts()
+            .iter()
+            .map(|d| {
+                let hos_per_km2 = self.per_district_hos[d.id.0 as usize] as f64 / days / d.area_km2;
+                (d.id, hos_per_km2, d.population_density())
+            })
+            .collect();
+        let ho: Vec<f64> = per_district.iter().map(|&(_, h, _)| h).collect();
+        let pop: Vec<f64> = per_district.iter().map(|&(_, _, p)| p).collect();
+        let mean = ho.iter().sum::<f64>() / ho.len().max(1) as f64;
+        HoDensity {
+            pearson: pearson(&ho, &pop).unwrap_or(0.0),
+            max_density: ho.iter().copied().fold(0.0, f64::max),
+            min_density: ho.iter().copied().fold(f64::INFINITY, f64::min),
+            mean_density: mean,
+            per_district,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use telco_sim::{run_study, SimConfig};
+    use crate::sweep::Sweep;
+    use telco_sim::{run_study, SimConfig, StudyData};
 
     fn study() -> StudyData {
         run_study(SimConfig::tiny())
@@ -180,7 +257,7 @@ mod tests {
     #[test]
     fn population_inference_correlates_with_census() {
         let s = study();
-        let inf = PopulationInference::compute(&s, 14);
+        let inf = Sweep::new(&s).run(PopulationPass::default).unwrap();
         assert!(inf.inferred_ues > 0, "no homes inferred");
         assert!(inf.r_squared > 0.5, "census correlation too weak: R² = {}", inf.r_squared);
     }
@@ -188,7 +265,7 @@ mod tests {
     #[test]
     fn ho_density_positively_correlates() {
         let s = study();
-        let d = HoDensity::compute(&s);
+        let d = Sweep::new(&s).run(HoDensityPass::default).unwrap();
         assert!(d.pearson > 0.5, "Pearson {}", d.pearson);
         assert!(d.max_density > d.mean_density);
         assert!(d.mean_density >= d.min_density);
@@ -198,7 +275,8 @@ mod tests {
     #[test]
     fn tables_render() {
         let s = study();
-        assert!(PopulationInference::compute(&s, 14).table().to_string().contains("R²"));
-        assert!(HoDensity::compute(&s).table().to_string().contains("Pearson"));
+        let sweep = Sweep::new(&s);
+        assert!(sweep.run(PopulationPass::default).unwrap().table().to_string().contains("R²"));
+        assert!(sweep.run(HoDensityPass::default).unwrap().table().to_string().contains("Pearson"));
     }
 }

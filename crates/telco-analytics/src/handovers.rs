@@ -1,17 +1,18 @@
 //! §5.2 — Horizontal vs vertical handovers: the Table 2 type × device-type
 //! breakdown, the Fig. 8 duration ECDFs, and the Fig. 9 per-district
-//! distribution of handover types.
+//! distribution of handover types — each as a streaming [`AnalysisPass`].
 
 use serde::{Deserialize, Serialize};
 
 use telco_devices::types::DeviceType;
 use telco_geo::district::DistrictId;
 use telco_signaling::messages::HoType;
-use telco_sim::StudyData;
 use telco_stats::desc::{mean, std_dev};
 use telco_stats::ecdf::Ecdf;
+use telco_trace::record::HoRecord;
 
 use crate::frame::Enriched;
+use crate::sweep::{AnalysisPass, SweepCtx};
 use crate::tables::{num, pct, TextTable};
 
 /// Table 2 — handover shares per type and device type, with daily
@@ -29,51 +30,6 @@ pub struct HoTypeTable {
 }
 
 impl HoTypeTable {
-    /// Compute from a study.
-    pub fn compute(study: &StudyData) -> Self {
-        let enriched = Enriched::new(study);
-        let n_days = study.config.n_days.max(1) as usize;
-        // counts[day][device][type]
-        let mut counts = vec![[[0u64; 3]; 3]; n_days];
-        for r in study.output.dataset.records() {
-            let d = (r.day() as usize).min(n_days - 1);
-            counts[d][enriched.device_type(r).index()][r.ho_type().index()] += 1;
-        }
-        // Daily shares, then mean ± std across days.
-        let mut daily_shares: Vec<[[f64; 3]; 3]> = Vec::with_capacity(n_days);
-        for day in &counts {
-            let total: u64 = day.iter().flatten().sum();
-            if total == 0 {
-                continue;
-            }
-            let mut s = [[0.0; 3]; 3];
-            for dev in 0..3 {
-                for ty in 0..3 {
-                    s[dev][ty] = day[dev][ty] as f64 / total as f64;
-                }
-            }
-            daily_shares.push(s);
-        }
-        let mut share = [[0.0; 3]; 3];
-        let mut share_std = [[0.0; 3]; 3];
-        for dev in 0..3 {
-            for ty in 0..3 {
-                let series: Vec<f64> = daily_shares.iter().map(|s| s[dev][ty]).collect();
-                share[dev][ty] = mean(&series).unwrap_or(0.0);
-                share_std[dev][ty] = std_dev(&series).unwrap_or(0.0);
-            }
-        }
-        let mut type_totals = [0.0; 3];
-        let mut device_totals = [0.0; 3];
-        for dev in 0..3 {
-            for ty in 0..3 {
-                type_totals[ty] += share[dev][ty];
-                device_totals[dev] += share[dev][ty];
-            }
-        }
-        HoTypeTable { share, share_std, type_totals, device_totals }
-    }
-
     /// Share of all handovers that are horizontal.
     pub fn intra_share(&self) -> f64 {
         self.type_totals[HoType::Intra4g5g.index()]
@@ -106,6 +62,72 @@ impl HoTypeTable {
     }
 }
 
+/// Streaming accumulator for [`HoTypeTable`]: per-day type × device counts.
+#[derive(Debug, Default)]
+pub struct HoTypePass {
+    /// `counts[day][device][type]`.
+    counts: Vec<[[u64; 3]; 3]>,
+}
+
+impl AnalysisPass for HoTypePass {
+    type Output = HoTypeTable;
+
+    fn begin(&mut self, ctx: &SweepCtx) {
+        self.counts = vec![[[0u64; 3]; 3]; ctx.config.n_days.max(1) as usize];
+    }
+
+    fn record(&mut self, r: &HoRecord, e: &Enriched) {
+        let d = (r.day() as usize).min(self.counts.len() - 1);
+        self.counts[d][e.device_type(r).index()][r.ho_type().index()] += 1;
+    }
+
+    fn merge(&mut self, other: Self, _ctx: &SweepCtx) {
+        for (day, theirs) in self.counts.iter_mut().zip(other.counts) {
+            for (row, t_row) in day.iter_mut().zip(theirs) {
+                for (c, t) in row.iter_mut().zip(t_row) {
+                    *c += t;
+                }
+            }
+        }
+    }
+
+    fn end(self, _ctx: &SweepCtx) -> HoTypeTable {
+        // Daily shares, then mean ± std across days.
+        let mut daily_shares: Vec<[[f64; 3]; 3]> = Vec::with_capacity(self.counts.len());
+        for day in &self.counts {
+            let total: u64 = day.iter().flatten().sum();
+            if total == 0 {
+                continue;
+            }
+            let mut s = [[0.0; 3]; 3];
+            for dev in 0..3 {
+                for ty in 0..3 {
+                    s[dev][ty] = day[dev][ty] as f64 / total as f64;
+                }
+            }
+            daily_shares.push(s);
+        }
+        let mut share = [[0.0; 3]; 3];
+        let mut share_std = [[0.0; 3]; 3];
+        for dev in 0..3 {
+            for ty in 0..3 {
+                let series: Vec<f64> = daily_shares.iter().map(|s| s[dev][ty]).collect();
+                share[dev][ty] = mean(&series).unwrap_or(0.0);
+                share_std[dev][ty] = std_dev(&series).unwrap_or(0.0);
+            }
+        }
+        let mut type_totals = [0.0; 3];
+        let mut device_totals = [0.0; 3];
+        for dev in 0..3 {
+            for ty in 0..3 {
+                type_totals[ty] += share[dev][ty];
+                device_totals[dev] += share[dev][ty];
+            }
+        }
+        HoTypeTable { share, share_std, type_totals, device_totals }
+    }
+}
+
 /// Fig. 8 — signaling-duration ECDFs per handover type (successes only).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DurationAnalysis {
@@ -118,22 +140,6 @@ pub struct DurationAnalysis {
 }
 
 impl DurationAnalysis {
-    /// Compute from a study.
-    pub fn compute(study: &StudyData) -> Self {
-        let mut per_type: [Vec<f64>; 3] = Default::default();
-        for r in study.output.dataset.records() {
-            if !r.is_failure() {
-                per_type[r.ho_type().index()].push(r.duration_ms as f64);
-            }
-        }
-        assert!(!per_type[0].is_empty(), "no successful intra handovers in trace");
-        DurationAnalysis {
-            intra: Ecdf::new(&per_type[0]),
-            to3g: (!per_type[1].is_empty()).then(|| Ecdf::new(&per_type[1])),
-            to2g: (!per_type[2].is_empty()).then(|| Ecdf::new(&per_type[2])),
-        }
-    }
-
     /// Render median / p95 per type.
     pub fn table(&self) -> TextTable {
         let mut t =
@@ -153,6 +159,39 @@ impl DurationAnalysis {
     }
 }
 
+/// Streaming accumulator for [`DurationAnalysis`]: success durations per
+/// type, in trace order (the ECDF sorts at [`AnalysisPass::end`]).
+#[derive(Debug, Default)]
+pub struct DurationPass {
+    per_type: [Vec<f64>; 3],
+}
+
+impl AnalysisPass for DurationPass {
+    type Output = DurationAnalysis;
+
+    fn record(&mut self, r: &HoRecord, _e: &Enriched) {
+        if !r.is_failure() {
+            self.per_type[r.ho_type().index()].push(r.duration_ms as f64);
+        }
+    }
+
+    fn merge(&mut self, other: Self, _ctx: &SweepCtx) {
+        for (mine, theirs) in self.per_type.iter_mut().zip(other.per_type) {
+            mine.extend(theirs);
+        }
+    }
+
+    fn end(self, _ctx: &SweepCtx) -> DurationAnalysis {
+        let per_type = self.per_type;
+        assert!(!per_type[0].is_empty(), "no successful intra handovers in trace");
+        DurationAnalysis {
+            intra: Ecdf::new(&per_type[0]),
+            to3g: (!per_type[1].is_empty()).then(|| Ecdf::new(&per_type[1])),
+            to2g: (!per_type[2].is_empty()).then(|| Ecdf::new(&per_type[2])),
+        }
+    }
+}
+
 /// Fig. 9 — distribution of handover-type shares across districts.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DistrictDistribution {
@@ -168,37 +207,6 @@ pub struct DistrictDistribution {
 }
 
 impl DistrictDistribution {
-    /// Compute from a study.
-    pub fn compute(study: &StudyData) -> Self {
-        let n_d = study.world.country.districts().len();
-        let mut counts = vec![[0u64; 3]; n_d];
-        for r in study.output.dataset.records() {
-            let d = study.world.topology.sector_district(r.source_sector);
-            counts[d.0 as usize][r.ho_type().index()] += 1;
-        }
-        let per_district: Vec<(DistrictId, f64, f64, f64)> = study
-            .world
-            .country
-            .districts()
-            .iter()
-            .map(|d| {
-                let c = counts[d.id.0 as usize];
-                let total = (c[0] + c[1] + c[2]).max(1) as f64;
-                (d.id, c[0] as f64 / total, c[1] as f64 / total, c[2] as f64 / total)
-            })
-            .collect();
-        // The 6% least densely populated districts.
-        let least = study.world.census.least_dense(0.06);
-        let least_to3g: Vec<f64> =
-            least.iter().map(|row| per_district[row.district.0 as usize].2).collect();
-        DistrictDistribution {
-            max_intra_share: per_district.iter().map(|x| x.1).fold(0.0, f64::max),
-            least_dense_to3g_mean: mean(&least_to3g).unwrap_or(0.0),
-            max_to3g_share: per_district.iter().map(|x| x.2).fold(0.0, f64::max),
-            per_district,
-        }
-    }
-
     /// Render summary.
     pub fn table(&self) -> TextTable {
         let mut t = TextTable::new("Fig 9: HO types across districts", &["Metric", "Value"]);
@@ -212,10 +220,63 @@ impl DistrictDistribution {
     }
 }
 
+/// Streaming accumulator for [`DistrictDistribution`]: per-district
+/// type counts keyed by source-sector district.
+#[derive(Debug, Default)]
+pub struct DistrictPass {
+    counts: Vec<[u64; 3]>,
+}
+
+impl AnalysisPass for DistrictPass {
+    type Output = DistrictDistribution;
+
+    fn begin(&mut self, ctx: &SweepCtx) {
+        self.counts = vec![[0u64; 3]; ctx.world.country.districts().len()];
+    }
+
+    fn record(&mut self, r: &HoRecord, e: &Enriched) {
+        let d = e.world().topology.sector_district(r.source_sector);
+        self.counts[d.0 as usize][r.ho_type().index()] += 1;
+    }
+
+    fn merge(&mut self, other: Self, _ctx: &SweepCtx) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts) {
+            for (c, t) in mine.iter_mut().zip(theirs) {
+                *c += t;
+            }
+        }
+    }
+
+    fn end(self, ctx: &SweepCtx) -> DistrictDistribution {
+        let per_district: Vec<(DistrictId, f64, f64, f64)> = ctx
+            .world
+            .country
+            .districts()
+            .iter()
+            .map(|d| {
+                let c = self.counts[d.id.0 as usize];
+                let total = (c[0] + c[1] + c[2]).max(1) as f64;
+                (d.id, c[0] as f64 / total, c[1] as f64 / total, c[2] as f64 / total)
+            })
+            .collect();
+        // The 6% least densely populated districts.
+        let least = ctx.world.census.least_dense(0.06);
+        let least_to3g: Vec<f64> =
+            least.iter().map(|row| per_district[row.district.0 as usize].2).collect();
+        DistrictDistribution {
+            max_intra_share: per_district.iter().map(|x| x.1).fold(0.0, f64::max),
+            least_dense_to3g_mean: mean(&least_to3g).unwrap_or(0.0),
+            max_to3g_share: per_district.iter().map(|x| x.2).fold(0.0, f64::max),
+            per_district,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use telco_sim::{run_study, SimConfig};
+    use crate::sweep::Sweep;
+    use telco_sim::{run_study, SimConfig, StudyData};
 
     fn study() -> &'static StudyData {
         static CELL: std::sync::OnceLock<StudyData> = std::sync::OnceLock::new();
@@ -229,7 +290,7 @@ mod tests {
 
     #[test]
     fn type_table_shares_sum_to_one() {
-        let t = HoTypeTable::compute(study());
+        let t = Sweep::new(study()).run(HoTypePass::default).unwrap();
         let total: f64 = t.type_totals.iter().sum();
         assert!((total - 1.0).abs() < 1e-6, "totals {total}");
         assert!(t.intra_share() > 0.8);
@@ -240,7 +301,7 @@ mod tests {
 
     #[test]
     fn duration_ordering_matches_paper() {
-        let d = DurationAnalysis::compute(study());
+        let d = Sweep::new(study()).run(DurationPass::default).unwrap();
         let intra_med = d.intra.median();
         assert!((20.0..90.0).contains(&intra_med), "intra median {intra_med}");
         if let Some(e3) = &d.to3g {
@@ -250,7 +311,7 @@ mod tests {
 
     #[test]
     fn district_distribution_varies() {
-        let d = DistrictDistribution::compute(study());
+        let d = Sweep::new(study()).run(DistrictPass::default).unwrap();
         assert!(d.max_intra_share > 0.9);
         assert!(
             d.least_dense_to3g_mean

@@ -39,9 +39,9 @@ impl DatasetStats {
             sites: study.world.topology.sites().len(),
             sectors: study.world.topology.sectors().len(),
             ues: study.world.n_ues(),
-            daily_hos: study.output.dataset.daily_mean(),
+            daily_hos: study.trace.daily_mean(),
             days: study.config.n_days,
-            daily_trace_bytes: (study.output.dataset.daily_mean() * RECORD_BYTES as f64) as u64,
+            daily_trace_bytes: (study.trace.daily_mean() * RECORD_BYTES as f64) as u64,
         }
     }
 
@@ -204,7 +204,14 @@ impl DeviceMix {
                     .iter()
                     .map(|(&m, &c)| (m, c as f64 / type_counts[ty.index()].max(1) as f64))
                     .collect();
-                v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite shares"));
+                // Tie-break on the manufacturer index: equal shares are
+                // common at small scale, and HashMap iteration order must
+                // not leak into the output.
+                v.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1)
+                        .expect("finite shares")
+                        .then(a.0.index().cmp(&b.0.index()))
+                });
                 (ty, v)
             })
             .collect();

@@ -1,5 +1,5 @@
 //! §6.1 / §6.2 — HOF patterns (Fig. 12) and the cause analysis
-//! (Figs. 14–15).
+//! (Figs. 14–15), as streaming passes.
 
 use std::collections::{HashMap, HashSet};
 
@@ -9,11 +9,12 @@ use telco_devices::types::{DeviceType, Manufacturer};
 use telco_geo::postcode::AreaType;
 use telco_signaling::causes::{CauseCode, PrincipalCause};
 use telco_signaling::messages::HoType;
-use telco_sim::StudyData;
 use telco_stats::boxplot::BoxplotStats;
 use telco_stats::ecdf::Ecdf;
+use telco_trace::record::HoRecord;
 
 use crate::frame::Enriched;
+use crate::sweep::{AnalysisPass, SweepCtx};
 use crate::tables::{num, pct, TextTable};
 
 /// Fig. 12 — hourly HOF counts, urban vs rural, normalized by the number
@@ -30,25 +31,69 @@ pub struct HofPatterns {
 }
 
 impl HofPatterns {
-    /// Compute from a study.
-    pub fn compute(study: &StudyData) -> Self {
-        let enriched = Enriched::new(study);
-        let n_days = study.config.n_days.max(1) as usize;
-        // Per (day, hour, area): HOF count and active-sector set.
-        let mut hofs = vec![[0u32; 2]; n_days * 24];
-        let mut active: Vec<[HashSet<u32>; 2]> = Vec::new();
-        active.resize_with(n_days * 24, Default::default);
-        for r in study.output.dataset.records() {
-            let idx = r.day() as usize * 24 + r.hour() as usize;
-            if idx >= hofs.len() {
-                continue;
-            }
-            let ai = enriched.area(r).index();
-            active[idx][ai].insert(r.source_sector.0);
-            if r.is_failure() {
-                hofs[idx][ai] += 1;
+    /// Render per-hour medians.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Fig 12: HOFs per hour, normalized by active sectors",
+            &["Hour", "Urban median", "Rural median"],
+        );
+        for hour in 0..24 {
+            t.row(&[
+                format!("{hour:02}:00"),
+                self.urban[hour].as_ref().map_or("-".into(), |b| num(b.median, 4)),
+                self.rural[hour].as_ref().map_or("-".into(), |b| num(b.median, 4)),
+            ]);
+        }
+        t
+    }
+}
+
+/// Streaming accumulator for [`HofPatterns`]: per (day, hour, area) HOF
+/// counts and active-sector sets. Each (day, hour) index belongs to a
+/// single study day, so day-partitioned merges touch disjoint slots.
+#[derive(Debug, Default)]
+pub struct HofPatternsPass {
+    hofs: Vec<[u32; 2]>,
+    active: Vec<[HashSet<u32>; 2]>,
+}
+
+impl AnalysisPass for HofPatternsPass {
+    type Output = HofPatterns;
+
+    fn begin(&mut self, ctx: &SweepCtx) {
+        let slots = ctx.config.n_days.max(1) as usize * 24;
+        self.hofs = vec![[0u32; 2]; slots];
+        self.active = Vec::new();
+        self.active.resize_with(slots, Default::default);
+    }
+
+    fn record(&mut self, r: &HoRecord, e: &Enriched) {
+        let idx = r.day() as usize * 24 + r.hour() as usize;
+        if idx >= self.hofs.len() {
+            return;
+        }
+        let ai = e.area(r).index();
+        self.active[idx][ai].insert(r.source_sector.0);
+        if r.is_failure() {
+            self.hofs[idx][ai] += 1;
+        }
+    }
+
+    fn merge(&mut self, other: Self, _ctx: &SweepCtx) {
+        for (mine, theirs) in self.hofs.iter_mut().zip(other.hofs) {
+            for (c, t) in mine.iter_mut().zip(theirs) {
+                *c += t;
             }
         }
+        for (mine, theirs) in self.active.iter_mut().zip(other.active) {
+            for (set, t) in mine.iter_mut().zip(theirs) {
+                set.extend(t);
+            }
+        }
+    }
+
+    fn end(self, ctx: &SweepCtx) -> HofPatterns {
+        let n_days = ctx.config.n_days.max(1) as usize;
         // Normalized per-day samples per hour.
         let mut urban_samples: Vec<Vec<f64>> = vec![Vec::new(); 24];
         let mut rural_samples: Vec<Vec<f64>> = vec![Vec::new(); 24];
@@ -56,9 +101,9 @@ impl HofPatterns {
             for hour in 0..24 {
                 let idx = day * 24 + hour;
                 for (ai, samples) in [(0, &mut urban_samples), (1, &mut rural_samples)] {
-                    let n_active = active[idx][ai].len();
+                    let n_active = self.active[idx][ai].len();
                     if n_active > 0 {
-                        samples[hour].push(hofs[idx][ai] as f64 / n_active as f64);
+                        samples[hour].push(self.hofs[idx][ai] as f64 / n_active as f64);
                     }
                 }
             }
@@ -77,22 +122,6 @@ impl HofPatterns {
             urban: urban_samples.iter().map(|s| BoxplotStats::of(s)).collect(),
             rural: rural_samples.iter().map(|s| BoxplotStats::of(s)).collect(),
         }
-    }
-
-    /// Render per-hour medians.
-    pub fn table(&self) -> TextTable {
-        let mut t = TextTable::new(
-            "Fig 12: HOFs per hour, normalized by active sectors",
-            &["Hour", "Urban median", "Rural median"],
-        );
-        for hour in 0..24 {
-            t.row(&[
-                format!("{hour:02}:00"),
-                self.urban[hour].as_ref().map_or("-".into(), |b| num(b.median, 4)),
-                self.rural[hour].as_ref().map_or("-".into(), |b| num(b.median, 4)),
-            ]);
-        }
-        t
     }
 }
 
@@ -129,97 +158,6 @@ fn cause_slot(cause: CauseCode) -> usize {
 }
 
 impl CauseAnalysis {
-    /// Compute from a study.
-    pub fn compute(study: &StudyData) -> Self {
-        let enriched = Enriched::new(study);
-        let n_days = study.config.n_days.max(1) as usize;
-        let mut daily = vec![[0u64; 9]; n_days];
-        let mut daily_total = vec![0u64; n_days];
-        let mut by_type = [0u64; 3];
-        let mut seen: HashSet<u16> = HashSet::new();
-        let mut durations: Vec<Vec<f64>> = vec![Vec::new(); 8];
-        let mut by_area = [[0u64; 9]; 2];
-        let mut by_device = [[0u64; 9]; 3];
-        let mut by_mfr: HashMap<Manufacturer, [u64; 9]> = HashMap::new();
-        let mut total_failures = 0u64;
-
-        for r in study.output.dataset.failures() {
-            let cause = r.cause.expect("failures carry a cause");
-            let slot = cause_slot(cause);
-            let day = (r.day() as usize).min(n_days - 1);
-            daily[day][slot] += 1;
-            daily_total[day] += 1;
-            by_type[r.ho_type().index()] += 1;
-            seen.insert(cause.0);
-            if slot < 8 {
-                durations[slot].push(r.duration_ms as f64);
-            }
-            by_area[enriched.area(r).index()][slot] += 1;
-            by_device[enriched.device_type(r).index()][slot] += 1;
-            let mfr = enriched.manufacturer(r);
-            if Manufacturer::TOP5_SMARTPHONE.contains(&mfr) {
-                by_mfr.entry(mfr).or_insert([0; 9])[slot] += 1;
-            }
-            total_failures += 1;
-        }
-
-        // Daily shares, then mean/min/max.
-        let mut shares = [0.0; 9];
-        let mut shares_min = [f64::INFINITY; 9];
-        let mut shares_max = [0.0f64; 9];
-        let mut active_days = 0usize;
-        for day in 0..n_days {
-            if daily_total[day] == 0 {
-                continue;
-            }
-            active_days += 1;
-            for c in 0..9 {
-                let s = daily[day][c] as f64 / daily_total[day] as f64;
-                shares[c] += s;
-                shares_min[c] = shares_min[c].min(s);
-                shares_max[c] = shares_max[c].max(s);
-            }
-        }
-        for c in 0..9 {
-            shares[c] /= active_days.max(1) as f64;
-            if !shares_min[c].is_finite() {
-                shares_min[c] = 0.0;
-            }
-        }
-
-        let normalize = |counts: [u64; 9]| -> [f64; 9] {
-            let t: u64 = counts.iter().sum();
-            let mut out = [0.0; 9];
-            if t > 0 {
-                for c in 0..9 {
-                    out[c] = counts[c] as f64 / t as f64;
-                }
-            }
-            out
-        };
-        let mut top5: Vec<(Manufacturer, [f64; 9])> = Manufacturer::TOP5_SMARTPHONE
-            .iter()
-            .filter_map(|m| by_mfr.get(m).map(|c| (*m, normalize(*c))))
-            .collect();
-        top5.sort_by_key(|(m, _)| m.index());
-
-        CauseAnalysis {
-            shares,
-            shares_min,
-            shares_max,
-            to3g_failure_share: by_type[HoType::To3g.index()] as f64 / total_failures.max(1) as f64,
-            to2g_failure_share: by_type[HoType::To2g.index()] as f64 / total_failures.max(1) as f64,
-            distinct_causes: seen.len(),
-            durations: durations
-                .into_iter()
-                .map(|v| (!v.is_empty()).then(|| Ecdf::new(&v)))
-                .collect(),
-            by_area: [normalize(by_area[0]), normalize(by_area[1])],
-            by_device: [normalize(by_device[0]), normalize(by_device[1]), normalize(by_device[2])],
-            by_top5_manufacturer: top5,
-        }
-    }
-
     /// Combined share of the 8 principal causes (paper: 92%).
     pub fn principal_share(&self) -> f64 {
         self.shares[..8].iter().sum()
@@ -286,10 +224,162 @@ impl CauseAnalysis {
     }
 }
 
+/// Streaming accumulator for [`CauseAnalysis`]. Only failure records
+/// contribute; successes fall through [`AnalysisPass::record`] untouched.
+#[derive(Debug, Default)]
+pub struct CausePass {
+    daily: Vec<[u64; 9]>,
+    daily_total: Vec<u64>,
+    by_type: [u64; 3],
+    seen: HashSet<u16>,
+    durations: Vec<Vec<f64>>,
+    by_area: [[u64; 9]; 2],
+    by_device: [[u64; 9]; 3],
+    by_mfr: HashMap<Manufacturer, [u64; 9]>,
+    total_failures: u64,
+}
+
+impl AnalysisPass for CausePass {
+    type Output = CauseAnalysis;
+
+    fn begin(&mut self, ctx: &SweepCtx) {
+        let n_days = ctx.config.n_days.max(1) as usize;
+        self.daily = vec![[0u64; 9]; n_days];
+        self.daily_total = vec![0u64; n_days];
+        self.durations = vec![Vec::new(); 8];
+    }
+
+    fn record(&mut self, r: &HoRecord, e: &Enriched) {
+        if !r.is_failure() {
+            return;
+        }
+        let cause = r.cause.expect("failures carry a cause");
+        let slot = cause_slot(cause);
+        let day = (r.day() as usize).min(self.daily.len() - 1);
+        self.daily[day][slot] += 1;
+        self.daily_total[day] += 1;
+        self.by_type[r.ho_type().index()] += 1;
+        self.seen.insert(cause.0);
+        if slot < 8 {
+            self.durations[slot].push(r.duration_ms as f64);
+        }
+        self.by_area[e.area(r).index()][slot] += 1;
+        self.by_device[e.device_type(r).index()][slot] += 1;
+        let mfr = e.manufacturer(r);
+        if Manufacturer::TOP5_SMARTPHONE.contains(&mfr) {
+            self.by_mfr.entry(mfr).or_insert([0; 9])[slot] += 1;
+        }
+        self.total_failures += 1;
+    }
+
+    fn merge(&mut self, other: Self, _ctx: &SweepCtx) {
+        for (mine, theirs) in self.daily.iter_mut().zip(other.daily) {
+            for (c, t) in mine.iter_mut().zip(theirs) {
+                *c += t;
+            }
+        }
+        for (mine, theirs) in self.daily_total.iter_mut().zip(other.daily_total) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.by_type.iter_mut().zip(other.by_type) {
+            *mine += theirs;
+        }
+        self.seen.extend(other.seen);
+        for (mine, theirs) in self.durations.iter_mut().zip(other.durations) {
+            mine.extend(theirs);
+        }
+        for (mine, theirs) in self.by_area.iter_mut().zip(other.by_area) {
+            for (c, t) in mine.iter_mut().zip(theirs) {
+                *c += t;
+            }
+        }
+        for (mine, theirs) in self.by_device.iter_mut().zip(other.by_device) {
+            for (c, t) in mine.iter_mut().zip(theirs) {
+                *c += t;
+            }
+        }
+        for (mfr, counts) in other.by_mfr {
+            let mine = self.by_mfr.entry(mfr).or_insert([0; 9]);
+            for (c, t) in mine.iter_mut().zip(counts) {
+                *c += t;
+            }
+        }
+        self.total_failures += other.total_failures;
+    }
+
+    fn end(self, _ctx: &SweepCtx) -> CauseAnalysis {
+        let n_days = self.daily.len();
+        // Daily shares, then mean/min/max.
+        let mut shares = [0.0; 9];
+        let mut shares_min = [f64::INFINITY; 9];
+        let mut shares_max = [0.0f64; 9];
+        let mut active_days = 0usize;
+        for day in 0..n_days {
+            if self.daily_total[day] == 0 {
+                continue;
+            }
+            active_days += 1;
+            for c in 0..9 {
+                let s = self.daily[day][c] as f64 / self.daily_total[day] as f64;
+                shares[c] += s;
+                shares_min[c] = shares_min[c].min(s);
+                shares_max[c] = shares_max[c].max(s);
+            }
+        }
+        for c in 0..9 {
+            shares[c] /= active_days.max(1) as f64;
+            if !shares_min[c].is_finite() {
+                shares_min[c] = 0.0;
+            }
+        }
+
+        let normalize = |counts: [u64; 9]| -> [f64; 9] {
+            let t: u64 = counts.iter().sum();
+            let mut out = [0.0; 9];
+            if t > 0 {
+                for c in 0..9 {
+                    out[c] = counts[c] as f64 / t as f64;
+                }
+            }
+            out
+        };
+        let mut top5: Vec<(Manufacturer, [f64; 9])> = Manufacturer::TOP5_SMARTPHONE
+            .iter()
+            .filter_map(|m| self.by_mfr.get(m).map(|c| (*m, normalize(*c))))
+            .collect();
+        top5.sort_by_key(|(m, _)| m.index());
+
+        let total_failures = self.total_failures;
+        CauseAnalysis {
+            shares,
+            shares_min,
+            shares_max,
+            to3g_failure_share: self.by_type[HoType::To3g.index()] as f64
+                / total_failures.max(1) as f64,
+            to2g_failure_share: self.by_type[HoType::To2g.index()] as f64
+                / total_failures.max(1) as f64,
+            distinct_causes: self.seen.len(),
+            durations: self
+                .durations
+                .into_iter()
+                .map(|v| (!v.is_empty()).then(|| Ecdf::new(&v)))
+                .collect(),
+            by_area: [normalize(self.by_area[0]), normalize(self.by_area[1])],
+            by_device: [
+                normalize(self.by_device[0]),
+                normalize(self.by_device[1]),
+                normalize(self.by_device[2]),
+            ],
+            by_top5_manufacturer: top5,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use telco_sim::{run_study, SimConfig};
+    use crate::sweep::Sweep;
+    use telco_sim::{run_study, SimConfig, StudyData};
 
     fn study() -> &'static StudyData {
         static CELL: std::sync::OnceLock<StudyData> = std::sync::OnceLock::new();
@@ -302,9 +392,13 @@ mod tests {
         })
     }
 
+    fn causes() -> CauseAnalysis {
+        Sweep::new(study()).run(CausePass::default).unwrap()
+    }
+
     #[test]
     fn cause_shares_concentrate_in_principals() {
-        let c = CauseAnalysis::compute(study());
+        let c = causes();
         let total: f64 = c.shares.iter().sum();
         assert!((total - 1.0).abs() < 0.05, "shares sum {total}");
         assert!(c.principal_share() > 0.8, "principal causes carry {}", c.principal_share());
@@ -313,14 +407,14 @@ mod tests {
 
     #[test]
     fn three_g_failures_dominate() {
-        let c = CauseAnalysis::compute(study());
+        let c = causes();
         assert!(c.to3g_failure_share > 0.5, "→3G failure share {}", c.to3g_failure_share);
         assert!(c.to2g_failure_share < 0.05);
     }
 
     #[test]
     fn cause_durations_ranked_like_fig14b() {
-        let c = CauseAnalysis::compute(study());
+        let c = causes();
         // #3 aborts before signaling: zero median when observed.
         if let Some(e3) = &c.durations[PrincipalCause::InvalidTargetSector.index()] {
             assert_eq!(e3.median(), 0.0);
@@ -333,7 +427,7 @@ mod tests {
 
     #[test]
     fn hof_patterns_have_peaks() {
-        let h = HofPatterns::compute(study());
+        let h = Sweep::new(study()).run(HofPatternsPass::default).unwrap();
         // Some daytime hour must carry more normalized HOFs than 03:00.
         let night = h.urban[3].as_ref().map_or(0.0, |b| b.median);
         let day_max =
@@ -344,8 +438,7 @@ mod tests {
 
     #[test]
     fn stacked_table_renders_all_rows() {
-        let c = CauseAnalysis::compute(study());
-        let t = c.table_stacked();
+        let t = causes().table_stacked();
         assert!(t.len() >= 5, "expected at least area + device rows, got {}", t.len());
     }
 }

@@ -35,20 +35,24 @@ pub mod mobility_analysis;
 pub mod modeling;
 pub mod pingpong;
 pub mod study;
+pub mod sweep;
 pub mod tables;
 pub mod timeseries;
 pub mod vendor_analysis;
 
-pub use frame::{Enriched, SectorDayFrame, SectorDayObs};
-pub use geodemo::{HoDensity, PopulationInference};
-pub use handovers::{DistrictDistribution, DurationAnalysis, HoTypeTable};
+pub use frame::{Enriched, FramePass, FrameWindow, SectorDayFrame, SectorDayObs};
+pub use geodemo::{HoDensity, HoDensityPass, PopulationInference, PopulationPass};
+pub use handovers::{
+    DistrictDistribution, DistrictPass, DurationAnalysis, DurationPass, HoTypePass, HoTypeTable,
+};
 pub use heterogeneity::{DatasetStats, DeploymentEvolution, DeviceMix, RatUsage};
-pub use hof::{CauseAnalysis, HofPatterns};
-pub use manufacturer::ManufacturerImpact;
+pub use hof::{CauseAnalysis, CausePass, HofPatterns, HofPatternsPass};
+pub use manufacturer::{ManufacturerImpact, ManufacturerPass};
 pub use mobility_analysis::{HofVsMobility, MobilityEcdfs};
 pub use modeling::{HofModels, ModelingOptions};
-pub use pingpong::PingPongAnalysis;
-pub use study::Study;
+pub use pingpong::{PingPongAnalysis, PingPongPass};
+pub use study::{Study, StudyPasses, SweepOutputs};
+pub use sweep::{AnalysisPass, Sweep, SweepCtx, TraceCounts, TraceCountsPass};
 pub use tables::TextTable;
 pub use timeseries::TemporalEvolution;
-pub use vendor_analysis::VendorAnalysis;
+pub use vendor_analysis::{VendorAnalysis, VendorPass};

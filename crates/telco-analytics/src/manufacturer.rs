@@ -14,9 +14,11 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 
 use telco_devices::types::Manufacturer;
-use telco_sim::StudyData;
 use telco_stats::boxplot::BoxplotStats;
+use telco_trace::record::HoRecord;
 
+use crate::frame::Enriched;
+use crate::sweep::{AnalysisPass, SweepCtx};
 use crate::tables::{num, TextTable};
 
 /// Fig. 11 — normalized district-level HO and HOF-rate ratios per
@@ -33,85 +35,6 @@ pub struct ManufacturerImpact {
 }
 
 impl ManufacturerImpact {
-    /// Compute with a device-count threshold per district-manufacturer
-    /// pair (the paper uses 1k at 40M-UE scale; pick proportionally).
-    pub fn compute(study: &StudyData, min_devices: usize) -> Self {
-        let n_days = study.config.n_days.max(1) as f64;
-        // Per (district, manufacturer): UE set, HOs, HOFs.
-        #[derive(Default, Clone)]
-        struct Cell {
-            ues: std::collections::HashSet<u32>,
-            hos: u64,
-            hofs: u64,
-            device_type: usize,
-        }
-        let mut cells: HashMap<(u16, Manufacturer), Cell> = HashMap::new();
-        // Peers are the district's UEs *of the same device type*: comparing
-        // an M2M module maker against smartphones would only measure the
-        // device-type mix, not the manufacturer's implementation.
-        let mut district_totals: HashMap<(u16, usize), Cell> = HashMap::new();
-
-        // UE home district drives membership (devices are compared against
-        // the peers of the district they live in).
-        for (i, attrs) in study.world.ues.iter().enumerate() {
-            let district = study.world.country.postcode(attrs.home_postcode).district;
-            let cell = cells.entry((district.0, attrs.manufacturer)).or_default();
-            cell.ues.insert(i as u32);
-            cell.device_type = attrs.device_type.index();
-            district_totals
-                .entry((district.0, attrs.device_type.index()))
-                .or_default()
-                .ues
-                .insert(i as u32);
-        }
-        for r in study.output.dataset.records() {
-            let attrs = study.world.ue(r.ue);
-            let district = study.world.country.postcode(attrs.home_postcode).district;
-            let cell = cells.entry((district.0, attrs.manufacturer)).or_default();
-            cell.hos += 1;
-            cell.hofs += u64::from(r.is_failure());
-            let tot = district_totals.entry((district.0, attrs.device_type.index())).or_default();
-            tot.hos += 1;
-            tot.hofs += u64::from(r.is_failure());
-        }
-
-        let mut ho_ratios: HashMap<Manufacturer, Vec<f64>> = HashMap::new();
-        let mut hof_ratios: HashMap<Manufacturer, Vec<f64>> = HashMap::new();
-        for ((district, mfr), cell) in &cells {
-            if cell.ues.len() < min_devices || cell.hos == 0 {
-                continue;
-            }
-            let Some(tot) = district_totals.get(&(*district, cell.device_type)) else {
-                continue;
-            };
-            if tot.hos == 0 || tot.ues.is_empty() {
-                continue;
-            }
-            let mfr_hos_per_ue = cell.hos as f64 / cell.ues.len() as f64 / n_days;
-            let all_hos_per_ue = tot.hos as f64 / tot.ues.len() as f64 / n_days;
-            ho_ratios.entry(*mfr).or_default().push(mfr_hos_per_ue / all_hos_per_ue);
-            let all_rate = tot.hofs as f64 / tot.hos as f64;
-            if all_rate > 0.0 {
-                let mfr_rate = cell.hofs as f64 / cell.hos as f64;
-                hof_ratios.entry(*mfr).or_default().push(mfr_rate / all_rate);
-            }
-        }
-
-        let collect = |map: HashMap<Manufacturer, Vec<f64>>| -> Vec<(Manufacturer, BoxplotStats)> {
-            let mut v: Vec<(Manufacturer, BoxplotStats)> = map
-                .into_iter()
-                .filter_map(|(m, xs)| BoxplotStats::of(&xs).map(|b| (m, b)))
-                .collect();
-            v.sort_by_key(|(m, _)| m.index());
-            v
-        };
-        ManufacturerImpact {
-            ho_ratio: collect(ho_ratios),
-            hof_ratio: collect(hof_ratios),
-            min_devices,
-        }
-    }
-
     /// Median normalized HO ratio of a manufacturer, if observed.
     pub fn median_ho_ratio(&self, mfr: Manufacturer) -> Option<f64> {
         self.ho_ratio.iter().find(|(m, _)| *m == mfr).map(|(_, b)| b.median)
@@ -141,9 +64,129 @@ impl ManufacturerImpact {
     }
 }
 
+/// Streaming accumulator for [`ManufacturerImpact`]: handover and failure
+/// counts per (home district, manufacturer) cell and per (home district,
+/// device type) peer group. UE membership comes from the world, so it is
+/// reconstructed in [`AnalysisPass::end`] rather than carried through
+/// merges.
+#[derive(Debug)]
+pub struct ManufacturerPass {
+    min_devices: Option<usize>,
+    /// (district, manufacturer) → (HOs, HOFs).
+    cells: HashMap<(u16, Manufacturer), (u64, u64)>,
+    /// (district, device type) → (HOs, HOFs).
+    totals: HashMap<(u16, usize), (u64, u64)>,
+}
+
+impl ManufacturerPass {
+    /// A pass with an explicit device-count threshold per
+    /// district-manufacturer pair (the paper uses 1k at 40M-UE scale).
+    pub fn new(min_devices: usize) -> Self {
+        ManufacturerPass { min_devices: Some(min_devices), ..ManufacturerPass::default() }
+    }
+}
+
+impl Default for ManufacturerPass {
+    /// Threshold scaled from the study size: `(n_ues / 40_000).max(3)`.
+    fn default() -> Self {
+        ManufacturerPass { min_devices: None, cells: HashMap::new(), totals: HashMap::new() }
+    }
+}
+
+impl AnalysisPass for ManufacturerPass {
+    type Output = ManufacturerImpact;
+
+    fn record(&mut self, r: &HoRecord, e: &Enriched) {
+        // UE home district drives membership (devices are compared against
+        // the peers of the district they live in).
+        let attrs = e.world().ue(r.ue);
+        let district = e.home_district(r);
+        let fail = u64::from(r.is_failure());
+        let cell = self.cells.entry((district.0, attrs.manufacturer)).or_insert((0, 0));
+        cell.0 += 1;
+        cell.1 += fail;
+        // Peers are the district's UEs *of the same device type*: comparing
+        // an M2M module maker against smartphones would only measure the
+        // device-type mix, not the manufacturer's implementation.
+        let tot = self.totals.entry((district.0, attrs.device_type.index())).or_insert((0, 0));
+        tot.0 += 1;
+        tot.1 += fail;
+    }
+
+    fn merge(&mut self, other: Self, _ctx: &SweepCtx) {
+        for (k, v) in other.cells {
+            let mine = self.cells.entry(k).or_insert((0, 0));
+            mine.0 += v.0;
+            mine.1 += v.1;
+        }
+        for (k, v) in other.totals {
+            let mine = self.totals.entry(k).or_insert((0, 0));
+            mine.0 += v.0;
+            mine.1 += v.1;
+        }
+    }
+
+    fn end(self, ctx: &SweepCtx) -> ManufacturerImpact {
+        let min_devices = self.min_devices.unwrap_or_else(|| (ctx.config.n_ues / 40_000).max(3));
+        let n_days = ctx.config.n_days.max(1) as f64;
+
+        // Device populations per cell and peer group, from the world.
+        let mut cell_ues: HashMap<(u16, Manufacturer), (u64, usize)> = HashMap::new();
+        let mut total_ues: HashMap<(u16, usize), u64> = HashMap::new();
+        for attrs in ctx.world.ues.iter() {
+            let district = ctx.world.country.postcode(attrs.home_postcode).district;
+            let entry = cell_ues.entry((district.0, attrs.manufacturer)).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 = attrs.device_type.index();
+            *total_ues.entry((district.0, attrs.device_type.index())).or_insert(0) += 1;
+        }
+
+        let mut ho_ratios: HashMap<Manufacturer, Vec<f64>> = HashMap::new();
+        let mut hof_ratios: HashMap<Manufacturer, Vec<f64>> = HashMap::new();
+        for ((district, mfr), &(hos, hofs)) in &self.cells {
+            let Some(&(n_ues, device_type)) = cell_ues.get(&(*district, *mfr)) else {
+                continue;
+            };
+            if (n_ues as usize) < min_devices || hos == 0 {
+                continue;
+            }
+            let Some(&(tot_hos, tot_hofs)) = self.totals.get(&(*district, device_type)) else {
+                continue;
+            };
+            let tot_n_ues = total_ues.get(&(*district, device_type)).copied().unwrap_or(0);
+            if tot_hos == 0 || tot_n_ues == 0 {
+                continue;
+            }
+            let mfr_hos_per_ue = hos as f64 / n_ues as f64 / n_days;
+            let all_hos_per_ue = tot_hos as f64 / tot_n_ues as f64 / n_days;
+            ho_ratios.entry(*mfr).or_default().push(mfr_hos_per_ue / all_hos_per_ue);
+            let all_rate = tot_hofs as f64 / tot_hos as f64;
+            if all_rate > 0.0 {
+                let mfr_rate = hofs as f64 / hos as f64;
+                hof_ratios.entry(*mfr).or_default().push(mfr_rate / all_rate);
+            }
+        }
+
+        let collect = |map: HashMap<Manufacturer, Vec<f64>>| -> Vec<(Manufacturer, BoxplotStats)> {
+            let mut v: Vec<(Manufacturer, BoxplotStats)> = map
+                .into_iter()
+                .filter_map(|(m, xs)| BoxplotStats::of(&xs).map(|b| (m, b)))
+                .collect();
+            v.sort_by_key(|(m, _)| m.index());
+            v
+        };
+        ManufacturerImpact {
+            ho_ratio: collect(ho_ratios),
+            hof_ratio: collect(hof_ratios),
+            min_devices,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sweep::Sweep;
     use telco_sim::{run_study, SimConfig};
 
     fn impact() -> &'static ManufacturerImpact {
@@ -153,7 +196,8 @@ mod tests {
             cfg.n_ues = 2500;
             cfg.n_days = 3;
             cfg.threads = 0;
-            ManufacturerImpact::compute(&run_study(cfg), 3)
+            let data = run_study(cfg);
+            Sweep::new(&data).run(|| ManufacturerPass::new(3)).unwrap()
         })
     }
 
@@ -182,8 +226,9 @@ mod tests {
         let mut cfg = SimConfig::tiny();
         cfg.n_ues = 600;
         let s = run_study(cfg);
-        let strict = ManufacturerImpact::compute(&s, 50);
-        let loose = ManufacturerImpact::compute(&s, 1);
+        let sweep = Sweep::new(&s);
+        let strict = sweep.run(|| ManufacturerPass::new(50)).unwrap();
+        let loose = sweep.run(|| ManufacturerPass::new(1)).unwrap();
         let strict_n: usize = strict.ho_ratio.iter().map(|(_, b)| b.n).sum();
         let loose_n: usize = loose.ho_ratio.iter().map(|(_, b)| b.n).sum();
         assert!(strict_n <= loose_n);

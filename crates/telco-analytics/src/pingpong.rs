@@ -12,9 +12,10 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 
 use telco_devices::types::Manufacturer;
-use telco_sim::StudyData;
+use telco_trace::record::HoRecord;
 
 use crate::frame::Enriched;
+use crate::sweep::{AnalysisPass, SweepCtx};
 use crate::tables::{num, pct, TextTable};
 
 /// The conventional PP detection window, ms (Zidic et al. use 5 s).
@@ -39,58 +40,6 @@ pub struct PingPongAnalysis {
 }
 
 impl PingPongAnalysis {
-    /// Detect ping-pongs with the default 5-second window.
-    pub fn compute(study: &StudyData) -> Self {
-        Self::compute_with_window(study, DEFAULT_WINDOW_MS)
-    }
-
-    /// Detect ping-pongs: for each UE, a handover A→B followed within the
-    /// window by B→A counts the return leg as a ping-pong.
-    pub fn compute_with_window(study: &StudyData, window_ms: u64) -> Self {
-        let enriched = Enriched::new(study);
-        // Last handover per UE: (timestamp, source, target).
-        let mut last: HashMap<u32, (u64, u32, u32)> = HashMap::new();
-        let mut total = 0u64;
-        let mut pingpong = 0u64;
-        let mut return_sum = 0.0f64;
-        let mut per_mfr: HashMap<Manufacturer, (u64, u64)> = HashMap::new();
-
-        // Records are timestamp-sorted by construction.
-        for r in study.output.dataset.records() {
-            total += 1;
-            let mfr = enriched.manufacturer(r);
-            let counts = per_mfr.entry(mfr).or_insert((0, 0));
-            counts.0 += 1;
-            if let Some(&(prev_ts, prev_src, prev_tgt)) = last.get(&r.ue.0) {
-                let is_return = r.source_sector.0 == prev_tgt
-                    && r.target_sector.0 == prev_src
-                    && r.timestamp_ms.saturating_sub(prev_ts) <= window_ms;
-                if is_return {
-                    pingpong += 1;
-                    counts.1 += 1;
-                    return_sum += (r.timestamp_ms - prev_ts) as f64;
-                }
-            }
-            last.insert(r.ue.0, (r.timestamp_ms, r.source_sector.0, r.target_sector.0));
-        }
-
-        let mut by_manufacturer: Vec<(Manufacturer, f64)> = per_mfr
-            .into_iter()
-            .filter(|(_, (n, _))| *n >= 100)
-            .map(|(m, (n, pp))| (m, pp as f64 / n as f64))
-            .collect();
-        by_manufacturer.sort_by_key(|(m, _)| m.index());
-
-        PingPongAnalysis {
-            window_ms,
-            total_hos: total,
-            pingpong_hos: pingpong,
-            rate: pingpong as f64 / total.max(1) as f64,
-            by_manufacturer,
-            mean_return_ms: if pingpong > 0 { return_sum / pingpong as f64 } else { 0.0 },
-        }
-    }
-
     /// Render as a table.
     pub fn table(&self) -> TextTable {
         let mut t = TextTable::new(
@@ -108,10 +57,132 @@ impl PingPongAnalysis {
     }
 }
 
+/// Streaming accumulator for [`PingPongAnalysis`]: for each UE, a handover
+/// A→B followed within the window by B→A counts the return leg as a
+/// ping-pong. Records arrive timestamp-sorted by construction; merging
+/// partitions stitches pairs across the boundary by checking each UE's
+/// first handover of the later span against its last of the earlier one.
+#[derive(Debug)]
+pub struct PingPongPass {
+    window_ms: u64,
+    /// First handover per UE in this span: (timestamp, source, target).
+    first: HashMap<u32, (u64, u32, u32)>,
+    /// Last handover per UE in this span.
+    last: HashMap<u32, (u64, u32, u32)>,
+    total: u64,
+    pingpong: u64,
+    return_sum: f64,
+    /// Per manufacturer: (HOs, ping-pongs).
+    per_mfr: HashMap<Manufacturer, (u64, u64)>,
+}
+
+impl PingPongPass {
+    /// A pass with an explicit detection window.
+    pub fn new(window_ms: u64) -> Self {
+        PingPongPass {
+            window_ms,
+            first: HashMap::new(),
+            last: HashMap::new(),
+            total: 0,
+            pingpong: 0,
+            return_sum: 0.0,
+            per_mfr: HashMap::new(),
+        }
+    }
+}
+
+impl Default for PingPongPass {
+    fn default() -> Self {
+        PingPongPass::new(DEFAULT_WINDOW_MS)
+    }
+}
+
+impl AnalysisPass for PingPongPass {
+    type Output = PingPongAnalysis;
+
+    fn record(&mut self, r: &HoRecord, e: &Enriched) {
+        self.total += 1;
+        let mfr = e.manufacturer(r);
+        let counts = self.per_mfr.entry(mfr).or_insert((0, 0));
+        counts.0 += 1;
+        if let Some(&(prev_ts, prev_src, prev_tgt)) = self.last.get(&r.ue.0) {
+            let is_return = r.source_sector.0 == prev_tgt
+                && r.target_sector.0 == prev_src
+                && r.timestamp_ms.saturating_sub(prev_ts) <= self.window_ms;
+            if is_return {
+                self.pingpong += 1;
+                counts.1 += 1;
+                self.return_sum += (r.timestamp_ms - prev_ts) as f64;
+            }
+        }
+        let leg = (r.timestamp_ms, r.source_sector.0, r.target_sector.0);
+        self.first.entry(r.ue.0).or_insert(leg);
+        self.last.insert(r.ue.0, leg);
+    }
+
+    fn merge(&mut self, other: Self, ctx: &SweepCtx) {
+        self.total += other.total;
+        self.pingpong += other.pingpong;
+        self.return_sum += other.return_sum;
+        for (mfr, (n, pp)) in other.per_mfr {
+            let counts = self.per_mfr.entry(mfr).or_insert((0, 0));
+            counts.0 += n;
+            counts.1 += pp;
+        }
+        // Boundary stitch: `other`'s first leg per UE may return `self`'s
+        // last one.
+        for (&ue, &(ts, src, tgt)) in &other.first {
+            if let Some(&(prev_ts, prev_src, prev_tgt)) = self.last.get(&ue) {
+                let is_return = src == prev_tgt
+                    && tgt == prev_src
+                    && ts.saturating_sub(prev_ts) <= self.window_ms;
+                if is_return {
+                    self.pingpong += 1;
+                    self.return_sum += (ts - prev_ts) as f64;
+                    let mfr = ctx.world.ue(telco_devices::population::UeId(ue)).manufacturer;
+                    self.per_mfr.entry(mfr).or_insert((0, 0)).1 += 1;
+                }
+            }
+        }
+        // `other` is later in trace order: its last legs supersede ours,
+        // and its first legs only fill UEs we never saw.
+        for (ue, leg) in other.last {
+            self.last.insert(ue, leg);
+        }
+        for (ue, leg) in other.first {
+            self.first.entry(ue).or_insert(leg);
+        }
+    }
+
+    fn end(self, _ctx: &SweepCtx) -> PingPongAnalysis {
+        let mut by_manufacturer: Vec<(Manufacturer, f64)> = self
+            .per_mfr
+            .into_iter()
+            .filter(|(_, (n, _))| *n >= 100)
+            .map(|(m, (n, pp))| (m, pp as f64 / n as f64))
+            .collect();
+        by_manufacturer.sort_by_key(|(m, _)| m.index());
+
+        PingPongAnalysis {
+            window_ms: self.window_ms,
+            total_hos: self.total,
+            pingpong_hos: self.pingpong,
+            rate: self.pingpong as f64 / self.total.max(1) as f64,
+            by_manufacturer,
+            mean_return_ms: if self.pingpong > 0 {
+                self.return_sum / self.pingpong as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use telco_sim::{run_study, SimConfig};
+    use crate::sweep::Sweep;
+    use telco_sim::{run_study, SimConfig, StudyData};
 
     fn study() -> &'static StudyData {
         static CELL: std::sync::OnceLock<StudyData> = std::sync::OnceLock::new();
@@ -123,9 +194,13 @@ mod tests {
         })
     }
 
+    fn pingpong() -> PingPongAnalysis {
+        Sweep::new(study()).run(PingPongPass::default).unwrap()
+    }
+
     #[test]
     fn pingpongs_exist_and_are_minority() {
-        let pp = PingPongAnalysis::compute(study());
+        let pp = pingpong();
         assert!(pp.total_hos > 1_000);
         assert!(pp.pingpong_hos > 0, "chatty manufacturers must produce ping-pongs");
         assert!(pp.rate < 0.35, "PP rate {} implausibly high", pp.rate);
@@ -134,14 +209,30 @@ mod tests {
 
     #[test]
     fn window_zero_finds_only_instant_returns() {
-        let strict = PingPongAnalysis::compute_with_window(study(), 1);
-        let loose = PingPongAnalysis::compute_with_window(study(), 60_000);
+        let sweep = Sweep::new(study());
+        let strict = sweep.run(|| PingPongPass::new(1)).unwrap();
+        let loose = sweep.run(|| PingPongPass::new(60_000)).unwrap();
         assert!(strict.pingpong_hos <= loose.pingpong_hos);
     }
 
     #[test]
+    fn parallel_stitch_matches_sequential() {
+        // Same trace swept with 1 thread and with day partitioning: the
+        // boundary stitch must recover every cross-midnight ping-pong.
+        let mut cfg = SimConfig::tiny();
+        cfg.n_ues = 1_000;
+        cfg.threads = 1;
+        let seq = run_study(cfg.clone());
+        cfg.threads = 4;
+        let par = run_study(cfg);
+        let a = Sweep::new(&seq).run(PingPongPass::default).unwrap();
+        let b = Sweep::new(&par).run(PingPongPass::default).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn chatty_manufacturers_pingpong_more() {
-        let pp = PingPongAnalysis::compute(study());
+        let pp = pingpong();
         let get =
             |m: Manufacturer| pp.by_manufacturer.iter().find(|(x, _)| *x == m).map(|(_, r)| *r);
         if let (Some(simcom), Some(apple)) = (get(Manufacturer::Simcom), get(Manufacturer::Apple)) {
@@ -151,6 +242,6 @@ mod tests {
 
     #[test]
     fn table_renders() {
-        assert!(PingPongAnalysis::compute(study()).table().to_string().contains("PP rate"));
+        assert!(pingpong().table().to_string().contains("PP rate"));
     }
 }

@@ -1,24 +1,177 @@
-//! The `Study` orchestrator: run a simulation once, compute any of the
-//! paper's analyses on demand (caching the shared sector-day frame).
+//! The `Study` orchestrator: run a simulation once, then fill **every**
+//! record-derived analysis in a single shared sweep of the trace.
+//!
+//! The first call to any swept getter triggers one [`Sweep`] that runs
+//! the [`StudyPasses`] composite — all ~12 record analyses plus both
+//! sector frames as one visitor — so a full study traverses the trace
+//! once whether it lives in memory or spilled on disk. Analyses that
+//! read only the world or the mobility output (device mix, RAT usage,
+//! deployment evolution, mobility ECDFs) never touch the trace at all.
 
 use telco_sim::{run_study, SimConfig, StudyData};
 
-use crate::frame::SectorDayFrame;
-use crate::geodemo::{HoDensity, PopulationInference};
-use crate::handovers::{DistrictDistribution, DurationAnalysis, HoTypeTable};
+use crate::frame::{FramePass, FrameWindow, SectorDayFrame};
+use crate::geodemo::{HoDensity, HoDensityPass, PopulationInference, PopulationPass};
+use crate::handovers::{
+    DistrictDistribution, DistrictPass, DurationAnalysis, DurationPass, HoTypePass, HoTypeTable,
+};
 use crate::heterogeneity::{DatasetStats, DeploymentEvolution, DeviceMix, RatUsage};
-use crate::hof::{CauseAnalysis, HofPatterns};
-use crate::manufacturer::ManufacturerImpact;
+use crate::hof::{CauseAnalysis, CausePass, HofPatterns, HofPatternsPass};
+use crate::manufacturer::{ManufacturerImpact, ManufacturerPass};
 use crate::mobility_analysis::{HofVsMobility, MobilityEcdfs};
 use crate::modeling::{HofModels, ModelingOptions};
-use crate::timeseries::TemporalEvolution;
-use crate::vendor_analysis::VendorAnalysis;
+use crate::pingpong::{PingPongAnalysis, PingPongPass};
+use crate::sweep::{AnalysisPass, Sweep, SweepCtx, TraceCounts, TraceCountsPass};
+use crate::timeseries::{TemporalEvolution, TemporalPass};
+use crate::vendor_analysis::{VendorAnalysis, VendorPass};
 
-/// A completed study plus lazily computed analyses.
+/// Everything one shared sweep produces: the full set of record-derived
+/// analyses plus both sector frames.
+pub struct SweepOutputs {
+    /// Whole-trace counters (record totals, failure count).
+    pub trace_counts: TraceCounts,
+    /// Table 2.
+    pub ho_types: HoTypeTable,
+    /// Fig. 8.
+    pub durations: DurationAnalysis,
+    /// Fig. 9.
+    pub district_distribution: DistrictDistribution,
+    /// Fig. 5.
+    pub population_inference: PopulationInference,
+    /// Fig. 6.
+    pub ho_density: HoDensity,
+    /// Fig. 7.
+    pub temporal_evolution: TemporalEvolution,
+    /// Fig. 11.
+    pub manufacturer_impact: ManufacturerImpact,
+    /// Fig. 12.
+    pub hof_patterns: HofPatterns,
+    /// Figs. 14–15.
+    pub causes: CauseAnalysis,
+    /// The §7 ping-pong lens.
+    pub pingpong: PingPongAnalysis,
+    /// Figs. 17–18.
+    pub vendor_analysis: VendorAnalysis,
+    /// The daily sector frame.
+    pub frame: SectorDayFrame,
+    /// The full-period sector frame used by the §6.3 models.
+    pub period_frame: SectorDayFrame,
+}
+
+/// The composite pass behind [`Study`]: every registered analysis as one
+/// visitor, so the sweep driver feeds each record to all of them during a
+/// single traversal.
+#[derive(Default)]
+pub struct StudyPasses {
+    counts: TraceCountsPass,
+    ho_types: HoTypePass,
+    durations: DurationPass,
+    districts: DistrictPass,
+    population: PopulationPass,
+    density: HoDensityPass,
+    temporal: TemporalPass,
+    manufacturer: ManufacturerPass,
+    hof_patterns: HofPatternsPass,
+    causes: CausePass,
+    pingpong: PingPongPass,
+    vendor: VendorPass,
+    frame: Option<FramePass>,
+    period_frame: Option<FramePass>,
+}
+
+impl AnalysisPass for StudyPasses {
+    type Output = SweepOutputs;
+
+    fn begin(&mut self, ctx: &SweepCtx) {
+        self.counts.begin(ctx);
+        self.ho_types.begin(ctx);
+        self.durations.begin(ctx);
+        self.districts.begin(ctx);
+        self.population.begin(ctx);
+        self.density.begin(ctx);
+        self.temporal.begin(ctx);
+        self.manufacturer.begin(ctx);
+        self.hof_patterns.begin(ctx);
+        self.causes.begin(ctx);
+        self.pingpong.begin(ctx);
+        self.vendor.begin(ctx);
+        let mut frame = FramePass::new(FrameWindow::Daily);
+        frame.begin(ctx);
+        self.frame = Some(frame);
+        let mut period = FramePass::new(FrameWindow::FullPeriod);
+        period.begin(ctx);
+        self.period_frame = Some(period);
+    }
+
+    fn record(&mut self, r: &telco_trace::record::HoRecord, e: &crate::frame::Enriched) {
+        self.counts.record(r, e);
+        self.ho_types.record(r, e);
+        self.durations.record(r, e);
+        self.districts.record(r, e);
+        self.population.record(r, e);
+        self.density.record(r, e);
+        self.temporal.record(r, e);
+        self.manufacturer.record(r, e);
+        self.hof_patterns.record(r, e);
+        self.causes.record(r, e);
+        self.pingpong.record(r, e);
+        self.vendor.record(r, e);
+        if let Some(frame) = &mut self.frame {
+            frame.record(r, e);
+        }
+        if let Some(period) = &mut self.period_frame {
+            period.record(r, e);
+        }
+    }
+
+    fn merge(&mut self, other: Self, ctx: &SweepCtx) {
+        self.counts.merge(other.counts, ctx);
+        self.ho_types.merge(other.ho_types, ctx);
+        self.durations.merge(other.durations, ctx);
+        self.districts.merge(other.districts, ctx);
+        self.population.merge(other.population, ctx);
+        self.density.merge(other.density, ctx);
+        self.temporal.merge(other.temporal, ctx);
+        self.manufacturer.merge(other.manufacturer, ctx);
+        self.hof_patterns.merge(other.hof_patterns, ctx);
+        self.causes.merge(other.causes, ctx);
+        self.pingpong.merge(other.pingpong, ctx);
+        self.vendor.merge(other.vendor, ctx);
+        if let (Some(frame), Some(theirs)) = (&mut self.frame, other.frame) {
+            frame.merge(theirs, ctx);
+        }
+        if let (Some(period), Some(theirs)) = (&mut self.period_frame, other.period_frame) {
+            period.merge(theirs, ctx);
+        }
+    }
+
+    fn end(self, ctx: &SweepCtx) -> SweepOutputs {
+        let frame = self.frame.expect("begin ran").end(ctx);
+        let vendor_counts = self.vendor.end(ctx);
+        SweepOutputs {
+            trace_counts: self.counts.end(ctx),
+            ho_types: self.ho_types.end(ctx),
+            durations: self.durations.end(ctx),
+            district_distribution: self.districts.end(ctx),
+            population_inference: self.population.end(ctx),
+            ho_density: self.density.end(ctx),
+            temporal_evolution: self.temporal.end(ctx),
+            manufacturer_impact: self.manufacturer.end(ctx),
+            hof_patterns: self.hof_patterns.end(ctx),
+            causes: self.causes.end(ctx),
+            pingpong: self.pingpong.end(ctx),
+            vendor_analysis: VendorAnalysis::from_parts(ctx.world, vendor_counts, &frame),
+            period_frame: self.period_frame.expect("begin ran").end(ctx),
+            frame,
+        }
+    }
+}
+
+/// A completed study plus its analyses, all filled by one shared sweep on
+/// first use.
 pub struct Study {
     data: StudyData,
-    frame: std::sync::OnceLock<SectorDayFrame>,
-    period_frame: std::sync::OnceLock<SectorDayFrame>,
+    sweep: std::sync::OnceLock<SweepOutputs>,
 }
 
 impl Study {
@@ -29,7 +182,7 @@ impl Study {
 
     /// Wrap an existing study.
     pub fn from_data(data: StudyData) -> Self {
-        Study { data, frame: std::sync::OnceLock::new(), period_frame: std::sync::OnceLock::new() }
+        Study { data, sweep: std::sync::OnceLock::new() }
     }
 
     /// The underlying simulation output.
@@ -37,28 +190,42 @@ impl Study {
         &self.data
     }
 
-    /// The sector-day frame (computed once).
+    /// The shared sweep results (one trace traversal, computed once).
+    pub fn sweep(&self) -> &SweepOutputs {
+        self.sweep.get_or_init(|| {
+            Sweep::new(&self.data)
+                .run(StudyPasses::default)
+                .unwrap_or_else(|issue| panic!("study sweep failed: {issue:?}"))
+        })
+    }
+
+    /// Whole-trace counters (record totals per type, failure count).
+    pub fn trace_counts(&self) -> &TraceCounts {
+        &self.sweep().trace_counts
+    }
+
+    /// The sector-day frame (filled by the shared sweep).
     pub fn frame(&self) -> &SectorDayFrame {
-        self.frame.get_or_init(|| SectorDayFrame::build(&self.data))
+        &self.sweep().frame
     }
 
     /// The full-period sector frame used by the regression models: one
     /// observation per (sector, study period, HO type) — the
     /// scale-equivalent of the paper's sector-day unit given ~3,000×
-    /// fewer UEs (see DESIGN.md).
+    /// fewer UEs (see DESIGN.md). Comes from the same sweep as
+    /// [`Study::frame`], never a second traversal.
     pub fn period_frame(&self) -> &SectorDayFrame {
-        self.period_frame
-            .get_or_init(|| SectorDayFrame::build_windowed(&self.data, self.data.config.n_days))
+        &self.sweep().period_frame
     }
 
-    /// Table 1 — dataset statistics.
+    /// Table 1 — dataset statistics (no trace scan: sealed counts only).
     pub fn dataset_stats(&self) -> DatasetStats {
         DatasetStats::compute(&self.data)
     }
 
     /// Table 2 — HO type × device type shares.
-    pub fn ho_types(&self) -> HoTypeTable {
-        HoTypeTable::compute(&self.data)
+    pub fn ho_types(&self) -> &HoTypeTable {
+        &self.sweep().ho_types
     }
 
     /// Fig. 3a — deployment evolution.
@@ -77,28 +244,28 @@ impl Study {
     }
 
     /// Fig. 5 — population inference vs census.
-    pub fn population_inference(&self) -> PopulationInference {
-        PopulationInference::compute(&self.data, 14)
+    pub fn population_inference(&self) -> &PopulationInference {
+        &self.sweep().population_inference
     }
 
     /// Fig. 6 — HO density vs population density.
-    pub fn ho_density(&self) -> HoDensity {
-        HoDensity::compute(&self.data)
+    pub fn ho_density(&self) -> &HoDensity {
+        &self.sweep().ho_density
     }
 
     /// Fig. 7 — temporal evolution.
-    pub fn temporal_evolution(&self) -> TemporalEvolution {
-        TemporalEvolution::compute(&self.data)
+    pub fn temporal_evolution(&self) -> &TemporalEvolution {
+        &self.sweep().temporal_evolution
     }
 
     /// Fig. 8 — duration ECDFs.
-    pub fn durations(&self) -> DurationAnalysis {
-        DurationAnalysis::compute(&self.data)
+    pub fn durations(&self) -> &DurationAnalysis {
+        &self.sweep().durations
     }
 
     /// Fig. 9 — district distribution of HO types.
-    pub fn district_distribution(&self) -> DistrictDistribution {
-        DistrictDistribution::compute(&self.data)
+    pub fn district_distribution(&self) -> &DistrictDistribution {
+        &self.sweep().district_distribution
     }
 
     /// Fig. 10 — mobility ECDFs.
@@ -107,16 +274,13 @@ impl Study {
     }
 
     /// Fig. 11 — manufacturer impact (device threshold scaled to the run).
-    pub fn manufacturer_impact(&self) -> ManufacturerImpact {
-        // The paper requires ≥1k devices per district-manufacturer pair at
-        // 40M-UE scale; scale proportionally with a floor of 3.
-        let min_devices = (self.data.config.n_ues / 40_000).max(3);
-        ManufacturerImpact::compute(&self.data, min_devices)
+    pub fn manufacturer_impact(&self) -> &ManufacturerImpact {
+        &self.sweep().manufacturer_impact
     }
 
     /// Fig. 12 — hourly HOF patterns.
-    pub fn hof_patterns(&self) -> HofPatterns {
-        HofPatterns::compute(&self.data)
+    pub fn hof_patterns(&self) -> &HofPatterns {
+        &self.sweep().hof_patterns
     }
 
     /// Fig. 13 — HOF rate vs mobility.
@@ -125,8 +289,8 @@ impl Study {
     }
 
     /// Figs. 14–15 — cause analysis.
-    pub fn causes(&self) -> CauseAnalysis {
-        CauseAnalysis::compute(&self.data)
+    pub fn causes(&self) -> &CauseAnalysis {
+        &self.sweep().causes
     }
 
     /// Tables 4–9 + Fig. 16 — the §6.3 statistical models, computed on the
@@ -136,13 +300,13 @@ impl Study {
     }
 
     /// Figs. 17–18 — vendor analysis.
-    pub fn vendor_analysis(&self) -> VendorAnalysis {
-        VendorAnalysis::compute(&self.data, self.frame())
+    pub fn vendor_analysis(&self) -> &VendorAnalysis {
+        &self.sweep().vendor_analysis
     }
 
     /// Ping-pong handover analysis (§7's operator-side PP-HO lens).
-    pub fn pingpong(&self) -> crate::pingpong::PingPongAnalysis {
-        crate::pingpong::PingPongAnalysis::compute(&self.data)
+    pub fn pingpong(&self) -> &PingPongAnalysis {
+        &self.sweep().pingpong
     }
 }
 
@@ -167,5 +331,39 @@ mod tests {
         assert!(!study.frame().is_empty());
         let models = study.models();
         assert!(models.anova_ho_type.p_value < 0.05);
+    }
+
+    #[test]
+    fn full_study_is_one_shared_sweep() {
+        let mut cfg = SimConfig::tiny();
+        cfg.n_ues = 800;
+        cfg.n_days = 2;
+        let study = Study::run(cfg);
+        // Touch every analysis the repro pipeline renders, including both
+        // frames and the models built on the period frame.
+        let _ = study.trace_counts();
+        let _ = study.dataset_stats();
+        let _ = study.ho_types();
+        let _ = study.deployment_evolution();
+        let _ = study.rat_usage();
+        let _ = study.device_mix();
+        let _ = study.population_inference();
+        let _ = study.ho_density();
+        let _ = study.temporal_evolution();
+        let _ = study.durations();
+        let _ = study.district_distribution();
+        let _ = study.mobility();
+        let _ = study.manufacturer_impact();
+        let _ = study.hof_patterns();
+        let _ = study.hof_vs_mobility();
+        let _ = study.causes();
+        let _ = study.models();
+        let _ = study.vendor_analysis();
+        let _ = study.pingpong();
+        let _ = study.frame();
+        let _ = study.period_frame();
+        let sweeps = study.data().trace.sweeps();
+        assert!(sweeps <= 2, "full study took {sweeps} trace traversals, expected ≤ 2");
+        assert!(sweeps >= 1, "analyses never touched the trace");
     }
 }

@@ -1,0 +1,298 @@
+// telco-lint: deny-nondeterminism
+//! The single-sweep streaming analysis engine.
+//!
+//! Every record-scanning analysis is an [`AnalysisPass`]: an accumulator
+//! with `begin → record* → end` lifecycle plus a deterministic `merge`
+//! for day-partitioned parallel sweeps. The [`Sweep`] driver runs any
+//! pass (or a composite of many) in **one** shared traversal of the
+//! study's [`telco_sim::TraceSource`] — borrowed slice-by-slice from the
+//! in-memory dataset, or streamed chunk-by-chunk from a spilled v2 trace
+//! with bounded memory.
+//!
+//! # Determinism of the parallel merge
+//!
+//! The parallel sweep claims whole study days off a
+//! [`telco_sim::StealCursor`], runs a fresh pass per day, then folds the
+//! per-day accumulators **in day order** (via
+//! [`telco_sim::collect_runs`]), so which worker processed which day can
+//! never reach the output. Pass authors keep the fold exact by obeying
+//! the [`AnalysisPass::merge`] contract: accumulate only order-robust
+//! state during `record` (integer counters, integer-valued `f64` sums —
+//! exact under regrouping below 2^53 — set unions, and sample vectors
+//! concatenated in trace order) and defer every order-sensitive
+//! computation (ratios, sorts, ECDFs, world joins) to `end`.
+
+use telco_sim::{collect_runs, SimConfig, StealCursor, StudyData, World};
+use telco_trace::record::HoRecord;
+use telco_trace::store::ChunkIssue;
+
+use crate::frame::Enriched;
+
+/// Shared context handed to every pass hook: the world for joins and the
+/// config for scale parameters. Never carries the trace — records only
+/// flow through [`AnalysisPass::record`].
+pub struct SweepCtx<'a> {
+    /// The simulated world (topology, census, device catalog).
+    pub world: &'a World,
+    /// The study configuration.
+    pub config: &'a SimConfig,
+}
+
+/// A streaming analysis: an accumulator over one trace traversal.
+///
+/// Lifecycle: `begin(ctx)` once, `record(r, e)` per handover record in
+/// timestamp order, `end(ctx)` once to produce the output. A parallel
+/// sweep runs one instance per study day and folds them with `merge`.
+pub trait AnalysisPass {
+    /// The finished analysis this pass produces.
+    type Output;
+
+    /// Reset and size the accumulator. Called once before any records;
+    /// allocate only empty per-record state here — world-derived
+    /// contributions belong in [`AnalysisPass::end`] so partition merges
+    /// stay purely additive.
+    fn begin(&mut self, _ctx: &SweepCtx) {}
+
+    /// Fold one handover record into the accumulator.
+    fn record(&mut self, r: &HoRecord, e: &Enriched);
+
+    /// Fold another instance of this pass into `self`. `other` saw a
+    /// later, disjoint span of the trace (the driver merges in day
+    /// order). The fold must be deterministic: the result may depend on
+    /// which records each side saw, never on hash-iteration or thread
+    /// order.
+    fn merge(&mut self, other: Self, ctx: &SweepCtx)
+    where
+        Self: Sized;
+
+    /// Finish the analysis: ratios, sorts, ECDFs, and world joins.
+    fn end(self, ctx: &SweepCtx) -> Self::Output;
+}
+
+/// The sweep driver: one shared traversal of a study's trace feeding any
+/// pass. Sequential over in-memory or spilled sources; day-parallel over
+/// in-memory sources when the config asks for threads.
+pub struct Sweep<'a> {
+    data: &'a StudyData,
+}
+
+impl<'a> Sweep<'a> {
+    /// A sweep over the study's trace.
+    pub fn new(data: &'a StudyData) -> Self {
+        Sweep { data }
+    }
+
+    /// Run one pass (or composite) in a single trace traversal. `make`
+    /// builds a fresh accumulator; the parallel mode calls it once per
+    /// study day plus once for the fold base.
+    ///
+    /// # Errors
+    ///
+    /// Fails only when a spilled trace hits an underlying I/O error;
+    /// damaged chunks are skipped (skip-and-report, as everywhere else in
+    /// the trace layer).
+    pub fn run<P, F>(&self, make: F) -> Result<P::Output, ChunkIssue>
+    where
+        P: AnalysisPass + Send,
+        F: Fn() -> P + Sync,
+    {
+        let ctx = SweepCtx { world: &self.data.world, config: &self.data.config };
+        let threads = resolve_threads(&self.data.config);
+        if threads > 1 && self.data.config.n_days > 1 {
+            // Spilled sources stream sequentially (day_slices is None).
+            if let Some(output) = self.run_parallel(&make, &ctx, threads) {
+                return Ok(output);
+            }
+        }
+        self.run_sequential(make(), &ctx)
+    }
+
+    fn run_sequential<P: AnalysisPass>(
+        &self,
+        mut pass: P,
+        ctx: &SweepCtx,
+    ) -> Result<P::Output, ChunkIssue> {
+        let enriched = Enriched::new(ctx.world);
+        pass.begin(ctx);
+        // telco-lint: deny-panic(begin)
+        self.data.trace.for_each_chunk(|chunk| {
+            for r in chunk {
+                pass.record(r, &enriched);
+            }
+        })?;
+        // telco-lint: deny-panic(end)
+        Ok(pass.end(ctx))
+    }
+
+    /// Day-partitioned parallel sweep. Returns `None` when the source
+    /// cannot be partitioned (spilled traces), falling back to the
+    /// sequential path without consuming an extra traversal.
+    fn run_parallel<P, F>(&self, make: &F, ctx: &SweepCtx, threads: usize) -> Option<P::Output>
+    where
+        P: AnalysisPass + Send,
+        F: Fn() -> P + Sync,
+    {
+        let slices = self.data.trace.day_slices(self.data.config.n_days)?;
+        let enriched = Enriched::new(ctx.world);
+        let cursor = StealCursor::new(slices.len());
+        let workers = threads.min(slices.len()).max(1);
+
+        let per_worker: Vec<Vec<(usize, P)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let (slices, cursor) = (&slices, &cursor);
+                    scope.spawn(move || {
+                        let mut done: Vec<(usize, P)> = Vec::new();
+                        while let Some(day) = cursor.claim() {
+                            let mut pass = make();
+                            pass.begin(ctx);
+                            // telco-lint: deny-panic(begin)
+                            for r in slices.get(day).copied().unwrap_or(&[]) {
+                                pass.record(r, &enriched);
+                            }
+                            // telco-lint: deny-panic(end)
+                            done.push((day, pass));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
+        });
+
+        // telco-lint: deny-nondeterminism(begin)
+        // Fold the per-day accumulators in day order — collect_runs sorts
+        // by claimed item index, so worker assignment cannot reach the
+        // merge sequence and the fold replays the sequential order.
+        let mut base = make();
+        base.begin(ctx);
+        for (_, part) in collect_runs(per_worker) {
+            base.merge(part, ctx);
+        }
+        // telco-lint: deny-nondeterminism(end)
+        Some(base.end(ctx))
+    }
+}
+
+fn resolve_threads(config: &SimConfig) -> usize {
+    if config.threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        config.threads
+    }
+}
+
+/// Whole-trace counters every summary needs: record totals per handover
+/// type and the failure count. Replaces the `SignalingDataset` accessors
+/// (`len`, `counts_by_type`, `hof_rate`) for studies whose trace may live
+/// on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceCounts {
+    /// Total handover records swept.
+    pub records: u64,
+    /// Records per handover type (`HoType::index()` order).
+    pub by_type: [u64; 3],
+    /// Failed handovers among them.
+    pub failures: u64,
+    /// Study-day span (for daily normalization).
+    pub days: u32,
+}
+
+impl TraceCounts {
+    /// Failures per handover.
+    pub fn hof_rate(&self) -> f64 {
+        if self.records == 0 {
+            return 0.0;
+        }
+        self.failures as f64 / self.records as f64
+    }
+
+    /// Average records per study day.
+    pub fn daily_mean(&self) -> f64 {
+        if self.days == 0 {
+            return 0.0;
+        }
+        self.records as f64 / self.days as f64
+    }
+}
+
+/// The [`TraceCounts`] accumulator.
+#[derive(Debug, Default)]
+pub struct TraceCountsPass {
+    counts: TraceCounts,
+}
+
+impl AnalysisPass for TraceCountsPass {
+    type Output = TraceCounts;
+
+    fn begin(&mut self, ctx: &SweepCtx) {
+        self.counts = TraceCounts { days: ctx.config.n_days, ..TraceCounts::default() };
+    }
+
+    fn record(&mut self, r: &HoRecord, _e: &Enriched) {
+        self.counts.records += 1;
+        self.counts.by_type[r.ho_type().index()] += 1;
+        self.counts.failures += u64::from(r.is_failure());
+    }
+
+    fn merge(&mut self, other: Self, _ctx: &SweepCtx) {
+        self.counts.records += other.counts.records;
+        self.counts.failures += other.counts.failures;
+        for (mine, theirs) in self.counts.by_type.iter_mut().zip(other.counts.by_type) {
+            *mine += theirs;
+        }
+    }
+
+    fn end(self, _ctx: &SweepCtx) -> TraceCounts {
+        self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telco_sim::{run_study, run_study_spilled, SimConfig};
+
+    #[test]
+    fn trace_counts_match_dataset() {
+        let data = run_study(SimConfig::tiny());
+        let counts = Sweep::new(&data).run(TraceCountsPass::default).unwrap();
+        let dataset = data.trace.as_dataset().unwrap();
+        assert_eq!(counts.records, dataset.len() as u64);
+        assert_eq!(counts.by_type, dataset.counts_by_type());
+        assert_eq!(counts.hof_rate(), dataset.hof_rate());
+        assert_eq!(counts.daily_mean(), dataset.daily_mean());
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential() {
+        let mut seq_cfg = SimConfig::tiny();
+        seq_cfg.threads = 1;
+        let mut par_cfg = seq_cfg.clone();
+        par_cfg.threads = 4;
+        let seq = run_study(seq_cfg);
+        let par = run_study(par_cfg);
+        let a = Sweep::new(&seq).run(TraceCountsPass::default).unwrap();
+        let b = Sweep::new(&par).run(TraceCountsPass::default).unwrap();
+        assert_eq!(a, b);
+        // One traversal each, whichever mode ran.
+        assert_eq!(seq.trace.sweeps(), 1);
+        assert_eq!(par.trace.sweeps(), 1);
+    }
+
+    #[test]
+    fn spilled_sweep_streams_the_same_counts() {
+        let mut cfg = SimConfig::tiny();
+        cfg.n_ues = 150;
+        let in_mem = run_study(cfg.clone());
+        let dir = std::env::temp_dir().join("telco_sweep_spill_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spilled = run_study_spilled(cfg, &dir).unwrap();
+        let a = Sweep::new(&in_mem).run(TraceCountsPass::default).unwrap();
+        let b = Sweep::new(&spilled).run(TraceCountsPass::default).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(spilled.trace.sweeps(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

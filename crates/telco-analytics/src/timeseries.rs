@@ -8,10 +8,11 @@ use serde::{Deserialize, Serialize};
 
 use telco_geo::postcode::AreaType;
 use telco_mobility::schedule::DayOfWeek;
-use telco_sim::StudyData;
 use telco_stats::corr::pearson;
+use telco_trace::record::HoRecord;
 
 use crate::frame::Enriched;
+use crate::sweep::{AnalysisPass, SweepCtx};
 use crate::tables::{num, TextTable};
 
 /// 30-minute slots per week.
@@ -101,52 +102,109 @@ pub struct TemporalEvolution {
 }
 
 impl TemporalEvolution {
-    /// Compute from a study. Postcodes lacking reliable census data are
-    /// dropped, as in the paper (§5.1 footnote).
-    pub fn compute(study: &StudyData) -> Self {
-        let enriched = Enriched::new(study);
-        let n_weeks = study.config.n_days.div_ceil(7).max(1) as usize;
-        let mut ho_weeks =
-            [vec![vec![0.0; SLOTS_PER_WEEK]; n_weeks], vec![vec![0.0; SLOTS_PER_WEEK]; n_weeks]];
-        // Active sectors: distinct sectors with ≥1 HO per slot.
-        let mut active: Vec<[HashSet<u32>; 2]> = Vec::new();
-        active.resize_with(n_weeks * SLOTS_PER_WEEK, Default::default);
+    /// Render the summary statistics (the curves themselves are series).
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Fig 7: Temporal evolution of HOs & active sectors",
+            &["Metric", "Value"],
+        );
+        t.row_strs(&["Urban share of HOs", &num(100.0 * self.urban_ho_share, 1)]);
+        t.row_strs(&["Pearson(HOs, active sectors)", &num(self.ho_active_correlation, 3)]);
+        t.row_strs(&["Sunday vs Friday peak drop", &num(100.0 * self.sunday_vs_friday_drop, 1)]);
+        t.row_strs(&["Morning surge 6:00→8:00 (×)", &num(self.morning_surge, 2)]);
+        let peak = self.hos_urban.peak_slot();
+        t.row_strs(&[
+            "Urban peak (day, slot)",
+            &format!("{} {:02}:{:02}", DayOfWeek::ALL[peak / 48], (peak % 48) / 2, (peak % 2) * 30),
+        ]);
+        t
+    }
+}
 
-        let mut urban_total = 0u64;
-        let mut total = 0u64;
-        for r in study.output.dataset.records() {
-            let pc_id = study.world.topology.sector_postcode(r.source_sector);
-            let pc = study.world.country.postcode(pc_id);
-            if !pc.census_reliable {
-                continue;
-            }
-            let area = enriched.area(r);
-            let week = (r.day() / 7) as usize;
-            if week >= n_weeks {
-                continue;
-            }
-            let slot_of_week = (r.day() % 7) as usize * 48 + r.slot() as usize;
-            let ai = area.index().min(1);
-            ho_weeks[ai][week][slot_of_week] += 1.0;
-            active[week * SLOTS_PER_WEEK + slot_of_week][ai].insert(r.source_sector.0);
-            total += 1;
-            if area == AreaType::Urban {
-                urban_total += 1;
+/// Streaming accumulator for [`TemporalEvolution`]. Postcodes lacking
+/// reliable census data are dropped, as in the paper (§5.1 footnote).
+/// Every (week, slot-of-week) index belongs to exactly one study day, so
+/// day-partitioned merges add integer counts into disjoint slots and
+/// union disjoint active-sector sets — exactly the sequential result.
+#[derive(Debug, Default)]
+pub struct TemporalPass {
+    n_weeks: usize,
+    /// `ho_weeks[area][week][slot_of_week]`, integer-valued counts.
+    ho_weeks: [Vec<Vec<f64>>; 2],
+    /// Active sectors: distinct sectors with ≥1 HO per slot.
+    active: Vec<[HashSet<u32>; 2]>,
+    urban_total: u64,
+    total: u64,
+}
+
+impl AnalysisPass for TemporalPass {
+    type Output = TemporalEvolution;
+
+    fn begin(&mut self, ctx: &SweepCtx) {
+        self.n_weeks = ctx.config.n_days.div_ceil(7).max(1) as usize;
+        self.ho_weeks = [
+            vec![vec![0.0; SLOTS_PER_WEEK]; self.n_weeks],
+            vec![vec![0.0; SLOTS_PER_WEEK]; self.n_weeks],
+        ];
+        self.active = Vec::new();
+        self.active.resize_with(self.n_weeks * SLOTS_PER_WEEK, Default::default);
+        self.urban_total = 0;
+        self.total = 0;
+    }
+
+    fn record(&mut self, r: &HoRecord, e: &Enriched) {
+        let world = e.world();
+        let pc_id = world.topology.sector_postcode(r.source_sector);
+        let pc = world.country.postcode(pc_id);
+        if !pc.census_reliable {
+            return;
+        }
+        let area = e.area(r);
+        let week = (r.day() / 7) as usize;
+        if week >= self.n_weeks {
+            return;
+        }
+        let slot_of_week = (r.day() % 7) as usize * 48 + r.slot() as usize;
+        let ai = area.index().min(1);
+        self.ho_weeks[ai][week][slot_of_week] += 1.0;
+        self.active[week * SLOTS_PER_WEEK + slot_of_week][ai].insert(r.source_sector.0);
+        self.total += 1;
+        if area == AreaType::Urban {
+            self.urban_total += 1;
+        }
+    }
+
+    fn merge(&mut self, other: Self, _ctx: &SweepCtx) {
+        for (mine, theirs) in self.ho_weeks.iter_mut().zip(other.ho_weeks) {
+            for (week, t_week) in mine.iter_mut().zip(theirs) {
+                for (v, t) in week.iter_mut().zip(t_week) {
+                    *v += t;
+                }
             }
         }
+        for (mine, theirs) in self.active.iter_mut().zip(other.active) {
+            for (set, t) in mine.iter_mut().zip(theirs) {
+                set.extend(t);
+            }
+        }
+        self.urban_total += other.urban_total;
+        self.total += other.total;
+    }
 
+    fn end(self, _ctx: &SweepCtx) -> TemporalEvolution {
+        let n_weeks = self.n_weeks;
         let active_weeks: [Vec<Vec<f64>>; 2] = [0, 1].map(|ai| {
             (0..n_weeks)
                 .map(|w| {
                     (0..SLOTS_PER_WEEK)
-                        .map(|s| active[w * SLOTS_PER_WEEK + s][ai].len() as f64)
+                        .map(|s| self.active[w * SLOTS_PER_WEEK + s][ai].len() as f64)
                         .collect()
                 })
                 .collect()
         });
 
-        let mut hos_urban = WeeklyCurve::from_weeks(&ho_weeks[0]);
-        let mut hos_rural = WeeklyCurve::from_weeks(&ho_weeks[1]);
+        let mut hos_urban = WeeklyCurve::from_weeks(&self.ho_weeks[0]);
+        let mut hos_rural = WeeklyCurve::from_weeks(&self.ho_weeks[1]);
         let mut active_urban = WeeklyCurve::from_weeks(&active_weeks[0]);
         let mut active_rural = WeeklyCurve::from_weeks(&active_weeks[1]);
 
@@ -177,35 +235,18 @@ impl TemporalEvolution {
             hos_rural,
             active_urban,
             active_rural,
-            urban_ho_share: urban_total as f64 / total.max(1) as f64,
+            urban_ho_share: self.urban_total as f64 / self.total.max(1) as f64,
             ho_active_correlation: correlation,
             sunday_vs_friday_drop: 1.0 - sunday / friday.max(1e-9),
             morning_surge,
         }
-    }
-
-    /// Render the summary statistics (the curves themselves are series).
-    pub fn table(&self) -> TextTable {
-        let mut t = TextTable::new(
-            "Fig 7: Temporal evolution of HOs & active sectors",
-            &["Metric", "Value"],
-        );
-        t.row_strs(&["Urban share of HOs", &num(100.0 * self.urban_ho_share, 1)]);
-        t.row_strs(&["Pearson(HOs, active sectors)", &num(self.ho_active_correlation, 3)]);
-        t.row_strs(&["Sunday vs Friday peak drop", &num(100.0 * self.sunday_vs_friday_drop, 1)]);
-        t.row_strs(&["Morning surge 6:00→8:00 (×)", &num(self.morning_surge, 2)]);
-        let peak = self.hos_urban.peak_slot();
-        t.row_strs(&[
-            "Urban peak (day, slot)",
-            &format!("{} {:02}:{:02}", DayOfWeek::ALL[peak / 48], (peak % 48) / 2, (peak % 2) * 30),
-        ]);
-        t
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sweep::Sweep;
     use telco_sim::{run_study, SimConfig};
 
     fn evolution() -> TemporalEvolution {
@@ -213,7 +254,8 @@ mod tests {
         let mut cfg = SimConfig::tiny();
         cfg.n_ues = 600;
         cfg.n_days = 7;
-        TemporalEvolution::compute(&run_study(cfg))
+        let data = run_study(cfg);
+        Sweep::new(&data).run(TemporalPass::default).unwrap()
     }
 
     #[test]

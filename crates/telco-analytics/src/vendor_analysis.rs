@@ -6,11 +6,13 @@ use serde::{Deserialize, Serialize};
 
 use telco_geo::district::Region;
 use telco_geo::postcode::AreaType;
-use telco_sim::StudyData;
+use telco_sim::World;
 use telco_stats::boxplot::BoxplotStats;
 use telco_topology::vendor::Vendor;
+use telco_trace::record::HoRecord;
 
 use crate::frame::{Enriched, SectorDayFrame};
+use crate::sweep::{AnalysisPass, SweepCtx};
 use crate::tables::{num, pct, TextTable};
 
 /// Figs. 17–18 — vendor/area breakdowns.
@@ -27,13 +29,15 @@ pub struct VendorAnalysis {
 }
 
 impl VendorAnalysis {
-    /// Compute from a study and its sector-day frame.
-    pub fn compute(study: &StudyData, frame: &SectorDayFrame) -> Self {
+    /// Assemble from the swept per-type vendor counts plus the sector-day
+    /// frame (itself filled by the same sweep via
+    /// [`crate::frame::FramePass`]).
+    pub fn from_parts(world: &World, type_counts: [[u64; 4]; 3], frame: &SectorDayFrame) -> Self {
         // Fig. 17 top: sectors per region.
         let mut reg_counts = [[0u64; 4]; 4];
-        for s in study.world.topology.sectors() {
-            let district = study.world.topology.sector_district(s.id);
-            let region = study.world.country.district(district).region;
+        for s in world.topology.sectors() {
+            let district = world.topology.sector_district(s.id);
+            let region = world.country.district(district).region;
             reg_counts[region.index()][s.vendor.index()] += 1;
         }
         let mut sectors_by_region = [[0.0; 4]; 4];
@@ -45,11 +49,6 @@ impl VendorAnalysis {
         }
 
         // Fig. 17 bottom: handovers per type by source-sector vendor.
-        let enriched = Enriched::new(study);
-        let mut type_counts = [[0u64; 4]; 3];
-        for r in study.output.dataset.records() {
-            type_counts[r.ho_type().index()][enriched.vendor(r).index()] += 1;
-        }
         let mut hos_by_type = [[0.0; 4]; 3];
         for t in 0..3 {
             let total: u64 = type_counts[t].iter().sum();
@@ -111,9 +110,39 @@ impl VendorAnalysis {
     }
 }
 
+/// Streaming accumulator for the record-derived half of
+/// [`VendorAnalysis`]: handovers per (type, source-sector vendor). The
+/// frame-derived boxplots come from [`crate::frame::FramePass`], joined by
+/// [`VendorAnalysis::from_parts`].
+#[derive(Debug, Default)]
+pub struct VendorPass {
+    type_counts: [[u64; 4]; 3],
+}
+
+impl AnalysisPass for VendorPass {
+    type Output = [[u64; 4]; 3];
+
+    fn record(&mut self, r: &HoRecord, e: &Enriched) {
+        self.type_counts[r.ho_type().index()][e.vendor(r).index()] += 1;
+    }
+
+    fn merge(&mut self, other: Self, _ctx: &SweepCtx) {
+        for (mine, theirs) in self.type_counts.iter_mut().zip(other.type_counts) {
+            for (c, t) in mine.iter_mut().zip(theirs) {
+                *c += t;
+            }
+        }
+    }
+
+    fn end(self, _ctx: &SweepCtx) -> [[u64; 4]; 3] {
+        self.type_counts
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sweep::Sweep;
     use telco_sim::{run_study, SimConfig};
 
     fn analysis() -> VendorAnalysis {
@@ -122,7 +151,8 @@ mod tests {
         cfg.n_days = 3;
         let study = run_study(cfg);
         let frame = SectorDayFrame::build(&study);
-        VendorAnalysis::compute(&study, &frame)
+        let type_counts = Sweep::new(&study).run(VendorPass::default).unwrap();
+        VendorAnalysis::from_parts(&study.world, type_counts, &frame)
     }
 
     #[test]

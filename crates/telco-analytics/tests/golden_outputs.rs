@@ -23,8 +23,8 @@ use telco_sim::SimConfig;
 fn golden_json(preset: &str, study: &Study) -> String {
     let cfg = &study.data().config;
     let stats = study.dataset_stats();
-    let dataset = &study.data().output.dataset;
-    let counts = dataset.counts_by_type();
+    let trace_counts = *study.trace_counts();
+    let counts = trace_counts.by_type;
     let ho_types = study.ho_types();
     let causes = study.causes();
 
@@ -78,11 +78,11 @@ fn golden_json(preset: &str, study: &Study) -> String {
         stats.daily_hos,
         stats.days,
         stats.daily_trace_bytes,
-        dataset.len(),
+        trace_counts.records,
         counts[0],
         counts[1],
         counts[2],
-        dataset.hof_rate(),
+        trace_counts.hof_rate(),
         fmt_f64_row(&ho_types.type_totals),
         fmt_f64_row(&ho_types.device_totals),
         share_rows.join(",\n"),
@@ -133,6 +133,48 @@ fn check_golden(preset: &str, config: SimConfig) {
 #[test]
 fn golden_study_tiny() {
     check_golden("tiny", SimConfig::tiny());
+}
+
+/// The tiny golden, reproduced from a spilled trace: the same study run
+/// out-of-core and swept chunk-by-chunk from disk must print the exact
+/// same bytes as the in-memory sweep.
+#[test]
+fn golden_study_tiny_spilled_streaming() {
+    let expected = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/goldens/study_tiny.json"),
+    )
+    .expect("tiny golden must exist (UPDATE_GOLDENS=1 on golden_study_tiny)");
+
+    let dir = std::env::temp_dir().join("telco_golden_spill");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let data = telco_sim::run_study_spilled(SimConfig::tiny(), &dir).expect("spilled study");
+    assert!(data.trace.is_spilled(), "study must stream from disk");
+    let study = Study::from_data(data);
+    assert_eq!(golden_json("tiny", &study), expected, "spilled sweep drifted from the golden");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The tiny golden, reproduced by day-partitioned parallel sweeps: merged
+/// accumulators must be byte-identical to the sequential result at every
+/// thread count.
+#[test]
+fn golden_study_tiny_parallel_sweep() {
+    let expected = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/goldens/study_tiny.json"),
+    )
+    .expect("tiny golden must exist (UPDATE_GOLDENS=1 on golden_study_tiny)");
+
+    for threads in [2, 8] {
+        let mut cfg = SimConfig::tiny();
+        cfg.threads = threads;
+        let study = Study::run(cfg);
+        assert_eq!(
+            golden_json("tiny", &study),
+            expected,
+            "parallel sweep with {threads} threads drifted from the golden"
+        );
+    }
 }
 
 #[test]

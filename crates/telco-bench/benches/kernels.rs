@@ -64,7 +64,7 @@ fn bench_state_machine(c: &mut Criterion) {
 }
 
 fn bench_codec(c: &mut Criterion) {
-    let dataset = &bench_study().data().output.dataset;
+    let dataset = bench_study().data().trace.as_dataset().expect("in-memory study");
     let encoded = encode(dataset);
     let mut g = c.benchmark_group("codec");
     g.sample_size(20);

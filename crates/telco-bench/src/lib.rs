@@ -30,6 +30,6 @@ pub fn bench_study() -> &'static Study {
 mod tests {
     #[test]
     fn fixture_builds() {
-        assert!(super::bench_study().data().output.dataset.len() > 1000);
+        assert!(super::bench_study().data().trace.len() > 1000);
     }
 }

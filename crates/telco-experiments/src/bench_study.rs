@@ -1,0 +1,127 @@
+//! `repro bench-study` — measure the single-sweep analysis engine: the
+//! full [`StudyPasses`] composite (every record analysis plus both
+//! sector frames in one visitor) swept sequentially, day-parallel, and
+//! streamed from a spilled v2 trace, plus the traversal count of a full
+//! study. Writes the numbers to `BENCH_study.json` at the repo root.
+
+use std::path::Path;
+use std::time::Instant;
+
+use telco_analytics::{Study, StudyPasses, Sweep};
+use telco_sim::{run_study, run_study_spilled, SimConfig};
+use telco_trace::io::RECORD_BYTES;
+
+struct Measurement {
+    secs: f64,
+    bytes: u64,
+    records: u64,
+}
+
+impl Measurement {
+    fn json(&self) -> String {
+        format!(
+            "{{\"secs\": {:.4}, \"mb_per_sec\": {:.1}, \"records_per_sec\": {:.0}}}",
+            self.secs,
+            self.bytes as f64 / self.secs / 1e6,
+            self.records as f64 / self.secs
+        )
+    }
+}
+
+/// Best-of-`iters` wall time of `f`, reported against `bytes`/`records`.
+fn measure(what: &str, bytes: u64, records: u64, iters: usize, mut f: impl FnMut()) -> Measurement {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    eprintln!(
+        "bench-study: {what}: {best:.4}s ({:.1} MB/s, {:.0} records/s)",
+        bytes as f64 / best / 1e6,
+        records as f64 / best
+    );
+    Measurement { secs: best, bytes, records }
+}
+
+/// Run the benchmark and write `BENCH_study.json`.
+pub fn run(config: SimConfig, preset_name: &str, iters: usize, spill_dir: Option<&Path>) {
+    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    eprintln!(
+        "bench-study: preset {preset_name}, simulating {} UEs × {} days (best of {iters})...",
+        config.n_ues, config.n_days
+    );
+    let mut data = run_study(config.clone());
+    let records = data.trace.len() as u64;
+    let bytes = records * RECORD_BYTES as u64;
+    eprintln!("bench-study: {records} records ({:.1} MB framed)", bytes as f64 / 1e6);
+
+    data.config.threads = 1;
+    let sequential = measure("sequential sweep", bytes, records, iters, || {
+        let out = Sweep::new(&data).run(StudyPasses::default).expect("sweep");
+        assert_eq!(out.trace_counts.records, records);
+    });
+    data.config.threads = max_threads;
+    let parallel = measure("parallel sweep", bytes, records, iters, || {
+        let out = Sweep::new(&data).run(StudyPasses::default).expect("sweep");
+        assert_eq!(out.trace_counts.records, records);
+    });
+
+    // The spilled variant streams the sealed v2 trace chunk-by-chunk.
+    let tmp;
+    let dir = match spill_dir {
+        Some(dir) => dir,
+        None => {
+            tmp = std::env::temp_dir().join("telco-bench-study");
+            &tmp
+        }
+    };
+    std::fs::create_dir_all(dir).expect("create spill dir");
+    let spilled_data = run_study_spilled(config, dir).expect("spilled study");
+    assert!(spilled_data.trace.is_spilled());
+    assert_eq!(spilled_data.trace.len() as u64, records);
+    let spilled = measure("spilled streaming sweep", bytes, records, iters, || {
+        let out = Sweep::new(&spilled_data).run(StudyPasses::default).expect("sweep");
+        assert_eq!(out.trace_counts.records, records);
+    });
+
+    // Traversal count of a full study: touch every analysis the repro
+    // pipeline renders and count trace sweeps (acceptance: ≤ 2, down
+    // from ~15 one-scan-per-analysis).
+    let sweeps_before = spilled_data.trace.sweeps();
+    let study = Study::from_data(spilled_data);
+    let _ = study.dataset_stats();
+    let _ = study.ho_types();
+    let _ = study.durations();
+    let _ = study.district_distribution();
+    let _ = study.population_inference();
+    let _ = study.ho_density();
+    let _ = study.temporal_evolution();
+    let _ = study.manufacturer_impact();
+    let _ = study.hof_patterns();
+    let _ = study.causes();
+    let _ = study.pingpong();
+    let _ = study.vendor_analysis();
+    let _ = study.models();
+    let full_study_traversals = study.data().trace.sweeps() - sweeps_before;
+    eprintln!("bench-study: full study = {full_study_traversals} trace traversal(s)");
+    assert!(full_study_traversals <= 2, "full study exceeded the 2-traversal budget");
+    if spill_dir.is_none() {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    // The vendored serde_json is a stand-in, so format by hand.
+    let json = format!(
+        "{{\n  \"preset\": \"{preset_name}\",\n  \"records\": {records},\n  \
+         \"payload_bytes\": {bytes},\n  \"iters\": {iters},\n  \
+         \"hardware_threads\": {max_threads},\n  \
+         \"sweep_sequential\": {},\n  \"sweep_parallel\": {},\n  \
+         \"sweep_spilled_streaming\": {},\n  \
+         \"full_study_traversals\": {full_study_traversals}\n}}\n",
+        sequential.json(),
+        parallel.json(),
+        spilled.json()
+    );
+    std::fs::write("BENCH_study.json", &json).expect("write BENCH_study.json");
+    eprintln!("bench-study: wrote BENCH_study.json");
+}

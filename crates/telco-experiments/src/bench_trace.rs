@@ -50,7 +50,7 @@ pub fn run(config: SimConfig, preset_name: &str) {
         config.n_ues, config.n_days
     );
     let data: StudyData = run_study(config);
-    let dataset = &data.output.dataset;
+    let dataset = data.trace.as_dataset().expect("in-memory study");
     let records = dataset.len() as u64;
     let payload_bytes = records * RECORD_BYTES as u64;
     eprintln!("bench-trace: {records} records ({:.1} MB framed)", payload_bytes as f64 / 1e6);

@@ -22,6 +22,7 @@ use telco_sim::SimConfig;
 use telco_stats::desc::percentile;
 
 mod bench_runner;
+mod bench_study;
 mod bench_trace;
 
 fn main() {
@@ -51,7 +52,7 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--small|--tiny] [--spill-dir <dir>] \
-                     [bench-runner|bench-trace|experiment ...]"
+                     [bench-runner|bench-trace|bench-study|experiment ...]"
                 );
                 return;
             }
@@ -66,6 +67,24 @@ fn main() {
             preset_name = "small";
         }
         bench_trace::run(config, preset_name);
+        return;
+    }
+    if wanted.iter().any(|w| w == "bench-study") {
+        // Sweep-throughput measurement: defaults to the small preset
+        // unless a scale flag was given explicitly. `--iters N` controls
+        // the best-of-N repetition count (CI smoke uses 1).
+        if preset_name == "default" {
+            config = SimConfig::small();
+            preset_name = "small";
+        }
+        let iters = wanted
+            .iter()
+            .position(|w| w == "--iters")
+            .and_then(|i| wanted.get(i + 1))
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(3)
+            .max(1);
+        bench_study::run(config, preset_name, iters, spill_dir.as_deref());
         return;
     }
     if wanted.iter().any(|w| w == "bench-runner") {
@@ -99,20 +118,21 @@ fn main() {
     let study = match &spill_dir {
         Some(dir) => {
             // Out-of-core: per-worker runs spill to disk as v2 chunk
-            // files and merge from disk — same bytes, bounded memory.
+            // files and merge from disk into one sealed trace; every
+            // analysis below then streams it chunk-by-chunk — same
+            // bytes, bounded memory.
             eprintln!("repro: spilling runs to {}", dir.display());
             std::fs::create_dir_all(dir).expect("create spill dir");
-            let world = telco_sim::World::build(&config);
-            let output = telco_sim::run_on_world_spilled(&world, &config, dir)
-                .expect("spilled simulation failed");
-            Study::from_data(telco_sim::StudyData { config, world, output })
+            Study::from_data(
+                telco_sim::run_study_spilled(config, dir).expect("spilled simulation failed"),
+            )
         }
         None => Study::run(config),
     };
     eprintln!("repro: simulation finished in {:?}", t0.elapsed());
     eprintln!(
         "repro: {} handover records, {} sector-day observations\n",
-        study.data().output.dataset.len(),
+        study.data().trace.len(),
         study.frame().len()
     );
 
@@ -296,9 +316,9 @@ fn run_ablations(base: SimConfig) {
     for (name, config) in variants {
         let n_ues = config.n_ues;
         let study = Study::run(config);
-        let counts = study.data().output.dataset.counts_by_type();
-        let total: u64 = counts.iter().sum();
-        let vertical = (counts[1] + counts[2]) as f64 / total.max(1) as f64;
+        let counts = study.trace_counts();
+        let total: u64 = counts.by_type.iter().sum();
+        let vertical = (counts.by_type[1] + counts.by_type[2]) as f64 / total.max(1) as f64;
         let smart_sectors = study
             .mobility()
             .median_sectors(telco_devices::types::DeviceType::Smartphone)
@@ -307,9 +327,9 @@ fn run_ablations(base: SimConfig) {
             "{:<26} {:>10.2} {:>12.3} {:>14.0} {:>12.1}",
             name,
             100.0 * vertical,
-            100.0 * study.data().output.dataset.hof_rate(),
+            100.0 * counts.hof_rate(),
             smart_sectors,
-            study.data().output.dataset.daily_mean() / n_ues as f64,
+            counts.daily_mean() / n_ues as f64,
         );
     }
     println!(

@@ -9,6 +9,9 @@
 //!   files where only one side, e.g. a reader path, must be total);
 //! - `deny-nondeterminism` — opt the file into the determinism rule;
 //!   placed in a crate's `lib.rs` it covers the whole crate's `src/`;
+//! - `deny-nondeterminism(begin)` / `deny-nondeterminism(end)` — opt a
+//!   region in (used for accumulator-merge code whose surrounding file
+//!   is otherwise free to iterate hash maps);
 //! - `allow(<what>): <justification>` — waive one rule occurrence, where
 //!   `<what>` is one of `panic`, `index`, `nondet`, `print`, `unsafe`.
 //!   The justification is **required**: an allow without a reason is
@@ -59,6 +62,9 @@ pub struct FileMarkers {
     deny_panic: Vec<bool>,
     /// File carries a file-level `deny-nondeterminism` marker.
     pub deny_nondet: bool,
+    /// `deny_nondet_lines[l]` is true iff 1-based line `l+1` sits inside
+    /// a `deny-nondeterminism(begin)`/`(end)` region.
+    deny_nondet_lines: Vec<bool>,
     /// Resolved `(line, what)` waivers.
     allows: Vec<(usize, AllowWhat)>,
     /// Grammar errors found while parsing markers.
@@ -74,6 +80,19 @@ impl FileMarkers {
     /// Does any line opt into panic-freedom?
     pub fn has_panic_scope(&self) -> bool {
         self.deny_panic.iter().any(|&b| b)
+    }
+
+    /// True iff 1-based `line` is inside a determinism scope — either the
+    /// whole file opted in, or the line sits in a
+    /// `deny-nondeterminism(begin)`/`(end)` region.
+    pub fn nondet_scope(&self, line: usize) -> bool {
+        self.deny_nondet
+            || self.deny_nondet_lines.get(line.wrapping_sub(1)).copied().unwrap_or(false)
+    }
+
+    /// Does any line opt into the determinism rule via a region marker?
+    pub fn has_nondet_region(&self) -> bool {
+        self.deny_nondet_lines.iter().any(|&b| b)
     }
 
     /// True iff `line` carries a waiver for `what`.
@@ -93,9 +112,11 @@ pub fn analyze(file: &SourceFile) -> FileMarkers {
     let n_lines = file.line_count();
     let mut deny_panic = vec![false; n_lines];
     let mut deny_nondet = false;
+    let mut deny_nondet_lines = vec![false; n_lines];
     let mut allows: Vec<(usize, AllowWhat)> = Vec::new();
     let mut diags: Vec<Diagnostic> = Vec::new();
-    let mut regions: Vec<usize> = Vec::new(); // open `begin` lines
+    let mut regions: Vec<usize> = Vec::new(); // open `deny-panic(begin)` lines
+    let mut nondet_regions: Vec<usize> = Vec::new(); // open `deny-nondeterminism(begin)` lines
     let mut file_level_panic = false;
 
     let mut from = 0usize;
@@ -131,6 +152,17 @@ pub fn analyze(file: &SourceFile) -> FileMarkers {
                 None => bad("deny-panic(end) without a matching begin".to_string()),
             },
             "deny-nondeterminism" => deny_nondet = true,
+            "deny-nondeterminism(begin)" => nondet_regions.push(line),
+            "deny-nondeterminism(end)" => match nondet_regions.pop() {
+                Some(begin) => {
+                    for slot in
+                        deny_nondet_lines.iter_mut().take(line).skip(begin.saturating_sub(1))
+                    {
+                        *slot = true;
+                    }
+                }
+                None => bad("deny-nondeterminism(end) without a matching begin".to_string()),
+            },
             d if d.starts_with("allow(") => {
                 let Some(close) = d.find(')') else {
                     bad("malformed allow marker: missing `)`".to_string());
@@ -169,11 +201,24 @@ pub fn analyze(file: &SourceFile) -> FileMarkers {
             *slot = true;
         }
     }
+    for begin in nondet_regions {
+        diags.push(Diagnostic {
+            rule: "marker",
+            path: file.rel_path.clone(),
+            line: begin,
+            message: "deny-nondeterminism(begin) without a matching end (scope runs to EOF)"
+                .to_string(),
+            snippet: file.raw_line(begin).trim().to_string(),
+        });
+        for slot in deny_nondet_lines.iter_mut().skip(begin.saturating_sub(1)) {
+            *slot = true;
+        }
+    }
     if file_level_panic {
         deny_panic.iter_mut().for_each(|slot| *slot = true);
     }
 
-    FileMarkers { deny_panic, deny_nondet, allows, diags }
+    FileMarkers { deny_panic, deny_nondet, deny_nondet_lines, allows, diags }
 }
 
 /// An allow marker trailing code waives its own line; a marker on a line
@@ -259,5 +304,40 @@ mod tests {
     #[test]
     fn nondeterminism_marker_sets_flag() {
         assert!(markers("// telco-lint: deny-nondeterminism\n").deny_nondet);
+    }
+
+    #[test]
+    fn nondet_region_covers_between_begin_and_end() {
+        let src = "fn a() {}\n// telco-lint: deny-nondeterminism(begin)\nfn b() {}\n// telco-lint: deny-nondeterminism(end)\nfn c() {}\n";
+        let m = markers(src);
+        assert!(!m.deny_nondet);
+        assert!(m.has_nondet_region());
+        assert!(!m.nondet_scope(1));
+        assert!(m.nondet_scope(3));
+        assert!(!m.nondet_scope(5));
+        assert!(m.diags.is_empty());
+    }
+
+    #[test]
+    fn file_level_nondet_puts_every_line_in_scope() {
+        let m = markers("// telco-lint: deny-nondeterminism\nfn a() {}\n");
+        assert!(m.nondet_scope(2));
+        assert!(!m.has_nondet_region());
+    }
+
+    #[test]
+    fn unmatched_nondet_begin_reported_and_runs_to_eof() {
+        let m = markers("// telco-lint: deny-nondeterminism(begin)\nfn b() {}\n");
+        assert_eq!(m.diags.len(), 1);
+        assert!(m.diags[0].message.contains("deny-nondeterminism(begin)"));
+        assert!(m.nondet_scope(2));
+    }
+
+    #[test]
+    fn unmatched_nondet_end_is_a_finding() {
+        let m = markers("fn a() {}\n// telco-lint: deny-nondeterminism(end)\n");
+        assert_eq!(m.diags.len(), 1);
+        assert!(m.diags[0].message.contains("without a matching begin"));
+        assert!(!m.has_nondet_region());
     }
 }

@@ -1,7 +1,9 @@
 //! Determinism rule.
 //!
 //! Trace-producing crates opt in with a `deny-nondeterminism` marker in
-//! their `lib.rs` (crate-wide over `src/`) or per file. In scope, the
+//! their `lib.rs` (crate-wide over `src/`), per file, or per region
+//! (`deny-nondeterminism(begin)`/`(end)` around accumulator-merge code
+//! in files that are otherwise free to iterate hash maps). In scope, the
 //! rule flags the three ways nondeterminism historically sneaks into
 //! "deterministic" simulators:
 //!
@@ -37,14 +39,18 @@ const CLOCK_PATTERNS: [(&str, &str); 6] = [
 const ITER_SUFFIXES: [&str; 7] =
     [".iter()", ".iter_mut()", ".keys()", ".values()", ".values_mut()", ".into_iter()", ".drain("];
 
-/// Run the rule over one file. `in_scope` is true when the file or its
-/// crate opted in.
+/// Run the rule over one file. `in_scope` is true when the whole file or
+/// its crate opted in; otherwise only lines inside a
+/// `deny-nondeterminism(begin)`/`(end)` region are checked.
 pub fn check(file: &SourceFile, in_scope: bool, markers: &FileMarkers, out: &mut Vec<Diagnostic>) {
-    if !in_scope {
+    if !in_scope && !markers.has_nondet_region() {
         return;
     }
     let mut emit = |pos: usize, message: String| {
         let line = file.line_of(pos);
+        if !in_scope && !markers.nondet_scope(line) {
+            return;
+        }
         if file.is_test_line(line) || markers.allowed(line, AllowWhat::Nondet) {
             return;
         }
@@ -215,6 +221,20 @@ mod tests {
         assert!(lint(src).is_empty());
         let src2 = "fn f(m: std::collections::HashMap<u8, u8>) -> usize {\n    m.iter().count() // telco-lint: allow(nondet): count is order-independent\n}\n";
         assert!(lint(src2).is_empty());
+    }
+
+    #[test]
+    fn region_scopes_the_rule_without_file_opt_in() {
+        // Same hash iteration twice: flagged inside the region, free
+        // outside it. The file itself never opts in (`in_scope: false`).
+        let src = "fn free(m: std::collections::HashMap<u8, u8>) -> usize {\n    m.iter().count()\n}\n// telco-lint: deny-nondeterminism(begin)\nfn merged(m: std::collections::HashMap<u8, u8>) -> usize {\n    m.iter().count()\n}\n// telco-lint: deny-nondeterminism(end)\n";
+        let file = SourceFile::parse(Path::new("t.rs"), src.to_string());
+        let m = markers::analyze(&file);
+        assert!(m.diags.is_empty());
+        let mut out = Vec::new();
+        check(&file, false, &m, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 6);
     }
 
     #[test]

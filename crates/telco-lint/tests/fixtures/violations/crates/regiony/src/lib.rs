@@ -1,0 +1,21 @@
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+
+pub fn tally(events: &[u32]) -> HashMap<u32, u32> {
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    for &k in events {
+        *counts.entry(k).or_insert(0) += 1;
+    }
+    counts
+}
+
+pub fn free_order(counts: HashMap<u32, u32>) -> Vec<(u32, u32)> {
+    counts.iter().map(|(&k, &v)| (k, v)).collect()
+}
+
+// telco-lint: deny-nondeterminism(begin)
+pub fn merged_order(counts: HashMap<u32, u32>) -> Vec<(u32, u32)> {
+    counts.iter().map(|(&k, &v)| (k, v)).collect()
+}
+// telco-lint: deny-nondeterminism(end)

@@ -12,10 +12,13 @@
 //! use telco_sim::{run_study, SimConfig};
 //!
 //! let data = run_study(SimConfig::tiny());
-//! assert!(!data.output.dataset.is_empty());
+//! assert!(!data.trace.is_empty());
 //! // Same config, same bits: runs are pure functions of the config.
 //! let again = run_study(SimConfig::tiny());
-//! assert_eq!(data.output.dataset.records(), again.output.dataset.records());
+//! assert_eq!(
+//!     data.trace.as_dataset().unwrap().records(),
+//!     again.trace.as_dataset().unwrap().records(),
+//! );
 //! ```
 
 // telco-lint: deny-nondeterminism
@@ -35,8 +38,9 @@ pub use engine::{sample_points, sample_points_into, simulate_ue_day, SimScratch}
 pub use output::{RatLedger, SimOutput, UeDayMobility};
 pub use runner::{
     run_on_world, run_on_world_chunked, run_on_world_spilled, run_on_world_spilled_chunked,
-    run_study, RunnerMode, RunnerStats, StudyData, DEFAULT_UE_CHUNK, MERGE_FAN_IN,
-    SEQUENTIAL_UE_THRESHOLD,
+    run_study, run_study_spilled, RunnerMode, RunnerStats, StudyData, DEFAULT_UE_CHUNK,
+    MERGE_FAN_IN, SEQUENTIAL_UE_THRESHOLD,
 };
 pub use steal::{collect_runs, StealCursor};
+pub use telco_trace::source::{SpilledTrace, TraceSource};
 pub use world::{SectorLists, UeAttrs, World};

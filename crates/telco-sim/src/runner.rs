@@ -18,7 +18,8 @@ use crossbeam::thread;
 
 use telco_devices::population::UeId;
 use telco_trace::dataset::SignalingDataset;
-use telco_trace::store::{merge_run_files, TraceWriter};
+use telco_trace::source::TraceSource;
+use telco_trace::store::{merge_run_files, merge_run_files_to_path, TraceWriter};
 
 use crate::config::SimConfig;
 use crate::engine::{simulate_ue_day, SimScratch};
@@ -67,22 +68,47 @@ pub struct RunnerStats {
 }
 
 /// A completed study: the world it ran against plus everything it
-/// produced.
+/// produced. The handover trace lives behind [`StudyData::trace`] — in
+/// memory for [`run_study`], on disk for [`run_study_spilled`] — and the
+/// remaining side outputs (mobility ledger, RAT ledger, core counters)
+/// stay on [`StudyData::output`].
 #[derive(Debug, Clone)]
 pub struct StudyData {
     /// The configuration the study ran with.
     pub config: SimConfig,
     /// The immutable world.
     pub world: World,
-    /// The simulation outputs (trace, mobility, ledger, core counters).
+    /// The non-trace simulation outputs (mobility, ledger, core
+    /// counters); its `dataset` is empty — the trace is in
+    /// [`StudyData::trace`].
     pub output: SimOutput,
+    /// The handover trace, in memory or spilled to disk.
+    pub trace: TraceSource,
 }
 
 /// Build the world and run the full study described by `config`.
 pub fn run_study(config: SimConfig) -> StudyData {
     let world = World::build(&config);
-    let output = run_on_world(&world, &config);
-    StudyData { config, world, output }
+    let mut output = run_on_world(&world, &config);
+    let dataset = std::mem::take(&mut output.dataset);
+    StudyData { config, world, output, trace: TraceSource::in_memory(dataset) }
+}
+
+/// [`run_study`] in out-of-core mode: per-item runs spill to `spill_dir`
+/// as v2 chunk files and are k-way merged into one sealed v2 trace file
+/// there, which [`StudyData::trace`] then streams chunk-by-chunk — the
+/// full trace is never materialized in memory. Byte-identical to
+/// [`run_study`] (same canonical item-order merge); `spill_dir` must
+/// exist and outlive the returned study.
+pub fn run_study_spilled(config: SimConfig, spill_dir: &Path) -> std::io::Result<StudyData> {
+    let world = World::build(&config);
+    let n_days = config.n_days;
+    let (mut output, paths) = spill_runs(&world, &config, DEFAULT_UE_CHUNK, spill_dir)?;
+    let out_path = spill_dir.join("study-trace.tlho");
+    let records = merge_run_files_to_path(n_days, paths, spill_dir, MERGE_FAN_IN, &out_path)?;
+    output.runner.mode = RunnerMode::Spilled;
+    let trace = TraceSource::spilled(out_path, n_days, records);
+    Ok(StudyData { config, world, output, trace })
 }
 
 /// Run the simulation over an already-built world.
@@ -228,6 +254,22 @@ pub fn run_on_world_spilled_chunked(
     chunk_ues: usize,
     spill_dir: &Path,
 ) -> std::io::Result<SimOutput> {
+    let (mut merged, paths) = spill_runs(world, config, chunk_ues, spill_dir)?;
+    merged.dataset = merge_run_files(config.n_days, paths, spill_dir, MERGE_FAN_IN)?;
+    merged.runner.mode = RunnerMode::Spilled;
+    Ok(merged)
+}
+
+/// The shared spill stage: drain the `(day, chunk)` grid, writing each
+/// item's sorted run to `spill_dir`, and return the merged side outputs
+/// (mobility, ledger, core — dataset left empty) plus the run paths in
+/// canonical item order.
+fn spill_runs(
+    world: &World,
+    config: &SimConfig,
+    chunk_ues: usize,
+    spill_dir: &Path,
+) -> std::io::Result<(SimOutput, Vec<PathBuf>)> {
     assert!(chunk_ues > 0, "chunk size must be positive");
     let threads = if config.threads == 0 {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
@@ -298,10 +340,9 @@ pub fn run_on_world_spilled_chunked(
         merged.ledger.merge(&run.ledger);
         merged.core.merge(&run.core);
     }
-    merged.dataset = merge_run_files(n_days, paths, spill_dir, MERGE_FAN_IN)?;
     merged.runner =
         RunnerStats { mode: RunnerMode::Spilled, threads, chunk_ues, work_items: n_items, ue_days };
-    Ok(merged)
+    Ok((merged, paths))
 }
 
 #[cfg(test)]
@@ -340,10 +381,14 @@ mod tests {
     #[test]
     fn study_covers_all_days() {
         let data = run_study(SimConfig::tiny());
+        let dataset = data.trace.as_dataset().expect("run_study keeps the trace in memory");
         let days: std::collections::HashSet<u32> =
-            data.output.dataset.records().iter().map(|r| r.day()).collect();
+            dataset.records().iter().map(|r| r.day()).collect();
         assert!(days.contains(&0));
         assert!(days.len() as u32 <= data.config.n_days);
+        // The trace moved out of the sim output and into the source.
+        assert!(data.output.dataset.is_empty());
+        assert_eq!(data.trace.len(), dataset.len() as u64);
         // Mobility rows exist for every (ue, day).
         assert_eq!(data.output.mobility.len(), data.config.n_ues * data.config.n_days as usize);
         assert_eq!(data.output.runner.ue_days, data.config.n_ues * data.config.n_days as usize);
@@ -352,11 +397,40 @@ mod tests {
     #[test]
     fn tiny_study_has_sane_ho_mix() {
         let data = run_study(SimConfig::tiny());
-        let counts = data.output.dataset.counts_by_type();
+        let counts = data.trace.as_dataset().expect("in-memory trace").counts_by_type();
         let total: u64 = counts.iter().sum();
         assert!(total > 100, "too few handovers: {total}");
         let intra = counts[HoType::Intra4g5g.index()] as f64 / total as f64;
         assert!(intra > 0.75, "intra share {intra} too low");
+    }
+
+    #[test]
+    fn spilled_study_streams_identical_records() {
+        let mut cfg = SimConfig::tiny();
+        cfg.n_ues = 120;
+        cfg.n_days = 2;
+        cfg.threads = 2;
+        let in_mem = run_study(cfg.clone());
+
+        let dir = std::env::temp_dir().join("telco_runner_study_spill_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spilled = run_study_spilled(cfg, &dir).unwrap();
+        assert!(spilled.trace.is_spilled());
+        assert_eq!(spilled.output.runner.mode, RunnerMode::Spilled);
+        assert_eq!(spilled.trace.len(), in_mem.trace.len());
+        assert_eq!(spilled.output.mobility, in_mem.output.mobility);
+
+        let mut streamed = Vec::new();
+        spilled.trace.for_each_chunk(|recs| streamed.extend_from_slice(recs)).unwrap();
+        assert_eq!(&streamed[..], in_mem.trace.as_dataset().unwrap().records());
+        // Only the sealed study trace remains in the spill dir.
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["study-trace.tlho".to_string()]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

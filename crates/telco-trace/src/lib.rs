@@ -26,10 +26,12 @@ pub mod crc32;
 pub mod dataset;
 pub mod io;
 pub mod record;
+pub mod source;
 pub mod store;
 
 pub use anonymize::Anonymizer;
 pub use dataset::SignalingDataset;
 pub use io::{decode, encode, from_json, read_file, to_json, write_file, CodecError};
 pub use record::{DeviceRecord, HoOutcome, HoRecord, TopologyRecord};
+pub use source::{SpilledTrace, TraceSource};
 pub use store::{ChunkIssue, TraceReader, TraceWriter};

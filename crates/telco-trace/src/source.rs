@@ -1,0 +1,277 @@
+//! Where a study's handover records live: the [`TraceSource`]
+//! abstraction over an in-memory [`SignalingDataset`] and a spilled v2
+//! trace file on disk.
+//!
+//! Every analysis traversal goes through this type, which instruments
+//! the two contracts the analytics layer is built on:
+//!
+//! - **one shared sweep** — [`TraceSource::sweeps`] counts record
+//!   traversals, so tests can assert that a full study scans the trace
+//!   once instead of once per analysis;
+//! - **bounded memory on the spilled path** — [`TraceSource::for_each_chunk`]
+//!   streams a spilled trace chunk-by-chunk through a reused buffer and
+//!   never materializes a full-trace `Vec<HoRecord>`.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::dataset::SignalingDataset;
+use crate::record::HoRecord;
+use crate::store::{ChunkIssue, TraceReader};
+
+/// A sealed v2 trace file on disk, with the span and record count its
+/// trailer declared.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpilledTrace {
+    /// The v2 trace file.
+    pub path: PathBuf,
+    /// Study-day span of the trace.
+    pub days: u32,
+    /// Total records in the trace.
+    pub records: u64,
+}
+
+#[derive(Debug)]
+enum SourceKind {
+    InMemory(SignalingDataset),
+    Spilled(SpilledTrace),
+}
+
+/// The record store behind a study: either the in-memory dataset the
+/// runner produced, or a spilled v2 trace streamed from disk. Carries a
+/// traversal counter so the "one shared sweep" contract is testable.
+#[derive(Debug)]
+pub struct TraceSource {
+    kind: SourceKind,
+    sweeps: AtomicU64,
+}
+
+impl Clone for TraceSource {
+    fn clone(&self) -> Self {
+        TraceSource {
+            kind: match &self.kind {
+                SourceKind::InMemory(d) => SourceKind::InMemory(d.clone()),
+                SourceKind::Spilled(s) => SourceKind::Spilled(s.clone()),
+            },
+            sweeps: AtomicU64::new(self.sweeps.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl TraceSource {
+    /// A source serving records from memory.
+    pub fn in_memory(dataset: SignalingDataset) -> Self {
+        TraceSource { kind: SourceKind::InMemory(dataset), sweeps: AtomicU64::new(0) }
+    }
+
+    /// A source streaming records from a sealed v2 trace file.
+    pub fn spilled(path: impl Into<PathBuf>, days: u32, records: u64) -> Self {
+        TraceSource {
+            kind: SourceKind::Spilled(SpilledTrace { path: path.into(), days, records }),
+            sweeps: AtomicU64::new(0),
+        }
+    }
+
+    /// Study-day span of the trace.
+    pub fn days(&self) -> u32 {
+        match &self.kind {
+            SourceKind::InMemory(d) => d.days,
+            SourceKind::Spilled(s) => s.days,
+        }
+    }
+
+    /// Total records (for a spilled source, the count its trailer sealed).
+    pub fn len(&self) -> u64 {
+        match &self.kind {
+            SourceKind::InMemory(d) => d.len() as u64,
+            SourceKind::Spilled(s) => s.records,
+        }
+    }
+
+    /// Whether the trace holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether records live on disk rather than in memory.
+    pub fn is_spilled(&self) -> bool {
+        matches!(self.kind, SourceKind::Spilled(_))
+    }
+
+    /// The backing file of a spilled source.
+    pub fn spill_path(&self) -> Option<&Path> {
+        match &self.kind {
+            SourceKind::InMemory(_) => None,
+            SourceKind::Spilled(s) => Some(&s.path),
+        }
+    }
+
+    /// The in-memory dataset, if this source holds one.
+    pub fn as_dataset(&self) -> Option<&SignalingDataset> {
+        match &self.kind {
+            SourceKind::InMemory(d) => Some(d),
+            SourceKind::Spilled(_) => None,
+        }
+    }
+
+    /// Average records per day.
+    pub fn daily_mean(&self) -> f64 {
+        let days = self.days();
+        if days == 0 {
+            return 0.0;
+        }
+        self.len() as f64 / days as f64
+    }
+
+    /// How many record traversals this source has served — the number
+    /// the scan-count regression asserts on.
+    pub fn sweeps(&self) -> u64 {
+        self.sweeps.load(Ordering::Relaxed)
+    }
+
+    /// Traverse the trace once, in timestamp order, handing `f` one
+    /// decoded chunk at a time. An in-memory source yields its records
+    /// as one borrowed slice; a spilled source streams chunk-by-chunk
+    /// through a reused buffer with bounded memory. Damaged chunks in a
+    /// spilled trace are skipped (already recorded by the writer-side
+    /// checks); only an underlying I/O failure aborts the traversal.
+    pub fn for_each_chunk(&self, mut f: impl FnMut(&[HoRecord])) -> Result<(), ChunkIssue> {
+        self.sweeps.fetch_add(1, Ordering::Relaxed);
+        match &self.kind {
+            SourceKind::InMemory(d) => {
+                f(d.records());
+                Ok(())
+            }
+            SourceKind::Spilled(s) => {
+                let open = |e| ChunkIssue { chunk: 0, offset: 0, error: e };
+                let mut reader = TraceReader::open(&s.path).map_err(open)?;
+                let mut buf: Vec<HoRecord> = Vec::new();
+                while let Some(chunk) = reader.next_chunk_into(&mut buf) {
+                    match chunk {
+                        Ok(()) => f(&buf),
+                        // Skip-and-report recovery: corruption already
+                        // cost exactly one chunk; an I/O error means the
+                        // medium itself failed, so abort.
+                        Err(issue) if matches!(issue.error, crate::io::CodecError::Io(_)) => {
+                            return Err(issue)
+                        }
+                        Err(_) => {}
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Per-day record slices for the parallel sweep: slice `d` holds the
+    /// records of study day `d` (the final slice also absorbs any
+    /// overflow past the configured span, so every record is covered).
+    /// Counts as one traversal. `None` for a spilled source — streaming
+    /// traces are swept sequentially.
+    pub fn day_slices(&self, n_days: u32) -> Option<Vec<&[HoRecord]>> {
+        let dataset = self.as_dataset()?;
+        self.sweeps.fetch_add(1, Ordering::Relaxed);
+        let records = dataset.records();
+        let n = n_days.max(1);
+        let mut slices = Vec::with_capacity(n as usize);
+        let mut start = 0usize;
+        for day in 1..n {
+            // Records are timestamp-sorted, so day boundaries are the
+            // partition points of the monotone `day()` key.
+            let end = start
+                + records.get(start..).map_or(0, |tail| tail.partition_point(|r| r.day() < day));
+            slices.push(records.get(start..end).unwrap_or(&[]));
+            start = end;
+        }
+        slices.push(records.get(start..).unwrap_or(&[]));
+        Some(slices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::HoOutcome;
+    use crate::store::write_file_v2;
+    use telco_devices::population::UeId;
+    use telco_topology::elements::SectorId;
+    use telco_topology::rat::Rat;
+
+    fn rec(ts: u64, ue: u32) -> HoRecord {
+        HoRecord {
+            timestamp_ms: ts,
+            ue: UeId(ue),
+            source_sector: SectorId(1),
+            target_sector: SectorId(2),
+            source_rat: Rat::G4,
+            target_rat: Rat::G4,
+            outcome: HoOutcome::Success,
+            cause: None,
+            duration_ms: 50.0,
+            srvcc: false,
+            messages: 12,
+        }
+    }
+
+    fn sample(days: u32, n: u64) -> SignalingDataset {
+        let records =
+            (0..n).map(|i| rec(i * 7_000_000 % (days as u64 * 86_400_000), i as u32)).collect();
+        SignalingDataset::from_records(days, records)
+    }
+
+    #[test]
+    fn in_memory_chunks_cover_everything_and_count_sweeps() {
+        let d = sample(2, 100);
+        let src = TraceSource::in_memory(d.clone());
+        assert_eq!(src.sweeps(), 0);
+        let mut seen = 0u64;
+        src.for_each_chunk(|recs| seen += recs.len() as u64).unwrap();
+        assert_eq!(seen, 100);
+        assert_eq!(src.sweeps(), 1);
+        assert_eq!(src.len(), 100);
+        assert_eq!(src.days(), 2);
+        assert!(!src.is_spilled());
+        assert_eq!(src.as_dataset(), Some(&d));
+    }
+
+    #[test]
+    fn spilled_chunks_match_in_memory() {
+        let d = sample(3, 500);
+        let dir = std::env::temp_dir().join("telco_source_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.tlho");
+        write_file_v2(&d, &path).unwrap();
+        let src = TraceSource::spilled(&path, 3, d.len() as u64);
+        assert!(src.is_spilled());
+        assert_eq!(src.len(), d.len() as u64);
+        let mut streamed = Vec::new();
+        src.for_each_chunk(|recs| streamed.extend_from_slice(recs)).unwrap();
+        assert_eq!(&streamed[..], d.records());
+        assert_eq!(src.sweeps(), 1);
+        assert!(src.day_slices(3).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn day_slices_partition_the_trace() {
+        let d = sample(3, 300);
+        let src = TraceSource::in_memory(d.clone());
+        let slices = src.day_slices(3).unwrap();
+        assert_eq!(slices.len(), 3);
+        assert_eq!(slices.iter().map(|s| s.len()).sum::<usize>(), 300);
+        for (day, slice) in slices.iter().enumerate() {
+            assert!(slice.iter().all(|r| r.day() as usize == day));
+        }
+        let flat: Vec<HoRecord> = slices.iter().flat_map(|s| s.iter().copied()).collect();
+        assert_eq!(&flat[..], d.records());
+        assert_eq!(src.sweeps(), 1);
+    }
+
+    #[test]
+    fn clone_preserves_counter_value() {
+        let src = TraceSource::in_memory(sample(1, 10));
+        src.for_each_chunk(|_| {}).unwrap();
+        let cloned = src.clone();
+        assert_eq!(cloned.sweeps(), 1);
+    }
+}

@@ -28,7 +28,7 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-use bytes::{BufMut, Bytes};
+use bytes::BufMut;
 
 use crate::crc32::crc32;
 use crate::dataset::SignalingDataset;
@@ -236,6 +236,9 @@ pub struct TraceReader<R: Read> {
     issues: Vec<ChunkIssue>,
     trailer_seen: bool,
     done: bool,
+    /// Payload scratch reused across chunks, so a steady-state streaming
+    /// read performs no per-chunk byte allocations.
+    scratch: Vec<u8>,
 }
 
 /// Records per yielded batch when streaming a v1 stream.
@@ -265,6 +268,7 @@ impl<R: Read> TraceReader<R> {
             issues: Vec::new(),
             trailer_seen: false,
             done: false,
+            scratch: Vec::new(),
         };
         let mut header = [0u8; V2_HEADER_BYTES];
         if reader.read_bytes(&mut header)? < V2_HEADER_BYTES {
@@ -357,7 +361,7 @@ impl<R: Read> TraceReader<R> {
         issue
     }
 
-    fn fail(&mut self, error: CodecError) -> Option<Result<Vec<HoRecord>, ChunkIssue>> {
+    fn fail<T>(&mut self, error: CodecError) -> Option<Result<T, ChunkIssue>> {
         self.done = true;
         Some(Err(self.issue(error)))
     }
@@ -384,11 +388,26 @@ impl<R: Read> TraceReader<R> {
     /// After a reported issue the reader has already skipped or resynced —
     /// keep calling to stream the remaining healthy chunks.
     pub fn next_chunk(&mut self) -> Option<Result<Vec<HoRecord>, ChunkIssue>> {
+        let mut out = Vec::new();
+        match self.next_chunk_into(&mut out)? {
+            Ok(()) => Some(Ok(out)),
+            Err(issue) => Some(Err(issue)),
+        }
+    }
+
+    /// Decode the next chunk into a caller-supplied buffer (cleared
+    /// first), reusing both the caller's record buffer and an internal
+    /// payload scratch — the shared-chunk API the analysis sweep borrows
+    /// decoded chunks through, with zero steady-state allocation.
+    /// Semantics are otherwise identical to [`TraceReader::next_chunk`]:
+    /// `None` at end of stream, `Some(Err(..))` for a skipped chunk.
+    pub fn next_chunk_into(&mut self, out: &mut Vec<HoRecord>) -> Option<Result<(), ChunkIssue>> {
+        out.clear();
         if self.done {
             return None;
         }
         if self.version == 1 {
-            return self.next_v1_batch();
+            return self.next_v1_batch(out);
         }
         let mut magic = [0u8; 4];
         let got = match self.read_bytes(&mut magic) {
@@ -419,10 +438,10 @@ impl<R: Read> TraceReader<R> {
             }
             return Some(Err(issue));
         }
-        self.read_chunk_body()
+        self.read_chunk_body(out)
     }
 
-    fn read_chunk_body(&mut self) -> Option<Result<Vec<HoRecord>, ChunkIssue>> {
+    fn read_chunk_body(&mut self, out: &mut Vec<HoRecord>) -> Option<Result<(), ChunkIssue>> {
         let mut head = [0u8; 12];
         match self.read_bytes(&mut head) {
             Ok(12) => {}
@@ -444,13 +463,20 @@ impl<R: Read> TraceReader<R> {
             }
             return Some(Err(issue));
         }
-        let mut payload = vec![0u8; count as usize * RECORD_BYTES];
-        match self.read_bytes(&mut payload) {
-            Ok(n) if n == payload.len() => {}
+        // Fill the reusable payload scratch. It is taken out of `self`
+        // for the duration of the read so the borrow checker lets the
+        // issue-reporting paths borrow `self` mutably, then put back.
+        let mut payload = std::mem::take(&mut self.scratch);
+        payload.clear();
+        payload.resize(count as usize * RECORD_BYTES, 0);
+        let got = self.read_bytes(&mut payload);
+        self.scratch = payload;
+        match got {
+            Ok(n) if n == self.scratch.len() => {}
             Ok(_) => return self.fail(CodecError::Truncated),
             Err(e) => return self.fail(e),
         }
-        let computed = crc32(&payload);
+        let computed = crc32(&self.scratch);
         if computed != stored_crc {
             let issue = self.issue(CodecError::ChecksumMismatch { stored: stored_crc, computed });
             self.frames_seen += 1;
@@ -465,27 +491,35 @@ impl<R: Read> TraceReader<R> {
             self.frames_seen += 1;
             return Some(Err(issue));
         }
-        let mut buf = Bytes::from(payload);
-        let mut records = Vec::with_capacity(count as usize);
+        let payload = std::mem::take(&mut self.scratch);
+        out.reserve(count as usize);
+        let mut buf: &[u8] = &payload;
+        let mut bad = None;
         for _ in 0..count {
             match get_record(&mut buf) {
-                Ok(r) => records.push(r),
+                Ok(r) => out.push(r),
                 Err(e) => {
                     // CRC passed but a field is invalid: writer-side bug
                     // or checksum collision. Skip the chunk.
-                    let issue = self.issue(e);
-                    self.frames_seen += 1;
-                    return Some(Err(issue));
+                    bad = Some(e);
+                    break;
                 }
             }
+        }
+        self.scratch = payload;
+        if let Some(e) = bad {
+            out.clear();
+            let issue = self.issue(e);
+            self.frames_seen += 1;
+            return Some(Err(issue));
         }
         self.frames_seen += 1;
         self.chunks_ok += 1;
         self.records_read += count as u64;
-        Some(Ok(records))
+        Some(Ok(()))
     }
 
-    fn read_trailer(&mut self) -> Option<Result<Vec<HoRecord>, ChunkIssue>> {
+    fn read_trailer(&mut self) -> Option<Result<(), ChunkIssue>> {
         let mut body = [0u8; 16];
         match self.read_bytes(&mut body) {
             Ok(16) => {}
@@ -531,32 +565,46 @@ impl<R: Read> TraceReader<R> {
         }
     }
 
-    fn next_v1_batch(&mut self) -> Option<Result<Vec<HoRecord>, ChunkIssue>> {
+    fn next_v1_batch(&mut self, out: &mut Vec<HoRecord>) -> Option<Result<(), ChunkIssue>> {
         if self.v1_remaining == 0 {
             self.done = true;
             self.trailer_seen = true; // v1 has no trailer; count was the header's
             return None;
         }
         let batch = self.v1_remaining.min(V1_BATCH_RECORDS);
-        let mut payload = vec![0u8; batch as usize * RECORD_BYTES];
-        match self.read_bytes(&mut payload) {
-            Ok(n) if n == payload.len() => {}
+        let mut payload = std::mem::take(&mut self.scratch);
+        payload.clear();
+        payload.resize(batch as usize * RECORD_BYTES, 0);
+        let got = self.read_bytes(&mut payload);
+        self.scratch = payload;
+        match got {
+            Ok(n) if n == self.scratch.len() => {}
             Ok(_) => return self.fail(CodecError::Truncated),
             Err(e) => return self.fail(e),
         }
-        let mut buf = Bytes::from(payload);
-        let mut records = Vec::with_capacity(batch as usize);
+        let payload = std::mem::take(&mut self.scratch);
+        out.reserve(batch as usize);
+        let mut buf: &[u8] = &payload;
+        let mut bad = None;
         for _ in 0..batch {
             match get_record(&mut buf) {
-                Ok(r) => records.push(r),
-                Err(e) => return self.fail(e), // no framing to resync on in v1
+                Ok(r) => out.push(r),
+                Err(e) => {
+                    bad = Some(e); // no framing to resync on in v1
+                    break;
+                }
             }
+        }
+        self.scratch = payload;
+        if let Some(e) = bad {
+            out.clear();
+            return self.fail(e);
         }
         self.frames_seen += 1;
         self.chunks_ok += 1;
         self.records_read += batch;
         self.v1_remaining -= batch;
-        Some(Ok(records))
+        Some(Ok(()))
     }
 
     /// Stream the whole trace into a dataset, skipping damaged chunks.
@@ -564,9 +612,10 @@ impl<R: Read> TraceReader<R> {
     /// anything) was lost.
     pub fn read_to_dataset(&mut self) -> SignalingDataset {
         let mut records = Vec::new();
-        while let Some(chunk) = self.next_chunk() {
-            if let Ok(mut recs) = chunk {
-                records.append(&mut recs);
+        let mut chunk = Vec::new();
+        while let Some(result) = self.next_chunk_into(&mut chunk) {
+            if result.is_ok() {
+                records.extend_from_slice(&chunk);
             }
         }
         SignalingDataset::from_records(self.days, records)
@@ -577,8 +626,10 @@ impl<R: Read> TraceReader<R> {
     /// merge reading files it just wrote).
     pub fn read_to_dataset_strict(&mut self) -> Result<SignalingDataset, ChunkIssue> {
         let mut records = Vec::new();
-        while let Some(chunk) = self.next_chunk() {
-            records.append(&mut chunk?);
+        let mut chunk = Vec::new();
+        while let Some(result) = self.next_chunk_into(&mut chunk) {
+            result?;
+            records.extend_from_slice(&chunk);
         }
         Ok(SignalingDataset::from_records(self.days, records))
     }
@@ -606,13 +657,10 @@ impl<R: Read> MergeStream<R> {
     /// Ensure a current record is buffered; `Ok(false)` at end of stream.
     fn refill(&mut self) -> Result<bool, ChunkIssue> {
         while self.pos >= self.buf.len() {
-            match self.reader.next_chunk() {
+            match self.reader.next_chunk_into(&mut self.buf) {
                 None => return Ok(false),
                 Some(Err(issue)) => return Err(issue),
-                Some(Ok(records)) => {
-                    self.buf = records;
-                    self.pos = 0;
-                }
+                Some(Ok(())) => self.pos = 0,
             }
         }
         Ok(true)
@@ -709,6 +757,56 @@ pub fn merge_run_files(
     tmp_dir: &Path,
     fan_in: usize,
 ) -> std::io::Result<SignalingDataset> {
+    let invalid = |e: CodecError| std::io::Error::new(std::io::ErrorKind::InvalidData, e);
+    let files = reduce_runs(days, runs, tmp_dir, fan_in)?;
+    let mut readers = Vec::with_capacity(files.len());
+    for path in &files {
+        readers.push(TraceReader::open(path).map_err(invalid)?);
+    }
+    let merged = merge_sorted_readers(days, readers)
+        .map_err(|issue| std::io::Error::new(std::io::ErrorKind::InvalidData, issue))?;
+    for path in &files {
+        std::fs::remove_file(path)?;
+    }
+    Ok(merged)
+}
+
+/// External merge of sorted run files into one sealed v2 trace file at
+/// `out_path`, never materializing the merged trace in memory — the
+/// fully out-of-core sibling of [`merge_run_files`], with the same
+/// stable-merge byte-identity contract. Input and intermediate files are
+/// deleted as they are consumed. Returns the merged record count.
+pub fn merge_run_files_to_path(
+    days: u32,
+    runs: Vec<std::path::PathBuf>,
+    tmp_dir: &Path,
+    fan_in: usize,
+    out_path: &Path,
+) -> std::io::Result<u64> {
+    let invalid = |e: CodecError| std::io::Error::new(std::io::ErrorKind::InvalidData, e);
+    let files = reduce_runs(days, runs, tmp_dir, fan_in)?;
+    let mut readers = Vec::with_capacity(files.len());
+    for path in &files {
+        readers.push(TraceReader::open(path).map_err(invalid)?);
+    }
+    let mut writer = TraceWriter::create(out_path, days)?;
+    let total = merge_sorted_readers_to_writer(readers, &mut writer)?;
+    writer.finish()?;
+    for path in &files {
+        std::fs::remove_file(path)?;
+    }
+    Ok(total)
+}
+
+/// The shared reduce loop of the external merges: while more than
+/// `fan_in` run files remain, merge order-preserving groups of `fan_in`
+/// into intermediate v2 files under `tmp_dir`, deleting consumed inputs.
+fn reduce_runs(
+    days: u32,
+    runs: Vec<std::path::PathBuf>,
+    tmp_dir: &Path,
+    fan_in: usize,
+) -> std::io::Result<Vec<std::path::PathBuf>> {
     // telco-lint: allow(panic): API-misuse guard; every call site passes the MERGE_FAN_IN constant
     assert!(fan_in >= 2, "fan-in must be at least 2");
     let invalid = |e: CodecError| std::io::Error::new(std::io::ErrorKind::InvalidData, e);
@@ -733,16 +831,7 @@ pub fn merge_run_files(
         files = next;
         level += 1;
     }
-    let mut readers = Vec::with_capacity(files.len());
-    for path in &files {
-        readers.push(TraceReader::open(path).map_err(invalid)?);
-    }
-    let merged = merge_sorted_readers(days, readers)
-        .map_err(|issue| std::io::Error::new(std::io::ErrorKind::InvalidData, issue))?;
-    for path in &files {
-        std::fs::remove_file(path)?;
-    }
-    Ok(merged)
+    Ok(files)
 }
 
 // telco-lint: deny-panic(end)

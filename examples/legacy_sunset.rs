@@ -13,11 +13,38 @@
 //! cargo run --release --example legacy_sunset
 //! ```
 
+use telco_lens::analytics::{AnalysisPass, Enriched, Sweep, SweepCtx};
 use telco_lens::prelude::*;
+use telco_lens::trace::record::HoRecord;
 
 struct Scenario {
     name: &'static str,
     fallback_multiplier: f64,
+}
+
+/// A custom streaming pass: successful-handover durations, accumulated in
+/// one traversal (works identically over in-memory or spilled traces).
+#[derive(Default)]
+struct SuccessDurations {
+    durations: Vec<f64>,
+}
+
+impl AnalysisPass for SuccessDurations {
+    type Output = Vec<f64>;
+
+    fn record(&mut self, r: &HoRecord, _e: &Enriched) {
+        if !r.is_failure() {
+            self.durations.push(r.duration_ms as f64);
+        }
+    }
+
+    fn merge(&mut self, other: Self, _ctx: &SweepCtx) {
+        self.durations.extend(other.durations);
+    }
+
+    fn end(self, _ctx: &SweepCtx) -> Vec<f64> {
+        self.durations
+    }
 }
 
 fn main() {
@@ -36,28 +63,15 @@ fn main() {
         config.coverage.urban_base *= scenario.fallback_multiplier;
         config.coverage.rural_base *= scenario.fallback_multiplier;
         let study = Study::run(config);
-        let dataset = &study.data().output.dataset;
 
-        let counts = dataset.counts_by_type();
-        let total: u64 = counts.iter().sum();
-        let vertical = (counts[1] + counts[2]) as f64 / total.max(1) as f64;
+        let counts = study.trace_counts();
+        let total: u64 = counts.by_type.iter().sum();
+        let vertical = (counts.by_type[1] + counts.by_type[2]) as f64 / total.max(1) as f64;
 
-        let mut fails_3g = 0u64;
-        let mut fails = 0u64;
-        for r in dataset.failures() {
-            fails += 1;
-            if r.ho_type() == HoType::To3g {
-                fails_3g += 1;
-            }
-        }
         // Median duration over all successful handovers: vertical HOs are
         // an order of magnitude slower, so the mix shift is visible here.
-        let mut durations: Vec<f64> = dataset
-            .records()
-            .iter()
-            .filter(|r| !r.is_failure())
-            .map(|r| r.duration_ms as f64)
-            .collect();
+        // This isn't a stock analysis, so run it as a custom pass.
+        let mut durations = Sweep::new(study.data()).run(SuccessDurations::default).expect("sweep");
         durations.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let median = durations[durations.len() / 2];
 
@@ -65,8 +79,8 @@ fn main() {
             "{:<24} {:>10.2} {:>10.3} {:>12.1} {:>14.0}",
             scenario.name,
             100.0 * vertical,
-            100.0 * dataset.hof_rate(),
-            100.0 * fails_3g as f64 / fails.max(1) as f64,
+            100.0 * counts.hof_rate(),
+            100.0 * study.causes().to3g_failure_share,
             median,
         );
     }

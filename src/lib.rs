@@ -72,7 +72,7 @@ mod tests {
     #[test]
     fn prelude_compiles_and_runs() {
         let study = Study::run(SimConfig::tiny());
-        assert!(!study.data().output.dataset.is_empty());
+        assert!(!study.data().trace.is_empty());
         assert_eq!(HoType::ALL.len(), 3);
         assert_eq!(Rat::ALL.len(), 4);
     }

@@ -28,13 +28,15 @@ fn simulation_is_reproducible_bit_for_bit() {
     let a = run_study(cfg.clone());
     cfg.threads = 4;
     let b = run_study(cfg);
-    assert_eq!(a.output.dataset.records(), b.output.dataset.records());
+    let (a_data, b_data) =
+        (a.trace.as_dataset().expect("in-memory"), b.trace.as_dataset().expect("in-memory"));
+    assert_eq!(a_data.records(), b_data.records());
     assert_eq!(a.output.mobility, b.output.mobility);
 }
 
 #[test]
 fn trace_roundtrips_through_binary_codec() {
-    let dataset = &study().data().output.dataset;
+    let dataset = study().data().trace.as_dataset().expect("in-memory study");
     let decoded = decode(encode(dataset)).expect("self-produced trace decodes");
     assert_eq!(dataset, &decoded);
 }
@@ -165,7 +167,7 @@ fn core_network_probe_balances() {
     assert_eq!(core.mme_open_procedures(), 0);
     assert!(core.mme_total_procedures() > 0);
     // The probe saw roughly a dozen messages per handover.
-    let per_ho = core.total_messages() as f64 / study().data().output.dataset.len() as f64;
+    let per_ho = core.total_messages() as f64 / study().data().trace.len() as f64;
     assert!((5.0..20.0).contains(&per_ho), "messages per HO {per_ho}");
 }
 

@@ -196,6 +196,23 @@ impl PartialEq for Bytes {
 
 impl Eq for Bytes {}
 
+// The real crate implements `Buf` for `&[u8]`; the trace store decodes
+// straight from borrowed payload slices through it.
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end");
+        *self = &self[cnt..];
+    }
+}
+
 impl Buf for Bytes {
     fn remaining(&self) -> usize {
         self.len()

@@ -16,6 +16,7 @@ use telco_signaling::messages::HoType;
 use telco_sim::{StudyData, World};
 use telco_topology::elements::SectorId;
 use telco_topology::vendor::Vendor;
+use telco_trace::hash::FxHashMap;
 use telco_trace::io::CodecError;
 use telco_trace::record::HoRecord;
 use telco_trace::store::{ChunkIssue, TraceReader};
@@ -145,11 +146,7 @@ impl SectorDayFrame {
         let mut builder = FrameBuilder::new(window_days);
         study
             .trace
-            .for_each_chunk(|chunk| {
-                for r in chunk {
-                    builder.add(r);
-                }
-            })
+            .for_each_chunk(|chunk| builder.add_chunk(chunk))
             .expect("trace stream failed while building the frame");
         builder.finish(&study.world)
     }
@@ -183,11 +180,7 @@ impl SectorDayFrame {
         let mut chunk: Vec<HoRecord> = Vec::new();
         while let Some(result) = reader.next_chunk_into(&mut chunk) {
             match result {
-                Ok(()) => {
-                    for r in &chunk {
-                        builder.add(r);
-                    }
-                }
+                Ok(()) => builder.add_chunk(&chunk),
                 Err(issue) if matches!(issue.error, CodecError::Io(_)) => return Err(issue),
                 Err(_) => {} // corruption: skip the chunk, keep aggregating
             }
@@ -235,75 +228,97 @@ impl SectorDayFrame {
     }
 }
 
-/// Streaming aggregation state of the §6.3 reshape: two hash maps keyed
-/// by sector/window, independent of how many records flow through.
+/// One `(sector, window)` group of the frame accumulator: `(hos, hofs)`
+/// per handover type. The window total — the `daily_hos` covariate — is
+/// the sum across types, derived at `finish` instead of being tracked in
+/// a second map.
+type CellGroup = [(u32, u32); HoType::ALL.len()];
+
+/// Streaming aggregation state of the §6.3 reshape, independent of how
+/// many records flow through.
+///
+/// This is the hottest per-record loop in the analytics layer (the
+/// stream-aggregate benchmark is essentially this plus the codec), so
+/// the layout is chosen for one hash operation per record: a single
+/// [`FxHashMap`] keyed by the packed `sector << 32 | window` word, whose
+/// value carries all three per-type cells inline. The previous shape —
+/// two SipHash maps, `(sector, window, type) → cell` plus
+/// `(sector, window) → total` — cost two randomized-SipHash probes per
+/// record and dominated the profile.
 pub(crate) struct FrameBuilder {
     window_days: u32,
-    /// (sector, window, type) → (hos, hofs).
-    cells: std::collections::HashMap<(u32, u32, usize), (u32, u32)>,
-    /// (sector, window) → total handovers across types.
-    totals: std::collections::HashMap<(u32, u32), u32>,
+    /// `sector << 32 | window` → per-type `(hos, hofs)` cells.
+    cells: FxHashMap<u64, CellGroup>,
 }
 
 impl FrameBuilder {
     pub(crate) fn new(window_days: u32) -> Self {
-        FrameBuilder {
-            window_days: window_days.max(1),
-            cells: std::collections::HashMap::new(),
-            totals: std::collections::HashMap::new(),
+        FrameBuilder { window_days: window_days.max(1), cells: FxHashMap::default() }
+    }
+
+    #[inline]
+    pub(crate) fn add(&mut self, r: &HoRecord) {
+        let window = r.day() / self.window_days;
+        let key = (u64::from(r.source_sector.0) << 32) | u64::from(window);
+        let group = self.cells.entry(key).or_default();
+        let cell = &mut group[r.ho_type().index()];
+        cell.0 += 1;
+        cell.1 += u32::from(r.is_failure());
+    }
+
+    /// Fold a whole chunk; the single tight loop keeps the map access
+    /// pattern visible to the optimizer (no per-record closure frames).
+    #[inline]
+    pub(crate) fn add_chunk(&mut self, chunk: &[HoRecord]) {
+        for r in chunk {
+            self.add(r);
         }
     }
 
-    pub(crate) fn add(&mut self, r: &HoRecord) {
-        let window = r.day() / self.window_days;
-        let e =
-            self.cells.entry((r.source_sector.0, window, r.ho_type().index())).or_insert((0, 0));
-        e.0 += 1;
-        e.1 += u32::from(r.is_failure());
-        *self.totals.entry((r.source_sector.0, window)).or_insert(0) += 1;
-    }
-
     // telco-lint: deny-nondeterminism(begin)
-    /// Fold another builder's cells into this one. Both maps are purely
+    /// Fold another builder's cells into this one. The map holds purely
     /// additive counters, so the fold is order-independent and a
     /// day-partitioned parallel sweep merges to the sequential result.
     pub(crate) fn merge(&mut self, other: FrameBuilder) {
         for (k, v) in other.cells {
             // telco-lint: allow(nondet): additive counter fold; visit order cannot affect sums
-            let e = self.cells.entry(k).or_insert((0, 0));
-            e.0 += v.0;
-            e.1 += v.1;
-        }
-        for (k, v) in other.totals {
-            // telco-lint: allow(nondet): additive counter fold; visit order cannot affect sums
-            *self.totals.entry(k).or_insert(0) += v;
+            let group = self.cells.entry(k).or_default();
+            for (mine, theirs) in group.iter_mut().zip(v) {
+                mine.0 += theirs.0;
+                mine.1 += theirs.1;
+            }
         }
     }
     // telco-lint: deny-nondeterminism(end)
 
     pub(crate) fn finish(self, world: &World) -> SectorDayFrame {
-        let FrameBuilder { window_days, cells, totals } = self;
-        let mut observations: Vec<SectorDayObs> = cells
-            .into_iter()
-            .map(|((sector, day, type_idx), (hos, hofs))| {
-                let sector_id = SectorId(sector);
-                let pc = world.topology.sector_postcode(sector_id);
-                let postcode = world.country.postcode(pc);
-                let district = world.country.district(postcode.district);
-                SectorDayObs {
+        let FrameBuilder { window_days, cells } = self;
+        let mut observations: Vec<SectorDayObs> = Vec::with_capacity(cells.len());
+        for (key, group) in cells {
+            let (sector, day) = ((key >> 32) as u32, key as u32);
+            let total: u32 = group.iter().map(|c| c.0).sum();
+            let sector_id = SectorId(sector);
+            let pc = world.topology.sector_postcode(sector_id);
+            let postcode = world.country.postcode(pc);
+            let district = world.country.district(postcode.district);
+            for (type_idx, &(hos, hofs)) in group.iter().enumerate() {
+                if hos == 0 {
+                    continue;
+                }
+                observations.push(SectorDayObs {
                     sector: sector_id,
                     day,
                     ho_type: HoType::ALL[type_idx],
                     hos,
                     hofs,
-                    daily_hos: (totals[&(sector, day)] / window_days).max(1),
+                    daily_hos: (total / window_days).max(1),
                     area: postcode.area_type,
                     vendor: world.topology.sector(sector_id).vendor,
                     region: district.region,
                     district_population: district.population,
-                }
-            })
-            .collect();
+                });
+            }
+        }
         observations.sort_by_key(|o| (o.sector.0, o.day, o.ho_type.index()));
         SectorDayFrame { observations }
     }
@@ -346,6 +361,10 @@ impl AnalysisPass for FramePass {
 
     fn record(&mut self, r: &HoRecord, _e: &Enriched) {
         self.builder.add(r);
+    }
+
+    fn record_chunk(&mut self, chunk: &[HoRecord], _e: &Enriched) {
+        self.builder.add_chunk(chunk);
     }
 
     fn merge(&mut self, other: Self, _ctx: &SweepCtx) {
@@ -413,7 +432,8 @@ mod tests {
     fn from_reader_matches_in_memory_build() {
         let s = study();
         let in_mem = SectorDayFrame::build(&s);
-        // Round the trace through the v2 store and aggregate the stream.
+        // Round the trace through the store (columnar v3 by default) and
+        // aggregate the stream.
         let dataset = s.trace.as_dataset().unwrap();
         let mut w = telco_trace::store::TraceWriter::new(Vec::new(), s.config.n_days).unwrap();
         w.write_dataset(dataset).unwrap();

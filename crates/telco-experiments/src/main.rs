@@ -38,6 +38,10 @@ fn main() {
                 config = SimConfig::small();
                 preset_name = "small";
             }
+            "--medium" => {
+                config = SimConfig::medium();
+                preset_name = "medium";
+            }
             "--tiny" => {
                 config = SimConfig::tiny();
                 preset_name = "tiny";
@@ -51,7 +55,7 @@ fn main() {
             },
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--small|--tiny] [--spill-dir <dir>] \
+                    "usage: repro [--small|--medium|--tiny] [--spill-dir <dir>] \
                      [bench-runner|bench-trace|bench-study|experiment ...]"
                 );
                 return;
@@ -70,13 +74,15 @@ fn main() {
         return;
     }
     if wanted.iter().any(|w| w == "bench-study") {
-        // Sweep-throughput measurement: defaults to the small preset
-        // unless a scale flag was given explicitly. `--iters N` controls
-        // the best-of-N repetition count (CI smoke uses 1).
-        if preset_name == "default" {
-            config = SimConfig::small();
-            preset_name = "small";
-        }
+        // Sweep-throughput measurement: with no explicit scale flag the
+        // full small + medium preset matrix runs; a scale flag restricts
+        // the matrix to that preset. `--iters N` controls the best-of-N
+        // repetition count (CI smoke uses 1).
+        let presets: Vec<(SimConfig, &str)> = if preset_name == "default" {
+            vec![(SimConfig::small(), "small"), (SimConfig::medium(), "medium")]
+        } else {
+            vec![(config, preset_name)]
+        };
         let iters = wanted
             .iter()
             .position(|w| w == "--iters")
@@ -84,7 +90,7 @@ fn main() {
             .and_then(|v| v.parse::<usize>().ok())
             .unwrap_or(3)
             .max(1);
-        bench_study::run(config, preset_name, iters, spill_dir.as_deref());
+        bench_study::run(presets, iters, spill_dir.as_deref());
         return;
     }
     if wanted.iter().any(|w| w == "bench-runner") {

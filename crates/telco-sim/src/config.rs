@@ -165,6 +165,14 @@ impl SimConfig {
         }
     }
 
+    /// Between [`SimConfig::small`] and the full study: enough records
+    /// (~1.1M) that the bench matrix's per-thread scaling curves measure
+    /// steady-state throughput rather than startup, while still finishing
+    /// in tens of seconds single-threaded.
+    pub fn medium() -> Self {
+        SimConfig { n_ues: 8_000, n_days: 14, ..Self::small() }
+    }
+
     /// The default full study: the scaled-down analogue of the paper's
     /// 4-week countrywide capture (Table 1). Scale factor vs the paper:
     /// ~10k UEs instead of ~40M (absolute counts scale linearly; all
@@ -200,8 +208,10 @@ mod tests {
     fn presets_scale_sensibly() {
         let tiny = SimConfig::tiny();
         let small = SimConfig::small();
+        let medium = SimConfig::medium();
         let study = SimConfig::default_study();
-        assert!(tiny.n_ues < small.n_ues && small.n_ues <= study.n_ues);
+        assert!(tiny.n_ues < small.n_ues && small.n_ues < medium.n_ues);
+        assert!(medium.n_ues <= study.n_ues && medium.n_days < study.n_days);
         assert_eq!(study.n_days, 28);
     }
 

@@ -19,7 +19,7 @@ use crossbeam::thread;
 use telco_devices::population::UeId;
 use telco_trace::dataset::SignalingDataset;
 use telco_trace::source::TraceSource;
-use telco_trace::store::{merge_run_files, merge_run_files_to_path, TraceWriter};
+use telco_trace::store::{merge_run_files, merge_run_files_to_path, TraceWriter, VERSION3};
 
 use crate::config::SimConfig;
 use crate::engine::{simulate_ue_day, SimScratch};
@@ -46,8 +46,9 @@ pub enum RunnerMode {
     Sequential,
     /// Work-stealing workers draining the shared `(day, chunk)` cursor.
     WorkStealing,
-    /// Work-stealing workers spilling per-item sorted runs to disk as v2
-    /// chunk files, k-way merged from disk (out-of-core).
+    /// Work-stealing workers spilling per-item sorted runs to disk as
+    /// chunk files (columnar v3 by default), k-way merged from disk
+    /// (out-of-core).
     Spilled,
 }
 
@@ -95,15 +96,28 @@ pub fn run_study(config: SimConfig) -> StudyData {
 }
 
 /// [`run_study`] in out-of-core mode: per-item runs spill to `spill_dir`
-/// as v2 chunk files and are k-way merged into one sealed v2 trace file
-/// there, which [`StudyData::trace`] then streams chunk-by-chunk — the
-/// full trace is never materialized in memory. Byte-identical to
-/// [`run_study`] (same canonical item-order merge); `spill_dir` must
-/// exist and outlive the returned study.
+/// as columnar v3 chunk files and are k-way merged into one sealed v3
+/// trace file there, which [`StudyData::trace`] then streams
+/// chunk-by-chunk — the full trace is never materialized in memory.
+/// Byte-identical to [`run_study`] (same canonical item-order merge);
+/// `spill_dir` must exist and outlive the returned study.
 pub fn run_study_spilled(config: SimConfig, spill_dir: &Path) -> std::io::Result<StudyData> {
+    run_study_spilled_with_version(config, spill_dir, VERSION3)
+}
+
+/// [`run_study_spilled`] with an explicit trace-store `version` (2 or 3)
+/// for the run files and the sealed study trace. Record streams are
+/// identical across versions; only the bytes on disk differ. Used by the
+/// determinism/golden suites and the bench matrix to compare codecs on
+/// the same study.
+pub fn run_study_spilled_with_version(
+    config: SimConfig,
+    spill_dir: &Path,
+    version: u16,
+) -> std::io::Result<StudyData> {
     let world = World::build(&config);
     let n_days = config.n_days;
-    let (mut output, paths) = spill_runs(&world, &config, DEFAULT_UE_CHUNK, spill_dir)?;
+    let (mut output, paths) = spill_runs(&world, &config, DEFAULT_UE_CHUNK, spill_dir, version)?;
     let out_path = spill_dir.join("study-trace.tlho");
     let records = merge_run_files_to_path(n_days, paths, spill_dir, MERGE_FAN_IN, &out_path)?;
     output.runner.mode = RunnerMode::Spilled;
@@ -226,8 +240,8 @@ pub fn run_on_world_chunked(world: &World, config: &SimConfig, chunk_ues: usize)
 pub const MERGE_FAN_IN: usize = 128;
 
 /// [`run_on_world`] in spill-to-disk mode: each work item's sorted run is
-/// written to `spill_dir` as a v2 chunk file instead of held in RAM, and
-/// the runs are k-way merged from disk (multi-pass above
+/// written to `spill_dir` as a columnar v3 chunk file instead of held in
+/// RAM, and the runs are k-way merged from disk (multi-pass above
 /// [`MERGE_FAN_IN`] files). Peak trace memory is bounded by one chunk per
 /// open run rather than the whole dataset.
 ///
@@ -254,7 +268,21 @@ pub fn run_on_world_spilled_chunked(
     chunk_ues: usize,
     spill_dir: &Path,
 ) -> std::io::Result<SimOutput> {
-    let (mut merged, paths) = spill_runs(world, config, chunk_ues, spill_dir)?;
+    run_on_world_spilled_with_version(world, config, chunk_ues, spill_dir, VERSION3)
+}
+
+/// [`run_on_world_spilled_chunked`] with an explicit trace-store
+/// `version` (2 or 3) for the spilled run files. The merged dataset is
+/// identical either way — the version only selects the on-disk encoding
+/// of the intermediate runs.
+pub fn run_on_world_spilled_with_version(
+    world: &World,
+    config: &SimConfig,
+    chunk_ues: usize,
+    spill_dir: &Path,
+    version: u16,
+) -> std::io::Result<SimOutput> {
+    let (mut merged, paths) = spill_runs(world, config, chunk_ues, spill_dir, version)?;
     merged.dataset = merge_run_files(config.n_days, paths, spill_dir, MERGE_FAN_IN)?;
     merged.runner.mode = RunnerMode::Spilled;
     Ok(merged)
@@ -269,6 +297,7 @@ fn spill_runs(
     config: &SimConfig,
     chunk_ues: usize,
     spill_dir: &Path,
+    version: u16,
 ) -> std::io::Result<(SimOutput, Vec<PathBuf>)> {
     assert!(chunk_ues > 0, "chunk size must be positive");
     let threads = if config.threads == 0 {
@@ -311,7 +340,7 @@ fn spill_runs(
                         }
                         out.dataset.sort();
                         let path = spill_dir.join(format!("run-{item:06}.tmp-trace"));
-                        let mut w = TraceWriter::create(&path, n_days)?;
+                        let mut w = TraceWriter::create_with_version(&path, n_days, version)?;
                         w.write_chunk(out.dataset.records())?;
                         w.finish()?;
                         out.dataset = SignalingDataset::new(n_days);
@@ -453,6 +482,30 @@ mod tests {
         // All run files and intermediates consumed.
         assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spilled_v2_and_v3_stream_identical_records() {
+        let mut cfg = SimConfig::tiny();
+        cfg.n_ues = 120;
+        cfg.n_days = 2;
+        cfg.threads = 2;
+
+        let mut streams: Vec<Vec<telco_trace::record::HoRecord>> = Vec::new();
+        for version in [2u16, 3u16] {
+            let dir = std::env::temp_dir().join(format!("telco_runner_spill_v{version}_test"));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            let study = run_study_spilled_with_version(cfg.clone(), &dir, version).unwrap();
+            assert!(study.trace.is_spilled());
+            let mut recs = Vec::new();
+            study.trace.for_each_chunk(|c| recs.extend_from_slice(c)).unwrap();
+            streams.push(recs);
+            drop(study);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        assert_eq!(streams[0], streams[1]);
+        assert!(!streams[0].is_empty());
     }
 
     #[test]

@@ -1,0 +1,772 @@
+//! Format v3 chunk payloads: struct-of-arrays column encoding.
+//!
+//! The aggregate-heavy access patterns of the analyses (per-sector,
+//! per-day, per-type counting — §4–§6 of the paper) touch two or three
+//! fields of every record; the row-oriented 36-byte frames of v1/v2 make
+//! every scan drag the full record through the cache anyway. A v3 chunk
+//! payload instead stores one column per [`HoRecord`] field, each with a
+//! lightweight compression chosen for that field's distribution:
+//!
+//! | id | column          | encoding                                      |
+//! |----|-----------------|-----------------------------------------------|
+//! | 0  | `timestamp_ms`  | first value varint, then zigzag varint deltas |
+//! | 1  | `ue`            | varint                                        |
+//! | 2  | `source_sector` | chunk-local dictionary + bit-packed indexes   |
+//! | 3  | `target_sector` | chunk-local dictionary + bit-packed indexes   |
+//! | 4  | `source_rat`    | bit-packed, 2 bits/record                     |
+//! | 5  | `target_rat`    | bit-packed, 2 bits/record                     |
+//! | 6  | flags           | bit-packed, 3 bits/record (fail·srvcc·cause)  |
+//! | 7  | `cause`         | varint, one per record with the cause flag    |
+//! | 8  | `duration_ms`   | raw `f32` little-endian (floats don't varint) |
+//! | 9  | `messages`      | varint                                        |
+//!
+//! Each column is framed as `u8 id | u32 len (BE) | body`, in ascending
+//! id order, so a decode failure names the exact column
+//! ([`CodecError::BadField`]) even though the recovery unit stays one
+//! chunk (a record needs all its columns). Timestamps are near-sorted
+//! with small inter-record gaps, so deltas shrink them from 8 bytes to
+//! 1–3; deltas are *zigzag-encoded wrapping* differences, so a
+//! timestamp regression inside a chunk (unsorted input) still
+//! round-trips losslessly. Sector columns dictionary-code because a
+//! chunk (one study day of one worker's records) touches few distinct
+//! sectors; dictionary entries are emitted in first-appearance order —
+//! a deterministic function of the input, per the crate's
+//! deny-nondeterminism invariant (the lookup map is never iterated).
+//!
+//! The container framing around these payloads (chunk headers, CRC,
+//! trailer) lives in [`crate::store`]; this module is pure
+//! bytes-to-columns.
+
+use telco_devices::population::UeId;
+use telco_signaling::causes::CauseCode;
+use telco_topology::elements::SectorId;
+use telco_topology::rat::Rat;
+
+use crate::hash::FxHashMap;
+use crate::io::CodecError;
+use crate::record::{HoOutcome, HoRecord};
+
+/// Column-group ids, in payload order.
+const COL_TIMESTAMP: u8 = 0;
+const COL_UE: u8 = 1;
+const COL_SRC_SECTOR: u8 = 2;
+const COL_TGT_SECTOR: u8 = 3;
+const COL_SRC_RAT: u8 = 4;
+const COL_TGT_RAT: u8 = 5;
+const COL_FLAGS: u8 = 6;
+const COL_CAUSE: u8 = 7;
+const COL_DURATION: u8 = 8;
+const COL_MESSAGES: u8 = 9;
+
+/// Number of column groups in a v3 payload.
+const COLUMNS: usize = 10;
+
+/// Record flag bits (column 6).
+const FLAG_FAILURE: u64 = 1;
+const FLAG_SRVCC: u64 = 2;
+const FLAG_CAUSE: u64 = 4;
+
+// ---- primitive encoders ----------------------------------------------------
+
+/// Append an LEB128 varint (7 bits per byte, continuation in the MSB).
+#[inline]
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// Zigzag-fold a signed delta so small magnitudes of either sign varint
+/// into few bytes.
+#[inline]
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// LSB-first bit packer for the fixed-width columns (dictionary indexes,
+/// RATs, flags).
+struct BitWriter<'a> {
+    out: &'a mut Vec<u8>,
+    acc: u64,
+    filled: u32,
+}
+
+impl<'a> BitWriter<'a> {
+    fn new(out: &'a mut Vec<u8>) -> Self {
+        BitWriter { out, acc: 0, filled: 0 }
+    }
+
+    /// Push the low `width` bits of `v` (width in 1..=32; zero-width
+    /// columns skip the bit stream entirely).
+    #[inline]
+    fn push(&mut self, v: u64, width: u32) {
+        self.acc |= (v & ((1u64 << width) - 1)) << self.filled;
+        self.filled += width;
+        while self.filled >= 8 {
+            self.out.push(self.acc as u8);
+            self.acc >>= 8;
+            self.filled -= 8;
+        }
+    }
+
+    fn finish(self) {
+        if self.filled > 0 {
+            self.out.push(self.acc as u8);
+        }
+    }
+}
+
+/// LSB-first bit unpacker mirroring [`BitWriter`].
+struct BitReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    acc: u64,
+    avail: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        BitReader { buf, pos: 0, acc: 0, avail: 0 }
+    }
+
+    /// The next `width` bits (width in 1..=32), or `None` past the end.
+    #[inline]
+    fn pull(&mut self, width: u32) -> Option<u64> {
+        while self.avail < width {
+            let &byte = self.buf.get(self.pos)?;
+            self.acc |= (byte as u64) << self.avail;
+            self.avail += 8;
+            self.pos += 1;
+        }
+        let v = self.acc & ((1u64 << width) - 1);
+        self.acc >>= width;
+        self.avail -= width;
+        Some(v)
+    }
+
+    /// Whether any set bit remains unconsumed (padding bits must be 0).
+    fn leftover_is_clean(&self) -> bool {
+        self.acc == 0 && self.buf[self.pos.min(self.buf.len())..].iter().all(|&b| b == 0)
+    }
+}
+
+/// Bits needed to index a dictionary of `len` entries (0 for ≤1 entry).
+#[inline]
+fn index_width(len: usize) -> u32 {
+    if len <= 1 {
+        0
+    } else {
+        u64::BITS - (len as u64 - 1).leading_zeros()
+    }
+}
+
+// ---- encoder ---------------------------------------------------------------
+
+/// Chunk-local dictionary builder: first-appearance order, FxHash lookup.
+#[derive(Debug, Default)]
+struct DictBuilder {
+    lookup: FxHashMap<u32, u32>,
+    order: Vec<u32>,
+    indexes: Vec<u32>,
+}
+
+impl DictBuilder {
+    fn clear(&mut self) {
+        self.lookup.clear();
+        self.order.clear();
+        self.indexes.clear();
+    }
+
+    #[inline]
+    fn push(&mut self, value: u32) {
+        let next = self.order.len() as u32;
+        let idx = *self.lookup.entry(value).or_insert_with(|| {
+            self.order.push(value);
+            next
+        });
+        self.indexes.push(idx);
+    }
+
+    /// Emit `varint len | entries (varint, appearance order) | packed
+    /// indexes` into `out`.
+    fn emit(&self, out: &mut Vec<u8>) {
+        put_varint(out, self.order.len() as u64);
+        for &v in &self.order {
+            put_varint(out, v as u64);
+        }
+        let width = index_width(self.order.len());
+        if width > 0 {
+            let mut bits = BitWriter::new(out);
+            for &idx in &self.indexes {
+                bits.push(idx as u64, width);
+            }
+            bits.finish();
+        }
+    }
+}
+
+/// Reusable v3 column encoder. Holds the dictionary scratch so a writer
+/// encoding many chunks performs no steady-state map allocations.
+#[derive(Debug, Default)]
+pub struct ColumnEncoder {
+    src_dict: DictBuilder,
+    tgt_dict: DictBuilder,
+    scratch: Vec<u8>,
+}
+
+/// Write one column group frame: `id | u32 len | body`.
+fn put_group(out: &mut Vec<u8>, id: u8, body: &[u8]) {
+    out.push(id);
+    out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    out.extend_from_slice(body);
+}
+
+impl ColumnEncoder {
+    /// A fresh encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encode `records` as a v3 columnar payload, appended to `out`.
+    pub fn encode(&mut self, records: &[HoRecord], out: &mut Vec<u8>) {
+        let body = &mut self.scratch;
+
+        // Column 0: timestamps — absolute first value, wrapping zigzag
+        // deltas after (lossless even when a chunk is unsorted).
+        body.clear();
+        let mut prev = 0u64;
+        for (i, r) in records.iter().enumerate() {
+            if i == 0 {
+                put_varint(body, r.timestamp_ms);
+            } else {
+                put_varint(body, zigzag(r.timestamp_ms.wrapping_sub(prev) as i64));
+            }
+            prev = r.timestamp_ms;
+        }
+        put_group(out, COL_TIMESTAMP, body);
+
+        // Column 1: UE ids, plain varint.
+        body.clear();
+        for r in records {
+            put_varint(body, r.ue.0 as u64);
+        }
+        put_group(out, COL_UE, body);
+
+        // Columns 2–3: sector dictionaries.
+        self.src_dict.clear();
+        self.tgt_dict.clear();
+        for r in records {
+            self.src_dict.push(r.source_sector.0);
+            self.tgt_dict.push(r.target_sector.0);
+        }
+        body.clear();
+        self.src_dict.emit(body);
+        put_group(out, COL_SRC_SECTOR, body);
+        body.clear();
+        self.tgt_dict.emit(body);
+        put_group(out, COL_TGT_SECTOR, body);
+
+        // Columns 4–5: RATs, 2 bits each.
+        body.clear();
+        {
+            let mut bits = BitWriter::new(body);
+            for r in records {
+                bits.push(r.source_rat.index() as u64, 2);
+            }
+            bits.finish();
+        }
+        put_group(out, COL_SRC_RAT, body);
+        body.clear();
+        {
+            let mut bits = BitWriter::new(body);
+            for r in records {
+                bits.push(r.target_rat.index() as u64, 2);
+            }
+            bits.finish();
+        }
+        put_group(out, COL_TGT_RAT, body);
+
+        // Column 6: flags, 3 bits (failure | srvcc | cause-present).
+        body.clear();
+        {
+            let mut bits = BitWriter::new(body);
+            for r in records {
+                let flags = (u64::from(r.outcome == HoOutcome::Failure) * FLAG_FAILURE)
+                    | (u64::from(r.srvcc) * FLAG_SRVCC)
+                    | (u64::from(r.cause.is_some()) * FLAG_CAUSE);
+                bits.push(flags, 3);
+            }
+            bits.finish();
+        }
+        put_group(out, COL_FLAGS, body);
+
+        // Column 7: causes — sparse, one varint per flagged record.
+        body.clear();
+        for r in records {
+            if let Some(c) = r.cause {
+                put_varint(body, c.0 as u64);
+            }
+        }
+        put_group(out, COL_CAUSE, body);
+
+        // Column 8: durations — raw f32 bits; float payloads are
+        // high-entropy in the low (mantissa) bits, so varint would grow
+        // them.
+        body.clear();
+        for r in records {
+            body.extend_from_slice(&r.duration_ms.to_bits().to_le_bytes());
+        }
+        put_group(out, COL_DURATION, body);
+
+        // Column 9: message counts, plain varint.
+        body.clear();
+        for r in records {
+            put_varint(body, r.messages as u64);
+        }
+        put_group(out, COL_MESSAGES, body);
+    }
+}
+
+// ---- decoder ---------------------------------------------------------------
+// telco-lint: deny-panic(begin)
+// The decode path ingests external bytes (CRC-checked, but a checksum
+// collision or writer bug must still surface as a typed CodecError,
+// never a panic or an unbounded allocation).
+
+/// Byte cursor over one column body.
+struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    #[inline]
+    fn varint(&mut self) -> Option<u64> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let &byte = self.buf.get(self.pos)?;
+            self.pos += 1;
+            if shift == 63 && byte > 1 {
+                return None; // overflows u64
+            }
+            v |= ((byte & 0x7F) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Some(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return None;
+            }
+        }
+    }
+
+    #[inline]
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let slice = self.buf.get(self.pos..self.pos.checked_add(n)?)?;
+        self.pos += n;
+        Some(slice)
+    }
+
+    fn exhausted(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+}
+
+/// Split the next `id | u32 len | body` group off `payload`, verifying
+/// the id. Returns the body and the remaining payload.
+fn next_group<'a>(
+    payload: &'a [u8],
+    expect_id: u8,
+    name: &'static str,
+) -> Result<(&'a [u8], &'a [u8]), CodecError> {
+    let (&id, rest) = payload.split_first().ok_or(CodecError::BadField("column_id"))?;
+    if id != expect_id {
+        return Err(CodecError::BadField("column_id"));
+    }
+    let (len_bytes, rest) = rest.split_first_chunk::<4>().ok_or(CodecError::BadField(name))?;
+    let len = u32::from_be_bytes(*len_bytes) as usize;
+    if len > rest.len() {
+        return Err(CodecError::BadField(name));
+    }
+    let (body, remaining) = rest.split_at(len);
+    Ok((body, remaining))
+}
+
+fn rat_from(code: u64) -> Result<Rat, CodecError> {
+    Rat::ALL.get(code as usize).copied().ok_or(CodecError::BadField("rat"))
+}
+
+/// A placeholder row; every field is overwritten by its column pass.
+const TEMPLATE: HoRecord = HoRecord {
+    timestamp_ms: 0,
+    ue: UeId(0),
+    source_sector: SectorId(0),
+    target_sector: SectorId(0),
+    source_rat: Rat::G4,
+    target_rat: Rat::G4,
+    outcome: HoOutcome::Success,
+    cause: None,
+    duration_ms: 0.0,
+    srvcc: false,
+    messages: 0,
+};
+
+/// Decode a chunk-local dictionary column into per-record values, one
+/// `set` call per record (in record order).
+fn decode_dict(
+    body: &[u8],
+    count: usize,
+    name: &'static str,
+    mut set: impl FnMut(usize, u32),
+) -> Result<(), CodecError> {
+    let mut bytes = ByteReader::new(body);
+    let dict_len = bytes.varint().ok_or(CodecError::BadField(name))? as usize;
+    if dict_len > count || (dict_len == 0) != (count == 0) {
+        // More entries than records means the dictionary itself is
+        // corrupt — and bounding it here keeps a flipped length from
+        // driving a giant allocation.
+        return Err(CodecError::BadField(name));
+    }
+    let mut dict = Vec::with_capacity(dict_len);
+    for _ in 0..dict_len {
+        let v = bytes.varint().ok_or(CodecError::BadField(name))?;
+        dict.push(u32::try_from(v).map_err(|_| CodecError::BadField(name))?);
+    }
+    let width = index_width(dict_len);
+    if width == 0 {
+        if !bytes.exhausted() {
+            return Err(CodecError::BadField(name));
+        }
+        let value = dict.first().copied().unwrap_or(0);
+        for i in 0..count {
+            set(i, value);
+        }
+        return Ok(());
+    }
+    let packed = bytes.buf.get(bytes.pos..).unwrap_or(&[]);
+    let mut bits = BitReader::new(packed);
+    for i in 0..count {
+        let idx = bits.pull(width).ok_or(CodecError::BadField(name))? as usize;
+        let value = *dict.get(idx).ok_or(CodecError::BadField(name))?;
+        set(i, value);
+    }
+    if !bits.leftover_is_clean() {
+        return Err(CodecError::BadField(name));
+    }
+    Ok(())
+}
+
+/// Decode a v3 columnar payload of `count` records into `out` (cleared
+/// first). Strict: every column must hold exactly `count` values with no
+/// trailing garbage, every dictionary index must be in range, every enum
+/// code valid — anything else is a typed [`CodecError::BadField`] naming
+/// the offending column.
+pub fn decode_columns(
+    payload: &[u8],
+    count: usize,
+    out: &mut Vec<HoRecord>,
+) -> Result<(), CodecError> {
+    out.clear();
+    out.resize(count, TEMPLATE);
+
+    // Column 0: timestamps.
+    let (body, payload) = next_group(payload, COL_TIMESTAMP, "timestamp")?;
+    let mut bytes = ByteReader::new(body);
+    let mut prev = 0u64;
+    for (i, r) in out.iter_mut().enumerate() {
+        let raw = bytes.varint().ok_or(CodecError::BadField("timestamp"))?;
+        let ts = if i == 0 { raw } else { prev.wrapping_add(unzigzag(raw) as u64) };
+        r.timestamp_ms = ts;
+        prev = ts;
+    }
+    if !bytes.exhausted() {
+        return Err(CodecError::BadField("timestamp"));
+    }
+
+    // Column 1: UE ids.
+    let (body, payload) = next_group(payload, COL_UE, "ue")?;
+    let mut bytes = ByteReader::new(body);
+    for r in out.iter_mut() {
+        let v = bytes.varint().ok_or(CodecError::BadField("ue"))?;
+        r.ue = UeId(u32::try_from(v).map_err(|_| CodecError::BadField("ue"))?);
+    }
+    if !bytes.exhausted() {
+        return Err(CodecError::BadField("ue"));
+    }
+
+    // Columns 2–3: sector dictionaries.
+    let (body, payload) = next_group(payload, COL_SRC_SECTOR, "source_sector")?;
+    {
+        let rows = &mut *out;
+        decode_dict(body, count, "source_sector", |i, v| {
+            if let Some(r) = rows.get_mut(i) {
+                r.source_sector = SectorId(v);
+            }
+        })?;
+    }
+    let (body, payload) = next_group(payload, COL_TGT_SECTOR, "target_sector")?;
+    {
+        let rows = &mut *out;
+        decode_dict(body, count, "target_sector", |i, v| {
+            if let Some(r) = rows.get_mut(i) {
+                r.target_sector = SectorId(v);
+            }
+        })?;
+    }
+
+    // Columns 4–5: RATs.
+    let (body, payload) = next_group(payload, COL_SRC_RAT, "source_rat")?;
+    let mut bits = BitReader::new(body);
+    for r in out.iter_mut() {
+        r.source_rat = rat_from(bits.pull(2).ok_or(CodecError::BadField("source_rat"))?)?;
+    }
+    if !bits.leftover_is_clean() {
+        return Err(CodecError::BadField("source_rat"));
+    }
+    let (body, payload) = next_group(payload, COL_TGT_RAT, "target_rat")?;
+    let mut bits = BitReader::new(body);
+    for r in out.iter_mut() {
+        r.target_rat = rat_from(bits.pull(2).ok_or(CodecError::BadField("target_rat"))?)?;
+    }
+    if !bits.leftover_is_clean() {
+        return Err(CodecError::BadField("target_rat"));
+    }
+
+    // Column 6: flags. Cause presence is noted per record so column 7
+    // knows how many entries to expect.
+    let (body, payload) = next_group(payload, COL_FLAGS, "flags")?;
+    let mut bits = BitReader::new(body);
+    let mut causes_expected = 0usize;
+    for r in out.iter_mut() {
+        let flags = bits.pull(3).ok_or(CodecError::BadField("flags"))?;
+        r.outcome = if flags & FLAG_FAILURE != 0 { HoOutcome::Failure } else { HoOutcome::Success };
+        r.srvcc = flags & FLAG_SRVCC != 0;
+        if flags & FLAG_CAUSE != 0 {
+            // Tagged with a placeholder; column 7 fills the real code.
+            r.cause = Some(CauseCode(0));
+            causes_expected += 1;
+        } else if r.outcome == HoOutcome::Failure {
+            // Same invariant the row codec enforces: a failure without
+            // a cause code is not a valid record.
+            return Err(CodecError::BadField("cause"));
+        }
+    }
+    if !bits.leftover_is_clean() {
+        return Err(CodecError::BadField("flags"));
+    }
+
+    // Column 7: causes.
+    let (body, payload) = next_group(payload, COL_CAUSE, "cause")?;
+    let mut bytes = ByteReader::new(body);
+    let mut causes_seen = 0usize;
+    for r in out.iter_mut() {
+        if r.cause.is_some() {
+            let v = bytes.varint().ok_or(CodecError::BadField("cause"))?;
+            r.cause = Some(CauseCode(u16::try_from(v).map_err(|_| CodecError::BadField("cause"))?));
+            causes_seen += 1;
+        }
+    }
+    if causes_seen != causes_expected || !bytes.exhausted() {
+        return Err(CodecError::BadField("cause"));
+    }
+
+    // Column 8: durations.
+    let (body, payload) = next_group(payload, COL_DURATION, "duration")?;
+    let mut bytes = ByteReader::new(body);
+    for r in out.iter_mut() {
+        let raw = bytes.take(4).ok_or(CodecError::BadField("duration"))?;
+        let mut word = [0u8; 4];
+        word.copy_from_slice(raw.get(..4).unwrap_or(&[0; 4]));
+        r.duration_ms = f32::from_bits(u32::from_le_bytes(word));
+    }
+    if !bytes.exhausted() {
+        return Err(CodecError::BadField("duration"));
+    }
+
+    // Column 9: message counts.
+    let (body, payload) = next_group(payload, COL_MESSAGES, "messages")?;
+    let mut bytes = ByteReader::new(body);
+    for r in out.iter_mut() {
+        let v = bytes.varint().ok_or(CodecError::BadField("messages"))?;
+        r.messages = u16::try_from(v).map_err(|_| CodecError::BadField("messages"))?;
+    }
+    if !bytes.exhausted() {
+        return Err(CodecError::BadField("messages"));
+    }
+
+    // Trailing bytes after the last column mean the payload length lies.
+    if !payload.is_empty() {
+        return Err(CodecError::BadField("column_id"));
+    }
+    Ok(())
+}
+
+// telco-lint: deny-panic(end)
+
+/// Number of column groups a valid payload carries (exported for tests
+/// and diagnostics).
+pub const COLUMN_COUNT: usize = COLUMNS;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telco_signaling::causes::{CauseCode, PrincipalCause};
+
+    fn rec(ts: u64, ue: u32, sector: u32, fail: bool) -> HoRecord {
+        HoRecord {
+            timestamp_ms: ts,
+            ue: UeId(ue),
+            source_sector: SectorId(sector),
+            target_sector: SectorId(sector + 1),
+            source_rat: Rat::G4,
+            target_rat: if fail { Rat::G3 } else { Rat::G4 },
+            outcome: if fail { HoOutcome::Failure } else { HoOutcome::Success },
+            cause: fail.then(|| CauseCode::principal(PrincipalCause::TargetLoadTooHigh)),
+            duration_ms: 42.5,
+            srvcc: fail,
+            messages: 12,
+        }
+    }
+
+    fn roundtrip(records: &[HoRecord]) -> Vec<HoRecord> {
+        let mut payload = Vec::new();
+        ColumnEncoder::new().encode(records, &mut payload);
+        let mut out = Vec::new();
+        decode_columns(&payload, records.len(), &mut out).expect("clean payload decodes");
+        out
+    }
+
+    #[test]
+    fn empty_chunk_roundtrips() {
+        assert!(roundtrip(&[]).is_empty());
+    }
+
+    #[test]
+    fn typical_chunk_roundtrips_and_compresses() {
+        let records: Vec<HoRecord> = (0..1000)
+            .map(|i| rec(1_000_000 + i * 350, i as u32 % 40, i as u32 % 7, i % 9 == 0))
+            .collect();
+        assert_eq!(roundtrip(&records), records);
+        let mut payload = Vec::new();
+        ColumnEncoder::new().encode(&records, &mut payload);
+        let row_bytes = records.len() * crate::io::RECORD_BYTES;
+        assert!(
+            payload.len() * 2 < row_bytes,
+            "columnar payload {} not < half of row payload {row_bytes}",
+            payload.len()
+        );
+    }
+
+    #[test]
+    fn timestamp_regressions_roundtrip() {
+        // Unsorted timestamps, including u64 extremes: the wrapping
+        // zigzag deltas must be lossless.
+        let ts = [5u64, 3, 10, u64::MAX, 0, u64::MAX / 2, 7];
+        let records: Vec<HoRecord> =
+            ts.iter().enumerate().map(|(i, &t)| rec(t, i as u32, 1, false)).collect();
+        assert_eq!(roundtrip(&records), records);
+    }
+
+    #[test]
+    fn single_sector_chunk_uses_zero_width_indexes() {
+        // All records share one sector pair → dictionary of 1, no index
+        // bits at all.
+        let records: Vec<HoRecord> = (0..64).map(|i| rec(i * 10, i as u32, 9, false)).collect();
+        let mut payload = Vec::new();
+        ColumnEncoder::new().encode(&records, &mut payload);
+        assert_eq!(roundtrip(&records), records);
+        // Row encoding of the two sector columns alone: 8 bytes/record.
+        assert!(payload.len() < records.len() * 20);
+    }
+
+    #[test]
+    fn truncated_column_reports_its_name() {
+        let records: Vec<HoRecord> = (0..10).map(|i| rec(i, i as u32, i as u32, false)).collect();
+        let mut payload = Vec::new();
+        ColumnEncoder::new().encode(&records, &mut payload);
+        let mut out = Vec::new();
+        // Cutting anywhere must produce a typed error, never a panic.
+        for cut in 0..payload.len() {
+            let err = decode_columns(&payload[..cut], records.len(), &mut out)
+                .expect_err("truncated payload must not decode");
+            assert!(matches!(err, CodecError::BadField(_)), "cut {cut}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_panic() {
+        let records: Vec<HoRecord> =
+            (0..50).map(|i| rec(i * 97, i as u32, i as u32 % 5, i % 4 == 0)).collect();
+        let mut payload = Vec::new();
+        ColumnEncoder::new().encode(&records, &mut payload);
+        let mut out = Vec::new();
+        for pos in 0..payload.len() {
+            for bit in 0..8 {
+                let mut bad = payload.clone();
+                bad[pos] ^= 1 << bit;
+                // May decode to different records (CRC catches this a
+                // layer up) or error — the property is no panic and no
+                // giant allocation.
+                let _ = decode_columns(&bad, records.len(), &mut out);
+            }
+        }
+    }
+
+    #[test]
+    fn dictionary_overflow_rejected() {
+        // A dictionary claiming more entries than the chunk has records
+        // is corrupt by construction and must not allocate.
+        let records = vec![rec(1, 1, 1, false)];
+        let mut payload = Vec::new();
+        ColumnEncoder::new().encode(&records, &mut payload);
+        // Column 2 starts after columns 0 and 1; find it by scanning
+        // group frames.
+        let mut pos = 0usize;
+        for _ in 0..2 {
+            let len = u32::from_be_bytes([
+                payload[pos + 1],
+                payload[pos + 2],
+                payload[pos + 3],
+                payload[pos + 4],
+            ]);
+            pos += 5 + len as usize;
+        }
+        assert_eq!(payload[pos], COL_SRC_SECTOR);
+        // First body byte is the dict_len varint (1) — forge a huge one.
+        payload[pos + 5] = 0xFF;
+        payload.insert(pos + 6, 0xFF);
+        payload.insert(pos + 7, 0x7F);
+        let mut out = Vec::new();
+        let err = decode_columns(&payload, 1, &mut out).unwrap_err();
+        assert_eq!(err, CodecError::BadField("source_sector"));
+    }
+
+    #[test]
+    fn varint_overflow_rejected() {
+        let mut bytes = ByteReader::new(&[0xFF; 11]);
+        assert_eq!(bytes.varint(), None);
+        // Exactly 10 bytes with a high final byte overflows u64 too.
+        let mut bytes =
+            ByteReader::new(&[0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F]);
+        assert_eq!(bytes.varint(), None);
+    }
+
+    #[test]
+    fn zigzag_is_a_bijection_on_extremes() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, 12345, -98765] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+}

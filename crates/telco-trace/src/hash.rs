@@ -1,0 +1,167 @@
+//! A deterministic, multiplication-based hasher for hot-path maps.
+//!
+//! `std::collections::HashMap` defaults to SipHash-1-3 with a random
+//! per-process key: cryptographically collision-resistant, but ~2ns per
+//! small key and — because of the random seed — useless anywhere the
+//! deny-nondeterminism invariant applies. The codec's dictionary builder
+//! and the sweep's frame accumulator hash one integer key per record at
+//! multi-million-records/second rates, where SipHash is the profile's
+//! top entry; both need a fixed-seed hasher anyway so that any future
+//! iteration-order dependence is at least reproducible.
+//!
+//! [`FxHasher`] is the classic Firefox hash: fold each machine word into
+//! the state with a rotate, xor, and one multiply by a mixing constant.
+//! One multiply per `u64` key, fully deterministic, good-enough
+//! avalanche for table indexing. It is *not* DoS-resistant — only use it
+//! for keys the process itself generates (sector ids, packed
+//! sector/window keys), never for attacker-controlled input.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit mixing constant (2^64 / φ, forced odd) — the standard
+/// multiplicative-hashing choice: high-entropy bits and an odd value so
+/// multiplication is a bijection on u64.
+const SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Word-at-a-time multiplicative hasher with a fixed seed. See the
+/// module docs for when (not) to use it.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Multiplication only propagates entropy upward: the low k bits
+        // of `x * SEED` depend on nothing above bit k of `x`. Hash-table
+        // bucket indexes come from the LOW bits of this value, so without
+        // a downward fold, keys differing only in their high half (e.g. a
+        // `sector << 32 | window` packed key) would collide into a
+        // handful of chains. One xor-fold pulls the well-mixed top half
+        // into the index bits.
+        self.state ^ (self.state >> 32)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.fold(u64::from_le_bytes(word));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            // Tail shorter than 8 bytes; the copy can't overrun `word`.
+            word[..rest.len().min(8)].copy_from_slice(rest);
+            self.fold(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.fold(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.fold(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.fold(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.fold(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.fold(n as u64);
+    }
+}
+
+/// A `HashMap` using [`FxHasher`] — deterministic and one multiply per
+/// integer key. Lookup-only or sorted-before-iteration uses satisfy the
+/// deny-nondeterminism invariant trivially; raw iteration order, while
+/// stable for a fixed key set, is still arbitrary — sort before emitting.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` over [`FxHasher`], same caveats as [`FxHashMap`].
+pub type FxHashSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_one(value: impl Hash) -> u64 {
+        let mut h = FxHasher::default();
+        value.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        // SipHash would fail this across processes; FxHasher must not
+        // even vary across hasher instances.
+        assert_eq!(hash_one(0xdead_beefu64), hash_one(0xdead_beefu64));
+        assert_eq!(hash_one("sector-17"), hash_one("sector-17"));
+    }
+
+    #[test]
+    fn nearby_keys_spread() {
+        // Sequential sector ids are the common key pattern; they must
+        // not land in adjacent buckets of a power-of-two table.
+        let hashes: Vec<u64> = (0u32..1000).map(hash_one).collect();
+        let mut low_bits: Vec<u64> = hashes.iter().map(|h| h >> 57).collect();
+        low_bits.sort_unstable();
+        low_bits.dedup();
+        assert!(low_bits.len() > 100, "top bits collapse on sequential keys");
+        let mut unique = hashes.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), hashes.len(), "full-width collision on sequential keys");
+    }
+
+    #[test]
+    fn high_half_reaches_the_low_index_bits() {
+        // The frame accumulator packs `sector << 32 | window`: entropy
+        // lives in the high half while bucket indexes come from the low
+        // bits. Sequential high-half keys must spread across low bits —
+        // the multiply-only hash failed exactly this, collapsing the
+        // sector-day map into per-window collision chains.
+        let low: FxHashSet<u64> = (0u64..1000).map(|s| hash_one(s << 32) & 0x3FF).collect();
+        assert!(low.len() > 500, "high-half keys collapse onto {} low-bit buckets", low.len());
+    }
+
+    #[test]
+    fn byte_stream_tail_is_hashed() {
+        assert_ne!(hash_one([1u8, 2, 3]), hash_one([1u8, 2, 4]));
+        assert_ne!(hash_one([0u8; 9]), hash_one([0u8; 17]));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..10_000u64 {
+            m.insert(i.wrapping_mul(0x1234_5677) | 1, i as u32);
+        }
+        for i in 0..10_000u64 {
+            assert_eq!(m.get(&(i.wrapping_mul(0x1234_5677) | 1)), Some(&(i as u32)));
+        }
+    }
+}

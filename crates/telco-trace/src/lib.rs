@@ -22,8 +22,10 @@
 #![warn(missing_docs)]
 
 pub mod anonymize;
+pub mod columnar;
 pub mod crc32;
 pub mod dataset;
+pub mod hash;
 pub mod io;
 pub mod record;
 pub mod source;
@@ -31,7 +33,8 @@ pub mod store;
 
 pub use anonymize::Anonymizer;
 pub use dataset::SignalingDataset;
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use io::{decode, encode, from_json, read_file, to_json, write_file, CodecError};
 pub use record::{DeviceRecord, HoOutcome, HoRecord, TopologyRecord};
 pub use source::{SpilledTrace, TraceSource};
-pub use store::{ChunkIssue, TraceReader, TraceWriter};
+pub use store::{ChunkIssue, RawChunk, TraceReader, TraceWriter};

@@ -1,7 +1,9 @@
 //! Property-based tests of the trace codecs: arbitrary record vectors
-//! round-trip losslessly through both container formats, and arbitrary
-//! corruption — truncation anywhere, bit-flips anywhere — yields typed
-//! `CodecError`s (or skip-and-report recovery for v2), never a panic.
+//! round-trip losslessly through all three container formats (v1
+//! single-buffer, v2 row-chunked, v3 columnar), and arbitrary corruption
+//! — truncation anywhere, bit-flips anywhere — yields typed
+//! `CodecError`s (or skip-and-report recovery for the chunked formats),
+//! never a panic.
 //!
 //! Regressions found by earlier fuzzing are pinned as plain `#[test]`s at
 //! the bottom: the vendored proptest stand-in derives its cases
@@ -17,7 +19,7 @@ use telco_topology::rat::Rat;
 use telco_trace::dataset::SignalingDataset;
 use telco_trace::io::{decode, encode, CodecError, RECORD_BYTES, V1_HEADER_BYTES};
 use telco_trace::record::{HoOutcome, HoRecord};
-use telco_trace::store::{TraceReader, TraceWriter};
+use telco_trace::store::{TraceReader, TraceWriter, VERSION2, VERSION3};
 
 fn arb_rat() -> impl Strategy<Value = Rat> {
     prop_oneof![Just(Rat::G2), Just(Rat::G3), Just(Rat::G4), Just(Rat::G5Nr)]
@@ -56,14 +58,23 @@ fn arb_record() -> impl Strategy<Value = HoRecord> {
         )
 }
 
-/// Encode into the v2 chunked container, splitting the records over
-/// chunks of `chunk_len` so frame boundaries land in arbitrary places.
-fn encode_v2(dataset: &SignalingDataset, chunk_len: usize) -> Vec<u8> {
-    let mut w = TraceWriter::new(Vec::new(), dataset.days).unwrap();
+/// Encode into a chunked container at the given version, splitting the
+/// records over chunks of `chunk_len` so frame boundaries land in
+/// arbitrary places.
+fn encode_chunked(dataset: &SignalingDataset, chunk_len: usize, version: u16) -> Vec<u8> {
+    let mut w = TraceWriter::with_version(Vec::new(), dataset.days, version).unwrap();
     for chunk in dataset.records().chunks(chunk_len.max(1)) {
         w.write_chunk(chunk).unwrap();
     }
     w.finish().unwrap()
+}
+
+fn encode_v2(dataset: &SignalingDataset, chunk_len: usize) -> Vec<u8> {
+    encode_chunked(dataset, chunk_len, VERSION2)
+}
+
+fn encode_v3(dataset: &SignalingDataset, chunk_len: usize) -> Vec<u8> {
+    encode_chunked(dataset, chunk_len, VERSION3)
 }
 
 proptest! {
@@ -88,6 +99,87 @@ proptest! {
         prop_assert_eq!(&dataset, &decoded);
         prop_assert!(reader.trailer_seen());
         prop_assert!(reader.issues().is_empty());
+    }
+
+    #[test]
+    fn v3_roundtrips_any_chunking(
+        records in proptest::collection::vec(arb_record(), 0..200),
+        chunk_len in 1usize..64,
+    ) {
+        let dataset = SignalingDataset::from_records(28, records);
+        let bytes = encode_v3(&dataset, chunk_len);
+        let mut reader = TraceReader::new(&bytes[..]).expect("valid v3 header");
+        let decoded = reader.read_to_dataset_strict().expect("valid v3 frames decode");
+        prop_assert_eq!(&dataset, &decoded);
+        prop_assert!(reader.trailer_seen());
+        prop_assert!(reader.issues().is_empty());
+    }
+
+    #[test]
+    fn v3_bit_flips_never_panic_and_are_detected(
+        records in proptest::collection::vec(arb_record(), 1..80),
+        chunk_len in 1usize..32,
+        byte_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let dataset = SignalingDataset::from_records(28, records);
+        let clean = encode_v3(&dataset, chunk_len);
+        let mut raw = clean.clone();
+        let pos = ((byte_frac * raw.len() as f64) as usize).min(raw.len() - 1);
+        raw[pos] ^= 1 << bit;
+        match TraceReader::new(&raw[..]) {
+            Err(_) => {} // header flip: typed error at open
+            Ok(mut reader) => {
+                let recovered = reader.read_to_dataset();
+                // Every v3 byte is covered by a payload CRC, the
+                // length-checked frame header, or the sealed trailer —
+                // a flip anywhere must be *detected*, same as v2.
+                prop_assert!(
+                    !reader.issues().is_empty(),
+                    "flip at byte {pos} bit {bit} went undetected"
+                );
+                // Recovery only ever loses whole chunks.
+                prop_assert!(recovered.len() <= dataset.len());
+            }
+        }
+    }
+
+    #[test]
+    fn v3_truncation_never_panics(
+        records in proptest::collection::vec(arb_record(), 0..80),
+        chunk_len in 1usize..32,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let dataset = SignalingDataset::from_records(28, records);
+        let clean = encode_v3(&dataset, chunk_len);
+        let cut = (cut_frac * clean.len() as f64) as usize;
+        if cut >= clean.len() {
+            return Ok(());
+        }
+        match TraceReader::new(&clean[..cut]) {
+            Err(e) => prop_assert!(matches!(e, CodecError::Truncated | CodecError::BadMagic)),
+            Ok(mut reader) => {
+                let recovered = reader.read_to_dataset();
+                prop_assert!(!reader.issues().is_empty(), "silent truncation at {cut}");
+                prop_assert!(recovered.len() <= dataset.len());
+                prop_assert!(!reader.trailer_seen());
+            }
+        }
+    }
+
+    #[test]
+    fn v2_and_v3_decode_identically(
+        records in proptest::collection::vec(arb_record(), 0..120),
+        chunk_len in 1usize..48,
+    ) {
+        // The two chunked containers are different encodings of the same
+        // stream: any record vector must survive both bit-exactly.
+        let dataset = SignalingDataset::from_records(28, records);
+        let v2 = encode_v2(&dataset, chunk_len);
+        let v3 = encode_v3(&dataset, chunk_len);
+        let a = TraceReader::new(&v2[..]).unwrap().read_to_dataset_strict().expect("v2");
+        let b = TraceReader::new(&v3[..]).unwrap().read_to_dataset_strict().expect("v3");
+        prop_assert_eq!(&a, &b);
     }
 
     #[test]
@@ -256,6 +348,97 @@ fn regression_v2_boundary_truncation_detected() {
     assert_eq!(recovered.len(), 10, "intact chunks still decode");
     assert_eq!(reader.issues().len(), 1);
     assert_eq!(reader.issues()[0].error, CodecError::MissingTrailer);
+}
+
+fn plain_record(ts: u64) -> HoRecord {
+    HoRecord {
+        timestamp_ms: ts,
+        ue: UeId(7),
+        source_sector: SectorId(40),
+        target_sector: SectorId(41),
+        source_rat: Rat::G4,
+        target_rat: Rat::G4,
+        outcome: HoOutcome::Success,
+        cause: None,
+        duration_ms: 12.5,
+        srvcc: false,
+        messages: 6,
+    }
+}
+
+/// Timestamps may regress *within* a chunk (merge tails, clock skew): the
+/// v3 delta column uses wrapping signed deltas, so non-monotone and
+/// u64-extreme values must survive bit-exactly. An early draft used
+/// saturating deltas and silently flattened regressions.
+#[test]
+fn regression_v3_timestamp_regression_within_chunk_roundtrips() {
+    let ts = [5u64, 3, 10, u64::MAX, 0, u64::MAX / 2, 7];
+    let records: Vec<HoRecord> = ts.iter().map(|&t| plain_record(t)).collect();
+    let mut w = TraceWriter::with_version(Vec::new(), 1, VERSION3).unwrap();
+    w.write_chunk(&records).unwrap();
+    let bytes = w.finish().unwrap();
+    let mut reader = TraceReader::new(&bytes[..]).unwrap();
+    let mut out = Vec::new();
+    assert!(reader.next_chunk_into(&mut out).expect("one chunk").is_ok());
+    assert_eq!(out, records, "timestamp order or extremes drifted");
+    assert!(reader.next_chunk_into(&mut out).is_none());
+    assert!(reader.trailer_seen());
+}
+
+/// A corrupted dictionary length claiming more entries than the chunk has
+/// records must be rejected as a typed decode error (and the chunk
+/// skipped), never trusted as an allocation size. The payload CRC is
+/// recomputed so the corruption reaches the column decoder itself.
+#[test]
+fn regression_v3_dictionary_overflow_rejected() {
+    let mut raw = {
+        let mut w = TraceWriter::with_version(Vec::new(), 1, VERSION3).unwrap();
+        w.write_chunk(&[plain_record(1)]).unwrap();
+        w.finish().unwrap()
+    };
+    // Layout: 10-byte stream header, then the v3 frame:
+    // magic 10..14 | seq 14..18 | count 18..22 | payload_len 22..26 |
+    // crc 26..30 | payload.
+    let payload_len = u32::from_be_bytes(raw[22..26].try_into().unwrap()) as usize;
+    let (payload_start, payload_end) = (30, 30 + payload_len);
+    // Walk the column groups (u8 id | u32 len BE | body) to the source
+    // sector dictionary (column id 2).
+    let mut p = payload_start;
+    while raw[p] != 2 {
+        let len = u32::from_be_bytes(raw[p + 1..p + 5].try_into().unwrap()) as usize;
+        p += 5 + len;
+    }
+    // Body starts with the dict-length varint; one record → one byte.
+    assert_eq!(raw[p + 5], 1, "expected a single-entry dictionary");
+    raw[p + 5] = 0x7F; // dict_len = 127 > record count of 1
+    let crc = telco_trace::crc32::crc32(&raw[payload_start..payload_end]);
+    raw[26..30].copy_from_slice(&crc.to_be_bytes());
+
+    let mut reader = TraceReader::new(&raw[..]).unwrap();
+    let recovered = reader.read_to_dataset();
+    assert!(recovered.is_empty(), "overflowing dictionary chunk must be skipped");
+    assert!(
+        reader.issues().iter().any(|i| matches!(i.error, CodecError::BadField(_))),
+        "dictionary overflow not reported as a typed field error: {:?}",
+        reader.issues()
+    );
+}
+
+/// Empty chunks produce empty columns everywhere (zero-length deltas,
+/// zero-entry dictionaries, zero-width bit-packs); they must frame and
+/// decode cleanly when interleaved with data chunks.
+#[test]
+fn regression_v3_empty_chunks_roundtrip() {
+    let mut w = TraceWriter::with_version(Vec::new(), 1, VERSION3).unwrap();
+    w.write_chunk(&[]).unwrap();
+    w.write_chunk(&[plain_record(10), plain_record(20)]).unwrap();
+    w.write_chunk(&[]).unwrap();
+    let bytes = w.finish().unwrap();
+    let mut reader = TraceReader::new(&bytes[..]).unwrap();
+    let decoded = reader.read_to_dataset_strict().expect("empty columns decode");
+    assert_eq!(decoded.len(), 2);
+    assert!(reader.trailer_seen());
+    assert!(reader.issues().is_empty());
 }
 
 /// The v1 record-frame layout is the byte-level contract both containers

@@ -236,3 +236,39 @@ fn golden_tracks_real_drift() {
         assert_ne!(drifted, expected, "golden failed to discriminate a perturbed study");
     }
 }
+
+/// The tiny golden, reproduced by the sharded orchestrator: the study
+/// split into 4 UE shards, run by an in-process worker fleet, merged
+/// out-of-core from the shard store, and swept from the sealed study
+/// trace must print the exact same golden bytes. This is the
+/// merged-study entry point ([`telco_orchestrator::open_study`])
+/// feeding the full analytics pipeline.
+#[test]
+fn golden_study_tiny_orchestrated() {
+    use telco_orchestrator::{
+        orchestrate, store_manifest, DirStore, Launcher, Manifest, OrchestrateOptions, PlanOptions,
+    };
+
+    let expected = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/goldens/study_tiny.json"),
+    )
+    .expect("tiny golden must exist (UPDATE_GOLDENS=1 on golden_study_tiny)");
+
+    let dir = std::env::temp_dir().join("telco_golden_orchestrated");
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = std::sync::Arc::new(DirStore::create(&dir).unwrap());
+    let manifest = Manifest::plan(
+        SimConfig::tiny(),
+        &PlanOptions { shards: 4, scenario: "tiny".into(), ..PlanOptions::default() },
+    )
+    .unwrap();
+    store_manifest(store.as_ref(), &manifest).unwrap();
+    orchestrate(store.clone(), &OrchestrateOptions::new(Launcher::InProcess))
+        .expect("orchestrated study");
+
+    let data = telco_orchestrator::open_study(store.as_ref()).expect("open sealed study");
+    assert!(data.trace.is_spilled(), "orchestrated studies stream from the store");
+    let study = Study::from_data(data);
+    assert_eq!(golden_json("tiny", &study), expected, "orchestrated study drifted from the golden");
+    let _ = std::fs::remove_dir_all(&dir);
+}

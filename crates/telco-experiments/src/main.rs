@@ -24,9 +24,17 @@ use telco_stats::desc::percentile;
 mod bench_runner;
 mod bench_study;
 mod bench_trace;
+mod orchestrate_cli;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Sharded-sweep subcommands route before flag parsing: they own
+    // their argument grammar (see orchestrate_cli).
+    if let Some(first) = args.first() {
+        if ["plan", "worker", "orchestrate"].contains(&first.as_str()) {
+            std::process::exit(orchestrate_cli::run(first, &args[1..]));
+        }
+    }
     let mut config = SimConfig::default_study();
     let mut preset_name = "default";
     let mut spill_dir: Option<std::path::PathBuf> = None;
@@ -56,7 +64,9 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--small|--medium|--tiny] [--spill-dir <dir>] \
-                     [bench-runner|bench-trace|bench-study|experiment ...]"
+                     [bench-runner|bench-trace|bench-study|experiment ...]\n       \
+                     repro plan|worker|orchestrate --dir <store> ...  (sharded sweeps; \
+                     see EXPERIMENTS.md)"
                 );
                 return;
             }

@@ -1,0 +1,66 @@
+//! The shard worker binary: `telco-worker --dir <store> --entry <n>
+//! [--fault <spec>]`.
+//!
+//! Runs one manifest entry against the store at `--dir` and exits.
+//! Deliberately print-free — a worker's entire observable behavior is
+//! its exit code plus the artifacts it publishes (the orchestrator
+//! reads evidence, not stdout):
+//!
+//! - `0` — entry ran and its artifacts were published (which does NOT
+//!   mean the shard is valid: the damage faults exit 0 on purpose);
+//! - [`EXIT_INJECTED`] (17) — an injected `crash:K` fault fired;
+//! - `1` — the entry failed (I/O, missing manifest, bad entry index);
+//! - `2` — bad command line.
+//!
+//! The fault spec may also arrive via [`WORKER_FAULT_ENV`]; the flag
+//! wins when both are set.
+
+use std::process::ExitCode;
+
+use telco_orchestrator::{
+    load_manifest, run_entry, DirStore, FaultSpec, WorkerError, EXIT_INJECTED, WORKER_FAULT_ENV,
+};
+
+struct Args {
+    dir: std::path::PathBuf,
+    entry: usize,
+    fault: Option<FaultSpec>,
+}
+
+fn parse_args() -> Result<Args, ()> {
+    let mut dir = None;
+    let mut entry = None;
+    let mut fault = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--dir" => dir = Some(std::path::PathBuf::from(argv.next().ok_or(())?)),
+            "--entry" => entry = Some(argv.next().ok_or(())?.parse().map_err(|_| ())?),
+            "--fault" => fault = Some(FaultSpec::parse(&argv.next().ok_or(())?).map_err(|_| ())?),
+            _ => return Err(()),
+        }
+    }
+    if fault.is_none() {
+        if let Ok(spec) = std::env::var(WORKER_FAULT_ENV) {
+            fault = Some(FaultSpec::parse(&spec).map_err(|_| ())?);
+        }
+    }
+    Ok(Args { dir: dir.ok_or(())?, entry: entry.ok_or(())?, fault })
+}
+
+fn main() -> ExitCode {
+    let Ok(args) = parse_args() else {
+        return ExitCode::from(2);
+    };
+    let Ok(store) = DirStore::open(&args.dir) else {
+        return ExitCode::from(1);
+    };
+    let Ok(manifest) = load_manifest(&store) else {
+        return ExitCode::from(1);
+    };
+    match run_entry(&manifest, args.entry, &store, args.fault) {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(WorkerError::InjectedCrash) => ExitCode::from(EXIT_INJECTED as u8),
+        Err(_) => ExitCode::from(1),
+    }
+}

@@ -1,0 +1,50 @@
+//! Sharded sweep orchestration for paper-scale studies.
+//!
+//! This crate turns one [`telco_sim::SimConfig`] into a [`Manifest`] of
+//! `(day-range, UE-shard, seed, scenario)` work items, dispatches them
+//! to a bounded fleet of worker processes (each spilling a sealed v3
+//! shard trace plus a completion marker keyed by the manifest entry
+//! hash), and merges the fleet's output into one study that streams
+//! out-of-core — byte-identical to a single-process
+//! [`telco_sim::run_study`] of the same config.
+//!
+//! The layers, bottom-up:
+//!
+//! - [`manifest`] — the plan: canonical shard grid, JSON schema,
+//!   FNV-1a entry/manifest fingerprints;
+//! - [`store`] — [`ShardStore`]: staged-write object storage (today a
+//!   flat directory, shaped for a remote object store later);
+//! - [`worker`] — [`run_entry`]: one entry end-to-end, with
+//!   fault-injection hooks for the resilience harness;
+//! - [`pool`] — [`WorkerPool`]: bounded dispatch with per-worker
+//!   timeouts and bounded backoff retry, over subprocesses or threads;
+//! - [`orchestrate`] — the resumable driver: evidence scan, dispatch,
+//!   store-backed fan-in merge, study sealing, and [`open_study`] into
+//!   the analytics pipeline.
+//!
+//! See `DESIGN.md` §10 for the determinism argument and the completion
+//! protocol, and `EXPERIMENTS.md` for the paper-scale walkthrough.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+// telco-lint: deny-nondeterminism
+
+pub mod manifest;
+pub mod orchestrate;
+pub mod pool;
+pub mod store;
+pub mod worker;
+
+pub use manifest::{Manifest, ManifestError, PlanOptions, ShardEntry, MANIFEST_NAME};
+pub use orchestrate::{
+    load_manifest, open_study, orchestrate, shard_complete, store_manifest, OrchestrateError,
+    OrchestrateOptions, OrchestrateReport, StudyMarker, StudySidecar, STUDY_MARKER, STUDY_SIDECAR,
+    STUDY_TRACE,
+};
+pub use pool::{AttemptFailure, DispatchOutcome, Launcher, PoolOptions, WorkerPool, EVENT_LOG};
+pub use store::{DirStore, ShardStore};
+pub use worker::{
+    marker_name, run_entry, sidecar_name, trace_name, FaultSpec, ShardMarker, ShardSidecar,
+    WorkerError, EXIT_INJECTED, WORKER_FAULT_ENV,
+};

@@ -1,0 +1,374 @@
+//! The bounded worker pool: dispatches manifest entries to workers,
+//! enforces per-worker timeouts, and retries failures with backoff.
+//!
+//! Two launchers share one dispatch loop. [`Launcher::Subprocess`]
+//! spawns the real `telco-worker` binary per entry — the production
+//! shape, where a crash is a process exit and a timeout is a `kill`.
+//! [`Launcher::InProcess`] runs [`run_entry`] on a thread — the fast
+//! shape for determinism matrices, where spawning dozens of processes
+//! would dominate the test budget. The completion protocol is identical
+//! either way: a worker "succeeding" means nothing until the caller's
+//! validator accepts the shard's published artifacts.
+//!
+//! Scheduling wall-clock time is the one intentional nondeterminism in
+//! this crate: timeouts, backoff, and reaping order depend on it, but
+//! *which shards complete and what bytes they contain* never do — that
+//! is what the determinism matrix in `tests/` proves.
+
+// telco-lint: allow(nondet): wall clock drives worker timeouts and retry backoff only; shard bytes never depend on it
+use std::time::{Duration, Instant};
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::process::Stdio;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::manifest::Manifest;
+use crate::store::ShardStore;
+use crate::worker::{run_entry, FaultSpec};
+
+/// Scheduling clock, isolated so the waiver story is one line.
+fn clock() -> Instant {
+    Instant::now() // telco-lint: allow(nondet): scheduling clock for timeouts/backoff, never recorded in outputs
+}
+
+/// Store name of the orchestrator's JSONL event log. Every dispatch,
+/// completion, retry, and failure appends one line — the resume tests
+/// count dispatches here, and operators tail it at paper scale.
+pub const EVENT_LOG: &str = "orchestrator.log";
+
+/// How workers are launched.
+#[derive(Debug, Clone)]
+pub enum Launcher {
+    /// Spawn `program` with `prefix` arguments, then
+    /// `--dir <store-root> --entry <n> [--fault <spec>]`. Requires a
+    /// store with a local root. `program` is usually the `telco-worker`
+    /// binary; `prefix` lets a multiplexing CLI route through a
+    /// subcommand (e.g. `repro` + `["worker"]`).
+    Subprocess {
+        /// Worker executable.
+        program: PathBuf,
+        /// Arguments inserted before the worker flags.
+        prefix: Vec<String>,
+    },
+    /// Run [`run_entry`] on a thread in this process. No process
+    /// isolation: timeouts cannot kill a stuck entry (the pool waits),
+    /// and an entry that aborts takes the orchestrator with it. Meant
+    /// for tests and small local sweeps.
+    InProcess,
+}
+
+/// Pool sizing and resilience knobs.
+#[derive(Debug, Clone)]
+pub struct PoolOptions {
+    /// Maximum workers running at once.
+    pub pool_size: usize,
+    /// Per-attempt wall-clock budget before a subprocess worker is
+    /// killed and the entry retried. Ignored by [`Launcher::InProcess`].
+    pub timeout_ms: u64,
+    /// Retries after the first attempt (so an entry runs at most
+    /// `retries + 1` times).
+    pub retries: u32,
+    /// Base delay before a retry; doubles per failed attempt.
+    pub backoff_ms: u64,
+}
+
+impl Default for PoolOptions {
+    fn default() -> Self {
+        PoolOptions { pool_size: 2, timeout_ms: 120_000, retries: 2, backoff_ms: 50 }
+    }
+}
+
+/// Why one worker attempt failed.
+#[derive(Debug, Clone)]
+pub enum AttemptFailure {
+    /// Worker process exited nonzero (code, if the OS reported one).
+    Exit(Option<i32>),
+    /// Worker exceeded the per-attempt timeout and was killed.
+    Timeout,
+    /// Worker claimed success but the published shard failed the
+    /// caller's validation.
+    Invalid(String),
+    /// The worker could not be launched at all.
+    Spawn(String),
+}
+
+impl std::fmt::Display for AttemptFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttemptFailure::Exit(Some(code)) => write!(f, "worker exited with code {code}"),
+            AttemptFailure::Exit(None) => write!(f, "worker killed by signal"),
+            AttemptFailure::Timeout => write!(f, "worker timed out"),
+            AttemptFailure::Invalid(why) => write!(f, "shard failed validation: {why}"),
+            AttemptFailure::Spawn(why) => write!(f, "worker failed to launch: {why}"),
+        }
+    }
+}
+
+/// What a dispatch run did, in aggregate.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DispatchOutcome {
+    /// Entries whose shards validated, in completion order.
+    pub completed: Vec<usize>,
+    /// Entries that exhausted every attempt, ascending.
+    pub failed: Vec<usize>,
+    /// Total worker launches (first attempts + retries).
+    pub dispatches: u32,
+    /// Launches beyond each entry's first attempt.
+    pub retries: u32,
+}
+
+/// A bounded pool of shard workers over one manifest and store.
+pub struct WorkerPool {
+    manifest: Arc<Manifest>,
+    store: Arc<dyn ShardStore>,
+    launcher: Launcher,
+    opts: PoolOptions,
+}
+
+enum WorkerHandle {
+    Child(std::process::Child),
+    Thread { join: Option<JoinHandle<Result<(), String>>> },
+}
+
+impl WorkerHandle {
+    /// Non-blocking completion check; `Some` once the worker is done.
+    fn poll(&mut self) -> std::io::Result<Option<Result<(), AttemptFailure>>> {
+        match self {
+            WorkerHandle::Child(child) => Ok(child.try_wait()?.map(|status| {
+                if status.success() {
+                    Ok(())
+                } else {
+                    Err(AttemptFailure::Exit(status.code()))
+                }
+            })),
+            WorkerHandle::Thread { join } => {
+                let finished = join.as_ref().is_some_and(|j| j.is_finished());
+                if !finished {
+                    return Ok(None);
+                }
+                let outcome = match join.take().expect("polled after completion").join() {
+                    Ok(Ok(())) => Ok(()),
+                    Ok(Err(why)) => Err(AttemptFailure::Invalid(why)),
+                    Err(_) => Err(AttemptFailure::Spawn("worker thread panicked".into())),
+                };
+                Ok(Some(outcome))
+            }
+        }
+    }
+
+    /// Stop the worker if the launcher supports it (threads cannot be
+    /// killed; the pool never calls this for them).
+    fn kill(&mut self) {
+        if let WorkerHandle::Child(child) = self {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+
+    fn killable(&self) -> bool {
+        matches!(self, WorkerHandle::Child(_))
+    }
+}
+
+struct Job {
+    entry: usize,
+    attempt: u32,
+    ready_at: Instant,
+}
+
+struct Running {
+    entry: usize,
+    attempt: u32,
+    deadline: Instant,
+    handle: WorkerHandle,
+}
+
+impl WorkerPool {
+    /// Build a pool over `manifest` and `store`.
+    pub fn new(
+        manifest: Arc<Manifest>,
+        store: Arc<dyn ShardStore>,
+        launcher: Launcher,
+        opts: PoolOptions,
+    ) -> WorkerPool {
+        WorkerPool { manifest, store, launcher, opts }
+    }
+
+    /// Append one JSONL event line to [`EVENT_LOG`]. Logging is
+    /// best-effort: a full disk must not turn a completed shard into a
+    /// failure.
+    pub fn log_event(&self, line: &str) {
+        let _ = self.store.append(EVENT_LOG, format!("{line}\n").as_bytes());
+    }
+
+    fn spawn(
+        &self,
+        entry: usize,
+        fault: Option<FaultSpec>,
+    ) -> Result<WorkerHandle, AttemptFailure> {
+        match &self.launcher {
+            Launcher::Subprocess { program, prefix } => {
+                let root = self.store.local_root().ok_or_else(|| {
+                    AttemptFailure::Spawn(
+                        "subprocess launcher needs a store with a local root".into(),
+                    )
+                })?;
+                let mut cmd = std::process::Command::new(program);
+                cmd.args(prefix)
+                    .arg("--dir")
+                    .arg(root)
+                    .arg("--entry")
+                    .arg(entry.to_string())
+                    .stdin(Stdio::null())
+                    .stdout(Stdio::null())
+                    .stderr(Stdio::null());
+                if let Some(f) = fault {
+                    cmd.arg("--fault").arg(f.to_string());
+                }
+                cmd.spawn()
+                    .map(WorkerHandle::Child)
+                    .map_err(|e| AttemptFailure::Spawn(e.to_string()))
+            }
+            Launcher::InProcess => {
+                let manifest = Arc::clone(&self.manifest);
+                let store = Arc::clone(&self.store);
+                let join = std::thread::spawn(move || {
+                    run_entry(&manifest, entry, store.as_ref(), fault)
+                        .map(|_| ())
+                        .map_err(|e| e.to_string())
+                });
+                Ok(WorkerHandle::Thread { join: Some(join) })
+            }
+        }
+    }
+
+    /// Run `jobs` through the pool until each completes or exhausts its
+    /// attempts. `faults` maps entry index → injected fault, applied on
+    /// the *first* attempt only (the harness proves recovery, so the
+    /// retry must be clean). After a worker reports success, `validate`
+    /// is the arbiter: an `Err` sends the entry back through the retry
+    /// path exactly like a crash.
+    pub fn dispatch(
+        &self,
+        jobs: &[usize],
+        faults: &[(usize, FaultSpec)],
+        validate: &dyn Fn(usize) -> Result<(), String>,
+    ) -> DispatchOutcome {
+        let mut outcome = DispatchOutcome::default();
+        let start = clock();
+        let mut queue: VecDeque<Job> =
+            jobs.iter().map(|&entry| Job { entry, attempt: 1, ready_at: start }).collect();
+        let mut running: Vec<Running> = Vec::new();
+
+        while !queue.is_empty() || !running.is_empty() {
+            let now = clock();
+
+            // Reap finished and overdue workers.
+            let mut i = 0;
+            while i < running.len() {
+                let done = match running[i].handle.poll() {
+                    Ok(done) => done,
+                    Err(e) => Some(Err(AttemptFailure::Spawn(e.to_string()))),
+                };
+                let timed_out =
+                    done.is_none() && running[i].handle.killable() && now >= running[i].deadline;
+                let result = if timed_out {
+                    running[i].handle.kill();
+                    Some(Err(AttemptFailure::Timeout))
+                } else {
+                    done
+                };
+                let Some(result) = result else {
+                    i += 1;
+                    continue;
+                };
+                let worker = running.swap_remove(i);
+                let result =
+                    result.and_then(|()| validate(worker.entry).map_err(AttemptFailure::Invalid));
+                match result {
+                    Ok(()) => {
+                        self.log_event(&format!(
+                            "{{\"event\":\"complete\",\"entry\":{},\"attempt\":{}}}",
+                            worker.entry, worker.attempt
+                        ));
+                        outcome.completed.push(worker.entry);
+                    }
+                    Err(failure) => self.requeue(
+                        worker.entry,
+                        worker.attempt,
+                        &failure,
+                        &mut queue,
+                        &mut outcome,
+                    ),
+                }
+            }
+
+            // Fill free slots with jobs whose backoff has elapsed.
+            while running.len() < self.opts.pool_size.max(1) {
+                let Some(pos) = queue.iter().position(|j| j.ready_at <= now) else { break };
+                let job = queue.remove(pos).expect("position came from this queue");
+                let fault = (job.attempt == 1)
+                    .then(|| faults.iter().find(|(e, _)| *e == job.entry).map(|(_, f)| *f))
+                    .flatten();
+                outcome.dispatches += 1;
+                if job.attempt > 1 {
+                    outcome.retries += 1;
+                }
+                self.log_event(&format!(
+                    "{{\"event\":\"dispatch\",\"entry\":{},\"attempt\":{},\"fault\":{}}}",
+                    job.entry,
+                    job.attempt,
+                    fault.map_or("null".to_string(), |f| format!("\"{f}\"")),
+                ));
+                match self.spawn(job.entry, fault) {
+                    Ok(handle) => running.push(Running {
+                        entry: job.entry,
+                        attempt: job.attempt,
+                        deadline: now + Duration::from_millis(self.opts.timeout_ms),
+                        handle,
+                    }),
+                    Err(failure) => {
+                        self.requeue(job.entry, job.attempt, &failure, &mut queue, &mut outcome)
+                    }
+                }
+            }
+
+            if !running.is_empty() || queue.iter().any(|j| j.ready_at > now) {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+
+        outcome.failed.sort_unstable();
+        outcome
+    }
+
+    fn requeue(
+        &self,
+        entry: usize,
+        attempt: u32,
+        failure: &AttemptFailure,
+        queue: &mut VecDeque<Job>,
+        outcome: &mut DispatchOutcome,
+    ) {
+        let reason = serde_json::to_string(&failure.to_string())
+            .unwrap_or_else(|_| "\"unprintable\"".into());
+        if attempt <= self.opts.retries {
+            let delay = self.opts.backoff_ms.saturating_mul(1u64 << (attempt - 1).min(16));
+            self.log_event(&format!(
+                "{{\"event\":\"retry\",\"entry\":{entry},\"attempt\":{attempt},\"reason\":{reason}}}"
+            ));
+            queue.push_back(Job {
+                entry,
+                attempt: attempt + 1,
+                ready_at: clock() + Duration::from_millis(delay),
+            });
+        } else {
+            self.log_event(&format!(
+                "{{\"event\":\"failed\",\"entry\":{entry},\"attempts\":{attempt},\"reason\":{reason}}}"
+            ));
+            outcome.failed.push(entry);
+        }
+    }
+}

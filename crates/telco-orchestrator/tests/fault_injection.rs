@@ -1,0 +1,137 @@
+//! Fault-injection harness: each injected failure mode must be
+//! *detected* by the parent, the shard re-dispatched, and the final
+//! study byte-identical to an uninjected run of the same manifest.
+//!
+//! The three modes probe different layers of the completion protocol:
+//! `crash:K` dies before commit (detected by exit code + missing
+//! marker), `truncate` publishes a torn stream under a committed name
+//! with a lying marker (detected by stream validation), and `corrupt`
+//! flips one byte mid-payload leaving the trailer intact (detected only
+//! by the full-read CRC check — the cheap trailer probe passes).
+
+mod common;
+
+use common::*;
+use telco_orchestrator::{
+    orchestrate, shard_complete, FaultSpec, Launcher, OrchestrateError, OrchestrateOptions,
+    PoolOptions, ShardStore,
+};
+
+#[test]
+fn every_fault_mode_is_detected_and_recovered() {
+    let cfg = test_cfg();
+    let clean = planned_store("fault_clean", &cfg, 4, u32::MAX);
+    orchestrate(clean.clone(), &in_process(2)).unwrap();
+    let clean_bytes = study_bytes(clean.as_ref());
+
+    for (tag, fault) in [
+        ("crash", FaultSpec::CrashAfterChunks(1)),
+        ("truncate", FaultSpec::TruncateTail),
+        ("corrupt", FaultSpec::FlipByte),
+    ] {
+        let store = planned_store(&format!("fault_{tag}"), &cfg, 4, u32::MAX);
+        let mut opts = subprocess(2);
+        opts.faults = vec![(1, fault)];
+        let report = orchestrate(store.clone(), &opts).unwrap_or_else(|e| {
+            panic!("fault {tag} was not recovered: {e}");
+        });
+        assert_eq!(report.retried, 1, "{tag}: exactly the injected shard retries");
+        assert_eq!(report.dispatched, 5, "{tag}: 4 first attempts + 1 retry");
+        assert_eq!(
+            study_bytes(store.as_ref()),
+            clean_bytes,
+            "{tag}: recovered study must be byte-identical to the uninjected run"
+        );
+        assert_eq!(log_count(store.as_ref(), "retry"), 1, "{tag}");
+        assert_eq!(log_count(store.as_ref(), "complete"), 4, "{tag}");
+    }
+}
+
+#[test]
+fn stalled_worker_is_killed_and_retried() {
+    let cfg = test_cfg();
+    let clean = planned_store("stall_clean", &cfg, 2, u32::MAX);
+    orchestrate(clean.clone(), &in_process(2)).unwrap();
+
+    let store = planned_store("stall", &cfg, 2, u32::MAX);
+    let mut opts = subprocess(2);
+    opts.pool = PoolOptions { pool_size: 2, timeout_ms: 250, retries: 2, backoff_ms: 5 };
+    opts.faults = vec![(0, FaultSpec::Stall(30_000))];
+    let report = orchestrate(store.clone(), &opts).unwrap();
+    assert!(report.retried >= 1, "stalled worker must be killed and retried");
+    assert_eq!(study_bytes(store.as_ref()), study_bytes(clean.as_ref()));
+    // The kill shows up as a timeout in the event log.
+    let log =
+        std::fs::read_to_string(store.local_path(telco_orchestrator::EVENT_LOG).unwrap()).unwrap();
+    assert!(log.contains("timed out"), "log records the timeout: {log}");
+}
+
+#[test]
+fn exhausted_retries_fail_the_run_without_sealing_a_study() {
+    let cfg = test_cfg();
+    let store = planned_store("fault_exhaust", &cfg, 3, u32::MAX);
+    let mut opts = in_process(2);
+    opts.pool.retries = 0;
+    opts.faults = vec![(2, FaultSpec::CrashAfterChunks(1))];
+    match orchestrate(store.clone(), &opts) {
+        Err(OrchestrateError::ShardsFailed(failed)) => assert_eq!(failed, vec![2]),
+        other => panic!("expected ShardsFailed, got {other:?}"),
+    }
+    assert!(!store.exists(telco_orchestrator::STUDY_MARKER).unwrap());
+    assert!(!store.exists(telco_orchestrator::STUDY_TRACE).unwrap());
+    // The healthy shards are complete and will be skipped on resume.
+    let manifest = telco_orchestrator::load_manifest(store.as_ref()).unwrap();
+    assert!(shard_complete(&manifest, 0, store.as_ref()).is_ok());
+    assert!(shard_complete(&manifest, 1, store.as_ref()).is_ok());
+    assert!(shard_complete(&manifest, 2, store.as_ref()).is_err());
+}
+
+#[test]
+fn damage_faults_actually_defeat_the_cheap_probe_layers() {
+    // Meta-test of the harness itself: the corrupt fault must produce a
+    // shard whose *trailer probe* passes (torn mid-payload byte) while
+    // full validation fails — otherwise the suite above would be testing
+    // a weaker protocol than it claims.
+    let cfg = test_cfg();
+    let store = planned_store("fault_meta", &cfg, 2, u32::MAX);
+    let manifest = telco_orchestrator::load_manifest(store.as_ref()).unwrap();
+    let err =
+        telco_orchestrator::run_entry(&manifest, 0, store.as_ref(), Some(FaultSpec::FlipByte))
+            .map(|_| ());
+    assert!(err.is_ok(), "the corrupt fault exits cleanly — that is the point");
+    let path = store.local_path(&telco_orchestrator::trace_name(0)).unwrap();
+    assert!(
+        telco_trace::probe::probe_trailer(&path).is_ok(),
+        "corrupt shard must still carry a valid trailer"
+    );
+    assert!(telco_trace::probe::validate_file(&path).is_err());
+    assert!(shard_complete(&manifest, 0, store.as_ref()).is_err());
+
+    // And the crash fault must leave nothing visible at all.
+    let store2 = planned_store("fault_meta2", &cfg, 2, u32::MAX);
+    let manifest2 = telco_orchestrator::load_manifest(store2.as_ref()).unwrap();
+    let crash = telco_orchestrator::run_entry(
+        &manifest2,
+        0,
+        store2.as_ref(),
+        Some(FaultSpec::CrashAfterChunks(1)),
+    );
+    assert!(matches!(crash, Err(telco_orchestrator::WorkerError::InjectedCrash)));
+    assert!(!store2.exists(&telco_orchestrator::trace_name(0)).unwrap());
+    assert!(!store2.exists(&telco_orchestrator::marker_name(0)).unwrap());
+}
+
+#[test]
+fn injected_faults_never_fire_on_retries() {
+    // retries=1 is enough for every mode precisely because the fault is
+    // first-attempt-only; a fault that re-fired would exhaust the budget.
+    let cfg = test_cfg();
+    let store = planned_store("fault_once", &cfg, 2, u32::MAX);
+    let opts = OrchestrateOptions {
+        launcher: Launcher::InProcess,
+        pool: PoolOptions { pool_size: 1, retries: 1, backoff_ms: 5, ..PoolOptions::default() },
+        faults: vec![(0, FaultSpec::TruncateTail), (1, FaultSpec::FlipByte)],
+    };
+    let report = orchestrate(store.clone(), &opts).unwrap();
+    assert_eq!(report.retried, 2);
+}

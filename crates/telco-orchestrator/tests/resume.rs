@@ -1,0 +1,111 @@
+//! Resume correctness: a second orchestrator invocation re-dispatches
+//! only the shards whose completion evidence fails, verified by
+//! dispatch counts in the manifest log, and completes to a study
+//! identical to an uninterrupted run — including the partial-TEND-
+//! trailer edge case where a shard dies mid-seal.
+
+mod common;
+
+use common::*;
+use telco_orchestrator::{
+    load_manifest, marker_name, orchestrate, trace_name, FaultSpec, OrchestrateError, ShardStore,
+    STUDY_MARKER,
+};
+
+#[test]
+fn resume_skips_completed_shards_and_finishes_identically() {
+    let cfg = test_cfg();
+    let clean = planned_store("resume_clean", &cfg, 4, u32::MAX);
+    orchestrate(clean.clone(), &in_process(2)).unwrap();
+    let clean_bytes = study_bytes(clean.as_ref());
+
+    // First invocation: shard 2 crashes and the retry budget is zero, so
+    // the run dies with three shards complete — the "orchestrator killed
+    // after shard k of n" shape, reproduced deterministically.
+    let store = planned_store("resume", &cfg, 4, u32::MAX);
+    let mut opts = in_process(2);
+    opts.pool.retries = 0;
+    opts.faults = vec![(2, FaultSpec::CrashAfterChunks(1))];
+    match orchestrate(store.clone(), &opts) {
+        Err(OrchestrateError::ShardsFailed(failed)) => assert_eq!(failed, vec![2]),
+        other => panic!("expected ShardsFailed, got {other:?}"),
+    }
+    assert_eq!(log_count(store.as_ref(), "dispatch"), 4, "first run dispatched every shard");
+
+    // Second invocation, no faults: only the broken shard re-dispatches.
+    let report = orchestrate(store.clone(), &in_process(2)).unwrap();
+    assert_eq!(report.total, 4);
+    assert_eq!(report.skipped, 3, "three completed shards must be skipped");
+    assert_eq!(report.dispatched, 1, "exactly the missing shard re-dispatches");
+    assert_eq!(log_count(store.as_ref(), "dispatch"), 5, "4 first-run + 1 resume dispatch");
+    assert_eq!(study_bytes(store.as_ref()), clean_bytes);
+
+    // Third invocation: the sealed study short-circuits everything.
+    let report = orchestrate(store.clone(), &in_process(2)).unwrap();
+    assert!(report.reused_study);
+    assert_eq!(report.dispatched, 0);
+    assert_eq!(log_count(store.as_ref(), "dispatch"), 5, "no new dispatches");
+}
+
+#[test]
+fn partial_trailer_shard_is_detected_and_redispatched() {
+    // A worker that dies *while writing the TEND trailer* leaves a trace
+    // that has its magic but not its bytes — with the completion marker
+    // already absent or present depending on timing. Simulate the nastier
+    // half: marker present (stale from a prior complete run), trailer torn.
+    let cfg = test_cfg();
+    let store = planned_store("resume_tend", &cfg, 3, u32::MAX);
+    orchestrate(store.clone(), &in_process(2)).unwrap();
+    let sealed_bytes = study_bytes(store.as_ref());
+
+    // Tear shard 1: drop the last 10 bytes, leaving half a trailer, and
+    // unseal the study so the orchestrator re-scans shards.
+    let shard_path = store.local_path(&trace_name(1)).unwrap();
+    let len = std::fs::metadata(&shard_path).unwrap().len();
+    let file = std::fs::OpenOptions::new().write(true).open(&shard_path).unwrap();
+    file.set_len(len - 10).unwrap();
+    drop(file);
+    store.delete(STUDY_MARKER).unwrap();
+
+    let manifest = load_manifest(store.as_ref()).unwrap();
+    assert!(
+        telco_orchestrator::shard_complete(&manifest, 1, store.as_ref()).is_err(),
+        "a partial trailer must invalidate the shard despite its marker"
+    );
+    assert!(store.exists(&marker_name(1)).unwrap(), "the stale marker is really there");
+
+    let before = log_count(store.as_ref(), "dispatch");
+    let report = orchestrate(store.clone(), &in_process(2)).unwrap();
+    assert_eq!(report.skipped, 2);
+    assert_eq!(report.dispatched, 1, "only the torn shard re-runs");
+    assert_eq!(log_count(store.as_ref(), "dispatch"), before + 1);
+    assert_eq!(study_bytes(store.as_ref()), sealed_bytes);
+}
+
+#[test]
+fn a_changed_manifest_invalidates_every_shard() {
+    // Resumability is keyed by entry hashes: rewriting the manifest with
+    // a different seed must orphan all previous work, not silently reuse
+    // traces from the wrong study.
+    let cfg = test_cfg();
+    let store = planned_store("resume_reseed", &cfg, 2, u32::MAX);
+    orchestrate(store.clone(), &in_process(2)).unwrap();
+
+    let mut reseeded = cfg.clone();
+    reseeded.seed ^= 0xDEAD_BEEF;
+    let manifest = telco_orchestrator::Manifest::plan(
+        reseeded,
+        &telco_orchestrator::PlanOptions {
+            shards: 2,
+            scenario: "resume_reseed".into(),
+            ..telco_orchestrator::PlanOptions::default()
+        },
+    )
+    .unwrap();
+    telco_orchestrator::store_manifest(store.as_ref(), &manifest).unwrap();
+
+    let report = orchestrate(store.clone(), &in_process(2)).unwrap();
+    assert!(!report.reused_study, "old study must not be reused for a new seed");
+    assert_eq!(report.skipped, 0, "every shard re-runs under the new seed");
+    assert_eq!(report.dispatched, 2);
+}

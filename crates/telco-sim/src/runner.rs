@@ -50,6 +50,10 @@ pub enum RunnerMode {
     /// chunk files (columnar v3 by default), k-way merged from disk
     /// (out-of-core).
     Spilled,
+    /// A fleet of worker *processes* each ran one manifest shard and the
+    /// shard traces were merged out-of-core (the `telco-orchestrator`
+    /// crate).
+    Orchestrated,
 }
 
 /// Scheduling metadata of a finished run, recorded on
@@ -232,6 +236,50 @@ pub fn run_on_world_chunked(world: &World, config: &SimConfig, chunk_ues: usize)
         ue_days,
     };
     merged
+}
+
+/// Run one *shard* of a study: the UE range `ues` over the day range
+/// `days`, sequentially, against the full-study `world` and `config`.
+/// This is the unit of work a sharded orchestrator hands to a worker
+/// process.
+///
+/// The day span of the output dataset stays `config.n_days` — a shard is
+/// a window into the full study's timeline, not a shorter study — so
+/// per-UE-day RNG streams, timestamps, and day numbering are exactly
+/// those of the unsharded run. The loop is day-major and the final sort
+/// is stable, so records of this shard appear in the same relative order
+/// the sequential full run would emit them: equal-timestamp records are
+/// same-day (timestamps encode the day) and tie-break by insertion
+/// order, i.e. ascending UE. Concatenating shard outputs in ascending
+/// UE-range order and stable-merging by timestamp therefore reproduces
+/// the sequential study byte for byte — the determinism argument the
+/// orchestrator's test matrix pins down.
+pub fn run_shard(
+    world: &World,
+    config: &SimConfig,
+    days: std::ops::Range<u32>,
+    ues: std::ops::Range<usize>,
+) -> SimOutput {
+    let n_ues = world.n_ues();
+    let days = days.start.min(config.n_days)..days.end.min(config.n_days);
+    let ues = ues.start.min(n_ues)..ues.end.min(n_ues);
+    let ue_days = ues.len() * days.len();
+    let mut out = SimOutput::new(config.n_days);
+    let mut scratch = SimScratch::new();
+    for day in days.clone() {
+        for ue in ues.clone() {
+            simulate_ue_day(world, config, UeId(ue as u32), day, &mut scratch, &mut out);
+        }
+    }
+    out.dataset.sort();
+    out.runner = RunnerStats {
+        mode: RunnerMode::Sequential,
+        threads: 1,
+        chunk_ues: ues.len().max(1),
+        work_items: days.len(),
+        ue_days,
+    };
+    out
 }
 
 /// Open-file fan-in of the on-disk merge. The default study spills
@@ -506,6 +554,52 @@ mod tests {
         }
         assert_eq!(streams[0], streams[1]);
         assert!(!streams[0].is_empty());
+    }
+
+    #[test]
+    fn shards_reassemble_the_sequential_study() {
+        let mut cfg = SimConfig::tiny();
+        cfg.n_ues = 120;
+        cfg.n_days = 2;
+        cfg.threads = 1;
+        let world = World::build(&cfg);
+        let full = run_on_world(&world, &cfg);
+
+        // Three uneven UE shards over all days, merged in shard order,
+        // must reproduce the sequential run exactly (stable merge ties
+        // break in shard order = UE order = sequential insertion order).
+        let bounds = [0usize, 50, 51, 120];
+        let mut datasets = Vec::new();
+        let mut mobility = Vec::new();
+        let mut ue_days = 0;
+        for w in bounds.windows(2) {
+            let shard = run_shard(&world, &cfg, 0..cfg.n_days, w[0]..w[1]);
+            ue_days += shard.runner.ue_days;
+            datasets.push(shard.dataset);
+            mobility.extend(shard.mobility);
+        }
+        let merged = SignalingDataset::merge_sorted_runs(cfg.n_days, datasets);
+        assert_eq!(merged.records(), full.dataset.records());
+        assert_eq!(ue_days, 240);
+        // Shard mobility rows are (day, ue)-sortable back into the
+        // sequential order (each shard emits day-major, UE-ascending).
+        mobility.sort_by_key(|m| (m.day, m.ue));
+        assert_eq!(mobility, full.mobility);
+
+        // Day-sliced shards (split the time axis instead) reassemble too:
+        // per-day shard outputs concatenate in day order.
+        let mut day_datasets = Vec::new();
+        for day in 0..cfg.n_days {
+            let shard = run_shard(&world, &cfg, day..day + 1, 0..cfg.n_ues);
+            day_datasets.push(shard.dataset);
+        }
+        let day_merged = SignalingDataset::merge_sorted_runs(cfg.n_days, day_datasets);
+        assert_eq!(day_merged.records(), full.dataset.records());
+
+        // Out-of-range requests clamp instead of panicking.
+        let empty = run_shard(&world, &cfg, 5..9, 500..600);
+        assert!(empty.dataset.is_empty());
+        assert_eq!(empty.runner.ue_days, 0);
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod crc32;
 pub mod dataset;
 pub mod hash;
 pub mod io;
+pub mod probe;
 pub mod record;
 pub mod source;
 pub mod store;
@@ -35,6 +36,7 @@ pub use anonymize::Anonymizer;
 pub use dataset::SignalingDataset;
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use io::{decode, encode, from_json, read_file, to_json, write_file, CodecError};
+pub use probe::{probe_trailer, validate_file, StreamSummary, TrailerProbe};
 pub use record::{DeviceRecord, HoOutcome, HoRecord, TopologyRecord};
 pub use source::{SpilledTrace, TraceSource};
 pub use store::{ChunkIssue, RawChunk, TraceReader, TraceWriter};

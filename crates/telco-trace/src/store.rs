@@ -118,7 +118,7 @@ pub struct RawChunk {
 /// The trailer checksum: CRC32 over the canonical 10-byte header followed
 /// by the 12 trailer-total bytes. Sealing the header here is what makes a
 /// bit flip in the unchecksummed `days` (or `version`) field detectable.
-fn trailer_crc(version: u16, days: u32, totals: &[u8]) -> u32 {
+pub(crate) fn trailer_crc(version: u16, days: u32, totals: &[u8]) -> u32 {
     let mut sealed = Vec::with_capacity(V2_HEADER_BYTES + 12);
     sealed.put_slice(&MAGIC);
     sealed.put_u16(version);
@@ -429,6 +429,11 @@ impl<R: Read> TraceReader<R> {
     /// Records successfully delivered so far.
     pub fn records_read(&self) -> u64 {
         self.records_read
+    }
+
+    /// Chunk frames read cleanly so far.
+    pub fn chunks_read(&self) -> u64 {
+        self.chunks_ok
     }
 
     /// Whether the stream ended with a valid trailer (v2 only; meaningful

@@ -1,0 +1,55 @@
+//! Per-pass cost attribution for the columnar sweep: runs each analysis
+//! pass alone over the small preset and prints its share of the composite
+//! sweep's wall time. A profiling aid, not a benchmark artifact.
+
+use std::time::Instant;
+
+use telco_analytics::frame::{FramePass, FrameWindow};
+use telco_analytics::geodemo::{HoDensityPass, PopulationPass};
+use telco_analytics::handovers::{DistrictPass, DurationPass, HoTypePass};
+use telco_analytics::hof::{CausePass, HofPatternsPass};
+use telco_analytics::manufacturer::ManufacturerPass;
+use telco_analytics::pingpong::PingPongPass;
+use telco_analytics::sweep::{AnalysisPass, Sweep, TraceCountsPass};
+use telco_analytics::timeseries::TemporalPass;
+use telco_analytics::vendor_analysis::VendorPass;
+use telco_analytics::StudyPasses;
+use telco_sim::{run_study, SimConfig};
+
+fn time_pass<P: AnalysisPass + Send>(
+    name: &str,
+    data: &telco_sim::StudyData,
+    make: impl Fn() -> P + Sync,
+) {
+    let sweep = Sweep::new(data);
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let _ = sweep.run(&make).expect("sweep");
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    let rps = data.trace.len() as f64 / best;
+    println!("{name:<16} {best:>8.4}s  {:>6.2}M records/s", rps / 1e6);
+}
+
+fn main() {
+    let mut cfg = SimConfig::small();
+    cfg.threads = 1;
+    let data = run_study(cfg);
+    println!("{} records", data.trace.len());
+    time_pass("composite", &data, StudyPasses::default);
+    time_pass("counts", &data, TraceCountsPass::default);
+    time_pass("ho_types", &data, HoTypePass::default);
+    time_pass("durations", &data, DurationPass::default);
+    time_pass("districts", &data, DistrictPass::default);
+    time_pass("population", &data, PopulationPass::default);
+    time_pass("density", &data, HoDensityPass::default);
+    time_pass("temporal", &data, TemporalPass::default);
+    time_pass("manufacturer", &data, || ManufacturerPass::new(3));
+    time_pass("hof_patterns", &data, HofPatternsPass::default);
+    time_pass("causes", &data, CausePass::default);
+    time_pass("pingpong", &data, PingPongPass::default);
+    time_pass("vendor", &data, VendorPass::default);
+    time_pass("frame_daily", &data, || FramePass::new(FrameWindow::Daily));
+    time_pass("frame_period", &data, || FramePass::new(FrameWindow::FullPeriod));
+}

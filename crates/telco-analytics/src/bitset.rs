@@ -1,0 +1,64 @@
+//! A dense id set for "distinct sectors seen" accumulators.
+//!
+//! Sector ids are dense (`0..n_sectors`), so a word-packed bitmap beats a
+//! hash set in the sweep hot loops: insertion is one shift/or with no
+//! hashing or probing, cardinality is a popcount fold, and merge is a
+//! word-wise OR. Words grow on demand, so an empty set costs nothing and
+//! a set only pays for the highest id it ever saw.
+
+/// A grow-on-demand bitmap over `u32` ids with set semantics.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct IdSet {
+    words: Vec<u64>,
+}
+
+impl IdSet {
+    /// Mark `id` as present.
+    #[inline]
+    pub(crate) fn insert(&mut self, id: u32) {
+        let word = (id / 64) as usize;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        if let Some(w) = self.words.get_mut(word) {
+            *w |= 1u64 << (id % 64);
+        }
+    }
+
+    /// Number of distinct ids inserted.
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Set union: absorb every id present in `other`.
+    pub(crate) fn union(&mut self, other: &IdSet) {
+        if self.words.len() < other.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (mine, theirs) in self.words.iter_mut().zip(&other.words) {
+            *mine |= theirs;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_len_union() {
+        let mut a = IdSet::default();
+        assert_eq!(a.len(), 0);
+        a.insert(0);
+        a.insert(63);
+        a.insert(64);
+        a.insert(64); // idempotent
+        assert_eq!(a.len(), 3);
+        let mut b = IdSet::default();
+        b.insert(64);
+        b.insert(1000);
+        a.union(&b);
+        assert_eq!(a.len(), 4);
+    }
+}

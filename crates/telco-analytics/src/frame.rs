@@ -9,6 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use telco_devices::population::UeId;
 use telco_devices::types::{DeviceType, Manufacturer};
 use telco_geo::district::{DistrictId, Region};
 use telco_geo::postcode::AreaType;
@@ -16,6 +17,7 @@ use telco_signaling::messages::HoType;
 use telco_sim::{StudyData, World};
 use telco_topology::elements::SectorId;
 use telco_topology::vendor::Vendor;
+use telco_trace::columnar::{ColumnBatch, FLAG_FAILURE};
 use telco_trace::hash::FxHashMap;
 use telco_trace::io::CodecError;
 use telco_trace::record::HoRecord;
@@ -26,15 +28,76 @@ use crate::sweep::{AnalysisPass, SweepCtx};
 /// Per-record join helpers over the simulated world. Only the world is
 /// needed — enrichment never touches the trace itself, which is what lets
 /// every pass share one traversal.
-#[derive(Clone, Copy)]
+///
+/// Construction flattens the multi-hop world joins (sector → site →
+/// postcode → district, UE → catalog entry) into dense lookup tables
+/// indexed by the raw sector/UE ids, built once per sweep in
+/// `O(sectors + UEs)`. The per-record joins the passes perform millions
+/// of times then cost one bounds-checked array load instead of two or
+/// three pointer chases — the `*_of` accessors are what the column-scan
+/// pass implementations use. Ids outside the tables (impossible for a
+/// well-formed world; conceivable for a corrupt-but-CRC-clean trace)
+/// fall back to the original world join, preserving its behavior
+/// exactly.
 pub struct Enriched<'a> {
     world: &'a World,
+    /// Sector → urban/rural of its postcode, indexed by `SectorId.0`.
+    sector_area: Vec<AreaType>,
+    /// Sector → district, indexed by `SectorId.0`.
+    sector_district: Vec<DistrictId>,
+    /// Sector → antenna vendor, indexed by `SectorId.0`.
+    sector_vendor: Vec<Vendor>,
+    /// Sector → census reliability of its postcode, indexed by `SectorId.0`.
+    sector_reliable: Vec<bool>,
+    /// UE → device type, indexed by `UeId.0`.
+    ue_device: Vec<DeviceType>,
+    /// UE → manufacturer, indexed by `UeId.0`.
+    ue_mfr: Vec<Manufacturer>,
+    /// UE → `Manufacturer::index()`, cached because that index is a
+    /// linear scan of the catalog — far too slow for a per-record loop.
+    ue_mfr_idx: Vec<u8>,
+    /// UE → home district, indexed by `UeId.0`.
+    ue_home_district: Vec<DistrictId>,
 }
 
 impl<'a> Enriched<'a> {
-    /// Wrap a world.
+    /// Wrap a world, building the flat join tables.
     pub fn new(world: &'a World) -> Self {
-        Enriched { world }
+        let topo = &world.topology;
+        let n_sectors = topo.sectors().len();
+        let mut sector_area = Vec::with_capacity(n_sectors);
+        let mut sector_district = Vec::with_capacity(n_sectors);
+        let mut sector_vendor = Vec::with_capacity(n_sectors);
+        let mut sector_reliable = Vec::with_capacity(n_sectors);
+        for s in topo.sectors() {
+            let pc = world.country.postcode(topo.sector_postcode(s.id));
+            sector_area.push(pc.area_type);
+            sector_reliable.push(pc.census_reliable);
+            sector_district.push(topo.sector_district(s.id));
+            sector_vendor.push(s.vendor);
+        }
+        let n_ues = world.ues.len();
+        let mut ue_device = Vec::with_capacity(n_ues);
+        let mut ue_mfr = Vec::with_capacity(n_ues);
+        let mut ue_mfr_idx = Vec::with_capacity(n_ues);
+        let mut ue_home_district = Vec::with_capacity(n_ues);
+        for ue in &world.ues {
+            ue_device.push(ue.device_type);
+            ue_mfr.push(ue.manufacturer);
+            ue_mfr_idx.push(ue.manufacturer.index() as u8);
+            ue_home_district.push(world.country.postcode(ue.home_postcode).district);
+        }
+        Enriched {
+            world,
+            sector_area,
+            sector_district,
+            sector_vendor,
+            sector_reliable,
+            ue_device,
+            ue_mfr,
+            ue_mfr_idx,
+            ue_home_district,
+        }
     }
 
     /// The underlying world.
@@ -42,15 +105,96 @@ impl<'a> Enriched<'a> {
         self.world
     }
 
+    /// Urban/rural classification of a source sector by raw id.
+    #[inline]
+    pub fn area_of(&self, sector: u32) -> AreaType {
+        match self.sector_area.get(sector as usize) {
+            Some(&a) => a,
+            None => {
+                let pc = self.world.topology.sector_postcode(SectorId(sector));
+                self.world.country.postcode(pc).area_type
+            }
+        }
+    }
+
+    /// District of a source sector by raw id.
+    #[inline]
+    pub fn district_of(&self, sector: u32) -> DistrictId {
+        match self.sector_district.get(sector as usize) {
+            Some(&d) => d,
+            None => self.world.topology.sector_district(SectorId(sector)),
+        }
+    }
+
+    /// Antenna vendor of a source sector by raw id.
+    #[inline]
+    pub fn vendor_of(&self, sector: u32) -> Vendor {
+        match self.sector_vendor.get(sector as usize) {
+            Some(&v) => v,
+            None => self.world.topology.sector(SectorId(sector)).vendor,
+        }
+    }
+
+    /// Whether the census entry behind a sector's postcode is reliable.
+    #[inline]
+    pub fn reliable_of(&self, sector: u32) -> bool {
+        match self.sector_reliable.get(sector as usize) {
+            Some(&ok) => ok,
+            None => {
+                let pc = self.world.topology.sector_postcode(SectorId(sector));
+                self.world.country.postcode(pc).census_reliable
+            }
+        }
+    }
+
+    /// Device type of a UE by raw id.
+    #[inline]
+    pub fn device_of(&self, ue: u32) -> DeviceType {
+        match self.ue_device.get(ue as usize) {
+            Some(&d) => d,
+            None => self.world.ue(UeId(ue)).device_type,
+        }
+    }
+
+    /// Manufacturer of a UE by raw id.
+    #[inline]
+    pub fn manufacturer_of(&self, ue: u32) -> Manufacturer {
+        match self.ue_mfr.get(ue as usize) {
+            Some(&m) => m,
+            None => self.world.ue(UeId(ue)).manufacturer,
+        }
+    }
+
+    /// `Manufacturer::index()` of a UE's manufacturer by raw id (cached).
+    #[inline]
+    pub fn manufacturer_idx_of(&self, ue: u32) -> usize {
+        match self.ue_mfr_idx.get(ue as usize) {
+            Some(&i) => i as usize,
+            None => self.world.ue(UeId(ue)).manufacturer.index(),
+        }
+    }
+
+    /// Home district of a UE by raw id.
+    #[inline]
+    pub fn home_district_of(&self, ue: u32) -> DistrictId {
+        match self.ue_home_district.get(ue as usize) {
+            Some(&d) => d,
+            None => {
+                self.world.country.postcode(self.world.ue(UeId(ue)).home_postcode).district
+            }
+        }
+    }
+
     /// Urban/rural classification of the record's source sector.
+    #[inline]
     pub fn area(&self, r: &HoRecord) -> AreaType {
-        let pc = self.world.topology.sector_postcode(r.source_sector);
-        self.world.country.postcode(pc).area_type
+        self.area_of(r.source_sector.0)
     }
 
     /// District of the record's source sector.
+    #[inline]
     pub fn district(&self, r: &HoRecord) -> DistrictId {
-        self.world.topology.sector_district(r.source_sector)
+        self.district_of(r.source_sector.0)
     }
 
     /// Region of the record's source sector.
@@ -59,23 +203,27 @@ impl<'a> Enriched<'a> {
     }
 
     /// Antenna vendor of the record's source sector.
+    #[inline]
     pub fn vendor(&self, r: &HoRecord) -> Vendor {
-        self.world.topology.sector(r.source_sector).vendor
+        self.vendor_of(r.source_sector.0)
     }
 
     /// Device type of the record's UE.
+    #[inline]
     pub fn device_type(&self, r: &HoRecord) -> DeviceType {
-        self.world.ue(r.ue).device_type
+        self.device_of(r.ue.0)
     }
 
     /// Manufacturer of the record's UE.
+    #[inline]
     pub fn manufacturer(&self, r: &HoRecord) -> Manufacturer {
-        self.world.ue(r.ue).manufacturer
+        self.manufacturer_of(r.ue.0)
     }
 
     /// Home district of the record's UE (where its home postcode lies).
+    #[inline]
     pub fn home_district(&self, r: &HoRecord) -> DistrictId {
-        self.world.country.postcode(self.world.ue(r.ue).home_postcode).district
+        self.home_district_of(r.ue.0)
     }
 }
 
@@ -247,20 +395,57 @@ type CellGroup = [(u32, u32); HoType::ALL.len()];
 /// record and dominated the profile.
 pub(crate) struct FrameBuilder {
     window_days: u32,
-    /// `sector << 32 | window` → per-type `(hos, hofs)` cells.
-    cells: FxHashMap<u64, CellGroup>,
+    /// Dense-grid bounds: sector ids `< n_sectors` and windows
+    /// `< n_windows` index `dense` arithmetically; everything else (and
+    /// every cell when no grid was provisioned) goes through `spill`.
+    n_sectors: u32,
+    n_windows: u32,
+    /// `sector * n_windows + window` → per-type `(hos, hofs)` cells.
+    dense: Vec<CellGroup>,
+    /// `sector << 32 | window` → cells outside the dense grid.
+    spill: FxHashMap<u64, CellGroup>,
 }
 
 impl FrameBuilder {
     pub(crate) fn new(window_days: u32) -> Self {
-        FrameBuilder { window_days: window_days.max(1), cells: FxHashMap::default() }
+        FrameBuilder {
+            window_days: window_days.max(1),
+            n_sectors: 0,
+            n_windows: 0,
+            dense: Vec::new(),
+            spill: FxHashMap::default(),
+        }
+    }
+
+    /// A builder with a preallocated `n_sectors × n_windows` grid so the
+    /// hot loop indexes arithmetically instead of hashing. The grid is
+    /// the whole topology × study period, so in practice every record
+    /// lands in it; `spill` only exists so ids outside the provisioned
+    /// world still aggregate identically.
+    pub(crate) fn with_grid(window_days: u32, n_sectors: usize, n_windows: u32) -> Self {
+        let mut b = FrameBuilder::new(window_days);
+        b.n_sectors = n_sectors as u32;
+        b.n_windows = n_windows.max(1);
+        b.dense = vec![CellGroup::default(); n_sectors * b.n_windows as usize];
+        b
+    }
+
+    #[inline]
+    fn cell_group(&mut self, sector: u32, window: u32) -> &mut CellGroup {
+        if sector < self.n_sectors && window < self.n_windows {
+            let idx = sector as usize * self.n_windows as usize + window as usize;
+            if let Some(group) = self.dense.get_mut(idx) {
+                return group;
+            }
+        }
+        let key = (u64::from(sector) << 32) | u64::from(window);
+        self.spill.entry(key).or_default()
     }
 
     #[inline]
     pub(crate) fn add(&mut self, r: &HoRecord) {
         let window = r.day() / self.window_days;
-        let key = (u64::from(r.source_sector.0) << 32) | u64::from(window);
-        let group = self.cells.entry(key).or_default();
+        let group = self.cell_group(r.source_sector.0, window);
         let cell = &mut group[r.ho_type().index()];
         cell.0 += 1;
         cell.1 += u32::from(r.is_failure());
@@ -275,14 +460,43 @@ impl FrameBuilder {
         }
     }
 
+    /// Fold a column batch: same cells as [`FrameBuilder::add`] per row,
+    /// reading only the three columns the frame actually needs.
+    #[inline]
+    pub(crate) fn add_columns(&mut self, batch: &ColumnBatch) {
+        let window_days = self.window_days;
+        let rows = batch
+            .timestamps()
+            .iter()
+            .zip(batch.source_sectors())
+            .zip(batch.target_rats())
+            .zip(batch.flags());
+        for (((&ts, &sector), &rat), &flags) in rows {
+            let window = (ts / 86_400_000) as u32 / window_days;
+            let group = self.cell_group(sector, window);
+            let cell = &mut group[HoType::from_target_rat(rat).index()];
+            cell.0 += 1;
+            cell.1 += u32::from(flags & FLAG_FAILURE != 0);
+        }
+    }
+
     // telco-lint: deny-nondeterminism(begin)
-    /// Fold another builder's cells into this one. The map holds purely
-    /// additive counters, so the fold is order-independent and a
-    /// day-partitioned parallel sweep merges to the sequential result.
+    /// Fold another builder's cells into this one. Both stores hold
+    /// purely additive counters and the dense/spill split is a pure
+    /// function of (sector, window) shared by both sides, so the fold is
+    /// order-independent and a partitioned parallel sweep merges to the
+    /// sequential result.
     pub(crate) fn merge(&mut self, other: FrameBuilder) {
-        for (k, v) in other.cells {
+        debug_assert_eq!(self.dense.len(), other.dense.len(), "merging mismatched frame grids");
+        for (mine, theirs) in self.dense.iter_mut().zip(other.dense) {
+            for (m, t) in mine.iter_mut().zip(theirs) {
+                m.0 += t.0;
+                m.1 += t.1;
+            }
+        }
+        for (k, v) in other.spill {
             // telco-lint: allow(nondet): additive counter fold; visit order cannot affect sums
-            let group = self.cells.entry(k).or_default();
+            let group = self.spill.entry(k).or_default();
             for (mine, theirs) in group.iter_mut().zip(v) {
                 mine.0 += theirs.0;
                 mine.1 += theirs.1;
@@ -292,11 +506,13 @@ impl FrameBuilder {
     // telco-lint: deny-nondeterminism(end)
 
     pub(crate) fn finish(self, world: &World) -> SectorDayFrame {
-        let FrameBuilder { window_days, cells } = self;
-        let mut observations: Vec<SectorDayObs> = Vec::with_capacity(cells.len());
-        for (key, group) in cells {
-            let (sector, day) = ((key >> 32) as u32, key as u32);
+        let FrameBuilder { window_days, n_windows, dense, spill, .. } = self;
+        let mut observations: Vec<SectorDayObs> = Vec::with_capacity(spill.len());
+        let mut emit = |sector: u32, day: u32, group: &CellGroup| {
             let total: u32 = group.iter().map(|c| c.0).sum();
+            if total == 0 {
+                return;
+            }
             let sector_id = SectorId(sector);
             let pc = world.topology.sector_postcode(sector_id);
             let postcode = world.country.postcode(pc);
@@ -318,7 +534,16 @@ impl FrameBuilder {
                     district_population: district.population,
                 });
             }
+        };
+        for (idx, group) in dense.iter().enumerate() {
+            let (sector, day) = (idx as u32 / n_windows, idx as u32 % n_windows);
+            emit(sector, day, group);
         }
+        for (&key, group) in &spill {
+            emit((key >> 32) as u32, key as u32, group);
+        }
+        // A cell lives in exactly one store, so the sort canonicalizes the
+        // dense/spill interleaving without any dedup concern.
         observations.sort_by_key(|o| (o.sector.0, o.day, o.ho_type.index()));
         SectorDayFrame { observations }
     }
@@ -356,7 +581,9 @@ impl AnalysisPass for FramePass {
             FrameWindow::Daily => 1,
             FrameWindow::FullPeriod => ctx.config.n_days.max(1),
         };
-        self.builder = FrameBuilder::new(days);
+        let n_windows = ctx.config.n_days.max(1).div_ceil(days.max(1));
+        self.builder =
+            FrameBuilder::with_grid(days, ctx.world.topology.sectors().len(), n_windows);
     }
 
     fn record(&mut self, r: &HoRecord, _e: &Enriched) {
@@ -365,6 +592,10 @@ impl AnalysisPass for FramePass {
 
     fn record_chunk(&mut self, chunk: &[HoRecord], _e: &Enriched) {
         self.builder.add_chunk(chunk);
+    }
+
+    fn record_columns(&mut self, batch: &ColumnBatch, _e: &Enriched) {
+        self.builder.add_columns(batch);
     }
 
     fn merge(&mut self, other: Self, _ctx: &SweepCtx) {

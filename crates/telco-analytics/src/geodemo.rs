@@ -2,12 +2,12 @@
 //! night-time connectivity (Fig. 5) and the HO-density vs
 //! population-density relationship (Fig. 6), as streaming passes.
 
-use std::collections::{HashMap, HashSet};
-
 use serde::{Deserialize, Serialize};
 
 use telco_geo::district::DistrictId;
 use telco_stats::corr::{pearson, r_squared};
+use telco_trace::columnar::ColumnBatch;
+use telco_trace::hash::{FxHashMap, FxHashSet};
 use telco_trace::record::HoRecord;
 
 use crate::frame::Enriched;
@@ -50,15 +50,21 @@ impl PopulationInference {
 /// district from its main night-time cell site, requiring presence on
 /// `min_days` distinct days (paper: 14 of 28), then compares district
 /// aggregates against the census in [`AnalysisPass::end`].
+///
+/// This is the hash-heaviest pass of a full study (three map operations
+/// per record), so all three accumulators are flat [`FxHashMap`]s over
+/// packed integer keys — one cheap multiply-xor probe each — instead of
+/// nested SipHash maps.
 #[derive(Debug)]
 pub struct PopulationPass {
     min_days: u32,
-    /// ue → district → night dwell count.
-    per_ue: HashMap<u32, HashMap<u16, u32>>,
-    /// Distinct days each UE was seen on.
-    ue_days: HashMap<u32, HashSet<u32>>,
-    /// (ue, day) → district of the first recorded source sector that day.
-    first_of_day: HashMap<(u32, u32), u16>,
+    /// `ue << 16 | district` → night dwell count.
+    per_ue: FxHashMap<u64, u32>,
+    /// `ue << 32 | day` pairs the UE was seen on.
+    ue_days: FxHashSet<u64>,
+    /// `ue << 32 | day` → district of the first recorded source sector
+    /// that day.
+    first_of_day: FxHashMap<u64, u16>,
 }
 
 impl PopulationPass {
@@ -66,10 +72,26 @@ impl PopulationPass {
     pub fn new(min_days: u32) -> Self {
         PopulationPass {
             min_days,
-            per_ue: HashMap::new(),
-            ue_days: HashMap::new(),
-            first_of_day: HashMap::new(),
+            per_ue: FxHashMap::default(),
+            ue_days: FxHashSet::default(),
+            first_of_day: FxHashMap::default(),
         }
+    }
+
+    #[inline]
+    fn observe(&mut self, ue: u32, district: u16, day: u32, hour: u32) {
+        let ue_day = (u64::from(ue) << 32) | u64::from(day);
+        if hour < NIGHT_END_HOUR {
+            let key = (u64::from(ue) << 16) | u64::from(district);
+            *self.per_ue.entry(key).or_insert(0) += 1;
+            self.ue_days.insert(ue_day);
+        }
+        // Night handovers are sparse for static UEs; the paper uses *all*
+        // night-time connectivity. Our equivalent observable is the UE's
+        // home anchor expressed through its mobility rows: UEs with no
+        // night records fall back to the most-visited district overall —
+        // approximated by their first recorded source sector of each day.
+        self.first_of_day.entry(ue_day).or_insert(district);
     }
 }
 
@@ -83,33 +105,25 @@ impl AnalysisPass for PopulationPass {
     type Output = PopulationInference;
 
     fn record(&mut self, r: &HoRecord, e: &Enriched) {
-        let district = e.world().topology.sector_district(r.source_sector);
-        if r.hour() < NIGHT_END_HOUR {
-            *self.per_ue.entry(r.ue.0).or_default().entry(district.0).or_insert(0) += 1;
-            self.ue_days.entry(r.ue.0).or_default().insert(r.day());
+        self.observe(r.ue.0, e.district(r).0, r.day(), r.hour());
+    }
+
+    fn record_columns(&mut self, batch: &ColumnBatch, e: &Enriched) {
+        let rows = batch.timestamps().iter().zip(batch.ues()).zip(batch.source_sectors());
+        for ((&ts, &ue), &sector) in rows {
+            let day = (ts / 86_400_000) as u32;
+            let hour = ((ts % 86_400_000) / 3_600_000) as u32;
+            self.observe(ue, e.district_of(sector).0, day, hour);
         }
-        // Night handovers are sparse for static UEs; the paper uses *all*
-        // night-time connectivity. Our equivalent observable is the UE's
-        // home anchor expressed through its mobility rows: UEs with no
-        // night records fall back to the most-visited district overall —
-        // approximated by their first recorded source sector of each day.
-        self.first_of_day.entry((r.ue.0, r.day())).or_insert(district.0);
     }
 
     fn merge(&mut self, other: Self, _ctx: &SweepCtx) {
-        for (ue, districts) in other.per_ue {
-            let mine = self.per_ue.entry(ue).or_default();
-            for (d, c) in districts {
-                *mine.entry(d).or_insert(0) += c;
-            }
+        for (key, c) in other.per_ue {
+            *self.per_ue.entry(key).or_insert(0) += c;
         }
-        for (ue, days) in other.ue_days {
-            self.ue_days.entry(ue).or_default().extend(days);
-        }
-        // Partitions arrive in day order, so an existing entry always
-        // predates `other`'s and wins the "first of the day" race — but a
-        // (ue, day) key can only span partitions at a day boundary, where
-        // both sides agree anyway.
+        self.ue_days.extend(other.ue_days);
+        // Partitions arrive in trace order, so an existing entry always
+        // predates `other`'s and wins the "first of the day" race.
         for (key, district) in other.first_of_day {
             self.first_of_day.entry(key).or_insert(district);
         }
@@ -118,25 +132,39 @@ impl AnalysisPass for PopulationPass {
     fn end(self, ctx: &SweepCtx) -> PopulationInference {
         let mut per_ue = self.per_ue;
         let mut ue_days = self.ue_days;
-        for ((ue, day), district) in &self.first_of_day {
-            *per_ue.entry(*ue).or_default().entry(*district).or_insert(0) += 1;
-            ue_days.entry(*ue).or_default().insert(*day);
+        for (&ue_day, &district) in &self.first_of_day {
+            let ue = (ue_day >> 32) as u32;
+            *per_ue.entry((u64::from(ue) << 16) | u64::from(district)).or_insert(0) += 1;
+            ue_days.insert(ue_day);
+        }
+
+        // Distinct active days per UE.
+        let mut days_per_ue: FxHashMap<u32, u32> = FxHashMap::default();
+        for &ue_day in &ue_days {
+            *days_per_ue.entry((ue_day >> 32) as u32).or_insert(0) += 1;
+        }
+
+        // Best district per UE; ties break toward the lowest district
+        // id, not hash order. Dwell counts are ≥ 1, so (0, MAX) can
+        // never be mistaken for a real observation.
+        let mut best: FxHashMap<u32, (u32, u16)> = FxHashMap::default();
+        for (&key, &count) in &per_ue {
+            let (ue, district) = ((key >> 16) as u32, (key & 0xFFFF) as u16);
+            let entry = best.entry(ue).or_insert((0, u16::MAX));
+            if count > entry.0 || (count == entry.0 && district < entry.1) {
+                *entry = (count, district);
+            }
         }
 
         let scaled_min = self.min_days.min(ctx.config.n_days / 2);
-        let mut inferred: HashMap<u16, u64> = HashMap::new();
+        let mut inferred: FxHashMap<u16, u64> = FxHashMap::default();
         let mut inferred_ues = 0usize;
-        for (ue, districts) in &per_ue {
-            if ue_days.get(ue).map_or(0, |d| d.len() as u32) < scaled_min {
+        for (&ue, &(_, district)) in &best {
+            if days_per_ue.get(&ue).copied().unwrap_or(0) < scaled_min {
                 continue;
             }
-            // Ties break toward the lowest district id, not hash order.
-            if let Some((&district, _)) =
-                districts.iter().max_by_key(|(&d, &c)| (c, std::cmp::Reverse(d)))
-            {
-                *inferred.entry(district).or_insert(0) += 1;
-                inferred_ues += 1;
-            }
+            *inferred.entry(district).or_insert(0) += 1;
+            inferred_ues += 1;
         }
 
         let per_district: Vec<(DistrictId, u64, u64)> = ctx
@@ -209,8 +237,17 @@ impl AnalysisPass for HoDensityPass {
     }
 
     fn record(&mut self, r: &HoRecord, e: &Enriched) {
-        let d = e.world().topology.sector_district(r.source_sector);
+        let d = e.district(r);
         self.per_district_hos[d.0 as usize] += 1;
+    }
+
+    fn record_columns(&mut self, batch: &ColumnBatch, e: &Enriched) {
+        for &sector in batch.source_sectors() {
+            let d = e.district_of(sector);
+            if let Some(count) = self.per_district_hos.get_mut(d.0 as usize) {
+                *count += 1;
+            }
+        }
     }
 
     fn merge(&mut self, other: Self, _ctx: &SweepCtx) {

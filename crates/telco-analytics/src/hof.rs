@@ -1,8 +1,6 @@
 //! §6.1 / §6.2 — HOF patterns (Fig. 12) and the cause analysis
 //! (Figs. 14–15), as streaming passes.
 
-use std::collections::{HashMap, HashSet};
-
 use serde::{Deserialize, Serialize};
 
 use telco_devices::types::{DeviceType, Manufacturer};
@@ -11,8 +9,11 @@ use telco_signaling::causes::{CauseCode, PrincipalCause};
 use telco_signaling::messages::HoType;
 use telco_stats::boxplot::BoxplotStats;
 use telco_stats::ecdf::Ecdf;
+use telco_trace::columnar::{ColumnBatch, FLAG_FAILURE};
+use telco_trace::hash::FxHashSet;
 use telco_trace::record::HoRecord;
 
+use crate::bitset::IdSet;
 use crate::frame::Enriched;
 use crate::sweep::{AnalysisPass, SweepCtx};
 use crate::tables::{num, pct, TextTable};
@@ -54,7 +55,24 @@ impl HofPatterns {
 #[derive(Debug, Default)]
 pub struct HofPatternsPass {
     hofs: Vec<[u32; 2]>,
-    active: Vec<[HashSet<u32>; 2]>,
+    active: Vec<[IdSet; 2]>,
+}
+
+impl HofPatternsPass {
+    #[inline]
+    fn observe(&mut self, ts: u64, sector: u32, fail: bool, e: &Enriched) {
+        let day = (ts / 86_400_000) as usize;
+        let hour = ((ts % 86_400_000) / 3_600_000) as usize;
+        let idx = day * 24 + hour;
+        if idx >= self.hofs.len() {
+            return;
+        }
+        let ai = e.area_of(sector).index();
+        self.active[idx][ai].insert(sector);
+        if fail {
+            self.hofs[idx][ai] += 1;
+        }
+    }
 }
 
 impl AnalysisPass for HofPatternsPass {
@@ -68,14 +86,13 @@ impl AnalysisPass for HofPatternsPass {
     }
 
     fn record(&mut self, r: &HoRecord, e: &Enriched) {
-        let idx = r.day() as usize * 24 + r.hour() as usize;
-        if idx >= self.hofs.len() {
-            return;
-        }
-        let ai = e.area(r).index();
-        self.active[idx][ai].insert(r.source_sector.0);
-        if r.is_failure() {
-            self.hofs[idx][ai] += 1;
+        self.observe(r.timestamp_ms, r.source_sector.0, r.is_failure(), e);
+    }
+
+    fn record_columns(&mut self, batch: &ColumnBatch, e: &Enriched) {
+        let rows = batch.timestamps().iter().zip(batch.source_sectors()).zip(batch.flags());
+        for ((&ts, &sector), &flags) in rows {
+            self.observe(ts, sector, flags & FLAG_FAILURE != 0, e);
         }
     }
 
@@ -87,7 +104,7 @@ impl AnalysisPass for HofPatternsPass {
         }
         for (mine, theirs) in self.active.iter_mut().zip(other.active) {
             for (set, t) in mine.iter_mut().zip(theirs) {
-                set.extend(t);
+                set.union(&t);
             }
         }
     }
@@ -226,17 +243,61 @@ impl CauseAnalysis {
 
 /// Streaming accumulator for [`CauseAnalysis`]. Only failure records
 /// contribute; successes fall through [`AnalysisPass::record`] untouched.
+/// Per-manufacturer cells sit in a flat catalog-indexed vector and the
+/// distinct-cause set uses [`FxHashSet`], so the failure loop hashes one
+/// `u16` per record at most.
 #[derive(Debug, Default)]
 pub struct CausePass {
     daily: Vec<[u64; 9]>,
     daily_total: Vec<u64>,
     by_type: [u64; 3],
-    seen: HashSet<u16>,
+    seen: FxHashSet<u16>,
     durations: Vec<Vec<f64>>,
     by_area: [[u64; 9]; 2],
     by_device: [[u64; 9]; 3],
-    by_mfr: HashMap<Manufacturer, [u64; 9]>,
+    /// `Manufacturer::index()` → per-cause-slot failure counts.
+    by_mfr: Vec<[u64; 9]>,
     total_failures: u64,
+}
+
+impl CausePass {
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn observe_failure(
+        &mut self,
+        ue: u32,
+        sector: u32,
+        day: u32,
+        cause: CauseCode,
+        ho_type: HoType,
+        duration: f32,
+        e: &Enriched,
+    ) {
+        let slot = cause_slot(cause);
+        let day = (day as usize).min(self.daily.len().saturating_sub(1));
+        if let Some(cells) = self.daily.get_mut(day) {
+            cells[slot] += 1;
+        }
+        if let Some(total) = self.daily_total.get_mut(day) {
+            *total += 1;
+        }
+        self.by_type[ho_type.index()] += 1;
+        self.seen.insert(cause.0);
+        if let Some(samples) = self.durations.get_mut(slot) {
+            samples.push(duration as f64);
+        }
+        self.by_area[e.area_of(sector).index()][slot] += 1;
+        self.by_device[e.device_of(ue).index()][slot] += 1;
+        let mfr = e.manufacturer_of(ue);
+        if Manufacturer::TOP5_SMARTPHONE.contains(&mfr) {
+            let idx = e.manufacturer_idx_of(ue);
+            if idx >= self.by_mfr.len() {
+                self.by_mfr.resize(idx + 1, [0; 9]);
+            }
+            self.by_mfr[idx][slot] += 1;
+        }
+        self.total_failures += 1;
+    }
 }
 
 impl AnalysisPass for CausePass {
@@ -254,22 +315,41 @@ impl AnalysisPass for CausePass {
             return;
         }
         let cause = r.cause.expect("failures carry a cause");
-        let slot = cause_slot(cause);
-        let day = (r.day() as usize).min(self.daily.len() - 1);
-        self.daily[day][slot] += 1;
-        self.daily_total[day] += 1;
-        self.by_type[r.ho_type().index()] += 1;
-        self.seen.insert(cause.0);
-        if slot < 8 {
-            self.durations[slot].push(r.duration_ms as f64);
+        self.observe_failure(
+            r.ue.0,
+            r.source_sector.0,
+            r.day(),
+            cause,
+            r.ho_type(),
+            r.duration_ms,
+            e,
+        );
+    }
+
+    fn record_columns(&mut self, batch: &ColumnBatch, e: &Enriched) {
+        let rows = batch
+            .timestamps()
+            .iter()
+            .zip(batch.ues())
+            .zip(batch.source_sectors())
+            .zip(batch.target_rats())
+            .zip(batch.flags())
+            .zip(batch.causes())
+            .zip(batch.durations());
+        for ((((((&ts, &ue), &sector), &rat), &flags), &cause), &duration) in rows {
+            if flags & FLAG_FAILURE == 0 {
+                continue;
+            }
+            self.observe_failure(
+                ue,
+                sector,
+                (ts / 86_400_000) as u32,
+                CauseCode(cause),
+                HoType::from_target_rat(rat),
+                duration,
+                e,
+            );
         }
-        self.by_area[e.area(r).index()][slot] += 1;
-        self.by_device[e.device_type(r).index()][slot] += 1;
-        let mfr = e.manufacturer(r);
-        if Manufacturer::TOP5_SMARTPHONE.contains(&mfr) {
-            self.by_mfr.entry(mfr).or_insert([0; 9])[slot] += 1;
-        }
-        self.total_failures += 1;
     }
 
     fn merge(&mut self, other: Self, _ctx: &SweepCtx) {
@@ -298,9 +378,11 @@ impl AnalysisPass for CausePass {
                 *c += t;
             }
         }
-        for (mfr, counts) in other.by_mfr {
-            let mine = self.by_mfr.entry(mfr).or_insert([0; 9]);
-            for (c, t) in mine.iter_mut().zip(counts) {
+        if self.by_mfr.len() < other.by_mfr.len() {
+            self.by_mfr.resize(other.by_mfr.len(), [0; 9]);
+        }
+        for (mine, theirs) in self.by_mfr.iter_mut().zip(other.by_mfr) {
+            for (c, t) in mine.iter_mut().zip(theirs) {
                 *c += t;
             }
         }
@@ -345,7 +427,12 @@ impl AnalysisPass for CausePass {
         };
         let mut top5: Vec<(Manufacturer, [f64; 9])> = Manufacturer::TOP5_SMARTPHONE
             .iter()
-            .filter_map(|m| self.by_mfr.get(m).map(|c| (*m, normalize(*c))))
+            .filter_map(|m| {
+                let counts = self.by_mfr.get(m.index())?;
+                // A manufacturer enters only once it has observed
+                // failures, matching the old lazily-created map cells.
+                (counts.iter().sum::<u64>() > 0).then(|| (*m, normalize(*counts)))
+            })
             .collect();
         top5.sort_by_key(|(m, _)| m.index());
 

@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub(crate) mod bitset;
 pub mod frame;
 pub mod geodemo;
 pub mod handovers;

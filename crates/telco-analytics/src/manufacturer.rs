@@ -9,12 +9,11 @@
 //! manufacturer pairs with too few devices are excluded (paper: <1k
 //! devices; scaled here).
 
-use std::collections::HashMap;
-
 use serde::{Deserialize, Serialize};
 
-use telco_devices::types::Manufacturer;
+use telco_devices::types::{DeviceType, Manufacturer};
 use telco_stats::boxplot::BoxplotStats;
+use telco_trace::columnar::{ColumnBatch, FLAG_FAILURE};
 use telco_trace::record::HoRecord;
 
 use crate::frame::Enriched;
@@ -69,14 +68,21 @@ impl ManufacturerImpact {
 /// device type) peer group. UE membership comes from the world, so it is
 /// reconstructed in [`AnalysisPass::end`] rather than carried through
 /// merges.
+///
+/// Both grids are small and dense — `districts × 18` manufacturers and
+/// `districts × 3` device types — so they live in flat vectors indexed
+/// arithmetically; the record loop performs no hashing.
 #[derive(Debug)]
 pub struct ManufacturerPass {
     min_devices: Option<usize>,
-    /// (district, manufacturer) → (HOs, HOFs).
-    cells: HashMap<(u16, Manufacturer), (u64, u64)>,
-    /// (district, device type) → (HOs, HOFs).
-    totals: HashMap<(u16, usize), (u64, u64)>,
+    /// `district * N_MFRS + manufacturer index` → (HOs, HOFs).
+    cells: Vec<(u64, u64)>,
+    /// `district * N_DEVICES + device-type index` → (HOs, HOFs).
+    totals: Vec<(u64, u64)>,
 }
+
+const N_MFRS: usize = Manufacturer::ALL.len();
+const N_DEVICES: usize = DeviceType::ALL.len();
 
 impl ManufacturerPass {
     /// A pass with an explicit device-count threshold per
@@ -84,45 +90,61 @@ impl ManufacturerPass {
     pub fn new(min_devices: usize) -> Self {
         ManufacturerPass { min_devices: Some(min_devices), ..ManufacturerPass::default() }
     }
+
+    #[inline]
+    fn observe(&mut self, ue: u32, fail: u64, e: &Enriched) {
+        // UE home district drives membership (devices are compared against
+        // the peers of the district they live in).
+        let district = e.home_district_of(ue).0 as usize;
+        if let Some(cell) = self.cells.get_mut(district * N_MFRS + e.manufacturer_idx_of(ue)) {
+            cell.0 += 1;
+            cell.1 += fail;
+        }
+        // Peers are the district's UEs *of the same device type*: comparing
+        // an M2M module maker against smartphones would only measure the
+        // device-type mix, not the manufacturer's implementation.
+        let device = e.device_of(ue).index();
+        if let Some(tot) = self.totals.get_mut(district * N_DEVICES + device) {
+            tot.0 += 1;
+            tot.1 += fail;
+        }
+    }
 }
 
 impl Default for ManufacturerPass {
     /// Threshold scaled from the study size: `(n_ues / 40_000).max(3)`.
     fn default() -> Self {
-        ManufacturerPass { min_devices: None, cells: HashMap::new(), totals: HashMap::new() }
+        ManufacturerPass { min_devices: None, cells: Vec::new(), totals: Vec::new() }
     }
 }
 
 impl AnalysisPass for ManufacturerPass {
     type Output = ManufacturerImpact;
 
+    fn begin(&mut self, ctx: &SweepCtx) {
+        let n_districts = ctx.world.country.districts().len();
+        self.cells = vec![(0, 0); n_districts * N_MFRS];
+        self.totals = vec![(0, 0); n_districts * N_DEVICES];
+    }
+
     fn record(&mut self, r: &HoRecord, e: &Enriched) {
-        // UE home district drives membership (devices are compared against
-        // the peers of the district they live in).
-        let attrs = e.world().ue(r.ue);
-        let district = e.home_district(r);
-        let fail = u64::from(r.is_failure());
-        let cell = self.cells.entry((district.0, attrs.manufacturer)).or_insert((0, 0));
-        cell.0 += 1;
-        cell.1 += fail;
-        // Peers are the district's UEs *of the same device type*: comparing
-        // an M2M module maker against smartphones would only measure the
-        // device-type mix, not the manufacturer's implementation.
-        let tot = self.totals.entry((district.0, attrs.device_type.index())).or_insert((0, 0));
-        tot.0 += 1;
-        tot.1 += fail;
+        self.observe(r.ue.0, u64::from(r.is_failure()), e);
+    }
+
+    fn record_columns(&mut self, batch: &ColumnBatch, e: &Enriched) {
+        for (&ue, &flags) in batch.ues().iter().zip(batch.flags()) {
+            self.observe(ue, u64::from(flags & FLAG_FAILURE != 0), e);
+        }
     }
 
     fn merge(&mut self, other: Self, _ctx: &SweepCtx) {
-        for (k, v) in other.cells {
-            let mine = self.cells.entry(k).or_insert((0, 0));
-            mine.0 += v.0;
-            mine.1 += v.1;
+        for (mine, theirs) in self.cells.iter_mut().zip(other.cells) {
+            mine.0 += theirs.0;
+            mine.1 += theirs.1;
         }
-        for (k, v) in other.totals {
-            let mine = self.totals.entry(k).or_insert((0, 0));
-            mine.0 += v.0;
-            mine.1 += v.1;
+        for (mine, theirs) in self.totals.iter_mut().zip(other.totals) {
+            mine.0 += theirs.0;
+            mine.1 += theirs.1;
         }
     }
 
@@ -131,49 +153,63 @@ impl AnalysisPass for ManufacturerPass {
         let n_days = ctx.config.n_days.max(1) as f64;
 
         // Device populations per cell and peer group, from the world.
-        let mut cell_ues: HashMap<(u16, Manufacturer), (u64, usize)> = HashMap::new();
-        let mut total_ues: HashMap<(u16, usize), u64> = HashMap::new();
+        let mut cell_ues = vec![(0u64, 0usize); self.cells.len()];
+        let mut total_ues = vec![0u64; self.totals.len()];
         for attrs in ctx.world.ues.iter() {
-            let district = ctx.world.country.postcode(attrs.home_postcode).district;
-            let entry = cell_ues.entry((district.0, attrs.manufacturer)).or_insert((0, 0));
-            entry.0 += 1;
-            entry.1 = attrs.device_type.index();
-            *total_ues.entry((district.0, attrs.device_type.index())).or_insert(0) += 1;
+            let district = ctx.world.country.postcode(attrs.home_postcode).district.0 as usize;
+            let device = attrs.device_type.index();
+            if let Some(entry) = cell_ues.get_mut(district * N_MFRS + attrs.manufacturer.index()) {
+                entry.0 += 1;
+                entry.1 = device;
+            }
+            if let Some(tot) = total_ues.get_mut(district * N_DEVICES + device) {
+                *tot += 1;
+            }
         }
 
-        let mut ho_ratios: HashMap<Manufacturer, Vec<f64>> = HashMap::new();
-        let mut hof_ratios: HashMap<Manufacturer, Vec<f64>> = HashMap::new();
-        for ((district, mfr), &(hos, hofs)) in &self.cells {
-            let Some(&(n_ues, device_type)) = cell_ues.get(&(*district, *mfr)) else {
-                continue;
-            };
-            if (n_ues as usize) < min_devices || hos == 0 {
+        let mut ho_ratios: Vec<Vec<f64>> = vec![Vec::new(); N_MFRS];
+        let mut hof_ratios: Vec<Vec<f64>> = vec![Vec::new(); N_MFRS];
+        for (idx, (&(hos, hofs), &(n_ues, device_type))) in
+            self.cells.iter().zip(&cell_ues).enumerate()
+        {
+            let (district, mfr) = (idx / N_MFRS, idx % N_MFRS);
+            if (n_ues as usize) < min_devices || hos == 0 || n_ues == 0 {
                 continue;
             }
-            let Some(&(tot_hos, tot_hofs)) = self.totals.get(&(*district, device_type)) else {
+            let Some(&(tot_hos, tot_hofs)) = self.totals.get(district * N_DEVICES + device_type)
+            else {
                 continue;
             };
-            let tot_n_ues = total_ues.get(&(*district, device_type)).copied().unwrap_or(0);
+            let tot_n_ues =
+                total_ues.get(district * N_DEVICES + device_type).copied().unwrap_or(0);
             if tot_hos == 0 || tot_n_ues == 0 {
                 continue;
             }
             let mfr_hos_per_ue = hos as f64 / n_ues as f64 / n_days;
             let all_hos_per_ue = tot_hos as f64 / tot_n_ues as f64 / n_days;
-            ho_ratios.entry(*mfr).or_default().push(mfr_hos_per_ue / all_hos_per_ue);
+            if let Some(rs) = ho_ratios.get_mut(mfr) {
+                rs.push(mfr_hos_per_ue / all_hos_per_ue);
+            }
             let all_rate = tot_hofs as f64 / tot_hos as f64;
             if all_rate > 0.0 {
                 let mfr_rate = hofs as f64 / hos as f64;
-                hof_ratios.entry(*mfr).or_default().push(mfr_rate / all_rate);
+                if let Some(rs) = hof_ratios.get_mut(mfr) {
+                    rs.push(mfr_rate / all_rate);
+                }
             }
         }
 
-        let collect = |map: HashMap<Manufacturer, Vec<f64>>| -> Vec<(Manufacturer, BoxplotStats)> {
-            let mut v: Vec<(Manufacturer, BoxplotStats)> = map
+        // Catalog order by construction — the district-major scan above
+        // visits each manufacturer's ratios in ascending district order.
+        let collect = |ratios: Vec<Vec<f64>>| -> Vec<(Manufacturer, BoxplotStats)> {
+            ratios
                 .into_iter()
-                .filter_map(|(m, xs)| BoxplotStats::of(&xs).map(|b| (m, b)))
-                .collect();
-            v.sort_by_key(|(m, _)| m.index());
-            v
+                .enumerate()
+                .filter_map(|(i, xs)| {
+                    let m = Manufacturer::ALL.get(i)?;
+                    BoxplotStats::of(&xs).map(|b| (*m, b))
+                })
+                .collect()
         };
         ManufacturerImpact {
             ho_ratio: collect(ho_ratios),

@@ -7,11 +7,11 @@
 //! signaling; operators tune hysteresis and time-to-trigger to suppress
 //! them. This analysis measures their prevalence in a study trace.
 
-use std::collections::HashMap;
-
 use serde::{Deserialize, Serialize};
 
+use telco_devices::population::UeId;
 use telco_devices::types::Manufacturer;
+use telco_trace::columnar::ColumnBatch;
 use telco_trace::record::HoRecord;
 
 use crate::frame::Enriched;
@@ -57,23 +57,42 @@ impl PingPongAnalysis {
     }
 }
 
+/// One handover leg: (timestamp, source sector, target sector).
+type Leg = (u64, u32, u32);
+
+/// The per-UE edge slot for `ue`, growing the table if the trace names a
+/// UE the world didn't (the fold then still stitches it correctly).
+#[inline]
+fn leg_slot(legs: &mut Vec<Option<Leg>>, ue: usize) -> &mut Option<Leg> {
+    if ue >= legs.len() {
+        legs.resize(ue + 1, None);
+    }
+    &mut legs[ue]
+}
+
 /// Streaming accumulator for [`PingPongAnalysis`]: for each UE, a handover
 /// A→B followed within the window by B→A counts the return leg as a
 /// ping-pong. Records arrive timestamp-sorted by construction; merging
 /// partitions stitches pairs across the boundary by checking each UE's
-/// first handover of the later span against its last of the earlier one.
+/// first handover of the later span against its last of the earlier one —
+/// exact at any split point, which is what lets the chunk-granular
+/// parallel sweep fold this pass.
+///
+/// Per-UE edges and per-manufacturer counters live in flat vectors
+/// (UE ids and the manufacturer catalog are both dense), so the hot loop
+/// performs no hashing at all.
 #[derive(Debug)]
 pub struct PingPongPass {
     window_ms: u64,
-    /// First handover per UE in this span: (timestamp, source, target).
-    first: HashMap<u32, (u64, u32, u32)>,
-    /// Last handover per UE in this span.
-    last: HashMap<u32, (u64, u32, u32)>,
+    /// First handover per UE in this span, indexed by UE id.
+    first: Vec<Option<Leg>>,
+    /// Last handover per UE in this span, indexed by UE id.
+    last: Vec<Option<Leg>>,
     total: u64,
     pingpong: u64,
     return_sum: f64,
-    /// Per manufacturer: (HOs, ping-pongs).
-    per_mfr: HashMap<Manufacturer, (u64, u64)>,
+    /// Per manufacturer (catalog index order): (HOs, ping-pongs).
+    per_mfr: Vec<(u64, u64)>,
 }
 
 impl PingPongPass {
@@ -81,12 +100,37 @@ impl PingPongPass {
     pub fn new(window_ms: u64) -> Self {
         PingPongPass {
             window_ms,
-            first: HashMap::new(),
-            last: HashMap::new(),
+            first: Vec::new(),
+            last: Vec::new(),
             total: 0,
             pingpong: 0,
             return_sum: 0.0,
-            per_mfr: HashMap::new(),
+            per_mfr: vec![(0, 0); Manufacturer::ALL.len()],
+        }
+    }
+
+    #[inline]
+    fn observe(&mut self, ue: u32, ts: u64, src: u32, tgt: u32, e: &Enriched) {
+        self.total += 1;
+        let mfr_idx = e.manufacturer_idx_of(ue);
+        if mfr_idx >= self.per_mfr.len() {
+            self.per_mfr.resize(mfr_idx + 1, (0, 0));
+        }
+        self.per_mfr[mfr_idx].0 += 1;
+        let prev = leg_slot(&mut self.last, ue as usize);
+        if let Some((prev_ts, prev_src, prev_tgt)) = *prev {
+            let is_return =
+                src == prev_tgt && tgt == prev_src && ts.saturating_sub(prev_ts) <= self.window_ms;
+            if is_return {
+                self.pingpong += 1;
+                self.per_mfr[mfr_idx].1 += 1;
+                self.return_sum += (ts - prev_ts) as f64;
+            }
+        }
+        *prev = Some((ts, src, tgt));
+        let opening = leg_slot(&mut self.first, ue as usize);
+        if opening.is_none() {
+            *opening = Some((ts, src, tgt));
         }
     }
 }
@@ -101,67 +145,81 @@ impl AnalysisPass for PingPongPass {
     type Output = PingPongAnalysis;
 
     fn record(&mut self, r: &HoRecord, e: &Enriched) {
-        self.total += 1;
-        let mfr = e.manufacturer(r);
-        let counts = self.per_mfr.entry(mfr).or_insert((0, 0));
-        counts.0 += 1;
-        if let Some(&(prev_ts, prev_src, prev_tgt)) = self.last.get(&r.ue.0) {
-            let is_return = r.source_sector.0 == prev_tgt
-                && r.target_sector.0 == prev_src
-                && r.timestamp_ms.saturating_sub(prev_ts) <= self.window_ms;
-            if is_return {
-                self.pingpong += 1;
-                counts.1 += 1;
-                self.return_sum += (r.timestamp_ms - prev_ts) as f64;
-            }
+        self.observe(r.ue.0, r.timestamp_ms, r.source_sector.0, r.target_sector.0, e);
+    }
+
+    fn record_columns(&mut self, batch: &ColumnBatch, e: &Enriched) {
+        let rows = batch
+            .timestamps()
+            .iter()
+            .zip(batch.ues())
+            .zip(batch.source_sectors())
+            .zip(batch.target_sectors());
+        for (((&ts, &ue), &src), &tgt) in rows {
+            self.observe(ue, ts, src, tgt, e);
         }
-        let leg = (r.timestamp_ms, r.source_sector.0, r.target_sector.0);
-        self.first.entry(r.ue.0).or_insert(leg);
-        self.last.insert(r.ue.0, leg);
     }
 
     fn merge(&mut self, other: Self, ctx: &SweepCtx) {
         self.total += other.total;
         self.pingpong += other.pingpong;
         self.return_sum += other.return_sum;
-        for (mfr, (n, pp)) in other.per_mfr {
-            let counts = self.per_mfr.entry(mfr).or_insert((0, 0));
-            counts.0 += n;
-            counts.1 += pp;
+        if self.per_mfr.len() < other.per_mfr.len() {
+            self.per_mfr.resize(other.per_mfr.len(), (0, 0));
+        }
+        for (mine, theirs) in self.per_mfr.iter_mut().zip(&other.per_mfr) {
+            mine.0 += theirs.0;
+            mine.1 += theirs.1;
         }
         // Boundary stitch: `other`'s first leg per UE may return `self`'s
         // last one.
-        for (&ue, &(ts, src, tgt)) in &other.first {
-            if let Some(&(prev_ts, prev_src, prev_tgt)) = self.last.get(&ue) {
-                let is_return = src == prev_tgt
-                    && tgt == prev_src
-                    && ts.saturating_sub(prev_ts) <= self.window_ms;
-                if is_return {
-                    self.pingpong += 1;
-                    self.return_sum += (ts - prev_ts) as f64;
-                    let mfr = ctx.world.ue(telco_devices::population::UeId(ue)).manufacturer;
-                    self.per_mfr.entry(mfr).or_insert((0, 0)).1 += 1;
+        for (ue, leg) in other.first.iter().enumerate() {
+            let Some((ts, src, tgt)) = *leg else { continue };
+            let Some(Some((prev_ts, prev_src, prev_tgt))) = self.last.get(ue).copied() else {
+                continue;
+            };
+            let is_return =
+                src == prev_tgt && tgt == prev_src && ts.saturating_sub(prev_ts) <= self.window_ms;
+            if is_return {
+                self.pingpong += 1;
+                self.return_sum += (ts - prev_ts) as f64;
+                let mfr = ctx.world.ue(UeId(ue as u32)).manufacturer;
+                if let Some(counts) = self.per_mfr.get_mut(mfr.index()) {
+                    counts.1 += 1;
                 }
             }
         }
         // `other` is later in trace order: its last legs supersede ours,
         // and its first legs only fill UEs we never saw.
-        for (ue, leg) in other.last {
-            self.last.insert(ue, leg);
+        if self.last.len() < other.last.len() {
+            self.last.resize(other.last.len(), None);
         }
-        for (ue, leg) in other.first {
-            self.first.entry(ue).or_insert(leg);
+        for (mine, theirs) in self.last.iter_mut().zip(other.last) {
+            if theirs.is_some() {
+                *mine = theirs;
+            }
+        }
+        if self.first.len() < other.first.len() {
+            self.first.resize(other.first.len(), None);
+        }
+        for (mine, theirs) in self.first.iter_mut().zip(other.first) {
+            if mine.is_none() {
+                *mine = theirs;
+            }
         }
     }
 
     fn end(self, _ctx: &SweepCtx) -> PingPongAnalysis {
-        let mut by_manufacturer: Vec<(Manufacturer, f64)> = self
+        // Catalog order by construction — no post-sort needed.
+        let by_manufacturer: Vec<(Manufacturer, f64)> = self
             .per_mfr
-            .into_iter()
-            .filter(|(_, (n, _))| *n >= 100)
-            .map(|(m, (n, pp))| (m, pp as f64 / n as f64))
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(n, _))| n >= 100)
+            .filter_map(|(i, &(n, pp))| {
+                Manufacturer::ALL.get(i).map(|&m| (m, pp as f64 / n as f64))
+            })
             .collect();
-        by_manufacturer.sort_by_key(|(m, _)| m.index());
 
         PingPongAnalysis {
             window_ms: self.window_ms,

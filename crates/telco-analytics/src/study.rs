@@ -152,6 +152,35 @@ impl AnalysisPass for StudyPasses {
         }
     }
 
+    fn record_columns(
+        &mut self,
+        batch: &telco_trace::columnar::ColumnBatch,
+        e: &crate::frame::Enriched,
+    ) {
+        // Same rationale as `record_chunk`: one tight column scan per
+        // sub-pass keeps each accumulator's working set hot, and lets the
+        // sub-passes that read only a couple of columns skip the rest of
+        // the batch entirely.
+        self.counts.record_columns(batch, e);
+        self.ho_types.record_columns(batch, e);
+        self.durations.record_columns(batch, e);
+        self.districts.record_columns(batch, e);
+        self.population.record_columns(batch, e);
+        self.density.record_columns(batch, e);
+        self.temporal.record_columns(batch, e);
+        self.manufacturer.record_columns(batch, e);
+        self.hof_patterns.record_columns(batch, e);
+        self.causes.record_columns(batch, e);
+        self.pingpong.record_columns(batch, e);
+        self.vendor.record_columns(batch, e);
+        if let Some(frame) = &mut self.frame {
+            frame.record_columns(batch, e);
+        }
+        if let Some(period) = &mut self.period_frame {
+            period.record_columns(batch, e);
+        }
+    }
+
     fn merge(&mut self, other: Self, ctx: &SweepCtx) {
         self.counts.merge(other.counts, ctx);
         self.ho_types.merge(other.ho_types, ctx);

@@ -3,28 +3,53 @@
 //!
 //! Every record-scanning analysis is an [`AnalysisPass`]: an accumulator
 //! with `begin → record* → end` lifecycle plus a deterministic `merge`
-//! for day-partitioned parallel sweeps. The [`Sweep`] driver runs any
-//! pass (or a composite of many) in **one** shared traversal of the
-//! study's [`telco_sim::TraceSource`] — borrowed slice-by-slice from the
-//! in-memory dataset, or streamed chunk-by-chunk from a spilled v2 trace
-//! with bounded memory.
+//! for partitioned parallel sweeps. The [`Sweep`] driver runs any pass
+//! (or a composite of many) in **one** shared traversal of the study's
+//! [`telco_sim::TraceSource`], feeding it [`ColumnBatch`]es — the native
+//! decode target of the v3 columnar trace format — so the hot passes
+//! scan struct-of-arrays column slices instead of dispatching per row.
+//!
+//! # Execution modes
+//!
+//! - **Sequential** ([`TraceSource::for_each_columns`]): in-memory
+//!   records transpose window-by-window through one reused batch;
+//!   spilled v3 chunks decode straight into it.
+//! - **Day-parallel** (in-memory, `threads > 1`): workers claim whole
+//!   study days off a [`telco_sim::StealCursor`] and batch their day
+//!   slices through per-worker scratch.
+//! - **Chunk-parallel** (spilled, `threads > 1`): one reader thread
+//!   streams CRC-verified raw payloads into a bounded
+//!   [`FrameQueue`] (double-buffered: two slots per worker), and workers
+//!   claim ascending chunk indexes, decode privately, and run a fresh
+//!   pass per chunk. Legacy v1 streams have no chunk frames and fall
+//!   back to the sequential path.
 //!
 //! # Determinism of the parallel merge
 //!
-//! The parallel sweep claims whole study days off a
-//! [`telco_sim::StealCursor`], runs a fresh pass per day, then folds the
-//! per-day accumulators **in day order** (via
-//! [`telco_sim::collect_runs`]), so which worker processed which day can
-//! never reach the output. Pass authors keep the fold exact by obeying
-//! the [`AnalysisPass::merge`] contract: accumulate only order-robust
-//! state during `record` (integer counters, integer-valued `f64` sums —
-//! exact under regrouping below 2^53 — set unions, and sample vectors
-//! concatenated in trace order) and defer every order-sensitive
-//! computation (ratios, sorts, ECDFs, world joins) to `end`.
+//! Both parallel modes run a fresh pass per work item (study day or
+//! chunk), then fold the per-item accumulators **in item order** (via
+//! [`telco_sim::collect_runs`]), so which worker processed which item
+//! can never reach the output. Pass authors keep the fold exact by
+//! obeying the [`AnalysisPass::merge`] contract: accumulate only
+//! order-robust state during `record` (integer counters, integer-valued
+//! `f64` sums — exact under regrouping below 2^53 — set unions, and
+//! sample vectors concatenated in trace order) and defer every
+//! order-sensitive computation (ratios, sorts, ECDFs, world joins) to
+//! `end`. Chunk-granular folding asks slightly more than day-granular
+//! did — merges now happen at arbitrary record boundaries, not just
+//! midnight — and every shipped pass satisfies it: the only
+//! boundary-sensitive accumulator (ping-pong chain stitching) keeps
+//! explicit first/last edge state precisely so its merge is exact at
+//! any split point.
 
+use telco_signaling::messages::HoType;
 use telco_sim::{collect_runs, SimConfig, StealCursor, StudyData, World};
+use telco_trace::columnar::{ColumnBatch, FLAG_FAILURE};
+use telco_trace::io::CodecError;
+use telco_trace::prefetch::{Frame, FrameQueue};
 use telco_trace::record::HoRecord;
-use telco_trace::store::ChunkIssue;
+use telco_trace::source::COLUMN_BATCH_RECORDS;
+use telco_trace::store::{decode_payload_columns, ChunkIssue, TraceReader};
 
 use crate::frame::Enriched;
 
@@ -70,6 +95,19 @@ pub trait AnalysisPass {
         }
     }
 
+    /// Fold a decoded column batch. This is what the driver actually
+    /// feeds on every execution mode: overriding it with tight scans
+    /// over the column slices the pass needs (and nothing else) is the
+    /// columnar fast path. The default materializes each row through
+    /// [`ColumnBatch::rows`] and loops [`AnalysisPass::record`];
+    /// overrides must be record-for-record equivalent to that loop.
+    #[inline]
+    fn record_columns(&mut self, batch: &ColumnBatch, e: &Enriched) {
+        for r in batch.rows() {
+            self.record(&r, e);
+        }
+    }
+
     /// Fold another instance of this pass into `self`. `other` saw a
     /// later, disjoint span of the trace (the driver merges in day
     /// order). The fold must be deterministic: the result may depend on
@@ -112,10 +150,18 @@ impl<'a> Sweep<'a> {
     {
         let ctx = SweepCtx { world: &self.data.world, config: &self.data.config };
         let threads = resolve_threads(&self.data.config);
-        if threads > 1 && self.data.config.n_days > 1 {
-            // Spilled sources stream sequentially (day_slices is None).
-            if let Some(output) = self.run_parallel(&make, &ctx, threads) {
-                return Ok(output);
+        if threads > 1 {
+            if self.data.config.n_days > 1 {
+                // In-memory sources partition by day (day_slices is
+                // Some); spilled ones fall through to the chunk mode.
+                if let Some(output) = self.run_parallel(&make, &ctx, threads) {
+                    return Ok(output);
+                }
+            }
+            // Spilled sources parallelize at chunk granularity (None
+            // for in-memory sources and legacy v1 streams).
+            if let Some(result) = self.run_parallel_spilled(&make, &ctx, threads) {
+                return result;
             }
         }
         self.run_sequential(make(), &ctx)
@@ -129,14 +175,15 @@ impl<'a> Sweep<'a> {
         let enriched = Enriched::new(ctx.world);
         pass.begin(ctx);
         // telco-lint: deny-panic(begin)
-        self.data.trace.for_each_chunk(|chunk| pass.record_chunk(chunk, &enriched))?;
+        self.data.trace.for_each_columns(|batch| pass.record_columns(batch, &enriched))?;
         // telco-lint: deny-panic(end)
         Ok(pass.end(ctx))
     }
 
-    /// Day-partitioned parallel sweep. Returns `None` when the source
-    /// cannot be partitioned (spilled traces), falling back to the
-    /// sequential path without consuming an extra traversal.
+    /// Day-partitioned parallel sweep over an in-memory source. Returns
+    /// `None` when the source cannot be partitioned (spilled traces),
+    /// falling through to the chunk-parallel mode without consuming an
+    /// extra traversal.
     fn run_parallel<P, F>(&self, make: &F, ctx: &SweepCtx, threads: usize) -> Option<P::Output>
     where
         P: AnalysisPass + Send,
@@ -147,26 +194,42 @@ impl<'a> Sweep<'a> {
         let cursor = StealCursor::new(slices.len());
         let workers = threads.min(slices.len()).max(1);
 
-        let per_worker: Vec<Vec<(usize, P)>> = std::thread::scope(|scope| {
+        let results: Vec<(Vec<(usize, P)>, u64)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
-                    let (slices, cursor) = (&slices, &cursor);
+                    let (slices, cursor, enriched) = (&slices, &cursor, &enriched);
                     scope.spawn(move || {
+                        let mut batch = ColumnBatch::new();
                         let mut done: Vec<(usize, P)> = Vec::new();
+                        let mut batches = 0u64;
                         while let Some(day) = cursor.claim() {
                             let mut pass = make();
                             pass.begin(ctx);
+                            let slice = slices.get(day).copied().unwrap_or(&[]);
                             // telco-lint: deny-panic(begin)
-                            pass.record_chunk(slices.get(day).copied().unwrap_or(&[]), &enriched);
+                            for window in slice.chunks(COLUMN_BATCH_RECORDS) {
+                                batch.clear();
+                                batch.extend_from_rows(window);
+                                batches += 1;
+                                pass.record_columns(&batch, enriched);
+                            }
                             // telco-lint: deny-panic(end)
                             done.push((day, pass));
                         }
-                        done
+                        (done, batches)
                     })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
         });
+
+        let mut per_worker = Vec::with_capacity(results.len());
+        let mut total_batches = 0u64;
+        for (done, batches) in results {
+            per_worker.push(done);
+            total_batches += batches;
+        }
+        self.data.trace.note_column_batches(total_batches);
 
         // telco-lint: deny-nondeterminism(begin)
         // Fold the per-day accumulators in day order — collect_runs sorts
@@ -179,6 +242,127 @@ impl<'a> Sweep<'a> {
         }
         // telco-lint: deny-nondeterminism(end)
         Some(base.end(ctx))
+    }
+
+    /// Chunk-granular parallel sweep over a spilled trace: one reader
+    /// thread streams CRC-verified raw payloads into a bounded
+    /// [`FrameQueue`], workers claim ascending chunk indexes off the
+    /// steal cursor, decode each payload into private [`ColumnBatch`]
+    /// scratch, and run a fresh pass per chunk; the per-chunk
+    /// accumulators fold in chunk order, replaying the sequential
+    /// stream. Returns `None` for in-memory sources and legacy v1
+    /// streams (no chunk frames to parallelize over).
+    ///
+    /// Error semantics match the sequential spilled traversal: damaged
+    /// chunks are skipped by the reader thread (they never receive a
+    /// fold index), an I/O failure aborts the whole sweep.
+    fn run_parallel_spilled<P, F>(
+        &self,
+        make: &F,
+        ctx: &SweepCtx,
+        threads: usize,
+    ) -> Option<Result<P::Output, ChunkIssue>>
+    where
+        P: AnalysisPass + Send,
+        F: Fn() -> P + Sync,
+    {
+        let path = self.data.trace.spill_path()?;
+        let mut reader = match TraceReader::open(path) {
+            Ok(reader) => reader,
+            Err(e) => return Some(Err(ChunkIssue { chunk: 0, offset: 0, error: e })),
+        };
+        let version = reader.version();
+        if version == 1 {
+            return None;
+        }
+        self.data.trace.note_sweep();
+        let enriched = Enriched::new(ctx.world);
+        // Two slots per worker: the reader stays one full frame ahead of
+        // every worker (double buffering), and since at most `threads`
+        // claimed frames are undrained at any instant, pushes never
+        // deadlock against a slot nobody will take.
+        let queue = FrameQueue::new(threads * 2);
+        let cursor = StealCursor::new(usize::MAX);
+
+        let results: Vec<(Vec<(usize, P)>, u64)> = std::thread::scope(|scope| {
+            let queue_ref = &queue;
+            scope.spawn(move || {
+                let mut produced = 0u64;
+                loop {
+                    let mut payload = queue_ref.buffer();
+                    match reader.next_chunk_raw(&mut payload) {
+                        None => break,
+                        Some(Ok(raw)) => {
+                            queue_ref.push(Frame { index: produced, count: raw.count, payload });
+                            produced += 1;
+                        }
+                        Some(Err(issue)) if matches!(issue.error, CodecError::Io(_)) => {
+                            queue_ref.fail(produced, issue);
+                            return;
+                        }
+                        // Skip-and-report: a damaged chunk never gets a
+                        // frame index, exactly like the sequential skip.
+                        Some(Err(_)) => queue_ref.recycle(payload),
+                    }
+                }
+                queue_ref.finish(produced);
+            });
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let (queue, cursor, enriched) = (&queue, &cursor, &enriched);
+                    scope.spawn(move || {
+                        let mut batch = ColumnBatch::new();
+                        let mut done: Vec<(usize, P)> = Vec::new();
+                        let mut batches = 0u64;
+                        while let Some(index) = cursor.claim() {
+                            let Some(frame) = queue.take(index as u64) else { break };
+                            // telco-lint: deny-panic(begin)
+                            let decoded = decode_payload_columns(
+                                version,
+                                frame.count,
+                                &frame.payload,
+                                &mut batch,
+                            );
+                            if decoded.is_ok() {
+                                let mut pass = make();
+                                pass.begin(ctx);
+                                pass.record_columns(&batch, enriched);
+                                done.push((index, pass));
+                                batches += 1;
+                            }
+                            // telco-lint: deny-panic(end)
+                            queue.recycle(frame.payload);
+                        }
+                        (done, batches)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
+        });
+
+        if let Some(issue) = queue.take_error() {
+            return Some(Err(issue));
+        }
+        let mut per_worker = Vec::with_capacity(results.len());
+        let mut total_batches = 0u64;
+        for (done, batches) in results {
+            per_worker.push(done);
+            total_batches += batches;
+        }
+        self.data.trace.note_column_batches(total_batches);
+
+        // telco-lint: deny-nondeterminism(begin)
+        // Fold the per-chunk accumulators in chunk order — collect_runs
+        // sorts by claimed frame index, so neither worker assignment nor
+        // completion order can reach the merge sequence; the fold
+        // replays the file's healthy-chunk order exactly.
+        let mut base = make();
+        base.begin(ctx);
+        for (_, part) in collect_runs(per_worker) {
+            base.merge(part, ctx);
+        }
+        // telco-lint: deny-nondeterminism(end)
+        Some(Ok(base.end(ctx)))
     }
 }
 
@@ -194,7 +378,7 @@ fn resolve_threads(config: &SimConfig) -> usize {
 /// type and the failure count. Replaces the `SignalingDataset` accessors
 /// (`len`, `counts_by_type`, `hof_rate`) for studies whose trace may live
 /// on disk.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize)]
 pub struct TraceCounts {
     /// Total handover records swept.
     pub records: u64,
@@ -241,6 +425,16 @@ impl AnalysisPass for TraceCountsPass {
         self.counts.records += 1;
         self.counts.by_type[r.ho_type().index()] += 1;
         self.counts.failures += u64::from(r.is_failure());
+    }
+
+    fn record_columns(&mut self, batch: &ColumnBatch, _e: &Enriched) {
+        self.counts.records += batch.len() as u64;
+        for &rat in batch.target_rats() {
+            self.counts.by_type[HoType::from_target_rat(rat).index()] += 1;
+        }
+        for &flags in batch.flags() {
+            self.counts.failures += u64::from(flags & FLAG_FAILURE != 0);
+        }
     }
 
     fn merge(&mut self, other: Self, _ctx: &SweepCtx) {

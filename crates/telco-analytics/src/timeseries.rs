@@ -2,15 +2,15 @@
 //! active-sector curves at 30-minute granularity, split urban/rural and
 //! normalized by the period maximum (as the MNO's privacy rules require).
 
-use std::collections::HashSet;
-
 use serde::{Deserialize, Serialize};
 
 use telco_geo::postcode::AreaType;
 use telco_mobility::schedule::DayOfWeek;
 use telco_stats::corr::pearson;
+use telco_trace::columnar::ColumnBatch;
 use telco_trace::record::HoRecord;
 
+use crate::bitset::IdSet;
 use crate::frame::Enriched;
 use crate::sweep::{AnalysisPass, SweepCtx};
 use crate::tables::{num, TextTable};
@@ -131,10 +131,40 @@ pub struct TemporalPass {
     n_weeks: usize,
     /// `ho_weeks[area][week][slot_of_week]`, integer-valued counts.
     ho_weeks: [Vec<Vec<f64>>; 2],
-    /// Active sectors: distinct sectors with ≥1 HO per slot.
-    active: Vec<[HashSet<u32>; 2]>,
+    /// Active sectors: distinct sectors with ≥1 HO per slot (sector ids
+    /// are dense, so a bitmap beats hashing in the record loop).
+    active: Vec<[IdSet; 2]>,
     urban_total: u64,
     total: u64,
+}
+
+impl TemporalPass {
+    #[inline]
+    fn observe(&mut self, ts: u64, sector: u32, e: &Enriched) {
+        if !e.reliable_of(sector) {
+            return;
+        }
+        let area = e.area_of(sector);
+        let day = (ts / 86_400_000) as u32;
+        let week = (day / 7) as usize;
+        if week >= self.n_weeks {
+            return;
+        }
+        let slot_of_week = (day % 7) as usize * 48 + ((ts % 86_400_000) / 1_800_000) as usize;
+        let ai = area.index().min(1);
+        if let Some(week_slots) = self.ho_weeks[ai].get_mut(week) {
+            if let Some(v) = week_slots.get_mut(slot_of_week) {
+                *v += 1.0;
+            }
+        }
+        if let Some(sets) = self.active.get_mut(week * SLOTS_PER_WEEK + slot_of_week) {
+            sets[ai].insert(sector);
+        }
+        self.total += 1;
+        if area == AreaType::Urban {
+            self.urban_total += 1;
+        }
+    }
 }
 
 impl AnalysisPass for TemporalPass {
@@ -153,24 +183,12 @@ impl AnalysisPass for TemporalPass {
     }
 
     fn record(&mut self, r: &HoRecord, e: &Enriched) {
-        let world = e.world();
-        let pc_id = world.topology.sector_postcode(r.source_sector);
-        let pc = world.country.postcode(pc_id);
-        if !pc.census_reliable {
-            return;
-        }
-        let area = e.area(r);
-        let week = (r.day() / 7) as usize;
-        if week >= self.n_weeks {
-            return;
-        }
-        let slot_of_week = (r.day() % 7) as usize * 48 + r.slot() as usize;
-        let ai = area.index().min(1);
-        self.ho_weeks[ai][week][slot_of_week] += 1.0;
-        self.active[week * SLOTS_PER_WEEK + slot_of_week][ai].insert(r.source_sector.0);
-        self.total += 1;
-        if area == AreaType::Urban {
-            self.urban_total += 1;
+        self.observe(r.timestamp_ms, r.source_sector.0, e);
+    }
+
+    fn record_columns(&mut self, batch: &ColumnBatch, e: &Enriched) {
+        for (&ts, &sector) in batch.timestamps().iter().zip(batch.source_sectors()) {
+            self.observe(ts, sector, e);
         }
     }
 
@@ -184,7 +202,7 @@ impl AnalysisPass for TemporalPass {
         }
         for (mine, theirs) in self.active.iter_mut().zip(other.active) {
             for (set, t) in mine.iter_mut().zip(theirs) {
-                set.extend(t);
+                set.union(&t);
             }
         }
         self.urban_total += other.urban_total;

@@ -8,7 +8,9 @@ use telco_geo::district::Region;
 use telco_geo::postcode::AreaType;
 use telco_sim::World;
 use telco_stats::boxplot::BoxplotStats;
+use telco_signaling::messages::HoType;
 use telco_topology::vendor::Vendor;
+use telco_trace::columnar::ColumnBatch;
 use telco_trace::record::HoRecord;
 
 use crate::frame::{Enriched, SectorDayFrame};
@@ -124,6 +126,13 @@ impl AnalysisPass for VendorPass {
 
     fn record(&mut self, r: &HoRecord, e: &Enriched) {
         self.type_counts[r.ho_type().index()][e.vendor(r).index()] += 1;
+    }
+
+    fn record_columns(&mut self, batch: &ColumnBatch, e: &Enriched) {
+        for (&sector, &rat) in batch.source_sectors().iter().zip(batch.target_rats()) {
+            self.type_counts[HoType::from_target_rat(rat).index()][e.vendor_of(sector).index()] +=
+                1;
+        }
     }
 
     fn merge(&mut self, other: Self, _ctx: &SweepCtx) {

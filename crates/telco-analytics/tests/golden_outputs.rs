@@ -266,9 +266,19 @@ fn golden_study_tiny_orchestrated() {
     orchestrate(store.clone(), &OrchestrateOptions::new(Launcher::InProcess))
         .expect("orchestrated study");
 
-    let data = telco_orchestrator::open_study(store.as_ref()).expect("open sealed study");
-    assert!(data.trace.is_spilled(), "orchestrated studies stream from the store");
-    let study = Study::from_data(data);
-    assert_eq!(golden_json("tiny", &study), expected, "orchestrated study drifted from the golden");
+    // Analyze the sealed store sequentially and through the chunk-parallel
+    // spilled sweep: both must reproduce the sequential in-memory golden
+    // byte-for-byte.
+    for threads in [1usize, 2, 8] {
+        let mut data = telco_orchestrator::open_study(store.as_ref()).expect("open sealed study");
+        assert!(data.trace.is_spilled(), "orchestrated studies stream from the store");
+        data.config.threads = threads;
+        let study = Study::from_data(data);
+        assert_eq!(
+            golden_json("tiny", &study),
+            expected,
+            "orchestrated study @ {threads} thread(s) drifted from the golden"
+        );
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }

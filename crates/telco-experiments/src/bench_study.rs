@@ -1,15 +1,20 @@
 //! `repro bench-study` — measure the single-sweep analysis engine: the
 //! full [`StudyPasses`] composite (every record analysis plus both
 //! sector frames in one visitor) across a {1, 2, 4, 8}-thread scaling
-//! matrix per preset, plus the spilled streaming sweep (columnar v3
-//! trace) and the traversal count of a full study. Writes the numbers to
-//! `BENCH_study.json` at the repo root.
+//! matrix per preset, the spilled chunk-parallel sweep (columnar v3
+//! trace) across the same matrix, a decode-vs-analyze breakdown of the
+//! out-of-core path, and the traversal count of a full study. Writes the
+//! numbers to `BENCH_study.json` at the repo root.
 //!
 //! The matrix is honest about hardware: `hardware_threads` is the real
 //! available parallelism, matrix entries requesting more threads than
 //! exist are flagged `oversubscribed`, and the headline
 //! `speedup_8_over_1` is reported as `null` (with a `parallel_warning`)
 //! rather than pretending an oversubscribed number demonstrates scaling.
+//!
+//! Every measured sweep must take the column fast path: the run aborts
+//! if `TraceSource::column_batches()` stayed flat, so a silent fallback
+//! to row-at-a-time dispatch can never masquerade as a columnar number.
 
 use std::path::Path;
 use std::time::Instant;
@@ -20,6 +25,12 @@ use telco_trace::io::RECORD_BYTES;
 
 /// The thread counts every preset is swept at.
 pub const THREAD_MATRIX: [usize; 4] = [1, 2, 4, 8];
+
+/// Single-thread sweep throughput of the row-at-a-time engine this
+/// columnar execution model replaced (records/s, committed
+/// `BENCH_study.json` as of PR 5) — the "before" each run's matrix
+/// baseline is compared against.
+const ROW_PATH_BASELINE: [(&str, u64); 2] = [("small", 2_194_805), ("medium", 1_947_592)];
 
 struct Measurement {
     secs: f64,
@@ -71,6 +82,16 @@ fn run_preset(
     let bytes = records * RECORD_BYTES as u64;
     eprintln!("bench-study: {records} records ({:.1} MB framed)", bytes as f64 / 1e6);
 
+    // One untimed warmup traversal first. The very first sweep of a
+    // process pays costs no steady-state traversal repays — page faults
+    // on the accumulators' freshly mapped heap and the allocator's mmap
+    // threshold still training on MB-scale alloc/free cycles — worth
+    // ~30% on this preset. Throughput is a steady-state claim, so the
+    // timed iterations start warm.
+    data.config.threads = 1;
+    let warm = Sweep::new(&data).run(StudyPasses::default).expect("warmup sweep");
+    assert_eq!(warm.trace_counts.records, records);
+
     // The scaling matrix: the same composite sweep at each thread count.
     // threads == 1 takes the sequential path (no worker spawn at all), so
     // the curve's baseline is the true single-thread cost.
@@ -79,6 +100,7 @@ fn run_preset(
         data.config.threads = threads;
         let oversubscribed = threads > hardware_threads;
         let tag = if oversubscribed { " (oversubscribed)" } else { "" };
+        let batches_before = data.trace.column_batches();
         let m = measure(
             &format!("{preset_name} sweep @ {threads} thread(s){tag}"),
             bytes,
@@ -88,6 +110,10 @@ fn run_preset(
                 let out = Sweep::new(&data).run(StudyPasses::default).expect("sweep");
                 assert_eq!(out.trace_counts.records, records);
             },
+        );
+        assert!(
+            data.trace.column_batches() > batches_before,
+            "sweep @ {threads} thread(s) silently fell back to row dispatch"
         );
         matrix.push((threads, oversubscribed, m));
     }
@@ -116,13 +142,60 @@ fn run_preset(
         }
     };
     std::fs::create_dir_all(dir).expect("create spill dir");
-    let spilled_data = run_study_spilled(config, dir).expect("spilled study");
+    let mut spilled_data = run_study_spilled(config, dir).expect("spilled study");
     assert!(spilled_data.trace.is_spilled());
     assert_eq!(spilled_data.trace.len() as u64, records);
-    let spilled = measure("spilled streaming sweep (v3)", bytes, records, iters, || {
-        let out = Sweep::new(&spilled_data).run(StudyPasses::default).expect("sweep");
-        assert_eq!(out.trace_counts.records, records);
+
+    // Decode-vs-analyze breakdown: stream the sealed v3 trace into column
+    // batches with no analysis attached, then with the full composite.
+    // The gap is what the ~15 passes cost on top of pure decode — the
+    // number that says whether the next optimization belongs in the codec
+    // or in the passes.
+    let decode_only = measure("spilled v3 decode only (no passes)", bytes, records, iters, || {
+        let mut seen = 0u64;
+        spilled_data.trace.for_each_columns(|batch| seen += batch.len() as u64).expect("decode");
+        assert_eq!(seen, records);
     });
+
+    // The spilled chunk-parallel sweep across the same thread matrix:
+    // threads == 1 streams sequentially, > 1 takes the prefetch-queue +
+    // work-stealing path. Byte-identity across the matrix is pinned by
+    // the golden tests; here we measure and cross-check the counts.
+    let mut spilled_matrix: Vec<(usize, bool, Measurement)> = Vec::new();
+    for &threads in &THREAD_MATRIX {
+        spilled_data.config.threads = threads;
+        let oversubscribed = threads > hardware_threads;
+        let tag = if oversubscribed { " (oversubscribed)" } else { "" };
+        let batches_before = spilled_data.trace.column_batches();
+        let m = measure(
+            &format!("{preset_name} spilled v3 sweep @ {threads} thread(s){tag}"),
+            bytes,
+            records,
+            iters,
+            || {
+                let out = Sweep::new(&spilled_data).run(StudyPasses::default).expect("sweep");
+                assert_eq!(out.trace_counts.records, records);
+            },
+        );
+        assert!(
+            spilled_data.trace.column_batches() > batches_before,
+            "spilled sweep @ {threads} thread(s) silently fell back to row dispatch"
+        );
+        spilled_matrix.push((threads, oversubscribed, m));
+    }
+    let spilled = &spilled_matrix[0].2;
+    let analyze_secs = (spilled.secs - decode_only.secs).max(0.0);
+    eprintln!(
+        "bench-study: {preset_name} spilled breakdown: decode {:.4}s + analyze {:.4}s \
+         ({:.0}% of the sweep is analysis)",
+        decode_only.secs,
+        analyze_secs,
+        100.0 * analyze_secs / spilled.secs.max(1e-12)
+    );
+    let spilled_speedup = spilled_matrix
+        .iter()
+        .rfind(|(threads, oversubscribed, _)| *threads > 1 && !oversubscribed)
+        .map(|(threads, _, m)| (*threads, spilled_matrix[0].2.secs / m.secs));
 
     // Traversal count of a full study: touch every analysis the repro
     // pipeline renders and count trace sweeps (acceptance: ≤ 2, down
@@ -149,32 +222,56 @@ fn run_preset(
         let _ = std::fs::remove_dir_all(dir);
     }
 
-    let scaling_rows: Vec<String> = matrix
-        .iter()
-        .map(|(threads, oversubscribed, m)| {
-            format!(
-                "      {{\"threads\": {threads}, \"oversubscribed\": {oversubscribed}, \
-                 \"secs\": {:.4}, \"mb_per_sec\": {:.1}, \"records_per_sec\": {:.0}, \
-                 \"speedup_over_1\": {:.2}}}",
-                m.secs,
-                m.bytes as f64 / m.secs / 1e6,
-                m.records as f64 / m.secs,
-                matrix[0].2.secs / m.secs
-            )
-        })
-        .collect();
-    let speedup_json = match speedup {
+    let rows_of = |matrix: &[(usize, bool, Measurement)]| -> String {
+        matrix
+            .iter()
+            .map(|(threads, oversubscribed, m)| {
+                format!(
+                    "      {{\"threads\": {threads}, \"oversubscribed\": {oversubscribed}, \
+                     \"secs\": {:.4}, \"mb_per_sec\": {:.1}, \"records_per_sec\": {:.0}, \
+                     \"speedup_over_1\": {:.2}}}",
+                    m.secs,
+                    m.bytes as f64 / m.secs / 1e6,
+                    m.records as f64 / m.secs,
+                    matrix[0].2.secs / m.secs
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n")
+    };
+    let speedup_json = |speedup: &Option<(usize, f64)>| match speedup {
         Some((threads, s)) => format!("{{\"threads\": {threads}, \"speedup\": {s:.2}}}"),
         None => "null".to_string(),
     };
+    // The row-engine number this preset swept at before columnar
+    // execution, so before/after lives in the same artifact.
+    let before_json = ROW_PATH_BASELINE
+        .iter()
+        .find(|(name, _)| *name == preset_name)
+        .map_or("null".to_string(), |(_, rps)| {
+            format!(
+                "{{\"records_per_sec\": {rps}, \"speedup_now\": {:.2}}}",
+                matrix[0].2.records as f64 / matrix[0].2.secs / *rps as f64
+            )
+        });
     format!(
         "    {{\n      \"preset\": \"{preset_name}\",\n      \"records\": {records},\n      \
-         \"payload_bytes\": {bytes},\n      \"scaling\": [\n{}\n      ],\n      \
-         \"honest_speedup\": {speedup_json},\n      \
+         \"payload_bytes\": {bytes},\n      \
+         \"single_thread_row_baseline\": {before_json},\n      \
+         \"scaling\": [\n{}\n      ],\n      \
+         \"honest_speedup\": {},\n      \
          \"sweep_spilled_streaming_v3\": {},\n      \
+         \"spilled_decode_only\": {},\n      \
+         \"spilled_analyze_secs\": {analyze_secs:.4},\n      \
+         \"spilled_scaling\": [\n{}\n      ],\n      \
+         \"spilled_honest_speedup\": {},\n      \
          \"full_study_traversals\": {full_study_traversals}\n    }}",
-        scaling_rows.join(",\n"),
-        spilled.json()
+        rows_of(&matrix),
+        speedup_json(&speedup),
+        spilled.json(),
+        decode_only.json(),
+        rows_of(&spilled_matrix),
+        speedup_json(&spilled_speedup),
     )
 }
 

@@ -6,6 +6,7 @@
 //! repro worker --dir <store> --entry N [--fault <spec>]
 //! repro orchestrate --dir <store> [--pool N] [--retries R]
 //!                   [--timeout-ms T] [--in-process] [--analyze]
+//!                   [--threads N]
 //! ```
 //!
 //! `plan` writes the manifest into a fresh (or existing) shard store;
@@ -196,13 +197,19 @@ fn run_orchestrate(args: &[String]) -> i32 {
     }
 
     if has_flag(args, "--analyze") {
-        let data = match open_study(store.as_ref()) {
+        let mut data = match open_study(store.as_ref()) {
             Ok(d) => d,
             Err(e) => {
                 eprintln!("repro: cannot open sealed study: {e}");
                 return 1;
             }
         };
+        // Analytics sweep the sealed trace with the chunk-parallel
+        // out-of-core pipeline; `--threads N` overrides the planned
+        // config (0 = available parallelism), byte-identical either way.
+        if let Some(n) = flag_value(args, "--threads").and_then(|v| v.parse().ok()) {
+            data.config.threads = n;
+        }
         let study = telco_analytics::Study::from_data(data);
         println!("{}", study.dataset_stats().table());
         println!("{}", study.ho_types().table());

@@ -27,15 +27,18 @@ pub mod crc32;
 pub mod dataset;
 pub mod hash;
 pub mod io;
+pub mod prefetch;
 pub mod probe;
 pub mod record;
 pub mod source;
 pub mod store;
 
 pub use anonymize::Anonymizer;
+pub use columnar::ColumnBatch;
 pub use dataset::SignalingDataset;
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use io::{decode, encode, from_json, read_file, to_json, write_file, CodecError};
+pub use prefetch::{Frame, FrameQueue};
 pub use probe::{probe_trailer, validate_file, StreamSummary, TrailerProbe};
 pub use record::{DeviceRecord, HoOutcome, HoRecord, TopologyRecord};
 pub use source::{SpilledTrace, TraceSource};

@@ -1,0 +1,253 @@
+//! Bounded frame queue for the parallel out-of-core sweep.
+//!
+//! A spilled trace is one sequential file, so exactly one thread should
+//! own the file descriptor — but chunk *decode* and analysis are
+//! CPU-bound and parallelize cleanly. The split implemented here:
+//!
+//! - a **reader thread** streams CRC-verified raw payloads off disk
+//!   ([`crate::store::TraceReader::next_chunk_raw`] — header validated,
+//!   checksum checked, columns untouched) and publishes them, in file
+//!   order, into a bounded ring of [`FrameQueue`] slots;
+//! - **worker threads** claim ascending chunk indexes (the caller
+//!   brings its own work-stealing cursor), block on the slot that will
+//!   carry their chunk, decode the payload into a private
+//!   [`crate::columnar::ColumnBatch`], and run analysis passes over it.
+//!
+//! Slot `i % capacity` carries frame `i`, so the ring doubles as the
+//! ordering structure: the reader publishes sequentially and back-
+//! pressures when the ring is full (bounded memory — at most
+//! `capacity` payloads in flight), and a worker waiting for chunk `i`
+//! sleeps on exactly one condvar. Payload buffers recycle through a
+//! small pool, so the steady-state pipeline performs no per-chunk
+//! allocation. The queue itself is FIFO per slot and carries no
+//! ordering decisions beyond "frame `i` lives in slot `i % capacity`";
+//! determinism of the sweep comes from the caller folding per-chunk
+//! results in chunk-index order, exactly like the in-memory per-day
+//! fold.
+//!
+//! Poisoned mutexes are absorbed (`PoisonError::into_inner`): a worker
+//! panic must not cascade a second panic out of the queue while the
+//! sweep scope unwinds.
+
+// telco-lint: deny-nondeterminism
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+use crate::store::ChunkIssue;
+
+/// One CRC-verified chunk payload in flight from the reader thread to a
+/// decode worker.
+#[derive(Debug)]
+pub struct Frame {
+    /// Position of this chunk in the stream of healthy chunks (the fold
+    /// key — damaged chunks are skipped by the reader and never get an
+    /// index, matching the sequential sweep's skip-and-report recovery).
+    pub index: u64,
+    /// Records in the chunk, per its validated header.
+    pub count: u32,
+    /// The raw encoded payload (v3 column groups or v2 row frames).
+    pub payload: Vec<u8>,
+}
+
+#[derive(Debug, Default)]
+struct Slot {
+    frame: Mutex<Option<Frame>>,
+    /// Signaled when the slot is filled (or the stream ends).
+    ready: Condvar,
+    /// Signaled when the slot is drained.
+    freed: Condvar,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Sentinel for "the reader has not finished yet".
+const OPEN: u64 = u64::MAX;
+
+/// Bounded single-producer / multi-consumer ring of chunk frames; see
+/// the module docs for the pipeline it implements.
+#[derive(Debug)]
+pub struct FrameQueue {
+    slots: Vec<Slot>,
+    /// Total frames the reader produced, or [`OPEN`] while it is still
+    /// running. Workers asking for an index at or past this bound get
+    /// `None` from [`FrameQueue::take`].
+    end: AtomicU64,
+    /// First error that aborted the reader, if any.
+    error: Mutex<Option<ChunkIssue>>,
+    /// Recycled payload buffers (bounded by `capacity`).
+    pool: Mutex<Vec<Vec<u8>>>,
+}
+
+impl FrameQueue {
+    /// A queue with `capacity` slots (≥ 1 enforced). Sized at twice the
+    /// worker count, the reader stays one full frame ahead of every
+    /// worker — double buffering.
+    pub fn new(capacity: usize) -> Self {
+        let mut slots = Vec::new();
+        slots.resize_with(capacity.max(1), Slot::default);
+        FrameQueue {
+            slots,
+            end: AtomicU64::new(OPEN),
+            error: Mutex::new(None),
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn slot(&self, index: u64) -> &Slot {
+        let cap = self.slots.len() as u64;
+        // capacity ≥ 1, so the modulo is always in range; the fallback
+        // is unreachable but keeps the hot path panic-free.
+        self.slots.get((index % cap) as usize).unwrap_or_else(|| &self.slots[0])
+    }
+
+    /// Reader side: publish frame `frame.index` (which must ascend by 1
+    /// per call), blocking while the ring is full.
+    pub fn push(&self, frame: Frame) {
+        let slot = self.slot(frame.index);
+        let mut guard = lock(&slot.frame);
+        while guard.is_some() {
+            guard = slot.freed.wait(guard).unwrap_or_else(PoisonError::into_inner);
+        }
+        *guard = Some(frame);
+        slot.ready.notify_all();
+    }
+
+    /// Reader side: declare the stream complete after `total` frames,
+    /// waking every waiting worker.
+    pub fn finish(&self, total: u64) {
+        self.end.store(total, Ordering::Release);
+        for slot in &self.slots {
+            // Take the lock so a worker between its end-check and its
+            // wait cannot miss the wakeup.
+            let _guard = lock(&slot.frame);
+            slot.ready.notify_all();
+        }
+    }
+
+    /// Reader side: abort the stream after `produced` frames because of
+    /// `issue` (an I/O failure — corruption is skipped, not fatal).
+    pub fn fail(&self, produced: u64, issue: ChunkIssue) {
+        *lock(&self.error) = Some(issue);
+        self.finish(produced);
+    }
+
+    /// The error that aborted the reader, if any (checked by the
+    /// coordinator after all threads join).
+    pub fn take_error(&self) -> Option<ChunkIssue> {
+        lock(&self.error).take()
+    }
+
+    /// Worker side: wait for frame `index`; `None` once the stream is
+    /// known to end before it.
+    pub fn take(&self, index: u64) -> Option<Frame> {
+        let slot = self.slot(index);
+        let mut guard = lock(&slot.frame);
+        loop {
+            if guard.as_ref().is_some_and(|f| f.index == index) {
+                let frame = guard.take();
+                slot.freed.notify_all();
+                return frame;
+            }
+            if self.end.load(Ordering::Acquire) <= index {
+                return None;
+            }
+            guard = slot.ready.wait(guard).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// A payload buffer from the recycle pool (or a fresh one).
+    pub fn buffer(&self) -> Vec<u8> {
+        lock(&self.pool).pop().unwrap_or_default()
+    }
+
+    /// Return a drained payload buffer to the pool.
+    pub fn recycle(&self, buf: Vec<u8>) {
+        let mut pool = lock(&self.pool);
+        if pool.len() < self.slots.len() {
+            pool.push(buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_flow_in_order_through_a_tiny_ring() {
+        let queue = FrameQueue::new(2);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..10u64 {
+                    let mut payload = queue.buffer();
+                    payload.clear();
+                    payload.push(i as u8);
+                    queue.push(Frame { index: i, count: 1, payload });
+                }
+                queue.finish(10);
+            });
+            // One consumer claiming ascending indexes sees every frame.
+            for i in 0..10u64 {
+                let frame = queue.take(i).expect("frame must arrive");
+                assert_eq!(frame.index, i);
+                assert_eq!(frame.payload, vec![i as u8]);
+                queue.recycle(frame.payload);
+            }
+            assert!(queue.take(10).is_none(), "past the end is None");
+        });
+        assert!(queue.take_error().is_none());
+    }
+
+    #[test]
+    fn workers_share_the_stream_without_loss() {
+        let queue = FrameQueue::new(4);
+        let next = AtomicU64::new(0);
+        let total = 100u64;
+        let seen = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..total {
+                    queue.push(Frame { index: i, count: 0, payload: vec![i as u8] });
+                }
+                queue.finish(total);
+            });
+            for _ in 0..2 {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    match queue.take(i) {
+                        Some(frame) => seen.lock().unwrap().push(frame.index),
+                        None => break,
+                    }
+                });
+            }
+        });
+        let mut indexes = seen.into_inner().unwrap();
+        indexes.sort_unstable();
+        assert_eq!(indexes, (0..total).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fail_wakes_waiters_and_surfaces_the_issue() {
+        let queue = FrameQueue::new(2);
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| queue.take(5));
+            queue.push(Frame { index: 0, count: 0, payload: Vec::new() });
+            queue.fail(
+                1,
+                ChunkIssue {
+                    chunk: 1,
+                    offset: 99,
+                    error: crate::io::CodecError::Io(std::io::ErrorKind::UnexpectedEof),
+                },
+            );
+            assert!(handle.join().unwrap().is_none(), "waiter past the end unblocks");
+        });
+        // Frame 0 itself stays deliverable after a failure.
+        assert!(queue.take(0).is_some());
+        let issue = queue.take_error().expect("error recorded");
+        assert_eq!(issue.chunk, 1);
+    }
+}

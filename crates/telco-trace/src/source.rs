@@ -15,9 +15,17 @@
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::columnar::ColumnBatch;
 use crate::dataset::SignalingDataset;
 use crate::record::HoRecord;
 use crate::store::{ChunkIssue, TraceReader};
+
+/// Records per column batch when transposing an in-memory dataset for
+/// the columnar sweep: large enough to amortize the per-batch pass
+/// fan-out, small enough that a batch's hot columns stay cache-resident
+/// while ~15 passes scan it (~31 B/record across all columns → ~500 KiB
+/// per batch).
+pub const COLUMN_BATCH_RECORDS: usize = 1 << 14;
 
 /// A sealed v2 trace file on disk, with the span and record count its
 /// trailer declared.
@@ -44,6 +52,12 @@ enum SourceKind {
 pub struct TraceSource {
     kind: SourceKind,
     sweeps: AtomicU64,
+    /// Column batches served by the fast path ([`TraceSource::for_each_columns`]
+    /// or an external columnar pipeline that reports via
+    /// [`TraceSource::note_column_batches`]) — lets benchmarks assert the
+    /// columnar path was exercised rather than silently falling back to
+    /// rows.
+    column_batches: AtomicU64,
 }
 
 impl Clone for TraceSource {
@@ -54,6 +68,7 @@ impl Clone for TraceSource {
                 SourceKind::Spilled(s) => SourceKind::Spilled(s.clone()),
             },
             sweeps: AtomicU64::new(self.sweeps.load(Ordering::Relaxed)),
+            column_batches: AtomicU64::new(self.column_batches.load(Ordering::Relaxed)),
         }
     }
 }
@@ -61,7 +76,11 @@ impl Clone for TraceSource {
 impl TraceSource {
     /// A source serving records from memory.
     pub fn in_memory(dataset: SignalingDataset) -> Self {
-        TraceSource { kind: SourceKind::InMemory(dataset), sweeps: AtomicU64::new(0) }
+        TraceSource {
+            kind: SourceKind::InMemory(dataset),
+            sweeps: AtomicU64::new(0),
+            column_batches: AtomicU64::new(0),
+        }
     }
 
     /// A source streaming records from a sealed v2 trace file.
@@ -69,6 +88,7 @@ impl TraceSource {
         TraceSource {
             kind: SourceKind::Spilled(SpilledTrace { path: path.into(), days, records }),
             sweeps: AtomicU64::new(0),
+            column_batches: AtomicU64::new(0),
         }
     }
 
@@ -127,6 +147,74 @@ impl TraceSource {
     /// the scan-count regression asserts on.
     pub fn sweeps(&self) -> u64 {
         self.sweeps.load(Ordering::Relaxed)
+    }
+
+    /// How many column batches the fast path has served (0 means every
+    /// traversal went through materialized rows).
+    pub fn column_batches(&self) -> u64 {
+        self.column_batches.load(Ordering::Relaxed)
+    }
+
+    /// Record one traversal performed by an external pipeline (e.g. the
+    /// parallel out-of-core sweep, which opens its own reader instead of
+    /// going through [`TraceSource::for_each_chunk`]).
+    pub fn note_sweep(&self) {
+        self.sweeps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` column batches decoded by an external pipeline.
+    pub fn note_column_batches(&self, n: u64) {
+        self.column_batches.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Traverse the trace once, in timestamp order, handing `f` one
+    /// decoded [`ColumnBatch`] at a time — the native input of the
+    /// columnar analysis sweep. A spilled v3 source decodes straight
+    /// into the batch (no per-record row construction); a spilled v2
+    /// source transposes rows into the same shape; an in-memory source
+    /// transposes fixed-size record windows through one reused batch.
+    /// Error semantics match [`TraceSource::for_each_chunk`]: damaged
+    /// chunks are skipped, I/O failure aborts.
+    pub fn for_each_columns(&self, mut f: impl FnMut(&ColumnBatch)) -> Result<(), ChunkIssue> {
+        self.sweeps.fetch_add(1, Ordering::Relaxed);
+        let mut batches = 0u64;
+        let result = match &self.kind {
+            SourceKind::InMemory(d) => {
+                let mut batch = ColumnBatch::new();
+                for window in d.records().chunks(COLUMN_BATCH_RECORDS) {
+                    batch.clear();
+                    batch.extend_from_rows(window);
+                    batches += 1;
+                    f(&batch);
+                }
+                Ok(())
+            }
+            SourceKind::Spilled(s) => {
+                let open = |e| ChunkIssue { chunk: 0, offset: 0, error: e };
+                let mut reader = TraceReader::open(&s.path).map_err(open)?;
+                let mut batch = ColumnBatch::new();
+                loop {
+                    match reader.next_chunk_columns(&mut batch) {
+                        None => break Ok(()),
+                        Some(Ok(())) => {
+                            batches += 1;
+                            f(&batch);
+                        }
+                        // Skip-and-report recovery: corruption already
+                        // cost exactly one chunk; an I/O error means the
+                        // medium itself failed, so abort.
+                        Some(Err(issue))
+                            if matches!(issue.error, crate::io::CodecError::Io(_)) =>
+                        {
+                            break Err(issue)
+                        }
+                        Some(Err(_)) => {}
+                    }
+                }
+            }
+        };
+        self.column_batches.fetch_add(batches, Ordering::Relaxed);
+        result
     }
 
     /// Traverse the trace once, in timestamp order, handing `f` one
@@ -273,5 +361,36 @@ mod tests {
         src.for_each_chunk(|_| {}).unwrap();
         let cloned = src.clone();
         assert_eq!(cloned.sweeps(), 1);
+    }
+
+    #[test]
+    fn column_traversal_matches_rows_in_memory_and_spilled() {
+        let d = sample(3, 40_000); // > COLUMN_BATCH_RECORDS → several batches
+        let dir = std::env::temp_dir().join("telco_source_columns_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.tlho");
+        crate::store::write_file_v3(&d, &path).unwrap();
+
+        for src in [
+            TraceSource::in_memory(d.clone()),
+            TraceSource::spilled(&path, 3, d.len() as u64),
+        ] {
+            assert_eq!(src.column_batches(), 0);
+            let mut streamed = Vec::new();
+            src.for_each_columns(|batch| streamed.extend(batch.rows())).unwrap();
+            assert_eq!(&streamed[..], d.records());
+            assert_eq!(src.sweeps(), 1);
+            assert!(src.column_batches() > 0, "fast-path counter must tick");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn external_pipeline_counters() {
+        let src = TraceSource::in_memory(sample(1, 10));
+        src.note_sweep();
+        src.note_column_batches(3);
+        assert_eq!(src.sweeps(), 1);
+        assert_eq!(src.column_batches(), 3);
     }
 }

@@ -39,7 +39,7 @@ use std::path::Path;
 
 use bytes::BufMut;
 
-use crate::columnar::{decode_columns, ColumnEncoder};
+use crate::columnar::{decode_columns, ColumnBatch, ColumnEncoder};
 use crate::crc32::crc32;
 use crate::dataset::SignalingDataset;
 use crate::io::{get_record, record_frame, CodecError, MAGIC, RECORD_BYTES};
@@ -321,6 +321,34 @@ pub fn write_file_v3(dataset: &SignalingDataset, path: &Path) -> std::io::Result
     Ok(())
 }
 
+// telco-lint: deny-panic(begin)
+/// Decode one CRC-verified chunk payload (as produced by
+/// [`TraceReader::next_chunk_raw`]) into a [`ColumnBatch`], dispatching
+/// on the stream version: v3 payloads decode column-wise, v2 payloads
+/// are transposed row-by-row. This is the worker-side half of the
+/// parallel out-of-core sweep — a reader thread ships raw payloads,
+/// workers decode them into their own reusable batches.
+pub fn decode_payload_columns(
+    version: u16,
+    count: u32,
+    payload: &[u8],
+    out: &mut ColumnBatch,
+) -> Result<(), CodecError> {
+    out.clear();
+    match version {
+        VERSION3 => decode_columns(payload, count as usize, out),
+        VERSION2 => {
+            let mut buf: &[u8] = payload;
+            for _ in 0..count {
+                out.push_row(&get_record(&mut buf)?);
+            }
+            Ok(())
+        }
+        other => Err(CodecError::BadVersion(other)),
+    }
+}
+// telco-lint: deny-panic(end)
+
 // ---- reader ----------------------------------------------------------------
 // telco-lint: deny-panic(begin)
 // The read path ingests external bytes: every malformed input must come
@@ -355,6 +383,9 @@ pub struct TraceReader<R: Read> {
     /// Payload scratch reused across chunks, so a steady-state streaming
     /// read performs no per-chunk byte allocations.
     scratch: Vec<u8>,
+    /// Column scratch reused across chunks by the decode paths (v3
+    /// payloads decode into columns first; rows are a transpose view).
+    cols: ColumnBatch,
 }
 
 /// Records per yielded batch when streaming a v1 stream.
@@ -385,6 +416,7 @@ impl<R: Read> TraceReader<R> {
             trailer_seen: false,
             done: false,
             scratch: Vec::new(),
+            cols: ColumnBatch::new(),
         };
         let mut header = [0u8; V2_HEADER_BYTES];
         if reader.read_bytes(&mut header)? < V2_HEADER_BYTES {
@@ -539,7 +571,13 @@ impl<R: Read> TraceReader<R> {
         // the issue-reporting path can borrow `self` mutably.
         let payload = std::mem::take(&mut self.scratch);
         let decode_err = if self.version == VERSION3 {
-            decode_columns(&payload, count as usize, out).err()
+            let mut cols = std::mem::take(&mut self.cols);
+            let err = decode_columns(&payload, count as usize, &mut cols).err();
+            if err.is_none() {
+                cols.fill_rows(out);
+            }
+            self.cols = cols;
+            err
         } else {
             out.reserve(count as usize);
             let mut buf: &[u8] = &payload;
@@ -560,6 +598,67 @@ impl<R: Read> TraceReader<R> {
             // CRC passed but the payload doesn't decode: writer-side bug
             // or checksum collision. Skip the chunk; for v3 the error
             // names the offending column.
+            out.clear();
+            let issue = self.issue(e);
+            self.frames_seen += 1;
+            return Some(Err(issue));
+        }
+        self.frames_seen += 1;
+        self.chunks_ok += 1;
+        self.records_read += u64::from(count);
+        Some(Ok(()))
+    }
+
+    /// Decode the next chunk straight into reusable struct-of-arrays
+    /// column buffers (cleared first), skipping per-record [`HoRecord`]
+    /// construction entirely for v3 streams — the native input of the
+    /// columnar analysis sweep. v2 chunks are transposed row-by-row into
+    /// the same batch shape and v1 streams arrive as CRC-free batches,
+    /// so the column stream is uniform across versions. Semantics
+    /// otherwise match [`TraceReader::next_chunk_into`]: `None` at end
+    /// of stream, `Some(Err(..))` for a skipped chunk.
+    pub fn next_chunk_columns(
+        &mut self,
+        out: &mut ColumnBatch,
+    ) -> Option<Result<(), ChunkIssue>> {
+        out.clear();
+        if self.done {
+            return None;
+        }
+        if self.version == 1 {
+            // Legacy single-buffer stream: no chunk frames to decode
+            // columns from; materialize a row batch and transpose.
+            let mut rows = Vec::new();
+            let res = self.next_v1_batch(&mut rows);
+            if let Some(Ok(())) = res {
+                out.extend_from_rows(&rows);
+            }
+            return res;
+        }
+        let raw = match self.next_frame_payload()? {
+            Ok(raw) => raw,
+            Err(issue) => return Some(Err(issue)),
+        };
+        let count = raw.count;
+        let payload = std::mem::take(&mut self.scratch);
+        let decode_err = if self.version == VERSION3 {
+            decode_columns(&payload, count as usize, out).err()
+        } else {
+            let mut buf: &[u8] = &payload;
+            let mut bad = None;
+            for _ in 0..count {
+                match get_record(&mut buf) {
+                    Ok(r) => out.push_row(&r),
+                    Err(e) => {
+                        bad = Some(e);
+                        break;
+                    }
+                }
+            }
+            bad
+        };
+        self.scratch = payload;
+        if let Some(e) = decode_err {
             out.clear();
             let issue = self.issue(e);
             self.frames_seen += 1;

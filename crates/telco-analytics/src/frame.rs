@@ -179,9 +179,7 @@ impl<'a> Enriched<'a> {
     pub fn home_district_of(&self, ue: u32) -> DistrictId {
         match self.ue_home_district.get(ue as usize) {
             Some(&d) => d,
-            None => {
-                self.world.country.postcode(self.world.ue(UeId(ue)).home_postcode).district
-            }
+            None => self.world.country.postcode(self.world.ue(UeId(ue)).home_postcode).district,
         }
     }
 
@@ -582,8 +580,7 @@ impl AnalysisPass for FramePass {
             FrameWindow::FullPeriod => ctx.config.n_days.max(1),
         };
         let n_windows = ctx.config.n_days.max(1).div_ceil(days.max(1));
-        self.builder =
-            FrameBuilder::with_grid(days, ctx.world.topology.sectors().len(), n_windows);
+        self.builder = FrameBuilder::with_grid(days, ctx.world.topology.sectors().len(), n_windows);
     }
 
     fn record(&mut self, r: &HoRecord, _e: &Enriched) {
@@ -594,9 +591,11 @@ impl AnalysisPass for FramePass {
         self.builder.add_chunk(chunk);
     }
 
+    // telco-lint: deny-alloc(begin)
     fn record_columns(&mut self, batch: &ColumnBatch, _e: &Enriched) {
         self.builder.add_columns(batch);
     }
+    // telco-lint: deny-alloc(end)
 
     fn merge(&mut self, other: Self, _ctx: &SweepCtx) {
         self.builder.merge(other.builder);

@@ -108,6 +108,7 @@ impl AnalysisPass for PopulationPass {
         self.observe(r.ue.0, e.district(r).0, r.day(), r.hour());
     }
 
+    // telco-lint: deny-alloc(begin)
     fn record_columns(&mut self, batch: &ColumnBatch, e: &Enriched) {
         let rows = batch.timestamps().iter().zip(batch.ues()).zip(batch.source_sectors());
         for ((&ts, &ue), &sector) in rows {
@@ -116,6 +117,7 @@ impl AnalysisPass for PopulationPass {
             self.observe(ue, e.district_of(sector).0, day, hour);
         }
     }
+    // telco-lint: deny-alloc(end)
 
     fn merge(&mut self, other: Self, _ctx: &SweepCtx) {
         for (key, c) in other.per_ue {
@@ -241,6 +243,7 @@ impl AnalysisPass for HoDensityPass {
         self.per_district_hos[d.0 as usize] += 1;
     }
 
+    // telco-lint: deny-alloc(begin)
     fn record_columns(&mut self, batch: &ColumnBatch, e: &Enriched) {
         for &sector in batch.source_sectors() {
             let d = e.district_of(sector);
@@ -249,6 +252,7 @@ impl AnalysisPass for HoDensityPass {
             }
         }
     }
+    // telco-lint: deny-alloc(end)
 
     fn merge(&mut self, other: Self, _ctx: &SweepCtx) {
         for (mine, theirs) in self.per_district_hos.iter_mut().zip(other.per_district_hos) {

@@ -82,6 +82,7 @@ impl AnalysisPass for HoTypePass {
         self.counts[d][e.device_type(r).index()][r.ho_type().index()] += 1;
     }
 
+    // telco-lint: deny-alloc(begin)
     fn record_columns(&mut self, batch: &ColumnBatch, e: &Enriched) {
         let last = self.counts.len().saturating_sub(1);
         let rows = batch.timestamps().iter().zip(batch.ues()).zip(batch.target_rats());
@@ -92,6 +93,7 @@ impl AnalysisPass for HoTypePass {
             }
         }
     }
+    // telco-lint: deny-alloc(end)
 
     fn merge(&mut self, other: Self, _ctx: &SweepCtx) {
         for (day, theirs) in self.counts.iter_mut().zip(other.counts) {
@@ -212,7 +214,7 @@ fn radix_sort_u32(keys: &mut Vec<u32>) {
         for &k in keys.iter() {
             counts[(k >> shift) as usize & 0xff] += 1;
         }
-        if counts.iter().any(|&c| c == keys.len()) {
+        if counts.contains(&keys.len()) {
             continue;
         }
         let mut offsets = [0usize; 256];
@@ -239,14 +241,17 @@ impl AnalysisPass for DurationPass {
         }
     }
 
+    // telco-lint: deny-alloc(begin)
     fn record_columns(&mut self, batch: &ColumnBatch, _e: &Enriched) {
         let rows = batch.target_rats().iter().zip(batch.flags()).zip(batch.durations());
         for ((&rat, &flags), &duration) in rows {
             if flags & FLAG_FAILURE == 0 {
+                // telco-lint: allow(alloc): duration sample reservoir — percentile output needs every success sample, growth is amortized
                 self.per_type[HoType::from_target_rat(rat).index()].push(duration);
             }
         }
     }
+    // telco-lint: deny-alloc(end)
 
     fn merge(&mut self, other: Self, _ctx: &SweepCtx) {
         for (mine, theirs) in self.per_type.iter_mut().zip(other.per_type) {
@@ -312,6 +317,7 @@ impl AnalysisPass for DistrictPass {
         self.counts[d.0 as usize][r.ho_type().index()] += 1;
     }
 
+    // telco-lint: deny-alloc(begin)
     fn record_columns(&mut self, batch: &ColumnBatch, e: &Enriched) {
         for (&sector, &rat) in batch.source_sectors().iter().zip(batch.target_rats()) {
             let d = e.district_of(sector);
@@ -320,6 +326,7 @@ impl AnalysisPass for DistrictPass {
             }
         }
     }
+    // telco-lint: deny-alloc(end)
 
     fn merge(&mut self, other: Self, _ctx: &SweepCtx) {
         for (mine, theirs) in self.counts.iter_mut().zip(other.counts) {

@@ -89,12 +89,14 @@ impl AnalysisPass for HofPatternsPass {
         self.observe(r.timestamp_ms, r.source_sector.0, r.is_failure(), e);
     }
 
+    // telco-lint: deny-alloc(begin)
     fn record_columns(&mut self, batch: &ColumnBatch, e: &Enriched) {
         let rows = batch.timestamps().iter().zip(batch.source_sectors()).zip(batch.flags());
         for ((&ts, &sector), &flags) in rows {
             self.observe(ts, sector, flags & FLAG_FAILURE != 0, e);
         }
     }
+    // telco-lint: deny-alloc(end)
 
     fn merge(&mut self, other: Self, _ctx: &SweepCtx) {
         for (mine, theirs) in self.hofs.iter_mut().zip(other.hofs) {
@@ -326,6 +328,7 @@ impl AnalysisPass for CausePass {
         );
     }
 
+    // telco-lint: deny-alloc(begin)
     fn record_columns(&mut self, batch: &ColumnBatch, e: &Enriched) {
         let rows = batch
             .timestamps()
@@ -351,6 +354,7 @@ impl AnalysisPass for CausePass {
             );
         }
     }
+    // telco-lint: deny-alloc(end)
 
     fn merge(&mut self, other: Self, _ctx: &SweepCtx) {
         for (mine, theirs) in self.daily.iter_mut().zip(other.daily) {

@@ -131,11 +131,13 @@ impl AnalysisPass for ManufacturerPass {
         self.observe(r.ue.0, u64::from(r.is_failure()), e);
     }
 
+    // telco-lint: deny-alloc(begin)
     fn record_columns(&mut self, batch: &ColumnBatch, e: &Enriched) {
         for (&ue, &flags) in batch.ues().iter().zip(batch.flags()) {
             self.observe(ue, u64::from(flags & FLAG_FAILURE != 0), e);
         }
     }
+    // telco-lint: deny-alloc(end)
 
     fn merge(&mut self, other: Self, _ctx: &SweepCtx) {
         for (mine, theirs) in self.cells.iter_mut().zip(other.cells) {
@@ -180,8 +182,7 @@ impl AnalysisPass for ManufacturerPass {
             else {
                 continue;
             };
-            let tot_n_ues =
-                total_ues.get(district * N_DEVICES + device_type).copied().unwrap_or(0);
+            let tot_n_ues = total_ues.get(district * N_DEVICES + device_type).copied().unwrap_or(0);
             if tot_hos == 0 || tot_n_ues == 0 {
                 continue;
             }

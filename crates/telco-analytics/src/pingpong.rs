@@ -148,6 +148,7 @@ impl AnalysisPass for PingPongPass {
         self.observe(r.ue.0, r.timestamp_ms, r.source_sector.0, r.target_sector.0, e);
     }
 
+    // telco-lint: deny-alloc(begin)
     fn record_columns(&mut self, batch: &ColumnBatch, e: &Enriched) {
         let rows = batch
             .timestamps()
@@ -159,6 +160,7 @@ impl AnalysisPass for PingPongPass {
             self.observe(ue, ts, src, tgt, e);
         }
     }
+    // telco-lint: deny-alloc(end)
 
     fn merge(&mut self, other: Self, ctx: &SweepCtx) {
         self.total += other.total;

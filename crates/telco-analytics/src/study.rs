@@ -152,6 +152,7 @@ impl AnalysisPass for StudyPasses {
         }
     }
 
+    // telco-lint: deny-alloc(begin)
     fn record_columns(
         &mut self,
         batch: &telco_trace::columnar::ColumnBatch,
@@ -180,6 +181,7 @@ impl AnalysisPass for StudyPasses {
             period.record_columns(batch, e);
         }
     }
+    // telco-lint: deny-alloc(end)
 
     fn merge(&mut self, other: Self, ctx: &SweepCtx) {
         self.counts.merge(other.counts, ctx);

@@ -102,11 +102,13 @@ pub trait AnalysisPass {
     /// [`ColumnBatch::rows`] and loops [`AnalysisPass::record`];
     /// overrides must be record-for-record equivalent to that loop.
     #[inline]
+    // telco-lint: deny-alloc(begin)
     fn record_columns(&mut self, batch: &ColumnBatch, e: &Enriched) {
         for r in batch.rows() {
             self.record(&r, e);
         }
     }
+    // telco-lint: deny-alloc(end)
 
     /// Fold another instance of this pass into `self`. `other` saw a
     /// later, disjoint span of the trace (the driver merges in day
@@ -427,6 +429,7 @@ impl AnalysisPass for TraceCountsPass {
         self.counts.failures += u64::from(r.is_failure());
     }
 
+    // telco-lint: deny-alloc(begin)
     fn record_columns(&mut self, batch: &ColumnBatch, _e: &Enriched) {
         self.counts.records += batch.len() as u64;
         for &rat in batch.target_rats() {
@@ -436,6 +439,7 @@ impl AnalysisPass for TraceCountsPass {
             self.counts.failures += u64::from(flags & FLAG_FAILURE != 0);
         }
     }
+    // telco-lint: deny-alloc(end)
 
     fn merge(&mut self, other: Self, _ctx: &SweepCtx) {
         self.counts.records += other.counts.records;

@@ -186,11 +186,13 @@ impl AnalysisPass for TemporalPass {
         self.observe(r.timestamp_ms, r.source_sector.0, e);
     }
 
+    // telco-lint: deny-alloc(begin)
     fn record_columns(&mut self, batch: &ColumnBatch, e: &Enriched) {
         for (&ts, &sector) in batch.timestamps().iter().zip(batch.source_sectors()) {
             self.observe(ts, sector, e);
         }
     }
+    // telco-lint: deny-alloc(end)
 
     fn merge(&mut self, other: Self, _ctx: &SweepCtx) {
         for (mine, theirs) in self.ho_weeks.iter_mut().zip(other.ho_weeks) {

@@ -6,9 +6,9 @@ use serde::{Deserialize, Serialize};
 
 use telco_geo::district::Region;
 use telco_geo::postcode::AreaType;
+use telco_signaling::messages::HoType;
 use telco_sim::World;
 use telco_stats::boxplot::BoxplotStats;
-use telco_signaling::messages::HoType;
 use telco_topology::vendor::Vendor;
 use telco_trace::columnar::ColumnBatch;
 use telco_trace::record::HoRecord;
@@ -128,12 +128,14 @@ impl AnalysisPass for VendorPass {
         self.type_counts[r.ho_type().index()][e.vendor(r).index()] += 1;
     }
 
+    // telco-lint: deny-alloc(begin)
     fn record_columns(&mut self, batch: &ColumnBatch, e: &Enriched) {
         for (&sector, &rat) in batch.source_sectors().iter().zip(batch.target_rats()) {
             self.type_counts[HoType::from_target_rat(rat).index()][e.vendor_of(sector).index()] +=
                 1;
         }
     }
+    // telco-lint: deny-alloc(end)
 
     fn merge(&mut self, other: Self, _ctx: &SweepCtx) {
         for (mine, theirs) in self.type_counts.iter_mut().zip(other.type_counts) {

@@ -22,8 +22,8 @@ use telco_analytics::sweep::{AnalysisPass, SweepCtx, TraceCountsPass};
 use telco_analytics::timeseries::TemporalPass;
 use telco_analytics::vendor_analysis::VendorPass;
 use telco_devices::population::UeId;
-use telco_sim::{SimConfig, World};
 use telco_signaling::causes::CauseCode;
+use telco_sim::{SimConfig, World};
 use telco_topology::elements::SectorId;
 use telco_topology::rat::Rat;
 use telco_trace::columnar::ColumnBatch;

@@ -245,15 +245,15 @@ fn run_preset(
     };
     // The row-engine number this preset swept at before columnar
     // execution, so before/after lives in the same artifact.
-    let before_json = ROW_PATH_BASELINE
-        .iter()
-        .find(|(name, _)| *name == preset_name)
-        .map_or("null".to_string(), |(_, rps)| {
+    let before_json = ROW_PATH_BASELINE.iter().find(|(name, _)| *name == preset_name).map_or(
+        "null".to_string(),
+        |(_, rps)| {
             format!(
                 "{{\"records_per_sec\": {rps}, \"speedup_now\": {:.2}}}",
                 matrix[0].2.records as f64 / matrix[0].2.secs / *rps as f64
             )
-        });
+        },
+    );
     format!(
         "    {{\n      \"preset\": \"{preset_name}\",\n      \"records\": {records},\n      \
          \"payload_bytes\": {bytes},\n      \

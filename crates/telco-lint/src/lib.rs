@@ -38,7 +38,7 @@ pub mod report;
 pub mod rules;
 pub mod scan;
 
-pub use report::Diagnostic;
+pub use report::{Diagnostic, Waiver};
 pub use rules::catalog::CatalogPaths;
 
 use std::fs;
@@ -84,9 +84,24 @@ struct Scanned {
     in_src: bool,
 }
 
+/// The full lint result: findings plus the waiver inventory.
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// Findings sorted by (path, line, rule).
+    pub findings: Vec<Diagnostic>,
+    /// Every recorded suppression, sorted by (path, line, rule).
+    pub waivers: Vec<Waiver>,
+}
+
 /// Lint the tree under `cfg.root`; returns diagnostics sorted by
-/// (path, line, rule).
+/// (path, line, rule). See [`run_lint_full`] for the waiver inventory.
 pub fn run_lint(cfg: &LintConfig) -> io::Result<Vec<Diagnostic>> {
+    run_lint_full(cfg).map(|r| r.findings)
+}
+
+/// Lint the tree under `cfg.root`, returning findings and the complete
+/// waiver inventory.
+pub fn run_lint_full(cfg: &LintConfig) -> io::Result<LintReport> {
     let mut scanned: Vec<Scanned> = Vec::new();
 
     let crates_dir = cfg.root.join("crates");
@@ -129,6 +144,14 @@ pub fn run_lint(cfg: &LintConfig) -> io::Result<Vec<Diagnostic>> {
         if s.in_src && !print_allowed {
             rules::no_print::check(&s.file, &s.markers, &mut diags);
         }
+        // Concurrency claims live in library code; tests may use any
+        // ordering or queue shape that gets the scenario built.
+        if s.in_src {
+            rules::concurrency::check(&s.file, &s.markers, &mut diags);
+        }
+        // Alloc/error discipline scope themselves via markers.
+        rules::alloc::check(&s.file, &s.markers, &mut diags);
+        rules::errors::check(&s.file, &s.markers, &mut diags);
     }
 
     if let Some(catalog) = &cfg.catalog {
@@ -136,8 +159,21 @@ pub fn run_lint(cfg: &LintConfig) -> io::Result<Vec<Diagnostic>> {
         rules::catalog::check(&sources, catalog, &mut diags);
     }
 
+    let mut waivers: Vec<Waiver> = scanned
+        .iter()
+        .flat_map(|s| {
+            s.markers.waivers.iter().map(|w| Waiver {
+                rule: w.rule,
+                path: s.file.rel_path.clone(),
+                line: w.line,
+                justification: w.justification.clone(),
+            })
+        })
+        .collect();
+
     report::sort(&mut diags);
-    Ok(diags)
+    report::sort_waivers(&mut waivers);
+    Ok(LintReport { findings: diags, waivers })
 }
 
 /// Recursively gather `.rs` files under `dir` (sorted for deterministic

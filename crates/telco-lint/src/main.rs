@@ -12,7 +12,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use telco_lint::{report, run_lint, LintConfig};
+use telco_lint::{report, run_lint_full, LintConfig};
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -47,17 +47,21 @@ fn main() -> ExitCode {
         },
     };
 
-    let diags = match run_lint(&LintConfig::workspace(&root)) {
-        Ok(d) => d,
+    let lint = match run_lint_full(&LintConfig::workspace(&root)) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("telco-lint: io error while scanning {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
+    let diags = lint.findings;
 
     print!("{}", report::render_text(&diags));
+    if !lint.waivers.is_empty() {
+        println!("telco-lint: {} waiver(s) recorded (see --json inventory)", lint.waivers.len());
+    }
     if let Some(path) = json {
-        if let Err(e) = std::fs::write(&path, report::render_json(&diags)) {
+        if let Err(e) = std::fs::write(&path, report::render_json(&diags, &lint.waivers)) {
             eprintln!("telco-lint: cannot write {}: {e}", path.display());
             return ExitCode::from(2);
         }

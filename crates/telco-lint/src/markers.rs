@@ -12,15 +12,35 @@
 //! - `deny-nondeterminism(begin)` / `deny-nondeterminism(end)` — opt a
 //!   region in (used for accumulator-merge code whose surrounding file
 //!   is otherwise free to iterate hash maps);
+//! - `audited-atomics(begin): <reasoning>` / `audited-atomics(end)` —
+//!   declare a region whose atomic `Ordering` choices were audited as a
+//!   unit; the reasoning is **required** on `begin` and lands in the
+//!   waiver inventory. Inside the region the concurrency rule accepts
+//!   orderings without per-use notes;
+//! - `deny-alloc` / `deny-alloc(begin)` / `deny-alloc(end)` — opt the
+//!   file or a region into the allocation-discipline rule (hot loops
+//!   that must not allocate per element);
+//! - `deny-swallowed-errors` and its `(begin)`/`(end)` region form —
+//!   opt into the error-discipline rule (no `let _ =` / bare `.ok()`
+//!   discarding a `Result`);
 //! - `allow(<what>): <justification>` — waive one rule occurrence, where
-//!   `<what>` is one of `panic`, `index`, `nondet`, `print`, `unsafe`.
-//!   The justification is **required**: an allow without a reason is
-//!   itself a lint finding. A trailing marker waives its own line; a
-//!   marker on its own line waives the next code line.
+//!   `<what>` is one of `panic`, `index`, `nondet`, `print`, `unsafe`,
+//!   `concurrency`, `alloc`, `error`. The justification is **required**:
+//!   an allow without a reason is itself a lint finding. A trailing
+//!   marker waives its own line; a marker on its own line waives the
+//!   next code line.
+//!
+//! Separately from the marker-prefix grammar, a `// ordering: <why>` comment
+//! justifies the atomic `Ordering` use on its line (or, standalone, the
+//! next code line) to the concurrency rule. The why-text is required.
 //!
 //! Markers must appear in comments. The scanner's byte classification
 //! distinguishes a real marker comment from a string literal that merely
 //! contains the marker text, so the linter can lint its own fixtures.
+//!
+//! Every suppression — `allow(...)`, `// ordering:` note, or
+//! `audited-atomics` region — is recorded as a [`WaiverRecord`] so the
+//! `--json` report can publish a complete waiver inventory.
 
 use crate::report::Diagnostic;
 use crate::scan::{find_from, SourceFile};
@@ -41,6 +61,13 @@ pub enum AllowWhat {
     Print,
     /// Presence of `unsafe` (or absence of the crate-root forbid).
     Unsafe,
+    /// A concurrency finding (unjustified ordering, unbounded channel,
+    /// guard held across a subprocess wait).
+    Concurrency,
+    /// An allocation-discipline finding inside a `deny-alloc` scope.
+    Alloc,
+    /// An error-discipline finding (`let _ =` / bare `.ok()`).
+    ErrorDiscipline,
 }
 
 impl AllowWhat {
@@ -51,9 +78,36 @@ impl AllowWhat {
             "nondet" => Some(AllowWhat::Nondet),
             "print" => Some(AllowWhat::Print),
             "unsafe" => Some(AllowWhat::Unsafe),
+            "concurrency" => Some(AllowWhat::Concurrency),
+            "alloc" => Some(AllowWhat::Alloc),
+            "error" => Some(AllowWhat::ErrorDiscipline),
             _ => None,
         }
     }
+
+    /// The rule name this waiver target maps to in the inventory.
+    fn rule(self) -> &'static str {
+        match self {
+            AllowWhat::Panic | AllowWhat::Index => "panic-free",
+            AllowWhat::Nondet => "determinism",
+            AllowWhat::Print => "no-print",
+            AllowWhat::Unsafe => "unsafe-forbid",
+            AllowWhat::Concurrency => "concurrency",
+            AllowWhat::Alloc => "alloc-discipline",
+            AllowWhat::ErrorDiscipline => "error-discipline",
+        }
+    }
+}
+
+/// One recorded suppression, for the `--json` waiver inventory.
+#[derive(Debug, Clone)]
+pub struct WaiverRecord {
+    /// Rule the suppression applies to.
+    pub rule: &'static str,
+    /// 1-based line the suppression is anchored at.
+    pub line: usize,
+    /// The human-written reason. Grammar guarantees it is non-empty.
+    pub justification: String,
 }
 
 /// The marker state of one file, resolved to per-line rule scopes.
@@ -67,6 +121,21 @@ pub struct FileMarkers {
     deny_nondet_lines: Vec<bool>,
     /// Resolved `(line, what)` waivers.
     allows: Vec<(usize, AllowWhat)>,
+    /// `audited_atomics[l]` is true iff 1-based line `l+1` sits inside
+    /// an `audited-atomics(begin)`/`(end)` region.
+    audited_atomics: Vec<bool>,
+    /// File carries a file-level `deny-alloc` marker.
+    pub deny_alloc: bool,
+    /// Per-line `deny-alloc(begin)`/`(end)` region membership.
+    deny_alloc_lines: Vec<bool>,
+    /// File carries a file-level `deny-swallowed-errors` marker.
+    pub deny_errors: bool,
+    /// Per-line `deny-swallowed-errors(begin)`/`(end)` region membership.
+    deny_errors_lines: Vec<bool>,
+    /// Resolved `(line, why)` `// ordering:` justification notes.
+    ordering_notes: Vec<(usize, String)>,
+    /// Every suppression in the file, for the waiver inventory.
+    pub waivers: Vec<WaiverRecord>,
     /// Grammar errors found while parsing markers.
     pub diags: Vec<Diagnostic>,
 }
@@ -105,6 +174,27 @@ impl FileMarkers {
     pub fn allowed_anywhere(&self, what: AllowWhat) -> bool {
         self.allows.iter().any(|&(_, w)| w == what)
     }
+
+    /// True iff 1-based `line` sits in an `audited-atomics` region.
+    pub fn atomics_audited(&self, line: usize) -> bool {
+        self.audited_atomics.get(line.wrapping_sub(1)).copied().unwrap_or(false)
+    }
+
+    /// True iff 1-based `line` is in an allocation-discipline scope.
+    pub fn alloc_scope(&self, line: usize) -> bool {
+        self.deny_alloc || self.deny_alloc_lines.get(line.wrapping_sub(1)).copied().unwrap_or(false)
+    }
+
+    /// True iff 1-based `line` is in an error-discipline scope.
+    pub fn errors_scope(&self, line: usize) -> bool {
+        self.deny_errors
+            || self.deny_errors_lines.get(line.wrapping_sub(1)).copied().unwrap_or(false)
+    }
+
+    /// The `// ordering:` justification anchored at `line`, if any.
+    pub fn ordering_note(&self, line: usize) -> Option<&str> {
+        self.ordering_notes.iter().find(|(l, _)| *l == line).map(|(_, why)| why.as_str())
+    }
 }
 
 /// Parse all markers in `file` and resolve their scopes.
@@ -114,9 +204,19 @@ pub fn analyze(file: &SourceFile) -> FileMarkers {
     let mut deny_nondet = false;
     let mut deny_nondet_lines = vec![false; n_lines];
     let mut allows: Vec<(usize, AllowWhat)> = Vec::new();
+    let mut audited_atomics = vec![false; n_lines];
+    let mut deny_alloc = false;
+    let mut deny_alloc_lines = vec![false; n_lines];
+    let mut deny_errors = false;
+    let mut deny_errors_lines = vec![false; n_lines];
+    let mut ordering_notes: Vec<(usize, String)> = Vec::new();
+    let mut waivers: Vec<WaiverRecord> = Vec::new();
     let mut diags: Vec<Diagnostic> = Vec::new();
     let mut regions: Vec<usize> = Vec::new(); // open `deny-panic(begin)` lines
     let mut nondet_regions: Vec<usize> = Vec::new(); // open `deny-nondeterminism(begin)` lines
+    let mut audited_regions: Vec<usize> = Vec::new(); // open `audited-atomics(begin)` lines
+    let mut alloc_regions: Vec<usize> = Vec::new(); // open `deny-alloc(begin)` lines
+    let mut error_regions: Vec<usize> = Vec::new(); // open `deny-swallowed-errors(begin)` lines
     let mut file_level_panic = false;
 
     let mut from = 0usize;
@@ -163,6 +263,52 @@ pub fn analyze(file: &SourceFile) -> FileMarkers {
                 }
                 None => bad("deny-nondeterminism(end) without a matching begin".to_string()),
             },
+            "deny-alloc" => deny_alloc = true,
+            "deny-alloc(begin)" => alloc_regions.push(line),
+            "deny-alloc(end)" => match alloc_regions.pop() {
+                Some(begin) => {
+                    for slot in deny_alloc_lines.iter_mut().take(line).skip(begin.saturating_sub(1))
+                    {
+                        *slot = true;
+                    }
+                }
+                None => bad("deny-alloc(end) without a matching begin".to_string()),
+            },
+            "deny-swallowed-errors" => deny_errors = true,
+            "deny-swallowed-errors(begin)" => error_regions.push(line),
+            "deny-swallowed-errors(end)" => match error_regions.pop() {
+                Some(begin) => {
+                    for slot in
+                        deny_errors_lines.iter_mut().take(line).skip(begin.saturating_sub(1))
+                    {
+                        *slot = true;
+                    }
+                }
+                None => bad("deny-swallowed-errors(end) without a matching begin".to_string()),
+            },
+            "audited-atomics(end)" => match audited_regions.pop() {
+                Some(begin) => {
+                    for slot in audited_atomics.iter_mut().take(line).skip(begin.saturating_sub(1))
+                    {
+                        *slot = true;
+                    }
+                }
+                None => bad("audited-atomics(end) without a matching begin".to_string()),
+            },
+            d if d.starts_with("audited-atomics(begin)") => {
+                let rest = d["audited-atomics(begin)".len()..].trim();
+                let reasoning = rest.strip_prefix(':').map(str::trim).unwrap_or("");
+                if reasoning.is_empty() {
+                    bad("audited-atomics(begin) requires its reasoning: `audited-atomics(begin): <why>`".to_string());
+                    continue;
+                }
+                audited_regions.push(line);
+                waivers.push(WaiverRecord {
+                    rule: "concurrency",
+                    line,
+                    justification: reasoning.to_string(),
+                });
+            }
             d if d.starts_with("allow(") => {
                 let Some(close) = d.find(')') else {
                     bad("malformed allow marker: missing `)`".to_string());
@@ -183,7 +329,13 @@ pub fn analyze(file: &SourceFile) -> FileMarkers {
                     ));
                     continue;
                 }
-                allows.push((resolve_target(file, line), what));
+                let target = resolve_target(file, line);
+                allows.push((target, what));
+                waivers.push(WaiverRecord {
+                    rule: what.rule(),
+                    line: target,
+                    justification: justification.to_string(),
+                });
             }
             other => bad(format!("unknown directive `{other}`")),
         }
@@ -214,11 +366,86 @@ pub fn analyze(file: &SourceFile) -> FileMarkers {
             *slot = true;
         }
     }
+    for (stack, what) in [
+        (audited_regions, "audited-atomics"),
+        (alloc_regions, "deny-alloc"),
+        (error_regions, "deny-swallowed-errors"),
+    ] {
+        for begin in stack {
+            diags.push(Diagnostic {
+                rule: "marker",
+                path: file.rel_path.clone(),
+                line: begin,
+                message: format!("{what}(begin) without a matching end (scope runs to EOF)"),
+                snippet: file.raw_line(begin).trim().to_string(),
+            });
+            let lines = match what {
+                "audited-atomics" => &mut audited_atomics,
+                "deny-alloc" => &mut deny_alloc_lines,
+                _ => &mut deny_errors_lines,
+            };
+            for slot in lines.iter_mut().skip(begin.saturating_sub(1)) {
+                *slot = true;
+            }
+        }
+    }
     if file_level_panic {
         deny_panic.iter_mut().for_each(|slot| *slot = true);
     }
 
-    FileMarkers { deny_panic, deny_nondet, deny_nondet_lines, allows, diags }
+    // `// ordering: <why>` justification notes live outside the marker
+    // grammar: they annotate one atomic-ordering use for the concurrency
+    // rule and feed the waiver inventory.
+    const ORDERING_PREFIX: &str = "// ordering:";
+    let mut from = 0usize;
+    while let Some(pos) = find_from(&file.raw, ORDERING_PREFIX, from) {
+        from = pos + ORDERING_PREFIX.len();
+        if !file.is_comment_range(pos, pos + ORDERING_PREFIX.len()) {
+            continue; // inside a string literal
+        }
+        // The `//` must *start* the comment: if the preceding byte is
+        // already comment text, this is doc prose quoting the grammar
+        // (`/// ordering:` or a backticked example), not a note.
+        if pos > 0 && file.is_comment_range(pos - 1, pos) {
+            continue;
+        }
+        let line = file.line_of(pos);
+        let text = file.raw_line(line);
+        let Some(col) = text.find(ORDERING_PREFIX) else { continue };
+        let why = text[col + ORDERING_PREFIX.len()..].trim();
+        if why.is_empty() {
+            diags.push(Diagnostic {
+                rule: "marker",
+                path: file.rel_path.clone(),
+                line,
+                message: "ordering note requires a justification: `// ordering: <why>`".to_string(),
+                snippet: text.trim().to_string(),
+            });
+            continue;
+        }
+        let target = resolve_target(file, line);
+        ordering_notes.push((target, why.to_string()));
+        waivers.push(WaiverRecord {
+            rule: "concurrency",
+            line: target,
+            justification: why.to_string(),
+        });
+    }
+
+    FileMarkers {
+        deny_panic,
+        deny_nondet,
+        deny_nondet_lines,
+        allows,
+        audited_atomics,
+        deny_alloc,
+        deny_alloc_lines,
+        deny_errors,
+        deny_errors_lines,
+        ordering_notes,
+        waivers,
+        diags,
+    }
 }
 
 /// An allow marker trailing code waives its own line; a marker on a line
@@ -339,5 +566,98 @@ mod tests {
         assert_eq!(m.diags.len(), 1);
         assert!(m.diags[0].message.contains("without a matching begin"));
         assert!(!m.has_nondet_region());
+    }
+
+    #[test]
+    fn audited_atomics_region_requires_reasoning_and_records_waiver() {
+        let src = "fn a() {}\n// telco-lint: audited-atomics(begin): single-location RMW is totally ordered\nfn b() {}\n// telco-lint: audited-atomics(end)\nfn c() {}\n";
+        let m = markers(src);
+        assert!(!m.atomics_audited(1));
+        assert!(m.atomics_audited(3));
+        assert!(!m.atomics_audited(5));
+        assert!(m.diags.is_empty());
+        assert_eq!(m.waivers.len(), 1);
+        assert_eq!(m.waivers[0].rule, "concurrency");
+        assert_eq!(m.waivers[0].line, 2);
+        assert!(m.waivers[0].justification.contains("totally ordered"));
+    }
+
+    #[test]
+    fn audited_atomics_begin_without_reasoning_is_a_finding() {
+        let m = markers("// telco-lint: audited-atomics(begin)\nfn a() {}\n");
+        assert_eq!(m.diags.len(), 1);
+        assert!(m.diags[0].message.contains("reasoning"));
+        assert!(!m.atomics_audited(2));
+        assert!(m.waivers.is_empty());
+    }
+
+    #[test]
+    fn alloc_and_error_scopes_file_and_region_forms() {
+        let m = markers("// telco-lint: deny-alloc\nfn a() {}\n");
+        assert!(m.alloc_scope(2));
+        let src = "fn a() {}\n// telco-lint: deny-swallowed-errors(begin)\nfn b() {}\n// telco-lint: deny-swallowed-errors(end)\nfn c() {}\n";
+        let m = markers(src);
+        assert!(!m.errors_scope(1));
+        assert!(m.errors_scope(3));
+        assert!(!m.errors_scope(5));
+        assert!(m.diags.is_empty());
+    }
+
+    #[test]
+    fn unmatched_alloc_begin_reported_and_runs_to_eof() {
+        let m = markers("// telco-lint: deny-alloc(begin)\nfn b() {}\n");
+        assert_eq!(m.diags.len(), 1);
+        assert!(m.diags[0].message.contains("deny-alloc(begin)"));
+        assert!(m.alloc_scope(2));
+    }
+
+    #[test]
+    fn ordering_note_trailing_and_standalone() {
+        let src = "end.store(1, Ordering::Release); // ordering: publishes the frame count\n// ordering: pairs with the Release store above\nlet n = end.load(Ordering::Acquire);\n";
+        let m = markers(src);
+        assert_eq!(m.ordering_note(1), Some("publishes the frame count"));
+        assert_eq!(m.ordering_note(3), Some("pairs with the Release store above"));
+        assert!(m.diags.is_empty());
+        assert_eq!(m.waivers.len(), 2);
+        assert!(m.waivers.iter().all(|w| w.rule == "concurrency"));
+    }
+
+    #[test]
+    fn ordering_note_without_why_is_a_finding() {
+        let m = markers("x.load(Ordering::Relaxed); // ordering:\n");
+        assert_eq!(m.diags.len(), 1);
+        assert!(m.diags[0].message.contains("justification"));
+        assert!(m.ordering_note(1).is_none());
+    }
+
+    #[test]
+    fn ordering_text_in_string_or_doc_comment_is_ignored() {
+        let m = markers("let s = \"// ordering: fake\";\n/// ordering: doc text\nfn a() {}\n");
+        assert!(m.ordering_notes.is_empty());
+        assert!(m.diags.is_empty());
+    }
+
+    #[test]
+    fn ordering_grammar_quoted_mid_comment_is_not_a_note() {
+        // Doc prose that *quotes* the note grammar must not register a
+        // waiver: the match does not start its comment.
+        let src = "//! Uses may carry a `// ordering: <why>` note instead.\nfn a() {}\n";
+        let m = markers(src);
+        assert!(m.ordering_notes.is_empty());
+        assert!(m.waivers.is_empty());
+        assert!(m.diags.is_empty());
+    }
+
+    #[test]
+    fn new_allow_targets_parse_and_feed_inventory() {
+        let src = "let v = x.clone(); // telco-lint: allow(alloc): cold path, once per shard\nlet _ = tx.send(m); // telco-lint: allow(error): receiver gone means shutdown\nq.load(Ordering::SeqCst); // telco-lint: allow(concurrency): audited in DESIGN \u{a7}12\n";
+        let m = markers(src);
+        assert!(m.allowed(1, AllowWhat::Alloc));
+        assert!(m.allowed(2, AllowWhat::ErrorDiscipline));
+        assert!(m.allowed(3, AllowWhat::Concurrency));
+        assert!(m.diags.is_empty());
+        let rules: Vec<&str> = m.waivers.iter().map(|w| w.rule).collect();
+        assert_eq!(rules, ["alloc-discipline", "error-discipline", "concurrency"]);
+        assert!(m.waivers.iter().all(|w| !w.justification.is_empty()));
     }
 }

@@ -19,6 +19,23 @@ pub struct Diagnostic {
     pub snippet: String,
 }
 
+/// One recorded suppression: a rule occurrence someone deliberately
+/// waived (`allow(...)`), justified (`// ordering:`), or audited
+/// (`audited-atomics` region), with the written reason. The `--json`
+/// report publishes the full inventory so reviewers and CI can see
+/// every hole in the static guarantees in one place.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// Rule the suppression applies to.
+    pub rule: &'static str,
+    /// Path relative to the lint root, forward slashes.
+    pub path: String,
+    /// 1-based line the suppression is anchored at.
+    pub line: usize,
+    /// The human-written reason (grammar rejects empty ones).
+    pub justification: String,
+}
+
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.message)?;
@@ -52,13 +69,26 @@ pub fn render_text(diags: &[Diagnostic]) -> String {
     out
 }
 
+/// Order waivers deterministically: by path, then line, then rule.
+pub fn sort_waivers(waivers: &mut [Waiver]) {
+    waivers.sort_by(|a, b| {
+        (&a.path, a.line, a.rule, &a.justification).cmp(&(
+            &b.path,
+            b.line,
+            b.rule,
+            &b.justification,
+        ))
+    });
+}
+
 /// Render the machine-readable JSON report: an object with a `findings`
-/// array, each finding carrying rule/path/line/message/snippet.
+/// array (rule/path/line/message/snippet per finding) and a `waivers`
+/// inventory (rule/path/line/justification per suppression).
 ///
-/// Serialised by hand — the report shape is four scalar fields, and
-/// keeping the linter dependency-free means a broken vendored serde can
-/// never take the CI gate down with it.
-pub fn render_json(diags: &[Diagnostic]) -> String {
+/// Serialised by hand — the report shape is a handful of scalar fields,
+/// and keeping the linter dependency-free means a broken vendored serde
+/// can never take the CI gate down with it.
+pub fn render_json(diags: &[Diagnostic], waivers: &[Waiver]) -> String {
     let mut out = String::from("{\n  \"findings\": [");
     for (i, d) in diags.iter().enumerate() {
         if i > 0 {
@@ -76,7 +106,23 @@ pub fn render_json(diags: &[Diagnostic]) -> String {
     if !diags.is_empty() {
         out.push_str("\n  ");
     }
-    out.push_str(&format!("],\n  \"count\": {}\n}}\n", diags.len()));
+    out.push_str(&format!("],\n  \"count\": {},\n  \"waivers\": [", diags.len()));
+    for (i, w) in waivers.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"justification\": {}}}",
+            json_string(w.rule),
+            json_string(&w.path),
+            w.line,
+            json_string(&w.justification),
+        ));
+    }
+    if !waivers.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!("],\n  \"waiver_count\": {}\n}}\n", waivers.len()));
     out
 }
 
@@ -124,14 +170,45 @@ mod tests {
 
     #[test]
     fn json_escapes_quotes() {
-        let json = render_json(&[diag("a.rs", 1)]);
+        let json = render_json(&[diag("a.rs", 1)], &[]);
         assert!(json.contains("\"message\": \"m \\\"q\\\"\""));
         assert!(json.contains("\"count\": 1"));
+        assert!(json.contains("\"waiver_count\": 0"));
     }
 
     #[test]
     fn empty_report_is_clean() {
         assert!(render_text(&[]).contains("clean"));
-        assert!(render_json(&[]).contains("\"count\": 0"));
+        assert!(render_json(&[], &[]).contains("\"count\": 0"));
+    }
+
+    #[test]
+    fn waiver_inventory_rendered() {
+        let w = Waiver {
+            rule: "concurrency",
+            path: "crates/x/src/lib.rs".to_string(),
+            line: 7,
+            justification: "single-location RMW".to_string(),
+        };
+        let json = render_json(&[], &[w]);
+        assert!(json.contains("\"waivers\": ["));
+        assert!(json.contains("\"justification\": \"single-location RMW\""));
+        assert!(json.contains("\"waiver_count\": 1"));
+    }
+
+    #[test]
+    fn waiver_sort_is_path_then_line() {
+        let w = |p: &str, l: usize| Waiver {
+            rule: "concurrency",
+            path: p.to_string(),
+            line: l,
+            justification: "j".to_string(),
+        };
+        let mut ws = vec![w("b.rs", 1), w("a.rs", 9), w("a.rs", 2)];
+        sort_waivers(&mut ws);
+        assert_eq!(
+            ws.iter().map(|w| (w.path.as_str(), w.line)).collect::<Vec<_>>(),
+            vec![("a.rs", 2), ("a.rs", 9), ("b.rs", 1)]
+        );
     }
 }

@@ -1,0 +1,107 @@
+//! Allocation-discipline rule pack.
+//!
+//! The zero-alloc contract (DESIGN §10) says the per-element hot loops —
+//! column scans in telco-analytics, the v3 columnar decode path, and
+//! `simulate_ue_day` — must not allocate: scratch is borrowed, buffers
+//! are recycled. One counting-allocator test pins that for one loop on
+//! one code path; this rule makes it a static guarantee everywhere a
+//! loop opts in with `deny-alloc` / `deny-alloc(begin)/(end)` markers.
+//!
+//! Inside an alloc-discipline scope the rule flags the allocating
+//! surface syntax: `.push(`, `.collect`, `format!`, `.to_string(`,
+//! `.to_vec(`, `.clone(`, `Box::new`, and `vec!`. `#[cfg(test)]` lines
+//! are exempt, and a deliberate cold-path allocation (growing a reused
+//! buffer once, an error path) carries an `allow(alloc)` waiver.
+//!
+//! Lexical honesty: `.clone()` on an `Arc` or a `Copy` type does not
+//! allocate, and `.push(` onto a pre-reserved `Vec` only allocates when
+//! it grows. The rule still flags them — inside a declared zero-alloc
+//! region, "cheap today" clones are exactly how allocations creep back
+//! in, and the waiver line documents the reasoning when one is kept.
+
+use crate::markers::{AllowWhat, FileMarkers};
+use crate::report::Diagnostic;
+use crate::rules::word_hits;
+use crate::scan::SourceFile;
+
+/// Surface syntax that allocates (or is one resize away from it).
+const ALLOC_PATTERNS: [&str; 8] =
+    [".push(", ".collect", "format!", ".to_string(", ".to_vec(", ".clone(", "Box::new", "vec!"];
+
+/// Run the rule over one file; only `deny-alloc` scopes are checked.
+pub fn check(file: &SourceFile, markers: &FileMarkers, out: &mut Vec<Diagnostic>) {
+    if !markers.deny_alloc && !(1..=file.line_count()).any(|l| markers.alloc_scope(l)) {
+        return;
+    }
+    for pat in ALLOC_PATTERNS {
+        for pos in word_hits(&file.masked, pat) {
+            let line = file.line_of(pos);
+            if !markers.alloc_scope(line)
+                || file.is_test_line(line)
+                || markers.allowed(line, AllowWhat::Alloc)
+            {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: "alloc-discipline",
+                path: file.rel_path.clone(),
+                line,
+                message: format!(
+                    "`{pat}` inside a deny-alloc region — hot loops borrow scratch and recycle buffers; move the allocation out or waive with allow(alloc)"
+                ),
+                snippet: file.raw_line(line).trim().to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::markers;
+    use std::path::Path;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::parse(Path::new("t.rs"), src.to_string());
+        let m = markers::analyze(&file);
+        let mut out = Vec::new();
+        check(&file, &m, &mut out);
+        out
+    }
+
+    #[test]
+    fn allocs_in_region_flagged() {
+        let src = "pub fn f(v: &mut Vec<u8>, s: &str) {\n    // telco-lint: deny-alloc(begin)\n    v.push(1);\n    let t = s.to_string();\n    let b = Box::new(2u8);\n    // telco-lint: deny-alloc(end)\n    let outside = s.to_string();\n}\n";
+        let d = lint(src);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.iter().map(|d| d.line).collect::<Vec<_>>(), [3, 4, 5]);
+        assert!(d.iter().all(|d| d.rule == "alloc-discipline"));
+    }
+
+    #[test]
+    fn file_level_marker_covers_whole_file() {
+        let src =
+            "// telco-lint: deny-alloc\npub fn f(s: &str) -> String {\n    format!(\"{s}\")\n}\n";
+        let d = lint(src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn no_marker_means_no_findings() {
+        assert!(lint("pub fn f(v: &mut Vec<u8>) { v.push(1); }\n").is_empty());
+    }
+
+    #[test]
+    fn waiver_and_test_lines_exempt() {
+        let src = "// telco-lint: deny-alloc\npub fn f(v: &mut Vec<u8>) {\n    v.push(1); // telco-lint: allow(alloc): reserved in the constructor, never grows\n}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let _ = vec![1, 2]; }\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn collect_and_clone_and_vec_macro_flagged() {
+        let src = "// telco-lint: deny-alloc\npub fn f(xs: &[u8]) {\n    let v: Vec<u8> = xs.iter().copied().collect();\n    let w = v.clone();\n    let z = vec![0u8; 4];\n}\n";
+        let d = lint(src);
+        assert_eq!(d.iter().map(|d| d.line).collect::<Vec<_>>(), [3, 4, 5]);
+    }
+}

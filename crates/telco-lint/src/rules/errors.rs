@@ -1,0 +1,148 @@
+//! Error-discipline rule pack.
+//!
+//! The orchestrator's resume protocol is evidence-based: a shard is
+//! "done" iff its result row exists and its CRC verifies. That chain of
+//! evidence breaks silently if an IO error on the write path is
+//! discarded — the run looks complete, the row is missing, and the
+//! resume pass re-schedules nothing. In `deny-swallowed-errors` scopes
+//! (telco-trace IO and the `ShardStore` paths) the rule flags the two
+//! discard idioms:
+//!
+//! - `let _ = expr;` — binds away a `#[must_use]` result;
+//! - a statement-position `.ok();` — converts the `Result` to an
+//!   `Option` and drops it.
+//!
+//! Lexically we cannot see types, so `let _ =` fires on any expression
+//! in scope, not just `Result`s — in an opted-in IO path, discarding
+//! *anything* unnamed deserves at least a waiver line saying why
+//! (`allow(error): <why>`). `.ok()` in value position (`.ok()?`,
+//! passed as an argument, chained) is untouched. `#[cfg(test)]` lines
+//! are exempt.
+
+use crate::markers::{AllowWhat, FileMarkers};
+use crate::report::Diagnostic;
+use crate::rules::word_hits;
+use crate::scan::SourceFile;
+
+/// Run the rule over one file; only `deny-swallowed-errors` scopes are
+/// checked.
+pub fn check(file: &SourceFile, markers: &FileMarkers, out: &mut Vec<Diagnostic>) {
+    if !markers.deny_errors && !(1..=file.line_count()).any(|l| markers.errors_scope(l)) {
+        return;
+    }
+    let bytes = file.masked.as_bytes();
+
+    for pos in word_hits(&file.masked, "let _") {
+        // `let _ =` exactly: `let _x` is a named (greppable) discard.
+        let mut after = pos + "let _".len();
+        if bytes.get(after).copied().is_some_and(crate::scan::is_ident_byte) {
+            continue;
+        }
+        while bytes.get(after).is_some_and(|b| b.is_ascii_whitespace()) {
+            after += 1;
+        }
+        if bytes.get(after) != Some(&b'=') {
+            continue;
+        }
+        push_if_in_scope(
+            file,
+            markers,
+            pos,
+            "`let _ =` discards a Result — handle it, propagate it, or waive with allow(error)",
+            out,
+        );
+    }
+
+    let mut from = 0usize;
+    while let Some(pos) = crate::rules::find_word(&file.masked, ".ok()", from) {
+        from = pos + ".ok()".len();
+        // Statement position only: the next non-space byte ends the
+        // statement. `.ok()?`, `.ok().map(..)`, `if x.ok() ..` pass.
+        let mut after = pos + ".ok()".len();
+        while bytes.get(after).is_some_and(|b| b.is_ascii_whitespace()) {
+            after += 1;
+        }
+        if bytes.get(after) != Some(&b';') {
+            continue;
+        }
+        push_if_in_scope(
+            file,
+            markers,
+            pos,
+            "bare `.ok();` swallows an error — handle it, propagate it, or waive with allow(error)",
+            out,
+        );
+    }
+}
+
+fn push_if_in_scope(
+    file: &SourceFile,
+    markers: &FileMarkers,
+    pos: usize,
+    message: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    let line = file.line_of(pos);
+    if !markers.errors_scope(line)
+        || file.is_test_line(line)
+        || markers.allowed(line, AllowWhat::ErrorDiscipline)
+    {
+        return;
+    }
+    out.push(Diagnostic {
+        rule: "error-discipline",
+        path: file.rel_path.clone(),
+        line,
+        message: message.to_string(),
+        snippet: file.raw_line(line).trim().to_string(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::markers;
+    use std::path::Path;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::parse(Path::new("t.rs"), src.to_string());
+        let m = markers::analyze(&file);
+        let mut out = Vec::new();
+        check(&file, &m, &mut out);
+        out
+    }
+
+    #[test]
+    fn let_underscore_and_bare_ok_flagged() {
+        let src = "// telco-lint: deny-swallowed-errors\npub fn f(w: &mut dyn std::io::Write) {\n    let _ = w.flush();\n    w.flush().ok();\n}\n";
+        let d = lint(src);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.iter().map(|d| d.line).collect::<Vec<_>>(), [3, 4]);
+        assert!(d.iter().all(|d| d.rule == "error-discipline"));
+    }
+
+    #[test]
+    fn value_position_ok_and_named_discard_clean() {
+        let src = "// telco-lint: deny-swallowed-errors\npub fn f(s: &str) -> Option<u32> {\n    let _keep = s.len();\n    let n = s.parse::<u32>().ok()?;\n    s.parse::<u32>().ok().map(|x| x + n)\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn region_form_scopes_the_rule() {
+        let src = "pub fn f(w: &mut dyn std::io::Write) {\n    let _ = w.flush();\n    // telco-lint: deny-swallowed-errors(begin)\n    let _ = w.flush();\n    // telco-lint: deny-swallowed-errors(end)\n}\n";
+        let d = lint(src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 4);
+    }
+
+    #[test]
+    fn waiver_and_test_lines_exempt() {
+        let src = "// telco-lint: deny-swallowed-errors\npub fn f(w: &mut dyn std::io::Write) {\n    let _ = w.flush(); // telco-lint: allow(error): best-effort flush on shutdown path\n}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let _ = std::fs::remove_file(\"tmp\"); }\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn no_marker_means_no_findings() {
+        assert!(lint("pub fn f(w: &mut dyn std::io::Write) { let _ = w.flush(); }\n").is_empty());
+    }
+}

@@ -1,12 +1,16 @@
 //! The lint rules. Each rule consumes scanned files plus their marker
 //! state and appends [`Diagnostic`](crate::report::Diagnostic)s.
 
+pub mod alloc;
 pub mod catalog;
+pub mod concurrency;
 pub mod determinism;
+pub mod errors;
 pub mod no_print;
 pub mod panic_free;
 pub mod unsafe_forbid;
 
+pub(crate) use crate::scan::ident_ending_at;
 use crate::scan::{find_from, is_ident_byte};
 
 /// Find `pat` in `masked` at or after `from`. When `pat` starts with an
@@ -34,21 +38,6 @@ pub(crate) fn word_hits<'a>(masked: &'a str, pat: &'a str) -> impl Iterator<Item
         from = pos + 1;
         Some(pos)
     })
-}
-
-/// Read the identifier ending at byte `end` (exclusive) of `masked`,
-/// returning it and its start index; `None` if the byte before `end` is
-/// not an identifier byte.
-pub(crate) fn ident_ending_at(masked: &str, end: usize) -> Option<(&str, usize)> {
-    let bytes = masked.as_bytes();
-    if end == 0 || !is_ident_byte(bytes[end - 1]) {
-        return None;
-    }
-    let mut start = end;
-    while start > 0 && is_ident_byte(bytes[start - 1]) {
-        start -= 1;
-    }
-    Some((&masked[start..end], start))
 }
 
 /// Index of the last non-whitespace byte strictly before `pos`.

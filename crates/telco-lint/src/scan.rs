@@ -40,10 +40,15 @@ pub struct SourceFile {
     /// `in_test[l]` is true iff 1-based line `l+1` is inside an item
     /// gated by `#[cfg(test)]`.
     in_test: Vec<bool>,
+    /// Brace-nesting tree over the masked text; scope 0 is the file.
+    scopes: ScopeTree,
+    /// `use`-declaration bindings, attached to their declaring scope.
+    uses: UseMap,
 }
 
 impl SourceFile {
-    /// Scan `raw`, producing the masked view and line/test maps.
+    /// Scan `raw`, producing the masked view, line/test maps, and the
+    /// name-resolution structures (scope tree + use map).
     pub fn parse(rel_path: &Path, raw: String) -> SourceFile {
         let rel_path = rel_path
             .components()
@@ -53,7 +58,9 @@ impl SourceFile {
         let (masked, in_comment) = mask(&raw);
         let line_starts = line_starts(&raw);
         let in_test = test_lines(&masked, &line_starts);
-        SourceFile { rel_path, raw, masked, in_comment, line_starts, in_test }
+        let scopes = ScopeTree::build(&masked);
+        let uses = UseMap::build(&masked, &scopes);
+        SourceFile { rel_path, raw, masked, in_comment, line_starts, in_test, scopes, uses }
     }
 
     /// 1-based line number containing byte offset `byte`.
@@ -92,6 +99,69 @@ impl SourceFile {
             && self.in_comment[start..end].iter().all(|&c| c)
     }
 
+    /// The scope tree of this file (brace nesting over the masked text).
+    pub fn scopes(&self) -> &ScopeTree {
+        &self.scopes
+    }
+
+    /// Resolve the bare identifier `ident` as it is visible at byte
+    /// `pos`: the canonical path its innermost enclosing `use` binding
+    /// imports, or a glob-import guess, or `None` when no import binds
+    /// it (a local definition or a prelude name).
+    pub fn resolve(&self, pos: usize, ident: &str) -> Option<String> {
+        let scope = self.scopes.innermost(pos);
+        // Exact bindings win over globs; nearer scopes win over outer.
+        for s in self.scopes.ancestry(scope) {
+            if let Some(path) = self.uses.exact(s, ident) {
+                return Some(path.to_string());
+            }
+        }
+        for s in self.scopes.ancestry(scope) {
+            if let Some(prefix) = self.uses.glob(s) {
+                return Some(format!("{prefix}::{ident}"));
+            }
+        }
+        None
+    }
+
+    /// The canonical path of the identifier token `ident` at byte `pos`,
+    /// expanding any `seg::` qualifiers written immediately before it
+    /// through the use map:
+    ///
+    /// - `Ordering` under `use std::sync::atomic::Ordering;` →
+    ///   `std::sync::atomic::Ordering`;
+    /// - `atomic::Ordering` under `use std::sync::atomic;` → the same;
+    /// - `std::cmp::Ordering` → itself (absolute paths pass through);
+    /// - an unimported bare `exit` → `exit` (a local name).
+    pub fn resolved_path(&self, pos: usize, ident: &str) -> String {
+        let bytes = self.masked.as_bytes();
+        let mut segments = vec![ident.to_string()];
+        let mut at = pos;
+        while at >= 2 && bytes[at - 1] == b':' && bytes[at - 2] == b':' {
+            let Some((seg, seg_start)) = ident_ending_at(&self.masked, at - 2) else {
+                break;
+            };
+            segments.push(seg.to_string());
+            at = seg_start;
+        }
+        segments.reverse();
+        let head = segments.first().map(String::as_str).unwrap_or(ident);
+        if segments.len() == 1 {
+            return self.resolve(pos, ident).unwrap_or_else(|| ident.to_string());
+        }
+        match head {
+            // Absolute or module-relative heads pass through literally.
+            "std" | "core" | "alloc" | "crate" | "super" | "self" => segments.join("::"),
+            _ => match self.resolve(at, head) {
+                Some(head_path) => {
+                    let tail = segments[1..].join("::");
+                    format!("{head_path}::{tail}")
+                }
+                None => segments.join("::"),
+            },
+        }
+    }
+
     fn line_slice<'a>(&self, text: &'a str, line: usize) -> &'a str {
         let Some(&start) = self.line_starts.get(line.wrapping_sub(1)) else {
             return "";
@@ -116,6 +186,21 @@ fn line_starts(text: &str) -> Vec<usize> {
 /// uses ASCII identifiers, and rule patterns are all ASCII.)
 pub fn is_ident_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Read the identifier ending at byte `end` (exclusive) of `masked`,
+/// returning it and its start index; `None` if the byte before `end` is
+/// not an identifier byte.
+pub fn ident_ending_at(masked: &str, end: usize) -> Option<(&str, usize)> {
+    let bytes = masked.as_bytes();
+    if end == 0 || !is_ident_byte(bytes[end - 1]) {
+        return None;
+    }
+    let mut start = end;
+    while start > 0 && is_ident_byte(bytes[start - 1]) {
+        start -= 1;
+    }
+    Some((&masked[start..end], start))
 }
 
 /// Blank comments and literal interiors out of `src`.
@@ -374,9 +459,211 @@ pub fn matching_delim(bytes: &[u8], open: usize, open_b: u8, close_b: u8) -> Opt
     None
 }
 
+/// The brace-nesting tree of a file: every `{ .. }` span in the masked
+/// text, plus scope 0 covering the whole file. Built once per file, it
+/// lets rules reason about lexical extent — which `use` bindings are
+/// visible at a byte, or how long a `let` binding stays live.
+pub struct ScopeTree {
+    /// `(start, end)` byte spans; scope 0 is `(0, len)`. `end` points at
+    /// the closing brace (or file end for unbalanced input).
+    spans: Vec<(usize, usize)>,
+    /// Parent scope index; scope 0 is its own parent.
+    parents: Vec<usize>,
+}
+
+impl ScopeTree {
+    /// Build the tree by walking the masked text's braces.
+    pub fn build(masked: &str) -> ScopeTree {
+        let bytes = masked.as_bytes();
+        let mut spans: Vec<(usize, usize)> = vec![(0, bytes.len())];
+        let mut parents: Vec<usize> = vec![0];
+        let mut stack: Vec<usize> = vec![0];
+        for (i, &b) in bytes.iter().enumerate() {
+            match b {
+                b'{' => {
+                    let parent = stack.last().copied().unwrap_or(0);
+                    spans.push((i, bytes.len()));
+                    parents.push(parent);
+                    stack.push(spans.len() - 1);
+                }
+                // Scope 0 never pops: unbalanced closers are ignored.
+                b'}' if stack.len() > 1 => {
+                    if let Some(id) = stack.pop() {
+                        if let Some(span) = spans.get_mut(id) {
+                            span.1 = i;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        ScopeTree { spans, parents }
+    }
+
+    /// The innermost scope containing byte `pos`.
+    pub fn innermost(&self, pos: usize) -> usize {
+        let mut best = 0usize;
+        let mut best_start = 0usize;
+        for (id, &(start, end)) in self.spans.iter().enumerate().skip(1) {
+            if start <= pos && pos <= end && start >= best_start {
+                best = id;
+                best_start = start;
+            }
+        }
+        best
+    }
+
+    /// The scope chain from `scope` to the file root, inclusive.
+    pub fn ancestry(&self, scope: usize) -> impl Iterator<Item = usize> + '_ {
+        let mut at = Some(scope.min(self.spans.len().saturating_sub(1)));
+        std::iter::from_fn(move || {
+            let cur = at?;
+            let parent = self.parents.get(cur).copied().unwrap_or(0);
+            at = (parent != cur).then_some(parent);
+            Some(cur)
+        })
+    }
+
+    /// The `(start, end)` byte span of `scope`.
+    pub fn span(&self, scope: usize) -> (usize, usize) {
+        self.spans.get(scope).copied().unwrap_or((0, 0))
+    }
+
+    /// Number of scopes (including the file root).
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Always false: scope 0 exists for every file.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// The file's `use`-declaration bindings: which bare identifier each
+/// import makes visible, in which scope, for which canonical path. This
+/// is what lets rules tell `std::sync::atomic::Ordering` apart from
+/// `std::cmp::Ordering`, and `std::process::exit` from a local `exit`.
+pub struct UseMap {
+    /// `(scope, alias, full_path)` triples.
+    bindings: Vec<(usize, String, String)>,
+    /// `(scope, module_path)` for `use path::*` glob imports.
+    globs: Vec<(usize, String)>,
+}
+
+impl UseMap {
+    /// Parse every `use` declaration in the masked text, expanding
+    /// nested groups, `as` renames, `self`, and `*` globs.
+    pub fn build(masked: &str, scopes: &ScopeTree) -> UseMap {
+        let mut map = UseMap { bindings: Vec::new(), globs: Vec::new() };
+        let bytes = masked.as_bytes();
+        let mut from = 0usize;
+        while let Some(pos) = find_from(masked, "use", from) {
+            from = pos + 3;
+            // Word boundaries on both sides: not `user`, not `abuse`.
+            let bounded_left = pos == 0 || !is_ident_byte(bytes[pos - 1]);
+            let bounded_right = bytes.get(pos + 3).is_some_and(|b| b.is_ascii_whitespace());
+            if !bounded_left || !bounded_right {
+                continue;
+            }
+            let Some(end) = find_from(masked, ";", pos) else { continue };
+            // Collapse whitespace, keeping `as` findable: the rename
+            // keyword becomes `@` (illegal in paths) so that stripping
+            // the remaining spaces cannot glue it onto an identifier.
+            let mut spec = String::new();
+            for token in masked[pos + 3..end].split_whitespace() {
+                spec.push_str(if token == "as" { "@" } else { token });
+            }
+            let scope = scopes.innermost(pos);
+            map.add_tree(scope, "", &spec);
+            from = end + 1;
+        }
+        map
+    }
+
+    /// Expand one use-tree `spec` under `prefix` (either empty or ending
+    /// with `::`) into bindings.
+    fn add_tree(&mut self, scope: usize, prefix: &str, spec: &str) {
+        if spec.is_empty() {
+            return;
+        }
+        if let Some(brace) = spec.find('{') {
+            let Some(inner) = spec.get(brace + 1..spec.len().saturating_sub(1)) else {
+                return;
+            };
+            if !spec.ends_with('}') {
+                return;
+            }
+            let head = spec.get(..brace).unwrap_or("");
+            let nested = format!("{prefix}{head}");
+            for part in split_top_commas(inner) {
+                self.add_tree(scope, &nested, part);
+            }
+            return;
+        }
+        if let Some(module) = spec.strip_suffix("::*").or(spec.strip_suffix('*')) {
+            let module = module.trim_end_matches(':');
+            let full = format!("{prefix}{module}");
+            self.globs.push((scope, full.trim_end_matches(':').to_string()));
+            return;
+        }
+        let (path, alias) = match spec.split_once('@') {
+            Some((p, a)) if !p.is_empty() => (p, a),
+            _ => (spec, ""),
+        };
+        let full = if path == "self" {
+            prefix.trim_end_matches(':').to_string()
+        } else {
+            format!("{prefix}{path}")
+        };
+        let name = if alias.is_empty() {
+            full.rsplit("::").next().unwrap_or(&full).to_string()
+        } else {
+            alias.to_string()
+        };
+        if name == "_" || name.is_empty() {
+            return;
+        }
+        self.bindings.push((scope, name, full));
+    }
+
+    /// The path bound to `ident` by a `use` in exactly `scope`.
+    pub fn exact(&self, scope: usize, ident: &str) -> Option<&str> {
+        self.bindings
+            .iter()
+            .find(|(s, alias, _)| *s == scope && alias == ident)
+            .map(|(_, _, path)| path.as_str())
+    }
+
+    /// The first glob-import module path declared in exactly `scope`.
+    pub fn glob(&self, scope: usize) -> Option<&str> {
+        self.globs.iter().find(|(s, _)| *s == scope).map(|(_, path)| path.as_str())
+    }
+}
+
+/// Split `s` on commas at brace-nesting depth zero.
+fn split_top_commas(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, b) in s.bytes().enumerate() {
+        match b {
+            b'{' => depth += 1,
+            b'}' => depth = depth.saturating_sub(1),
+            b',' if depth == 0 => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
 /// End byte of the item that starts at or after `from`: skips leading
 /// whitespace and further attributes, then runs to the matching `}` of
-/// the first top-level `{`, or to the first top-level `;`.
+/// the first top-level `;`.
 fn item_extent(bytes: &[u8], from: usize) -> Option<usize> {
     let mut j = from;
     loop {
@@ -474,5 +761,85 @@ mod tests {
         assert_eq!(f.line_of(2), 2);
         assert_eq!(f.line_of(5), 3);
         assert_eq!(f.line_count(), 3);
+    }
+
+    #[test]
+    fn scope_tree_nests_and_walks_ancestry() {
+        let src = "fn a() { if x { y(); } }\nfn b() { z(); }\n";
+        let f = parse(src);
+        let inner = src.find("y()").unwrap();
+        let outer = src.find("z()").unwrap();
+        let s_inner = f.scopes().innermost(inner);
+        let s_outer = f.scopes().innermost(outer);
+        assert_ne!(s_inner, s_outer);
+        let chain: Vec<usize> = f.scopes().ancestry(s_inner).collect();
+        assert_eq!(chain.len(), 3, "y() sits in if-block < fn-body < file");
+        assert_eq!(*chain.last().unwrap(), 0);
+        assert_eq!(f.scopes().ancestry(s_outer).count(), 2);
+    }
+
+    #[test]
+    fn resolve_simple_use() {
+        let src = "use std::sync::atomic::Ordering;\nfn f() { Ordering::Relaxed; }\n";
+        let f = parse(src);
+        let at = src.rfind("Ordering").unwrap();
+        assert_eq!(f.resolve(at, "Ordering").as_deref(), Some("std::sync::atomic::Ordering"));
+        assert_eq!(f.resolve(at, "Unbound"), None);
+    }
+
+    #[test]
+    fn resolve_groups_aliases_and_self() {
+        let src = "use std::sync::{Arc, atomic::{AtomicU64, Ordering as O}, mpsc::{self}};\n";
+        let f = parse(src);
+        let at = src.len() - 1;
+        assert_eq!(f.resolve(at, "Arc").as_deref(), Some("std::sync::Arc"));
+        assert_eq!(f.resolve(at, "AtomicU64").as_deref(), Some("std::sync::atomic::AtomicU64"));
+        assert_eq!(f.resolve(at, "O").as_deref(), Some("std::sync::atomic::Ordering"));
+        assert_eq!(f.resolve(at, "Ordering"), None, "`as` rename hides the original name");
+        assert_eq!(f.resolve(at, "mpsc").as_deref(), Some("std::sync::mpsc"));
+    }
+
+    #[test]
+    fn resolve_prefers_inner_scope_then_glob() {
+        let src = "use std::cmp::Ordering;\nfn f() {\n    use std::sync::atomic::Ordering;\n    Ordering::Relaxed;\n}\nfn g() {\n    use std::sync::atomic::*;\n    Ordering::SeqCst; Wildcarded::X;\n}\nfn h() { Ordering::Less; }\n";
+        let f = parse(src);
+        let inner = src.find("Ordering::Relaxed").unwrap();
+        let globbed = src.find("Ordering::SeqCst").unwrap();
+        let wild = src.find("Wildcarded").unwrap();
+        let outer = src.find("Ordering::Less").unwrap();
+        assert_eq!(f.resolve(inner, "Ordering").as_deref(), Some("std::sync::atomic::Ordering"));
+        assert_eq!(f.resolve(outer, "Ordering").as_deref(), Some("std::cmp::Ordering"));
+        // Exact binding (file-scope cmp) wins over an inner glob; the
+        // glob only answers for names with no exact binding anywhere.
+        assert_eq!(f.resolve(globbed, "Ordering").as_deref(), Some("std::cmp::Ordering"));
+        assert_eq!(f.resolve(wild, "Wildcarded").as_deref(), Some("std::sync::atomic::Wildcarded"));
+    }
+
+    #[test]
+    fn resolved_path_expands_qualified_heads() {
+        let src = "use std::sync::atomic;\nfn f() { atomic::Ordering::Relaxed; }\nfn g() { std::cmp::Ordering::Less; }\nfn h() { local::Ordering::X; }\n";
+        let f = parse(src);
+        let via_alias = src.find("Ordering::Relaxed").unwrap();
+        let literal = src.find("Ordering::Less").unwrap();
+        let unknown = src.find("Ordering::X").unwrap();
+        assert_eq!(f.resolved_path(via_alias, "Ordering"), "std::sync::atomic::Ordering");
+        assert_eq!(f.resolved_path(literal, "Ordering"), "std::cmp::Ordering");
+        assert_eq!(f.resolved_path(unknown, "Ordering"), "local::Ordering");
+    }
+
+    /// Regression for the lexical false-positive class the resolver
+    /// exists to kill: one file using `cmp::Ordering` in a comparator
+    /// and atomic `Ordering` in the same module must yield different
+    /// canonical paths at each use site.
+    #[test]
+    fn cmp_and_atomic_ordering_disambiguated_in_one_file() {
+        let src = "use std::sync::atomic::{AtomicU64, Ordering};\nfn hot(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\nfn sort_key(a: u64, b: u64) -> std::cmp::Ordering { a.cmp(&b) }\nfn cmp2(a: u64, b: u64) -> core::cmp::Ordering {\n    use core::cmp::Ordering;\n    if a < b { Ordering::Less } else { Ordering::Greater }\n}\n";
+        let f = parse(src);
+        let atomic_use = src.find("Ordering::Relaxed").unwrap();
+        let cmp_use = src.find("Ordering::Less").unwrap();
+        assert_eq!(f.resolved_path(atomic_use, "Ordering"), "std::sync::atomic::Ordering");
+        assert_eq!(f.resolved_path(cmp_use, "Ordering"), "core::cmp::Ordering");
+        let ret_ty = src.find("std::cmp::Ordering").unwrap() + "std::cmp::".len();
+        assert_eq!(f.resolved_path(ret_ty, "Ordering"), "std::cmp::Ordering");
     }
 }

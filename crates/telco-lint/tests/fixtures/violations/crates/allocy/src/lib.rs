@@ -1,0 +1,22 @@
+#![forbid(unsafe_code)]
+
+// telco-lint: deny-alloc(begin)
+pub fn scan(values: &[u32], out: &mut Vec<u32>) {
+    for &v in values {
+        out.push(v);
+    }
+}
+
+pub fn label(code: u32) -> String {
+    format!("code-{code}")
+}
+
+pub fn keep(tags: &mut Vec<String>, tag: &str) {
+    // telco-lint: allow(alloc): interned once per unique tag at startup
+    tags.push(tag.to_string());
+}
+// telco-lint: deny-alloc(end)
+
+pub fn outside(out: &mut Vec<u32>, v: u32) {
+    out.push(v);
+}

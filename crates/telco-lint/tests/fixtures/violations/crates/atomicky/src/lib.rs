@@ -1,0 +1,35 @@
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+pub static COUNT: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump() -> u64 {
+    COUNT.fetch_add(1, Ordering::Relaxed)
+}
+
+// telco-lint: audited-atomics(begin): counter publishes via thread join; the RMW itself is atomic
+pub fn bump_audited() -> u64 {
+    COUNT.fetch_add(1, Ordering::Relaxed)
+}
+// telco-lint: audited-atomics(end)
+
+pub fn probe() -> u64 {
+    // ordering: monitoring probe; stale reads are acceptable
+    COUNT.load(Ordering::Relaxed)
+}
+
+pub fn open_firehose() -> (mpsc::Sender<u32>, mpsc::Receiver<u32>) {
+    mpsc::channel()
+}
+
+pub fn drain_child(slots: &Mutex<u32>, child: &mut std::process::Child) -> u32 {
+    let held = match slots.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let _status = child.wait();
+    *held
+}

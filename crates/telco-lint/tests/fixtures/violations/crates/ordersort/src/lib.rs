@@ -1,0 +1,35 @@
+#![forbid(unsafe_code)]
+//! The resolver must tell `std::cmp::Ordering` (and a same-named local
+//! enum) apart from the atomic memory-ordering enum, all in one file.
+
+use std::cmp::Ordering;
+use std::sync::atomic::AtomicU32;
+
+pub mod strictness {
+    pub enum Ordering {
+        Relaxed,
+        Strict,
+    }
+}
+
+pub fn rank(a: u32, b: u32) -> Ordering {
+    a.cmp(&b)
+}
+
+pub fn widest(a: u32, b: u32) -> u32 {
+    match a.cmp(&b) {
+        Ordering::Less => b,
+        Ordering::Equal | Ordering::Greater => a,
+    }
+}
+
+pub fn policy() -> strictness::Ordering {
+    use self::strictness::Ordering;
+    // The local enum reuses an atomic variant name; resolution keeps it clean.
+    Ordering::Relaxed
+}
+
+pub fn publish(flag: &AtomicU32) {
+    use std::sync::atomic::Ordering;
+    flag.swap(1, Ordering::AcqRel);
+}

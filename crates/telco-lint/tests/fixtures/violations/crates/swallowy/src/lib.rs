@@ -1,0 +1,18 @@
+#![forbid(unsafe_code)]
+
+// telco-lint: deny-swallowed-errors
+
+use std::io::Write;
+
+pub fn flush_quietly(w: &mut impl Write) {
+    let _ = w.flush();
+}
+
+pub fn sync_quietly(w: &mut impl Write) {
+    w.flush().ok();
+}
+
+pub fn flush_with_excuse(w: &mut impl Write) {
+    // telco-lint: allow(error): diagnostics-only sink; a failed flush loses a log line at most
+    let _ = w.flush();
+}

@@ -12,6 +12,8 @@
 //! still catch it, which is why the validity protocol never assumes
 //! the store is atomic.
 
+// telco-lint: deny-swallowed-errors
+
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 

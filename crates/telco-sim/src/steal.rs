@@ -52,6 +52,7 @@ impl StealCursor {
     /// incrementing the counter; with one claim per worker thread after
     /// exhaustion, wraparound would need ~2^64 workers.)
     pub fn claim(&self) -> Option<usize> {
+        // ordering: Relaxed suffices — single-location RMW is totally ordered, results publish via thread join
         let item = self.next.fetch_add(1, Ordering::Relaxed);
         (item < self.n_items).then_some(item)
     }

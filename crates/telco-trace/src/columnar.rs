@@ -254,7 +254,7 @@ fn begin_group(out: &mut Vec<u8>, id: u8) -> usize {
 
 /// Backpatch the group length once the body has been written in place.
 #[inline]
-fn end_group(out: &mut Vec<u8>, body_start: usize) {
+fn end_group(out: &mut [u8], body_start: usize) {
     let len = (out.len() - body_start) as u32;
     if let Some(header) = out.get_mut(body_start.wrapping_sub(4)..body_start) {
         header.copy_from_slice(&len.to_be_bytes());
@@ -548,7 +548,8 @@ impl ColumnBatch {
             } else {
                 HoOutcome::Success
             },
-            cause: (flags & FLAG_CAUSE != 0).then(|| CauseCode(self.causes.get(i).copied().unwrap_or(0))),
+            cause: (flags & FLAG_CAUSE != 0)
+                .then(|| CauseCode(self.causes.get(i).copied().unwrap_or(0))),
             duration_ms: *self.durations.get(i)?,
             srvcc: flags & FLAG_SRVCC != 0,
             messages: *self.messages.get(i)?,
@@ -668,6 +669,7 @@ fn rat_from(code: u64) -> Result<Rat, CodecError> {
     Rat::ALL.get(code as usize).copied().ok_or(CodecError::BadField("rat"))
 }
 
+// telco-lint: deny-alloc(begin)
 /// Decode a chunk-local dictionary column into per-record values, one
 /// `set` call per record (in record order).
 fn decode_dict(
@@ -687,6 +689,7 @@ fn decode_dict(
     let mut dict = Vec::with_capacity(dict_len);
     for _ in 0..dict_len {
         let v = bytes.varint().ok_or(CodecError::BadField(name))?;
+        // telco-lint: allow(alloc): one bounded dictionary per chunk (≤ count entries), not per record
         dict.push(u32::try_from(v).map_err(|_| CodecError::BadField(name))?);
     }
     let width = index_width(dict_len);
@@ -855,6 +858,7 @@ pub fn decode_columns(
     }
     Ok(())
 }
+// telco-lint: deny-alloc(end)
 
 /// Decode a v3 payload into materialized rows: [`decode_columns`] plus a
 /// transpose. Kept for row-oriented consumers and tests; the sweep scans

@@ -8,6 +8,8 @@
 //! ([`crate::store`]). JSON export serves human inspection and downstream
 //! tooling.
 
+// telco-lint: deny-swallowed-errors
+
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use telco_devices::population::UeId;

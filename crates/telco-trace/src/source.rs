@@ -60,6 +60,10 @@ pub struct TraceSource {
     column_batches: AtomicU64,
 }
 
+// telco-lint: audited-atomics(begin): `sweeps` and `column_batches` are monotonic instrumentation counters —
+// nothing synchronizes through them. Relaxed RMWs on a single location are totally ordered, and the tests
+// that assert on the totals read them after every traversal thread has joined (a happens-before edge the
+// join itself provides), so no stronger ordering would change any observable count.
 impl Clone for TraceSource {
     fn clone(&self) -> Self {
         TraceSource {
@@ -203,9 +207,7 @@ impl TraceSource {
                         // Skip-and-report recovery: corruption already
                         // cost exactly one chunk; an I/O error means the
                         // medium itself failed, so abort.
-                        Some(Err(issue))
-                            if matches!(issue.error, crate::io::CodecError::Io(_)) =>
-                        {
+                        Some(Err(issue)) if matches!(issue.error, crate::io::CodecError::Io(_)) => {
                             break Err(issue)
                         }
                         Some(Err(_)) => {}
@@ -275,6 +277,7 @@ impl TraceSource {
         Some(slices)
     }
 }
+// telco-lint: audited-atomics(end)
 
 #[cfg(test)]
 mod tests {
@@ -371,10 +374,9 @@ mod tests {
         let path = dir.join("trace.tlho");
         crate::store::write_file_v3(&d, &path).unwrap();
 
-        for src in [
-            TraceSource::in_memory(d.clone()),
-            TraceSource::spilled(&path, 3, d.len() as u64),
-        ] {
+        for src in
+            [TraceSource::in_memory(d.clone()), TraceSource::spilled(&path, 3, d.len() as u64)]
+        {
             assert_eq!(src.column_batches(), 0);
             let mut streamed = Vec::new();
             src.for_each_columns(|batch| streamed.extend(batch.rows())).unwrap();

@@ -32,6 +32,8 @@
 //! framing, and the reader resynchronizes by scanning for the next chunk
 //! or trailer magic.
 
+// telco-lint: deny-swallowed-errors
+
 use std::collections::VecDeque;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -617,10 +619,7 @@ impl<R: Read> TraceReader<R> {
     /// so the column stream is uniform across versions. Semantics
     /// otherwise match [`TraceReader::next_chunk_into`]: `None` at end
     /// of stream, `Some(Err(..))` for a skipped chunk.
-    pub fn next_chunk_columns(
-        &mut self,
-        out: &mut ColumnBatch,
-    ) -> Option<Result<(), ChunkIssue>> {
+    pub fn next_chunk_columns(&mut self, out: &mut ColumnBatch) -> Option<Result<(), ChunkIssue>> {
         out.clear();
         if self.done {
             return None;

@@ -1,0 +1,138 @@
+//! Exhaustive model checking of the bounded frame ring
+//! ([`telco_trace::prefetch::FrameQueue`]) under loom.
+//!
+//! Only compiled with `RUSTFLAGS="--cfg loom"`:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p telco-trace --test loom_prefetch --release
+//! ```
+//!
+//! Under `--cfg loom` the queue is built on the vendored loom's
+//! scheduler-parked `Mutex`/`Condvar`/`AtomicU64`, so `loom::model`
+//! replays each closure under *every* interleaving of the queue's lock,
+//! wait, notify, and end-marker operations. The properties proved (for
+//! the modelled sizes):
+//!
+//! - frames hand off through a one-slot ring in index order, with
+//!   backpressure (the producer parks while the slot is full), under
+//!   every schedule;
+//! - `finish` wakes a waiter blocked on a never-published index — the
+//!   take-the-slot-lock-before-notify protocol admits no lost wakeup,
+//!   and the `end` store/load pair always bounds the stream correctly;
+//! - `fail` wakes waiters, keeps already-published frames deliverable,
+//!   and surfaces the issue to the coordinator;
+//! - a canary shows the explorer *does* catch the lost-wakeup bug the
+//!   finish protocol is written against, so the passing tests above are
+//!   evidence and not vacuity.
+#![cfg(loom)]
+
+use loom::sync::Arc;
+use loom::thread;
+
+use telco_trace::io::CodecError;
+use telco_trace::prefetch::{Frame, FrameQueue};
+use telco_trace::store::ChunkIssue;
+
+fn frame(index: u64) -> Frame {
+    Frame { index, count: 1, payload: vec![index as u8] }
+}
+
+/// Producer and consumer share a one-slot ring: every frame arrives, in
+/// order, with the slot reused between them — under every schedule.
+#[test]
+fn frames_hand_off_in_order_through_one_slot() {
+    loom::model(|| {
+        let queue = Arc::new(FrameQueue::new(1));
+        let producer = {
+            let queue = Arc::clone(&queue);
+            thread::spawn(move || {
+                queue.push(frame(0));
+                queue.push(frame(1));
+                queue.finish(2);
+            })
+        };
+        for i in 0..2u64 {
+            let f = queue.take(i).expect("frame must arrive");
+            assert_eq!(f.index, i);
+            assert_eq!(f.payload, vec![i as u8]);
+        }
+        assert!(queue.take(2).is_none(), "past the end is None");
+        producer.join().expect("producer");
+        assert!(queue.take_error().is_none());
+    });
+}
+
+/// The shutdown race: a waiter parked on an index the stream never
+/// reaches must always be woken by `finish` — whichever side gets to
+/// the slot first.
+#[test]
+fn finish_wakes_a_waiter_with_no_frame() {
+    loom::model(|| {
+        let queue = Arc::new(FrameQueue::new(1));
+        let waiter = {
+            let queue = Arc::clone(&queue);
+            thread::spawn(move || queue.take(0))
+        };
+        queue.finish(0);
+        assert!(waiter.join().expect("waiter").is_none(), "waiter unblocks past the end");
+    });
+}
+
+/// An aborting reader wakes waiters, keeps frame 0 deliverable, and
+/// hands the coordinator the issue — under every schedule.
+#[test]
+fn fail_unblocks_waiters_and_surfaces_the_issue() {
+    loom::model(|| {
+        let queue = Arc::new(FrameQueue::new(1));
+        let waiter = {
+            let queue = Arc::clone(&queue);
+            thread::spawn(move || queue.take(1))
+        };
+        queue.push(frame(0));
+        queue.fail(
+            1,
+            ChunkIssue {
+                chunk: 1,
+                offset: 99,
+                error: CodecError::Io(std::io::ErrorKind::UnexpectedEof),
+            },
+        );
+        assert!(waiter.join().expect("waiter").is_none(), "waiter past the abort unblocks");
+        assert_eq!(queue.take(0).expect("frame 0 stays deliverable").index, 0);
+        let issue = queue.take_error().expect("issue recorded");
+        assert_eq!(issue.chunk, 1);
+    });
+}
+
+/// The bug `finish` is written against: storing the end marker and
+/// notifying *without* taking the slot lock lets a waiter slip between
+/// its end-check and its sleep, and the wakeup is lost. The explorer
+/// must find that interleaving (reported as a model deadlock) — proof
+/// the passing tests above are not vacuous.
+#[test]
+fn canary_finish_without_slot_lock_loses_a_wakeup() {
+    use loom::sync::atomic::{AtomicU64, Ordering};
+    use loom::sync::{Condvar, Mutex, PoisonError};
+    let result = std::panic::catch_unwind(|| {
+        loom::model(|| {
+            let slot = Arc::new((Mutex::new(()), Condvar::new(), AtomicU64::new(u64::MAX)));
+            let waiter = {
+                let slot = Arc::clone(&slot);
+                thread::spawn(move || {
+                    let (lock, ready, end) = &*slot;
+                    let mut guard = lock.lock().unwrap_or_else(PoisonError::into_inner);
+                    while end.load(Ordering::Acquire) == u64::MAX {
+                        guard = ready.wait(guard).unwrap_or_else(PoisonError::into_inner);
+                    }
+                })
+            };
+            let (_, ready, end) = &*slot;
+            // Broken on purpose: the real finish() takes each slot lock
+            // between these two lines.
+            end.store(0, Ordering::Release);
+            ready.notify_all();
+            waiter.join().expect("waiter");
+        });
+    });
+    assert!(result.is_err(), "explorer must find the lost-wakeup interleaving");
+}

@@ -1,7 +1,9 @@
 //! Offline stand-in for the `loom` permutation tester.
 //!
 //! Mirrors the subset of loom's API the workspace uses — [`model`],
-//! `loom::thread::{spawn, JoinHandle}`, and `loom::sync::atomic` — and,
+//! `loom::thread::{spawn, JoinHandle}`, `loom::sync::atomic`, and
+//! `loom::sync::{Mutex, Condvar}` (scheduler-parked, so a lost wakeup
+//! surfaces as a detected deadlock) — and,
 //! like the real thing, runs the model closure repeatedly, exploring a
 //! different thread interleaving on every iteration until the space is
 //! exhausted.

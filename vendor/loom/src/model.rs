@@ -29,6 +29,8 @@ enum ThreadState {
     Runnable,
     /// Waiting for thread `on` to finish (a `join`).
     Blocked { on: usize },
+    /// Waiting for an [`unpark_all`] on `key` (a mutex or condvar wait).
+    Parked { key: usize },
     /// Exited; never scheduled again.
     Finished,
 }
@@ -198,6 +200,56 @@ fn run_model_thread(shared: Arc<Shared>, tid: usize, body: impl FnOnce()) {
         }
     }
     schedule_next(&shared, &mut state);
+}
+
+/// Whether the caller is a model thread (inside a [`model`] run).
+pub(crate) fn in_model() -> bool {
+    with_ctx(|_| ()).is_some()
+}
+
+fn wake_parked(state: &mut SchedState, key: usize) {
+    for s in state.threads.iter_mut() {
+        if *s == (ThreadState::Parked { key }) {
+            *s = ThreadState::Runnable;
+        }
+    }
+}
+
+/// Park the calling thread on `key` until some thread calls
+/// [`unpark_all`] with the same key. When `wake` is given, every thread
+/// parked on *that* key becomes runnable in the same scheduler
+/// transition — the condvar wait protocol, where releasing the mutex
+/// and going to sleep must admit no intervening schedule (a wakeup
+/// between the two would otherwise be lost by the model itself rather
+/// than by the code under test). No-op outside a model run.
+pub(crate) fn park(key: usize, wake: Option<usize>) {
+    let Some((shared, tid)) = with_ctx(|c| (c.shared.clone(), c.tid)) else {
+        return;
+    };
+    {
+        let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.failed.is_some() {
+            drop(state);
+            std::panic::panic_any(ABORT);
+        }
+        if let Some(wake_key) = wake {
+            wake_parked(&mut state, wake_key);
+        }
+        state.threads[tid] = ThreadState::Parked { key };
+        schedule_next(&shared, &mut state);
+    }
+    wait_for_token(&shared, tid);
+}
+
+/// Make every thread parked on `key` runnable. Not itself a scheduling
+/// point — the caller keeps the token until its next one. No-op outside
+/// a model run.
+pub(crate) fn unpark_all(key: usize) {
+    let Some(shared) = with_ctx(|c| c.shared.clone()) else {
+        return;
+    };
+    let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+    wake_parked(&mut state, key);
 }
 
 /// Block the caller until thread `target` finishes (a model `join`).

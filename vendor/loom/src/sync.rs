@@ -5,8 +5,215 @@
 //! other model thread's accesses. Operations execute with sequential
 //! consistency regardless of the requested `Ordering` (see the crate
 //! docs for why that is sound for the protocols verified here).
+//!
+//! [`Mutex`] and [`Condvar`] mirror their `std::sync` namesakes
+//! (including the [`LockResult`] return so
+//! `unwrap_or_else(PoisonError::into_inner)` call sites compile
+//! unchanged), but block by *parking in the model scheduler* rather
+//! than in the OS: a contended `lock` or a `Condvar::wait` marks the
+//! thread parked on the primitive's key, and the matching unlock or
+//! notify makes it runnable again. A waiter nothing will ever wake is
+//! therefore visible to the explorer as a deadlock — which is exactly
+//! what a lost-wakeup bug looks like under exhaustive scheduling.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering as StdOrdering};
 
 pub use std::sync::Arc;
+
+use crate::model::{in_model, park, sched_point, unpark_all};
+
+/// Process-unique park key for each mutex and condvar instance.
+fn next_key() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    NEXT.fetch_add(1, StdOrdering::Relaxed)
+}
+
+/// Mirror of `std::sync::PoisonError`. The model never actually
+/// poisons — a panicking model thread fails the whole execution — so
+/// this exists only to keep `LockResult`-shaped call sites compiling.
+pub struct PoisonError<T> {
+    guard: T,
+}
+
+impl<T> PoisonError<T> {
+    /// The guard the poisoned lock would have produced.
+    pub fn into_inner(self) -> T {
+        self.guard
+    }
+}
+
+/// Mirror of `std::sync::LockResult`; the model side always returns
+/// `Ok`.
+pub type LockResult<T> = Result<T, PoisonError<T>>;
+
+/// Model-checked mutex: `lock` is a scheduling point, and contended
+/// lockers park until the holder's unlock wakes them.
+pub struct Mutex<T> {
+    /// Model-level ownership flag. Only the flag holder touches
+    /// `inner`, so the std mutex below is always uncontended and never
+    /// blocks an OS thread while the model schedules another.
+    held: AtomicBool,
+    key: usize,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// A new unlocked mutex holding `value`.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex { held: AtomicBool::new(false), key: next_key(), inner: std::sync::Mutex::new(value) }
+    }
+
+    /// Claim the model-level flag, parking until the holder releases
+    /// it. Runs between scheduling points, so the swap is atomic with
+    /// respect to every other model thread.
+    fn acquire_flag(&self) {
+        while self.held.swap(true, StdOrdering::SeqCst) {
+            park(self.key, None);
+        }
+    }
+
+    /// Lock the mutex (scheduling point). Always `Ok` — see
+    /// [`PoisonError`].
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        if in_model() {
+            sched_point();
+            self.acquire_flag();
+        }
+        let inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        Ok(MutexGuard { lock: self, inner: Some(inner) })
+    }
+
+    /// Consume the mutex, returning the value (no scheduling point:
+    /// exclusive access).
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self.inner.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner))
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+/// Guard returned by [`Mutex::lock`]; releasing it (drop) wakes parked
+/// lockers.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    /// `None` only transiently inside [`Condvar::wait`], which releases
+    /// and re-acquires the lock through the same guard value.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the lock")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds the lock")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if in_model() && self.lock.held.swap(false, StdOrdering::SeqCst) {
+            unpark_all(self.lock.key);
+            // Unlock is a scheduling point — but never while unwinding,
+            // where a second panic (from a failed execution's abort
+            // signal) would escalate to a process abort.
+            if !std::thread::panicking() {
+                sched_point();
+            }
+        }
+    }
+}
+
+/// Model-checked condition variable. `wait` releases the mutex and
+/// parks in one scheduler transition, so only wakeups the *code under
+/// test* can lose are lost — never ones the model dropped on the floor.
+pub struct Condvar {
+    key: usize,
+    /// Fallback so the primitive still works outside a model run.
+    std_cv: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// A new condition variable.
+    pub fn new() -> Condvar {
+        Condvar { key: next_key(), std_cv: std::sync::Condvar::new() }
+    }
+
+    /// Release `guard`'s mutex, sleep until notified, re-acquire
+    /// (scheduling points at the release and the re-acquire). The
+    /// stand-in never wakes spuriously — a subset of permitted
+    /// behaviours.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let lock = guard.lock;
+        if !in_model() {
+            let inner = guard.inner.take().expect("guard holds the lock");
+            let inner = self.std_cv.wait(inner).unwrap_or_else(std::sync::PoisonError::into_inner);
+            guard.inner = Some(inner);
+            return Ok(guard);
+        }
+        // The window between deciding to sleep and sleeping: a
+        // scheduling point *while still holding the lock*. A notifier
+        // that (correctly) takes this mutex cannot run here — but one
+        // that skips the lock can, and its notification lands before
+        // the park below, where the model (rightly) loses it.
+        sched_point();
+        // Release and park atomically w.r.t. scheduling: drop the
+        // (uncontended) std guard, clear the flag, and hand parked
+        // lockers their wakeup inside the park transition itself.
+        drop(guard.inner.take());
+        lock.held.store(false, StdOrdering::SeqCst);
+        park(self.key, Some(lock.key));
+        lock.acquire_flag();
+        guard.inner = Some(lock.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner));
+        Ok(guard)
+    }
+
+    /// Wake every waiter (scheduling point).
+    pub fn notify_all(&self) {
+        if in_model() {
+            sched_point();
+            unpark_all(self.key);
+        } else {
+            self.std_cv.notify_all();
+        }
+    }
+
+    /// Wake a waiter. The model wakes *every* parked waiter — they
+    /// re-check their predicate and re-park — a sound
+    /// over-approximation of `notify_one`.
+    pub fn notify_one(&self) {
+        self.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
 
 /// Atomic types whose every operation is a scheduling point.
 pub mod atomic {

@@ -58,3 +58,82 @@ fn join_returns_values() {
         assert_eq!(v + 1, 42);
     });
 }
+
+/// Mutex-protected read-modify-write never loses an update — the model
+/// mutex must actually exclude.
+#[test]
+fn mutex_excludes_under_every_schedule() {
+    use loom::sync::{Mutex, PoisonError};
+    loom::model(|| {
+        let c = Arc::new(Mutex::new(0usize));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let c = c.clone();
+                thread::spawn(move || {
+                    let mut g = c.lock().unwrap_or_else(PoisonError::into_inner);
+                    *g += 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*c.lock().unwrap_or_else(PoisonError::into_inner), 2);
+    });
+}
+
+/// The lock-before-notify handshake completes under every schedule: a
+/// notify issued while holding the mutex cannot slip between the
+/// waiter's predicate check and its sleep.
+#[test]
+fn condvar_handshake_never_hangs() {
+    use loom::sync::{Condvar, Mutex, PoisonError};
+    loom::model(|| {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = {
+            let pair = pair.clone();
+            thread::spawn(move || {
+                let (lock, cv) = &*pair;
+                let mut ready = lock.lock().unwrap_or_else(PoisonError::into_inner);
+                while !*ready {
+                    ready = cv.wait(ready).unwrap_or_else(PoisonError::into_inner);
+                }
+            })
+        };
+        let (lock, cv) = &*pair;
+        {
+            let mut ready = lock.lock().unwrap_or_else(PoisonError::into_inner);
+            *ready = true;
+            cv.notify_all();
+        }
+        waiter.join().unwrap();
+    });
+}
+
+/// A notify issued *without* the mutex has a lost-wakeup interleaving;
+/// the explorer must report it as a deadlock.
+#[test]
+fn explorer_finds_lost_wakeup() {
+    use loom::sync::{Condvar, Mutex, PoisonError};
+    let result = std::panic::catch_unwind(|| {
+        loom::model(|| {
+            let state = Arc::new((Mutex::new(()), Condvar::new(), AtomicUsize::new(0)));
+            let waiter = {
+                let state = state.clone();
+                thread::spawn(move || {
+                    let (lock, cv, flag) = &*state;
+                    let mut g = lock.lock().unwrap_or_else(PoisonError::into_inner);
+                    while flag.load(Ordering::SeqCst) == 0 {
+                        g = cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+                    }
+                })
+            };
+            let (_, cv, flag) = &*state;
+            // Broken on purpose: flag and notify outside the lock.
+            flag.store(1, Ordering::SeqCst);
+            cv.notify_all();
+            waiter.join().unwrap();
+        });
+    });
+    assert!(result.is_err(), "the lost wakeup must be caught as a deadlock");
+}

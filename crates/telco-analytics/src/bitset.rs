@@ -40,6 +40,31 @@ impl IdSet {
             *mine |= theirs;
         }
     }
+
+    /// Encode into a snapshot. Trailing zero words are trimmed so two
+    /// sets holding the same ids encode identically whatever their
+    /// capacity history.
+    pub(crate) fn snapshot(&self, w: &mut telco_trace::snap::SnapWriter) {
+        let used = self.words.iter().rposition(|&word| word != 0).map_or(0, |i| i + 1);
+        w.put_varint(used as u64);
+        for &word in &self.words[..used] {
+            w.put_u64(word);
+        }
+    }
+
+    /// Decode from a snapshot, replacing the current contents.
+    pub(crate) fn restore(
+        &mut self,
+        r: &mut telco_trace::snap::SnapReader,
+    ) -> Result<(), telco_trace::snap::SnapError> {
+        let n = r.get_len()?;
+        self.words.clear();
+        self.words.reserve(n);
+        for _ in 0..n {
+            self.words.push(r.get_u64()?);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

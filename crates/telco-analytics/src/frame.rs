@@ -21,6 +21,7 @@ use telco_trace::columnar::{ColumnBatch, FLAG_FAILURE};
 use telco_trace::hash::FxHashMap;
 use telco_trace::io::CodecError;
 use telco_trace::record::HoRecord;
+use telco_trace::snap::{SnapError, SnapReader, SnapWriter};
 use telco_trace::store::{ChunkIssue, TraceReader};
 
 use crate::sweep::{AnalysisPass, SweepCtx};
@@ -503,6 +504,61 @@ impl FrameBuilder {
     }
     // telco-lint: deny-nondeterminism(end)
 
+    /// Encode the accumulator. Spill cells are written in sorted key
+    /// order so the bytes never depend on hash-insertion history.
+    pub(crate) fn snapshot(&self, w: &mut SnapWriter) {
+        w.put_u32(self.window_days);
+        w.put_u32(self.n_sectors);
+        w.put_u32(self.n_windows);
+        w.put_varint(self.dense.len() as u64);
+        for group in &self.dense {
+            for &(hos, hofs) in group {
+                w.put_varint(u64::from(hos));
+                w.put_varint(u64::from(hofs));
+            }
+        }
+        let mut spill: Vec<(u64, CellGroup)> = self.spill.iter().map(|(&k, &v)| (k, v)).collect();
+        spill.sort_unstable_by_key(|&(k, _)| k);
+        w.put_varint(spill.len() as u64);
+        for (key, group) in spill {
+            w.put_varint(key);
+            for (hos, hofs) in group {
+                w.put_varint(u64::from(hos));
+                w.put_varint(u64::from(hofs));
+            }
+        }
+    }
+
+    pub(crate) fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        let get_u32_counter = |r: &mut SnapReader| -> Result<u32, SnapError> {
+            u32::try_from(r.get_varint()?).map_err(|_| SnapError::Malformed("cell count overflow"))
+        };
+        self.window_days = r.get_u32()?;
+        self.n_sectors = r.get_u32()?;
+        self.n_windows = r.get_u32()?;
+        let n = r.get_len()?;
+        self.dense = vec![CellGroup::default(); n];
+        for group in &mut self.dense {
+            for cell in group {
+                cell.0 = get_u32_counter(r)?;
+                cell.1 = get_u32_counter(r)?;
+            }
+        }
+        let n = r.get_len()?;
+        self.spill = FxHashMap::default();
+        self.spill.reserve(n);
+        for _ in 0..n {
+            let key = r.get_varint()?;
+            let mut group = CellGroup::default();
+            for cell in &mut group {
+                cell.0 = get_u32_counter(r)?;
+                cell.1 = get_u32_counter(r)?;
+            }
+            self.spill.insert(key, group);
+        }
+        Ok(())
+    }
+
     pub(crate) fn finish(self, world: &World) -> SectorDayFrame {
         let FrameBuilder { window_days, n_windows, dense, spill, .. } = self;
         let mut observations: Vec<SectorDayObs> = Vec::with_capacity(spill.len());
@@ -603,6 +659,25 @@ impl AnalysisPass for FramePass {
 
     fn end(self, ctx: &SweepCtx) -> SectorDayFrame {
         self.builder.finish(ctx.world)
+    }
+
+    const SNAPSHOT_VERSION: u16 = 1;
+
+    fn snapshot(&self, w: &mut SnapWriter) {
+        w.put_u8(match self.window {
+            FrameWindow::Daily => 0,
+            FrameWindow::FullPeriod => 1,
+        });
+        self.builder.snapshot(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.window = match r.get_u8()? {
+            0 => FrameWindow::Daily,
+            1 => FrameWindow::FullPeriod,
+            _ => return Err(SnapError::Malformed("frame window tag")),
+        };
+        self.builder.restore(r)
     }
 }
 

@@ -9,6 +9,7 @@ use telco_stats::corr::{pearson, r_squared};
 use telco_trace::columnar::ColumnBatch;
 use telco_trace::hash::{FxHashMap, FxHashSet};
 use telco_trace::record::HoRecord;
+use telco_trace::snap::{SnapError, SnapReader, SnapWriter};
 
 use crate::frame::Enriched;
 use crate::sweep::{AnalysisPass, SweepCtx};
@@ -184,6 +185,58 @@ impl AnalysisPass for PopulationPass {
             inferred_ues,
         }
     }
+
+    const SNAPSHOT_VERSION: u16 = 1;
+
+    fn snapshot(&self, w: &mut SnapWriter) {
+        w.put_u32(self.min_days);
+        // Hash maps encode in sorted-key order so identical logical
+        // state always yields identical bytes, whatever the insertion
+        // history of either map.
+        let mut per_ue: Vec<(u64, u32)> = self.per_ue.iter().map(|(&k, &v)| (k, v)).collect();
+        per_ue.sort_unstable_by_key(|&(k, _)| k);
+        w.put_varint(per_ue.len() as u64);
+        for (key, dwell) in per_ue {
+            w.put_varint(key);
+            w.put_varint(u64::from(dwell));
+        }
+        let mut ue_days: Vec<u64> = self.ue_days.iter().copied().collect();
+        ue_days.sort_unstable();
+        w.put_u64s(&ue_days);
+        let mut first: Vec<(u64, u16)> = self.first_of_day.iter().map(|(&k, &v)| (k, v)).collect();
+        first.sort_unstable_by_key(|&(k, _)| k);
+        w.put_varint(first.len() as u64);
+        for (key, district) in first {
+            w.put_varint(key);
+            w.put_u16(district);
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.min_days = r.get_u32()?;
+        let n = r.get_len()?;
+        self.per_ue = FxHashMap::default();
+        self.per_ue.reserve(n);
+        for _ in 0..n {
+            let key = r.get_varint()?;
+            let dwell = u32::try_from(r.get_varint()?)
+                .map_err(|_| SnapError::Malformed("dwell count overflow"))?;
+            self.per_ue.insert(key, dwell);
+        }
+        let days = r.get_u64s()?;
+        self.ue_days = FxHashSet::default();
+        self.ue_days.reserve(days.len());
+        self.ue_days.extend(days);
+        let n = r.get_len()?;
+        self.first_of_day = FxHashMap::default();
+        self.first_of_day.reserve(n);
+        for _ in 0..n {
+            let key = r.get_varint()?;
+            let district = r.get_u16()?;
+            self.first_of_day.insert(key, district);
+        }
+        Ok(())
+    }
 }
 
 /// Fig. 6 — daily handovers per km² vs population density, per district.
@@ -282,6 +335,17 @@ impl AnalysisPass for HoDensityPass {
             mean_density: mean,
             per_district,
         }
+    }
+
+    const SNAPSHOT_VERSION: u16 = 1;
+
+    fn snapshot(&self, w: &mut SnapWriter) {
+        w.put_u64s(&self.per_district_hos);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.per_district_hos = r.get_u64s()?;
+        Ok(())
     }
 }
 

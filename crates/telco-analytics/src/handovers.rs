@@ -11,6 +11,7 @@ use telco_stats::desc::{mean, std_dev};
 use telco_stats::ecdf::Ecdf;
 use telco_trace::columnar::{ColumnBatch, FLAG_FAILURE};
 use telco_trace::record::HoRecord;
+use telco_trace::snap::{SnapError, SnapReader, SnapWriter};
 
 use crate::frame::Enriched;
 use crate::sweep::{AnalysisPass, SweepCtx};
@@ -140,6 +141,32 @@ impl AnalysisPass for HoTypePass {
         }
         HoTypeTable { share, share_std, type_totals, device_totals }
     }
+
+    const SNAPSHOT_VERSION: u16 = 1;
+
+    fn snapshot(&self, w: &mut SnapWriter) {
+        w.put_varint(self.counts.len() as u64);
+        for day in &self.counts {
+            for row in day {
+                for &c in row {
+                    w.put_varint(c);
+                }
+            }
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        let days = r.get_len()?;
+        self.counts = vec![[[0u64; 3]; 3]; days];
+        for day in &mut self.counts {
+            for row in day {
+                for c in row {
+                    *c = r.get_varint()?;
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Fig. 8 — signaling-duration ECDFs per handover type (successes only).
@@ -268,6 +295,21 @@ impl AnalysisPass for DurationPass {
             to2g: (!per_type[2].is_empty()).then(|| Self::ecdf(&per_type[2])),
         }
     }
+
+    const SNAPSHOT_VERSION: u16 = 1;
+
+    fn snapshot(&self, w: &mut SnapWriter) {
+        for samples in &self.per_type {
+            w.put_f32s(samples);
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        for samples in &mut self.per_type {
+            *samples = r.get_f32s()?;
+        }
+        Ok(())
+    }
 }
 
 /// Fig. 9 — distribution of handover-type shares across districts.
@@ -358,6 +400,28 @@ impl AnalysisPass for DistrictPass {
             max_to3g_share: per_district.iter().map(|x| x.2).fold(0.0, f64::max),
             per_district,
         }
+    }
+
+    const SNAPSHOT_VERSION: u16 = 1;
+
+    fn snapshot(&self, w: &mut SnapWriter) {
+        w.put_varint(self.counts.len() as u64);
+        for row in &self.counts {
+            for &c in row {
+                w.put_varint(c);
+            }
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        let districts = r.get_len()?;
+        self.counts = vec![[0u64; 3]; districts];
+        for row in &mut self.counts {
+            for c in row {
+                *c = r.get_varint()?;
+            }
+        }
+        Ok(())
     }
 }
 

@@ -12,6 +12,7 @@ use telco_stats::ecdf::Ecdf;
 use telco_trace::columnar::{ColumnBatch, FLAG_FAILURE};
 use telco_trace::hash::FxHashSet;
 use telco_trace::record::HoRecord;
+use telco_trace::snap::{SnapError, SnapReader, SnapWriter};
 
 use crate::bitset::IdSet;
 use crate::frame::Enriched;
@@ -141,6 +142,43 @@ impl AnalysisPass for HofPatternsPass {
             urban: urban_samples.iter().map(|s| BoxplotStats::of(s)).collect(),
             rural: rural_samples.iter().map(|s| BoxplotStats::of(s)).collect(),
         }
+    }
+
+    const SNAPSHOT_VERSION: u16 = 1;
+
+    fn snapshot(&self, w: &mut SnapWriter) {
+        w.put_varint(self.hofs.len() as u64);
+        for slot in &self.hofs {
+            for &c in slot {
+                w.put_varint(u64::from(c));
+            }
+        }
+        w.put_varint(self.active.len() as u64);
+        for slot in &self.active {
+            for set in slot {
+                set.snapshot(w);
+            }
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        let slots = r.get_len()?;
+        self.hofs = vec![[0u32; 2]; slots];
+        for slot in &mut self.hofs {
+            for c in slot {
+                *c = u32::try_from(r.get_varint()?)
+                    .map_err(|_| SnapError::Malformed("hof count overflow"))?;
+            }
+        }
+        let slots = r.get_len()?;
+        self.active = Vec::new();
+        self.active.resize_with(slots, Default::default);
+        for slot in &mut self.active {
+            for set in slot {
+                set.restore(r)?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -463,6 +501,93 @@ impl AnalysisPass for CausePass {
             ],
             by_top5_manufacturer: top5,
         }
+    }
+
+    const SNAPSHOT_VERSION: u16 = 1;
+
+    fn snapshot(&self, w: &mut SnapWriter) {
+        w.put_varint(self.daily.len() as u64);
+        for day in &self.daily {
+            for &c in day {
+                w.put_varint(c);
+            }
+        }
+        w.put_u64s(&self.daily_total);
+        for &c in &self.by_type {
+            w.put_varint(c);
+        }
+        // Sorted so the set's insertion history never reaches the bytes.
+        let mut seen: Vec<u16> = self.seen.iter().copied().collect();
+        seen.sort_unstable();
+        w.put_varint(seen.len() as u64);
+        for code in seen {
+            w.put_u16(code);
+        }
+        w.put_varint(self.durations.len() as u64);
+        for samples in &self.durations {
+            w.put_f64s(samples);
+        }
+        for area in &self.by_area {
+            for &c in area {
+                w.put_varint(c);
+            }
+        }
+        for device in &self.by_device {
+            for &c in device {
+                w.put_varint(c);
+            }
+        }
+        w.put_varint(self.by_mfr.len() as u64);
+        for mfr in &self.by_mfr {
+            for &c in mfr {
+                w.put_varint(c);
+            }
+        }
+        w.put_varint(self.total_failures);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        let days = r.get_len()?;
+        self.daily = vec![[0u64; 9]; days];
+        for day in &mut self.daily {
+            for c in day {
+                *c = r.get_varint()?;
+            }
+        }
+        self.daily_total = r.get_u64s()?;
+        for c in &mut self.by_type {
+            *c = r.get_varint()?;
+        }
+        let n = r.get_len()?;
+        self.seen = FxHashSet::default();
+        self.seen.reserve(n);
+        for _ in 0..n {
+            self.seen.insert(r.get_u16()?);
+        }
+        let slots = r.get_len()?;
+        self.durations = Vec::with_capacity(slots);
+        for _ in 0..slots {
+            self.durations.push(r.get_f64s()?);
+        }
+        for area in &mut self.by_area {
+            for c in area {
+                *c = r.get_varint()?;
+            }
+        }
+        for device in &mut self.by_device {
+            for c in device {
+                *c = r.get_varint()?;
+            }
+        }
+        let mfrs = r.get_len()?;
+        self.by_mfr = vec![[0u64; 9]; mfrs];
+        for mfr in &mut self.by_mfr {
+            for c in mfr {
+                *c = r.get_varint()?;
+            }
+        }
+        self.total_failures = r.get_varint()?;
+        Ok(())
     }
 }
 

@@ -53,7 +53,9 @@ pub use mobility_analysis::{HofVsMobility, MobilityEcdfs};
 pub use modeling::{HofModels, ModelingOptions};
 pub use pingpong::{PingPongAnalysis, PingPongPass};
 pub use study::{Study, StudyPasses, SweepOutputs};
-pub use sweep::{AnalysisPass, Sweep, SweepCtx, TraceCounts, TraceCountsPass};
+pub use sweep::{
+    restore_pass, snapshot_pass, AnalysisPass, Sweep, SweepCtx, TraceCounts, TraceCountsPass,
+};
 pub use tables::TextTable;
 pub use timeseries::TemporalEvolution;
 pub use vendor_analysis::{VendorAnalysis, VendorPass};

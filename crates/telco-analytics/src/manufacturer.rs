@@ -15,6 +15,7 @@ use telco_devices::types::{DeviceType, Manufacturer};
 use telco_stats::boxplot::BoxplotStats;
 use telco_trace::columnar::{ColumnBatch, FLAG_FAILURE};
 use telco_trace::record::HoRecord;
+use telco_trace::snap::{SnapError, SnapReader, SnapWriter};
 
 use crate::frame::Enriched;
 use crate::sweep::{AnalysisPass, SweepCtx};
@@ -217,6 +218,37 @@ impl AnalysisPass for ManufacturerPass {
             hof_ratio: collect(hof_ratios),
             min_devices,
         }
+    }
+
+    const SNAPSHOT_VERSION: u16 = 1;
+
+    fn snapshot(&self, w: &mut SnapWriter) {
+        match self.min_devices {
+            None => w.put_bool(false),
+            Some(n) => {
+                w.put_bool(true);
+                w.put_varint(n as u64);
+            }
+        }
+        for grid in [&self.cells, &self.totals] {
+            w.put_varint(grid.len() as u64);
+            for &(hos, hofs) in grid {
+                w.put_varint(hos);
+                w.put_varint(hofs);
+            }
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.min_devices = if r.get_bool()? { Some(r.get_len()?) } else { None };
+        for grid in [&mut self.cells, &mut self.totals] {
+            let n = r.get_len()?;
+            *grid = Vec::with_capacity(n.min(r.remaining()));
+            for _ in 0..n {
+                grid.push((r.get_varint()?, r.get_varint()?));
+            }
+        }
+        Ok(())
     }
 }
 

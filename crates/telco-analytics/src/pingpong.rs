@@ -13,6 +13,7 @@ use telco_devices::population::UeId;
 use telco_devices::types::Manufacturer;
 use telco_trace::columnar::ColumnBatch;
 use telco_trace::record::HoRecord;
+use telco_trace::snap::{SnapError, SnapReader, SnapWriter};
 
 use crate::frame::Enriched;
 use crate::sweep::{AnalysisPass, SweepCtx};
@@ -68,6 +69,38 @@ fn leg_slot(legs: &mut Vec<Option<Leg>>, ue: usize) -> &mut Option<Leg> {
         legs.resize(ue + 1, None);
     }
     &mut legs[ue]
+}
+
+/// Encode a per-UE edge table. Trailing absent slots are trimmed so the
+/// bytes depend only on the legs actually observed, not on how far the
+/// table happened to grow.
+fn snapshot_legs(legs: &[Option<Leg>], w: &mut SnapWriter) {
+    let used = legs.iter().rposition(Option::is_some).map_or(0, |i| i + 1);
+    w.put_varint(used as u64);
+    for leg in &legs[..used] {
+        match leg {
+            None => w.put_bool(false),
+            Some((ts, src, tgt)) => {
+                w.put_bool(true);
+                w.put_varint(*ts);
+                w.put_u32(*src);
+                w.put_u32(*tgt);
+            }
+        }
+    }
+}
+
+fn restore_legs(r: &mut SnapReader) -> Result<Vec<Option<Leg>>, SnapError> {
+    let n = r.get_len()?;
+    let mut legs = Vec::with_capacity(n.min(r.remaining()));
+    for _ in 0..n {
+        legs.push(if r.get_bool()? {
+            Some((r.get_varint()?, r.get_u32()?, r.get_u32()?))
+        } else {
+            None
+        });
+    }
+    Ok(legs)
 }
 
 /// Streaming accumulator for [`PingPongAnalysis`]: for each UE, a handover
@@ -235,6 +268,37 @@ impl AnalysisPass for PingPongPass {
                 0.0
             },
         }
+    }
+
+    const SNAPSHOT_VERSION: u16 = 1;
+
+    fn snapshot(&self, w: &mut SnapWriter) {
+        w.put_varint(self.window_ms);
+        snapshot_legs(&self.first, w);
+        snapshot_legs(&self.last, w);
+        w.put_varint(self.total);
+        w.put_varint(self.pingpong);
+        w.put_f64(self.return_sum);
+        w.put_varint(self.per_mfr.len() as u64);
+        for &(hos, pps) in &self.per_mfr {
+            w.put_varint(hos);
+            w.put_varint(pps);
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.window_ms = r.get_varint()?;
+        self.first = restore_legs(r)?;
+        self.last = restore_legs(r)?;
+        self.total = r.get_varint()?;
+        self.pingpong = r.get_varint()?;
+        self.return_sum = r.get_f64()?;
+        let n = r.get_len()?;
+        self.per_mfr = Vec::with_capacity(n.min(r.remaining()));
+        for _ in 0..n {
+            self.per_mfr.push((r.get_varint()?, r.get_varint()?));
+        }
+        Ok(())
     }
 }
 

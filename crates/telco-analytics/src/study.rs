@@ -8,7 +8,9 @@
 //! read only the world or the mobility output (device mix, RAT usage,
 //! deployment evolution, mobility ECDFs) never touch the trace at all.
 
+use serde::Serialize;
 use telco_sim::{run_study, SimConfig, StudyData};
+use telco_trace::snap::{SnapError, SnapReader, SnapWriter};
 
 use crate::frame::{FramePass, FrameWindow, SectorDayFrame};
 use crate::geodemo::{HoDensity, HoDensityPass, PopulationInference, PopulationPass};
@@ -21,12 +23,17 @@ use crate::manufacturer::{ManufacturerImpact, ManufacturerPass};
 use crate::mobility_analysis::{HofVsMobility, MobilityEcdfs};
 use crate::modeling::{HofModels, ModelingOptions};
 use crate::pingpong::{PingPongAnalysis, PingPongPass};
-use crate::sweep::{AnalysisPass, Sweep, SweepCtx, TraceCounts, TraceCountsPass};
+use crate::sweep::{
+    restore_pass, snapshot_pass, AnalysisPass, Sweep, SweepCtx, TraceCounts, TraceCountsPass,
+};
 use crate::timeseries::{TemporalEvolution, TemporalPass};
 use crate::vendor_analysis::{VendorAnalysis, VendorPass};
 
 /// Everything one shared sweep produces: the full set of record-derived
-/// analyses plus both sector frames.
+/// analyses plus both sector frames. Serializes (for the query front of
+/// `telco-serve` and the batch-equivalence goldens) with one stable field
+/// name per analysis.
+#[derive(Serialize)]
 pub struct SweepOutputs {
     /// Whole-trace counters (record totals, failure count).
     pub trace_counts: TraceCounts,
@@ -223,6 +230,63 @@ impl AnalysisPass for StudyPasses {
             period_frame: self.period_frame.expect("begin ran").end(ctx),
             frame,
         }
+    }
+
+    const SNAPSHOT_VERSION: u16 = 1;
+
+    /// The composite embeds one full frame (magic + version + CRC) per
+    /// sub-pass, so a version bump in any single analysis invalidates a
+    /// stale composite snapshot with a precise per-pass error instead of
+    /// silently misparsing the neighbors' bytes.
+    fn snapshot(&self, w: &mut SnapWriter) {
+        w.put_bytes(&snapshot_pass(&self.counts));
+        w.put_bytes(&snapshot_pass(&self.ho_types));
+        w.put_bytes(&snapshot_pass(&self.durations));
+        w.put_bytes(&snapshot_pass(&self.districts));
+        w.put_bytes(&snapshot_pass(&self.population));
+        w.put_bytes(&snapshot_pass(&self.density));
+        w.put_bytes(&snapshot_pass(&self.temporal));
+        w.put_bytes(&snapshot_pass(&self.manufacturer));
+        w.put_bytes(&snapshot_pass(&self.hof_patterns));
+        w.put_bytes(&snapshot_pass(&self.causes));
+        w.put_bytes(&snapshot_pass(&self.pingpong));
+        w.put_bytes(&snapshot_pass(&self.vendor));
+        for frame in [&self.frame, &self.period_frame] {
+            match frame {
+                None => w.put_bool(false),
+                Some(pass) => {
+                    w.put_bool(true);
+                    w.put_bytes(&snapshot_pass(pass));
+                }
+            }
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        restore_pass(&mut self.counts, r.get_bytes()?)?;
+        restore_pass(&mut self.ho_types, r.get_bytes()?)?;
+        restore_pass(&mut self.durations, r.get_bytes()?)?;
+        restore_pass(&mut self.districts, r.get_bytes()?)?;
+        restore_pass(&mut self.population, r.get_bytes()?)?;
+        restore_pass(&mut self.density, r.get_bytes()?)?;
+        restore_pass(&mut self.temporal, r.get_bytes()?)?;
+        restore_pass(&mut self.manufacturer, r.get_bytes()?)?;
+        restore_pass(&mut self.hof_patterns, r.get_bytes()?)?;
+        restore_pass(&mut self.causes, r.get_bytes()?)?;
+        restore_pass(&mut self.pingpong, r.get_bytes()?)?;
+        restore_pass(&mut self.vendor, r.get_bytes()?)?;
+        for slot in [&mut self.frame, &mut self.period_frame] {
+            *slot = if r.get_bool()? {
+                // The window mode placeholder is overwritten by the
+                // frame's own snapshot bytes.
+                let mut pass = FramePass::new(FrameWindow::Daily);
+                restore_pass(&mut pass, r.get_bytes()?)?;
+                Some(pass)
+            } else {
+                None
+            };
+        }
+        Ok(())
     }
 }
 

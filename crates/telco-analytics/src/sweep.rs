@@ -48,6 +48,7 @@ use telco_trace::columnar::{ColumnBatch, FLAG_FAILURE};
 use telco_trace::io::CodecError;
 use telco_trace::prefetch::{Frame, FrameQueue};
 use telco_trace::record::HoRecord;
+use telco_trace::snap::{decode_frame, encode_frame, SnapError, SnapReader, SnapWriter};
 use telco_trace::source::COLUMN_BATCH_RECORDS;
 use telco_trace::store::{decode_payload_columns, ChunkIssue, TraceReader};
 
@@ -121,6 +122,53 @@ pub trait AnalysisPass {
 
     /// Finish the analysis: ratios, sorts, ECDFs, and world joins.
     fn end(self, ctx: &SweepCtx) -> Self::Output;
+
+    /// Version tag of this pass's snapshot encoding. Bump it whenever
+    /// the byte layout written by [`AnalysisPass::snapshot`] changes so
+    /// stale persisted state fails loudly instead of restoring garbage.
+    const SNAPSHOT_VERSION: u16;
+
+    /// Serialize the accumulator state into `w`.
+    ///
+    /// The encoding must be **deterministic** (two accumulators holding
+    /// the same logical state produce identical bytes — sort any
+    /// hash-ordered collection before encoding) and **self-sufficient**:
+    /// it captures sizes and construction parameters, so restoring into
+    /// a default-constructed instance rebuilds this one exactly.
+    fn snapshot(&self, w: &mut SnapWriter);
+
+    /// Overwrite the accumulator from bytes written by
+    /// [`AnalysisPass::snapshot`]. After a successful restore the pass
+    /// behaves exactly as the snapshotted one: it can keep recording,
+    /// [`AnalysisPass::merge`] deltas, and [`AnalysisPass::end`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapError`] when the payload is truncated or malformed.
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError>;
+}
+
+/// Snapshot a pass into a self-describing frame: magic, the pass's
+/// [`AnalysisPass::SNAPSHOT_VERSION`], the payload, and a CRC-32 over
+/// both (see [`telco_trace::snap`]).
+pub fn snapshot_pass<P: AnalysisPass>(pass: &P) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    pass.snapshot(&mut w);
+    encode_frame(P::SNAPSHOT_VERSION, &w.into_bytes())
+}
+
+/// Restore a pass from a frame written by [`snapshot_pass`], verifying
+/// magic, version, CRC, and full payload consumption.
+///
+/// # Errors
+///
+/// Any [`SnapError`]: corrupted or truncated frames, a version other
+/// than the pass's current one, or undecoded trailing payload bytes.
+pub fn restore_pass<P: AnalysisPass>(pass: &mut P, bytes: &[u8]) -> Result<(), SnapError> {
+    let payload = decode_frame(P::SNAPSHOT_VERSION, bytes)?;
+    let mut r = SnapReader::new(payload);
+    pass.restore(&mut r)?;
+    r.finish()
 }
 
 /// The sweep driver: one shared traversal of a study's trace feeding any
@@ -451,6 +499,27 @@ impl AnalysisPass for TraceCountsPass {
 
     fn end(self, _ctx: &SweepCtx) -> TraceCounts {
         self.counts
+    }
+
+    const SNAPSHOT_VERSION: u16 = 1;
+
+    fn snapshot(&self, w: &mut SnapWriter) {
+        w.put_varint(self.counts.records);
+        for &n in &self.counts.by_type {
+            w.put_varint(n);
+        }
+        w.put_varint(self.counts.failures);
+        w.put_u32(self.counts.days);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.counts.records = r.get_varint()?;
+        for slot in &mut self.counts.by_type {
+            *slot = r.get_varint()?;
+        }
+        self.counts.failures = r.get_varint()?;
+        self.counts.days = r.get_u32()?;
+        Ok(())
     }
 }
 

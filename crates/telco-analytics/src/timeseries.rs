@@ -9,6 +9,7 @@ use telco_mobility::schedule::DayOfWeek;
 use telco_stats::corr::pearson;
 use telco_trace::columnar::ColumnBatch;
 use telco_trace::record::HoRecord;
+use telco_trace::snap::{SnapError, SnapReader, SnapWriter};
 
 use crate::bitset::IdSet;
 use crate::frame::Enriched;
@@ -260,6 +261,48 @@ impl AnalysisPass for TemporalPass {
             sunday_vs_friday_drop: 1.0 - sunday / friday.max(1e-9),
             morning_surge,
         }
+    }
+
+    const SNAPSHOT_VERSION: u16 = 1;
+
+    fn snapshot(&self, w: &mut SnapWriter) {
+        w.put_varint(self.n_weeks as u64);
+        for area in &self.ho_weeks {
+            w.put_varint(area.len() as u64);
+            for week in area {
+                w.put_f64s(week);
+            }
+        }
+        w.put_varint(self.active.len() as u64);
+        for slot in &self.active {
+            for set in slot {
+                set.snapshot(w);
+            }
+        }
+        w.put_varint(self.urban_total);
+        w.put_varint(self.total);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.n_weeks = r.get_len()?;
+        for area in &mut self.ho_weeks {
+            let weeks = r.get_len()?;
+            *area = Vec::with_capacity(weeks);
+            for _ in 0..weeks {
+                area.push(r.get_f64s()?);
+            }
+        }
+        let slots = r.get_len()?;
+        self.active = Vec::new();
+        self.active.resize_with(slots, Default::default);
+        for slot in &mut self.active {
+            for set in slot {
+                set.restore(r)?;
+            }
+        }
+        self.urban_total = r.get_varint()?;
+        self.total = r.get_varint()?;
+        Ok(())
     }
 }
 

@@ -12,6 +12,7 @@ use telco_stats::boxplot::BoxplotStats;
 use telco_topology::vendor::Vendor;
 use telco_trace::columnar::ColumnBatch;
 use telco_trace::record::HoRecord;
+use telco_trace::snap::{SnapError, SnapReader, SnapWriter};
 
 use crate::frame::{Enriched, SectorDayFrame};
 use crate::sweep::{AnalysisPass, SweepCtx};
@@ -147,6 +148,25 @@ impl AnalysisPass for VendorPass {
 
     fn end(self, _ctx: &SweepCtx) -> [[u64; 4]; 3] {
         self.type_counts
+    }
+
+    const SNAPSHOT_VERSION: u16 = 1;
+
+    fn snapshot(&self, w: &mut SnapWriter) {
+        for row in &self.type_counts {
+            for &c in row {
+                w.put_varint(c);
+            }
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        for row in &mut self.type_counts {
+            for c in row {
+                *c = r.get_varint()?;
+            }
+        }
+        Ok(())
     }
 }
 

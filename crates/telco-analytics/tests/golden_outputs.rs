@@ -222,6 +222,45 @@ fn golden_study_tiny_parallel_sweep() {
     }
 }
 
+/// The tiny golden, reproduced by the incremental ingest service: the
+/// same fixed-seed study fed day-by-day through the snapshot commit
+/// protocol ([`telco_serve::IngestEngine`]) must serve a full view
+/// byte-identical to the one-shot batch sweep, and its tracked metrics
+/// must print the exact same golden bytes. This gates the serve path on
+/// the same pinned numbers as every other execution strategy.
+#[test]
+fn golden_study_tiny_incremental_ingest() {
+    let expected = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/goldens/study_tiny.json"),
+    )
+    .expect("tiny golden must exist (UPDATE_GOLDENS=1 on golden_study_tiny)");
+
+    let dir = std::env::temp_dir().join("telco_golden_ingest");
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Box::new(telco_store::DirStore::create(&dir).unwrap());
+    let mut engine =
+        telco_serve::IngestEngine::open(SimConfig::tiny(), store, telco_serve::DEFAULT_WINDOW)
+            .expect("open ingest engine");
+    while engine.ingest_next_day().expect("ingest day").is_some() {}
+
+    // The served full view must match the batch sweep byte-for-byte...
+    let batch = Study::run(SimConfig::tiny());
+    let batch_json = serde_json::to_string(batch.sweep()).expect("batch sweep outputs serialize");
+    let view = engine.build_view().expect("served view");
+    assert_eq!(
+        view.full.as_deref(),
+        Some(batch_json.as_str()),
+        "served study drifted from the one-shot batch study"
+    );
+
+    // ...and the batch study those bytes mirror must still be golden.
+    assert_eq!(
+        golden_json("tiny", &batch),
+        expected,
+        "batch study behind the ingest comparison drifted from the golden"
+    );
+}
+
 #[test]
 fn golden_tracks_real_drift() {
     // The suite must fail when a tracked metric moves: a different seed

@@ -1,0 +1,124 @@
+//! `repro bench-serve` — measure the always-on service: sustained ingest
+//! rate (day folds through the full snapshot commit protocol, including
+//! per-day view rebuilds) while concurrent clients hammer the query
+//! socket, and the query latency distribution they observe. Writes the
+//! numbers to `BENCH_serve.json` at the repo root.
+//!
+//! The query load runs *during* ingest on purpose: the design claim is
+//! that queries never contend with a fold (they read the previously
+//! published view), so their p99 should not balloon while days commit.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use telco_serve::{query_line, IngestEngine, Published, QueryServer};
+use telco_sim::SimConfig;
+use telco_store::DirStore;
+
+/// Concurrent query clients hammering the socket during ingest.
+const CLIENTS: usize = 4;
+
+const QUERIES: [&str; 5] = [
+    "{\"query\":\"status\"}",
+    "{\"query\":\"outputs\"}",
+    "{\"query\":\"window\",\"days\":1}",
+    "{\"query\":\"window\",\"days\":7}",
+    "{\"query\":\"table\",\"name\":\"ho_types\"}",
+];
+
+fn percentile_ms(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Run the serve benchmark on `config` and write `BENCH_serve.json`.
+pub fn run(config: SimConfig, preset: &str) {
+    let dir = std::env::temp_dir().join("telco-bench-serve");
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Box::new(DirStore::create(&dir).expect("create bench store"));
+    let mut engine = IngestEngine::open(config.clone(), store, telco_serve::DEFAULT_WINDOW)
+        .expect("open ingest");
+    let published = Arc::new(Published::new(engine.build_view().expect("initial view")));
+    let mut server = QueryServer::start(Arc::clone(&published), 0).expect("bind query socket");
+    let addr = server.addr();
+    eprintln!(
+        "bench-serve: {preset} preset ({} UEs x {} days), {CLIENTS} query clients on {addr}",
+        config.n_ues, config.n_days
+    );
+
+    // Query clients: rotate through the query matrix until told to stop,
+    // recording one latency sample per round trip.
+    let stop = Arc::new(AtomicBool::new(false));
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut latencies_ms = Vec::new();
+                let mut i = c; // desynchronize the rotation across clients
+                               // ordering: Relaxed — plain stop flag; latency samples publish via thread join, not the flag
+                while !stop.load(Ordering::Relaxed) {
+                    let query = QUERIES[i % QUERIES.len()];
+                    i += 1;
+                    let t0 = Instant::now();
+                    if query_line(addr, query).is_err() {
+                        break;
+                    }
+                    latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                }
+                latencies_ms
+            })
+        })
+        .collect();
+
+    // The ingest loop under measurement: day fold + snapshot commits +
+    // view rebuild + publish, i.e. exactly what `repro serve` sustains.
+    let t0 = Instant::now();
+    let mut records = 0u64;
+    let mut days = 0u32;
+    while let Some(report) = engine.ingest_next_day().expect("ingest day") {
+        records += report.records;
+        days += 1;
+        published.publish(engine.build_view().expect("rebuild view"));
+    }
+    let ingest_secs = t0.elapsed().as_secs_f64();
+
+    // Keep serving briefly after ingest so the tail of the latency
+    // sample isn't dominated by fold contention — then stop the load.
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    stop.store(true, Ordering::Relaxed); // ordering: Relaxed — clients only need to see it eventually; join below is the barrier
+    let mut latencies_ms: Vec<f64> =
+        clients.into_iter().flat_map(|c| c.join().expect("query client")).collect();
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    server.stop();
+
+    let view_bytes = published.current().full.as_ref().map_or(0, String::len);
+    let p50 = percentile_ms(&latencies_ms, 0.50);
+    let p99 = percentile_ms(&latencies_ms, 0.99);
+    eprintln!(
+        "bench-serve: {days} days ({records} records) in {ingest_secs:.2}s; {} queries, \
+         p50 {p50:.2}ms p99 {p99:.2}ms",
+        latencies_ms.len()
+    );
+
+    // The vendored serde_json is a stand-in, so format by hand.
+    let json = format!(
+        "{{\n  \"preset\": \"{preset}\",\n  \"ues\": {},\n  \"days\": {days},\n  \
+         \"records\": {records},\n  \"ingest\": {{\n    \"secs\": {ingest_secs:.4},\n    \
+         \"days_per_sec\": {:.3},\n    \"records_per_sec\": {:.0},\n    \
+         \"includes_view_rebuild\": true\n  }},\n  \"queries\": {{\n    \
+         \"clients\": {CLIENTS},\n    \"count\": {},\n    \"concurrent_with_ingest\": true,\n    \
+         \"p50_ms\": {p50:.3},\n    \"p99_ms\": {p99:.3}\n  }},\n  \
+         \"served_view_bytes\": {view_bytes}\n}}\n",
+        config.n_ues,
+        days as f64 / ingest_secs,
+        records as f64 / ingest_secs,
+        latencies_ms.len(),
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    eprintln!("bench-serve: wrote BENCH_serve.json");
+    let _ = std::fs::remove_dir_all(&dir);
+}

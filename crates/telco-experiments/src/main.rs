@@ -22,17 +22,22 @@ use telco_sim::SimConfig;
 use telco_stats::desc::percentile;
 
 mod bench_runner;
+mod bench_serve;
 mod bench_study;
 mod bench_trace;
 mod orchestrate_cli;
+mod serve_cli;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    // Sharded-sweep subcommands route before flag parsing: they own
-    // their argument grammar (see orchestrate_cli).
+    // Sharded-sweep and serve subcommands route before flag parsing:
+    // they own their argument grammar (see orchestrate_cli, serve_cli).
     if let Some(first) = args.first() {
         if ["plan", "worker", "orchestrate"].contains(&first.as_str()) {
             std::process::exit(orchestrate_cli::run(first, &args[1..]));
+        }
+        if ["serve", "query"].contains(&first.as_str()) {
+            std::process::exit(serve_cli::run(first, &args[1..]));
         }
     }
     let mut config = SimConfig::default_study();
@@ -64,14 +69,26 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--small|--medium|--tiny] [--spill-dir <dir>] \
-                     [bench-runner|bench-trace|bench-study|experiment ...]\n       \
+                     [bench-runner|bench-trace|bench-study|bench-serve|experiment ...]\n       \
                      repro plan|worker|orchestrate --dir <store> ...  (sharded sweeps; \
+                     see EXPERIMENTS.md)\n       \
+                     repro serve|query ...  (snapshot-native ingest + query service; \
                      see EXPERIMENTS.md)"
                 );
                 return;
             }
             other => wanted.push(other.to_string()),
         }
+    }
+    if wanted.iter().any(|w| w == "bench-serve") {
+        // Service measurement: ingest rate + query latency under load.
+        // Defaults to the small preset unless a scale flag was given.
+        if preset_name == "default" {
+            config = SimConfig::small();
+            preset_name = "small";
+        }
+        bench_serve::run(config, preset_name);
+        return;
     }
     if wanted.iter().any(|w| w == "bench-trace") {
         // Throughput measurement: defaults to the small preset unless a

@@ -1,0 +1,278 @@
+//! `repro serve` / `repro query` — the CLI face of the snapshot-native
+//! ingest service (`telco-serve`).
+//!
+//! ```text
+//! repro serve [--tiny|--small|--medium] [--ues N] [--days D]
+//!             [--window W] [--port P] [--store <dir>] [--check-batch]
+//! repro query --addr 127.0.0.1:<port> <query> [--name <section>] [--days 1|7]
+//! repro query --addr 127.0.0.1:<port> '{"query":"..."}'
+//! ```
+//!
+//! `serve` opens (or resumes) a snapshot store, ingests the configured
+//! day stream through the crash-safe commit protocol, publishes a fresh
+//! query view after every committed day, and then stays up answering
+//! newline-JSON queries until a `shutdown` query arrives. With
+//! `--check-batch` it instead verifies the served study byte-for-byte
+//! against a one-shot batch study (running a few self-queries through
+//! the real socket on the way), prints `SERVE OK`, and exits — the CI
+//! smoke entry point.
+
+use std::sync::Arc;
+
+use telco_serve::{query_line, IngestEngine, Published, QueryServer};
+use telco_sim::SimConfig;
+use telco_store::DirStore;
+
+fn usage(cmd: &str) -> i32 {
+    eprintln!(
+        "usage: repro serve [--tiny|--small|--medium] [--ues N] [--days D] [--window W] \
+         [--port P] [--store <dir>] [--check-batch]\n       \
+         repro query --addr 127.0.0.1:<port> <status|outputs|shutdown|...> \
+         [--name <section>] [--days 1|7]"
+    );
+    eprintln!("repro {cmd}: bad arguments");
+    2
+}
+
+/// Entry point for the `serve` and `query` subcommands (routed before
+/// the main flag parser, like the orchestrator subcommands).
+pub fn run(cmd: &str, args: &[String]) -> i32 {
+    match cmd {
+        "serve" => run_serve(args),
+        "query" => run_query(args),
+        _ => usage(cmd),
+    }
+}
+
+fn run_serve(args: &[String]) -> i32 {
+    let mut config = SimConfig::small();
+    let mut preset = "small";
+    let mut port = 0u16;
+    let mut window = telco_serve::DEFAULT_WINDOW;
+    let mut store_dir: Option<std::path::PathBuf> = None;
+    let mut check_batch = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--tiny" => (config, preset) = (SimConfig::tiny(), "tiny"),
+            "--small" => (config, preset) = (SimConfig::small(), "small"),
+            "--medium" => (config, preset) = (SimConfig::medium(), "medium"),
+            "--ues" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.n_ues = n,
+                None => return usage("serve"),
+            },
+            "--days" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.n_days = n,
+                None => return usage("serve"),
+            },
+            "--window" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => window = n,
+                None => return usage("serve"),
+            },
+            "--port" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => port = n,
+                None => return usage("serve"),
+            },
+            "--store" => match iter.next() {
+                Some(dir) => store_dir = Some(std::path::PathBuf::from(dir)),
+                None => return usage("serve"),
+            },
+            "--check-batch" => check_batch = true,
+            _ => return usage("serve"),
+        }
+    }
+    let store_dir =
+        store_dir.unwrap_or_else(|| std::env::temp_dir().join(format!("telco-serve-{preset}")));
+
+    let store = match DirStore::create(&store_dir) {
+        Ok(store) => Box::new(store),
+        Err(e) => {
+            eprintln!("repro serve: cannot open store {}: {e}", store_dir.display());
+            return 1;
+        }
+    };
+    let mut engine = match IngestEngine::open(config.clone(), store, window) {
+        Ok(engine) => engine,
+        Err(e) => {
+            eprintln!("repro serve: cannot open ingest: {e}");
+            return 1;
+        }
+    };
+    let initial = match engine.build_view() {
+        Ok(view) => view,
+        Err(e) => {
+            eprintln!("repro serve: cannot build view: {e}");
+            return 1;
+        }
+    };
+    let published = Arc::new(Published::new(initial));
+    let mut server = match QueryServer::start(Arc::clone(&published), port) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("repro serve: cannot bind query socket: {e}");
+            return 1;
+        }
+    };
+    println!("repro serve: listening on {}", server.addr());
+    eprintln!(
+        "repro serve: {preset} preset, {} UEs x {} days, store {}, {} day(s) already committed",
+        config.n_ues,
+        config.n_days,
+        store_dir.display(),
+        engine.committed_days(),
+    );
+
+    loop {
+        match engine.ingest_next_day() {
+            Ok(Some(report)) => {
+                eprintln!("repro serve: committed day {} ({} records)", report.day, report.records);
+                match engine.build_view() {
+                    Ok(view) => published.publish(view),
+                    Err(e) => {
+                        eprintln!("repro serve: cannot rebuild view: {e}");
+                        return 1;
+                    }
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                eprintln!("repro serve: ingest failed: {e}");
+                return 1;
+            }
+        }
+        if server.shutdown_requested() {
+            eprintln!("repro serve: shutdown requested mid-stream");
+            return 0;
+        }
+    }
+    eprintln!("repro serve: stream exhausted at {} days", engine.committed_days());
+
+    if check_batch {
+        return check_against_batch(&engine, server.addr(), config);
+    }
+
+    // Stay up until a shutdown query arrives.
+    while !server.shutdown_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    server.stop();
+    eprintln!("repro serve: shut down cleanly");
+    0
+}
+
+/// The `--check-batch` self-test: the served full view must be
+/// byte-identical to a one-shot batch study, and the live socket must
+/// answer the query matrix.
+fn check_against_batch(
+    engine: &IngestEngine,
+    addr: std::net::SocketAddr,
+    config: SimConfig,
+) -> i32 {
+    let served = match engine.build_view() {
+        Ok(view) => match view.full {
+            Some(full) => full,
+            None => {
+                eprintln!("repro serve: no committed data to check");
+                return 1;
+            }
+        },
+        Err(e) => {
+            eprintln!("repro serve: cannot build view: {e}");
+            return 1;
+        }
+    };
+    eprintln!("repro serve: running one-shot batch study for comparison...");
+    let batch = telco_analytics::Study::run(config);
+    let expected = match serde_json::to_string(batch.sweep()) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("repro serve: batch study failed to serialize: {e}");
+            return 1;
+        }
+    };
+    if served != expected {
+        eprintln!(
+            "repro serve: SERVE MISMATCH — served study differs from the batch study \
+             ({} vs {} bytes)",
+            served.len(),
+            expected.len()
+        );
+        return 1;
+    }
+
+    // Exercise the socket the way a client would.
+    for (query, must_contain) in [
+        ("{\"query\":\"status\"}", "\"ok\":true"),
+        ("{\"query\":\"outputs\"}", "\"trace_counts\""),
+        ("{\"query\":\"table\",\"name\":\"ho_types\"}", "\"section\""),
+        ("{\"query\":\"window\",\"days\":1}", "\"outputs\""),
+        ("{\"query\":\"window\",\"days\":7}", "\"outputs\""),
+        ("{\"query\":\"shutdown\"}", "shutting_down"),
+    ] {
+        match query_line(addr, query) {
+            Ok(response) if response.contains(must_contain) => {}
+            Ok(response) => {
+                eprintln!("repro serve: query {query} answered unexpectedly: {response}");
+                return 1;
+            }
+            Err(e) => {
+                eprintln!("repro serve: query {query} failed: {e}");
+                return 1;
+            }
+        }
+    }
+    println!(
+        "SERVE OK: {} days, {} bytes of served outputs byte-identical to the batch study",
+        engine.committed_days(),
+        served.len()
+    );
+    0
+}
+
+fn run_query(args: &[String]) -> i32 {
+    let mut addr: Option<String> = None;
+    let mut name: Option<String> = None;
+    let mut days: Option<u32> = None;
+    let mut what: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => addr = iter.next().cloned(),
+            "--name" => name = iter.next().cloned(),
+            "--days" => days = iter.next().and_then(|v| v.parse().ok()),
+            other if what.is_none() => what = Some(other.to_string()),
+            _ => return usage("query"),
+        }
+    }
+    let (Some(addr), Some(what)) = (addr, what) else { return usage("query") };
+    let Ok(addr) = addr.parse::<std::net::SocketAddr>() else {
+        eprintln!("repro query: --addr must be host:port");
+        return 2;
+    };
+
+    // A raw JSON object passes through verbatim; a bare word becomes
+    // {"query": <word>, ...} with the optional --name / --days fields.
+    let line = if what.starts_with('{') {
+        what
+    } else {
+        let mut line = format!("{{\"query\":\"{what}\"");
+        if let Some(name) = &name {
+            line.push_str(&format!(",\"name\":\"{name}\""));
+        }
+        if let Some(days) = days {
+            line.push_str(&format!(",\"days\":{days}"));
+        }
+        line.push('}');
+        line
+    };
+    match query_line(addr, &line) {
+        Ok(response) => {
+            println!("{response}");
+            i32::from(!response.contains("\"ok\":true"))
+        }
+        Err(e) => {
+            eprintln!("repro query: {e}");
+            1
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! `telco-served` — the standalone ingest worker the crash-recovery
+//! suite drives as a subprocess: open a snapshot store, ingest every
+//! pending day through the commit protocol (crashing at an injected
+//! fault point if `TELCO_SERVE_FAULT` names one), and on a complete
+//! ingest write the canonical full view to `final.json` in the store.
+//!
+//! ```text
+//! telco-served --store <dir> [--ues N] [--days D] [--window W]
+//! ```
+//!
+//! Unlike `telco-worker`, this binary is deliberately chatty on stderr:
+//! the recovery tests read the per-day commit lines to prove a restart
+//! resumes at the right day instead of replaying committed ones.
+//!
+//! Exit codes: `0` complete, `17` injected crash, `1` real failure,
+//! `2` usage.
+
+use telco_serve::IngestEngine;
+use telco_sim::SimConfig;
+use telco_store::{put_bytes, DirStore};
+
+/// Progress/diagnostic line. The single stderr funnel of the binary.
+fn note(msg: &str) {
+    // telco-lint: allow(print): subprocess harness — stderr is the observable log the recovery tests assert on
+    eprintln!("telco-served: {msg}");
+}
+
+fn die(msg: &str) -> ! {
+    note(msg);
+    std::process::exit(1);
+}
+
+fn usage() -> ! {
+    note("usage: telco-served --store <dir> [--ues N] [--days D] [--window W]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut store_dir: Option<std::path::PathBuf> = None;
+    let mut config = SimConfig::tiny();
+    let mut window = telco_serve::DEFAULT_WINDOW;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--store" => store_dir = iter.next().map(std::path::PathBuf::from),
+            "--ues" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.n_ues = n,
+                None => usage(),
+            },
+            "--days" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.n_days = n,
+                None => usage(),
+            },
+            "--window" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => window = n,
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    let Some(store_dir) = store_dir else { usage() };
+
+    let store = match DirStore::create(&store_dir) {
+        Ok(store) => Box::new(store),
+        Err(e) => die(&format!("cannot open store {}: {e}", store_dir.display())),
+    };
+    let mut engine = match IngestEngine::open(config, store, window) {
+        Ok(engine) => engine,
+        Err(e) => die(&format!("cannot open ingest: {e}")),
+    };
+
+    loop {
+        match engine.ingest_next_day() {
+            Ok(Some(report)) => {
+                note(&format!("committed day {} ({} records)", report.day, report.records));
+            }
+            Ok(None) => break,
+            Err(e) => die(&format!("ingest failed: {e}")),
+        }
+    }
+
+    let view = match engine.build_view() {
+        Ok(view) => view,
+        Err(e) => die(&format!("cannot build view: {e}")),
+    };
+    let full = view.full.unwrap_or_else(|| "null".to_string());
+    if let Err(e) = put_bytes(engine.store(), "final.json", full.as_bytes()) {
+        die(&format!("cannot write final.json: {e}"));
+    }
+    // telco-lint: allow(print): the completion line is the binary's contract with its caller
+    println!("DONE days={} records={}", view.committed_days, view.records);
+}

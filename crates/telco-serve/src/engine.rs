@@ -1,0 +1,485 @@
+//! The snapshot-native ingest engine: days arrive one at a time, each is
+//! folded into a live [`StudyPasses`] composite through the same
+//! [`AnalysisPass::merge`] the parallel sweep uses, and every fold is
+//! made durable through a staged-write/atomic-commit snapshot protocol
+//! so a crashed ingest restarts from its last committed day without
+//! replaying history.
+//!
+//! # Commit protocol (per day `d`, with `k = d` days already committed)
+//!
+//! 1. Simulate day `d` ([`telco_sim::run_shard`]) and fold its records
+//!    into a fresh delta composite.
+//! 2. Stage + commit `day-<d>.snap` (the delta's snapshot frame).
+//! 3. Merge the delta into the live baseline; stage + commit
+//!    `baseline-<d+1>.snap`.
+//! 4. Stage + commit `state.json` naming `d+1` committed days — **the**
+//!    atomic commit point: every object it references was committed
+//!    before it.
+//! 5. Garbage-collect the previous baseline and day partials that fell
+//!    out of the retention window.
+//!
+//! A crash anywhere in 1–4 leaves `state.json` at `k`: reopening
+//! restores `baseline-<k>.snap` and re-ingests day `k`. The simulation
+//! is a pure function of the config and the snapshot codec is
+//! deterministic, so the re-run reproduces the interrupted day's bytes
+//! exactly and the recovered store converges on the uninterrupted one.
+//! Orphaned objects from the crashed attempt (a `day-<k>.snap` or
+//! `baseline-<k+1>.snap` that never got a state commit) are deleted on
+//! reopen and rewritten identically by the retry.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+use telco_analytics::{
+    restore_pass, snapshot_pass, AnalysisPass, Enriched, StudyPasses, SweepCtx, SweepOutputs,
+};
+use telco_sim::{run_shard, SimConfig, TraceSource, World};
+use telco_store::{get_bytes, get_string, put_bytes, ObjectStore};
+use telco_trace::snap::SnapError;
+
+use crate::fault;
+
+/// Name of the commit-point object: a small JSON record of how many days
+/// are durably folded, plus the config they were folded under.
+pub const STATE_OBJECT: &str = "state.json";
+
+/// Default number of trailing per-day partials retained for sliding
+/// window queries (the paper's figures use daily and weekly views).
+pub const DEFAULT_WINDOW: u32 = 7;
+
+fn day_object(day: u32) -> String {
+    format!("day-{day:05}.snap")
+}
+
+fn baseline_object(days: u32) -> String {
+    format!("baseline-{days:05}.snap")
+}
+
+/// Parse `name` as `<prefix><number>.snap`, returning the number.
+fn object_number(name: &str, prefix: &str) -> Option<u32> {
+    name.strip_prefix(prefix)?.strip_suffix(".snap")?.parse().ok()
+}
+
+/// Errors from opening or advancing an ingest.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Store I/O failed.
+    Io(std::io::Error),
+    /// A persisted snapshot frame was corrupt, truncated, or stale.
+    Snap(SnapError),
+    /// The state object (or a serialized view) was not valid JSON.
+    Json(String),
+    /// The trace fold reported a chunk issue (cannot happen for the
+    /// in-memory day traces the engine builds, but the sweep API
+    /// surfaces it).
+    Sweep(String),
+    /// The store was written under a different simulation config.
+    ConfigMismatch(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "store I/O: {e}"),
+            ServeError::Snap(e) => write!(f, "snapshot: {e}"),
+            ServeError::Json(e) => write!(f, "state JSON: {e}"),
+            ServeError::Sweep(e) => write!(f, "day fold: {e}"),
+            ServeError::ConfigMismatch(e) => write!(f, "config mismatch: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<SnapError> for ServeError {
+    fn from(e: SnapError) -> Self {
+        ServeError::Snap(e)
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct ServeState {
+    committed_days: u32,
+    config: SimConfig,
+}
+
+/// What one committed day looked like, for progress reporting.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestReport {
+    /// The study day just folded (0-based).
+    pub day: u32,
+    /// Handover records that day contributed.
+    pub records: u64,
+}
+
+/// The immutable, query-ready face of the ingest at one commit point:
+/// everything the query front serves is precomputed here, so answering a
+/// query never touches the engine (or any lock the fold holds).
+#[derive(Debug, Clone, Default)]
+pub struct ServedView {
+    /// Days durably folded into the baseline.
+    pub committed_days: u32,
+    /// Days the configured stream will eventually deliver.
+    pub total_days: u32,
+    /// Records folded so far.
+    pub records: u64,
+    /// Failed handovers among them.
+    pub failures: u64,
+    /// Canonical JSON of the full [`SweepOutputs`] over all committed
+    /// days — byte-identical to serializing a one-shot batch study of
+    /// the same days. `None` until the first day commits.
+    pub full: Option<String>,
+    /// [`SweepOutputs`] over the most recent committed day only.
+    pub last_day: Option<String>,
+    /// [`SweepOutputs`] over the last ≤ 7 committed days.
+    pub last_week: Option<String>,
+    /// The full view split by top-level analysis, for `table`/`figure`
+    /// queries: `(field name, compact JSON)` in [`SweepOutputs`] field
+    /// order.
+    pub sections: Vec<(String, String)>,
+}
+
+/// The ingest engine: owns the world, the live composite accumulator,
+/// the snapshot store, and the retained per-day partials.
+pub struct IngestEngine {
+    config: SimConfig,
+    world: World,
+    store: Box<dyn ObjectStore>,
+    live: StudyPasses,
+    committed_days: u32,
+    window: u32,
+    /// Trailing per-day partial snapshots, oldest first, at most
+    /// `window` entries — the raw material of sliding-window views.
+    partials: VecDeque<(u32, Vec<u8>)>,
+}
+
+impl IngestEngine {
+    /// Open (or create) an ingest over `store`. A store with a committed
+    /// state resumes from its last commit point: the baseline snapshot
+    /// is restored, retained partials are reloaded, and leftovers from a
+    /// crashed attempt are garbage-collected. `window` is the number of
+    /// trailing day partials to retain (clamped to ≥ 1).
+    pub fn open(
+        config: SimConfig,
+        store: Box<dyn ObjectStore>,
+        window: u32,
+    ) -> Result<Self, ServeError> {
+        let window = window.max(1);
+        let world = World::build(&config);
+        let mut committed_days = 0;
+        if store.exists(STATE_OBJECT)? {
+            let state: ServeState =
+                serde_json::from_str(&get_string(store.as_ref(), STATE_OBJECT)?)
+                    .map_err(|e| ServeError::Json(e.to_string()))?;
+            if state.config != config {
+                return Err(ServeError::ConfigMismatch(format!(
+                    "store was ingested with seed {} / {} UEs / {} days, asked to continue \
+                     with seed {} / {} UEs / {} days",
+                    state.config.seed,
+                    state.config.n_ues,
+                    state.config.n_days,
+                    config.seed,
+                    config.n_ues,
+                    config.n_days,
+                )));
+            }
+            committed_days = state.committed_days;
+        }
+
+        let mut live = StudyPasses::default();
+        if committed_days > 0 {
+            restore_pass(&mut live, &get_bytes(store.as_ref(), &baseline_object(committed_days))?)?;
+        } else {
+            let ctx = SweepCtx { world: &world, config: &config };
+            live.begin(&ctx);
+        }
+
+        let mut partials = VecDeque::new();
+        for day in committed_days.saturating_sub(window)..committed_days {
+            let name = day_object(day);
+            if store.exists(&name)? {
+                partials.push_back((day, get_bytes(store.as_ref(), &name)?));
+            }
+        }
+
+        let engine = IngestEngine { config, world, store, live, committed_days, window, partials };
+        engine.gc()?;
+        Ok(engine)
+    }
+
+    /// The config this ingest runs under.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Days durably committed so far.
+    pub fn committed_days(&self) -> u32 {
+        self.committed_days
+    }
+
+    /// Days the configured stream delivers in total.
+    pub fn total_days(&self) -> u32 {
+        self.config.n_days
+    }
+
+    /// The backing snapshot store.
+    pub fn store(&self) -> &dyn ObjectStore {
+        self.store.as_ref()
+    }
+
+    fn ctx(&self) -> SweepCtx<'_> {
+        SweepCtx { world: &self.world, config: &self.config }
+    }
+
+    /// Ingest the next pending day through the full commit protocol.
+    /// Returns `Ok(None)` once the configured stream is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Store I/O or snapshot-codec failures; the in-memory fold itself
+    /// cannot fail.
+    pub fn ingest_next_day(&mut self) -> Result<Option<IngestReport>, ServeError> {
+        let day = self.committed_days;
+        if day >= self.config.n_days {
+            return Ok(None);
+        }
+
+        // 1. Simulate the day and fold it into a fresh delta composite.
+        //    `run_shard` emits exactly the day-`d` slice of the full
+        //    study's trace, in trace order, so this fold sequence is the
+        //    day-parallel sweep's fold with one day per merge.
+        let mut shard = run_shard(&self.world, &self.config, day..day + 1, 0..self.world.n_ues());
+        let records = shard.dataset.len() as u64;
+        let trace = TraceSource::in_memory(std::mem::take(&mut shard.dataset));
+        let ctx = SweepCtx { world: &self.world, config: &self.config };
+        let enriched = Enriched::new(&self.world);
+        let mut delta = StudyPasses::default();
+        delta.begin(&ctx);
+        trace
+            .for_each_columns(|batch| delta.record_columns(batch, &enriched))
+            .map_err(|issue| ServeError::Sweep(format!("{issue:?}")))?;
+
+        // 2. Commit the day partial.
+        let delta_bytes = snapshot_pass(&delta);
+        put_bytes(self.store.as_ref(), &day_object(day), &delta_bytes)?;
+        fault::maybe_crash("after-partial", day);
+
+        // 3. Fold into the baseline and commit the folded snapshot under
+        //    its new day count (never overwriting the one `state.json`
+        //    still points at).
+        self.live.merge(delta, &ctx);
+        put_bytes(self.store.as_ref(), &baseline_object(day + 1), &snapshot_pass(&self.live))?;
+        fault::maybe_crash("after-baseline", day);
+
+        // 4. The atomic commit point.
+        self.committed_days = day + 1;
+        self.partials.push_back((day, delta_bytes));
+        while self.partials.len() > self.window as usize {
+            self.partials.pop_front();
+        }
+        self.write_state()?;
+
+        // 5. Drop what the new state no longer references.
+        self.gc()?;
+        Ok(Some(IngestReport { day, records }))
+    }
+
+    fn write_state(&self) -> Result<(), ServeError> {
+        let state = ServeState { committed_days: self.committed_days, config: self.config.clone() };
+        let json = serde_json::to_string(&state).map_err(|e| ServeError::Json(e.to_string()))?;
+        Ok(put_bytes(self.store.as_ref(), STATE_OBJECT, json.as_bytes())?)
+    }
+
+    /// Delete every snapshot object the current commit point does not
+    /// reference: superseded baselines, partials past the retention
+    /// window, and orphans of a crashed uncommitted attempt.
+    fn gc(&self) -> Result<(), ServeError> {
+        let keep_from = self.committed_days.saturating_sub(self.window);
+        for name in self.store.list()? {
+            if let Some(days) = object_number(&name, "baseline-") {
+                if days != self.committed_days {
+                    self.store.delete(&name)?;
+                }
+            } else if let Some(day) = object_number(&name, "day-") {
+                if day < keep_from || day >= self.committed_days {
+                    self.store.delete(&name)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuild [`SweepOutputs`] from a snapshot frame: restore into a
+    /// fresh composite and finish it. The live accumulator is never
+    /// consumed — views are always derived from snapshot bytes, which
+    /// doubles as a continuous self-test of the codec.
+    fn outputs_from(&self, bytes: &[u8]) -> Result<SweepOutputs, ServeError> {
+        let mut passes = StudyPasses::default();
+        restore_pass(&mut passes, bytes)?;
+        Ok(passes.end(&self.ctx()))
+    }
+
+    /// [`SweepOutputs`] over the trailing `days` retained partials
+    /// (fewer when the ingest is younger than the window).
+    fn window_outputs(&self, days: usize) -> Result<Option<SweepOutputs>, ServeError> {
+        if self.partials.is_empty() {
+            return Ok(None);
+        }
+        let ctx = self.ctx();
+        let mut acc = StudyPasses::default();
+        acc.begin(&ctx);
+        let skip = self.partials.len().saturating_sub(days);
+        for (_, bytes) in self.partials.iter().skip(skip) {
+            let mut part = StudyPasses::default();
+            restore_pass(&mut part, bytes)?;
+            acc.merge(part, &ctx);
+        }
+        Ok(Some(acc.end(&ctx)))
+    }
+
+    /// Build the query-ready view of the current commit point. Called by
+    /// the ingest loop after each committed day — queries only ever read
+    /// a previously built view, so their staleness is bounded by one
+    /// day-fold and they never contend with it.
+    pub fn build_view(&self) -> Result<ServedView, ServeError> {
+        let mut view = ServedView {
+            committed_days: self.committed_days,
+            total_days: self.config.n_days,
+            ..ServedView::default()
+        };
+        if self.committed_days == 0 {
+            return Ok(view);
+        }
+        let json = |e: serde_json::Error| ServeError::Json(e.to_string());
+        let outputs = self.outputs_from(&snapshot_pass(&self.live))?;
+        view.records = outputs.trace_counts.records;
+        view.failures = outputs.trace_counts.failures;
+        view.sections = sections_of(&outputs)?;
+        view.full = Some(serde_json::to_string(&outputs).map_err(json)?);
+        if let Some(day) = self.window_outputs(1)? {
+            view.last_day = Some(serde_json::to_string(&day).map_err(json)?);
+        }
+        if let Some(week) = self.window_outputs(7)? {
+            view.last_week = Some(serde_json::to_string(&week).map_err(json)?);
+        }
+        Ok(view)
+    }
+}
+
+/// Split a [`SweepOutputs`] into `(top-level field, compact JSON)` pairs
+/// for section queries, in declaration order.
+fn sections_of(o: &SweepOutputs) -> Result<Vec<(String, String)>, ServeError> {
+    let json = |e: serde_json::Error| ServeError::Json(e.to_string());
+    Ok(vec![
+        ("trace_counts".into(), serde_json::to_string(&o.trace_counts).map_err(json)?),
+        ("ho_types".into(), serde_json::to_string(&o.ho_types).map_err(json)?),
+        ("durations".into(), serde_json::to_string(&o.durations).map_err(json)?),
+        (
+            "district_distribution".into(),
+            serde_json::to_string(&o.district_distribution).map_err(json)?,
+        ),
+        (
+            "population_inference".into(),
+            serde_json::to_string(&o.population_inference).map_err(json)?,
+        ),
+        ("ho_density".into(), serde_json::to_string(&o.ho_density).map_err(json)?),
+        ("temporal_evolution".into(), serde_json::to_string(&o.temporal_evolution).map_err(json)?),
+        (
+            "manufacturer_impact".into(),
+            serde_json::to_string(&o.manufacturer_impact).map_err(json)?,
+        ),
+        ("hof_patterns".into(), serde_json::to_string(&o.hof_patterns).map_err(json)?),
+        ("causes".into(), serde_json::to_string(&o.causes).map_err(json)?),
+        ("pingpong".into(), serde_json::to_string(&o.pingpong).map_err(json)?),
+        ("vendor_analysis".into(), serde_json::to_string(&o.vendor_analysis).map_err(json)?),
+        ("frame".into(), serde_json::to_string(&o.frame).map_err(json)?),
+        ("period_frame".into(), serde_json::to_string(&o.period_frame).map_err(json)?),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telco_store::DirStore;
+
+    fn temp_store(tag: &str) -> Box<dyn ObjectStore> {
+        let dir = std::env::temp_dir().join(format!("telco_serve_engine_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        Box::new(DirStore::create(dir).unwrap())
+    }
+
+    fn test_config() -> SimConfig {
+        let mut cfg = SimConfig::tiny();
+        cfg.n_ues = 120;
+        cfg.n_days = 3;
+        cfg
+    }
+
+    #[test]
+    fn ingest_commits_and_exhausts() {
+        let mut engine = IngestEngine::open(test_config(), temp_store("basic"), 7).unwrap();
+        let mut total = 0;
+        while let Some(report) = engine.ingest_next_day().unwrap() {
+            assert_eq!(report.day + 1, engine.committed_days());
+            assert!(report.records > 0);
+            total += report.records;
+        }
+        assert_eq!(engine.committed_days(), 3);
+        let view = engine.build_view().unwrap();
+        assert_eq!(view.records, total);
+        assert!(view.full.is_some() && view.last_day.is_some() && view.last_week.is_some());
+        // The store holds exactly one baseline, the retained partials,
+        // and the state object.
+        let names = engine.store().list().unwrap();
+        assert!(names.contains(&"baseline-00003.snap".to_string()), "{names:?}");
+        assert!(!names.contains(&"baseline-00002.snap".to_string()), "{names:?}");
+    }
+
+    #[test]
+    fn window_retention_gcs_old_partials() {
+        let mut engine = IngestEngine::open(test_config(), temp_store("window"), 1).unwrap();
+        while engine.ingest_next_day().unwrap().is_some() {}
+        let names = engine.store().list().unwrap();
+        assert!(names.contains(&"day-00002.snap".to_string()), "{names:?}");
+        assert!(!names.contains(&"day-00000.snap".to_string()), "{names:?}");
+        assert!(!names.contains(&"day-00001.snap".to_string()), "{names:?}");
+    }
+
+    #[test]
+    fn reopen_resumes_from_commit_point() {
+        let dir = std::env::temp_dir().join("telco_serve_engine_resume");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = test_config();
+        let mut first =
+            IngestEngine::open(cfg.clone(), Box::new(DirStore::create(&dir).unwrap()), 7).unwrap();
+        first.ingest_next_day().unwrap().unwrap();
+        drop(first);
+        let mut second =
+            IngestEngine::open(cfg, Box::new(DirStore::open(&dir).unwrap()), 7).unwrap();
+        assert_eq!(second.committed_days(), 1);
+        assert_eq!(second.ingest_next_day().unwrap().unwrap().day, 1);
+    }
+
+    #[test]
+    fn config_mismatch_is_rejected() {
+        let dir = std::env::temp_dir().join("telco_serve_engine_mismatch");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = test_config();
+        let mut engine =
+            IngestEngine::open(cfg.clone(), Box::new(DirStore::create(&dir).unwrap()), 7).unwrap();
+        engine.ingest_next_day().unwrap();
+        drop(engine);
+        let mut other = cfg;
+        other.seed ^= 1;
+        let err = IngestEngine::open(other, Box::new(DirStore::open(&dir).unwrap()), 7)
+            .err()
+            .expect("mismatched config must not resume");
+        assert!(matches!(err, ServeError::ConfigMismatch(_)), "{err}");
+    }
+}

@@ -1,0 +1,32 @@
+//! Crash-point injection for the ingest commit protocol, mirroring the
+//! orchestrator's worker fault harness: an environment variable names a
+//! protocol point and a day, and the process exits with a recognizable
+//! status there — between two commits, exactly where a real crash would
+//! be most damaging. The recovery tests drive the `telco-served` binary
+//! through these points and assert the restarted ingest converges to the
+//! clean run byte-for-byte.
+
+/// Exit status of an injected crash, distinct from real failures (`1`)
+/// and usage errors (`2`) so tests can tell "the fault fired" from "the
+/// ingest actually broke".
+pub const EXIT_INJECTED: i32 = 17;
+
+/// Environment variable holding the fault spec, `<point>:<day>` — e.g.
+/// `after-partial:1` crashes right after committing day 1's partial
+/// snapshot, before the folded baseline and state reach the store.
+pub const FAULT_ENV: &str = "TELCO_SERVE_FAULT";
+
+/// Crash points understood by [`maybe_crash`], in commit-protocol order.
+pub const FAULT_POINTS: [&str; 2] = ["after-partial", "after-baseline"];
+
+/// Exit with [`EXIT_INJECTED`] if the fault spec names this `point` and
+/// `day`. No-op (including on malformed specs) otherwise.
+pub fn maybe_crash(point: &str, day: u32) {
+    let Ok(spec) = std::env::var(FAULT_ENV) else { return };
+    let Some((fault_point, fault_day)) = spec.rsplit_once(':') else { return };
+    if fault_point == point && fault_day.parse() == Ok(day) {
+        // telco-lint: allow(print): the injected crash must announce itself on stderr so a recovery-test failure names which fault fired
+        eprintln!("telco-serve: injected crash at {point} day {day}");
+        std::process::exit(EXIT_INJECTED);
+    }
+}

@@ -1,0 +1,102 @@
+//! Crash-recovery fault matrix: kill the `telco-served` subprocess at
+//! each injected point of the commit protocol — after the day-partial
+//! commit and after the baseline commit, both *before* the state commit
+//! — then restart it and require the recovered store to converge on the
+//! uninterrupted run's bytes exactly.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use telco_serve::{EXIT_INJECTED, FAULT_ENV};
+
+const UES: &str = "150";
+const DAYS: &str = "3";
+
+fn served() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_telco-served"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("telco_serve_recovery_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run_served(dir: &Path, fault: Option<&str>) -> std::process::Output {
+    let mut cmd = served();
+    cmd.arg("--store").arg(dir).args(["--ues", UES, "--days", DAYS]);
+    match fault {
+        Some(spec) => cmd.env(FAULT_ENV, spec),
+        None => cmd.env_remove(FAULT_ENV),
+    };
+    cmd.output().expect("spawn telco-served")
+}
+
+fn final_json(dir: &Path) -> String {
+    std::fs::read_to_string(dir.join("final.json")).expect("final.json written")
+}
+
+#[test]
+fn crashed_ingest_recovers_and_converges() {
+    // The reference: one uninterrupted ingest.
+    let clean = temp_dir("clean");
+    let out = run_served(&clean, None);
+    assert!(out.status.success(), "clean run failed: {}", String::from_utf8_lossy(&out.stderr));
+    let expected = final_json(&clean);
+
+    for (tag, fault) in [("partial", "after-partial:1"), ("baseline", "after-baseline:1")] {
+        let dir = temp_dir(tag);
+        // First attempt dies at the injected point with the marker code.
+        let crashed = run_served(&dir, Some(fault));
+        assert_eq!(
+            crashed.status.code(),
+            Some(EXIT_INJECTED),
+            "fault {fault} did not fire: {}",
+            String::from_utf8_lossy(&crashed.stderr)
+        );
+        assert!(!dir.join("final.json").exists(), "crashed run must not publish a final view");
+        // The state object still names 1 committed day — day 1's work
+        // was staged or half-committed but never reached the commit
+        // point, so the restart re-ingests it without replaying day 0.
+        let state = std::fs::read_to_string(dir.join("state.json")).expect("state after crash");
+        assert!(state.contains("\"committed_days\":1"), "unexpected state: {state}");
+
+        // Restart: recovery + the remaining days, no fault.
+        let recovered = run_served(&dir, None);
+        assert!(
+            recovered.status.success(),
+            "recovery after {fault} failed: {}",
+            String::from_utf8_lossy(&recovered.stderr)
+        );
+        let stderr = String::from_utf8_lossy(&recovered.stderr);
+        assert!(
+            stderr.contains("committed day 1") && !stderr.contains("committed day 0"),
+            "restart must resume at day 1, not replay day 0: {stderr}"
+        );
+        assert_eq!(
+            final_json(&dir),
+            expected,
+            "recovered ingest after {fault} diverged from the clean run"
+        );
+    }
+}
+
+#[test]
+fn crash_on_first_day_recovers_from_empty_baseline() {
+    let clean = temp_dir("clean0");
+    let out = run_served(&clean, None);
+    assert!(out.status.success());
+    let expected = final_json(&clean);
+
+    let dir = temp_dir("day0");
+    let crashed = run_served(&dir, Some("after-partial:0"));
+    assert_eq!(crashed.status.code(), Some(EXIT_INJECTED));
+    // No state object yet: the store looks fresh to the restart.
+    let recovered = run_served(&dir, None);
+    assert!(
+        recovered.status.success(),
+        "day-0 recovery failed: {}",
+        String::from_utf8_lossy(&recovered.stderr)
+    );
+    assert_eq!(final_json(&dir), expected);
+}

@@ -1,0 +1,286 @@
+//! # telco-store
+//!
+//! Object storage behind a small trait, shared by every subsystem that
+//! persists artifacts: the shard orchestrator (traces, sidecars,
+//! completion markers) and the snapshot-native ingest service (pass
+//! baselines, per-day partials, commit state).
+//!
+//! The only backend today is [`DirStore`] (a flat directory), but the
+//! trait is deliberately shaped like an object store: flat string
+//! names, whole-object reads, staged writes published by an atomic
+//! [`ObjectStore::commit`] (a directory rename here, a multipart-upload
+//! completion there). Writers *stage* an object while producing it and
+//! commit only once it is complete, so a crashed writer never leaves a
+//! half-written object under a committed name — on a backend without
+//! atomic publish, callers' validity protocols (trace trailers,
+//! completion markers, snapshot CRC frames) still catch it, which is
+//! why no caller assumes the store is atomic.
+
+// telco-lint: deny-swallowed-errors
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Abstract storage for persisted artifacts (traces, sidecars, markers,
+/// snapshots, logs). Names are flat, non-empty, and must not contain
+/// path separators or `..` — they are object keys, not paths.
+pub trait ObjectStore: Send + Sync {
+    /// Open a staged writer for `name`. Nothing is visible under `name`
+    /// until [`ObjectStore::commit`]; a dropped writer leaves at most
+    /// invisible staging garbage, which a later `put` overwrites.
+    fn put(&self, name: &str) -> std::io::Result<Box<dyn Write + Send>>;
+
+    /// Atomically publish the staged bytes of `name`.
+    fn commit(&self, name: &str) -> std::io::Result<()>;
+
+    /// Open a committed object for reading.
+    fn get(&self, name: &str) -> std::io::Result<Box<dyn Read + Send>>;
+
+    /// Whether a committed object exists under `name`.
+    fn exists(&self, name: &str) -> std::io::Result<bool>;
+
+    /// Remove a committed object (`Ok` even if absent — deletes are
+    /// idempotent, as every retry path wants).
+    fn delete(&self, name: &str) -> std::io::Result<()>;
+
+    /// All committed object names, sorted (staging artifacts excluded).
+    fn list(&self) -> std::io::Result<Vec<String>>;
+
+    /// Append `bytes` to a committed log object, creating it if absent.
+    /// Appends are immediate (not staged): logs are diagnostics and
+    /// dispatch accounting, not completion state.
+    fn append(&self, name: &str, bytes: &[u8]) -> std::io::Result<()>;
+
+    /// The local filesystem path of a committed object, if this backend
+    /// has one. Lets same-machine readers stream a large trace straight
+    /// from the file (and the fault harness reach in and damage one);
+    /// remote backends return `None` and callers fall back to
+    /// [`ObjectStore::get`].
+    fn local_path(&self, _name: &str) -> Option<PathBuf> {
+        None
+    }
+
+    /// The local root directory, if any — what a subprocess launcher
+    /// passes to workers so they open the same store.
+    fn local_root(&self) -> Option<&Path> {
+        None
+    }
+}
+
+/// Suffix of staged (not yet committed) objects in a [`DirStore`].
+const STAGING_SUFFIX: &str = ".staged";
+
+fn validate_name(name: &str) -> std::io::Result<()> {
+    let bad = name.is_empty()
+        || name.contains(['/', '\\'])
+        || name == "."
+        || name.contains("..")
+        || name.ends_with(STAGING_SUFFIX);
+    if bad {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("invalid store name {name:?}"),
+        ));
+    }
+    Ok(())
+}
+
+/// [`ObjectStore`] over one flat directory. Staged writes go to
+/// `<name>.staged` and commit via `rename` — atomic on every POSIX
+/// filesystem, so a committed object is always complete *as written*
+/// (completeness of the writer is still the caller's validity check).
+#[derive(Debug)]
+pub struct DirStore {
+    root: PathBuf,
+}
+
+impl DirStore {
+    /// Open `root` as a store, creating the directory if needed.
+    pub fn create(root: impl Into<PathBuf>) -> std::io::Result<DirStore> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(DirStore { root })
+    }
+
+    /// Open an existing directory as a store.
+    pub fn open(root: impl Into<PathBuf>) -> std::io::Result<DirStore> {
+        let root = root.into();
+        if !root.is_dir() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("store directory {} does not exist", root.display()),
+            ));
+        }
+        Ok(DirStore { root })
+    }
+
+    fn path_of(&self, name: &str) -> std::io::Result<PathBuf> {
+        validate_name(name)?;
+        Ok(self.root.join(name))
+    }
+
+    fn staged_path_of(&self, name: &str) -> std::io::Result<PathBuf> {
+        validate_name(name)?;
+        Ok(self.root.join(format!("{name}{STAGING_SUFFIX}")))
+    }
+}
+
+impl ObjectStore for DirStore {
+    fn put(&self, name: &str) -> std::io::Result<Box<dyn Write + Send>> {
+        let file = std::fs::File::create(self.staged_path_of(name)?)?;
+        Ok(Box::new(std::io::BufWriter::new(file)))
+    }
+
+    fn commit(&self, name: &str) -> std::io::Result<()> {
+        std::fs::rename(self.staged_path_of(name)?, self.path_of(name)?)
+    }
+
+    fn get(&self, name: &str) -> std::io::Result<Box<dyn Read + Send>> {
+        let file = std::fs::File::open(self.path_of(name)?)?;
+        Ok(Box::new(std::io::BufReader::new(file)))
+    }
+
+    fn exists(&self, name: &str) -> std::io::Result<bool> {
+        Ok(self.path_of(name)?.is_file())
+    }
+
+    fn delete(&self, name: &str) -> std::io::Result<()> {
+        match std::fs::remove_file(self.path_of(name)?) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn list(&self) -> std::io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for dirent in std::fs::read_dir(&self.root)? {
+            let dirent = dirent?;
+            if !dirent.file_type()?.is_file() {
+                continue;
+            }
+            let name = dirent.file_name().to_string_lossy().into_owned();
+            if !name.ends_with(STAGING_SUFFIX) {
+                names.push(name);
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn append(&self, name: &str, bytes: &[u8]) -> std::io::Result<()> {
+        let mut file =
+            std::fs::OpenOptions::new().create(true).append(true).open(self.path_of(name)?)?;
+        file.write_all(bytes)
+    }
+
+    fn local_path(&self, name: &str) -> Option<PathBuf> {
+        let path = self.path_of(name).ok()?;
+        path.is_file().then_some(path)
+    }
+
+    fn local_root(&self) -> Option<&Path> {
+        Some(&self.root)
+    }
+}
+
+/// Stage + write + commit one small object in a single call.
+pub fn put_bytes(store: &dyn ObjectStore, name: &str, bytes: &[u8]) -> std::io::Result<()> {
+    let mut w = store.put(name)?;
+    w.write_all(bytes)?;
+    w.flush()?;
+    drop(w);
+    store.commit(name)
+}
+
+/// Read a whole committed object into a byte vector.
+pub fn get_bytes(store: &dyn ObjectStore, name: &str) -> std::io::Result<Vec<u8>> {
+    let mut out = Vec::new();
+    store.get(name)?.read_to_end(&mut out)?;
+    Ok(out)
+}
+
+/// Read a whole committed object as a UTF-8 string.
+pub fn get_string(store: &dyn ObjectStore, name: &str) -> std::io::Result<String> {
+    let mut out = String::new();
+    store.get(name)?.read_to_string(&mut out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> DirStore {
+        let dir = std::env::temp_dir().join(format!("telco_store_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        DirStore::create(dir).unwrap()
+    }
+
+    #[test]
+    fn staged_objects_are_invisible_until_commit() {
+        let store = temp_store("stage");
+        let mut w = store.put("a.bin").unwrap();
+        w.write_all(b"hello").unwrap();
+        w.flush().unwrap();
+        drop(w);
+        assert!(!store.exists("a.bin").unwrap());
+        assert!(store.list().unwrap().is_empty());
+        store.commit("a.bin").unwrap();
+        assert!(store.exists("a.bin").unwrap());
+        assert_eq!(get_string(&store, "a.bin").unwrap(), "hello");
+        assert_eq!(store.list().unwrap(), vec!["a.bin".to_string()]);
+    }
+
+    #[test]
+    fn dropped_writer_never_publishes() {
+        let store = temp_store("drop");
+        let mut w = store.put("crash.bin").unwrap();
+        w.write_all(b"partial").unwrap();
+        drop(w); // worker died before commit
+        assert!(!store.exists("crash.bin").unwrap());
+        // A retry overwrites the staging leftovers cleanly.
+        put_bytes(&store, "crash.bin", b"complete").unwrap();
+        assert_eq!(get_string(&store, "crash.bin").unwrap(), "complete");
+    }
+
+    #[test]
+    fn names_are_object_keys_not_paths() {
+        let store = temp_store("names");
+        for bad in ["", "a/b", "..", "x..y", "a\\b", "evil.staged"] {
+            assert!(store.put(bad).is_err(), "accepted {bad:?}");
+            assert!(store.get(bad).is_err());
+        }
+    }
+
+    #[test]
+    fn append_accumulates_lines() {
+        let store = temp_store("append");
+        store.append("log.jsonl", b"one\n").unwrap();
+        store.append("log.jsonl", b"two\n").unwrap();
+        assert_eq!(get_string(&store, "log.jsonl").unwrap(), "one\ntwo\n");
+    }
+
+    #[test]
+    fn delete_is_idempotent_and_local_path_only_for_committed() {
+        let store = temp_store("del");
+        assert!(store.local_path("a.bin").is_none());
+        put_bytes(&store, "a.bin", b"x").unwrap();
+        assert!(store.local_path("a.bin").is_some());
+        store.delete("a.bin").unwrap();
+        store.delete("a.bin").unwrap();
+        assert!(!store.exists("a.bin").unwrap());
+        assert!(store.local_root().is_some());
+    }
+
+    #[test]
+    fn get_bytes_round_trips_binary() {
+        let store = temp_store("bytes");
+        let payload: Vec<u8> = (0..=255).collect();
+        put_bytes(&store, "blob.bin", &payload).unwrap();
+        assert_eq!(get_bytes(&store, "blob.bin").unwrap(), payload);
+    }
+}

@@ -30,6 +30,7 @@ pub mod io;
 pub mod prefetch;
 pub mod probe;
 pub mod record;
+pub mod snap;
 pub mod source;
 pub mod store;
 
@@ -41,5 +42,6 @@ pub use io::{decode, encode, from_json, read_file, to_json, write_file, CodecErr
 pub use prefetch::{Frame, FrameQueue};
 pub use probe::{probe_trailer, validate_file, StreamSummary, TrailerProbe};
 pub use record::{DeviceRecord, HoOutcome, HoRecord, TopologyRecord};
+pub use snap::{decode_frame, encode_frame, SnapError, SnapReader, SnapWriter};
 pub use source::{SpilledTrace, TraceSource};
 pub use store::{ChunkIssue, RawChunk, TraceReader, TraceWriter};

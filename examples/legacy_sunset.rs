@@ -16,6 +16,7 @@
 use telco_lens::analytics::{AnalysisPass, Enriched, Sweep, SweepCtx};
 use telco_lens::prelude::*;
 use telco_lens::trace::record::HoRecord;
+use telco_lens::trace::snap::{SnapError, SnapReader, SnapWriter};
 
 struct Scenario {
     name: &'static str,
@@ -44,6 +45,19 @@ impl AnalysisPass for SuccessDurations {
 
     fn end(self, _ctx: &SweepCtx) -> Vec<f64> {
         self.durations
+    }
+
+    // Every pass is checkpointable, custom ones included: the sample
+    // vector round-trips through the snapshot codec byte-exactly.
+    const SNAPSHOT_VERSION: u16 = 1;
+
+    fn snapshot(&self, w: &mut SnapWriter) {
+        w.put_f64s(&self.durations);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.durations = r.get_f64s()?;
+        Ok(())
     }
 }
 
